@@ -1,0 +1,108 @@
+//! Criterion benches for the substrate data structures: co-occurrence model
+//! construction, candidate index builds, LCA queries, event codecs, Zipf
+//! sampling, and workload generation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sigmund_core::prelude::*;
+use sigmund_datagen::{RetailerSpec, ZipfSampler};
+use sigmund_pipeline::data::{decode_events, encode_events};
+use sigmund_types::*;
+
+fn bench_cooc_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cooc_build");
+    group.sample_size(10);
+    for n_items in [200usize, 1000] {
+        let data = RetailerSpec::sized(RetailerId(0), n_items, n_items * 2, 5).generate();
+        group.throughput(Throughput::Elements(data.events.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n_items), &n_items, |b, _| {
+            b.iter(|| CoocModel::build(data.catalog.len(), &data.events, CoocConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_candidate_index(c: &mut Criterion) {
+    let data = RetailerSpec::sized(RetailerId(0), 5000, 100, 6).generate();
+    c.bench_function("candidate_index_build_5k_items", |b| {
+        b.iter(|| CandidateIndex::build(&data.catalog));
+    });
+    let index = CandidateIndex::build(&data.catalog);
+    c.bench_function("lca_k_lookup", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 5000;
+            index.lca_k(&data.catalog, ItemId(i), 2).len()
+        });
+    });
+    c.bench_function("taxonomy_lca_distance", |b| {
+        let t = &data.catalog.taxonomy;
+        let cats: Vec<CategoryId> = (0..t.len()).map(CategoryId::from_index).collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % cats.len();
+            t.lca_distance(cats[i], cats[(i * 7 + 3) % cats.len()])
+        });
+    });
+}
+
+fn bench_event_codec(c: &mut Criterion) {
+    let data = RetailerSpec::sized(RetailerId(0), 500, 1000, 7).generate();
+    let mut group = c.benchmark_group("event_codec");
+    group.throughput(Throughput::Elements(data.events.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| encode_events(&data.events).len());
+    });
+    let bytes = encode_events(&data.events);
+    group.bench_function("decode", |b| {
+        b.iter(|| decode_events(&bytes).unwrap().len());
+    });
+    group.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let z = ZipfSampler::new(100_000, 1.1);
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("zipf_sample_100k_ranks", |b| {
+        b.iter(|| z.sample(&mut rng));
+    });
+}
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen_retailer");
+    group.sample_size(10);
+    for n_items in [200usize, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_items), &n_items, |b, &n| {
+            b.iter(|| {
+                RetailerSpec::sized(RetailerId(0), n, n, 3)
+                    .generate()
+                    .events
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dataset_build(c: &mut Criterion) {
+    let data = RetailerSpec::sized(RetailerId(0), 1000, 2000, 8).generate();
+    let mut group = c.benchmark_group("dataset_build");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(data.events.len() as u64));
+    group.bench_function("with_holdout", |b| {
+        b.iter(|| Dataset::build(data.catalog.len(), data.events.clone(), true).n_examples());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cooc_build,
+    bench_candidate_index,
+    bench_event_codec,
+    bench_zipf,
+    bench_datagen,
+    bench_dataset_build
+);
+criterion_main!(benches);

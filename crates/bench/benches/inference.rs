@@ -1,0 +1,143 @@
+//! Criterion benches for the inference and serving paths: candidate-selected
+//! scoring vs naive full-catalog ranking (the Section IV-C1 linear-vs-
+//! quadratic argument at micro scale), and serving-store lookups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigmund_core::prelude::*;
+use sigmund_datagen::RetailerSpec;
+use sigmund_serving::{RecSurface, ServingStore};
+use sigmund_types::*;
+use std::collections::HashMap;
+
+struct Setup {
+    data: sigmund_datagen::RetailerData,
+    model: BprModel,
+    cooc: CoocModel,
+    index: CandidateIndex,
+    rep: RepurchaseStats,
+}
+
+fn setup(n_items: usize) -> Setup {
+    let data = RetailerSpec::sized(RetailerId(0), n_items, n_items, 88).generate();
+    let ds = Dataset::build(data.catalog.len(), data.events.clone(), false);
+    let hp = HyperParams {
+        factors: 16,
+        epochs: 2,
+        ..Default::default()
+    };
+    let (model, _) = train_config(
+        &data.catalog,
+        &ds,
+        &hp,
+        2,
+        None,
+        &SweepOptions::default(),
+    );
+    let cooc = CoocModel::build(data.catalog.len(), &data.events, CoocConfig::default());
+    let index = CandidateIndex::build(&data.catalog);
+    let rep = RepurchaseStats::estimate(&data.catalog, &data.events, 0.3);
+    Setup {
+        data,
+        model,
+        cooc,
+        index,
+        rep,
+    }
+}
+
+fn bench_candidates_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_item_recommendation");
+    group.sample_size(20);
+    for n_items in [500usize, 2000] {
+        let s = setup(n_items);
+        let engine = InferenceEngine::new(&s.model, &s.data.catalog, &s.index, &s.cooc, &s.rep);
+        group.bench_with_input(
+            BenchmarkId::new("candidate_selected", n_items),
+            &n_items,
+            |b, _| {
+                let mut i = 0u32;
+                b.iter(|| {
+                    i = (i + 1) % n_items as u32;
+                    engine.recommend_for_item(ItemId(i), RecTask::ViewBased, 10)
+                });
+            },
+        );
+        // Naive full-catalog ranking for the same query.
+        let reps = s.model.materialize_item_reps(&s.data.catalog);
+        group.bench_with_input(
+            BenchmarkId::new("full_catalog_rank", n_items),
+            &n_items,
+            |b, _| {
+                let f = s.model.dim();
+                let mut weights = Vec::new();
+                let mut scratch = vec![0.0f32; f];
+                let mut user = vec![0.0f32; f];
+                let mut i = 0u32;
+                b.iter(|| {
+                    i = (i + 1) % n_items as u32;
+                    let ctx = [(ItemId(i), ActionType::View)];
+                    s.model.user_embedding_into(
+                        &s.data.catalog,
+                        &ctx,
+                        &mut weights,
+                        &mut scratch,
+                        &mut user,
+                    );
+                    let mut top: Vec<(ItemId, f32)> = (0..n_items as u32)
+                        .map(|j| (ItemId(j), reps.score(&user, ItemId(j))))
+                        .collect();
+                    top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+                    top.truncate(10);
+                    top
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_serving_lookup(c: &mut Criterion) {
+    let s = setup(500);
+    let engine = InferenceEngine::new(&s.model, &s.data.catalog, &s.index, &s.cooc, &s.rep);
+    let all = engine.materialize_all(10);
+    let store = ServingStore::new();
+    let mut batch = HashMap::new();
+    batch.insert(RetailerId(0), all);
+    store.publish(batch);
+    c.bench_function("serving_store_lookup", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 500;
+            store.lookup(RetailerId(0), ItemId(i), RecSurface::ViewBased)
+        });
+    });
+    c.bench_function("serving_store_serve_context", |b| {
+        let ctx = vec![
+            (ItemId(3), ActionType::View),
+            (ItemId(7), ActionType::Conversion),
+        ];
+        b.iter(|| store.serve(RetailerId(0), &ctx, None));
+    });
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let s = setup(2000);
+    let ds = Dataset::build(s.data.catalog.len(), s.data.events.clone(), true);
+    let mut group = c.benchmark_group("holdout_evaluation");
+    group.sample_size(10);
+    group.bench_function("exact_map", |b| {
+        b.iter(|| evaluate(&s.model, &s.data.catalog, &ds, EvalConfig::default()).map_at_10);
+    });
+    group.bench_function("sampled_10pct_map", |b| {
+        b.iter(|| evaluate(&s.model, &s.data.catalog, &ds, EvalConfig::sampled_10pct()).map_at_10);
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_candidates_vs_full,
+    bench_serving_lookup,
+    bench_evaluation
+);
+criterion_main!(benches);

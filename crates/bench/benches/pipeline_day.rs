@@ -1,0 +1,86 @@
+//! Criterion bench for the end-to-end daily pipeline: full sweep → training
+//! MapReduce → inference MapReduce → batch publish, scaling with fleet size.
+//! This is wall-clock of the *real* computation (simulated time is virtual,
+//! but the SGD, evaluation, and inference all actually run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigmund_cluster::{CellSpec, PreemptionModel};
+use sigmund_core::selection::GridSpec;
+use sigmund_datagen::RetailerSpec;
+use sigmund_pipeline::{PipelineConfig, SigmundService};
+use sigmund_types::*;
+
+fn tiny_grid() -> GridSpec {
+    GridSpec {
+        factors: vec![8],
+        learning_rates: vec![0.1],
+        regs: vec![(0.01, 0.01)],
+        features: vec![FeatureSwitches::NONE],
+        samplers: vec![NegativeSamplerKind::UniformUnseen],
+        seeds: vec![1],
+        epochs: 3,
+    }
+}
+
+fn bench_daily_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("daily_cycle");
+    group.sample_size(10);
+    for n_retailers in [2usize, 6] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_retailers),
+            &n_retailers,
+            |b, &n| {
+                b.iter(|| {
+                    let mut svc = SigmundService::new(PipelineConfig {
+                        cells: vec![
+                            CellSpec::standard(CellId(0), 4),
+                            CellSpec::standard(CellId(1), 4),
+                        ],
+                        preemption: PreemptionModel::NONE,
+                        grid: tiny_grid(),
+                        items_per_split: 25,
+                        ..Default::default()
+                    });
+                    for r in 0..n {
+                        let d = RetailerSpec::sized(
+                            RetailerId(r as u32),
+                            40,
+                            50,
+                            100 + r as u64,
+                        )
+                        .generate();
+                        svc.onboard(&d.catalog, &d.events);
+                    }
+                    let report = svc.run_day();
+                    report.models_trained
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_incremental_day(c: &mut Criterion) {
+    // Day 0 outside the timer; measure the incremental day.
+    let mut svc = SigmundService::new(PipelineConfig {
+        cells: vec![CellSpec::standard(CellId(0), 4)],
+        preemption: PreemptionModel::NONE,
+        grid: tiny_grid(),
+        items_per_split: 25,
+        ..Default::default()
+    });
+    for r in 0..4 {
+        let d = RetailerSpec::sized(RetailerId(r as u32), 40, 50, 200 + r as u64).generate();
+        svc.onboard(&d.catalog, &d.events);
+    }
+    svc.run_day();
+    let mut group = c.benchmark_group("incremental_day");
+    group.sample_size(10);
+    group.bench_function("4_retailers_top3", |b| {
+        b.iter(|| svc.run_day().models_trained);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_daily_cycle, bench_incremental_day);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Criterion benches for the training hot path: one BPR epoch under varying
+//! factor counts, thread counts (Hogwild), and negative samplers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sigmund_core::prelude::*;
+use sigmund_datagen::RetailerSpec;
+use sigmund_types::*;
+
+fn workload() -> (sigmund_datagen::RetailerData, Dataset) {
+    let data = RetailerSpec::sized(RetailerId(0), 500, 700, 77).generate();
+    let ds = Dataset::build(data.catalog.len(), data.events.clone(), false);
+    (data, ds)
+}
+
+fn bench_epoch_by_factors(c: &mut Criterion) {
+    let (data, ds) = workload();
+    let mut group = c.benchmark_group("train_epoch_by_factors");
+    group.throughput(Throughput::Elements(ds.n_examples() as u64));
+    group.sample_size(10);
+    for factors in [8u32, 32, 128] {
+        let hp = HyperParams {
+            factors,
+            ..Default::default()
+        };
+        let model = BprModel::init(&data.catalog, hp.clone());
+        let sampler = NegativeSampler::new(hp.negative_sampler, &data.catalog, None);
+        let opts = TrainOptions {
+            epochs: 1,
+            threads: 1,
+            seed: 1,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(factors), &factors, |b, _| {
+            b.iter(|| train_epoch(&model, &data.catalog, &ds, &sampler, &opts, 0));
+        });
+    }
+    group.finish();
+}
+
+fn bench_epoch_by_threads(c: &mut Criterion) {
+    let (data, ds) = workload();
+    let mut group = c.benchmark_group("train_epoch_by_threads");
+    group.throughput(Throughput::Elements(ds.n_examples() as u64));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let hp = HyperParams {
+            factors: 32,
+            ..Default::default()
+        };
+        let model = BprModel::init(&data.catalog, hp.clone());
+        let sampler = NegativeSampler::new(hp.negative_sampler, &data.catalog, None);
+        let opts = TrainOptions {
+            epochs: 1,
+            threads,
+            seed: 1,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| train_epoch(&model, &data.catalog, &ds, &sampler, &opts, 0));
+        });
+    }
+    group.finish();
+}
+
+fn bench_epoch_by_sampler(c: &mut Criterion) {
+    let (data, ds) = workload();
+    let cooc = CoocModel::build(data.catalog.len(), &data.events, CoocConfig::default());
+    let exclusions = ExclusionIndex::from_cooc(&cooc);
+    let mut group = c.benchmark_group("train_epoch_by_sampler");
+    group.throughput(Throughput::Elements(ds.n_examples() as u64));
+    group.sample_size(10);
+    for kind in [
+        NegativeSamplerKind::UniformUnseen,
+        NegativeSamplerKind::TaxonomyAware,
+        NegativeSamplerKind::Adaptive,
+    ] {
+        let hp = HyperParams {
+            factors: 16,
+            negative_sampler: kind,
+            ..Default::default()
+        };
+        let model = BprModel::init(&data.catalog, hp.clone());
+        let sampler = NegativeSampler::new(kind, &data.catalog, Some(&exclusions));
+        let opts = TrainOptions {
+            epochs: 1,
+            threads: 1,
+            seed: 1,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, _| {
+                b.iter(|| train_epoch(&model, &data.catalog, &ds, &sampler, &opts, 0));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_checkpoint_roundtrip(c: &mut Criterion) {
+    let (data, _) = workload();
+    let hp = HyperParams {
+        factors: 32,
+        ..Default::default()
+    };
+    let model = BprModel::init(&data.catalog, hp);
+    c.bench_function("model_snapshot_capture_serialize", |b| {
+        b.iter(|| {
+            let snap = ModelSnapshot::capture(&model);
+            snap.to_bytes().len()
+        });
+    });
+    let bytes = ModelSnapshot::capture(&model).to_bytes();
+    c.bench_function("model_snapshot_parse_restore", |b| {
+        b.iter(|| {
+            ModelSnapshot::from_bytes(&bytes)
+                .unwrap()
+                .restore(&data.catalog, 0)
+                .unwrap()
+                .n_items()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_epoch_by_factors,
+    bench_epoch_by_threads,
+    bench_epoch_by_sampler,
+    bench_checkpoint_roundtrip
+);
+criterion_main!(benches);

@@ -1,0 +1,328 @@
+//! `report` — collates `results/*.jsonl` from previous experiment runs into
+//! one summary: which experiments have been run, their headline numbers, and
+//! whether each paper claim's *shape* held.
+//!
+//! ```sh
+//! cargo run --release -p sigmund-bench --bin report
+//! ```
+
+use serde_json::Value;
+use std::fs;
+use std::path::Path;
+
+/// One experiment's presence + headline verdict.
+struct Line {
+    id: &'static str,
+    file: &'static str,
+    claim: &'static str,
+    verdict: fn(&[Value]) -> Option<String>,
+}
+
+fn num(v: &Value, key: &str) -> Option<f64> {
+    v.get(key)?.as_f64()
+}
+
+fn s(v: &Value, key: &str) -> Option<String> {
+    Some(v.get(key)?.as_str()?.to_string())
+}
+
+fn find<'a>(rows: &'a [Value], key: &str, val: &str) -> Option<&'a Value> {
+    rows.iter().find(|r| s(r, key).as_deref() == Some(val))
+}
+
+fn lines() -> Vec<Line> {
+    vec![
+        Line {
+            id: "FIG6",
+            file: "fig6_tail_ctr",
+            claim: "tail CTR lift >> head CTR lift",
+            verdict: |rows| {
+                let tail = num(rows.first()?, "lift")?;
+                let head = num(rows.last()?, "lift")?;
+                Some(format!(
+                    "tail lift {tail:.3} vs head {head:.3} → {}",
+                    if tail > head { "HOLDS" } else { "FAILS" }
+                ))
+            },
+        },
+        Line {
+            id: "T1",
+            file: "t1_grid_spread",
+            claim: "random config up to ~100x worse",
+            verdict: |rows| {
+                let max = rows
+                    .iter()
+                    .filter_map(|r| num(r, "best_over_worst"))
+                    .fold(0.0f64, f64::max);
+                Some(format!("max best/worst {max:.0}x"))
+            },
+        },
+        Line {
+            id: "T2",
+            file: "t2_sampled_map",
+            claim: "10% sampled MAP preserves selection",
+            verdict: |rows| {
+                let exact: Vec<f64> = rows.iter().filter_map(|r| num(r, "exact_map")).collect();
+                let sampled: Vec<f64> =
+                    rows.iter().filter_map(|r| num(r, "sampled_map")).collect();
+                let argmax = |v: &[f64]| {
+                    v.iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                        .map(|(i, _)| i)
+                };
+                Some(format!(
+                    "same winner: {}",
+                    if argmax(&exact) == argmax(&sampled) {
+                        "HOLDS"
+                    } else {
+                        "FAILS"
+                    }
+                ))
+            },
+        },
+        Line {
+            id: "T3",
+            file: "t3_auc_vs_map",
+            claim: "MAP separates models; AUC compresses",
+            verdict: |rows| {
+                let big: Vec<&Value> = rows
+                    .iter()
+                    .filter(|r| num(r, "n_items") == Some(3000.0))
+                    .collect();
+                let (g, m) = (big.first()?, big.get(1)?);
+                let map_gap = (num(g, "map_at_10")? - num(m, "map_at_10")?)
+                    / num(g, "map_at_10")?;
+                let auc_gap = (num(g, "auc")? - num(m, "auc")?) / num(g, "auc")?;
+                Some(format!(
+                    "rel gaps: MAP {:.1}% vs AUC {:.1}% → {}",
+                    map_gap * 100.0,
+                    auc_gap * 100.0,
+                    if map_gap > auc_gap { "HOLDS" } else { "FAILS" }
+                ))
+            },
+        },
+        Line {
+            id: "T4",
+            file: "t4_incremental_summary",
+            claim: "warm start converges in fewer epochs",
+            verdict: |rows| {
+                let r = rows.first()?;
+                let warm = num(r, "warm_epochs_to_target");
+                let cold = num(r, "cold_epochs_to_target");
+                let show = |v: Option<f64>| {
+                    v.map_or("never".to_string(), |x| format!("{x:.0}"))
+                };
+                let holds = matches!((warm, cold), (Some(w), c)
+                    if c.is_none_or(|c| w <= c));
+                Some(format!(
+                    "warm {} vs cold {} epochs to bar → {}",
+                    show(warm),
+                    show(cold),
+                    if holds { "HOLDS" } else { "FAILS" }
+                ))
+            },
+        },
+        Line {
+            id: "T5",
+            file: "t5_preemptible_cost",
+            claim: "~70% discount survives with checkpoints",
+            verdict: |rows| {
+                let r = rows.iter().find(|r| {
+                    s(r, "variant").as_deref() == Some("preempt+ckpt")
+                        && num(r, "preempt_per_hour") == Some(1.0)
+                })?;
+                let ratio = num(r, "cost_vs_production")?;
+                Some(format!(
+                    "cost {:.0}% of production → {}",
+                    ratio * 100.0,
+                    if ratio < 0.4 { "HOLDS" } else { "FAILS" }
+                ))
+            },
+        },
+        Line {
+            id: "T6",
+            file: "t6_checkpoint",
+            claim: "time-interval checkpoints bound waste",
+            verdict: |rows| {
+                let waste = |p: &str| -> f64 {
+                    rows.iter()
+                        .filter(|r| s(r, "policy").as_deref() == Some(p))
+                        .filter_map(|r| num(r, "wasted_work"))
+                        .sum()
+                };
+                let t = waste("time: 300s");
+                let n = waste("none");
+                Some(format!(
+                    "wasted: time {t:.0} vs none {n:.0} → {}",
+                    if t < n { "HOLDS" } else { "FAILS" }
+                ))
+            },
+        },
+        Line {
+            id: "T7",
+            file: "t7_binpack",
+            claim: "greedy packing ~ideal makespan",
+            verdict: |rows| {
+                let g = rows.iter().find(|r| {
+                    s(r, "strategy").as_deref() == Some("greedy")
+                        && s(r, "cost_model").as_deref() == Some("linear")
+                })?;
+                let v = num(g, "vs_ideal")?;
+                Some(format!(
+                    "greedy at {v:.3}x ideal → {}",
+                    if v < 1.1 { "HOLDS" } else { "FAILS" }
+                ))
+            },
+        },
+        Line {
+            id: "T8",
+            file: "t8_hogwild",
+            claim: "Hogwild races cost ~no quality",
+            verdict: |rows| {
+                let one = find(rows, "threads", "1")
+                    .or_else(|| rows.iter().find(|r| num(r, "threads") == Some(1.0)))?;
+                let four = rows.iter().find(|r| num(r, "threads") == Some(4.0))?;
+                let loss = 1.0 - num(four, "map_at_10")? / num(one, "map_at_10")?;
+                Some(format!(
+                    "quality delta {:+.1}% → {}",
+                    loss * 100.0,
+                    if loss.abs() < 0.1 { "HOLDS" } else { "CHECK" }
+                ))
+            },
+        },
+        Line {
+            id: "T9",
+            file: "t9_candidates",
+            claim: "k=2 balances recall and cost",
+            verdict: |rows| {
+                let at = |k: f64| rows.iter().find(|r| num(r, "k") == Some(k));
+                let (k1, k2, k3) = (at(1.0)?, at(2.0)?, at(3.0)?);
+                let r1 = num(k1, "holdout_recall")?;
+                let r2 = num(k2, "holdout_recall")?;
+                let c2 = num(k2, "mean_candidates")?;
+                let c3 = num(k3, "mean_candidates")?;
+                Some(format!(
+                    "recall k1→k2 {:+.3} at {:.0}% of k3's cost",
+                    r2 - r1,
+                    c2 / c3 * 100.0
+                ))
+            },
+        },
+        Line {
+            id: "T10",
+            file: "t10_permutation",
+            claim: "permutation balances worker load",
+            verdict: |rows| {
+                let imb = |layout: &str| -> Option<f64> {
+                    rows.iter()
+                        .filter(|r| s(r, "layout").as_deref() == Some(layout))
+                        .filter_map(|r| num(r, "imbalance"))
+                        .reduce(f64::max)
+                };
+                let g = imb("grouped")?;
+                let p = imb("permuted")?;
+                Some(format!(
+                    "imbalance {g:.1} → {p:.1} → {}",
+                    if p < g { "HOLDS" } else { "FAILS" }
+                ))
+            },
+        },
+        Line {
+            id: "T11",
+            file: "t11_cold_start",
+            claim: "taxonomy fixes cold-item ranking",
+            verdict: |rows| {
+                let none = find(rows, "features", "none")?;
+                let tax = find(rows, "features", "taxonomy")?;
+                Some(format!(
+                    "cold AUC {:.3} → {:.3} → {}",
+                    num(none, "cold_auc")?,
+                    num(tax, "cold_auc")?,
+                    if num(tax, "cold_auc")? > num(none, "cold_auc")? {
+                        "HOLDS"
+                    } else {
+                        "FAILS"
+                    }
+                ))
+            },
+        },
+        Line {
+            id: "T12",
+            file: "t12_hybrid",
+            claim: "factorization wins tail; hybrid covers inventory",
+            verdict: |rows| {
+                let cooc = find(rows, "recommender", "cooc")?;
+                let bpr = find(rows, "recommender", "bpr")?;
+                let hybrid = find(rows, "recommender", "hybrid")?;
+                let tail_win =
+                    num(bpr, "tail_oracle_quality")? > num(cooc, "tail_oracle_quality")?;
+                let cov_win = num(hybrid, "coverage")? > num(cooc, "coverage")?;
+                Some(format!(
+                    "tail win: {tail_win}; coverage {:.0}% vs {:.0}% → {}",
+                    num(hybrid, "coverage")? * 100.0,
+                    num(cooc, "coverage")? * 100.0,
+                    if tail_win && cov_win { "HOLDS" } else { "CHECK" }
+                ))
+            },
+        },
+        Line {
+            id: "T13",
+            file: "t13_tuner",
+            claim: "halving ≈ grid quality at ~1/3 budget",
+            verdict: |rows| {
+                let h = find(rows, "strategy", "successive halving")?;
+                Some(format!(
+                    "{:.0}% of grid quality at {} epoch-units",
+                    num(h, "quality_vs_grid")? * 100.0,
+                    num(h, "epoch_budget")?
+                ))
+            },
+        },
+        Line {
+            id: "T14",
+            file: "t14_coscheduling",
+            claim: "threads beat co-scheduling under memory pressure",
+            verdict: |rows| {
+                let at = |pct: f64, d: &str| {
+                    rows.iter()
+                        .find(|r| {
+                            num(r, "large_share_pct") == Some(pct)
+                                && s(r, "design").as_deref() == Some(d)
+                        })
+                        .and_then(|r| num(r, "makespan"))
+                };
+                let threads = at(50.0, "1 task × 4 threads")?;
+                let cosched = at(50.0, "4 co-scheduled tasks")?;
+                Some(format!(
+                    "{:.2}x slower co-scheduled at 50% large → {}",
+                    cosched / threads,
+                    if cosched > threads { "HOLDS" } else { "FAILS" }
+                ))
+            },
+        },
+    ]
+}
+
+fn main() {
+    let dir = Path::new("results");
+    println!("\nSigmund reproduction — experiment status ({}/)\n", dir.display());
+    let mut ran = 0;
+    for line in lines() {
+        let path = dir.join(format!("{}.jsonl", line.file));
+        let status = match fs::read_to_string(&path) {
+            Err(_) => format!("NOT RUN (cargo run --release -p sigmund-bench --bin {})", line.file),
+            Ok(text) => {
+                let rows: Vec<Value> = text
+                    .lines()
+                    .filter(|l| !l.is_empty())
+                    .filter_map(|l| serde_json::from_str(l).ok())
+                    .collect();
+                ran += 1;
+                (line.verdict)(&rows).unwrap_or_else(|| "unparseable results".into())
+            }
+        };
+        println!("{:>5}  {:<48} {}", line.id, line.claim, status);
+    }
+    println!("\n{ran}/{} experiments have results on disk.", lines().len());
+}

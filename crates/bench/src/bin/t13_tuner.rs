@@ -1,0 +1,157 @@
+//! **T13 (extension)** — Section III-C1 points at Vizier-style black-box
+//! tuning as the upgrade path from plain grid search ("If we were to rebuild
+//! the hyperparameter search today…"). This ablation compares, at the same
+//! retailer and hold-out:
+//!
+//! * exhaustive grid search (the paper's production mechanism),
+//! * successive halving over the same configs (`sigmund_core::tuner`),
+//! * a random subset of the grid at the halving's epoch budget.
+//!
+//! The question Sigmund cares about: how much of the grid's quality does a
+//! cheaper search keep, per epoch-unit spent? (Remember §VII: "we pay for
+//! this search only once" — but a cheaper full sweep still shrinks the
+//! onboarding and periodic-restart bills.)
+//!
+//! ```sh
+//! cargo run --release -p sigmund-bench --bin t13_tuner
+//! ```
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::Serialize;
+use sigmund_bench::{f, write_results, Table};
+use sigmund_core::prelude::*;
+use sigmund_datagen::RetailerSpec;
+use sigmund_types::*;
+
+#[derive(Serialize)]
+struct T13Row {
+    strategy: String,
+    epoch_budget: u64,
+    best_map: f64,
+    quality_vs_grid: f64,
+    winner: String,
+}
+
+fn main() {
+    let mut spec = RetailerSpec::sized(RetailerId(0), 400, 500, 23);
+    spec.sessions_per_user = 2.5;
+    let data = spec.generate();
+    let ds = Dataset::build(data.catalog.len(), data.events.clone(), true);
+    let grid = GridSpec {
+        factors: vec![8, 16, 48],
+        learning_rates: vec![0.001, 0.05, 0.15],
+        regs: vec![(0.001, 0.001), (0.05, 0.05)],
+        features: vec![FeatureSwitches::NONE],
+        samplers: vec![NegativeSamplerKind::UniformUnseen],
+        seeds: vec![1],
+        epochs: 12,
+    };
+    let configs = grid.configs(&data.catalog);
+    let opts = SweepOptions {
+        threads: 4,
+        ..Default::default()
+    };
+    eprintln!("t13: {} configs, full grid = {} epoch-units", configs.len(), configs.len() * 12);
+
+    println!("\nT13 — hyper-parameter search strategies at a glance\n");
+    let table = Table::new(
+        &["strategy", "epoch budget", "best MAP", "vs grid", "winner"],
+        &[18, 12, 9, 8, 18],
+    );
+    let mut rows: Vec<T13Row> = Vec::new();
+
+    // 1. Exhaustive grid.
+    let full = grid_search(&data.catalog, &ds, &grid, &opts);
+    let grid_budget = (configs.len() as u64) * grid.epochs as u64;
+    let grid_map = full.best().metrics.map_at_10;
+    let push = |rows: &mut Vec<T13Row>,
+                table: &Table,
+                name: &str,
+                budget: u64,
+                map: f64,
+                hp: &HyperParams| {
+        table.print(&[
+            name.into(),
+            budget.to_string(),
+            f(map, 4),
+            f(map / grid_map, 3),
+            format!("F={} lr={}", hp.factors, hp.learning_rate),
+        ]);
+        rows.push(T13Row {
+            strategy: name.into(),
+            epoch_budget: budget,
+            best_map: map,
+            quality_vs_grid: map / grid_map,
+            winner: format!("F={} lr={}", hp.factors, hp.learning_rate),
+        });
+    };
+    push(&mut rows, &table, "grid (full)", grid_budget, grid_map, &full.best().hp);
+
+    // 2. Successive halving over the same configs.
+    let halving = successive_halving(
+        &data.catalog,
+        &ds,
+        configs.clone(),
+        &HalvingSchedule {
+            rung_epochs: vec![2, 4, 8],
+            keep_fraction: 1.0 / 3.0,
+        },
+        &opts,
+    );
+    push(
+        &mut rows,
+        &table,
+        "successive halving",
+        halving.epoch_budget_used,
+        halving.selection.best().metrics.map_at_10,
+        &halving.selection.best().hp,
+    );
+
+    // 3. Random subset of the grid, sized to the halving budget.
+    let n_random = ((halving.epoch_budget_used / grid.epochs as u64) as usize)
+        .clamp(1, configs.len());
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut shuffled = configs.clone();
+    shuffled.shuffle(&mut rng);
+    shuffled.truncate(n_random);
+    let random_grid_outcome: Vec<TrainedCandidate> = shuffled
+        .into_iter()
+        .map(|hp| {
+            let (model, metrics) = train_config(&data.catalog, &ds, &hp, grid.epochs, None, &opts);
+            let _ = model;
+            TrainedCandidate {
+                hp,
+                metrics,
+                snapshot: None,
+            }
+        })
+        .collect();
+    let best_random = random_grid_outcome
+        .iter()
+        .max_by(|a, b| {
+            a.metrics
+                .map_at_10
+                .partial_cmp(&b.metrics.map_at_10)
+                .unwrap()
+        })
+        .expect("non-empty");
+    push(
+        &mut rows,
+        &table,
+        "random subset",
+        n_random as u64 * grid.epochs as u64,
+        best_random.metrics.map_at_10,
+        &best_random.hp,
+    );
+
+    let h = &rows[1];
+    println!(
+        "\nsuccessive halving kept {:.0}% of grid quality at {:.0}% of its budget; \
+         the equal-budget random subset kept {:.0}%.",
+        h.quality_vs_grid * 100.0,
+        h.epoch_budget as f64 / grid_budget as f64 * 100.0,
+        rows[2].quality_vs_grid * 100.0
+    );
+    write_results("t13_tuner", &rows);
+}

@@ -1,0 +1,117 @@
+//! **T14 (ablation)** — Section IV-B2's scheduling design choice: "Instead of
+//! implementing a complex and brittle scheduling constraint, we chose to
+//! train only a single retailer on a physical machine at a time, and instead
+//! use multiple threads to train faster."
+//!
+//! The rejected alternative co-schedules several map tasks per machine
+//! (slots), which forces a memory-aware scheduler: two large models cannot
+//! share a 32 GB box, so slots sit idle exactly when the work is biggest.
+//! The chosen design runs one model with 4 Hogwild threads, shortening each
+//! task by the Amdahl factor instead.
+//!
+//! We compare the two designs on the same task mix and machine fleet, at
+//! increasing shares of large-memory models.
+//!
+//! ```sh
+//! cargo run --release -p sigmund-bench --bin t14_coscheduling
+//! ```
+
+use serde::Serialize;
+use sigmund_bench::{f, write_results, Table};
+use sigmund_cluster::{
+    CellSpec, CheckpointPolicy, ClusterSim, MachineSpec, PreemptionModel, Priority, TaskSpec,
+};
+use sigmund_pipeline::CostModel;
+use sigmund_types::{CellId, TaskId};
+
+#[derive(Serialize)]
+struct T14Row {
+    large_share_pct: u32,
+    design: String,
+    makespan: f64,
+}
+
+/// Builds the mix: `n` tasks, `large_share` of them 24 GB / long, the rest
+/// 4 GB / short. `work_scale` shortens tasks (thread speedup).
+fn mix(n: usize, large_share: f64, work_scale: f64) -> Vec<TaskSpec> {
+    (0..n)
+        .map(|i| {
+            let large = (i as f64) < large_share * n as f64;
+            TaskSpec {
+                id: TaskId(i as u32),
+                work: if large { 7200.0 } else { 600.0 } * work_scale,
+                memory_gb: if large { 24.0 } else { 4.0 },
+                priority: Priority::Preemptible,
+                checkpoint: CheckpointPolicy::TimeInterval(300.0),
+                iteration_work: 60.0,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let n_machines = 8;
+    let n_tasks = 48;
+    let cost = CostModel::default();
+    let thread_speedup = cost.thread_speedup(4);
+
+    println!(
+        "\nT14 — one-model-per-machine + 4 threads vs 4-slot co-scheduling \
+         ({n_tasks} tasks, {n_machines} × 32 GB machines, Amdahl(4) = {thread_speedup:.2})\n"
+    );
+    // Only makespan is comparable across the designs: Borg-style billing is
+    // per machine, and the simulator's per-task meter would double-count
+    // co-resident tasks.
+    let table = Table::new(&["% large models", "design", "makespan"], &[15, 22, 10]);
+    let mut rows = Vec::new();
+    for large_pct in [0u32, 25, 50] {
+        let share = large_pct as f64 / 100.0;
+        // Design A (Sigmund): 1 slot/machine, tasks shortened by threads.
+        let cell_a = CellSpec {
+            cell: CellId(0),
+            machines: n_machines,
+            machine: MachineSpec {
+                slots: 1,
+                memory_gb: 32.0,
+            },
+        };
+        let a = ClusterSim::new(cell_a, PreemptionModel::NONE, 1)
+            .run(&mix(n_tasks, share, 1.0 / thread_speedup));
+        // Design B (rejected): 4 slots/machine, single-threaded tasks, the
+        // memory-aware scheduler must keep co-resident models under 32 GB.
+        let cell_b = CellSpec {
+            cell: CellId(0),
+            machines: n_machines,
+            machine: MachineSpec {
+                slots: 4,
+                memory_gb: 32.0,
+            },
+        };
+        let b = ClusterSim::new(cell_b, PreemptionModel::NONE, 1).run(&mix(n_tasks, share, 1.0));
+        for (design, r) in [("1 task × 4 threads", &a), ("4 co-scheduled tasks", &b)] {
+            table.print(&[large_pct.to_string(), design.into(), f(r.makespan, 0)]);
+            rows.push(T14Row {
+                large_share_pct: large_pct,
+                design: design.into(),
+                makespan: r.makespan,
+            });
+        }
+        println!();
+    }
+
+    let get = |pct: u32, d: &str| {
+        rows.iter()
+            .find(|r| r.large_share_pct == pct && r.design == d)
+            .unwrap()
+            .makespan
+    };
+    println!(
+        "at 0% large models co-scheduling is competitive ({:.2}x); at 50% large models the \
+         memory wall makes it {:.2}x slower than Sigmund's threads-not-tasks design — and \
+         that is before counting the brittle footprint-estimation machinery the paper \
+         refused to build.",
+        get(0, "4 co-scheduled tasks") / get(0, "1 task × 4 threads"),
+        get(50, "4 co-scheduled tasks") / get(50, "1 task × 4 threads"),
+    );
+    write_results("t14_coscheduling", &rows);
+}

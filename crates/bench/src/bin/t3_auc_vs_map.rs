@@ -1,0 +1,91 @@
+//! **T3** — Section III-C2: why Sigmund selects by MAP@10 and disregards AUC:
+//! "for large merchants, the magnitude of the AUC difference between a good
+//! model and a mediocre one is very small (often in the fourth or fifth
+//! significant digit)" while AUC also weighs all rank positions equally.
+//!
+//! Train a good and a mediocre model on a large retailer and compare how each
+//! metric separates them.
+//!
+//! ```sh
+//! cargo run --release -p sigmund-bench --bin t3_auc_vs_map
+//! ```
+
+use serde::Serialize;
+use sigmund_bench::{f, write_results, Table};
+use sigmund_core::prelude::*;
+use sigmund_datagen::RetailerSpec;
+use sigmund_types::*;
+
+#[derive(Serialize)]
+struct T3Row {
+    n_items: usize,
+    model: String,
+    map_at_10: f64,
+    auc: f64,
+    ndcg_at_10: f64,
+}
+
+fn main() {
+    println!("\nT3 — metric discrimination: MAP@10 vs AUC, good vs mediocre model\n");
+    let table = Table::new(
+        &["items", "model", "MAP@10", "AUC", "nDCG@10"],
+        &[7, 10, 9, 9, 9],
+    );
+    let mut rows = Vec::new();
+    for (n_items, n_users, seed) in [(400usize, 500usize, 4u64), (3000, 2500, 5)] {
+        let data = RetailerSpec::sized(RetailerId(0), n_items, n_users, seed).generate();
+        let ds = Dataset::build(data.catalog.len(), data.events.clone(), true);
+        let opts = SweepOptions {
+            threads: 4,
+            ..Default::default()
+        };
+        let good_hp = HyperParams {
+            factors: 24,
+            learning_rate: 0.1,
+            epochs: 15,
+            ..Default::default()
+        };
+        // "Mediocre" = a reasonable but less-tuned model (fewer factors,
+        // shorter training), not a broken one — the regime where AUC stops
+        // discriminating but MAP@10 still does.
+        let mediocre_hp = HyperParams {
+            factors: 8,
+            learning_rate: 0.05,
+            epochs: 6,
+            ..Default::default()
+        };
+        for (name, hp) in [("good", good_hp), ("mediocre", mediocre_hp)] {
+            let (m, _) = train_config(&data.catalog, &ds, &hp, hp.epochs, None, &opts);
+            let metrics = evaluate(&m, &data.catalog, &ds, EvalConfig::default());
+            table.print(&[
+                n_items.to_string(),
+                name.into(),
+                f(metrics.map_at_10, 4),
+                format!("{:.6}", metrics.auc),
+                f(metrics.ndcg_at_10, 4),
+            ]);
+            rows.push(T3Row {
+                n_items,
+                model: name.into(),
+                map_at_10: metrics.map_at_10,
+                auc: metrics.auc,
+                ndcg_at_10: metrics.ndcg_at_10,
+            });
+        }
+    }
+
+    // Relative separations on the big retailer.
+    let big: Vec<&T3Row> = rows.iter().filter(|r| r.n_items == 3000).collect();
+    let (g, m) = (big[0], big[1]);
+    let rel = |a: f64, b: f64| (a - b).abs() / a.max(1e-12);
+    println!(
+        "\nlarge retailer: MAP@10 separates good/mediocre by {:.1}% relative, AUC by only \
+         {:.2}% (absolute AUC gap {:.4}). The paper reports the same failure mode — AUC \
+         differences between good and mediocre models land in the trailing significant \
+         digits and are 'difficult to interpret', so Sigmund selects by MAP@10.",
+        rel(g.map_at_10, m.map_at_10) * 100.0,
+        rel(g.auc, m.auc) * 100.0,
+        (g.auc - m.auc).abs()
+    );
+    write_results("t3_auc_vs_map", &rows);
+}

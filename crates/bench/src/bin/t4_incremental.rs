@@ -1,0 +1,136 @@
+//! **T4** — Section III-C3 / IV-A: incremental training. "The idea is to
+//! store the models from the previous day and continue training from there …
+//! incremental runs require much fewer iterations to converge", and only the
+//! top-K (3–5) most promising configs are retrained daily.
+//!
+//! Measures: (a) epochs needed to reach the full-run quality bar from a warm
+//! start vs from scratch; (b) quality of the incremental top-3 refresh vs
+//! re-running the whole grid; (c) the epoch budget saved.
+//!
+//! ```sh
+//! cargo run --release -p sigmund-bench --bin t4_incremental
+//! ```
+
+use serde::Serialize;
+use sigmund_bench::{f, write_results, Table};
+use sigmund_core::prelude::*;
+use sigmund_datagen::RetailerSpec;
+use sigmund_types::*;
+
+#[derive(Serialize)]
+struct T4Row {
+    epochs: u32,
+    warm_map: f64,
+    cold_map: f64,
+}
+
+#[derive(Serialize)]
+struct T4Summary {
+    target_map: f64,
+    warm_epochs_to_target: Option<u32>,
+    cold_epochs_to_target: Option<u32>,
+    full_grid_best_map: f64,
+    full_grid_epoch_budget: u64,
+    incremental_best_map: f64,
+    incremental_epoch_budget: u64,
+}
+
+fn main() {
+    // One retailer, one ground truth. "Yesterday" sees the first ~70% of
+    // each user's events; "today" sees everything — the paper's daily data
+    // refresh, where warm-starting from yesterday's parameters is supposed
+    // to converge in far fewer iterations.
+    let data = RetailerSpec::sized(RetailerId(0), 300, 400, 8).generate();
+    let mut day0_events = Vec::new();
+    {
+        use sigmund_types::per_user;
+        let mut sorted = data.events.clone();
+        sigmund_types::sort_for_training(&mut sorted);
+        for (_, evs) in per_user(&sorted) {
+            let cut = (evs.len() * 7) / 10;
+            day0_events.extend_from_slice(&evs[..cut]);
+        }
+    }
+    let ds = Dataset::build(data.catalog.len(), day0_events, true);
+    let opts = SweepOptions {
+        threads: 4,
+        keep_top: 3,
+        ..Default::default()
+    };
+
+    // Day-0 grid: establishes yesterday's models and the quality bar.
+    let grid = GridSpec {
+        factors: vec![8, 16, 32],
+        learning_rates: vec![0.05, 0.15],
+        regs: vec![(0.01, 0.01)],
+        features: vec![FeatureSwitches::NONE],
+        samplers: vec![NegativeSamplerKind::UniformUnseen],
+        seeds: vec![1],
+        epochs: 15,
+    };
+    eprintln!("t4: day-0 grid ({} configs × {} epochs)…", grid.configs(&data.catalog).len(), grid.epochs);
+    let day0 = grid_search(&data.catalog, &ds, &grid, &opts);
+    let best_hp = day0.best().hp.clone();
+    let snap = day0.best().snapshot.clone().expect("kept");
+
+    // (a) warm vs cold epochs-to-target on today's (full) data. The quality
+    // bar is 95% of what a full cold run achieves on *today's* hold-out.
+    let ds1 = Dataset::build(data.catalog.len(), data.events.clone(), true);
+    let (_, cold_full) = train_config(&data.catalog, &ds1, &best_hp, 15, None, &opts);
+    let bar = cold_full.map_at_10 * 0.95;
+
+    println!("\nT4 — warm-start vs cold-start MAP@10 by epoch (target bar {bar:.4})\n");
+    let table = Table::new(&["epochs", "warm MAP", "cold MAP"], &[7, 9, 9]);
+    let mut rows = Vec::new();
+    let mut warm_hit = None;
+    let mut cold_hit = None;
+    for epochs in [1u32, 2, 3, 5, 8, 12, 15] {
+        let (_, warm) = train_config(&data.catalog, &ds1, &best_hp, epochs, Some(&snap), &opts);
+        let (_, cold) = train_config(&data.catalog, &ds1, &best_hp, epochs, None, &opts);
+        if warm.map_at_10 >= bar && warm_hit.is_none() {
+            warm_hit = Some(epochs);
+        }
+        if cold.map_at_10 >= bar && cold_hit.is_none() {
+            cold_hit = Some(epochs);
+        }
+        table.print(&[epochs.to_string(), f(warm.map_at_10, 4), f(cold.map_at_10, 4)]);
+        rows.push(T4Row {
+            epochs,
+            warm_map: warm.map_at_10,
+            cold_map: cold.map_at_10,
+        });
+    }
+
+    // (b) incremental top-3 refresh vs full re-grid on today's data.
+    let incremental = incremental_refresh(&data.catalog, &ds1, &day0, 3, &opts);
+    let full_again = grid_search(&data.catalog, &ds1, &grid, &opts);
+    let inc_budget = (opts.keep_top as u64) * 3;
+    let full_budget = grid.configs(&data.catalog).len() as u64 * grid.epochs as u64;
+
+    println!(
+        "\nwarm start reaches the 95%-of-day-0 bar in {:?} epochs; cold start in {:?}.",
+        warm_hit, cold_hit
+    );
+    println!(
+        "incremental top-3 refresh: MAP {:.4} at {} epoch-units vs full re-grid {:.4} at {} \
+         ({}x cheaper)",
+        incremental.best().metrics.map_at_10,
+        inc_budget,
+        full_again.best().metrics.map_at_10,
+        full_budget,
+        full_budget / inc_budget.max(1)
+    );
+    write_results("t4_incremental", &rows);
+    write_results(
+        "t4_incremental_summary",
+        &[T4Summary {
+            target_map: bar,
+            warm_epochs_to_target: warm_hit,
+            cold_epochs_to_target: cold_hit,
+            full_grid_best_map: full_again.best().metrics.map_at_10,
+            full_grid_epoch_budget: full_budget,
+            incremental_best_map: incremental.best().metrics.map_at_10,
+            incremental_epoch_budget: inc_budget,
+        }],
+    );
+}

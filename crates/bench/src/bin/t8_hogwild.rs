@@ -1,0 +1,127 @@
+//! **T8** — Section IV-B2: Hogwild multi-threaded training. Sigmund trains
+//! one retailer per machine and uses threads (not co-scheduled tasks) to use
+//! the memory already allocated: "requesting CPUs to run additional training
+//! threads helps us make more efficient use of the memory already requested"
+//! — e.g. "four CPUs and 32GB rather than one CPU with 32GB".
+//!
+//! Measures real wall-clock training throughput vs thread count and checks
+//! that Hogwild races do not hurt hold-out quality.
+//!
+//! ```sh
+//! cargo run --release -p sigmund-bench --bin t8_hogwild
+//! ```
+
+use serde::Serialize;
+use sigmund_bench::{f, write_results, Table};
+use sigmund_core::prelude::*;
+use sigmund_datagen::RetailerSpec;
+use sigmund_types::*;
+use sigmund_pipeline::CostModel;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct T8Row {
+    threads: usize,
+    wall_seconds: f64,
+    examples_per_second: f64,
+    speedup: f64,
+    map_at_10: f64,
+}
+
+fn main() {
+    // Big enough that an epoch takes real time: ~2.5k items / 4k users.
+    let data = RetailerSpec::sized(RetailerId(0), 2500, 4000, 12).generate();
+    let ds = Dataset::build(data.catalog.len(), data.events.clone(), true);
+    eprintln!(
+        "t8: {} items, {} events, {} training examples",
+        data.catalog.len(),
+        data.events.len(),
+        ds.n_examples()
+    );
+
+    let hp = HyperParams {
+        factors: 32,
+        learning_rate: 0.1,
+        epochs: 4,
+        ..Default::default()
+    };
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "\nT8 — Hogwild training throughput vs threads ({} examples × {} epochs; host has {} core(s))\n",
+        ds.n_examples(),
+        hp.epochs,
+        cores
+    );
+    let cost = CostModel::default();
+    let table = Table::new(
+        &["threads", "wall (s)", "examples/s", "speedup", "amdahl", "MAP@10"],
+        &[7, 9, 12, 8, 7, 8],
+    );
+    let mut rows: Vec<T8Row> = Vec::new();
+    let mut base = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let model = BprModel::init(&data.catalog, hp.clone());
+        let sampler = NegativeSampler::new(hp.negative_sampler, &data.catalog, None);
+        let t0 = Instant::now();
+        let stats = train(
+            &model,
+            &data.catalog,
+            &ds,
+            &sampler,
+            TrainOptions {
+                epochs: hp.epochs,
+                threads,
+                seed: 3,
+            },
+        );
+        let wall = t0.elapsed().as_secs_f64();
+        let processed: u64 = stats.iter().map(|s| s.examples).sum();
+        let eps = processed as f64 / wall;
+        if threads == 1 {
+            base = wall;
+        }
+        let metrics = evaluate(&model, &data.catalog, &ds, EvalConfig::sampled_10pct());
+        table.print(&[
+            threads.to_string(),
+            f(wall, 2),
+            f(eps, 0),
+            f(base / wall, 2),
+            f(cost.thread_speedup(threads), 2),
+            f(metrics.map_at_10, 4),
+        ]);
+        rows.push(T8Row {
+            threads,
+            wall_seconds: wall,
+            examples_per_second: eps,
+            speedup: base / wall,
+            map_at_10: metrics.map_at_10,
+        });
+    }
+
+    let four = rows.iter().find(|r| r.threads == 4).unwrap();
+    let one = rows.iter().find(|r| r.threads == 1).unwrap();
+    println!(
+        "\n4 threads: measured {:.2}x vs 1 thread; MAP@10 {:.4} vs {:.4} (Hogwild races \
+         cost {:+.1}% quality — the lock-free claim).",
+        four.speedup,
+        four.map_at_10,
+        one.map_at_10,
+        (1.0 - four.map_at_10 / one.map_at_10.max(1e-9)) * 100.0
+    );
+    if cores < 2 {
+        println!(
+            "NOTE: this host exposes {cores} core(s), so wall-clock cannot scale; the \
+             'amdahl' column shows the speedup the pipeline's cost model credits multi-core \
+             machines (the paper's '4 CPUs + 32GB beats 1 CPU + 32GB')."
+        );
+    } else {
+        println!(
+            "paper claim: threads amortize the model's memory footprint — '4 CPUs + 32GB \
+             beats 1 CPU + 32GB'."
+        );
+    }
+    write_results("t8_hogwild", &rows);
+}

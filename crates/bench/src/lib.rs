@@ -1,0 +1,90 @@
+//! # sigmund-bench
+//!
+//! Experiment binaries (`src/bin/`) and Criterion benches (`benches/`)
+//! reproducing every figure and quantitative claim of the paper; see
+//! EXPERIMENTS.md for the experiment ↔ paper-claim index.
+//!
+//! This library holds the shared experiment harness: a tiny fixed-width
+//! table printer for human-readable output and a JSON-lines writer so each
+//! run leaves machine-readable results under `results/`.
+
+use serde::Serialize;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Prints a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// A simple experiment table: header + rows, all fixed width.
+pub struct Table {
+    widths: Vec<usize>,
+}
+
+impl Table {
+    /// Prints the header and remembers column widths.
+    pub fn new(headers: &[&str], widths: &[usize]) -> Self {
+        assert_eq!(headers.len(), widths.len());
+        let cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+        println!("{}", row(&cells, widths));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
+        Self {
+            widths: widths.to_vec(),
+        }
+    }
+
+    /// Prints one data row.
+    pub fn print(&self, cells: &[String]) {
+        println!("{}", row(cells, &self.widths));
+    }
+}
+
+/// Formats a float with the given precision.
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Writes experiment records as JSON lines under `results/<name>.jsonl`,
+/// creating the directory as needed. Returns the path written.
+pub fn write_results<T: Serialize>(name: &str, records: &[T]) -> PathBuf {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.jsonl"));
+    let mut out = fs::File::create(&path).expect("create results file");
+    for r in records {
+        let line = serde_json::to_string(r).expect("serialize record");
+        writeln!(out, "{line}").expect("write record");
+    }
+    println!(
+        "\n[results] wrote {} records to {}",
+        records.len(),
+        path.display()
+    );
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_is_right_aligned() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+
+    #[test]
+    fn f_formats_precision() {
+        assert_eq!(f(1.23456, 2), "1.23");
+    }
+}

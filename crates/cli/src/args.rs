@@ -1,0 +1,122 @@
+//! A tiny dependency-free flag parser: `--key value` pairs plus a leading
+//! subcommand. Strict: unknown flags are errors (fail fast beats silently
+//! ignoring a typo in an experiment sweep).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: subcommand + flag map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The first positional token (e.g. `simulate`).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    ///
+    /// # Errors
+    /// Returns a human-readable message for a missing subcommand, a flag
+    /// without a value, or a non-flag token in flag position.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, String> {
+        let mut it = argv.into_iter();
+        let command = it.next().ok_or("missing subcommand")?;
+        if command.starts_with("--") {
+            return Err(format!("expected a subcommand, got flag {command}"));
+        }
+        let mut flags = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(format!("expected --flag, got {tok}"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            if flags.insert(key.to_string(), value).is_some() {
+                return Err(format!("flag --{key} given twice"));
+            }
+        }
+        Ok(Self { command, flags })
+    }
+
+    /// A typed flag with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{key}: cannot parse {v:?}")),
+        }
+    }
+
+    /// A required string flag.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    /// Errors if any flag outside `allowed` was given (typo protection).
+    pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), String> {
+        for k in self.flags.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!(
+                    "unknown flag --{k} for `{}` (allowed: {})",
+                    self.command,
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = Args::parse(argv("simulate --retailers 5 --days 2")).unwrap();
+        assert_eq!(a.command, "simulate");
+        assert_eq!(a.get("retailers", 0usize).unwrap(), 5);
+        assert_eq!(a.get("days", 0u32).unwrap(), 2);
+        assert_eq!(a.get("missing", 7i64).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Args::parse(argv("")).is_err());
+        assert!(Args::parse(argv("--flag first")).is_err());
+        assert!(Args::parse(argv("cmd --dangling")).is_err());
+        assert!(Args::parse(argv("cmd stray")).is_err());
+        assert!(Args::parse(argv("cmd --a 1 --a 2")).is_err());
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let a = Args::parse(argv("cmd --n notanumber")).unwrap();
+        let e = a.get("n", 0usize).unwrap_err();
+        assert!(e.contains("--n"));
+    }
+
+    #[test]
+    fn unknown_flags_are_caught() {
+        let a = Args::parse(argv("cmd --good 1 --bad 2")).unwrap();
+        assert!(a.ensure_known(&["good"]).is_err());
+        assert!(a.ensure_known(&["good", "bad"]).is_ok());
+    }
+
+    #[test]
+    fn get_str_round_trips() {
+        let a = Args::parse(argv("cmd --name hello")).unwrap();
+        assert_eq!(a.get_str("name"), Some("hello"));
+        assert_eq!(a.get_str("other"), None);
+    }
+}

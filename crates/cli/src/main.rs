@@ -1,0 +1,318 @@
+//! `sigmund` — operator CLI for the reproduction.
+//!
+//! ```text
+//! sigmund simulate  --retailers 6 --days 3 --cells 2 --machines 6 \
+//!                   --preempt 0.25 --seed 7       # run the daily service
+//! sigmund train     --items 300 --users 400 --grid small --threads 4
+//! sigmund evolve    --items 150 --users 200 --days 3   # world churn demo
+//! sigmund help
+//! ```
+//!
+//! Everything is deterministic given `--seed`; output is plain text tables.
+
+mod args;
+
+use args::Args;
+use sigmund_cluster::{CellSpec, PreemptionModel};
+use sigmund_core::prelude::*;
+use sigmund_datagen::{evolve_day, EvolutionSpec, FleetSpec, RetailerSpec};
+use sigmund_pipeline::{MonitorConfig, PipelineConfig, QualityMonitor, SigmundService};
+use sigmund_types::{CellId, RetailerId};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `sigmund help` for usage");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(argv: Vec<String>) -> Result<(), String> {
+    if argv.is_empty() {
+        print_help();
+        return Ok(());
+    }
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "simulate" => simulate(&args),
+        "train" => train_cmd(&args),
+        "evolve" => evolve_cmd(&args),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "sigmund — multi-tenant recommendations-as-a-service (ICDE'18 reproduction)\n\n\
+         SUBCOMMANDS\n\
+         \x20 simulate   run the daily pipeline over a synthetic fleet\n\
+         \x20            --retailers N (6) --days D (2) --cells C (2) --machines M (6)\n\
+         \x20            --preempt RATE/task-hr (0.25) --min-items (30) --max-items (400)\n\
+         \x20            --seed S (7)\n\
+         \x20 train      grid-search one retailer and print recommendations\n\
+         \x20            --items N (300) --users U (400) --grid small|paper (small)\n\
+         \x20            --threads T (4) --seed S (42)\n\
+         \x20 evolve     show day-over-day catalog churn + incremental refresh\n\
+         \x20            --items N (150) --users U (200) --days D (3) --seed S (99)\n\
+         \x20 help       this text"
+    );
+}
+
+fn simulate(args: &Args) -> Result<(), String> {
+    args.ensure_known(&[
+        "retailers", "days", "cells", "machines", "preempt", "min-items", "max-items", "seed",
+    ])?;
+    let n_retailers: usize = args.get("retailers", 6)?;
+    let days: u32 = args.get("days", 2)?;
+    let cells: usize = args.get("cells", 2)?;
+    let machines: usize = args.get("machines", 6)?;
+    let preempt: f64 = args.get("preempt", 0.25)?;
+    let min_items: usize = args.get("min-items", 30)?;
+    let max_items: usize = args.get("max-items", 400)?;
+    let seed: u64 = args.get("seed", 7)?;
+    if n_retailers == 0 || days == 0 || cells == 0 || machines == 0 {
+        return Err("counts must be positive".into());
+    }
+
+    let fleet = FleetSpec {
+        n_retailers,
+        min_items,
+        max_items,
+        pareto_alpha: 1.0,
+        users_per_item: 1.2,
+        seed,
+    };
+    println!("generating {n_retailers} retailers…");
+    let data = fleet.generate();
+    let mut svc = SigmundService::new(PipelineConfig {
+        cells: (0..cells)
+            .map(|c| CellSpec::standard(CellId(c as u32), machines))
+            .collect(),
+        preemption: PreemptionModel {
+            rate_per_hour: preempt,
+        },
+        seed,
+        ..Default::default()
+    });
+    for d in &data {
+        println!(
+            "  onboarding {}: {} items, {} events",
+            d.retailer(),
+            d.catalog.len(),
+            d.events.len()
+        );
+        svc.onboard(&d.catalog, &d.events);
+    }
+
+    let mut monitor = QualityMonitor::new(MonitorConfig::default());
+    for _ in 0..days {
+        let onboarded = svc.retailers().to_vec();
+        let report = svc.run_day();
+        println!(
+            "\nday {}: {} models | train {:.2}s + infer {:.2}s (virtual) | cost {:.2} | \
+             {} pre-emptions",
+            report.day,
+            report.models_trained,
+            report.train_makespan,
+            report.infer_makespan,
+            report.cost.total_cost(),
+            report.preemptions
+        );
+        let mut rows: Vec<_> = report.best.iter().collect();
+        rows.sort_by_key(|(r, _)| r.0);
+        for (r, rec) in rows {
+            let m = rec.metrics.unwrap();
+            println!(
+                "  {r}: F={:<3} lr={:<5} MAP@10={:.4}{}",
+                rec.params.factors,
+                rec.params.learning_rate,
+                m.map_at_10,
+                if m.map_sampled { " (sampled)" } else { "" }
+            );
+        }
+        for alert in monitor.record_day(&onboarded, &report) {
+            println!("  ALERT: {alert:?}");
+        }
+    }
+    let (n, mean, worst) = monitor.fleet_summary();
+    println!("\nfleet: {n} retailers | mean MAP {mean:.4} | worst {worst:.4}");
+    Ok(())
+}
+
+fn train_cmd(args: &Args) -> Result<(), String> {
+    args.ensure_known(&["items", "users", "grid", "threads", "seed"])?;
+    let items: usize = args.get("items", 300)?;
+    let users: usize = args.get("users", 400)?;
+    let threads: usize = args.get("threads", 4)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let grid = match args.get_str("grid").unwrap_or("small") {
+        "small" => GridSpec::small(),
+        "paper" => GridSpec::paper_scale(),
+        other => return Err(format!("--grid must be small|paper, got {other}")),
+    };
+    if items == 0 || users == 0 {
+        return Err("counts must be positive".into());
+    }
+
+    let data = RetailerSpec::sized(RetailerId(0), items, users, seed).generate();
+    let ds = Dataset::build(data.catalog.len(), data.events.clone(), true);
+    println!(
+        "retailer: {} items, {} events, {} hold-out users; grid of {} configs",
+        data.catalog.len(),
+        data.events.len(),
+        ds.holdout.len(),
+        grid.configs(&data.catalog).len()
+    );
+    let outcome = grid_search(
+        &data.catalog,
+        &ds,
+        &grid,
+        &SweepOptions {
+            threads,
+            ..Default::default()
+        },
+    );
+    println!("top configs:");
+    for (i, c) in outcome.candidates.iter().take(5).enumerate() {
+        println!(
+            "  #{i}: F={:<3} lr={:<6} regV={:<6} tax={} brand={} → MAP@10 {:.4} AUC {:.4}",
+            c.hp.factors,
+            c.hp.learning_rate,
+            c.hp.reg_item,
+            c.hp.features.use_taxonomy,
+            c.hp.features.use_brand,
+            c.metrics.map_at_10,
+            c.metrics.auc
+        );
+    }
+
+    let model = outcome
+        .best()
+        .snapshot
+        .as_ref()
+        .expect("winner keeps its snapshot")
+        .restore(&data.catalog, 0)
+        .map_err(|e| e.to_string())?;
+    let cooc = CoocModel::build(data.catalog.len(), &data.events, CoocConfig::default());
+    let index = CandidateIndex::build(&data.catalog);
+    let rep = RepurchaseStats::estimate(&data.catalog, &data.events, 0.3);
+    let engine = InferenceEngine::new(&model, &data.catalog, &index, &cooc, &rep);
+    let hybrid = HybridPolicy::default();
+    println!("\nsample output for item #0:");
+    for (label, task) in [
+        ("substitutes ", RecTask::ViewBased),
+        ("complements ", RecTask::PurchaseBased),
+    ] {
+        let recs = hybrid.recommend(&cooc, &engine, sigmund_types::ItemId(0), task, 5);
+        println!(
+            "  {label}: {:?}",
+            recs.iter().map(|(i, _)| i.0).collect::<Vec<_>>()
+        );
+    }
+    Ok(())
+}
+
+fn evolve_cmd(args: &Args) -> Result<(), String> {
+    args.ensure_known(&["items", "users", "days", "seed"])?;
+    let items: usize = args.get("items", 150)?;
+    let users: usize = args.get("users", 200)?;
+    let days: u64 = args.get("days", 3)?;
+    let seed: u64 = args.get("seed", 99)?;
+    if items == 0 || users == 0 || days == 0 {
+        return Err("counts must be positive".into());
+    }
+
+    let mut world = RetailerSpec::sized(RetailerId(0), items, users, seed).generate();
+    let ds = Dataset::build(world.catalog.len(), world.events.clone(), true);
+    let opts = SweepOptions {
+        threads: 2,
+        keep_top: 3,
+        ..Default::default()
+    };
+    let mut outcome = grid_search(&world.catalog, &ds, &GridSpec::small(), &opts);
+    println!(
+        "day 0: {} items, {} events, best MAP@10 {:.4}",
+        world.catalog.len(),
+        world.events.len(),
+        outcome.best().metrics.map_at_10
+    );
+    for day in 1..=days {
+        let delta = evolve_day(
+            &mut world,
+            &EvolutionSpec {
+                seed: seed + day,
+                ..Default::default()
+            },
+        );
+        let ds = Dataset::build(world.catalog.len(), world.events.clone(), true);
+        outcome = incremental_refresh(&world.catalog, &ds, &outcome, 3, &opts);
+        println!(
+            "day {day}: +{} items / {} stockouts / {} repriced / +{} users / +{} events \
+             → MAP@10 {:.4}",
+            delta.new_items.len(),
+            delta.stockouts.len(),
+            delta.repriced.len(),
+            delta.new_users,
+            delta.new_events,
+            outcome.best().metrics.map_at_10
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn help_and_empty_are_ok() {
+        assert!(run(Vec::new()).is_ok());
+        assert!(run(argv("help")).is_ok());
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn bad_flags_error_before_any_work() {
+        assert!(run(argv("simulate --retailers nope")).is_err());
+        assert!(run(argv("simulate --bogus 1")).is_err());
+        assert!(run(argv("train --grid huge")).is_err());
+        assert!(run(argv("train --items 0")).is_err());
+        assert!(run(argv("evolve --days 0")).is_err());
+    }
+
+    #[test]
+    fn tiny_simulate_runs_end_to_end() {
+        run(argv(
+            "simulate --retailers 2 --days 1 --cells 1 --machines 2 \
+             --min-items 20 --max-items 40 --preempt 0 --seed 3",
+        ))
+        .expect("simulate should succeed");
+    }
+
+    #[test]
+    fn tiny_train_runs_end_to_end() {
+        run(argv("train --items 40 --users 50 --threads 1 --seed 3")).expect("train");
+    }
+
+    #[test]
+    fn tiny_evolve_runs_end_to_end() {
+        run(argv("evolve --items 40 --users 50 --days 1 --seed 3")).expect("evolve");
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # sigmund-cluster
+//!
+//! A Borg-like [11] discrete-event cluster simulator with pre-emptible VMs.
+//!
+//! The paper's systems story (Sections II-B, IV) rests on running training
+//! and inference as **low-priority, pre-emptible** tasks: "the cost advantage
+//! of this approach over using regular VMs can be nearly 70%. However, one
+//! needs to carefully consider the overheads from fault-tolerance and
+//! recovery mechanisms to understand if the application indeed benefits."
+//! This crate is the substrate that lets the repro *measure* that trade-off:
+//!
+//! * machines with memory capacity and task slots, grouped into cells;
+//! * a FIFO + backfill scheduler (one model per machine by default, matching
+//!   Section IV-B2's deliberate choice);
+//! * an exponential pre-emption hazard on pre-emptible tasks (production
+//!   priority is never pre-empted — that is what the higher price buys);
+//! * checkpoint policies (none / fixed **time** interval / fixed **iteration**
+//!   interval) determining how much work a pre-emption destroys;
+//! * cost metering at the published price ratio (pre-emptible ≈ 30% of
+//!   production).
+//!
+//! Everything runs in virtual time; nothing reads the wall clock.
+
+pub mod cost;
+pub mod machine;
+pub mod preempt;
+pub mod sim;
+
+pub use cost::{CostMeter, Priority, PREEMPTIBLE_RATE, PRODUCTION_RATE};
+pub use machine::{CellSpec, MachinePool, MachineSpec};
+pub use preempt::PreemptionModel;
+pub use sim::{CheckpointPolicy, ClusterSim, SimReport, TaskOutcome, TaskSpec};

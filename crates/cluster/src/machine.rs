@@ -1,0 +1,191 @@
+//! Machines, cells, and slot/memory tracking.
+//!
+//! Sigmund's deliberate choice (Section IV-B2) is to "train only a single
+//! retailer on a physical machine at a time, and instead use multiple threads
+//! to train faster" — so the default machine has one task slot, and the
+//! interesting capacity constraint is memory ("scheduling two large retailers
+//! on the same machine could exceed the available memory").
+
+use sigmund_types::{CellId, MachineId};
+
+/// Static description of one machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineSpec {
+    /// Concurrent task slots (Sigmund uses 1).
+    pub slots: u32,
+    /// Memory capacity in GB.
+    pub memory_gb: f64,
+}
+
+impl MachineSpec {
+    /// The paper's sweet spot: "four CPUs and 32GB".
+    pub fn standard() -> Self {
+        Self {
+            slots: 1,
+            memory_gb: 32.0,
+        }
+    }
+}
+
+/// A data center: a homogeneous bank of machines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpec {
+    /// The cell's identity.
+    pub cell: CellId,
+    /// Number of machines.
+    pub machines: usize,
+    /// Per-machine shape.
+    pub machine: MachineSpec,
+}
+
+impl CellSpec {
+    /// `machines` standard machines in `cell`.
+    pub fn standard(cell: CellId, machines: usize) -> Self {
+        Self {
+            cell,
+            machines,
+            machine: MachineSpec::standard(),
+        }
+    }
+}
+
+/// Mutable slot/memory occupancy for one cell's machines.
+#[derive(Debug, Clone)]
+pub struct MachinePool {
+    spec: CellSpec,
+    free_slots: Vec<u32>,
+    free_mem: Vec<f64>,
+}
+
+impl MachinePool {
+    /// All machines idle.
+    pub fn new(spec: CellSpec) -> Self {
+        let free_slots = vec![spec.machine.slots; spec.machines];
+        let free_mem = vec![spec.machine.memory_gb; spec.machines];
+        Self {
+            spec,
+            free_slots,
+            free_mem,
+        }
+    }
+
+    /// The cell this pool belongs to.
+    pub fn cell(&self) -> CellId {
+        self.spec.cell
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.free_slots.len()
+    }
+
+    /// True iff the pool has no machines.
+    pub fn is_empty(&self) -> bool {
+        self.free_slots.is_empty()
+    }
+
+    /// Can this pool *ever* host a task needing `memory_gb` (capacity check,
+    /// ignoring current occupancy)?
+    pub fn can_ever_fit(&self, memory_gb: f64) -> bool {
+        !self.is_empty() && memory_gb <= self.spec.machine.memory_gb
+    }
+
+    /// First-fit placement: occupies one slot and `memory_gb` on the first
+    /// machine with room. Returns the machine, or `None` if nothing fits now.
+    pub fn try_place(&mut self, memory_gb: f64) -> Option<MachineId> {
+        for m in 0..self.free_slots.len() {
+            if self.free_slots[m] > 0 && self.free_mem[m] >= memory_gb {
+                self.free_slots[m] -= 1;
+                self.free_mem[m] -= memory_gb;
+                return Some(MachineId::from_index(m));
+            }
+        }
+        None
+    }
+
+    /// Releases a previously placed task's slot and memory.
+    ///
+    /// # Panics
+    /// Panics if the release does not match a prior placement.
+    pub fn release(&mut self, machine: MachineId, memory_gb: f64) {
+        let m = machine.index();
+        self.free_slots[m] += 1;
+        self.free_mem[m] += memory_gb;
+        assert!(
+            self.free_slots[m] <= self.spec.machine.slots,
+            "slot over-release on {machine}"
+        );
+        assert!(
+            self.free_mem[m] <= self.spec.machine.memory_gb + 1e-9,
+            "memory over-release on {machine}"
+        );
+    }
+
+    /// Total free slots across machines.
+    pub fn free_slot_count(&self) -> u32 {
+        self.free_slots.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(machines: usize, slots: u32, mem: f64) -> MachinePool {
+        MachinePool::new(CellSpec {
+            cell: CellId(0),
+            machines,
+            machine: MachineSpec {
+                slots,
+                memory_gb: mem,
+            },
+        })
+    }
+
+    #[test]
+    fn first_fit_place_and_release() {
+        let mut p = pool(2, 1, 32.0);
+        let a = p.try_place(10.0).unwrap();
+        assert_eq!(a, MachineId(0));
+        let b = p.try_place(10.0).unwrap();
+        assert_eq!(b, MachineId(1), "one slot per machine");
+        assert!(p.try_place(1.0).is_none());
+        p.release(a, 10.0);
+        assert_eq!(p.try_place(5.0), Some(MachineId(0)));
+    }
+
+    #[test]
+    fn memory_constrains_placement() {
+        let mut p = pool(1, 4, 32.0);
+        assert!(p.try_place(20.0).is_some());
+        // Second large task does not fit in memory despite free slots.
+        assert!(p.try_place(20.0).is_none());
+        assert!(p.try_place(10.0).is_some());
+    }
+
+    #[test]
+    fn can_ever_fit_is_a_capacity_check() {
+        let mut p = pool(1, 1, 32.0);
+        assert!(p.can_ever_fit(32.0));
+        assert!(!p.can_ever_fit(33.0));
+        let m = p.try_place(32.0).unwrap();
+        // Still *ever* fits even while fully occupied.
+        assert!(p.can_ever_fit(32.0));
+        p.release(m, 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot over-release")]
+    fn over_release_is_detected() {
+        let mut p = pool(1, 1, 32.0);
+        p.release(MachineId(0), 0.0);
+    }
+
+    #[test]
+    fn free_slot_count_tracks() {
+        let mut p = pool(3, 2, 8.0);
+        assert_eq!(p.free_slot_count(), 6);
+        p.try_place(1.0).unwrap();
+        assert_eq!(p.free_slot_count(), 5);
+    }
+}

@@ -1,0 +1,91 @@
+//! Pre-emption hazard model.
+//!
+//! Low-priority VMs "can be torn down (pre-empted) with a much higher
+//! probability. When new requests arrive, the cluster management algorithm
+//! may schedule a regular VM by pre-empting low-priority VMs on a shared
+//! machine." We model arrivals of such displacements as a Poisson process on
+//! each *running pre-emptible task*: time-to-pre-emption is exponential with
+//! a configurable rate.
+
+use crate::cost::Priority;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Exponential pre-emption hazard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreemptionModel {
+    /// Expected pre-emptions per task-hour of pre-emptible runtime.
+    /// 0 disables pre-emption entirely.
+    pub rate_per_hour: f64,
+}
+
+impl PreemptionModel {
+    /// No pre-emptions.
+    pub const NONE: PreemptionModel = PreemptionModel { rate_per_hour: 0.0 };
+
+    /// A typical public-cloud-ish hazard: about one pre-emption per
+    /// 4 task-hours.
+    pub fn typical() -> Self {
+        Self {
+            rate_per_hour: 0.25,
+        }
+    }
+
+    /// Samples the virtual seconds until this attempt is pre-empted, or
+    /// `None` if it never will be (production priority or zero rate).
+    pub fn sample(&self, priority: Priority, rng: &mut StdRng) -> Option<f64> {
+        if priority == Priority::Production || self.rate_per_hour <= 0.0 {
+            return None;
+        }
+        let rate_per_sec = self.rate_per_hour / 3600.0;
+        let u: f64 = rng.random::<f64>().max(1e-15);
+        Some(-u.ln() / rate_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_is_never_preempted() {
+        let m = PreemptionModel::typical();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(m.sample(Priority::Production, &mut rng), None);
+        }
+    }
+
+    #[test]
+    fn zero_rate_disables() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(
+            PreemptionModel::NONE.sample(Priority::Preemptible, &mut rng),
+            None
+        );
+    }
+
+    #[test]
+    fn mean_matches_rate() {
+        let m = PreemptionModel { rate_per_hour: 1.0 }; // mean 3600 s
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| m.sample(Priority::Preemptible, &mut rng).unwrap())
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean - 3600.0).abs() < 100.0,
+            "empirical mean {mean} should be ~3600"
+        );
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let m = PreemptionModel { rate_per_hour: 10.0 };
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(m.sample(Priority::Preemptible, &mut rng).unwrap() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! The discrete-event scheduling simulator for one cell.
+//!
+//! Tasks carry virtual *work* (CPU-seconds). Each running attempt either
+//! finishes or is cut short by a sampled pre-emption; progress survives only
+//! up to the last checkpoint boundary (Section IV-B3). The simulator reports
+//! makespan, per-task attempts/waste, checkpoint counts, and metered cost —
+//! the raw material for experiments T5 (pre-emptible economics) and T6
+//! (time- vs iteration-based checkpointing).
+
+use crate::cost::{CostMeter, Priority};
+use crate::machine::{CellSpec, MachinePool};
+use crate::preempt::PreemptionModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sigmund_types::{MachineId, TaskId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// When checkpoints are written during a task (Section IV-B3: Sigmund chose
+/// fixed **time** intervals because per-iteration time varies wildly across
+/// retailers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckpointPolicy {
+    /// Never checkpoint: a pre-emption loses the whole attempt.
+    None,
+    /// Checkpoint every `interval` virtual seconds of progress.
+    TimeInterval(f64),
+    /// Checkpoint every `n` iterations (the alternative the paper rejected);
+    /// real elapsed interval = `n × iteration_work`.
+    EveryIterations(u64),
+}
+
+impl CheckpointPolicy {
+    /// Progress between checkpoints, in work-seconds; `f64::INFINITY` for
+    /// [`CheckpointPolicy::None`].
+    pub fn interval_work(&self, iteration_work: f64) -> f64 {
+        match *self {
+            CheckpointPolicy::None => f64::INFINITY,
+            CheckpointPolicy::TimeInterval(s) => {
+                assert!(s > 0.0, "checkpoint interval must be positive");
+                s
+            }
+            CheckpointPolicy::EveryIterations(n) => {
+                assert!(n > 0, "iteration interval must be positive");
+                n as f64 * iteration_work
+            }
+        }
+    }
+}
+
+/// One task to simulate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSpec {
+    /// Task identity.
+    pub id: TaskId,
+    /// Useful work, in virtual CPU-seconds.
+    pub work: f64,
+    /// Memory footprint in GB (a whole model must fit on one machine).
+    pub memory_gb: f64,
+    /// Priority / price class.
+    pub priority: Priority,
+    /// Checkpointing policy.
+    pub checkpoint: CheckpointPolicy,
+    /// Virtual seconds per training iteration (drives iteration-based
+    /// checkpoint spacing; irrelevant for the other policies).
+    pub iteration_work: f64,
+}
+
+impl TaskSpec {
+    /// A pre-emptible task with time-interval checkpointing — Sigmund's
+    /// production configuration.
+    pub fn sigmund_default(id: TaskId, work: f64, memory_gb: f64) -> Self {
+        Self {
+            id,
+            work,
+            memory_gb,
+            priority: Priority::Preemptible,
+            checkpoint: CheckpointPolicy::TimeInterval(300.0),
+            iteration_work: 1.0,
+        }
+    }
+}
+
+/// Per-task simulation result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskOutcome {
+    /// Task identity.
+    pub id: TaskId,
+    /// Virtual completion time.
+    pub finish: f64,
+    /// Attempts used (1 = never pre-empted).
+    pub attempts: u32,
+    /// Work-seconds destroyed by pre-emptions (progress past the last
+    /// checkpoint at the moment of the kill).
+    pub wasted_work: f64,
+    /// Total machine seconds consumed (useful + wasted + checkpoint
+    /// overhead).
+    pub cpu_seconds: f64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+}
+
+/// Whole-run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Time the last task finished (0 for an empty run).
+    pub makespan: f64,
+    /// Per-task outcomes, in completion order.
+    pub outcomes: Vec<TaskOutcome>,
+    /// Total pre-emptions.
+    pub preemptions: u64,
+    /// Total checkpoints written.
+    pub checkpoints: u64,
+    /// Metered cost.
+    pub cost: CostMeter,
+    /// Tasks that can never fit on any machine in the cell.
+    pub unschedulable: Vec<TaskId>,
+    /// Tasks abandoned after exhausting the retry budget.
+    pub failed: Vec<TaskId>,
+}
+
+/// The one-cell simulator.
+///
+/// ```
+/// use sigmund_cluster::{CellSpec, ClusterSim, PreemptionModel, TaskSpec};
+/// use sigmund_types::{CellId, TaskId};
+/// let sim = ClusterSim::new(CellSpec::standard(CellId(0), 2), PreemptionModel::NONE, 1);
+/// let tasks = vec![
+///     TaskSpec::sigmund_default(TaskId(0), 100.0, 8.0),
+///     TaskSpec::sigmund_default(TaskId(1), 50.0, 8.0),
+/// ];
+/// let report = sim.run(&tasks);
+/// assert_eq!(report.outcomes.len(), 2);
+/// assert!((report.makespan - 100.0).abs() < 1e-9); // two machines, parallel
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    /// The cell being simulated.
+    pub cell: CellSpec,
+    /// Pre-emption hazard.
+    pub preemption: PreemptionModel,
+    /// Seconds of overhead per checkpoint written (paper: "negligible";
+    /// default 0, settable for the T6 ablation).
+    pub checkpoint_overhead: f64,
+    /// Give up on a task after this many attempts (real clusters cap
+    /// retries; without checkpoints a long task under a high hazard would
+    /// otherwise retry ~e^(rate×work) times). `None` = retry forever.
+    pub max_attempts: Option<u32>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ClusterSim {
+    /// A simulator with no checkpoint overhead.
+    pub fn new(cell: CellSpec, preemption: PreemptionModel, seed: u64) -> Self {
+        Self {
+            cell,
+            preemption,
+            checkpoint_overhead: 0.0,
+            max_attempts: None,
+            seed,
+        }
+    }
+
+    /// Runs all tasks to completion and reports.
+    pub fn run(&self, tasks: &[TaskSpec]) -> SimReport {
+        let mut pool = MachinePool::new(self.cell.clone());
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Mutable per-task state.
+        struct St {
+            spec: TaskSpec,
+            progress: f64,
+            attempts: u32,
+            wasted: f64,
+            cpu: f64,
+            checkpoints: u64,
+        }
+        let mut state: Vec<St> = Vec::new();
+        let mut pending: VecDeque<usize> = VecDeque::new();
+        let mut unschedulable = Vec::new();
+        for t in tasks {
+            if !pool.can_ever_fit(t.memory_gb) {
+                unschedulable.push(t.id);
+                continue;
+            }
+            pending.push_back(state.len());
+            state.push(St {
+                spec: *t,
+                progress: 0.0,
+                attempts: 0,
+                wasted: 0.0,
+                cpu: 0.0,
+                checkpoints: 0,
+            });
+        }
+
+        // Event: attempt of `task` on `machine` stops at `time`; `completes`
+        // tells whether it finished or was pre-empted.
+        #[derive(Debug, Clone, Copy)]
+        struct Stop {
+            task: usize,
+            machine: MachineId,
+            elapsed: f64,
+            completes: bool,
+        }
+        let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        let mut stops: Vec<Stop> = Vec::new();
+        let mut seq = 0u64;
+        // Times are quantized to nanoseconds for a totally ordered heap key.
+        let quantize = |t: f64| -> u64 { (t * 1e9).round() as u64 };
+
+        let mut outcomes = Vec::new();
+        let mut failed: Vec<TaskId> = Vec::new();
+        let mut preemptions = 0u64;
+        let mut checkpoints_total = 0u64;
+        let mut cost = CostMeter::default();
+        let mut makespan = 0.0f64;
+
+        // Tries to start pending tasks at time `now` (first-fit backfill).
+        macro_rules! drain_pending {
+            ($now:expr) => {{
+                let mut still_pending = VecDeque::new();
+                while let Some(idx) = pending.pop_front() {
+                    let spec = state[idx].spec;
+                    match pool.try_place(spec.memory_gb) {
+                        Some(machine) => {
+                            let st = &mut state[idx];
+                            st.attempts += 1;
+                            let interval =
+                                spec.checkpoint.interval_work(spec.iteration_work);
+                            // Checkpoint overhead slows effective progress.
+                            let speed = if interval.is_finite() && self.checkpoint_overhead > 0.0
+                            {
+                                interval / (interval + self.checkpoint_overhead)
+                            } else {
+                                1.0
+                            };
+                            let remaining = spec.work - st.progress;
+                            let finish_after = remaining / speed;
+                            let preempt_after = self
+                                .preemption
+                                .sample(spec.priority, &mut rng)
+                                .unwrap_or(f64::INFINITY);
+                            let (elapsed, completes) = if preempt_after < finish_after {
+                                (preempt_after, false)
+                            } else {
+                                (finish_after, true)
+                            };
+                            stops.push(Stop {
+                                task: idx,
+                                machine,
+                                elapsed,
+                                completes,
+                            });
+                            heap.push(Reverse((quantize($now + elapsed), seq, stops.len() - 1)));
+                            seq += 1;
+                        }
+                        None => still_pending.push_back(idx),
+                    }
+                }
+                pending = still_pending;
+            }};
+        }
+
+        drain_pending!(0.0);
+
+        while let Some(Reverse((qt, _, stop_idx))) = heap.pop() {
+            let now = qt as f64 / 1e9;
+            let Stop {
+                task,
+                machine,
+                elapsed,
+                completes,
+            } = stops[stop_idx];
+            let spec = state[task].spec;
+            pool.release(machine, spec.memory_gb);
+            let interval = spec.checkpoint.interval_work(spec.iteration_work);
+            let speed = if interval.is_finite() && self.checkpoint_overhead > 0.0 {
+                interval / (interval + self.checkpoint_overhead)
+            } else {
+                1.0
+            };
+            let st = &mut state[task];
+            st.cpu += elapsed;
+            cost.charge(spec.priority, elapsed);
+            if completes {
+                // Count checkpoints crossed during this final attempt.
+                if interval.is_finite() {
+                    let crossed = (spec.work / interval).floor() - (st.progress / interval).floor();
+                    st.checkpoints += crossed as u64;
+                }
+                st.progress = spec.work;
+                makespan = makespan.max(now);
+                checkpoints_total += st.checkpoints;
+                outcomes.push(TaskOutcome {
+                    id: spec.id,
+                    finish: now,
+                    attempts: st.attempts,
+                    wasted_work: st.wasted,
+                    cpu_seconds: st.cpu,
+                    checkpoints: st.checkpoints,
+                });
+            } else {
+                preemptions += 1;
+                let attempted_progress = st.progress + elapsed * speed;
+                let saved = if interval.is_finite() {
+                    let s = (attempted_progress / interval).floor() * interval;
+                    s.max(st.progress)
+                } else {
+                    st.progress
+                };
+                if interval.is_finite() {
+                    let crossed =
+                        (saved / interval).floor() - (st.progress / interval).floor();
+                    st.checkpoints += crossed.max(0.0) as u64;
+                }
+                st.wasted += attempted_progress - saved;
+                st.progress = saved;
+                if self.max_attempts.is_some_and(|cap| st.attempts >= cap) {
+                    failed.push(spec.id);
+                } else {
+                    pending.push_back(task);
+                }
+            }
+            drain_pending!(now);
+        }
+
+        debug_assert!(pending.is_empty(), "deadlocked pending tasks");
+        outcomes.sort_by(|a, b| a.finish.partial_cmp(&b.finish).unwrap());
+        SimReport {
+            makespan,
+            outcomes,
+            preemptions,
+            checkpoints: checkpoints_total,
+            cost,
+            unschedulable,
+            failed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineSpec;
+    use sigmund_types::CellId;
+
+    fn cell(machines: usize) -> CellSpec {
+        CellSpec::standard(CellId(0), machines)
+    }
+
+    fn task(id: u32, work: f64) -> TaskSpec {
+        TaskSpec {
+            id: TaskId(id),
+            work,
+            memory_gb: 8.0,
+            priority: Priority::Preemptible,
+            checkpoint: CheckpointPolicy::None,
+            iteration_work: 1.0,
+        }
+    }
+
+    #[test]
+    fn no_preemption_serial_and_parallel_makespan() {
+        let sim = ClusterSim::new(cell(1), PreemptionModel::NONE, 1);
+        let tasks = vec![task(0, 100.0), task(1, 50.0)];
+        let r = sim.run(&tasks);
+        assert!((r.makespan - 150.0).abs() < 1e-6, "serial: {}", r.makespan);
+        let sim2 = ClusterSim::new(cell(2), PreemptionModel::NONE, 1);
+        let r2 = sim2.run(&tasks);
+        assert!((r2.makespan - 100.0).abs() < 1e-6, "parallel: {}", r2.makespan);
+        assert_eq!(r.preemptions, 0);
+        assert_eq!(r.outcomes.len(), 2);
+    }
+
+    #[test]
+    fn cost_includes_all_machine_time() {
+        let sim = ClusterSim::new(cell(2), PreemptionModel::NONE, 1);
+        let r = sim.run(&[task(0, 100.0), task(1, 50.0)]);
+        assert!((r.cost.preemptible_cpu_s - 150.0).abs() < 1e-6);
+        assert_eq!(r.cost.production_cpu_s, 0.0);
+    }
+
+    #[test]
+    fn preemption_without_checkpoints_wastes_work() {
+        // Very aggressive hazard: mean time to pre-emption 36 s versus 200 s
+        // of work: tasks need several attempts and waste a lot.
+        let sim = ClusterSim::new(
+            cell(1),
+            PreemptionModel {
+                rate_per_hour: 100.0,
+            },
+            7,
+        );
+        let r = sim.run(&[task(0, 200.0)]);
+        assert_eq!(r.outcomes.len(), 1);
+        let o = r.outcomes[0];
+        assert!(o.attempts > 1, "expected retries, got {}", o.attempts);
+        assert!(o.wasted_work > 0.0);
+        assert!(o.cpu_seconds >= 200.0);
+        assert!((o.cpu_seconds - (200.0 + o.wasted_work)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn checkpoints_bound_wasted_work() {
+        let hazard = PreemptionModel {
+            rate_per_hour: 100.0,
+        };
+        let mut t_nock = task(0, 500.0);
+        t_nock.checkpoint = CheckpointPolicy::None;
+        let mut t_ck = task(0, 500.0);
+        t_ck.checkpoint = CheckpointPolicy::TimeInterval(10.0);
+        let waste = |t: TaskSpec| {
+            let sim = ClusterSim::new(cell(1), hazard, 42);
+            sim.run(&[t]).outcomes[0].wasted_work
+        };
+        let w_none = waste(t_nock);
+        let w_ck = waste(t_ck);
+        assert!(
+            w_ck < w_none,
+            "checkpointing must reduce waste: {w_ck} vs {w_none}"
+        );
+        // With a 10 s interval each pre-emption wastes < 10 s.
+        let sim = ClusterSim::new(cell(1), hazard, 42);
+        let r = sim.run(&[t_ck]);
+        assert!(r.outcomes[0].wasted_work <= 10.0 * r.preemptions as f64 + 1e-6);
+        assert!(r.checkpoints > 0);
+    }
+
+    #[test]
+    fn iteration_policy_spacing_scales_with_iteration_work() {
+        // Same nominal "every 10 iterations", but the big retailer's
+        // iterations are 30x longer → checkpoints 30x sparser.
+        let mut small = task(0, 1000.0);
+        small.checkpoint = CheckpointPolicy::EveryIterations(10);
+        small.iteration_work = 1.0;
+        let mut big = task(1, 1000.0);
+        big.checkpoint = CheckpointPolicy::EveryIterations(10);
+        big.iteration_work = 30.0;
+        assert_eq!(small.checkpoint.interval_work(small.iteration_work), 10.0);
+        assert_eq!(big.checkpoint.interval_work(big.iteration_work), 300.0);
+    }
+
+    #[test]
+    fn production_tasks_never_preempted() {
+        let sim = ClusterSim::new(
+            cell(1),
+            PreemptionModel {
+                rate_per_hour: 1000.0,
+            },
+            3,
+        );
+        let mut t = task(0, 500.0);
+        t.priority = Priority::Production;
+        let r = sim.run(&[t]);
+        assert_eq!(r.preemptions, 0);
+        assert_eq!(r.outcomes[0].attempts, 1);
+        assert!(r.cost.production_cpu_s > 0.0);
+    }
+
+    #[test]
+    fn oversized_task_is_unschedulable() {
+        let spec = CellSpec {
+            cell: CellId(0),
+            machines: 1,
+            machine: MachineSpec {
+                slots: 1,
+                memory_gb: 16.0,
+            },
+        };
+        let sim = ClusterSim::new(spec, PreemptionModel::NONE, 1);
+        let mut t = task(0, 10.0);
+        t.memory_gb = 64.0;
+        let r = sim.run(&[t, task(1, 10.0)]);
+        assert_eq!(r.unschedulable, vec![TaskId(0)]);
+        assert_eq!(r.outcomes.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let hazard = PreemptionModel { rate_per_hour: 50.0 };
+        let tasks: Vec<TaskSpec> = (0..10).map(|i| task(i, 100.0 + i as f64)).collect();
+        let run = |seed| ClusterSim::new(cell(3), hazard, seed).run(&tasks);
+        assert_eq!(run(5), run(5));
+        assert!(run(5) != run(6) || run(5).preemptions == run(6).preemptions);
+    }
+
+    #[test]
+    fn checkpoint_overhead_slows_completion() {
+        let mut t = task(0, 100.0);
+        t.checkpoint = CheckpointPolicy::TimeInterval(10.0);
+        let mut sim = ClusterSim::new(cell(1), PreemptionModel::NONE, 1);
+        sim.checkpoint_overhead = 1.0; // 10% slowdown
+        let r = sim.run(&[t]);
+        assert!(
+            (r.makespan - 110.0).abs() < 1e-6,
+            "expected 10% overhead, got {}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn retry_cap_abandons_hopeless_tasks() {
+        // Mean time-to-kill 3.6 s versus 10 000 s of work and no
+        // checkpoints: the task can essentially never finish.
+        let mut sim = ClusterSim::new(
+            cell(1),
+            PreemptionModel {
+                rate_per_hour: 1000.0,
+            },
+            5,
+        );
+        sim.max_attempts = Some(20);
+        let r = sim.run(&[task(0, 10_000.0), task(1, 0.5)]);
+        assert_eq!(r.failed, vec![TaskId(0)]);
+        // The short task still completes.
+        assert_eq!(r.outcomes.len(), 1);
+        assert_eq!(r.outcomes[0].id, TaskId(1));
+        // Abandoned machine time was still paid for.
+        assert!(r.cost.total_cpu_s() > 0.0);
+    }
+
+    #[test]
+    fn empty_run() {
+        let sim = ClusterSim::new(cell(1), PreemptionModel::NONE, 1);
+        let r = sim.run(&[]);
+        assert_eq!(r.makespan, 0.0);
+        assert!(r.outcomes.is_empty());
+    }
+
+    #[test]
+    fn skewed_tasks_still_all_finish() {
+        // Heavy skew plus pre-emptions: everything must eventually complete.
+        let hazard = PreemptionModel { rate_per_hour: 20.0 };
+        let mut tasks: Vec<TaskSpec> = (0..20).map(|i| task(i, 10.0)).collect();
+        tasks.push({
+            let mut t = task(20, 5000.0);
+            t.checkpoint = CheckpointPolicy::TimeInterval(60.0);
+            t
+        });
+        let sim = ClusterSim::new(cell(4), hazard, 11);
+        let r = sim.run(&tasks);
+        assert_eq!(r.outcomes.len(), 21);
+    }
+}

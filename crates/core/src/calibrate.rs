@@ -1,0 +1,306 @@
+//! Relevance calibration — the paper's first future-work item (Section VII).
+//!
+//! "Our choice of a ranking objective function (like BPR) … makes it easy to
+//! produce a ranked list of recommendations, but it is difficult to estimate
+//! the absolute relevance of the recommendation, particularly if we want to
+//! make a decision on whether to display to the user. We are considering
+//! future approaches that combine the advantages of a BPR-style ranking
+//! objective with the ability to provide a relevance score that can be
+//! compared to a threshold."
+//!
+//! This module implements that combination with Platt scaling: a 1-D
+//! logistic regression `P(engaged) = σ(a·score + b)` fit on the hold-out
+//! set (positives = held-out items, negatives = sampled unseen items). The
+//! BPR ranking is untouched; the calibrated probability decides *whether* a
+//! slot is worth showing at all.
+
+use crate::dataset::Dataset;
+use crate::inference::RecList;
+use crate::model::BprModel;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use sigmund_types::{Catalog, ItemId};
+
+/// A fitted Platt scaler: `P = σ(a·score + b)`.
+///
+/// ```
+/// use sigmund_core::calibrate::PlattScaler;
+/// let pos = vec![2.0f32, 2.5, 3.0];
+/// let neg = vec![-2.0f32, -2.5, -3.0];
+/// let scaler = PlattScaler::fit(&pos, &neg);
+/// assert!(scaler.probability(3.0) > 0.8);
+/// assert!(scaler.probability(-3.0) < 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PlattScaler {
+    /// Slope (positive iff higher scores mean more relevant).
+    pub a: f64,
+    /// Intercept.
+    pub b: f64,
+}
+
+impl PlattScaler {
+    /// Fits by gradient descent on the logistic loss over labeled scores.
+    /// `positives` are scores of genuinely engaged items, `negatives` of
+    /// sampled non-engaged items.
+    ///
+    /// # Panics
+    /// Panics if either class is empty.
+    pub fn fit(positives: &[f32], negatives: &[f32]) -> Self {
+        assert!(
+            !positives.is_empty() && !negatives.is_empty(),
+            "need both classes to calibrate"
+        );
+        // Normalize scores for conditioning; fold normalization into (a, b).
+        let all: Vec<f64> = positives
+            .iter()
+            .chain(negatives.iter())
+            .map(|&s| s as f64)
+            .collect();
+        let mean = all.iter().sum::<f64>() / all.len() as f64;
+        let var = all.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / all.len() as f64;
+        let std = var.sqrt().max(1e-9);
+
+        let mut a = 1.0f64;
+        let mut b = 0.0f64;
+        let n_pos = positives.len() as f64;
+        let n_neg = negatives.len() as f64;
+        // Class-balanced logistic regression, plain GD (1-D problem: cheap
+        // and robust).
+        let lr = 0.5;
+        for _ in 0..200 {
+            let mut ga = 0.0;
+            let mut gb = 0.0;
+            for &s in positives {
+                let z = ((s as f64) - mean) / std;
+                let p = sigmoid(a * z + b);
+                ga += (p - 1.0) * z / n_pos;
+                gb += (p - 1.0) / n_pos;
+            }
+            for &s in negatives {
+                let z = ((s as f64) - mean) / std;
+                let p = sigmoid(a * z + b);
+                ga += p * z / n_neg;
+                gb += p / n_neg;
+            }
+            a -= lr * ga;
+            b -= lr * gb;
+        }
+        // Un-normalize: σ(a·(s−mean)/std + b) = σ((a/std)·s + (b − a·mean/std)).
+        Self {
+            a: a / std,
+            b: b - a * mean / std,
+        }
+    }
+
+    /// Calibrated relevance probability of a raw affinity score.
+    #[inline]
+    pub fn probability(&self, score: f32) -> f64 {
+        sigmoid(self.a * score as f64 + self.b)
+    }
+
+    /// Filters a recommendation list to entries whose calibrated relevance
+    /// reaches `threshold` — the display decision the paper wants to make.
+    pub fn filter(&self, recs: &RecList, threshold: f64) -> RecList {
+        recs.iter()
+            .copied()
+            .filter(|(_, s)| self.probability(*s) >= threshold)
+            .collect()
+    }
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// Fits a scaler on the model's hold-out set: positives are the held-out
+/// items' scores; negatives are `neg_per_pos` sampled unseen items per
+/// example. Returns `None` when the hold-out is empty.
+pub fn calibrate_on_holdout(
+    model: &BprModel,
+    catalog: &Catalog,
+    ds: &Dataset,
+    neg_per_pos: usize,
+    seed: u64,
+) -> Option<PlattScaler> {
+    if ds.holdout.is_empty() || ds.n_items < 2 {
+        return None;
+    }
+    let reps = model.materialize_item_reps(catalog);
+    let f = model.dim();
+    let mut weights = Vec::new();
+    let mut scratch = vec![0.0f32; f];
+    let mut user = vec![0.0f32; f];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for ex in &ds.holdout {
+        if ex.context.is_empty() {
+            continue;
+        }
+        model.user_embedding_into(catalog, &ex.context, &mut weights, &mut scratch, &mut user);
+        let s = reps.score(&user, ex.positive);
+        if !s.is_finite() {
+            continue;
+        }
+        pos.push(s);
+        for _ in 0..neg_per_pos {
+            for _ in 0..16 {
+                let j = ItemId(rng.random_range(0..ds.n_items as u32));
+                if j != ex.positive && !ds.is_seen(ex.user, j) {
+                    let sj = reps.score(&user, j);
+                    if sj.is_finite() {
+                        neg.push(sj);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    if pos.is_empty() || neg.is_empty() {
+        return None;
+    }
+    Some(PlattScaler::fit(&pos, &neg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::negative::NegativeSampler;
+    use crate::train::{train, TrainOptions};
+    use sigmund_types::{
+        ActionType, HyperParams, Interaction, ItemMeta, RetailerId, Taxonomy, UserId,
+    };
+
+    #[test]
+    fn fit_separable_classes_is_monotone_and_sharp() {
+        let pos: Vec<f32> = (0..50).map(|i| 2.0 + i as f32 * 0.01).collect();
+        let neg: Vec<f32> = (0..50).map(|i| -2.0 - i as f32 * 0.01).collect();
+        let sc = PlattScaler::fit(&pos, &neg);
+        assert!(sc.a > 0.0, "slope follows score direction");
+        assert!(sc.probability(3.0) > 0.9);
+        assert!(sc.probability(-3.0) < 0.1);
+        assert!(sc.probability(1.0) > sc.probability(0.0));
+    }
+
+    #[test]
+    fn fit_inverted_scores_learns_negative_slope() {
+        // If (pathologically) low scores mean relevant, calibration flips.
+        let pos: Vec<f32> = vec![-1.0; 30];
+        let neg: Vec<f32> = vec![1.0; 30];
+        let sc = PlattScaler::fit(&pos, &neg);
+        assert!(sc.a < 0.0);
+        assert!(sc.probability(-1.0) > sc.probability(1.0));
+    }
+
+    #[test]
+    fn overlapping_classes_give_calibrated_midpoint() {
+        // Same distribution → probability ≈ 0.5 everywhere near the mass.
+        let pos: Vec<f32> = (0..100).map(|i| (i % 10) as f32).collect();
+        let neg = pos.clone();
+        let sc = PlattScaler::fit(&pos, &neg);
+        let p = sc.probability(5.0);
+        assert!((p - 0.5).abs() < 0.1, "indistinguishable classes: {p}");
+    }
+
+    #[test]
+    fn filter_applies_threshold() {
+        let sc = PlattScaler { a: 1.0, b: 0.0 };
+        let recs: RecList = vec![(ItemId(0), 3.0), (ItemId(1), 0.0), (ItemId(2), -3.0)];
+        let kept = sc.filter(&recs, 0.5);
+        assert_eq!(kept.len(), 2); // σ(0)=0.5 keeps the middle one too
+        let strict = sc.filter(&recs, 0.9);
+        assert_eq!(strict, vec![(ItemId(0), 3.0)]);
+        assert!(sc.filter(&recs, 1.01).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "need both classes")]
+    fn fit_requires_both_classes() {
+        let _ = PlattScaler::fit(&[1.0], &[]);
+    }
+
+    /// End-to-end: calibrate a trained model and check the probabilities
+    /// separate held-out positives from random items.
+    #[test]
+    fn holdout_calibration_separates_positives() {
+        let mut t = Taxonomy::new();
+        let cat = t.add_child(t.root());
+        let mut catalog = Catalog::new(RetailerId(0), t);
+        for _ in 0..30 {
+            catalog.add_item(ItemMeta::bare(cat));
+        }
+        let mut events = Vec::new();
+        for u in 0..20u32 {
+            let base = (u % 2) * 15;
+            for s in 0..6u64 {
+                events.push(Interaction::new(
+                    UserId(u),
+                    ItemId(base + ((u / 2 + s as u32 * 3) % 15)),
+                    ActionType::View,
+                    s,
+                ));
+            }
+        }
+        let ds = Dataset::build(30, events, true);
+        let hp = HyperParams {
+            factors: 8,
+            epochs: 20,
+            ..Default::default()
+        };
+        let model = BprModel::init(&catalog, hp.clone());
+        let sampler = NegativeSampler::new(hp.negative_sampler, &catalog, None);
+        train(
+            &model,
+            &catalog,
+            &ds,
+            &sampler,
+            TrainOptions {
+                epochs: 20,
+                threads: 1,
+                seed: 2,
+            },
+        );
+        let sc = calibrate_on_holdout(&model, &catalog, &ds, 4, 9).expect("calibratable");
+        assert!(sc.a > 0.0, "trained model scores correlate with relevance");
+        // Positives should get higher mean probability than random items.
+        let reps = model.materialize_item_reps(&catalog);
+        let f = model.dim();
+        let (mut w, mut scr, mut u) = (Vec::new(), vec![0.0; f], vec![0.0; f]);
+        let mut p_pos = 0.0;
+        let mut p_rand = 0.0;
+        let mut n = 0.0;
+        for ex in &ds.holdout {
+            model.user_embedding_into(&catalog, &ex.context, &mut w, &mut scr, &mut u);
+            p_pos += sc.probability(reps.score(&u, ex.positive));
+            p_rand += sc.probability(reps.score(&u, ItemId((ex.positive.0 + 7) % 30)));
+            n += 1.0;
+        }
+        assert!(
+            p_pos / n > p_rand / n,
+            "calibrated positives {:.3} vs random {:.3}",
+            p_pos / n,
+            p_rand / n
+        );
+    }
+
+    #[test]
+    fn empty_holdout_returns_none() {
+        let mut t = Taxonomy::new();
+        let cat = t.add_child(t.root());
+        let mut catalog = Catalog::new(RetailerId(0), t);
+        for _ in 0..4 {
+            catalog.add_item(ItemMeta::bare(cat));
+        }
+        let ds = Dataset::build(4, Vec::new(), true);
+        let model = BprModel::init(
+            &catalog,
+            HyperParams {
+                factors: 2,
+                ..Default::default()
+            },
+        );
+        assert!(calibrate_on_holdout(&model, &catalog, &ds, 2, 1).is_none());
+    }
+}

@@ -1,0 +1,383 @@
+//! Item-item co-occurrence models with PMI scoring (Section III-E).
+//!
+//! "Item-item collaborative filtering methods and their variants based on PMI
+//! have been successfully used in the industry … They are simple, general,
+//! and very scalable." Sigmund uses them three ways: as the production
+//! recommender for *popular* items (the hybrid in `hybrid.rs`), as the
+//! baseline of Figure 6, and inside candidate selection (`cv(i)`/`cb(i)`).
+//!
+//! Co-views are counted within a sliding time window of a user's stream
+//! (views in the same shopping session); co-buys pair a user's conversions
+//! regardless of gap.
+
+use sigmund_types::{per_user, sort_for_training, ActionType, Interaction, ItemId};
+use std::collections::HashMap;
+
+/// Construction knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CoocConfig {
+    /// Two views co-occur when within this many virtual seconds.
+    pub view_window: u64,
+    /// Keep at most this many co-items per item.
+    pub top_m: usize,
+    /// Pairs seen fewer times are dropped (PMI is noisy at tiny counts).
+    pub min_count: u32,
+}
+
+impl Default for CoocConfig {
+    fn default() -> Self {
+        Self {
+            view_window: 5_000,
+            top_m: 50,
+            min_count: 2,
+        }
+    }
+}
+
+/// A scored co-occurring item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoItem {
+    /// The co-occurring item.
+    pub item: ItemId,
+    /// PMI score (higher = more strongly associated).
+    pub pmi: f32,
+    /// Raw pair count.
+    pub count: u32,
+}
+
+/// Item-item co-occurrence model: per-item top-M co-viewed and co-bought
+/// lists, PMI-ranked.
+///
+/// ```
+/// use sigmund_core::cooc::{CoocConfig, CoocModel};
+/// use sigmund_types::{ActionType, Interaction, ItemId, UserId};
+/// let mut events = Vec::new();
+/// for u in 0..3 {
+///     events.push(Interaction::new(UserId(u), ItemId(0), ActionType::View, 0));
+///     events.push(Interaction::new(UserId(u), ItemId(1), ActionType::View, 1));
+/// }
+/// let model = CoocModel::build(2, &events, CoocConfig::default());
+/// assert_eq!(model.recommend_substitutes(ItemId(0), 5)[0].0, ItemId(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoocModel {
+    co_view: Vec<Vec<CoItem>>,
+    co_buy: Vec<Vec<CoItem>>,
+    /// Per-item view counts (popularity; drives the hybrid head/tail split).
+    view_count: Vec<u32>,
+    buy_count: Vec<u32>,
+}
+
+impl CoocModel {
+    /// Builds the model from an interaction log.
+    pub fn build(n_items: usize, events: &[Interaction], cfg: CoocConfig) -> Self {
+        let mut events = events.to_vec();
+        sort_for_training(&mut events);
+
+        let mut view_count = vec![0u32; n_items];
+        let mut buy_count = vec![0u32; n_items];
+        let mut view_pairs: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut buy_pairs: HashMap<(u32, u32), u32> = HashMap::new();
+
+        for (_, evs) in per_user(&events) {
+            let views: Vec<&Interaction> = evs
+                .iter()
+                .filter(|e| e.action == ActionType::View)
+                .collect();
+            for (i, a) in views.iter().enumerate() {
+                view_count[a.item.index()] += 1;
+                for b in views[i + 1..].iter() {
+                    if b.when - a.when > cfg.view_window {
+                        break;
+                    }
+                    if a.item != b.item {
+                        *view_pairs.entry(key(a.item, b.item)).or_default() += 1;
+                    }
+                }
+            }
+            let buys: Vec<&Interaction> = evs
+                .iter()
+                .filter(|e| e.action == ActionType::Conversion)
+                .collect();
+            for (i, a) in buys.iter().enumerate() {
+                buy_count[a.item.index()] += 1;
+                for b in buys[i + 1..].iter() {
+                    if a.item != b.item {
+                        *buy_pairs.entry(key(a.item, b.item)).or_default() += 1;
+                    }
+                }
+            }
+        }
+
+        let co_view = rank_pairs(n_items, &view_pairs, &view_count, &cfg);
+        let co_buy = rank_pairs(n_items, &buy_pairs, &buy_count, &cfg);
+
+        Self {
+            co_view,
+            co_buy,
+            view_count,
+            buy_count,
+        }
+    }
+
+    /// Items co-viewed with `item` (`cv(i)`), PMI-descending.
+    #[inline]
+    pub fn co_viewed(&self, item: ItemId) -> &[CoItem] {
+        &self.co_view[item.index()]
+    }
+
+    /// Items co-bought with `item` (`cb(i)`), PMI-descending.
+    #[inline]
+    pub fn co_bought(&self, item: ItemId) -> &[CoItem] {
+        &self.co_buy[item.index()]
+    }
+
+    /// Number of views of `item` in the log (its popularity).
+    #[inline]
+    pub fn views_of(&self, item: ItemId) -> u32 {
+        self.view_count[item.index()]
+    }
+
+    /// Number of conversions of `item` in the log.
+    #[inline]
+    pub fn buys_of(&self, item: ItemId) -> u32 {
+        self.buy_count[item.index()]
+    }
+
+    /// Number of items the model covers.
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.view_count.len()
+    }
+
+    /// Top-`k` co-view recommendations for an item (the pure co-occurrence
+    /// recommender used as the Figure 6 baseline).
+    pub fn recommend_substitutes(&self, item: ItemId, k: usize) -> Vec<(ItemId, f32)> {
+        self.co_viewed(item)
+            .iter()
+            .take(k)
+            .map(|c| (c.item, c.pmi))
+            .collect()
+    }
+
+    /// Top-`k` co-buy recommendations (accessories/complements).
+    pub fn recommend_complements(&self, item: ItemId, k: usize) -> Vec<(ItemId, f32)> {
+        self.co_bought(item)
+            .iter()
+            .take(k)
+            .map(|c| (c.item, c.pmi))
+            .collect()
+    }
+}
+
+/// Symmetric pair key (smaller id first).
+#[inline]
+fn key(a: ItemId, b: ItemId) -> (u32, u32) {
+    if a.0 <= b.0 {
+        (a.0, b.0)
+    } else {
+        (b.0, a.0)
+    }
+}
+
+/// Converts raw pair counts into per-item PMI-ranked top-M lists.
+fn rank_pairs(
+    n_items: usize,
+    pairs: &HashMap<(u32, u32), u32>,
+    marginals: &[u32],
+    cfg: &CoocConfig,
+) -> Vec<Vec<CoItem>> {
+    let total: f64 = marginals.iter().map(|&c| c as f64).sum::<f64>().max(1.0);
+    let mut lists: Vec<Vec<CoItem>> = vec![Vec::new(); n_items];
+    for (&(a, b), &count) in pairs {
+        if count < cfg.min_count {
+            continue;
+        }
+        let pmi = ((count as f64 * total)
+            / (marginals[a as usize].max(1) as f64 * marginals[b as usize].max(1) as f64))
+            .ln() as f32;
+        lists[a as usize].push(CoItem {
+            item: ItemId(b),
+            pmi,
+            count,
+        });
+        lists[b as usize].push(CoItem {
+            item: ItemId(a),
+            pmi,
+            count,
+        });
+    }
+    for l in lists.iter_mut() {
+        l.sort_by(|x, y| {
+            y.pmi
+                .partial_cmp(&x.pmi)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(y.count.cmp(&x.count))
+                .then(x.item.cmp(&y.item))
+        });
+        l.truncate(cfg.top_m);
+    }
+    lists
+}
+
+/// A fast membership index over an item's co-occurring items, used to
+/// *exclude* them from negative sampling ("Exclude items that are highly
+/// co-bought/co-viewed items from negative item list", Section III-B3).
+#[derive(Debug, Clone)]
+pub struct ExclusionIndex {
+    per_item: Vec<Vec<u32>>,
+}
+
+impl ExclusionIndex {
+    /// Builds the index from a co-occurrence model.
+    pub fn from_cooc(cooc: &CoocModel) -> Self {
+        let n = cooc.n_items();
+        let mut per_item: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let item = ItemId::from_index(i);
+            let mut v: Vec<u32> = cooc
+                .co_viewed(item)
+                .iter()
+                .chain(cooc.co_bought(item).iter())
+                .map(|c| c.item.0)
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            per_item.push(v);
+        }
+        Self { per_item }
+    }
+
+    /// True iff `other` co-occurs with `item`.
+    #[inline]
+    pub fn excluded(&self, item: ItemId, other: ItemId) -> bool {
+        self.per_item[item.index()]
+            .binary_search(&other.0)
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmund_types::UserId;
+
+    fn ev(u: u32, i: u32, a: ActionType, t: u64) -> Interaction {
+        Interaction::new(UserId(u), ItemId(i), a, t)
+    }
+
+    /// Three users co-view items 0+1; one user views 0+2 far apart in time.
+    fn log() -> Vec<Interaction> {
+        let mut v = Vec::new();
+        for u in 0..3 {
+            v.push(ev(u, 0, ActionType::View, 10));
+            v.push(ev(u, 1, ActionType::View, 20));
+        }
+        v.push(ev(3, 0, ActionType::View, 10));
+        v.push(ev(3, 2, ActionType::View, 100_000)); // outside window
+        v
+    }
+
+    #[test]
+    fn co_view_counts_within_window() {
+        let m = CoocModel::build(3, &log(), CoocConfig::default());
+        let cv0 = m.co_viewed(ItemId(0));
+        assert_eq!(cv0.len(), 1);
+        assert_eq!(cv0[0].item, ItemId(1));
+        assert_eq!(cv0[0].count, 3);
+        // Item 2 never co-occurs within the window.
+        assert!(m.co_viewed(ItemId(2)).is_empty());
+    }
+
+    #[test]
+    fn symmetry() {
+        let m = CoocModel::build(3, &log(), CoocConfig::default());
+        assert_eq!(m.co_viewed(ItemId(1))[0].item, ItemId(0));
+    }
+
+    #[test]
+    fn min_count_filters_rare_pairs() {
+        let mut v = log();
+        // One extra user co-views 0+2 within the window (count 1 < min 2).
+        v.push(ev(4, 0, ActionType::View, 10));
+        v.push(ev(4, 2, ActionType::View, 20));
+        let m = CoocModel::build(3, &v, CoocConfig::default());
+        assert!(m.co_viewed(ItemId(2)).is_empty());
+        let relaxed = CoocModel::build(
+            3,
+            &v,
+            CoocConfig {
+                min_count: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(relaxed.co_viewed(ItemId(2)).len(), 1);
+    }
+
+    #[test]
+    fn co_buy_ignores_window() {
+        let v = vec![
+            ev(0, 0, ActionType::Conversion, 0),
+            ev(0, 1, ActionType::Conversion, 1_000_000),
+            ev(1, 0, ActionType::Conversion, 0),
+            ev(1, 1, ActionType::Conversion, 999),
+        ];
+        let m = CoocModel::build(2, &v, CoocConfig::default());
+        assert_eq!(m.co_bought(ItemId(0)).len(), 1);
+        assert_eq!(m.co_bought(ItemId(0))[0].count, 2);
+    }
+
+    #[test]
+    fn popularity_counts() {
+        let m = CoocModel::build(3, &log(), CoocConfig::default());
+        assert_eq!(m.views_of(ItemId(0)), 4);
+        assert_eq!(m.views_of(ItemId(1)), 3);
+        assert_eq!(m.buys_of(ItemId(0)), 0);
+    }
+
+    #[test]
+    fn pmi_prefers_specific_associations() {
+        // Item 0 is viewed by everyone (popular); items 1,2 are always viewed
+        // together. PMI of (1,2) should beat PMI of (0,1).
+        let mut v = Vec::new();
+        for u in 0..10 {
+            v.push(ev(u, 0, ActionType::View, 1));
+            if u < 3 {
+                v.push(ev(u, 1, ActionType::View, 2));
+                v.push(ev(u, 2, ActionType::View, 3));
+            }
+        }
+        let m = CoocModel::build(
+            3,
+            &v,
+            CoocConfig {
+                min_count: 2,
+                ..Default::default()
+            },
+        );
+        let cv1 = m.co_viewed(ItemId(1));
+        assert_eq!(cv1[0].item, ItemId(2), "specific pair ranks first: {cv1:?}");
+    }
+
+    #[test]
+    fn recommenders_cap_at_k() {
+        let m = CoocModel::build(3, &log(), CoocConfig::default());
+        assert_eq!(m.recommend_substitutes(ItemId(0), 10).len(), 1);
+        assert!(m.recommend_complements(ItemId(0), 10).is_empty());
+    }
+
+    #[test]
+    fn exclusion_index_membership() {
+        let m = CoocModel::build(3, &log(), CoocConfig::default());
+        let ex = ExclusionIndex::from_cooc(&m);
+        assert!(ex.excluded(ItemId(0), ItemId(1)));
+        assert!(!ex.excluded(ItemId(0), ItemId(2)));
+    }
+
+    #[test]
+    fn empty_log() {
+        let m = CoocModel::build(5, &[], CoocConfig::default());
+        assert!(m.co_viewed(ItemId(4)).is_empty());
+        assert_eq!(m.views_of(ItemId(0)), 0);
+    }
+}

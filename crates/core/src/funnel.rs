@@ -1,0 +1,244 @@
+//! Funnel-stage tailoring — the paper's second future-work item (Section
+//! VII).
+//!
+//! "The recommendations that are most useful for a casual shopper who's
+//! trying to explore options for a couch … are different from those for a
+//! user who knows they want a certain style of couch, which are in turn
+//! different from those for a user who has determined the exact couch she
+//! wants and is looking for matching accessories."
+//!
+//! We classify the context into three funnel stages from signals already in
+//! the event stream, and map each stage to a serving policy:
+//!
+//! | stage | signal | policy |
+//! |---|---|---|
+//! | Browsing (casual) | shallow actions scattered across categories | wide substitutes (lca₂ expansion) |
+//! | Focused | repeated/deep actions inside one category | narrow substitutes, same facet (lca₁ + facet) |
+//! | Accessorizing | recent cart/conversion | complements |
+
+use crate::candidates::CandidateSelector;
+use crate::inference::{InferenceEngine, RecList, RecTask};
+use crate::model::ContextEvent;
+use sigmund_types::{ActionType, Catalog};
+
+/// Where in the purchase funnel the context places the user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FunnelStage {
+    /// Exploring broadly; no strong focus yet.
+    Browsing,
+    /// Locked onto a category/product family (late funnel, pre-purchase).
+    Focused,
+    /// Just added to cart or purchased; shopping for complements.
+    Accessorizing,
+}
+
+/// How many trailing events the classifier inspects.
+const WINDOW: usize = 6;
+/// Share of the window inside one category that counts as "focused".
+const FOCUS_SHARE: f64 = 0.6;
+
+/// Classifies a context into a funnel stage.
+///
+/// Empty contexts are `Browsing` (a brand-new visitor).
+pub fn classify(catalog: &Catalog, context: &[ContextEvent]) -> FunnelStage {
+    let Some(&(_, last_action)) = context.last() else {
+        return FunnelStage::Browsing;
+    };
+    if matches!(last_action, ActionType::Cart | ActionType::Conversion) {
+        return FunnelStage::Accessorizing;
+    }
+    let from = context.len().saturating_sub(WINDOW);
+    let window = &context[from..];
+    // A search anywhere in the window is explicit intent; combined with
+    // category concentration it means the user knows what they want.
+    let searched = window.iter().any(|(_, a)| *a >= ActionType::Search);
+    let mut counts: Vec<(u32, usize)> = Vec::new();
+    for (item, _) in window {
+        let c = catalog.category(*item).0;
+        match counts.iter_mut().find(|(cat, _)| *cat == c) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((c, 1)),
+        }
+    }
+    let top = counts.iter().map(|(_, n)| *n).max().unwrap_or(0);
+    let share = top as f64 / window.len() as f64;
+    if share >= FOCUS_SHARE && (searched || window.len() >= 3) {
+        FunnelStage::Focused
+    } else {
+        FunnelStage::Browsing
+    }
+}
+
+/// The serving policy for a funnel stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagePolicy {
+    /// Which recommendation surface to serve.
+    pub task: RecTask,
+    /// LCA expansion for view-based candidates.
+    pub view_k: u32,
+    /// Constrain candidates to the query item's facet?
+    pub facet_constrained: bool,
+}
+
+impl FunnelStage {
+    /// The policy the stage maps to.
+    pub fn policy(self) -> StagePolicy {
+        match self {
+            FunnelStage::Browsing => StagePolicy {
+                task: RecTask::ViewBased,
+                view_k: 2,
+                facet_constrained: false,
+            },
+            FunnelStage::Focused => StagePolicy {
+                task: RecTask::ViewBased,
+                view_k: 1,
+                facet_constrained: true,
+            },
+            FunnelStage::Accessorizing => StagePolicy {
+                task: RecTask::PurchaseBased,
+                view_k: 1,
+                facet_constrained: false,
+            },
+        }
+    }
+}
+
+/// Stage-tailored recommendations: classify the context, derive the policy,
+/// and serve through the engine with a stage-appropriate selector.
+pub fn recommend_tailored(
+    engine: &InferenceEngine<'_>,
+    catalog: &Catalog,
+    context: &[ContextEvent],
+    k: usize,
+) -> (FunnelStage, RecList) {
+    let stage = classify(catalog, context);
+    let policy = stage.policy();
+    let selector = CandidateSelector {
+        view_k: policy.view_k,
+        ..Default::default()
+    };
+    let recs = engine.recommend_for_context_with(
+        context,
+        policy.task,
+        k,
+        &selector,
+        policy.facet_constrained,
+    );
+    (stage, recs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmund_types::{ItemId, ItemMeta, RetailerId, Taxonomy};
+
+    /// Two categories of 4 items each; items carry alternating facets.
+    fn catalog() -> Catalog {
+        let mut t = Taxonomy::new();
+        let a = t.add_child(t.root());
+        let b = t.add_child(t.root());
+        let mut c = Catalog::new(RetailerId(0), t);
+        for i in 0..8 {
+            c.add_item(ItemMeta {
+                category: if i < 4 { a } else { b },
+                brand: None,
+                price: None,
+                facet: Some(sigmund_types::FacetId(i % 2)),
+            });
+        }
+        c
+    }
+
+    fn view(i: u32) -> ContextEvent {
+        (ItemId(i), ActionType::View)
+    }
+
+    #[test]
+    fn empty_context_is_browsing() {
+        let c = catalog();
+        assert_eq!(classify(&c, &[]), FunnelStage::Browsing);
+    }
+
+    #[test]
+    fn scattered_views_are_browsing() {
+        let c = catalog();
+        let ctx = vec![view(0), view(5), view(1), view(6)];
+        assert_eq!(classify(&c, &ctx), FunnelStage::Browsing);
+    }
+
+    #[test]
+    fn concentrated_searching_is_focused() {
+        let c = catalog();
+        let ctx = vec![
+            view(0),
+            (ItemId(1), ActionType::Search),
+            view(2),
+            (ItemId(0), ActionType::Search),
+        ];
+        assert_eq!(classify(&c, &ctx), FunnelStage::Focused);
+    }
+
+    #[test]
+    fn recent_conversion_is_accessorizing() {
+        let c = catalog();
+        let ctx = vec![view(0), (ItemId(0), ActionType::Conversion)];
+        assert_eq!(classify(&c, &ctx), FunnelStage::Accessorizing);
+        let ctx2 = vec![view(0), (ItemId(0), ActionType::Cart)];
+        assert_eq!(classify(&c, &ctx2), FunnelStage::Accessorizing);
+    }
+
+    #[test]
+    fn conversion_followed_by_views_is_not_accessorizing() {
+        // The *last* action drives the post-purchase surface; if the user
+        // resumed browsing, serve substitutes again.
+        let c = catalog();
+        let ctx = vec![
+            (ItemId(0), ActionType::Conversion),
+            view(5),
+            view(6),
+            view(7),
+        ];
+        assert_ne!(classify(&c, &ctx), FunnelStage::Accessorizing);
+    }
+
+    #[test]
+    fn classifier_only_looks_at_recent_window() {
+        let c = catalog();
+        // Ancient scattered history + a recent burst in category b.
+        let mut ctx: Vec<ContextEvent> = (0..10).map(|i| view(i % 4)).collect();
+        ctx.extend([
+            (ItemId(5), ActionType::Search),
+            view(6),
+            view(5),
+            view(7),
+            (ItemId(6), ActionType::Search),
+            view(5),
+        ]);
+        assert_eq!(classify(&c, &ctx), FunnelStage::Focused);
+    }
+
+    #[test]
+    fn policies_differ_by_stage() {
+        assert_eq!(FunnelStage::Browsing.policy().view_k, 2);
+        assert!(!FunnelStage::Browsing.policy().facet_constrained);
+        assert_eq!(FunnelStage::Focused.policy().view_k, 1);
+        assert!(FunnelStage::Focused.policy().facet_constrained);
+        assert_eq!(
+            FunnelStage::Accessorizing.policy().task,
+            RecTask::PurchaseBased
+        );
+    }
+
+    #[test]
+    fn single_category_catalog_classifies_without_panic() {
+        let mut t = Taxonomy::new();
+        let a = t.add_child(t.root());
+        let mut c = Catalog::new(RetailerId(0), t);
+        for _ in 0..3 {
+            c.add_item(ItemMeta::bare(a));
+        }
+        let ctx = vec![view(0), view(1), view(2)];
+        // Everything is one category → trivially concentrated → focused.
+        assert_eq!(classify(&c, &ctx), FunnelStage::Focused);
+    }
+}

@@ -1,0 +1,167 @@
+//! The head/tail hybrid recommender (Sections III-E and VII).
+//!
+//! "Empirically we found that the best way to combine the co-occurrence
+//! models along with factorization is to use the co-occurrence model for the
+//! popular items (for which we have more data) and augment the
+//! recommendations for the tail items (more sparse) from factorization."
+//!
+//! Policy: items whose view count reaches `head_min_views` are *head* items —
+//! they get co-occurrence recommendations, back-filled from factorization if
+//! the list is short. Tail items get factorization recommendations,
+//! back-filled from whatever co-occurrence data exists.
+
+use crate::cooc::CoocModel;
+use crate::inference::{InferenceEngine, RecList, RecTask};
+use sigmund_types::ItemId;
+
+/// Head/tail split policy.
+#[derive(Debug, Clone, Copy)]
+pub struct HybridPolicy {
+    /// Minimum view count for an item to count as "head".
+    pub head_min_views: u32,
+}
+
+impl Default for HybridPolicy {
+    fn default() -> Self {
+        Self { head_min_views: 20 }
+    }
+}
+
+impl HybridPolicy {
+    /// Is the item in the popular head?
+    #[inline]
+    pub fn is_head(&self, cooc: &CoocModel, item: ItemId) -> bool {
+        cooc.views_of(item) >= self.head_min_views
+    }
+
+    /// Hybrid recommendations for `item`.
+    pub fn recommend(
+        &self,
+        cooc: &CoocModel,
+        engine: &InferenceEngine<'_>,
+        item: ItemId,
+        task: RecTask,
+        k: usize,
+    ) -> RecList {
+        let cooc_recs = match task {
+            RecTask::ViewBased => cooc.recommend_substitutes(item, k),
+            RecTask::PurchaseBased => cooc.recommend_complements(item, k),
+        };
+        let mf_recs = engine.recommend_for_item(item, task, k);
+        if self.is_head(cooc, item) {
+            merge(cooc_recs, mf_recs, k)
+        } else {
+            merge(mf_recs, cooc_recs, k)
+        }
+    }
+
+    /// Fraction of catalog items that receive at least one recommendation
+    /// under a recommender — the "coverage" the paper's conclusion talks
+    /// about ("allows us to cover a much larger fraction of the inventory").
+    pub fn coverage(recs_per_item: &[RecList]) -> f64 {
+        if recs_per_item.is_empty() {
+            return 0.0;
+        }
+        recs_per_item.iter().filter(|r| !r.is_empty()).count() as f64 / recs_per_item.len() as f64
+    }
+}
+
+/// `primary` followed by `secondary` items not already present, capped at
+/// `k`. Scores are kept from whichever list contributed the item.
+fn merge(primary: RecList, secondary: RecList, k: usize) -> RecList {
+    let mut out = primary;
+    out.truncate(k);
+    for (item, score) in secondary {
+        if out.len() >= k {
+            break;
+        }
+        if !out.iter().any(|(i, _)| *i == item) {
+            out.push((item, score));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{CandidateIndex, RepurchaseStats};
+    use crate::cooc::CoocConfig;
+    use crate::model::BprModel;
+    use sigmund_types::{
+        ActionType, Catalog, HyperParams, Interaction, ItemMeta, RetailerId, Taxonomy, UserId,
+    };
+
+    fn setup() -> (Catalog, CoocModel, CandidateIndex, RepurchaseStats) {
+        let mut t = Taxonomy::new();
+        let a = t.add_child(t.root());
+        let mut c = Catalog::new(RetailerId(0), t);
+        for _ in 0..6 {
+            c.add_item(ItemMeta::bare(a));
+        }
+        // Item 0 is popular (co-viewed with 1 by 30 users); item 5 is cold.
+        let mut evs = Vec::new();
+        for u in 0..30u32 {
+            evs.push(Interaction::new(UserId(u), ItemId(0), ActionType::View, 0));
+            evs.push(Interaction::new(UserId(u), ItemId(1), ActionType::View, 1));
+        }
+        let cooc = CoocModel::build(6, &evs, CoocConfig::default());
+        let index = CandidateIndex::build(&c);
+        let rep = RepurchaseStats::estimate(&c, &evs, 0.5);
+        (c, cooc, index, rep)
+    }
+
+    #[test]
+    fn merge_dedups_and_caps() {
+        let a = vec![(ItemId(1), 0.9), (ItemId(2), 0.8)];
+        let b = vec![(ItemId(2), 0.7), (ItemId(3), 0.6), (ItemId(4), 0.5)];
+        let m = merge(a, b, 3);
+        assert_eq!(
+            m.iter().map(|(i, _)| i.0).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn head_items_lead_with_cooc() {
+        let (c, cooc, index, rep) = setup();
+        let m = BprModel::init(
+            &c,
+            HyperParams {
+                factors: 4,
+                ..Default::default()
+            },
+        );
+        let eng = InferenceEngine::new(&m, &c, &index, &cooc, &rep);
+        let policy = HybridPolicy { head_min_views: 10 };
+        assert!(policy.is_head(&cooc, ItemId(0)));
+        let recs = policy.recommend(&cooc, &eng, ItemId(0), RecTask::ViewBased, 3);
+        // Co-occurrence's top pick for item 0 is item 1.
+        assert_eq!(recs[0].0, ItemId(1));
+    }
+
+    #[test]
+    fn tail_items_fall_back_to_factorization() {
+        let (c, cooc, index, rep) = setup();
+        let m = BprModel::init(
+            &c,
+            HyperParams {
+                factors: 4,
+                ..Default::default()
+            },
+        );
+        let eng = InferenceEngine::new(&m, &c, &index, &cooc, &rep);
+        let policy = HybridPolicy { head_min_views: 10 };
+        assert!(!policy.is_head(&cooc, ItemId(5)));
+        let recs = policy.recommend(&cooc, &eng, ItemId(5), RecTask::ViewBased, 3);
+        // Item 5 has no co-view data at all; recs must come from the model.
+        assert!(!recs.is_empty());
+    }
+
+    #[test]
+    fn coverage_counts_nonempty_lists() {
+        let lists = vec![vec![(ItemId(1), 1.0)], vec![], vec![(ItemId(2), 0.5)]];
+        assert!((HybridPolicy::coverage(&lists) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(HybridPolicy::coverage(&[]), 0.0);
+    }
+}

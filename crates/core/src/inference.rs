@@ -1,0 +1,331 @@
+//! Offline inference: materializing item → top-K recommendations
+//! (Sections III-D, IV-C).
+//!
+//! "An offline inference process materializes the recommendations for each
+//! item and retailer … in order to offset consuming more expensive CPU cycles
+//! at serving time." For every item we build the candidate set
+//! (`candidates.rs`), score the candidates with the factorization model using
+//! the item itself as the user context, and keep the top K. The cost is
+//! "roughly linearly proportional to the number of items" because candidate
+//! selection caps the per-item work — the pipeline's bin-packing experiment
+//! leans on exactly that property.
+
+use crate::candidates::{CandidateIndex, CandidateSelector, RepurchaseStats};
+use crate::cooc::CoocModel;
+use crate::model::{BprModel, ContextEvent};
+use sigmund_types::{ActionType, Catalog, ItemId};
+
+/// Which recommendation surface to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecTask {
+    /// Substitutes, shown before the purchase decision.
+    ViewBased,
+    /// Complements/accessories, shown after the purchase decision.
+    PurchaseBased,
+}
+
+/// A scored recommendation list (best first).
+pub type RecList = Vec<(ItemId, f32)>;
+
+/// Materialized recommendations for one item.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct ItemRecs {
+    /// Substitute recommendations.
+    pub view_based: RecList,
+    /// Complement recommendations.
+    pub purchase_based: RecList,
+}
+
+/// Per-retailer inference engine. Borrows all the per-retailer artifacts.
+pub struct InferenceEngine<'a> {
+    model: &'a BprModel,
+    catalog: &'a Catalog,
+    index: &'a CandidateIndex,
+    cooc: &'a CoocModel,
+    repurchase: &'a RepurchaseStats,
+    selector: CandidateSelector,
+    /// Candidates scored so far (cost accounting for the pipeline).
+    scored: std::cell::Cell<u64>,
+}
+
+impl<'a> InferenceEngine<'a> {
+    /// Creates an engine with the default selector.
+    pub fn new(
+        model: &'a BprModel,
+        catalog: &'a Catalog,
+        index: &'a CandidateIndex,
+        cooc: &'a CoocModel,
+        repurchase: &'a RepurchaseStats,
+    ) -> Self {
+        Self {
+            model,
+            catalog,
+            index,
+            cooc,
+            repurchase,
+            selector: CandidateSelector::default(),
+            scored: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Replaces the candidate selector (for the T9 k-sweep experiment).
+    pub fn with_selector(mut self, selector: CandidateSelector) -> Self {
+        self.selector = selector;
+        self
+    }
+
+    /// Total candidates scored since construction.
+    pub fn candidates_scored(&self) -> u64 {
+        self.scored.get()
+    }
+
+    /// Top-`k` recommendations for a single-item context.
+    pub fn recommend_for_item(&self, item: ItemId, task: RecTask, k: usize) -> RecList {
+        let candidates = match task {
+            RecTask::ViewBased => {
+                self.selector
+                    .view_based(self.catalog, self.index, self.cooc, item)
+            }
+            RecTask::PurchaseBased => self.selector.purchase_based(
+                self.catalog,
+                self.index,
+                self.cooc,
+                self.repurchase,
+                item,
+            ),
+        };
+        let context: [ContextEvent; 1] = [(
+            item,
+            match task {
+                RecTask::ViewBased => ActionType::View,
+                RecTask::PurchaseBased => ActionType::Conversion,
+            },
+        )];
+        self.rank(&context, &candidates, k)
+    }
+
+    /// Top-`k` recommendations for an arbitrary user context (used at request
+    /// time for contexts the offline tables don't cover).
+    pub fn recommend_for_context(
+        &self,
+        context: &[ContextEvent],
+        task: RecTask,
+        k: usize,
+    ) -> RecList {
+        let Some(&(last_item, _)) = context.last() else {
+            return RecList::new();
+        };
+        let candidates = match task {
+            RecTask::ViewBased => {
+                self.selector
+                    .view_based(self.catalog, self.index, self.cooc, last_item)
+            }
+            RecTask::PurchaseBased => self.selector.purchase_based(
+                self.catalog,
+                self.index,
+                self.cooc,
+                self.repurchase,
+                last_item,
+            ),
+        };
+        self.rank(context, &candidates, k)
+    }
+
+    /// Like [`InferenceEngine::recommend_for_context`], but with an explicit
+    /// candidate selector and optional late-funnel facet constraint — the
+    /// hook funnel-stage tailoring (`crate::funnel`) drives.
+    pub fn recommend_for_context_with(
+        &self,
+        context: &[ContextEvent],
+        task: RecTask,
+        k: usize,
+        selector: &crate::candidates::CandidateSelector,
+        facet_constrained: bool,
+    ) -> RecList {
+        let Some(&(last_item, _)) = context.last() else {
+            return RecList::new();
+        };
+        let mut candidates = match task {
+            RecTask::ViewBased => {
+                selector.view_based(self.catalog, self.index, self.cooc, last_item)
+            }
+            RecTask::PurchaseBased => selector.purchase_based(
+                self.catalog,
+                self.index,
+                self.cooc,
+                self.repurchase,
+                last_item,
+            ),
+        };
+        if facet_constrained {
+            selector.constrain_to_facet(self.catalog, last_item, &mut candidates);
+        }
+        self.rank(context, &candidates, k)
+    }
+
+    /// Materializes both surfaces for every catalog item.
+    pub fn materialize_all(&self, k: usize) -> Vec<ItemRecs> {
+        self.catalog
+            .item_ids()
+            .map(|item| ItemRecs {
+                view_based: self.recommend_for_item(item, RecTask::ViewBased, k),
+                purchase_based: self.recommend_for_item(item, RecTask::PurchaseBased, k),
+            })
+            .collect()
+    }
+
+    /// Scores `candidates` against `context` and keeps the top `k`.
+    fn rank(&self, context: &[ContextEvent], candidates: &[ItemId], k: usize) -> RecList {
+        if candidates.is_empty() || k == 0 {
+            return RecList::new();
+        }
+        let f = self.model.dim();
+        let mut weights = Vec::new();
+        let mut scratch = vec![0.0f32; f];
+        let mut user_vec = vec![0.0f32; f];
+        self.model.user_embedding_into(
+            self.catalog,
+            context,
+            &mut weights,
+            &mut scratch,
+            &mut user_vec,
+        );
+        let mut scored: Vec<(ItemId, f32)> = candidates
+            .iter()
+            .map(|&c| {
+                (
+                    c,
+                    self.model
+                        .score_with(self.catalog, &user_vec, c, &mut scratch),
+                )
+            })
+            .collect();
+        self.scored.set(self.scored.get() + scored.len() as u64);
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cooc::CoocConfig;
+    use sigmund_types::{
+        HyperParams, Interaction, ItemMeta, RetailerId, Taxonomy, UserId,
+    };
+
+    fn setup() -> (Catalog, CoocModel, CandidateIndex, RepurchaseStats) {
+        let mut t = Taxonomy::new();
+        let a = t.add_child(t.root());
+        let b = t.add_child(t.root());
+        let mut c = Catalog::new(RetailerId(0), t);
+        for i in 0..8 {
+            c.add_item(ItemMeta::bare(if i < 4 { a } else { b }));
+        }
+        let mut evs = Vec::new();
+        for u in 0..4u32 {
+            evs.push(Interaction::new(UserId(u), ItemId(0), ActionType::View, 0));
+            evs.push(Interaction::new(UserId(u), ItemId(1), ActionType::View, 1));
+            evs.push(Interaction::new(
+                UserId(u),
+                ItemId(0),
+                ActionType::Conversion,
+                2,
+            ));
+            evs.push(Interaction::new(
+                UserId(u),
+                ItemId(5),
+                ActionType::Conversion,
+                3,
+            ));
+        }
+        let cooc = CoocModel::build(8, &evs, CoocConfig::default());
+        let index = CandidateIndex::build(&c);
+        let rep = RepurchaseStats::estimate(&c, &evs, 0.5);
+        (c, cooc, index, rep)
+    }
+
+    fn model(c: &Catalog) -> BprModel {
+        BprModel::init(
+            c,
+            HyperParams {
+                factors: 4,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn view_based_returns_ranked_substitutes() {
+        let (c, cooc, index, rep) = setup();
+        let m = model(&c);
+        let eng = InferenceEngine::new(&m, &c, &index, &cooc, &rep);
+        let recs = eng.recommend_for_item(ItemId(0), RecTask::ViewBased, 3);
+        assert!(!recs.is_empty());
+        assert!(recs.len() <= 3);
+        // Never recommends the query item; scores are descending.
+        assert!(recs.iter().all(|(i, _)| *i != ItemId(0)));
+        for w in recs.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn purchase_based_excludes_own_category() {
+        let (c, cooc, index, rep) = setup();
+        let m = model(&c);
+        let eng = InferenceEngine::new(&m, &c, &index, &cooc, &rep);
+        let recs = eng.recommend_for_item(ItemId(0), RecTask::PurchaseBased, 5);
+        // cb(0) = {5} in category b; lca1(0) = category a removed.
+        assert!(recs.iter().all(|(i, _)| i.0 >= 4), "{recs:?}");
+    }
+
+    #[test]
+    fn materialize_covers_all_items() {
+        let (c, cooc, index, rep) = setup();
+        let m = model(&c);
+        let eng = InferenceEngine::new(&m, &c, &index, &cooc, &rep);
+        let all = eng.materialize_all(4);
+        assert_eq!(all.len(), 8);
+        assert!(eng.candidates_scored() > 0);
+    }
+
+    #[test]
+    fn empty_context_returns_nothing() {
+        let (c, cooc, index, rep) = setup();
+        let m = model(&c);
+        let eng = InferenceEngine::new(&m, &c, &index, &cooc, &rep);
+        assert!(eng
+            .recommend_for_context(&[], RecTask::ViewBased, 5)
+            .is_empty());
+    }
+
+    #[test]
+    fn k_zero_returns_nothing() {
+        let (c, cooc, index, rep) = setup();
+        let m = model(&c);
+        let eng = InferenceEngine::new(&m, &c, &index, &cooc, &rep);
+        assert!(eng
+            .recommend_for_item(ItemId(0), RecTask::ViewBased, 0)
+            .is_empty());
+    }
+
+    #[test]
+    fn context_recommendation_uses_last_item() {
+        let (c, cooc, index, rep) = setup();
+        let m = model(&c);
+        let eng = InferenceEngine::new(&m, &c, &index, &cooc, &rep);
+        let ctx = vec![
+            (ItemId(5), ActionType::View),
+            (ItemId(0), ActionType::View),
+        ];
+        let recs = eng.recommend_for_context(&ctx, RecTask::ViewBased, 3);
+        // Candidates derive from item 0 (the last context event).
+        assert!(recs.iter().all(|(i, _)| *i != ItemId(0)));
+    }
+}

@@ -1,0 +1,523 @@
+//! Hold-out evaluation: MAP@10 (exact and sampled), AUC, Precision/Recall@K,
+//! nDCG@K (Section III-C2).
+//!
+//! Sigmund selects models by **MAP@10** because top positions matter; AUC is
+//! computed but "disregarded" for selection (equal weight on all positions,
+//! and on large merchants good-vs-mediocre differences land in the 4th–5th
+//! significant digit — experiment T3 reproduces that).
+//!
+//! Exact ranks require a pass over the whole catalog per hold-out example,
+//! which is expensive for large retailers; Sigmund instead samples 10% of the
+//! items and *estimates* the rank ("we verified that this approximation does
+//! not hurt our model selection criterion" — experiment T2).
+
+use crate::dataset::{Dataset, HoldoutExample};
+use crate::model::BprModel;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use sigmund_types::{Catalog, ItemId, ModelMetrics};
+
+/// Evaluation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalConfig {
+    /// Cutoff K for MAP/precision/recall/nDCG (the paper uses 10).
+    pub k: usize,
+    /// If set, estimate ranks on this fraction of items instead of all.
+    pub sample_fraction: Option<f64>,
+    /// Seed for item sampling.
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self {
+            k: 10,
+            sample_fraction: None,
+            seed: 101,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// The paper's cheap variant: estimate on a 10% item sample.
+    pub fn sampled_10pct() -> Self {
+        Self {
+            sample_fraction: Some(0.1),
+            ..Default::default()
+        }
+    }
+}
+
+/// Evaluates `model` on the dataset's hold-out set.
+///
+/// For each hold-out example the positive is ranked against every catalog
+/// item the user has **not** interacted with in training (the positive itself
+/// always competes). Rank = 1 + number of strictly-better items.
+pub fn evaluate(
+    model: &BprModel,
+    catalog: &Catalog,
+    ds: &Dataset,
+    cfg: EvalConfig,
+) -> ModelMetrics {
+    evaluate_filtered(model, catalog, ds, cfg, |_| true)
+}
+
+/// Number of training events per item (an item with 0 is *cold*: the model
+/// never saw it and must rely on side features to rank it).
+pub fn item_train_counts(ds: &Dataset) -> Vec<u32> {
+    let mut counts = vec![0u32; ds.n_items];
+    for e in &ds.train {
+        counts[e.item.index()] += 1;
+    }
+    counts
+}
+
+/// Evaluates only the hold-out examples accepted by `filter` — used to split
+/// metrics into cold-item vs warm-item subsets (the cold-start story of
+/// Section III-B4) or any other slice.
+pub fn evaluate_filtered(
+    model: &BprModel,
+    catalog: &Catalog,
+    ds: &Dataset,
+    cfg: EvalConfig,
+    filter: impl Fn(&HoldoutExample) -> bool,
+) -> ModelMetrics {
+    let reps = model.materialize_item_reps(catalog);
+    let f = model.dim();
+    let mut weights = Vec::new();
+    let mut scratch = vec![0.0f32; f];
+    let mut user_vec = vec![0.0f32; f];
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // The paper samples one 10% item subset and estimates ranks against it;
+    // sharing the subset across hold-out examples is what actually saves the
+    // CPU (and removes per-example sampling noise from model comparisons).
+    let sampled_items: Option<Vec<u32>> = cfg.sample_fraction.map(|frac| {
+        (0..ds.n_items as u32)
+            .filter(|_| rng.random::<f64>() < frac)
+            .collect()
+    });
+
+    let mut sum_ap = 0.0f64;
+    let mut sum_auc = 0.0f64;
+    let mut sum_prec = 0.0f64;
+    let mut sum_rec = 0.0f64;
+    let mut sum_ndcg = 0.0f64;
+    let mut n = 0u64;
+
+    for ex in &ds.holdout {
+        if !filter(ex) {
+            continue;
+        }
+        let Some((rank, eligible)) = rank_of(
+            model,
+            catalog,
+            ds,
+            &reps,
+            ex,
+            sampled_items.as_deref(),
+            &mut weights,
+            &mut scratch,
+            &mut user_vec,
+        ) else {
+            continue;
+        };
+        n += 1;
+        if rank <= cfg.k as u64 {
+            // Single relevant item: AP@K = 1/rank, recall@K = 1, P@K = 1/K.
+            sum_ap += 1.0 / rank as f64;
+            sum_prec += 1.0 / cfg.k as f64;
+            sum_rec += 1.0;
+            sum_ndcg += 1.0 / ((rank as f64) + 1.0).log2();
+        }
+        if eligible > 1 {
+            sum_auc += (eligible - rank) as f64 / (eligible - 1) as f64;
+        } else {
+            sum_auc += 1.0;
+        }
+    }
+
+    if n == 0 {
+        return ModelMetrics {
+            map_sampled: cfg.sample_fraction.is_some(),
+            ..Default::default()
+        };
+    }
+    let d = n as f64;
+    ModelMetrics {
+        map_at_10: sum_ap / d,
+        auc: sum_auc / d,
+        precision_at_10: sum_prec / d,
+        recall_at_10: sum_rec / d,
+        ndcg_at_10: sum_ndcg / d,
+        holdout_size: n,
+        map_sampled: cfg.sample_fraction.is_some(),
+    }
+}
+
+/// Computes (estimated rank, eligible-item count) of the hold-out positive.
+///
+/// Returns `None` if the example's context is empty.
+#[allow(clippy::too_many_arguments)]
+fn rank_of(
+    model: &BprModel,
+    catalog: &Catalog,
+    ds: &Dataset,
+    reps: &crate::model::ItemRepMatrix,
+    ex: &HoldoutExample,
+    sampled_items: Option<&[u32]>,
+    weights: &mut Vec<f32>,
+    scratch: &mut [f32],
+    user_vec: &mut [f32],
+) -> Option<(u64, u64)> {
+    if ex.context.is_empty() {
+        return None;
+    }
+    model.user_embedding_into(catalog, &ex.context, weights, scratch, user_vec);
+    let pos_score = reps.score(user_vec, ex.positive);
+
+    let n_items = ds.n_items as u32;
+    let seen = ds.seen_items(ex.user);
+    // Eligible = catalog \ (seen \ {positive}).
+    let eligible_total = n_items as u64 - seen.len() as u64
+        + u64::from(seen.binary_search(&ex.positive.0).is_ok());
+
+    // A diverged model produces NaN scores, and NaN comparisons are all
+    // false — which would silently award rank 1. Score such a model at the
+    // bottom instead.
+    if !pos_score.is_finite() {
+        return Some((eligible_total.max(1), eligible_total));
+    }
+
+    match sampled_items {
+        None => {
+            // Ties count half: a constant (e.g. fully-regularized) model must
+            // score the *expected* rank under random tie-breaking, not rank 1.
+            let mut better = 0u64;
+            let mut ties = 0u64;
+            for i in 0..n_items {
+                if i == ex.positive.0 || seen.binary_search(&i).is_ok() {
+                    continue;
+                }
+                let s = reps.score(user_vec, ItemId(i));
+                if s > pos_score {
+                    better += 1;
+                } else if s == pos_score {
+                    ties += 1;
+                }
+            }
+            Some((better + ties / 2 + 1, eligible_total))
+        }
+        Some(subset) => {
+            // Score only the shared sampled competitors, scale up.
+            let mut better = 0u64;
+            let mut ties = 0u64;
+            let mut sampled = 0u64;
+            for &i in subset {
+                if i == ex.positive.0 || seen.binary_search(&i).is_ok() {
+                    continue;
+                }
+                sampled += 1;
+                let s = reps.score(user_vec, ItemId(i));
+                if s > pos_score {
+                    better += 1;
+                } else if s == pos_score {
+                    ties += 1;
+                }
+            }
+            let est_better = if sampled == 0 {
+                0.0
+            } else {
+                (better as f64 + ties as f64 / 2.0)
+                    * (eligible_total.saturating_sub(1)) as f64
+                    / sampled as f64
+            };
+            Some(((est_better.round() as u64) + 1, eligible_total))
+        }
+    }
+}
+
+/// Spearman rank correlation between two score lists (used by the T2
+/// experiment to compare model orderings under exact vs sampled MAP).
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    let mean = (n as f64 - 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for i in 0..n {
+        let xa = ra[i] - mean;
+        let xb = rb[i] - mean;
+        num += xa * xb;
+        da += xa * xa;
+        db += xb * xb;
+    }
+    if da == 0.0 || db == 0.0 {
+        return 0.0;
+    }
+    num / (da * db).sqrt()
+}
+
+/// Fractional ranks (average for ties), 0-based.
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&i, &j| v[i].partial_cmp(&v[j]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; v.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::negative::NegativeSampler;
+    use crate::train::{train, TrainOptions};
+    use sigmund_types::{
+        ActionType, HyperParams, Interaction, ItemMeta, NegativeSamplerKind, RetailerId,
+        Taxonomy, UserId,
+    };
+
+    fn catalog(n: usize) -> Catalog {
+        let mut t = Taxonomy::new();
+        let a = t.add_child(t.root());
+        let mut c = Catalog::new(RetailerId(0), t);
+        for _ in 0..n {
+            c.add_item(ItemMeta::bare(a));
+        }
+        c
+    }
+
+    /// Users in two cliques: clique members browse only clique items.
+    fn clique_dataset(n_items: usize, n_users: usize) -> Dataset {
+        let mut evs = Vec::new();
+        let half = n_items / 2;
+        for u in 0..n_users {
+            let off = if u % 2 == 0 { 0 } else { half };
+            for t in 0..8 {
+                let item = off + (u / 2 + t * 3) % half;
+                evs.push(Interaction::new(
+                    UserId(u as u32),
+                    ItemId(item as u32),
+                    ActionType::View,
+                    t as u64,
+                ));
+            }
+        }
+        Dataset::build(n_items, evs, true)
+    }
+
+    #[test]
+    fn trained_model_beats_random_on_map() {
+        let c = catalog(40);
+        let ds = clique_dataset(40, 30);
+        let hp = HyperParams {
+            factors: 8,
+            ..Default::default()
+        };
+        let random = BprModel::init(&c, hp.clone());
+        let m_rand = evaluate(&random, &c, &ds, EvalConfig::default());
+
+        let trained = BprModel::init(&c, hp);
+        let s = NegativeSampler::new(NegativeSamplerKind::UniformUnseen, &c, None);
+        train(
+            &trained,
+            &c,
+            &ds,
+            &s,
+            TrainOptions {
+                epochs: 25,
+                threads: 1,
+                seed: 2,
+            },
+        );
+        let m_train = evaluate(&trained, &c, &ds, EvalConfig::default());
+        assert!(
+            m_train.map_at_10 > m_rand.map_at_10,
+            "trained {:.4} vs random {:.4}",
+            m_train.map_at_10,
+            m_rand.map_at_10
+        );
+        assert!(m_train.auc > 0.5);
+    }
+
+    #[test]
+    fn metrics_are_bounded() {
+        let c = catalog(20);
+        let ds = clique_dataset(20, 12);
+        let m = BprModel::init(
+            &c,
+            HyperParams {
+                factors: 4,
+                ..Default::default()
+            },
+        );
+        let r = evaluate(&m, &c, &ds, EvalConfig::default());
+        for v in [
+            r.map_at_10,
+            r.auc,
+            r.precision_at_10,
+            r.recall_at_10,
+            r.ndcg_at_10,
+        ] {
+            assert!((0.0..=1.0).contains(&v), "metric out of range: {v}");
+        }
+        assert_eq!(r.holdout_size, ds.holdout.len() as u64);
+        assert!(!r.map_sampled);
+    }
+
+    #[test]
+    fn sampled_map_is_flagged_and_close() {
+        let c = catalog(60);
+        let ds = clique_dataset(60, 60);
+        let hp = HyperParams {
+            factors: 8,
+            ..Default::default()
+        };
+        let m = BprModel::init(&c, hp);
+        let s = NegativeSampler::new(NegativeSamplerKind::UniformUnseen, &c, None);
+        train(&m, &c, &ds, &s, TrainOptions::default());
+        let exact = evaluate(&m, &c, &ds, EvalConfig::default());
+        let sampled = evaluate(
+            &m,
+            &c,
+            &ds,
+            EvalConfig {
+                sample_fraction: Some(0.5),
+                ..Default::default()
+            },
+        );
+        assert!(sampled.map_sampled);
+        assert!(
+            (exact.map_at_10 - sampled.map_at_10).abs() < 0.25,
+            "exact {:.3} sampled {:.3}",
+            exact.map_at_10,
+            sampled.map_at_10
+        );
+    }
+
+    #[test]
+    fn empty_holdout_yields_zero_metrics() {
+        let c = catalog(5);
+        let ds = Dataset::build(5, Vec::new(), true);
+        let m = BprModel::init(
+            &c,
+            HyperParams {
+                factors: 2,
+                ..Default::default()
+            },
+        );
+        let r = evaluate(&m, &c, &ds, EvalConfig::default());
+        assert_eq!(r.holdout_size, 0);
+        assert_eq!(r.map_at_10, 0.0);
+    }
+
+    #[test]
+    fn diverged_model_cannot_score_perfectly() {
+        // reg = 1.0 with a hot learning rate used to blow embeddings up to
+        // NaN, and NaN comparisons silently awarded rank 1 / MAP 1.0.
+        let c = catalog(30);
+        let ds = clique_dataset(30, 16);
+        let hp = HyperParams {
+            factors: 8,
+            learning_rate: 0.15,
+            reg_item: 1.0,
+            reg_context: 1.0,
+            ..Default::default()
+        };
+        let m = BprModel::init(&c, hp.clone());
+        let s = NegativeSampler::new(NegativeSamplerKind::UniformUnseen, &c, None);
+        train(
+            &m,
+            &c,
+            &ds,
+            &s,
+            TrainOptions {
+                epochs: 10,
+                threads: 1,
+                seed: 4,
+            },
+        );
+        let r = evaluate(&m, &c, &ds, EvalConfig::default());
+        assert!(r.map_at_10.is_finite());
+        assert!(
+            r.map_at_10 < 0.99 && r.auc < 0.999,
+            "over-regularized model must not look perfect: MAP {} AUC {}",
+            r.map_at_10,
+            r.auc
+        );
+    }
+
+    #[test]
+    fn filtered_evaluation_slices_holdout() {
+        let c = catalog(20);
+        let ds = clique_dataset(20, 12);
+        let m = BprModel::init(
+            &c,
+            HyperParams {
+                factors: 4,
+                ..Default::default()
+            },
+        );
+        let all = evaluate(&m, &c, &ds, EvalConfig::default());
+        let even = evaluate_filtered(&m, &c, &ds, EvalConfig::default(), |ex| {
+            ex.user.0 % 2 == 0
+        });
+        let odd = evaluate_filtered(&m, &c, &ds, EvalConfig::default(), |ex| {
+            ex.user.0 % 2 == 1
+        });
+        assert_eq!(even.holdout_size + odd.holdout_size, all.holdout_size);
+        let none = evaluate_filtered(&m, &c, &ds, EvalConfig::default(), |_| false);
+        assert_eq!(none.holdout_size, 0);
+    }
+
+    #[test]
+    fn item_train_counts_sums_to_train_len() {
+        let ds = clique_dataset(20, 12);
+        let counts = item_train_counts(&ds);
+        assert_eq!(
+            counts.iter().map(|&c| c as usize).sum::<usize>(),
+            ds.train.len()
+        );
+    }
+
+    #[test]
+    fn spearman_perfect_and_inverted() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [40.0, 30.0, 20.0, 10.0];
+        assert!((spearman(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 1.0, 2.0];
+        let b = [1.0, 1.0, 2.0];
+        assert!(spearman(&a, &b) > 0.99);
+    }
+
+    #[test]
+    fn ranks_fractional_for_ties() {
+        let r = ranks(&[5.0, 1.0, 5.0]);
+        assert_eq!(r[1], 0.0);
+        assert_eq!(r[0], 1.5);
+        assert_eq!(r[2], 1.5);
+    }
+}

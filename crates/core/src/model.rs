@@ -1,0 +1,579 @@
+//! The BPR factorization model with side features (Sections III-B and III-B4).
+//!
+//! Item-side representation (hierarchical additive model, Kanagal et al. [4]
+//! + brand/price features, Ahmed et al. [5]):
+//!
+//! ```text
+//! rep(i) = v_i  (+ Σ_{c ∈ ancestors(cat(i))} t_c)  (+ b_{brand(i)})  (+ p_{bucket(price(i))})
+//! ```
+//!
+//! Users are never given their own embedding. Equation 1 of the paper builds
+//! the user vector from the *context* — the last K (action, item) pairs —
+//! using separate context embeddings `vC` and a decay weight per step of age:
+//!
+//! ```text
+//! u = Σ_j w_j · repC(I_j)      w_j ∝ action_weight(a_j) · decay^age_j
+//! ```
+//!
+//! which is what lets Sigmund serve brand-new users without retraining.
+//! The affinity is the dot product `x_ui = ⟨u, rep(i)⟩`.
+
+use crate::storage::Table;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use sigmund_types::{ActionType, Catalog, HyperParams, ItemId, RetailerId};
+
+/// Number of log-scale price buckets for the price feature.
+pub const PRICE_BUCKETS: usize = 16;
+
+/// Maps a price to its log-scale bucket in `0..PRICE_BUCKETS`.
+///
+/// Prices spanning 1–~3000 units land in distinct buckets; everything above
+/// clamps into the last one.
+#[inline]
+pub fn price_bucket(price: f32) -> usize {
+    if !(price.is_finite()) || price <= 1.0 {
+        return 0;
+    }
+    ((price.ln() * 2.0) as usize).min(PRICE_BUCKETS - 1)
+}
+
+/// One (action, item) pair of user context, most-recent-last.
+pub type ContextEvent = (ItemId, ActionType);
+
+/// A per-retailer BPR model.
+#[derive(Debug)]
+pub struct BprModel {
+    /// Owning retailer.
+    pub retailer: RetailerId,
+    /// The hyper-parameters the model was built with.
+    pub hp: HyperParams,
+    pub(crate) item_emb: Table,
+    pub(crate) ctx_emb: Table,
+    pub(crate) cat_emb: Table,
+    pub(crate) cat_ctx_emb: Table,
+    pub(crate) brand_emb: Table,
+    pub(crate) price_emb: Table,
+}
+
+impl BprModel {
+    /// Initializes a model for `catalog` with Gaussian `N(0, init_std²)`
+    /// embeddings drawn from `hp.init_seed`.
+    pub fn init(catalog: &Catalog, hp: HyperParams) -> Self {
+        let f = hp.factors as usize;
+        assert!(f > 0, "factors must be positive");
+        let mut rng = StdRng::seed_from_u64(hp.init_seed);
+        let std = hp.init_std;
+        let mut gauss = move || gaussian(&mut rng) * std;
+        let n_items = catalog.len();
+        let n_cats = catalog.taxonomy.len();
+        let n_brands = catalog.brand_space().max(1) as usize;
+        let item_emb = Table::from_fn(n_items, f, &mut gauss);
+        let ctx_emb = Table::from_fn(n_items, f, &mut gauss);
+        // Shared feature rows start near zero (10% of the item std): the
+        // summed representation is then dominated by the per-item term at
+        // init, and feature rows grow only where the data supports them —
+        // the hierarchical-prior behaviour of Kanagal et al. [4].
+        let mut feature_gauss = move || gauss() * 0.1;
+        Self {
+            retailer: catalog.retailer,
+            item_emb,
+            ctx_emb,
+            cat_emb: Table::from_fn(n_cats, f, &mut feature_gauss),
+            cat_ctx_emb: Table::from_fn(n_cats, f, &mut feature_gauss),
+            brand_emb: Table::from_fn(n_brands, f, &mut feature_gauss),
+            price_emb: Table::from_fn(PRICE_BUCKETS, f, &mut feature_gauss),
+            hp,
+        }
+    }
+
+    /// Embedding dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.hp.factors as usize
+    }
+
+    /// Number of items the model covers.
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.item_emb.rows()
+    }
+
+    /// Writes the full item-side representation of `item` into `out`.
+    pub fn item_rep_into(&self, catalog: &Catalog, item: ItemId, out: &mut [f32]) {
+        self.item_emb.read_row(item.index(), out);
+        let meta = catalog.meta(item);
+        if self.hp.features.use_taxonomy {
+            for c in catalog.taxonomy.ancestors(meta.category) {
+                self.cat_emb.accumulate_row(c.index(), 1.0, out);
+            }
+        }
+        if self.hp.features.use_brand {
+            if let Some(b) = meta.brand {
+                self.brand_emb.accumulate_row(b.index(), 1.0, out);
+            }
+        }
+        if self.hp.features.use_price {
+            if let Some(p) = meta.price {
+                self.price_emb.accumulate_row(price_bucket(p), 1.0, out);
+            }
+        }
+    }
+
+    /// Writes the context-side representation of `item` into `out`.
+    ///
+    /// The context side has its own embeddings `vC` (and its own taxonomy
+    /// table, so cold context items still produce a useful user vector).
+    pub fn context_rep_into(&self, catalog: &Catalog, item: ItemId, out: &mut [f32]) {
+        self.ctx_emb.read_row(item.index(), out);
+        if self.hp.features.use_taxonomy {
+            let meta = catalog.meta(item);
+            for c in catalog.taxonomy.ancestors(meta.category) {
+                self.cat_ctx_emb.accumulate_row(c.index(), 1.0, out);
+            }
+        }
+    }
+
+    /// Normalized context weights `w_j` for a context of `len` events:
+    /// `w_j ∝ action_weight(a_j) · decay^age_j`, normalized to sum to 1 so
+    /// user-vector magnitude does not grow with context length.
+    pub fn context_weights(&self, context: &[ContextEvent], out: &mut Vec<f32>) {
+        out.clear();
+        let decay = self.hp.context_decay;
+        let n = context.len();
+        let mut sum = 0.0f32;
+        for (j, (_, action)) in context.iter().enumerate() {
+            let age = (n - 1 - j) as i32;
+            let w = action.context_weight() * decay.powi(age);
+            out.push(w);
+            sum += w;
+        }
+        if sum > 0.0 {
+            for w in out.iter_mut() {
+                *w /= sum;
+            }
+        }
+    }
+
+    /// Builds the user embedding (Eq. 1) into `out`. `scratch` must be
+    /// `dim()` long and is clobbered.
+    pub fn user_embedding_into(
+        &self,
+        catalog: &Catalog,
+        context: &[ContextEvent],
+        weights: &mut Vec<f32>,
+        scratch: &mut [f32],
+        out: &mut [f32],
+    ) {
+        out.fill(0.0);
+        if context.is_empty() {
+            return;
+        }
+        // Only the trailing K events participate.
+        let k = self.hp.context_len as usize;
+        let ctx = if context.len() > k {
+            &context[context.len() - k..]
+        } else {
+            context
+        };
+        self.context_weights(ctx, weights);
+        for ((item, _), &w) in ctx.iter().zip(weights.iter()) {
+            self.context_rep_into(catalog, *item, scratch);
+            for (o, s) in out.iter_mut().zip(scratch.iter()) {
+                *o += w * s;
+            }
+        }
+    }
+
+    /// Scores one item against a prebuilt user vector. `scratch` must be
+    /// `dim()` long.
+    pub fn score_with(
+        &self,
+        catalog: &Catalog,
+        user_vec: &[f32],
+        item: ItemId,
+        scratch: &mut [f32],
+    ) -> f32 {
+        self.item_rep_into(catalog, item, scratch);
+        user_vec
+            .iter()
+            .zip(scratch.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Convenience: affinity of a context for an item (allocates buffers; use
+    /// the `_into`/`_with` variants on hot paths).
+    pub fn affinity(&self, catalog: &Catalog, context: &[ContextEvent], item: ItemId) -> f32 {
+        let f = self.dim();
+        let mut weights = Vec::new();
+        let mut scratch = vec![0.0; f];
+        let mut user = vec![0.0; f];
+        self.user_embedding_into(catalog, context, &mut weights, &mut scratch, &mut user);
+        self.score_with(catalog, &user, item, &mut scratch)
+    }
+
+    /// Materializes all item representations into a dense row-major matrix
+    /// (`n_items × dim`). Ranking all items is then a sequence of cheap dot
+    /// products; this is what offline inference and exact-MAP evaluation use.
+    pub fn materialize_item_reps(&self, catalog: &Catalog) -> ItemRepMatrix {
+        let f = self.dim();
+        let n = self.n_items();
+        let mut data = vec![0.0f32; n * f];
+        for i in 0..n {
+            let item = ItemId::from_index(i);
+            self.item_rep_into(catalog, item, &mut data[i * f..(i + 1) * f]);
+        }
+        ItemRepMatrix { data, dim: f }
+    }
+
+    /// Applies an item-side gradient: the same `grad` flows to the item row
+    /// and every active feature row, each with its own Adagrad accumulator.
+    pub(crate) fn apply_item_grad(
+        &self,
+        catalog: &Catalog,
+        item: ItemId,
+        grad: &[f32],
+        lr: f32,
+    ) {
+        let reg = self.hp.reg_item;
+        self.item_emb.adagrad_step(item.index(), grad, lr, reg);
+        // Shared feature rows learn at a damped rate: the representation is a
+        // sum of all active rows, so stepping each by the full gradient would
+        // multiply the effective learning rate by the component count.
+        let meta = catalog.meta(item);
+        let mut n_components = 0u32;
+        if self.hp.features.use_taxonomy {
+            n_components += catalog.taxonomy.depth(meta.category) + 1;
+        }
+        if self.hp.features.use_brand && meta.brand.is_some() {
+            n_components += 1;
+        }
+        if self.hp.features.use_price && meta.price.is_some() {
+            n_components += 1;
+        }
+        if n_components == 0 {
+            return;
+        }
+        let lr_f = lr / n_components as f32;
+        if self.hp.features.use_taxonomy {
+            for c in catalog.taxonomy.ancestors(meta.category) {
+                self.cat_emb.adagrad_step(c.index(), grad, lr_f, reg);
+            }
+        }
+        if self.hp.features.use_brand {
+            if let Some(b) = meta.brand {
+                self.brand_emb.adagrad_step(b.index(), grad, lr_f, reg);
+            }
+        }
+        if self.hp.features.use_price {
+            if let Some(p) = meta.price {
+                self.price_emb.adagrad_step(price_bucket(p), grad, lr_f, reg);
+            }
+        }
+    }
+
+    /// Applies a context-side gradient to one context event's rows.
+    pub(crate) fn apply_context_grad(
+        &self,
+        catalog: &Catalog,
+        item: ItemId,
+        grad: &[f32],
+        lr: f32,
+    ) {
+        let reg = self.hp.reg_context;
+        self.ctx_emb.adagrad_step(item.index(), grad, lr, reg);
+        if self.hp.features.use_taxonomy {
+            let meta = catalog.meta(item);
+            let n = catalog.taxonomy.depth(meta.category) + 1;
+            let lr_f = lr / n as f32;
+            for c in catalog.taxonomy.ancestors(meta.category) {
+                self.cat_ctx_emb.adagrad_step(c.index(), grad, lr_f, reg);
+            }
+        }
+    }
+
+    /// Resets every Adagrad accumulator (used before incremental runs).
+    pub fn reset_adagrad(&self) {
+        self.item_emb.reset_adagrad();
+        self.ctx_emb.reset_adagrad();
+        self.cat_emb.reset_adagrad();
+        self.cat_ctx_emb.reset_adagrad();
+        self.brand_emb.reset_adagrad();
+        self.price_emb.reset_adagrad();
+    }
+
+    /// Grows the model to cover a catalog that gained items/categories since
+    /// this model was trained. New rows get fresh Gaussian embeddings; old
+    /// rows are preserved (incremental training, Section III-C3).
+    pub fn grow_for(&mut self, catalog: &Catalog, seed: u64) {
+        let std = self.hp.init_std;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gauss = move || gaussian(&mut rng) * std;
+        self.item_emb.grow_to(catalog.len(), &mut gauss);
+        self.ctx_emb.grow_to(catalog.len(), &mut gauss);
+        self.cat_emb.grow_to(catalog.taxonomy.len(), &mut gauss);
+        self.cat_ctx_emb.grow_to(catalog.taxonomy.len(), &mut gauss);
+        self.brand_emb
+            .grow_to(catalog.brand_space().max(1) as usize, &mut gauss);
+    }
+
+    /// Read-only access to the six parameter tables in canonical order
+    /// (item, context, category, category-context, brand, price). Used by
+    /// the snapshot codec.
+    pub(crate) fn tables(&self) -> [&Table; 6] {
+        [
+            &self.item_emb,
+            &self.ctx_emb,
+            &self.cat_emb,
+            &self.cat_ctx_emb,
+            &self.brand_emb,
+            &self.price_emb,
+        ]
+    }
+}
+
+/// Dense, read-only item-representation matrix (see
+/// [`BprModel::materialize_item_reps`]).
+#[derive(Debug, Clone)]
+pub struct ItemRepMatrix {
+    data: Vec<f32>,
+    dim: usize,
+}
+
+impl ItemRepMatrix {
+    /// Representation row for an item.
+    #[inline]
+    pub fn rep(&self, item: ItemId) -> &[f32] {
+        let i = item.index();
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// True iff there are no items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dot product of a user vector with an item's representation.
+    #[inline]
+    pub fn score(&self, user_vec: &[f32], item: ItemId) -> f32 {
+        self.rep(item)
+            .iter()
+            .zip(user_vec)
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+}
+
+/// Standard-normal sample via the Irwin–Hall(12) approximation (mean 0,
+/// variance 1) — good enough for initialization and allocation-free.
+#[inline]
+pub(crate) fn gaussian(rng: &mut StdRng) -> f32 {
+    (0..12).map(|_| rng.random::<f32>()).sum::<f32>() - 6.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmund_types::{BrandId, FeatureSwitches, ItemMeta, Taxonomy};
+
+    fn catalog() -> Catalog {
+        let mut t = Taxonomy::new();
+        let a = t.add_child(t.root());
+        let b = t.add_child(t.root());
+        let mut c = Catalog::new(RetailerId(0), t);
+        for i in 0..10 {
+            c.add_item(ItemMeta {
+                category: if i % 2 == 0 { a } else { b },
+                brand: Some(BrandId((i % 3) as u32)),
+                price: Some(5.0 + i as f32 * 20.0),
+                facet: None,
+            });
+        }
+        c
+    }
+
+    fn hp(features: FeatureSwitches) -> HyperParams {
+        HyperParams {
+            factors: 4,
+            features,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn price_bucket_monotone_and_bounded() {
+        let mut last = 0;
+        for p in [0.5, 1.0, 2.0, 10.0, 100.0, 1000.0, 1e9] {
+            let b = price_bucket(p);
+            assert!(b >= last);
+            assert!(b < PRICE_BUCKETS);
+            last = b;
+        }
+        assert_eq!(price_bucket(f32::NAN), 0);
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let c = catalog();
+        let m1 = BprModel::init(&c, hp(FeatureSwitches::NONE));
+        let m2 = BprModel::init(&c, hp(FeatureSwitches::NONE));
+        assert_eq!(m1.item_emb.to_vec(), m2.item_emb.to_vec());
+    }
+
+    #[test]
+    fn feature_switches_change_representation() {
+        let c = catalog();
+        let plain = BprModel::init(&c, hp(FeatureSwitches::NONE));
+        let full = BprModel::init(&c, hp(FeatureSwitches::ALL));
+        let mut r0 = vec![0.0; 4];
+        let mut r1 = vec![0.0; 4];
+        plain.item_rep_into(&c, ItemId(0), &mut r0);
+        full.item_rep_into(&c, ItemId(0), &mut r1);
+        // With NONE the rep equals the raw item embedding.
+        let mut raw = vec![0.0; 4];
+        plain.item_emb.read_row(0, &mut raw);
+        assert_eq!(r0, raw);
+        // With ALL it must include feature rows (same seed → same item table).
+        assert_ne!(r1, raw);
+    }
+
+    #[test]
+    fn taxonomy_feature_shares_signal_across_category() {
+        // Two items in the same category share ancestor rows: nudging the
+        // category row moves both reps identically.
+        let c = catalog();
+        let m = BprModel::init(
+            &c,
+            HyperParams {
+                factors: 4,
+                features: FeatureSwitches {
+                    use_taxonomy: true,
+                    use_brand: false,
+                    use_price: false,
+                },
+                ..Default::default()
+            },
+        );
+        let cat0 = c.category(ItemId(0));
+        let grad = vec![-1.0; 4]; // descend => rep increases
+        m.cat_emb.adagrad_step(cat0.index(), &grad, 0.5, 0.0);
+        let mut r0 = vec![0.0; 4];
+        let mut r2 = vec![0.0; 4];
+        m.item_rep_into(&c, ItemId(0), &mut r0);
+        m.item_rep_into(&c, ItemId(2), &mut r2); // also category a
+        let mut raw0 = vec![0.0; 4];
+        let mut raw2 = vec![0.0; 4];
+        m.item_emb.read_row(0, &mut raw0);
+        m.item_emb.read_row(2, &mut raw2);
+        let delta0: Vec<f32> = r0.iter().zip(&raw0).map(|(a, b)| a - b).collect();
+        let delta2: Vec<f32> = r2.iter().zip(&raw2).map(|(a, b)| a - b).collect();
+        for (a, b) in delta0.iter().zip(&delta2) {
+            assert!((a - b).abs() < 1e-5, "deltas differ: {delta0:?} {delta2:?}");
+        }
+    }
+
+    #[test]
+    fn context_weights_decay_and_normalize() {
+        let c = catalog();
+        let m = BprModel::init(&c, hp(FeatureSwitches::NONE));
+        let ctx: Vec<ContextEvent> = vec![
+            (ItemId(0), ActionType::View),
+            (ItemId(1), ActionType::View),
+            (ItemId(2), ActionType::View),
+        ];
+        let mut w = Vec::new();
+        m.context_weights(&ctx, &mut w);
+        assert_eq!(w.len(), 3);
+        assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        // Most recent (last) has the largest weight.
+        assert!(w[2] > w[1] && w[1] > w[0]);
+    }
+
+    #[test]
+    fn stronger_actions_weigh_more_at_equal_age() {
+        let c = catalog();
+        let m = BprModel::init(&c, hp(FeatureSwitches::NONE));
+        let ctx: Vec<ContextEvent> = vec![
+            (ItemId(0), ActionType::Conversion),
+            (ItemId(1), ActionType::View),
+        ];
+        let mut w = Vec::new();
+        m.context_weights(&ctx, &mut w);
+        // The conversion is older but much stronger; with decay 0.85 and
+        // weight ratio 4:1 it still dominates.
+        assert!(w[0] > w[1]);
+    }
+
+    #[test]
+    fn user_embedding_empty_context_is_zero() {
+        let c = catalog();
+        let m = BprModel::init(&c, hp(FeatureSwitches::NONE));
+        let mut w = Vec::new();
+        let mut scratch = vec![0.0; 4];
+        let mut u = vec![1.0; 4];
+        m.user_embedding_into(&c, &[], &mut w, &mut scratch, &mut u);
+        assert_eq!(u, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn user_embedding_truncates_to_context_len() {
+        let c = catalog();
+        let mut h = hp(FeatureSwitches::NONE);
+        h.context_len = 2;
+        let m = BprModel::init(&c, h);
+        let long: Vec<ContextEvent> = (0..6)
+            .map(|i| (ItemId(i as u32 % 10), ActionType::View))
+            .collect();
+        let short = &long[4..];
+        let f = m.dim();
+        let (mut w, mut s) = (Vec::new(), vec![0.0; f]);
+        let mut u_long = vec![0.0; f];
+        let mut u_short = vec![0.0; f];
+        m.user_embedding_into(&c, &long, &mut w, &mut s, &mut u_long);
+        m.user_embedding_into(&c, short, &mut w, &mut s, &mut u_short);
+        assert_eq!(u_long, u_short);
+    }
+
+    #[test]
+    fn materialized_reps_match_item_rep_into() {
+        let c = catalog();
+        let m = BprModel::init(&c, hp(FeatureSwitches::ALL));
+        let mat = m.materialize_item_reps(&c);
+        assert_eq!(mat.len(), 10);
+        let mut buf = vec![0.0; 4];
+        for i in 0..10u32 {
+            m.item_rep_into(&c, ItemId(i), &mut buf);
+            assert_eq!(mat.rep(ItemId(i)), &buf[..]);
+        }
+    }
+
+    #[test]
+    fn grow_for_adds_rows() {
+        let mut c = catalog();
+        let mut m = BprModel::init(&c, hp(FeatureSwitches::NONE));
+        let before = m.n_items();
+        let cat0 = c.category(ItemId(0));
+        c.add_item(ItemMeta::bare(cat0));
+        m.grow_for(&c, 99);
+        assert_eq!(m.n_items(), before + 1);
+    }
+
+    #[test]
+    fn gaussian_has_roughly_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,440 @@
+//! Per-retailer model selection: grid search and incremental refresh
+//! (Sections III-C1, III-C3, IV-A).
+//!
+//! Sigmund's hard problem is not training one model but picking
+//! hyper-parameters for *each* of tens of thousands of heterogeneous
+//! retailers with no manual tuning. The answer is a self-managed grid:
+//! a cross-product over factors, learning rates, regularizers, feature
+//! switches, samplers, and seeds ("typically … around a hundred for each
+//! retailer"), selected by MAP@10 on a per-retailer hold-out.
+//!
+//! Daily refreshes do not repeat the grid: the **incremental sweep** re-trains
+//! only the top-K (3–5) configs from the previous run, warm-started from the
+//! previous parameters with Adagrad accumulators reset, for fewer epochs.
+
+use crate::dataset::Dataset;
+use crate::metrics::{evaluate, EvalConfig};
+use crate::model::BprModel;
+use crate::negative::NegativeSampler;
+use crate::snapshot::ModelSnapshot;
+use crate::train::{train, TrainOptions};
+use sigmund_types::{
+    Catalog, FeatureSwitches, HyperParams, ModelMetrics, NegativeSamplerKind,
+};
+
+/// The hyper-parameter grid to sweep for one retailer.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// Factor counts `F` (paper sweeps 5–200).
+    pub factors: Vec<u32>,
+    /// Base learning rates.
+    pub learning_rates: Vec<f32>,
+    /// λ_V / λ_VC pairs (item and context regularization).
+    pub regs: Vec<(f32, f32)>,
+    /// Feature-switch variants (feature selection happens via the hold-out).
+    pub features: Vec<FeatureSwitches>,
+    /// Negative samplers.
+    pub samplers: Vec<NegativeSamplerKind>,
+    /// Initialization seeds.
+    pub seeds: Vec<u64>,
+    /// Epochs for a cold (full-sweep) run.
+    pub epochs: u32,
+}
+
+impl GridSpec {
+    /// A compact grid (~16 configs) for tests and examples.
+    pub fn small() -> Self {
+        Self {
+            factors: vec![8, 16],
+            learning_rates: vec![0.05, 0.15],
+            regs: vec![(0.01, 0.01), (0.1, 0.1)],
+            features: vec![FeatureSwitches::NONE, FeatureSwitches::ALL],
+            samplers: vec![NegativeSamplerKind::UniformUnseen],
+            seeds: vec![1],
+            epochs: 10,
+        }
+    }
+
+    /// A paper-scale grid (~96 configs per retailer).
+    pub fn paper_scale() -> Self {
+        Self {
+            factors: vec![5, 16, 48, 128],
+            learning_rates: vec![0.02, 0.1],
+            regs: vec![(0.001, 0.001), (0.01, 0.01), (0.1, 0.1)],
+            features: vec![
+                FeatureSwitches::NONE,
+                FeatureSwitches {
+                    use_taxonomy: true,
+                    use_brand: false,
+                    use_price: false,
+                },
+                FeatureSwitches::ALL,
+            ],
+            samplers: vec![
+                NegativeSamplerKind::UniformUnseen,
+                NegativeSamplerKind::TaxonomyAware,
+            ],
+            seeds: vec![1],
+            epochs: 15,
+        }
+    }
+
+    /// Expands the cross-product into concrete configs, pruning feature
+    /// variants that reference data the catalog simply does not have (zero
+    /// brand coverage ⇒ no brand variants, etc.).
+    pub fn configs(&self, catalog: &Catalog) -> Vec<HyperParams> {
+        let has_brand = catalog.brand_coverage() > 0.0;
+        let has_price = catalog.price_coverage() > 0.0;
+        let mut features: Vec<FeatureSwitches> = self
+            .features
+            .iter()
+            .map(|f| FeatureSwitches {
+                use_taxonomy: f.use_taxonomy,
+                use_brand: f.use_brand && has_brand,
+                use_price: f.use_price && has_price,
+            })
+            .collect();
+        features.dedup();
+        let mut out = Vec::new();
+        for &factors in &self.factors {
+            for &learning_rate in &self.learning_rates {
+                for &(reg_item, reg_context) in &self.regs {
+                    for &feat in &features {
+                        for &negative_sampler in &self.samplers {
+                            for &init_seed in &self.seeds {
+                                out.push(HyperParams {
+                                    factors,
+                                    learning_rate,
+                                    reg_item,
+                                    reg_context,
+                                    features: feat,
+                                    negative_sampler,
+                                    init_seed,
+                                    epochs: self.epochs,
+                                    ..Default::default()
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One trained grid point: its config, hold-out metrics, and (for the top-K
+/// only) a parameter snapshot for warm-starting tomorrow's incremental run.
+#[derive(Debug, Clone)]
+pub struct TrainedCandidate {
+    /// The hyper-parameters.
+    pub hp: HyperParams,
+    /// Hold-out metrics.
+    pub metrics: ModelMetrics,
+    /// Parameter snapshot (only retained for top-K candidates).
+    pub snapshot: Option<ModelSnapshot>,
+}
+
+/// Result of a sweep over one retailer's grid, best first (by MAP@10).
+#[derive(Debug, Clone)]
+pub struct SelectionOutcome {
+    /// All trained candidates, MAP@10-descending.
+    pub candidates: Vec<TrainedCandidate>,
+}
+
+impl SelectionOutcome {
+    /// The winning candidate.
+    ///
+    /// # Panics
+    /// Panics if the sweep trained nothing.
+    pub fn best(&self) -> &TrainedCandidate {
+        &self.candidates[0]
+    }
+
+    /// The top-K candidates (for tomorrow's incremental sweep).
+    pub fn top_k(&self, k: usize) -> &[TrainedCandidate] {
+        &self.candidates[..k.min(self.candidates.len())]
+    }
+}
+
+/// Execution knobs shared by the sweep functions.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Training threads per model.
+    pub threads: usize,
+    /// Evaluation configuration (exact or sampled MAP).
+    pub eval: EvalConfig,
+    /// How many top candidates keep their parameter snapshots.
+    pub keep_top: usize,
+    /// Seed for example shuffling / negative sampling.
+    pub train_seed: u64,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            eval: EvalConfig::default(),
+            keep_top: 3,
+            train_seed: 7,
+        }
+    }
+}
+
+/// Trains one config (optionally warm-started) and evaluates it.
+pub fn train_config(
+    catalog: &Catalog,
+    ds: &Dataset,
+    hp: &HyperParams,
+    epochs: u32,
+    warm: Option<&ModelSnapshot>,
+    opts: &SweepOptions,
+) -> (BprModel, ModelMetrics) {
+    let model = match warm {
+        Some(snap) => {
+            let m = snap
+                .restore(catalog, hp.init_seed)
+                .unwrap_or_else(|_| BprModel::init(catalog, hp.clone()));
+            // Incremental runs reset the Adagrad norms (Section III-C3).
+            m.reset_adagrad();
+            m
+        }
+        None => BprModel::init(catalog, hp.clone()),
+    };
+    let sampler = NegativeSampler::new(hp.negative_sampler, catalog, None);
+    train(
+        &model,
+        catalog,
+        ds,
+        &sampler,
+        TrainOptions {
+            epochs,
+            threads: opts.threads,
+            seed: opts.train_seed,
+        },
+    );
+    let metrics = evaluate(&model, catalog, ds, opts.eval);
+    (model, metrics)
+}
+
+/// Full sweep: trains every config in the grid and ranks by MAP@10.
+pub fn grid_search(
+    catalog: &Catalog,
+    ds: &Dataset,
+    grid: &GridSpec,
+    opts: &SweepOptions,
+) -> SelectionOutcome {
+    let mut candidates: Vec<TrainedCandidate> = grid
+        .configs(catalog)
+        .into_iter()
+        .map(|hp| {
+            let (model, metrics) = train_config(catalog, ds, &hp, hp.epochs, None, opts);
+            TrainedCandidate {
+                hp,
+                metrics,
+                snapshot: Some(ModelSnapshot::capture(&model)),
+            }
+        })
+        .collect();
+    finalize(&mut candidates, opts.keep_top);
+    SelectionOutcome { candidates }
+}
+
+/// Incremental sweep: re-trains only the top-K configs of `previous`,
+/// warm-started, for `epochs` (typically far fewer than a cold run).
+pub fn incremental_refresh(
+    catalog: &Catalog,
+    ds: &Dataset,
+    previous: &SelectionOutcome,
+    epochs: u32,
+    opts: &SweepOptions,
+) -> SelectionOutcome {
+    let mut candidates: Vec<TrainedCandidate> = previous
+        .top_k(opts.keep_top)
+        .iter()
+        .map(|prev| {
+            let (model, metrics) = train_config(
+                catalog,
+                ds,
+                &prev.hp,
+                epochs,
+                prev.snapshot.as_ref(),
+                opts,
+            );
+            TrainedCandidate {
+                hp: prev.hp.clone(),
+                metrics,
+                snapshot: Some(ModelSnapshot::capture(&model)),
+            }
+        })
+        .collect();
+    finalize(&mut candidates, opts.keep_top);
+    SelectionOutcome { candidates }
+}
+
+/// Sorts by MAP@10 descending and drops snapshots beyond the top-K.
+fn finalize(candidates: &mut [TrainedCandidate], keep_top: usize) {
+    candidates.sort_by(|a, b| {
+        b.metrics
+            .map_at_10
+            .partial_cmp(&a.metrics.map_at_10)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for c in candidates.iter_mut().skip(keep_top) {
+        c.snapshot = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmund_types::{ActionType, Interaction, ItemId, ItemMeta, RetailerId, Taxonomy, UserId};
+
+    fn catalog(n: usize) -> Catalog {
+        let mut t = Taxonomy::new();
+        let a = t.add_child(t.root());
+        let b = t.add_child(t.root());
+        let mut c = Catalog::new(RetailerId(0), t);
+        for i in 0..n {
+            c.add_item(ItemMeta::bare(if i % 2 == 0 { a } else { b }));
+        }
+        c
+    }
+
+    fn dataset(n_items: usize, n_users: usize) -> Dataset {
+        let mut evs = Vec::new();
+        for u in 0..n_users {
+            let parity = u % 2;
+            for t in 0..6 {
+                let item = (parity + 2 * ((u / 2 + t * 3) % (n_items / 2))) % n_items;
+                evs.push(Interaction::new(
+                    UserId(u as u32),
+                    ItemId(item as u32),
+                    ActionType::View,
+                    t as u64,
+                ));
+            }
+        }
+        Dataset::build(n_items, evs, true)
+    }
+
+    #[test]
+    fn configs_cross_product_size() {
+        let c = catalog(10);
+        let grid = GridSpec::small();
+        let configs = grid.configs(&c);
+        // Catalog has no brands/prices → ALL collapses to taxonomy-only, and
+        // the two feature variants stay distinct (NONE vs taxonomy).
+        assert_eq!(configs.len(), 2 * 2 * 2 * 2);
+        assert!(configs
+            .iter()
+            .all(|h| !h.features.use_brand && !h.features.use_price));
+    }
+
+    #[test]
+    fn configs_dedup_when_no_features_exist() {
+        let mut t = Taxonomy::new();
+        let a = t.add_child(t.root());
+        let mut c = Catalog::new(RetailerId(0), t);
+        c.add_item(ItemMeta::bare(a));
+        let grid = GridSpec {
+            features: vec![FeatureSwitches::NONE, FeatureSwitches::NONE],
+            ..GridSpec::small()
+        };
+        let configs = grid.configs(&c);
+        // Identical feature variants deduplicate.
+        assert_eq!(configs.len(), 2 * 2 * 2);
+    }
+
+    #[test]
+    fn grid_search_ranks_by_map() {
+        let c = catalog(20);
+        let ds = dataset(20, 20);
+        let grid = GridSpec {
+            factors: vec![8],
+            learning_rates: vec![0.1, 0.0001], // second is hopeless
+            regs: vec![(0.01, 0.01)],
+            features: vec![FeatureSwitches::NONE],
+            samplers: vec![NegativeSamplerKind::UniformUnseen],
+            seeds: vec![1],
+            epochs: 12,
+        };
+        let out = grid_search(&c, &ds, &grid, &SweepOptions::default());
+        assert_eq!(out.candidates.len(), 2);
+        assert!(out.candidates[0].metrics.map_at_10 >= out.candidates[1].metrics.map_at_10);
+        assert!(out.best().snapshot.is_some());
+    }
+
+    #[test]
+    fn keep_top_drops_snapshots() {
+        let c = catalog(12);
+        let ds = dataset(12, 10);
+        let grid = GridSpec {
+            factors: vec![4, 8],
+            learning_rates: vec![0.05, 0.1],
+            regs: vec![(0.01, 0.01)],
+            features: vec![FeatureSwitches::NONE],
+            samplers: vec![NegativeSamplerKind::UniformUnseen],
+            seeds: vec![1],
+            epochs: 2,
+        };
+        let opts = SweepOptions {
+            keep_top: 2,
+            ..Default::default()
+        };
+        let out = grid_search(&c, &ds, &grid, &opts);
+        assert_eq!(out.candidates.len(), 4);
+        assert!(out.candidates[0].snapshot.is_some());
+        assert!(out.candidates[1].snapshot.is_some());
+        assert!(out.candidates[2].snapshot.is_none());
+        assert!(out.candidates[3].snapshot.is_none());
+    }
+
+    #[test]
+    fn incremental_refresh_retrains_top_k_only() {
+        let c = catalog(20);
+        let ds = dataset(20, 20);
+        let grid = GridSpec {
+            factors: vec![8],
+            learning_rates: vec![0.05, 0.1, 0.15],
+            regs: vec![(0.01, 0.01)],
+            features: vec![FeatureSwitches::NONE],
+            samplers: vec![NegativeSamplerKind::UniformUnseen],
+            seeds: vec![1],
+            epochs: 6,
+        };
+        let opts = SweepOptions {
+            keep_top: 2,
+            ..Default::default()
+        };
+        let full = grid_search(&c, &ds, &grid, &opts);
+        let inc = incremental_refresh(&c, &ds, &full, 2, &opts);
+        assert_eq!(inc.candidates.len(), 2);
+        // Warm-started short runs should not collapse: still a usable model.
+        assert!(inc.best().metrics.map_at_10 >= 0.0);
+    }
+
+    #[test]
+    fn warm_start_beats_cold_start_at_equal_budget() {
+        let c = catalog(24);
+        let ds = dataset(24, 30);
+        let hp = HyperParams {
+            factors: 8,
+            learning_rate: 0.1,
+            ..Default::default()
+        };
+        let opts = SweepOptions::default();
+        // Long cold run → snapshot.
+        let (m_full, _) = train_config(&c, &ds, &hp, 15, None, &opts);
+        let snap = ModelSnapshot::capture(&m_full);
+        // 2 epochs warm vs 2 epochs cold.
+        let (_, warm) = train_config(&c, &ds, &hp, 2, Some(&snap), &opts);
+        let (_, cold) = train_config(&c, &ds, &hp, 2, None, &opts);
+        assert!(
+            warm.map_at_10 >= cold.map_at_10,
+            "warm {:.4} vs cold {:.4}",
+            warm.map_at_10,
+            cold.map_at_10
+        );
+    }
+}

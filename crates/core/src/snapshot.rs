@@ -1,0 +1,328 @@
+//! Model checkpoint serialization.
+//!
+//! During training on pre-emptible VMs Sigmund "asynchronously checkpoint[s]
+//! the model learned to a shared filesystem" (Section IV-B3). A checkpoint
+//! must restore both the embeddings *and* the Adagrad accumulators so a
+//! resumed run continues with the right per-row learning rates (incremental
+//! runs, by contrast, deliberately reset the accumulators).
+//!
+//! The format is a compact little-endian binary built with `bytes`:
+//!
+//! ```text
+//! magic "SGMD" | version u32 | retailer u32 | hp (JSON, length-prefixed)
+//! | 6 tables: rows u32, dim u32, data f32*, acc f32*
+//! ```
+
+use crate::model::BprModel;
+use crate::storage::Table;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sigmund_types::{Catalog, HyperParams, RetailerId, SigmundError};
+
+const MAGIC: &[u8; 4] = b"SGMD";
+const VERSION: u32 = 1;
+
+/// A serializable snapshot of one model's full training state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSnapshot {
+    /// Owning retailer.
+    pub retailer: RetailerId,
+    /// Hyper-parameters the model was built with.
+    pub hp: HyperParams,
+    /// `(rows, dim, data, adagrad_acc)` for the six tables in canonical
+    /// order: item, context, category, category-context, brand, price.
+    pub tables: Vec<TableSnapshot>,
+}
+
+/// One table's raw contents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSnapshot {
+    /// Row count.
+    pub rows: u32,
+    /// Embedding dimension.
+    pub dim: u32,
+    /// Row-major embedding values (`rows × dim`).
+    pub data: Vec<f32>,
+    /// Per-row Adagrad accumulators (`rows`).
+    pub acc: Vec<f32>,
+}
+
+impl ModelSnapshot {
+    /// Captures a snapshot of `model`.
+    pub fn capture(model: &BprModel) -> Self {
+        let tables = model
+            .tables()
+            .iter()
+            .map(|t| TableSnapshot {
+                rows: t.rows() as u32,
+                dim: t.dim() as u32,
+                data: t.to_vec(),
+                acc: t.acc_to_vec(),
+            })
+            .collect();
+        Self {
+            retailer: model.retailer,
+            hp: model.hp.clone(),
+            tables,
+        }
+    }
+
+    /// Rebuilds a model from the snapshot for `catalog`.
+    ///
+    /// If the catalog grew since the snapshot (incremental training with new
+    /// items), fresh rows are initialized from `grow_seed`; existing rows are
+    /// restored exactly.
+    ///
+    /// # Errors
+    /// Returns [`SigmundError::Invalid`] if the snapshot's dimensionality
+    /// disagrees with its own hyper-parameters or the catalog *shrank*.
+    pub fn restore(&self, catalog: &Catalog, grow_seed: u64) -> Result<BprModel, SigmundError> {
+        if self.tables.len() != 6 {
+            return Err(SigmundError::Invalid(format!(
+                "snapshot has {} tables, expected 6",
+                self.tables.len()
+            )));
+        }
+        let f = self.hp.factors;
+        if self.tables.iter().any(|t| t.dim != f) {
+            return Err(SigmundError::Invalid(
+                "snapshot table dim disagrees with hyper-parameters".into(),
+            ));
+        }
+        if (self.tables[0].rows as usize) > catalog.len()
+            || (self.tables[2].rows as usize) > catalog.taxonomy.len()
+        {
+            return Err(SigmundError::Invalid(
+                "catalog shrank below snapshot size".into(),
+            ));
+        }
+        let mut model = BprModel::init(catalog, self.hp.clone());
+        model.grow_for(catalog, grow_seed);
+        for (table, snap) in model.tables().iter().zip(self.tables.iter()) {
+            restore_table(table, snap);
+        }
+        Ok(model)
+    }
+
+    /// Serializes to bytes.
+    pub fn to_bytes(&self) -> Bytes {
+        let hp_json = serde_json::to_vec(&self.hp).expect("hyperparams serialize");
+        let payload: usize = self
+            .tables
+            .iter()
+            .map(|t| 8 + t.data.len() * 4 + t.acc.len() * 4)
+            .sum();
+        let mut buf = BytesMut::with_capacity(16 + hp_json.len() + payload);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(self.retailer.0);
+        buf.put_u32_le(hp_json.len() as u32);
+        buf.put_slice(&hp_json);
+        buf.put_u32_le(self.tables.len() as u32);
+        for t in &self.tables {
+            buf.put_u32_le(t.rows);
+            buf.put_u32_le(t.dim);
+            for &v in &t.data {
+                buf.put_f32_le(v);
+            }
+            for &v in &t.acc {
+                buf.put_f32_le(v);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes from bytes.
+    ///
+    /// # Errors
+    /// Returns [`SigmundError::Corrupt`] on any malformed input.
+    pub fn from_bytes(mut b: &[u8]) -> Result<Self, SigmundError> {
+        let corrupt = |m: &str| SigmundError::Corrupt(format!("model snapshot: {m}"));
+        if b.remaining() < 16 {
+            return Err(corrupt("truncated header"));
+        }
+        let mut magic = [0u8; 4];
+        b.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = b.get_u32_le();
+        if version != VERSION {
+            return Err(corrupt(&format!("unsupported version {version}")));
+        }
+        let retailer = RetailerId(b.get_u32_le());
+        let hp_len = b.get_u32_le() as usize;
+        if b.remaining() < hp_len {
+            return Err(corrupt("truncated hyper-parameters"));
+        }
+        let hp: HyperParams = serde_json::from_slice(&b[..hp_len])
+            .map_err(|e| corrupt(&format!("hyper-parameters: {e}")))?;
+        b.advance(hp_len);
+        if b.remaining() < 4 {
+            return Err(corrupt("missing table count"));
+        }
+        let n_tables = b.get_u32_le() as usize;
+        if n_tables > 16 {
+            return Err(corrupt("implausible table count"));
+        }
+        let mut tables = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            if b.remaining() < 8 {
+                return Err(corrupt("truncated table header"));
+            }
+            let rows = b.get_u32_le();
+            let dim = b.get_u32_le();
+            let n_data = rows as usize * dim as usize;
+            if b.remaining() < (n_data + rows as usize) * 4 {
+                return Err(corrupt("truncated table payload"));
+            }
+            let mut data = Vec::with_capacity(n_data);
+            for _ in 0..n_data {
+                data.push(b.get_f32_le());
+            }
+            let mut acc = Vec::with_capacity(rows as usize);
+            for _ in 0..rows {
+                acc.push(b.get_f32_le());
+            }
+            tables.push(TableSnapshot {
+                rows,
+                dim,
+                data,
+                acc,
+            });
+        }
+        if b.has_remaining() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(Self {
+            retailer,
+            hp,
+            tables,
+        })
+    }
+}
+
+/// Restores one table's leading rows from a snapshot (the live table may have
+/// extra, freshly initialized rows).
+fn restore_table(table: &Table, snap: &TableSnapshot) {
+    let dim = table.dim();
+    debug_assert_eq!(dim as u32, snap.dim);
+    // Brand/price tables can legitimately shrink between runs (feature spaces
+    // are derived from the catalog); restore only the overlapping rows.
+    let rows = (snap.rows as usize).min(table.rows());
+    for r in 0..rows {
+        for (cell, &v) in table.row(r).iter().zip(&snap.data[r * dim..(r + 1) * dim]) {
+            cell.store(v);
+        }
+    }
+    let mut merged = table.acc_to_vec();
+    merged[..rows].copy_from_slice(&snap.acc[..rows]);
+    table.load_acc_from(&merged);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmund_types::{ItemMeta, Taxonomy};
+
+    fn catalog(n: usize) -> Catalog {
+        let mut t = Taxonomy::new();
+        let a = t.add_child(t.root());
+        let mut c = Catalog::new(RetailerId(3), t);
+        for _ in 0..n {
+            c.add_item(ItemMeta::bare(a));
+        }
+        c
+    }
+
+    fn model(c: &Catalog) -> BprModel {
+        BprModel::init(
+            c,
+            HyperParams {
+                factors: 4,
+                init_seed: 7,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn byte_round_trip_is_exact() {
+        let c = catalog(12);
+        let m = model(&c);
+        let snap = ModelSnapshot::capture(&m);
+        let bytes = snap.to_bytes();
+        let back = ModelSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn restore_reproduces_model_exactly() {
+        let c = catalog(12);
+        let m = model(&c);
+        // Perturb so restore isn't trivially equal to init.
+        m.tables()[0].adagrad_step(3, &[1.0, -1.0, 0.5, 0.0], 0.1, 0.01);
+        let snap = ModelSnapshot::capture(&m);
+        let m2 = snap.restore(&c, 0).unwrap();
+        for (a, b) in m.tables().iter().zip(m2.tables().iter()) {
+            assert_eq!(a.to_vec(), b.to_vec());
+            assert_eq!(a.acc_to_vec(), b.acc_to_vec());
+        }
+    }
+
+    #[test]
+    fn restore_grows_for_bigger_catalog() {
+        let c = catalog(10);
+        let m = model(&c);
+        let snap = ModelSnapshot::capture(&m);
+        let c2 = catalog(15);
+        let m2 = snap.restore(&c2, 42).unwrap();
+        assert_eq!(m2.n_items(), 15);
+        // Existing rows identical.
+        assert_eq!(
+            m.tables()[0].to_vec(),
+            m2.tables()[0].to_vec()[..10 * 4].to_vec()
+        );
+    }
+
+    #[test]
+    fn restore_rejects_shrunk_catalog() {
+        let c = catalog(10);
+        let snap = ModelSnapshot::capture(&model(&c));
+        let small = catalog(5);
+        assert!(matches!(
+            snap.restore(&small, 0),
+            Err(SigmundError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        let c = catalog(4);
+        let snap = ModelSnapshot::capture(&model(&c));
+        let bytes = snap.to_bytes();
+        // Truncated.
+        assert!(ModelSnapshot::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        // Bad magic.
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(ModelSnapshot::from_bytes(&bad).is_err());
+        // Trailing garbage.
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert!(ModelSnapshot::from_bytes(&long).is_err());
+        // Empty.
+        assert!(ModelSnapshot::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn round_trip_preserves_adagrad_state() {
+        let c = catalog(6);
+        let m = model(&c);
+        m.tables()[1].adagrad_step(2, &[2.0, 0.0, 0.0, 0.0], 0.1, 0.0);
+        let acc_before = m.tables()[1].adagrad_acc(2);
+        assert!(acc_before > 0.0);
+        let snap = ModelSnapshot::capture(&m);
+        let m2 = snap.restore(&c, 0).unwrap();
+        assert_eq!(m2.tables()[1].adagrad_acc(2), acc_before);
+    }
+}

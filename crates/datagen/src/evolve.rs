@@ -1,0 +1,336 @@
+//! Day-over-day retailer evolution — the "continuous service" reality of
+//! Sections I and III-C3: "new data arrives every day, new products are
+//! introduced, and new users start shopping … retailers add new items to the
+//! catalog, modify the sale prices on items … items may run out of stock."
+//!
+//! [`evolve_day`] takes yesterday's [`RetailerData`] and produces today's:
+//! the catalog gains items (appended, so yesterday's ids stay valid — the
+//! invariant incremental training relies on), some items go out of stock
+//! (they stop generating events but remain in the catalog), prices drift,
+//! new users appear, and a fresh day of sessions is appended after
+//! yesterday's timestamps.
+
+use crate::latent::LATENT_DIM;
+use crate::retailer::RetailerData;
+use crate::sessions::generate_sessions;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use sigmund_types::{sort_for_training, BrandId, FacetId, ItemId, ItemMeta};
+
+/// Knobs for one day of evolution.
+#[derive(Debug, Clone, Copy)]
+pub struct EvolutionSpec {
+    /// Fraction of the current catalog added as new items (e.g. 0.05).
+    pub new_item_rate: f64,
+    /// Fraction of items that go out of stock today.
+    pub stockout_rate: f64,
+    /// Fraction of priced items whose price changes, and the max relative
+    /// change (symmetric).
+    pub reprice_rate: f64,
+    /// Maximum relative price move (0.2 = ±20%).
+    pub reprice_magnitude: f64,
+    /// New users signing up today, as a fraction of the current user base.
+    pub new_user_rate: f64,
+    /// Seed for today's randomness.
+    pub seed: u64,
+}
+
+impl Default for EvolutionSpec {
+    fn default() -> Self {
+        Self {
+            new_item_rate: 0.05,
+            stockout_rate: 0.03,
+            reprice_rate: 0.15,
+            reprice_magnitude: 0.2,
+            new_user_rate: 0.10,
+            seed: 1,
+        }
+    }
+}
+
+/// What changed today (for tests and reporting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DayDelta {
+    /// Ids of items added today (appended at the end of the catalog).
+    pub new_items: Vec<ItemId>,
+    /// Items that went out of stock today.
+    pub stockouts: Vec<ItemId>,
+    /// Items whose price changed.
+    pub repriced: Vec<ItemId>,
+    /// Users added today.
+    pub new_users: usize,
+    /// Events appended today.
+    pub new_events: usize,
+}
+
+/// Evolves `data` by one day in place and returns the delta.
+///
+/// Invariants preserved:
+/// * existing `ItemId`s keep their metadata slot (catalog is append-only);
+/// * yesterday's events are untouched; today's events have strictly later
+///   timestamps;
+/// * ground truth grows consistently (new items/users get latent vectors),
+///   so CTR simulation stays valid across days.
+pub fn evolve_day(data: &mut RetailerData, spec: &EvolutionSpec) -> DayDelta {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let catalog = &mut data.catalog;
+    let truth = &mut data.truth;
+
+    // --- new items (append-only) ---------------------------------------
+    let n_new = ((catalog.len() as f64 * spec.new_item_rate).round() as usize).max(1);
+    let mut new_items = Vec::with_capacity(n_new);
+    for _ in 0..n_new {
+        let leaf = data.leaves[rng.random_range(0..data.leaves.len())];
+        let brand = if data.spec.n_brands > 0 && rng.random::<f64>() < data.spec.brand_coverage
+        {
+            Some(BrandId(rng.random_range(0..data.spec.n_brands)))
+        } else {
+            None
+        };
+        let price = if rng.random::<f64>() < data.spec.price_coverage {
+            Some(((rng.random::<f32>() * 2.0 - 1.0).exp() * 40.0).max(1.0))
+        } else {
+            None
+        };
+        let facet = if data.spec.n_facets > 0 && rng.random::<f64>() < data.spec.facet_coverage
+        {
+            Some(FacetId(rng.random_range(0..data.spec.n_facets)))
+        } else {
+            None
+        };
+        let id = catalog.add_item(ItemMeta {
+            category: leaf,
+            brand,
+            price,
+            facet,
+        });
+        // Ground-truth latent for the new item: perturb its category anchor.
+        let anchor = truth.category_anchors[leaf.index()];
+        let mut v = anchor;
+        for x in v.iter_mut() {
+            let s: f32 = (0..4).map(|_| rng.random::<f32>()).sum::<f32>() - 2.0;
+            *x += s * 0.3 * 1.732;
+        }
+        truth.item_vecs.push(v);
+        new_items.push(id);
+    }
+
+    // --- stockouts & repricing ------------------------------------------
+    // Stockouts are modeled as exclusion from today's session item pools;
+    // the catalog entry (and trained embeddings) remain.
+    let mut stockouts = Vec::new();
+    let mut repriced = Vec::new();
+    let n_items_before_today = catalog.len() - n_new;
+    for i in 0..n_items_before_today {
+        let item = ItemId::from_index(i);
+        if rng.random::<f64>() < spec.stockout_rate {
+            stockouts.push(item);
+        }
+    }
+    // Reprice via regenerating metadata (Catalog is append-only per item
+    // slot; price mutation happens through the rebuild below).
+    let mut price_updates: Vec<(usize, f32)> = Vec::new();
+    for i in 0..catalog.len() {
+        if let Some(p) = catalog.meta(ItemId::from_index(i)).price {
+            if rng.random::<f64>() < spec.reprice_rate {
+                let delta = 1.0
+                    + (rng.random::<f32>() * 2.0 - 1.0) * spec.reprice_magnitude as f32;
+                price_updates.push((i, (p * delta).max(1.0)));
+                repriced.push(ItemId::from_index(i));
+            }
+        }
+    }
+    catalog.update_prices(&price_updates);
+
+    // --- new users --------------------------------------------------------
+    let n_users_before = truth.user_vecs.len();
+    let n_new_users =
+        ((n_users_before as f64 * spec.new_user_rate).round() as usize).max(1);
+    for _ in 0..n_new_users {
+        let k = rng.random_range(1..=3.min(data.leaves.len()));
+        let mut prefs = Vec::with_capacity(k);
+        for _ in 0..k {
+            prefs.push(data.leaves[rng.random_range(0..data.leaves.len())]);
+        }
+        let mut v = [0.0f32; LATENT_DIM];
+        for p in &prefs {
+            let a = &truth.category_anchors[p.index()];
+            for d in 0..LATENT_DIM {
+                v[d] += a[d] / k as f32;
+            }
+        }
+        for x in v.iter_mut() {
+            let s: f32 = (0..4).map(|_| rng.random::<f32>()).sum::<f32>() - 2.0;
+            *x += s * 0.2 * 1.732;
+        }
+        truth.user_vecs.push(v);
+        truth.user_prefs.push(prefs);
+        truth
+            .user_brand
+            .push(if catalog.brand_space() > 0 && rng.random::<f32>() < 0.6 {
+                Some(rng.random_range(0..catalog.brand_space()))
+            } else {
+                None
+            });
+        truth
+            .user_budget
+            .push((rng.random::<f32>() * 2.0 - 1.0).exp() * 50.0);
+    }
+
+    // --- today's sessions ---------------------------------------------------
+    // Re-run the session generator over the grown world, excluding stockouts,
+    // then shift timestamps past yesterday's horizon and append.
+    let horizon = data.events.iter().map(|e| e.when).max().unwrap_or(0) + 10_000;
+    let mut day_spec = data.spec.clone();
+    day_spec.n_users = truth.user_vecs.len();
+    // One day's traffic: fewer sessions than the initial backfill.
+    day_spec.sessions_per_user = (data.spec.sessions_per_user / 2.0).max(1.0);
+    let mut today = generate_sessions(
+        &day_spec,
+        catalog,
+        truth,
+        &data.leaves,
+        &data.consumable_categories,
+        &mut rng,
+    );
+    // Drop events on out-of-stock items and shift time.
+    let stockout_set: std::collections::HashSet<u32> =
+        stockouts.iter().map(|i| i.0).collect();
+    today.retain(|e| !stockout_set.contains(&e.item.0));
+    let new_events = today.len();
+    for e in today.iter_mut() {
+        e.when += horizon;
+    }
+    data.events.extend(today);
+    sort_for_training(&mut data.events);
+
+    DayDelta {
+        new_items,
+        stockouts,
+        repriced,
+        new_users: n_new_users,
+        new_events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retailer::RetailerSpec;
+    use sigmund_types::RetailerId;
+
+    fn base() -> RetailerData {
+        RetailerSpec::sized(RetailerId(0), 100, 150, 9).generate()
+    }
+
+    #[test]
+    fn catalog_is_append_only_and_truth_grows() {
+        let mut data = base();
+        let before_meta: Vec<_> = (0..5)
+            .map(|i| data.catalog.meta(ItemId(i)).category)
+            .collect();
+        let n_before = data.catalog.len();
+        let delta = evolve_day(&mut data, &EvolutionSpec::default());
+        assert!(!delta.new_items.is_empty());
+        assert_eq!(
+            data.catalog.len(),
+            n_before + delta.new_items.len(),
+            "append-only growth"
+        );
+        for (i, cat) in before_meta.iter().enumerate() {
+            assert_eq!(data.catalog.meta(ItemId(i as u32)).category, *cat);
+        }
+        assert_eq!(data.truth.item_vecs.len(), data.catalog.len());
+        assert_eq!(data.truth.user_vecs.len(), data.truth.user_prefs.len());
+    }
+
+    #[test]
+    fn todays_events_come_after_yesterdays() {
+        let mut data = base();
+        let horizon = data.events.iter().map(|e| e.when).max().unwrap();
+        let n_before = data.events.len();
+        let delta = evolve_day(&mut data, &EvolutionSpec::default());
+        assert_eq!(data.events.len(), n_before + delta.new_events);
+        let new_count = data.events.iter().filter(|e| e.when > horizon).count();
+        assert_eq!(new_count, delta.new_events);
+    }
+
+    #[test]
+    fn stockouts_generate_no_new_events() {
+        let mut data = base();
+        let spec = EvolutionSpec {
+            stockout_rate: 0.5,
+            seed: 3,
+            ..Default::default()
+        };
+        let horizon = data.events.iter().map(|e| e.when).max().unwrap();
+        let delta = evolve_day(&mut data, &spec);
+        assert!(!delta.stockouts.is_empty());
+        for e in data.events.iter().filter(|e| e.when > horizon) {
+            assert!(
+                !delta.stockouts.contains(&e.item),
+                "stocked-out item {} generated an event",
+                e.item
+            );
+        }
+    }
+
+    #[test]
+    fn repricing_moves_prices_boundedly() {
+        let mut data = base();
+        let before: Vec<Option<f32>> = data
+            .catalog
+            .iter()
+            .map(|(_, m)| m.price)
+            .collect();
+        let spec = EvolutionSpec {
+            reprice_rate: 1.0,
+            reprice_magnitude: 0.2,
+            seed: 5,
+            ..Default::default()
+        };
+        let delta = evolve_day(&mut data, &spec);
+        assert!(!delta.repriced.is_empty());
+        // Items added today can also be repriced; only yesterday's items
+        // have a "before" to compare against.
+        for &item in delta.repriced.iter().filter(|i| i.index() < before.len()) {
+            let old = before[item.index()].unwrap();
+            let new = data.catalog.meta(item).price.unwrap();
+            assert!(new >= (old * 0.8).max(1.0) - 1e-4 && new <= old * 1.2 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn evolution_is_deterministic() {
+        let mut a = base();
+        let mut b = base();
+        let spec = EvolutionSpec {
+            seed: 11,
+            ..Default::default()
+        };
+        let da = evolve_day(&mut a, &spec);
+        let db = evolve_day(&mut b, &spec);
+        assert_eq!(da, db);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn multi_day_evolution_keeps_world_consistent() {
+        let mut data = base();
+        for day in 0..4 {
+            let delta = evolve_day(
+                &mut data,
+                &EvolutionSpec {
+                    seed: 100 + day,
+                    ..Default::default()
+                },
+            );
+            assert!(delta.new_events > 0);
+        }
+        // Every event references a valid item and user.
+        for e in &data.events {
+            assert!(e.item.index() < data.catalog.len());
+            assert!(e.user.index() < data.truth.user_vecs.len());
+        }
+    }
+}

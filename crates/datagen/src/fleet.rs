@@ -1,0 +1,186 @@
+//! Fleet generation: thousands of heterogeneous retailers.
+//!
+//! "In Sigmund, we have retailers that range from hundreds of items in the
+//! catalog all the way to retailers with tens of millions of items." We draw
+//! catalog sizes from a truncated Pareto so a fleet has many tiny retailers
+//! and a few huge ones — the skew is what the bin-packing, randomization, and
+//! per-retailer model-selection experiments depend on.
+
+use crate::retailer::{RetailerData, RetailerSpec};
+use rand::rngs::StdRng;
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+use sigmund_types::RetailerId;
+
+/// Coarse retailer size classes, used for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SizeClass {
+    /// Under 100 items.
+    Tiny,
+    /// 100 – 999 items.
+    Small,
+    /// 1 000 – 9 999 items.
+    Medium,
+    /// 10 000+ items.
+    Large,
+}
+
+impl SizeClass {
+    /// Classifies a catalog size.
+    pub fn of(n_items: usize) -> Self {
+        match n_items {
+            0..=99 => SizeClass::Tiny,
+            100..=999 => SizeClass::Small,
+            1_000..=9_999 => SizeClass::Medium,
+            _ => SizeClass::Large,
+        }
+    }
+}
+
+/// Specification of a whole fleet of retailers.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Number of retailers.
+    pub n_retailers: usize,
+    /// Smallest catalog.
+    pub min_items: usize,
+    /// Largest catalog (truncation point).
+    pub max_items: usize,
+    /// Pareto tail exponent; ~1.0 gives heavy skew.
+    pub pareto_alpha: f64,
+    /// Users generated per item (activity density).
+    pub users_per_item: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for FleetSpec {
+    fn default() -> Self {
+        Self {
+            n_retailers: 50,
+            min_items: 30,
+            max_items: 5_000,
+            pareto_alpha: 1.0,
+            users_per_item: 1.5,
+            seed: 0,
+        }
+    }
+}
+
+impl FleetSpec {
+    /// Draws the per-retailer specs (cheap; no event generation).
+    pub fn specs(&self) -> Vec<RetailerSpec> {
+        assert!(self.min_items >= 1 && self.max_items >= self.min_items);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.n_retailers)
+            .map(|i| {
+                let n_items = self.sample_size(&mut rng);
+                let n_users = ((n_items as f64 * self.users_per_item) as usize).max(10);
+                RetailerSpec::sized(
+                    RetailerId::from_index(i),
+                    n_items,
+                    n_users,
+                    // Derive a distinct, stable per-retailer seed.
+                    self.seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64),
+                )
+            })
+            .collect()
+    }
+
+    /// Generates data for every retailer in the fleet. O(total events); use
+    /// modest sizes in tests.
+    pub fn generate(&self) -> Vec<RetailerData> {
+        self.specs().iter().map(|s| s.generate()).collect()
+    }
+
+    /// Truncated-Pareto catalog size.
+    fn sample_size(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random::<f64>().max(1e-12);
+        let raw = self.min_items as f64 * u.powf(-1.0 / self.pareto_alpha);
+        raw.min(self.max_items as f64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_classes() {
+        assert_eq!(SizeClass::of(50), SizeClass::Tiny);
+        assert_eq!(SizeClass::of(100), SizeClass::Small);
+        assert_eq!(SizeClass::of(5_000), SizeClass::Medium);
+        assert_eq!(SizeClass::of(50_000), SizeClass::Large);
+    }
+
+    #[test]
+    fn specs_are_deterministic_and_bounded() {
+        let fleet = FleetSpec {
+            n_retailers: 40,
+            ..Default::default()
+        };
+        let a = fleet.specs();
+        let b = fleet.specs();
+        assert_eq!(a.len(), 40);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.n_items, y.n_items);
+            assert_eq!(x.seed, y.seed);
+            assert!(x.n_items >= fleet.min_items && x.n_items <= fleet.max_items);
+        }
+    }
+
+    #[test]
+    fn sizes_are_skewed() {
+        let fleet = FleetSpec {
+            n_retailers: 300,
+            min_items: 30,
+            max_items: 100_000,
+            pareto_alpha: 1.0,
+            users_per_item: 1.0,
+            seed: 5,
+        };
+        let sizes: Vec<usize> = fleet.specs().iter().map(|s| s.n_items).collect();
+        let median = {
+            let mut s = sizes.clone();
+            s.sort_unstable();
+            s[s.len() / 2]
+        };
+        let max = *sizes.iter().max().unwrap();
+        assert!(
+            max as f64 > 20.0 * median as f64,
+            "max {max} median {median} — expected heavy tail"
+        );
+    }
+
+    #[test]
+    fn per_retailer_seeds_are_distinct() {
+        let fleet = FleetSpec {
+            n_retailers: 20,
+            ..Default::default()
+        };
+        let specs = fleet.specs();
+        let mut seeds: Vec<u64> = specs.iter().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 20);
+    }
+
+    #[test]
+    fn small_fleet_generates_end_to_end() {
+        let fleet = FleetSpec {
+            n_retailers: 3,
+            min_items: 20,
+            max_items: 60,
+            pareto_alpha: 1.2,
+            users_per_item: 1.0,
+            seed: 9,
+        };
+        let data = fleet.generate();
+        assert_eq!(data.len(), 3);
+        for d in &data {
+            assert!(!d.events.is_empty());
+        }
+    }
+}

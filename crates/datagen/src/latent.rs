@@ -1,0 +1,277 @@
+//! Ground-truth latent preference model.
+//!
+//! Every generated retailer comes with the latent vectors that *caused* its
+//! interaction log. Category anchors are sampled hierarchically down the
+//! taxonomy (children perturb their parent), items perturb their category
+//! anchor, and users are mixtures of a few preferred leaf categories — so the
+//! taxonomy really does carry signal, which is what makes the paper's
+//! hierarchical-feature claims testable.
+
+use rand::rngs::StdRng;
+use rand::prelude::*;
+use sigmund_types::{Catalog, CategoryId, ItemId, UserId};
+
+/// Dimensionality of the ground-truth latent space (not the model's factor
+/// count — models sweep theirs in the grid).
+pub const LATENT_DIM: usize = 8;
+
+/// A ground-truth latent vector.
+pub type Latent = [f32; LATENT_DIM];
+
+/// The generative state behind a retailer's interaction log.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// Per-category anchor vectors (hierarchically correlated).
+    pub category_anchors: Vec<Latent>,
+    /// Per-item latent vectors.
+    pub item_vecs: Vec<Latent>,
+    /// Per-user latent vectors.
+    pub user_vecs: Vec<Latent>,
+    /// Leaf categories each user prefers (drives session category choice).
+    pub user_prefs: Vec<Vec<CategoryId>>,
+    /// The brand each user is loyal to, if any.
+    pub user_brand: Vec<Option<u32>>,
+    /// Per-user price budget; items above budget are penalized.
+    pub user_budget: Vec<f32>,
+}
+
+/// Bonus added to affinity when an item matches the user's preferred brand.
+pub const BRAND_BONUS: f32 = 0.6;
+/// Penalty per unit of log price over the user's budget.
+pub const PRICE_PENALTY: f32 = 0.8;
+
+impl GroundTruth {
+    /// Builds ground truth for `catalog` with `n_users` users.
+    pub fn generate(catalog: &Catalog, n_users: usize, rng: &mut StdRng) -> Self {
+        let tax = &catalog.taxonomy;
+        // Hierarchical anchors: root = 0, child = parent + noise. Categories
+        // are created parent-before-child so a single pass suffices.
+        let mut category_anchors: Vec<Latent> = Vec::with_capacity(tax.len());
+        for c in 0..tax.len() {
+            let c = CategoryId::from_index(c);
+            let anchor = if c == tax.root() {
+                [0.0; LATENT_DIM]
+            } else {
+                let parent = category_anchors[tax.parent(c).index()];
+                perturb(&parent, 0.6, rng)
+            };
+            category_anchors.push(anchor);
+        }
+
+        let item_vecs: Vec<Latent> = catalog
+            .iter()
+            .map(|(_, meta)| perturb(&category_anchors[meta.category.index()], 0.3, rng))
+            .collect();
+
+        let leaves = tax.leaves();
+        let n_brands = catalog.brand_space();
+        let mut user_vecs = Vec::with_capacity(n_users);
+        let mut user_prefs = Vec::with_capacity(n_users);
+        let mut user_brand = Vec::with_capacity(n_users);
+        let mut user_budget = Vec::with_capacity(n_users);
+        for _ in 0..n_users {
+            let k = rng.random_range(1..=3.min(leaves.len()));
+            let mut prefs = Vec::with_capacity(k);
+            for _ in 0..k {
+                prefs.push(leaves[rng.random_range(0..leaves.len())]);
+            }
+            let mut v = [0.0f32; LATENT_DIM];
+            for p in &prefs {
+                let a = &category_anchors[p.index()];
+                for d in 0..LATENT_DIM {
+                    v[d] += a[d] / k as f32;
+                }
+            }
+            let v = perturb(&v, 0.2, rng);
+            user_vecs.push(v);
+            user_prefs.push(prefs);
+            // ~60% of users are brand-aware (paper: shoppers are either
+            // brand-aware or price-conscious).
+            user_brand.push(if n_brands > 0 && rng.random::<f32>() < 0.6 {
+                Some(rng.random_range(0..n_brands))
+            } else {
+                None
+            });
+            // Log-normal-ish budget.
+            user_budget.push((rng.random::<f32>() * 2.0 - 1.0).exp() * 50.0);
+        }
+
+        Self {
+            category_anchors,
+            item_vecs,
+            user_vecs,
+            user_prefs,
+            user_brand,
+            user_budget,
+        }
+    }
+
+    /// Ground-truth affinity between a user and an item: the latent dot
+    /// product plus brand loyalty and budget effects.
+    pub fn affinity(&self, catalog: &Catalog, user: UserId, item: ItemId) -> f32 {
+        let u = &self.user_vecs[user.index()];
+        let v = &self.item_vecs[item.index()];
+        let mut a = dot(u, v) / LATENT_DIM as f32;
+        let meta = catalog.meta(item);
+        if let (Some(pref), Some(brand)) = (self.user_brand[user.index()], meta.brand) {
+            if pref == brand.0 {
+                a += BRAND_BONUS;
+            }
+        }
+        if let Some(price) = meta.price {
+            let budget = self.user_budget[user.index()];
+            if price > budget {
+                a -= PRICE_PENALTY * ((price / budget).ln());
+            }
+        }
+        a
+    }
+
+    /// Probability the user clicks the item when it is *shown* as a
+    /// recommendation (before position bias). A squashed affinity with a low
+    /// base rate: irrelevant recommendations are mostly ignored, genuinely
+    /// wanted ones are clicked often — which is what makes recommendation
+    /// quality visible in CTR at all.
+    pub fn click_probability(&self, catalog: &Catalog, user: UserId, item: ItemId) -> f64 {
+        let a = self.affinity(catalog, user, item) as f64;
+        1.0 / (1.0 + (-(4.0 * a - 2.5)).exp())
+    }
+}
+
+/// `base + N(0, sigma)` per dimension (Box–Muller-free: sum of uniforms is
+/// close enough to Gaussian for workload generation and much cheaper).
+fn perturb(base: &Latent, sigma: f32, rng: &mut StdRng) -> Latent {
+    let mut out = *base;
+    for x in out.iter_mut() {
+        // Irwin–Hall(4) centered: mean 0, var 1/3; scale to sigma.
+        let s: f32 = (0..4).map(|_| rng.random::<f32>()).sum::<f32>() - 2.0;
+        *x += s * sigma * 1.732;
+    }
+    out
+}
+
+/// Dot product of two latent vectors.
+#[inline]
+pub fn dot(a: &Latent, b: &Latent) -> f32 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy_gen::TaxonomySpec;
+    use rand::SeedableRng;
+    use sigmund_types::{BrandId, ItemMeta, RetailerId};
+
+    fn small_catalog() -> Catalog {
+        let (tax, leaves) = TaxonomySpec::tiny().generate(3);
+        let mut cat = Catalog::new(RetailerId(0), tax);
+        for i in 0..20 {
+            cat.add_item(ItemMeta {
+                category: leaves[i % leaves.len()],
+                brand: if i % 2 == 0 { Some(BrandId(0)) } else { None },
+                price: Some(10.0 + i as f32),
+                facet: None,
+            });
+        }
+        cat
+    }
+
+    #[test]
+    fn generate_shapes() {
+        let cat = small_catalog();
+        let mut rng = StdRng::seed_from_u64(1);
+        let gt = GroundTruth::generate(&cat, 15, &mut rng);
+        assert_eq!(gt.item_vecs.len(), 20);
+        assert_eq!(gt.user_vecs.len(), 15);
+        assert_eq!(gt.category_anchors.len(), cat.taxonomy.len());
+        assert!(gt.user_prefs.iter().all(|p| !p.is_empty() && p.len() <= 3));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cat = small_catalog();
+        let a = GroundTruth::generate(&cat, 5, &mut StdRng::seed_from_u64(9));
+        let b = GroundTruth::generate(&cat, 5, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.user_vecs, b.user_vecs);
+        assert_eq!(a.item_vecs, b.item_vecs);
+    }
+
+    #[test]
+    fn items_cluster_around_their_category() {
+        let cat = small_catalog();
+        let mut rng = StdRng::seed_from_u64(2);
+        let gt = GroundTruth::generate(&cat, 1, &mut rng);
+        // Distance from an item to its own category anchor should on average
+        // be smaller than to a different leaf's anchor.
+        let leaves = cat.taxonomy.leaves();
+        let mut own = 0.0f64;
+        let mut other = 0.0f64;
+        let mut n = 0.0f64;
+        for (item, meta) in cat.iter() {
+            let v = &gt.item_vecs[item.index()];
+            let a = &gt.category_anchors[meta.category.index()];
+            own += dist(v, a);
+            let alt = leaves.iter().find(|l| **l != meta.category).unwrap();
+            other += dist(v, &gt.category_anchors[alt.index()]);
+            n += 1.0;
+        }
+        assert!(own / n < other / n);
+    }
+
+    fn dist(a: &Latent, b: &Latent) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| ((x - y) * (x - y)) as f64)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn brand_match_increases_affinity() {
+        let cat = small_catalog();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut gt = GroundTruth::generate(&cat, 2, &mut rng);
+        // Force user 0 to love brand 0; item 0 has brand 0, item 1 has none.
+        gt.user_brand[0] = Some(0);
+        // Equalize latent parts so only brand differs.
+        gt.item_vecs[1] = gt.item_vecs[0];
+        let cat2 = {
+            let mut c = cat.clone();
+            // ensure same price so budget term is equal
+            let _ = &mut c;
+            c
+        };
+        let a0 = gt.affinity(&cat2, UserId(0), ItemId(0));
+        // Item 1 might have a different price; rebuild with identical price.
+        let a1 = gt.affinity(&cat2, UserId(0), ItemId(1));
+        assert!(a0 > a1 - 1.0); // sanity: no explosion
+        assert!(a0 - (a1 + price_delta(&cat2, &gt)) >= BRAND_BONUS - 1e-5);
+    }
+
+    /// Affinity delta attributable to the price difference between items 0/1.
+    fn price_delta(cat: &Catalog, gt: &GroundTruth) -> f32 {
+        let b = gt.user_budget[0];
+        let pen = |p: f32| {
+            if p > b {
+                -PRICE_PENALTY * (p / b).ln()
+            } else {
+                0.0
+            }
+        };
+        pen(cat.meta(ItemId(0)).price.unwrap()) - pen(cat.meta(ItemId(1)).price.unwrap())
+    }
+
+    #[test]
+    fn click_probability_is_a_probability() {
+        let cat = small_catalog();
+        let mut rng = StdRng::seed_from_u64(4);
+        let gt = GroundTruth::generate(&cat, 10, &mut rng);
+        for u in 0..10u32 {
+            for i in 0..20u32 {
+                let p = gt.click_probability(&cat, UserId(u), ItemId(i));
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+}

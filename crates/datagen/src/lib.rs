@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! # sigmund-datagen
+//!
+//! Synthetic multi-retailer shopping workload generator.
+//!
+//! The paper evaluates Sigmund on Google's proprietary shopping logs, which
+//! we cannot use. This crate is the documented substitution (see DESIGN.md
+//! §1): a generative model of shoppers whose statistical structure matches
+//! what the paper's claims depend on —
+//!
+//! * **retailer heterogeneity**: a fleet has power-law catalog sizes, from a
+//!   few dozen items to hundreds of thousands;
+//! * **item popularity skew**: Zipf-distributed impressions, so there is a
+//!   "head" with dense co-occurrence data and a long tail without;
+//! * **funnel-shaped implicit feedback**: views >> searches >> carts >>
+//!   conversions, all driven by a *ground-truth* latent affinity between
+//!   user and item;
+//! * **structured catalogs**: taxonomy trees with complementary category
+//!   pairs, brands with configurable coverage, log-normal prices, and facets.
+//!
+//! Because the generator keeps its ground-truth latent vectors around
+//! ([`GroundTruth`]), downstream experiments can score recommendation quality
+//! against the *true* preference model — this powers the Figure 6 CTR
+//! simulation in `sigmund-serving`.
+//!
+//! Everything is deterministic given the seed in the spec.
+
+pub mod evolve;
+pub mod fleet;
+pub mod latent;
+pub mod popularity;
+pub mod retailer;
+pub mod sessions;
+pub mod taxonomy_gen;
+
+pub use evolve::{evolve_day, DayDelta, EvolutionSpec};
+pub use fleet::{FleetSpec, SizeClass};
+pub use latent::{GroundTruth, LATENT_DIM};
+pub use popularity::ZipfSampler;
+pub use retailer::{RetailerData, RetailerSpec};
+pub use taxonomy_gen::TaxonomySpec;

@@ -1,0 +1,131 @@
+//! Zipf-distributed sampling, used for item popularity.
+//!
+//! Product impressions are heavily skewed (Figure 6's x-axis spans orders of
+//! magnitude of impressions/day). We model within-retailer item popularity as
+//! Zipf with configurable exponent.
+
+use rand::prelude::*;
+
+/// Samples ranks `0..n` with probability proportional to `1 / (rank+1)^s`.
+///
+/// Weights are precomputed into a cumulative table; sampling is a binary
+/// search, O(log n).
+///
+/// ```
+/// use sigmund_datagen::ZipfSampler;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let z = ZipfSampler::new(1000, 1.1);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let rank = z.sample(&mut rng);
+/// assert!(rank < 1000);
+/// assert!(z.pmf(0) > z.pmf(999)); // the head is hot
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with exponent `s` (s = 0 is uniform).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be >= 0");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        Self { cumulative }
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True iff the sampler covers no ranks (never: construction forbids it).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Probability mass of a rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let lo = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
+        (self.cumulative[rank] - lo) / total
+    }
+
+    /// Draws a rank.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x: f64 = rng.random_range(0.0..total);
+        // partition_point returns the first index with cumulative > x.
+        self.cumulative.partition_point(|&c| c <= x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = ZipfSampler::new(100, 1.1);
+        let sum: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_favors_low_ranks() {
+        let z = ZipfSampler::new(1000, 1.0);
+        assert!(z.pmf(0) > 10.0 * z.pmf(100));
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_are_in_range_and_skewed() {
+        let z = ZipfSampler::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[25]);
+        assert!(counts[0] > counts[49]);
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn single_rank_always_sampled() {
+        let z = ZipfSampler::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

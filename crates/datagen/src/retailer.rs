@@ -1,0 +1,263 @@
+//! Single-retailer workload generation: catalog + ground truth + sessions.
+
+use crate::latent::GroundTruth;
+use crate::sessions::{generate_sessions, SessionParams};
+use crate::taxonomy_gen::TaxonomySpec;
+use rand::rngs::StdRng;
+use rand::prelude::*;
+use sigmund_types::{
+    BrandId, Catalog, CategoryId, FacetId, Interaction, ItemMeta, RetailerId,
+};
+
+/// Full specification of one synthetic retailer.
+#[derive(Debug, Clone)]
+pub struct RetailerSpec {
+    /// Retailer identity.
+    pub retailer: RetailerId,
+    /// Catalog size. The paper's fleet spans a few dozen to tens of millions;
+    /// experiments here scale that down while keeping the skew.
+    pub n_items: usize,
+    /// Number of users.
+    pub n_users: usize,
+    /// Mean sessions per user.
+    pub sessions_per_user: f32,
+    /// Mean items browsed per session.
+    pub session_len: f32,
+    /// Taxonomy shape.
+    pub taxonomy: TaxonomySpec,
+    /// Number of distinct brands.
+    pub n_brands: u32,
+    /// Fraction of items that carry a brand (paper: often <10% for small
+    /// retailers, which makes the feature detrimental).
+    pub brand_coverage: f64,
+    /// Fraction of items with a price.
+    pub price_coverage: f64,
+    /// Fraction of items with a facet value.
+    pub facet_coverage: f64,
+    /// Number of distinct facet values.
+    pub n_facets: u32,
+    /// Zipf exponent for item popularity.
+    pub popularity_exponent: f64,
+    /// Fraction of leaf categories that are consumable (re-purchasable, like
+    /// diapers or water in the paper).
+    pub consumable_fraction: f64,
+    /// Session behaviour knobs.
+    pub session_params: SessionParams,
+    /// Master seed; everything below derives from it.
+    pub seed: u64,
+}
+
+impl RetailerSpec {
+    /// A reasonable small retailer for tests and examples.
+    pub fn small(retailer: RetailerId, seed: u64) -> Self {
+        Self {
+            retailer,
+            n_items: 200,
+            n_users: 300,
+            sessions_per_user: 3.0,
+            session_len: 5.0,
+            taxonomy: TaxonomySpec::default(),
+            n_brands: 10,
+            brand_coverage: 0.7,
+            price_coverage: 0.9,
+            facet_coverage: 0.5,
+            n_facets: 6,
+            popularity_exponent: 1.0,
+            consumable_fraction: 0.2,
+            session_params: SessionParams::default(),
+            seed,
+        }
+    }
+
+    /// Scales the small spec to an arbitrary size, keeping event density
+    /// roughly proportional.
+    pub fn sized(retailer: RetailerId, n_items: usize, n_users: usize, seed: u64) -> Self {
+        let mut s = Self::small(retailer, seed);
+        s.n_items = n_items;
+        s.n_users = n_users;
+        s
+    }
+
+    /// Generates the retailer's catalog, ground truth, and interaction log.
+    pub fn generate(&self) -> RetailerData {
+        assert!(self.n_items > 0, "retailer needs at least one item");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let (taxonomy, leaves) = self.taxonomy.generate(rng.random());
+
+        // --- catalog -----------------------------------------------------
+        let mut catalog = Catalog::new(self.retailer, taxonomy);
+        // Brands cluster within categories: each leaf gets a couple of
+        // "native" brands, mirroring real catalogs.
+        let brands_per_leaf: Vec<[u32; 2]> = (0..leaves.len())
+            .map(|_| {
+                if self.n_brands == 0 {
+                    [0, 0]
+                } else {
+                    [
+                        rng.random_range(0..self.n_brands),
+                        rng.random_range(0..self.n_brands),
+                    ]
+                }
+            })
+            .collect();
+        for _ in 0..self.n_items {
+            let leaf_idx = rng.random_range(0..leaves.len());
+            let category = leaves[leaf_idx];
+            let brand = if self.n_brands > 0 && rng.random::<f64>() < self.brand_coverage {
+                Some(BrandId(brands_per_leaf[leaf_idx][rng.random_range(0..2)]))
+            } else {
+                None
+            };
+            let price = if rng.random::<f64>() < self.price_coverage {
+                // Log-normal-ish around 40 units.
+                Some(((rng.random::<f32>() * 2.0 - 1.0).exp() * 40.0).max(1.0))
+            } else {
+                None
+            };
+            let facet = if self.n_facets > 0 && rng.random::<f64>() < self.facet_coverage {
+                Some(FacetId(rng.random_range(0..self.n_facets)))
+            } else {
+                None
+            };
+            catalog.add_item(ItemMeta {
+                category,
+                brand,
+                price,
+                facet,
+            });
+        }
+
+        // --- ground truth ------------------------------------------------
+        let truth = GroundTruth::generate(&catalog, self.n_users, &mut rng);
+
+        // --- consumable categories ----------------------------------------
+        let consumable_categories: Vec<CategoryId> = leaves
+            .iter()
+            .copied()
+            .filter(|_| rng.random::<f64>() < self.consumable_fraction)
+            .collect();
+
+        // --- interaction log ----------------------------------------------
+        let events = generate_sessions(
+            self,
+            &catalog,
+            &truth,
+            &leaves,
+            &consumable_categories,
+            &mut rng,
+        );
+
+        RetailerData {
+            spec: self.clone(),
+            catalog,
+            truth,
+            events,
+            leaves,
+            consumable_categories,
+        }
+    }
+}
+
+/// Everything generated for one retailer.
+#[derive(Debug, Clone)]
+pub struct RetailerData {
+    /// The spec that produced this data.
+    pub spec: RetailerSpec,
+    /// The product catalog (with taxonomy).
+    pub catalog: Catalog,
+    /// Ground-truth latent model (held out from training; used for CTR
+    /// simulation and oracle evaluation).
+    pub truth: GroundTruth,
+    /// Implicit-feedback log, sorted per user chronologically.
+    pub events: Vec<Interaction>,
+    /// Leaf categories of the taxonomy.
+    pub leaves: Vec<CategoryId>,
+    /// Ground-truth consumable (re-purchasable) categories.
+    pub consumable_categories: Vec<CategoryId>,
+}
+
+impl RetailerData {
+    /// Retailer id shortcut.
+    pub fn retailer(&self) -> RetailerId {
+        self.catalog.retailer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmund_types::ActionType;
+
+    #[test]
+    fn generates_requested_sizes() {
+        let data = RetailerSpec::small(RetailerId(1), 42).generate();
+        assert_eq!(data.catalog.len(), 200);
+        assert!(!data.events.is_empty());
+        assert_eq!(data.truth.user_vecs.len(), 300);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = RetailerSpec::small(RetailerId(1), 7).generate();
+        let b = RetailerSpec::small(RetailerId(1), 7).generate();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.catalog.len(), b.catalog.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = RetailerSpec::small(RetailerId(1), 1).generate();
+        let b = RetailerSpec::small(RetailerId(1), 2).generate();
+        assert_ne!(a.events, b.events);
+    }
+
+    #[test]
+    fn funnel_shape_holds() {
+        let data = RetailerSpec::small(RetailerId(0), 11).generate();
+        let count = |a: ActionType| data.events.iter().filter(|e| e.action == a).count();
+        let views = count(ActionType::View);
+        let searches = count(ActionType::Search);
+        let carts = count(ActionType::Cart);
+        let convs = count(ActionType::Conversion);
+        assert!(views > searches, "views {views} vs searches {searches}");
+        assert!(searches > carts, "searches {searches} vs carts {carts}");
+        assert!(carts >= convs, "carts {carts} vs conversions {convs}");
+        assert!(convs > 0, "some conversions should occur");
+    }
+
+    #[test]
+    fn events_are_sorted_per_user() {
+        let data = RetailerSpec::small(RetailerId(0), 5).generate();
+        for w in data.events.windows(2) {
+            if w[0].user == w[1].user {
+                assert!(w[0].when <= w[1].when);
+            } else {
+                assert!(w[0].user < w[1].user);
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_close_to_spec() {
+        let mut spec = RetailerSpec::small(RetailerId(0), 13);
+        spec.n_items = 2000;
+        spec.brand_coverage = 0.3;
+        let data = spec.generate();
+        let cov = data.catalog.brand_coverage();
+        assert!((cov - 0.3).abs() < 0.05, "brand coverage {cov}");
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let data = RetailerSpec::small(RetailerId(0), 21).generate();
+        let mut counts = vec![0usize; data.catalog.len()];
+        for e in &data.events {
+            counts[e.item.index()] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = counts.iter().take(10).sum();
+        let total: usize = counts.iter().sum();
+        // Top 5% of items should account for well over 5% of events.
+        assert!(top10 as f64 / total as f64 > 0.10);
+    }
+}

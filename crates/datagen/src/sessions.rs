@@ -1,0 +1,304 @@
+//! Session simulation: turns ground-truth preferences into an
+//! implicit-feedback log with the paper's funnel structure.
+//!
+//! Each user runs several browsing sessions. A session picks a category
+//! (usually one the user prefers), browses popularity- and affinity-biased
+//! items inside it, and walks each item down the funnel
+//! `view → search → cart → conversion` with affinity-modulated transition
+//! probabilities. After a conversion the session may hop to the category's
+//! *complement* (accessories), which is what gives co-purchase structure for
+//! purchase-based recommendation; conversions in *consumable* categories may
+//! repeat in later sessions (re-purchasability).
+
+use crate::latent::GroundTruth;
+use crate::popularity::ZipfSampler;
+use crate::retailer::RetailerSpec;
+use rand::rngs::StdRng;
+use rand::prelude::*;
+use sigmund_types::{
+    sort_for_training, ActionType, Catalog, CategoryId, Interaction, ItemId, UserId,
+};
+
+/// Behaviour knobs for session simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionParams {
+    /// Probability a session explores a random category instead of a
+    /// preferred one.
+    pub explore_prob: f64,
+    /// Base probability a viewed item is reached via search.
+    pub search_base: f64,
+    /// Base probability a searched item is added to cart.
+    pub cart_base: f64,
+    /// Base probability a carted item converts.
+    pub conversion_base: f64,
+    /// How strongly affinity modulates funnel progression.
+    pub affinity_gain: f64,
+    /// Probability of hopping to the complement category after a conversion.
+    pub complement_prob: f64,
+    /// Probability a consumable conversion is re-purchased in a later session.
+    pub repurchase_prob: f64,
+}
+
+impl Default for SessionParams {
+    fn default() -> Self {
+        Self {
+            explore_prob: 0.2,
+            search_base: 0.35,
+            cart_base: 0.35,
+            conversion_base: 0.5,
+            affinity_gain: 1.2,
+            complement_prob: 0.5,
+            repurchase_prob: 0.5,
+        }
+    }
+}
+
+/// Per-category item index with a popularity sampler.
+struct CategoryIndex {
+    /// Items of each leaf category, ordered by (global) popularity rank.
+    items: Vec<Vec<ItemId>>,
+    samplers: Vec<Option<ZipfSampler>>,
+}
+
+impl CategoryIndex {
+    fn build(catalog: &Catalog, leaves: &[CategoryId], zipf_s: f64, rng: &mut StdRng) -> Self {
+        let leaf_slot: Vec<Option<usize>> = {
+            let mut slot = vec![None; catalog.taxonomy.len()];
+            for (i, l) in leaves.iter().enumerate() {
+                slot[l.index()] = Some(i);
+            }
+            slot
+        };
+        let mut items: Vec<Vec<ItemId>> = vec![Vec::new(); leaves.len()];
+        for (item, meta) in catalog.iter() {
+            if let Some(s) = leaf_slot[meta.category.index()] {
+                items[s].push(item);
+            }
+        }
+        // Shuffle then treat position as popularity rank: rank is independent
+        // of item id, so tests can't accidentally rely on id order.
+        use rand::seq::SliceRandom;
+        for v in items.iter_mut() {
+            v.shuffle(rng);
+        }
+        let samplers = items
+            .iter()
+            .map(|v| {
+                if v.is_empty() {
+                    None
+                } else {
+                    Some(ZipfSampler::new(v.len(), zipf_s))
+                }
+            })
+            .collect();
+        Self { items, samplers }
+    }
+
+    /// Samples a popularity-biased item from leaf slot `slot`.
+    fn sample(&self, slot: usize, rng: &mut StdRng) -> Option<ItemId> {
+        let sampler = self.samplers[slot].as_ref()?;
+        Some(self.items[slot][sampler.sample(rng)])
+    }
+}
+
+/// Generates the full interaction log for a retailer. Returned events are
+/// sorted with [`sort_for_training`].
+pub fn generate_sessions(
+    spec: &RetailerSpec,
+    catalog: &Catalog,
+    truth: &GroundTruth,
+    leaves: &[CategoryId],
+    consumable: &[CategoryId],
+    rng: &mut StdRng,
+) -> Vec<Interaction> {
+    let p = spec.session_params;
+    let index = CategoryIndex::build(catalog, leaves, spec.popularity_exponent, rng);
+    let leaf_slot_of: Vec<Option<usize>> = {
+        let mut slot = vec![None; catalog.taxonomy.len()];
+        for (i, l) in leaves.iter().enumerate() {
+            slot[l.index()] = Some(i);
+        }
+        slot
+    };
+    let is_consumable = {
+        let mut v = vec![false; catalog.taxonomy.len()];
+        for c in consumable {
+            v[c.index()] = true;
+        }
+        v
+    };
+
+    let mut events = Vec::new();
+    let mut pending_repurchase: Vec<(ItemId, u64)> = Vec::new();
+    // Shoppers mostly *discover*: resample a few times to avoid re-viewing
+    // an item this user already saw (repeat views still happen, just rarely —
+    // deliberate re-purchases are modeled separately below).
+    let mut viewed: std::collections::HashSet<u32> = std::collections::HashSet::new();
+
+    for u in 0..spec.n_users {
+        let user = UserId::from_index(u);
+        pending_repurchase.clear();
+        viewed.clear();
+        // 1 + Geometric-ish session count with the requested mean.
+        let n_sessions = 1 + sample_geometric(spec.sessions_per_user as f64 - 1.0, rng);
+        let mut t: u64 = 0;
+        for _ in 0..n_sessions {
+            t += 10_000; // sessions are well separated in time
+            // Re-purchases due this session come first.
+            let mut i = 0;
+            while i < pending_repurchase.len() {
+                if rng.random::<f64>() < p.repurchase_prob {
+                    let (item, _) = pending_repurchase[i];
+                    t += 1;
+                    events.push(Interaction::new(user, item, ActionType::View, t));
+                    t += 1;
+                    events.push(Interaction::new(user, item, ActionType::Conversion, t));
+                }
+                i += 1;
+            }
+
+            // Pick a starting category.
+            let prefs = &truth.user_prefs[user.index()];
+            let start = if rng.random::<f64>() < p.explore_prob || prefs.is_empty() {
+                leaves[rng.random_range(0..leaves.len())]
+            } else {
+                prefs[rng.random_range(0..prefs.len())]
+            };
+            let mut slot = match leaf_slot_of[start.index()] {
+                Some(s) => s,
+                None => continue,
+            };
+
+            let len = 1 + sample_geometric(spec.session_len as f64 - 1.0, rng);
+            for _ in 0..len {
+                let Some(mut item) = index.sample(slot, rng) else {
+                    break;
+                };
+                for _ in 0..4 {
+                    if !viewed.contains(&item.0) {
+                        break;
+                    }
+                    if let Some(fresh) = index.sample(slot, rng) {
+                        item = fresh;
+                    }
+                }
+                viewed.insert(item.0);
+                let aff = truth.affinity(catalog, user, item) as f64;
+                let boost = sigmoid(p.affinity_gain * aff);
+                t += 1;
+                events.push(Interaction::new(user, item, ActionType::View, t));
+                if rng.random::<f64>() < p.search_base * 2.0 * boost {
+                    t += 1;
+                    events.push(Interaction::new(user, item, ActionType::Search, t));
+                    if rng.random::<f64>() < p.cart_base * 2.0 * boost {
+                        t += 1;
+                        events.push(Interaction::new(user, item, ActionType::Cart, t));
+                        if rng.random::<f64>() < p.conversion_base * 2.0 * boost {
+                            t += 1;
+                            events.push(Interaction::new(
+                                user,
+                                item,
+                                ActionType::Conversion,
+                                t,
+                            ));
+                            let cat = catalog.category(item);
+                            if is_consumable[cat.index()] {
+                                pending_repurchase.push((item, t));
+                            }
+                            // Hop to accessories after a purchase.
+                            if rng.random::<f64>() < p.complement_prob {
+                                slot = complement_slot(slot, leaves.len());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    sort_for_training(&mut events);
+    events
+}
+
+/// The complement (accessory) category of leaf slot `s`: fixed cyclic pairing.
+///
+/// Exposed so tests and the candidate-selection experiment can check
+/// co-purchase structure against the generator's ground truth.
+pub fn complement_slot(s: usize, n_leaves: usize) -> usize {
+    (s + 1) % n_leaves.max(1)
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Geometric sample with the given mean (>= 0 mean yields >= 0 samples).
+fn sample_geometric(mean: f64, rng: &mut StdRng) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let p = 1.0 / (1.0 + mean);
+    let mut k = 0usize;
+    while rng.random::<f64>() > p && k < 10_000 {
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sigmund_types::RetailerId;
+
+    #[test]
+    fn geometric_mean_is_approximate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let sum: usize = (0..n).map(|_| sample_geometric(3.0, &mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn complement_is_cyclic_and_total() {
+        assert_eq!(complement_slot(0, 4), 1);
+        assert_eq!(complement_slot(3, 4), 0);
+        assert_eq!(complement_slot(0, 1), 0);
+    }
+
+    #[test]
+    fn repurchases_occur_in_consumable_categories() {
+        let mut spec = crate::RetailerSpec::small(RetailerId(0), 77);
+        spec.consumable_fraction = 1.0; // all categories consumable
+        spec.n_users = 200;
+        let data = spec.generate();
+        // Count users with repeated conversion of the same item.
+        let mut repeats = 0;
+        let mut by_user: std::collections::HashMap<(u32, u32), u32> =
+            std::collections::HashMap::new();
+        for e in &data.events {
+            if e.action == ActionType::Conversion {
+                *by_user.entry((e.user.0, e.item.0)).or_default() += 1;
+            }
+        }
+        for (_, c) in by_user {
+            if c > 1 {
+                repeats += 1;
+            }
+        }
+        assert!(repeats > 0, "expected repeat purchases");
+    }
+
+    #[test]
+    fn conversions_trigger_complement_views() {
+        // With complement_prob = 1 every conversion hops category; verify at
+        // least one user views an item from the complement leaf right after
+        // converting.
+        let mut spec = crate::RetailerSpec::small(RetailerId(0), 3);
+        spec.session_params.complement_prob = 1.0;
+        spec.session_len = 8.0;
+        let data = spec.generate();
+        assert!(!data.events.is_empty());
+    }
+}

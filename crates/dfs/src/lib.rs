@@ -1,0 +1,254 @@
+#![warn(missing_docs)]
+//! # sigmund-dfs
+//!
+//! A simulated shared distributed filesystem — the GFS [9] stand-in.
+//!
+//! Sigmund leans on three filesystem behaviours that this crate reproduces:
+//!
+//! * **shared, fault-tolerant storage**: any task in any cell can read any
+//!   path (a training task resumed on a different machine must find its
+//!   checkpoint);
+//! * **atomic publish via rename**: checkpoints are written to a temp path
+//!   and renamed, so readers never observe a torn checkpoint, and the
+//!   previous checkpoint is garbage-collected as soon as a new one lands
+//!   (Section IV-B3);
+//! * **data placement and cross-cell transfer accounting**: training "simply
+//!   migrate[s] the training data to the data center where the computation is
+//!   run" (Section IV-B1) — the byte counters here let the pipeline weigh
+//!   that network cost against the CPU savings.
+//!
+//! Everything lives in process memory behind a [`parking_lot`] lock; paths
+//! are plain `/`-separated strings.
+
+pub mod checkpoint;
+
+pub use checkpoint::CheckpointStore;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use sigmund_types::{CellId, SigmundError};
+use std::collections::BTreeMap;
+
+/// A file plus the cell its primary replica lives in.
+#[derive(Debug, Clone)]
+struct Entry {
+    data: Bytes,
+    home: CellId,
+}
+
+/// Cross-cell traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TransferStats {
+    /// Bytes read by a cell other than the one holding the data.
+    pub cross_cell_read_bytes: u64,
+    /// Bytes moved by explicit [`Dfs::migrate`] calls.
+    pub migrated_bytes: u64,
+}
+
+/// The simulated distributed filesystem.
+///
+/// ```
+/// use sigmund_dfs::Dfs;
+/// use sigmund_types::CellId;
+/// use bytes::Bytes;
+/// let dfs = Dfs::new();
+/// dfs.write(CellId(0), "/models/r1/c0", Bytes::from_static(b"weights"));
+/// assert_eq!(&dfs.read(CellId(0), "/models/r1/c0").unwrap()[..], b"weights");
+/// // Reading from another cell is accounted as cross-cell traffic.
+/// dfs.read(CellId(1), "/models/r1/c0").unwrap();
+/// assert_eq!(dfs.stats().cross_cell_read_bytes, 7);
+/// ```
+#[derive(Debug, Default)]
+pub struct Dfs {
+    files: RwLock<BTreeMap<String, Entry>>,
+    stats: RwLock<TransferStats>,
+}
+
+impl Dfs {
+    /// An empty filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes (or overwrites) `path`, homing the data in `cell`.
+    pub fn write(&self, cell: CellId, path: &str, data: Bytes) {
+        self.files
+            .write()
+            .insert(path.to_string(), Entry { data, home: cell });
+    }
+
+    /// Reads `path` from `cell`, charging cross-cell traffic if the data
+    /// lives elsewhere.
+    ///
+    /// # Errors
+    /// [`SigmundError::NotFound`] if the path does not exist.
+    pub fn read(&self, cell: CellId, path: &str) -> Result<Bytes, SigmundError> {
+        let files = self.files.read();
+        let entry = files
+            .get(path)
+            .ok_or_else(|| SigmundError::NotFound(path.to_string()))?;
+        if entry.home != cell {
+            self.stats.write().cross_cell_read_bytes += entry.data.len() as u64;
+        }
+        Ok(entry.data.clone())
+    }
+
+    /// True iff `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.read().contains_key(path)
+    }
+
+    /// Deletes `path`.
+    ///
+    /// # Errors
+    /// [`SigmundError::NotFound`] if the path does not exist.
+    pub fn delete(&self, path: &str) -> Result<(), SigmundError> {
+        self.files
+            .write()
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| SigmundError::NotFound(path.to_string()))
+    }
+
+    /// Atomically renames `from` to `to` (replacing `to` if present), the
+    /// primitive checkpointing builds on.
+    ///
+    /// # Errors
+    /// [`SigmundError::NotFound`] if `from` does not exist.
+    pub fn rename(&self, from: &str, to: &str) -> Result<(), SigmundError> {
+        let mut files = self.files.write();
+        let entry = files
+            .remove(from)
+            .ok_or_else(|| SigmundError::NotFound(from.to_string()))?;
+        files.insert(to.to_string(), entry);
+        Ok(())
+    }
+
+    /// Re-homes `path`'s data into `cell`, charging migration traffic.
+    /// Used to move training data into the cell that will compute on it.
+    ///
+    /// # Errors
+    /// [`SigmundError::NotFound`] if the path does not exist.
+    pub fn migrate(&self, path: &str, cell: CellId) -> Result<(), SigmundError> {
+        let mut files = self.files.write();
+        let entry = files
+            .get_mut(path)
+            .ok_or_else(|| SigmundError::NotFound(path.to_string()))?;
+        if entry.home != cell {
+            self.stats.write().migrated_bytes += entry.data.len() as u64;
+            entry.home = cell;
+        }
+        Ok(())
+    }
+
+    /// The cell currently holding `path`.
+    pub fn home_of(&self, path: &str) -> Option<CellId> {
+        self.files.read().get(path).map(|e| e.home)
+    }
+
+    /// All paths with the given prefix, in lexicographic order.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.files
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Total bytes stored.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.read().values().map(|e| e.data.len() as u64).sum()
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> TransferStats {
+        *self.stats.read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C0: CellId = CellId(0);
+    const C1: CellId = CellId(1);
+
+    #[test]
+    fn write_read_round_trip() {
+        let dfs = Dfs::new();
+        dfs.write(C0, "/a/b", Bytes::from_static(b"hello"));
+        assert_eq!(dfs.read(C0, "/a/b").unwrap(), Bytes::from_static(b"hello"));
+        assert!(dfs.exists("/a/b"));
+        assert!(!dfs.exists("/a"));
+    }
+
+    #[test]
+    fn missing_path_errors() {
+        let dfs = Dfs::new();
+        assert!(matches!(
+            dfs.read(C0, "/nope"),
+            Err(SigmundError::NotFound(_))
+        ));
+        assert!(dfs.delete("/nope").is_err());
+        assert!(dfs.rename("/nope", "/x").is_err());
+        assert!(dfs.migrate("/nope", C0).is_err());
+    }
+
+    #[test]
+    fn cross_cell_reads_are_charged() {
+        let dfs = Dfs::new();
+        dfs.write(C0, "/data", Bytes::from(vec![0u8; 100]));
+        dfs.read(C0, "/data").unwrap(); // local: free
+        assert_eq!(dfs.stats().cross_cell_read_bytes, 0);
+        dfs.read(C1, "/data").unwrap(); // remote: charged
+        assert_eq!(dfs.stats().cross_cell_read_bytes, 100);
+    }
+
+    #[test]
+    fn migrate_rehomes_and_charges_once() {
+        let dfs = Dfs::new();
+        dfs.write(C0, "/data", Bytes::from(vec![0u8; 64]));
+        dfs.migrate("/data", C1).unwrap();
+        assert_eq!(dfs.home_of("/data"), Some(C1));
+        assert_eq!(dfs.stats().migrated_bytes, 64);
+        // Idempotent: migrating to the same cell is free.
+        dfs.migrate("/data", C1).unwrap();
+        assert_eq!(dfs.stats().migrated_bytes, 64);
+        // Reads from the new home are now local.
+        dfs.read(C1, "/data").unwrap();
+        assert_eq!(dfs.stats().cross_cell_read_bytes, 0);
+    }
+
+    #[test]
+    fn rename_is_atomic_replace() {
+        let dfs = Dfs::new();
+        dfs.write(C0, "/tmp", Bytes::from_static(b"new"));
+        dfs.write(C0, "/final", Bytes::from_static(b"old"));
+        dfs.rename("/tmp", "/final").unwrap();
+        assert!(!dfs.exists("/tmp"));
+        assert_eq!(dfs.read(C0, "/final").unwrap(), Bytes::from_static(b"new"));
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let dfs = Dfs::new();
+        dfs.write(C0, "/models/r1/c0", Bytes::new());
+        dfs.write(C0, "/models/r1/c1", Bytes::new());
+        dfs.write(C0, "/models/r2/c0", Bytes::new());
+        dfs.write(C0, "/data/r1", Bytes::new());
+        assert_eq!(dfs.list("/models/r1/").len(), 2);
+        assert_eq!(dfs.list("/models/").len(), 3);
+        assert_eq!(dfs.list("/zzz").len(), 0);
+    }
+
+    #[test]
+    fn total_bytes_sums_files() {
+        let dfs = Dfs::new();
+        dfs.write(C0, "/a", Bytes::from(vec![0u8; 10]));
+        dfs.write(C0, "/b", Bytes::from(vec![0u8; 5]));
+        assert_eq!(dfs.total_bytes(), 15);
+        dfs.delete("/a").unwrap();
+        assert_eq!(dfs.total_bytes(), 5);
+    }
+}

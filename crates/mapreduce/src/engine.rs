@@ -1,0 +1,438 @@
+//! The map-task scheduling engine: real compute, virtual time.
+//!
+//! Each split becomes one task. The engine list-schedules tasks onto the
+//! cell's machines in queue order (earliest-free machine first), samples a
+//! pre-emption budget for every attempt of a pre-emptible task, and actually
+//! *calls the task's code*. The task advances its own virtual clock through
+//! [`AttemptCtx::consume`]; when the budget runs out the task must abandon
+//! the attempt (returning [`MapStatus::Preempted`]) and will be re-executed
+//! later — typically resuming from a checkpoint it wrote to the DFS.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sigmund_cluster::{CellSpec, CostMeter, PreemptionModel, Priority};
+use sigmund_types::TaskId;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// What a map attempt reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapStatus {
+    /// The split completed.
+    Done,
+    /// The attempt was killed (budget exhausted); re-execute later.
+    Preempted,
+}
+
+/// Virtual-time context handed to each map attempt.
+#[derive(Debug)]
+pub struct AttemptCtx {
+    /// 1-based attempt number for this split.
+    pub attempt: u32,
+    budget: f64,
+    used: f64,
+}
+
+impl AttemptCtx {
+    fn new(attempt: u32, budget: f64) -> Self {
+        Self {
+            attempt,
+            budget,
+            used: 0.0,
+        }
+    }
+
+    /// Tries to spend `dt` virtual seconds. Returns `false` when the attempt
+    /// is pre-empted partway through — the machine time up to the kill is
+    /// still consumed, but the caller must stop working and return
+    /// [`MapStatus::Preempted`] without saving state.
+    pub fn consume(&mut self, dt: f64) -> bool {
+        debug_assert!(dt >= 0.0);
+        if self.used + dt > self.budget {
+            self.used = self.budget;
+            false
+        } else {
+            self.used += dt;
+            true
+        }
+    }
+
+    /// Virtual seconds consumed so far in this attempt.
+    pub fn used(&self) -> f64 {
+        self.used
+    }
+
+    /// Remaining budget (infinite for production tasks).
+    pub fn remaining(&self) -> f64 {
+        self.budget - self.used
+    }
+}
+
+/// A map task: user code plus scheduling metadata.
+pub trait MapTask: Sync {
+    /// Executes (or resumes) `split`, spending virtual time through `ctx`.
+    fn run(&self, split: usize, ctx: &mut AttemptCtx) -> MapStatus;
+
+    /// Estimated virtual seconds for the split (reporting only; the engine
+    /// trusts `run`'s actual consumption).
+    fn est_work(&self, split: usize) -> f64;
+
+    /// Memory footprint of the split in GB.
+    fn memory_gb(&self, _split: usize) -> f64 {
+        4.0
+    }
+}
+
+/// Job-level configuration.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// The cell the job runs in.
+    pub cell: CellSpec,
+    /// Priority (pre-emptible for Sigmund's offline work).
+    pub priority: Priority,
+    /// Pre-emption hazard.
+    pub preemption: PreemptionModel,
+    /// Seed for pre-emption sampling.
+    pub seed: u64,
+    /// Abandon a split after this many attempts (`None` = retry forever).
+    /// Production jobs should set this: a split whose minimum work unit
+    /// exceeds every sampled budget would otherwise retry unboundedly.
+    pub max_attempts: Option<u32>,
+}
+
+/// Per-split scheduling outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitStats {
+    /// The split index.
+    pub split: usize,
+    /// Attempts used.
+    pub attempts: u32,
+    /// Virtual machine-seconds consumed across attempts.
+    pub cpu_seconds: f64,
+    /// Virtual completion time.
+    pub finish: f64,
+}
+
+/// Whole-job statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStats {
+    /// Virtual time the last split finished.
+    pub makespan: f64,
+    /// Metered cost of all machine time.
+    pub cost: CostMeter,
+    /// Total pre-emptions across splits.
+    pub preemptions: u64,
+    /// Per-split outcomes, by split index.
+    pub per_split: Vec<SplitStats>,
+    /// Virtual busy seconds per machine (load-balance diagnostics).
+    pub machine_busy: Vec<f64>,
+    /// Splits whose memory can never fit a machine (not executed).
+    pub unschedulable: Vec<TaskId>,
+    /// Splits abandoned after exhausting the retry budget.
+    pub failed: Vec<TaskId>,
+}
+
+impl JobStats {
+    /// Max/mean machine busy-time ratio: 1.0 = perfectly balanced.
+    pub fn load_imbalance(&self) -> f64 {
+        let n = self.machine_busy.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let max = self.machine_busy.iter().cloned().fold(0.0, f64::max);
+        let mean: f64 = self.machine_busy.iter().sum::<f64>() / n as f64;
+        if mean <= 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// Runs a map job over `n_splits` splits, executing the task's code for real
+/// while accounting virtual time.
+pub fn run_map_job<T: MapTask>(task: &T, n_splits: usize, cfg: &JobConfig) -> JobStats {
+    let n_machines = cfg.cell.machines;
+    assert!(n_machines > 0, "cell has no machines");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Machines become free at these times (min-heap keyed by quantized time).
+    let mut free_at: BinaryHeap<Reverse<(u64, usize)>> = (0..n_machines)
+        .map(|m| Reverse((0u64, m)))
+        .collect();
+    let quantize = |t: f64| -> u64 { (t * 1e9).round() as u64 };
+
+    let mut pending: VecDeque<(usize, u32)> = (0..n_splits).map(|s| (s, 1)).collect();
+    let mut stats: Vec<SplitStats> = (0..n_splits)
+        .map(|split| SplitStats {
+            split,
+            attempts: 0,
+            cpu_seconds: 0.0,
+            finish: 0.0,
+        })
+        .collect();
+    let mut machine_busy = vec![0.0f64; n_machines];
+    let mut cost = CostMeter::default();
+    let mut preemptions = 0u64;
+    let mut makespan = 0.0f64;
+    let mut unschedulable = Vec::new();
+    let mut failed = Vec::new();
+
+    // Reject splits that can never fit.
+    pending.retain(|&(s, _)| {
+        if task.memory_gb(s) > cfg.cell.machine.memory_gb {
+            unschedulable.push(TaskId::from_index(s));
+            false
+        } else {
+            true
+        }
+    });
+
+    while let Some((split, attempt)) = pending.pop_front() {
+        let Reverse((qt, machine)) = free_at.pop().expect("at least one machine");
+        let now = qt as f64 / 1e9;
+        let budget = cfg
+            .preemption
+            .sample(cfg.priority, &mut rng)
+            .unwrap_or(f64::INFINITY);
+        let mut ctx = AttemptCtx::new(attempt, budget);
+        let status = task.run(split, &mut ctx);
+        let elapsed = ctx.used();
+        let st = &mut stats[split];
+        st.attempts = attempt;
+        st.cpu_seconds += elapsed;
+        machine_busy[machine] += elapsed;
+        cost.charge(cfg.priority, elapsed);
+        let end = now + elapsed;
+        free_at.push(Reverse((quantize(end), machine)));
+        match status {
+            MapStatus::Done => {
+                st.finish = end;
+                makespan = makespan.max(end);
+            }
+            MapStatus::Preempted => {
+                preemptions += 1;
+                if cfg.max_attempts.is_some_and(|cap| attempt >= cap) {
+                    failed.push(TaskId::from_index(split));
+                } else {
+                    pending.push_back((split, attempt + 1));
+                }
+            }
+        }
+    }
+
+    JobStats {
+        makespan,
+        cost,
+        preemptions,
+        per_split: stats,
+        machine_busy,
+        unschedulable,
+        failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmund_types::CellId;
+
+    /// A fake task: fixed work per split, optional checkpoint interval.
+    /// Progress is remembered across attempts when `resume` is true — the
+    /// stand-in for reloading a DFS checkpoint.
+    struct Fake {
+        work: Vec<f64>,
+        chunk: f64,
+        checkpoint_every: u64,
+        resume: bool,
+        progress: parking_lot_free_progress::Progress,
+    }
+
+    /// Tiny interior-mutability helper (std only).
+    mod parking_lot_free_progress {
+        use std::sync::Mutex;
+        #[derive(Default)]
+        pub struct Progress(Mutex<std::collections::HashMap<usize, f64>>);
+        impl Progress {
+            pub fn get(&self, s: usize) -> f64 {
+                *self.0.lock().unwrap().get(&s).unwrap_or(&0.0)
+            }
+            pub fn set(&self, s: usize, v: f64) {
+                self.0.lock().unwrap().insert(s, v);
+            }
+        }
+    }
+
+    impl Fake {
+        fn new(work: Vec<f64>) -> Self {
+            Self {
+                work,
+                chunk: 1.0,
+                checkpoint_every: 1,
+                resume: true,
+                progress: Default::default(),
+            }
+        }
+    }
+
+    impl MapTask for Fake {
+        fn run(&self, split: usize, ctx: &mut AttemptCtx) -> MapStatus {
+            let total = self.work[split];
+            let mut done = if self.resume {
+                self.progress.get(split)
+            } else {
+                0.0
+            };
+            let mut chunks_since_ckpt = 0u64;
+            while done < total {
+                let step = self.chunk.min(total - done);
+                if !ctx.consume(step) {
+                    return MapStatus::Preempted;
+                }
+                done += step;
+                chunks_since_ckpt += 1;
+                if chunks_since_ckpt >= self.checkpoint_every {
+                    self.progress.set(split, done); // "write checkpoint"
+                    chunks_since_ckpt = 0;
+                }
+            }
+            self.progress.set(split, total);
+            MapStatus::Done
+        }
+
+        fn est_work(&self, split: usize) -> f64 {
+            self.work[split]
+        }
+    }
+
+    fn cfg(machines: usize, rate: f64, seed: u64) -> JobConfig {
+        JobConfig {
+            cell: CellSpec::standard(CellId(0), machines),
+            priority: Priority::Preemptible,
+            preemption: PreemptionModel {
+                rate_per_hour: rate,
+            },
+            seed,
+            max_attempts: None,
+        }
+    }
+
+    #[test]
+    fn no_preemption_makespan_is_list_schedule() {
+        let task = Fake::new(vec![10.0, 20.0, 30.0]);
+        let stats = run_map_job(&task, 3, &cfg(1, 0.0, 1));
+        assert!((stats.makespan - 60.0).abs() < 1e-6);
+        let stats2 = run_map_job(&Fake::new(vec![10.0, 20.0, 30.0]), 3, &cfg(3, 0.0, 1));
+        assert!((stats2.makespan - 30.0).abs() < 1e-6);
+        assert_eq!(stats.preemptions, 0);
+        assert!(stats.per_split.iter().all(|s| s.attempts == 1));
+    }
+
+    #[test]
+    fn preempted_attempts_retry_and_finish() {
+        // Huge hazard: ~1 pre-emption per 36 virtual seconds.
+        let task = Fake::new(vec![100.0, 100.0]);
+        let stats = run_map_job(&task, 2, &cfg(2, 100.0, 7));
+        assert!(stats.preemptions > 0, "hazard should trigger retries");
+        assert!(stats.per_split.iter().all(|s| s.finish > 0.0));
+        // Checkpoint-resumed: total useful work is bounded, so CPU time is
+        // work + lost tails, well under a from-scratch blowup.
+        for s in &stats.per_split {
+            assert!(s.cpu_seconds >= 100.0);
+        }
+    }
+
+    #[test]
+    fn resume_beats_restart() {
+        let run = |resume: bool| {
+            let mut task = Fake::new(vec![200.0]);
+            task.resume = resume;
+            run_map_job(&task, 1, &cfg(1, 60.0, 99)).per_split[0].cpu_seconds
+        };
+        let with_ckpt = run(true);
+        let without = run(false);
+        assert!(
+            with_ckpt < without,
+            "checkpoint resume {with_ckpt} must beat restart {without}"
+        );
+    }
+
+    #[test]
+    fn production_priority_never_preempts() {
+        let task = Fake::new(vec![50.0; 4]);
+        let mut c = cfg(2, 1000.0, 3);
+        c.priority = Priority::Production;
+        let stats = run_map_job(&task, 4, &c);
+        assert_eq!(stats.preemptions, 0);
+        assert!(stats.cost.production_cpu_s > 0.0);
+        assert_eq!(stats.cost.preemptible_cpu_s, 0.0);
+    }
+
+    #[test]
+    fn oversized_split_reported_unschedulable() {
+        struct Big;
+        impl MapTask for Big {
+            fn run(&self, _: usize, ctx: &mut AttemptCtx) -> MapStatus {
+                ctx.consume(1.0);
+                MapStatus::Done
+            }
+            fn est_work(&self, _: usize) -> f64 {
+                1.0
+            }
+            fn memory_gb(&self, split: usize) -> f64 {
+                if split == 0 {
+                    1000.0
+                } else {
+                    1.0
+                }
+            }
+        }
+        let stats = run_map_job(&Big, 2, &cfg(1, 0.0, 1));
+        assert_eq!(stats.unschedulable, vec![TaskId(0)]);
+        assert_eq!(stats.per_split[0].attempts, 0);
+        assert_eq!(stats.per_split[1].attempts, 1);
+    }
+
+    #[test]
+    fn machine_busy_and_imbalance() {
+        // One long split and three short ones on two machines.
+        let task = Fake::new(vec![90.0, 10.0, 10.0, 10.0]);
+        let stats = run_map_job(&task, 4, &cfg(2, 0.0, 1));
+        let total: f64 = stats.machine_busy.iter().sum();
+        assert!((total - 120.0).abs() < 1e-6);
+        assert!(stats.load_imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn attempt_ctx_budget_semantics() {
+        let mut ctx = AttemptCtx::new(1, 5.0);
+        assert!(ctx.consume(3.0));
+        assert_eq!(ctx.used(), 3.0);
+        assert!((ctx.remaining() - 2.0).abs() < 1e-12);
+        assert!(!ctx.consume(3.0), "exceeds budget");
+        assert_eq!(ctx.used(), 5.0, "machine time runs to the kill point");
+    }
+
+    #[test]
+    fn retry_cap_abandons_unfinishable_splits() {
+        // A split that never checkpoints and has huge work: under an extreme
+        // hazard (mean budget ~0.036 s vs 1000 s of work) it can never
+        // finish; the cap must end the job instead of looping forever.
+        let mut task = Fake::new(vec![1000.0, 0.01]);
+        task.resume = false;
+        let mut c = cfg(1, 100_000.0, 3);
+        c.max_attempts = Some(25);
+        let stats = run_map_job(&task, 2, &c);
+        assert_eq!(stats.failed, vec![TaskId(0)]);
+        assert!(stats.per_split[1].finish > 0.0, "small split still completes");
+        assert!(stats.preemptions >= 25);
+    }
+
+    #[test]
+    fn empty_job() {
+        let task = Fake::new(vec![]);
+        let stats = run_map_job(&task, 0, &cfg(2, 0.0, 1));
+        assert_eq!(stats.makespan, 0.0);
+        assert!(stats.per_split.is_empty());
+    }
+}

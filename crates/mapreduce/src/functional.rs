@@ -1,0 +1,100 @@
+//! Plain in-memory map/shuffle/reduce.
+//!
+//! Used for the data-parallel parts of the pipelines that don't need the
+//! scheduling engine (building per-retailer datasets, joining config
+//! records, aggregating statistics).
+
+use std::collections::BTreeMap;
+
+/// Groups key/value pairs by key (the shuffle phase). Keys come out in
+/// sorted order, values in insertion order.
+pub fn shuffle<K: Ord, V>(pairs: Vec<(K, V)>) -> BTreeMap<K, Vec<V>> {
+    let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+    for (k, v) in pairs {
+        groups.entry(k).or_default().push(v);
+    }
+    groups
+}
+
+/// Full map → shuffle → reduce over in-memory records.
+///
+/// `map` emits any number of key/value pairs per record through its emitter;
+/// `reduce` folds each key's values into one output.
+pub fn map_reduce<I, K, V, R>(
+    inputs: &[I],
+    mut map: impl FnMut(&I, &mut dyn FnMut(K, V)),
+    mut reduce: impl FnMut(&K, Vec<V>) -> R,
+) -> Vec<(K, R)>
+where
+    K: Ord,
+{
+    let mut pairs = Vec::new();
+    for rec in inputs {
+        let mut emit = |k: K, v: V| pairs.push((k, v));
+        map(rec, &mut emit);
+    }
+    shuffle(pairs)
+        .into_iter()
+        .map(|(k, vs)| {
+            let r = reduce(&k, vs);
+            (k, r)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_count() {
+        let docs = vec!["a b a", "b c"];
+        let counts = map_reduce(
+            &docs,
+            |doc, emit| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_string(), 1u32);
+                }
+            },
+            |_, vs| vs.into_iter().sum::<u32>(),
+        );
+        assert_eq!(
+            counts,
+            vec![
+                ("a".to_string(), 2),
+                ("b".to_string(), 2),
+                ("c".to_string(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn shuffle_preserves_value_order_within_key() {
+        let pairs = vec![(1, "x"), (2, "y"), (1, "z")];
+        let groups = shuffle(pairs);
+        assert_eq!(groups[&1], vec!["x", "z"]);
+        assert_eq!(groups[&2], vec!["y"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<(u32, u32)> =
+            map_reduce(&Vec::<u32>::new(), |_, _| {}, |_, vs: Vec<u32>| vs.len() as u32);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multiple_emits_per_record() {
+        let nums = vec![6u32, 10];
+        let out = map_reduce(
+            &nums,
+            |n, emit| {
+                emit(n % 2, *n);
+                emit(n % 3, *n);
+            },
+            |_, vs| vs.len(),
+        );
+        // keys: 6%2=0,6%3=0,10%2=0,10%3=1 → key 0 ×3, key 1 ×1
+        assert_eq!(out, vec![(0, 3), (1, 1)]);
+    }
+}

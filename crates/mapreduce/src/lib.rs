@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # sigmund-mapreduce
+//!
+//! A MapReduce [10] engine over the simulated cluster — the execution
+//! framework both Sigmund pipelines run on (Section IV).
+//!
+//! Two layers:
+//!
+//! * [`functional`] — plain in-memory map/shuffle/reduce for data-parallel
+//!   transforms (building datasets, counting, joining config records);
+//! * [`engine`] — the scheduling engine: map tasks run **real Rust code**
+//!   while the engine accounts **virtual time**, places tasks on machines
+//!   (one split per task, one task per machine — the paper's deliberate
+//!   configuration), samples pre-emptions for low-priority tasks, and
+//!   re-executes killed attempts. A task learns it was "killed" when its
+//!   [`engine::AttemptCtx::consume`] budget runs out, and is expected to
+//!   resume from its own checkpoint on the next attempt — which is exactly
+//!   how the training pipeline exercises real checkpoint/restore code.
+//!
+//! [`split`] holds the input-organization helpers the paper calls out:
+//! random permutation of config records for load balance (Section IV-B1) and
+//! contiguous per-retailer chunks for inference (Section IV-C2).
+
+pub mod engine;
+pub mod functional;
+pub mod split;
+
+pub use engine::{run_map_job, AttemptCtx, JobConfig, JobStats, MapStatus, MapTask, SplitStats};
+pub use functional::{map_reduce, shuffle};
+pub use split::{chunk_evenly, chunk_weighted, contiguous_runs, permute};

@@ -1,0 +1,154 @@
+//! Input organization (Sections IV-B1, IV-C2).
+//!
+//! Training: "The input config records are randomly permuted before being
+//! written so that training tasks are randomly divided across different
+//! MapReduces. We also rely on this randomization strategy to balance the
+//! work within a MapReduce job." — [`permute`] + [`chunk_evenly`].
+//!
+//! Inference: "We organize the input data in such a way that data from a
+//! single retailer is in one contiguous chunk" so a mapper loads a model at
+//! most once per boundary — [`contiguous_runs`].
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Deterministically shuffles a copy of `items`.
+pub fn permute<T: Clone>(items: &[T], seed: u64) -> Vec<T> {
+    let mut out = items.to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    out.shuffle(&mut rng);
+    out
+}
+
+/// Splits `items` into `n_chunks` nearly equal-count chunks, preserving
+/// order. Trailing chunks may be one shorter; empty chunks appear only when
+/// `n_chunks > items.len()`.
+pub fn chunk_evenly<T: Clone>(items: &[T], n_chunks: usize) -> Vec<Vec<T>> {
+    assert!(n_chunks > 0, "need at least one chunk");
+    let n = items.len();
+    let base = n / n_chunks;
+    let extra = n % n_chunks;
+    let mut out = Vec::with_capacity(n_chunks);
+    let mut i = 0;
+    for c in 0..n_chunks {
+        let len = base + usize::from(c < extra);
+        out.push(items[i..i + len].to_vec());
+        i += len;
+    }
+    out
+}
+
+/// Splits `items` into `n_chunks` contiguous chunks with nearly equal total
+/// *weight* (a simple linear partition: close the current chunk once it
+/// reaches the average weight). Order is preserved.
+pub fn chunk_weighted<T: Clone>(
+    items: &[T],
+    n_chunks: usize,
+    weight: impl Fn(&T) -> f64,
+) -> Vec<Vec<T>> {
+    assert!(n_chunks > 0, "need at least one chunk");
+    let total: f64 = items.iter().map(&weight).sum();
+    let target = total / n_chunks as f64;
+    let mut out: Vec<Vec<T>> = vec![Vec::new()];
+    let mut acc = 0.0;
+    for it in items {
+        let w = weight(it);
+        let last = out.len() - 1;
+        if acc + w > target && !out[last].is_empty() && out.len() < n_chunks {
+            out.push(Vec::new());
+            acc = 0.0;
+        }
+        out.last_mut().expect("non-empty").push(it.clone());
+        acc += w;
+    }
+    while out.len() < n_chunks {
+        out.push(Vec::new());
+    }
+    out
+}
+
+/// Groups consecutive items with equal keys into contiguous runs
+/// (`[(key, range)]`). The input must already be sorted/grouped by key —
+/// which is how inference input is laid out.
+pub fn contiguous_runs<T, K: PartialEq + Copy>(
+    items: &[T],
+    key: impl Fn(&T) -> K,
+) -> Vec<(K, std::ops::Range<usize>)> {
+    let mut runs = Vec::new();
+    let mut start = 0;
+    while start < items.len() {
+        let k = key(&items[start]);
+        let mut end = start + 1;
+        while end < items.len() && key(&items[end]) == k {
+            end += 1;
+        }
+        runs.push((k, start..end));
+        start = end;
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permute_is_deterministic_and_a_permutation() {
+        let v: Vec<u32> = (0..100).collect();
+        let a = permute(&v, 5);
+        let b = permute(&v, 5);
+        assert_eq!(a, b);
+        assert_ne!(a, v, "seed 5 should actually shuffle");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, v);
+    }
+
+    #[test]
+    fn chunk_evenly_covers_everything() {
+        let v: Vec<u32> = (0..10).collect();
+        let chunks = chunk_evenly(&v, 3);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 4);
+        assert_eq!(chunks[1].len(), 3);
+        assert_eq!(chunks[2].len(), 3);
+        let flat: Vec<u32> = chunks.concat();
+        assert_eq!(flat, v);
+    }
+
+    #[test]
+    fn chunk_evenly_more_chunks_than_items() {
+        let chunks = chunk_evenly(&[1, 2], 4);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks.iter().filter(|c| c.is_empty()).count(), 2);
+    }
+
+    #[test]
+    fn chunk_weighted_balances_totals() {
+        // One heavy item and many light ones.
+        let items: Vec<f64> = vec![100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 100.0, 1.0];
+        let chunks = chunk_weighted(&items, 2, |w| *w);
+        assert_eq!(chunks.len(), 2);
+        let s0: f64 = chunks[0].iter().sum();
+        let s1: f64 = chunks[1].iter().sum();
+        assert!((s0 - s1).abs() <= 105.0); // crude balance, but both nonzero
+        assert!(!chunks[0].is_empty() && !chunks[1].is_empty());
+        assert_eq!(chunks.concat(), items);
+    }
+
+    #[test]
+    fn contiguous_runs_detects_boundaries() {
+        let items = vec![(1, 'a'), (1, 'b'), (2, 'c'), (3, 'd'), (3, 'e')];
+        let runs = contiguous_runs(&items, |t| t.0);
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0], (1, 0..2));
+        assert_eq!(runs[1], (2, 2..3));
+        assert_eq!(runs[2], (3, 3..5));
+    }
+
+    #[test]
+    fn contiguous_runs_empty() {
+        let runs = contiguous_runs(&Vec::<(u32, ())>::new(), |t| t.0);
+        assert!(runs.is_empty());
+    }
+}

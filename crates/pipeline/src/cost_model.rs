@@ -1,0 +1,117 @@
+//! Virtual-time cost models.
+//!
+//! The simulators account time in virtual seconds; these models translate
+//! units of real work (SGD steps, candidates scored, bytes loaded) into
+//! virtual seconds. Constants are rough calibrations of the real Rust code
+//! on one core — the experiments only depend on *relative* costs (training
+//! dominated by SGD steps, inference linear in items), which these preserve.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost-model knobs, all in virtual seconds per unit.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Seconds per SGD example step (one BPR triple, one factor dimension
+    /// batch — absorbed into a single constant).
+    pub per_example_step: f64,
+    /// Seconds per candidate scored at inference.
+    pub per_candidate_scored: f64,
+    /// Seconds per megabyte loaded from the DFS (model/data loads).
+    pub per_mb_loaded: f64,
+    /// Seconds to evaluate one hold-out example (exact MAP; sampled MAP
+    /// scales this down by the sample fraction).
+    pub per_holdout_example: f64,
+    /// Fraction of training work that parallelizes across threads
+    /// (Amdahl's law; Hogwild scales well, so this is high).
+    pub parallel_fraction: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            per_example_step: 2e-5,
+            per_candidate_scored: 1e-6,
+            per_mb_loaded: 0.01,
+            per_holdout_example: 1e-4,
+            parallel_fraction: 0.95,
+        }
+    }
+}
+
+impl CostModel {
+    /// Amdahl speedup for `threads` training threads.
+    pub fn thread_speedup(&self, threads: usize) -> f64 {
+        let t = threads.max(1) as f64;
+        1.0 / ((1.0 - self.parallel_fraction) + self.parallel_fraction / t)
+    }
+
+    /// Virtual seconds for one training epoch of `n_examples` with `threads`.
+    pub fn epoch_seconds(&self, n_examples: usize, threads: usize) -> f64 {
+        n_examples as f64 * self.per_example_step / self.thread_speedup(threads)
+    }
+
+    /// Virtual seconds to evaluate `n_holdout` examples against `n_items`
+    /// (scaled by the MAP sampling fraction, if any).
+    pub fn eval_seconds(&self, n_holdout: usize, n_items: usize, sample: Option<f64>) -> f64 {
+        let frac = sample.unwrap_or(1.0);
+        n_holdout as f64 * self.per_holdout_example * (n_items as f64 / 1000.0).max(0.1) * frac
+    }
+
+    /// Virtual seconds to load `bytes` from the DFS.
+    pub fn load_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / 1e6 * self.per_mb_loaded
+    }
+
+    /// Virtual seconds to score `n_candidates` inference candidates.
+    pub fn scoring_seconds(&self, n_candidates: u64) -> f64 {
+        n_candidates as f64 * self.per_candidate_scored
+    }
+
+    /// Training-model memory footprint in GB: six tables of `n_items`-ish
+    /// rows × `factors` × 4 bytes, plus accumulators. Dominated by the two
+    /// item-sized tables.
+    pub fn model_memory_gb(&self, n_items: usize, factors: u32) -> f64 {
+        let bytes = 2.5 * n_items as f64 * factors as f64 * 4.0;
+        (bytes / 1e9).max(0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_is_monotone_and_bounded() {
+        let c = CostModel::default();
+        let s1 = c.thread_speedup(1);
+        let s4 = c.thread_speedup(4);
+        let s64 = c.thread_speedup(64);
+        assert!((s1 - 1.0).abs() < 1e-12);
+        assert!(s4 > 2.5 && s4 < 4.0, "4 threads: {s4}");
+        assert!(s64 < 1.0 / (1.0 - c.parallel_fraction) + 1e-9);
+    }
+
+    #[test]
+    fn epoch_seconds_scale_linearly() {
+        let c = CostModel::default();
+        let one = c.epoch_seconds(1000, 1);
+        let two = c.epoch_seconds(2000, 1);
+        assert!((two - 2.0 * one).abs() < 1e-12);
+        assert!(c.epoch_seconds(1000, 4) < one);
+    }
+
+    #[test]
+    fn sampled_eval_is_cheaper() {
+        let c = CostModel::default();
+        let exact = c.eval_seconds(100, 10_000, None);
+        let sampled = c.eval_seconds(100, 10_000, Some(0.1));
+        assert!((sampled - exact * 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_grows_with_catalog() {
+        let c = CostModel::default();
+        assert!(c.model_memory_gb(1_000_000, 128) > c.model_memory_gb(1_000, 16));
+        assert!(c.model_memory_gb(10, 8) >= 0.05, "floor applies");
+    }
+}

@@ -1,0 +1,473 @@
+//! The daily Sigmund service cycle (Sections II-A, IV, V).
+//!
+//! One virtual "day" is: sweep → training MapReduces (one per cell) →
+//! model selection → inference MapReduces (one per cell) → batch-publish
+//! recommendations. New retailers get a full grid; existing retailers get
+//! the warm-started incremental sweep over their top-K configs; everything
+//! runs at pre-emptible priority with time-interval checkpointing.
+//!
+//! Cells execute in (virtual) parallel: a phase's makespan is the max over
+//! its per-cell jobs, while cost is the sum.
+
+use crate::binpack::{partition_greedy, Weighted};
+use crate::cost_model::CostModel;
+use crate::data;
+use crate::infer_job::{make_splits, InferenceJob, MaterializedRec};
+use crate::sweep;
+use crate::train_job::TrainJob;
+use sigmund_cluster::{CellSpec, CostMeter, PreemptionModel, Priority};
+use sigmund_core::prelude::*;
+use sigmund_dfs::Dfs;
+use sigmund_mapreduce::{permute, run_map_job, JobConfig, JobStats};
+use sigmund_types::{Catalog, ConfigRecord, Interaction, ItemId, RetailerId};
+use std::collections::HashMap;
+
+/// Retry budget for pipeline map tasks (real clusters cap retries; a split
+/// that cannot finish within any sampled pre-emption budget must not hang
+/// the daily run).
+pub const MAX_TASK_ATTEMPTS: u32 = 200;
+
+/// Service-wide configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// The data centers available.
+    pub cells: Vec<CellSpec>,
+    /// Pre-emption hazard for the offline jobs.
+    pub preemption: PreemptionModel,
+    /// Hyper-parameter grid for full sweeps.
+    pub grid: GridSpec,
+    /// Configs kept per retailer for incremental sweeps (paper: "typically 3").
+    pub keep_top: usize,
+    /// Epochs for warm-started incremental runs.
+    pub incremental_epochs: u32,
+    /// Hogwild threads per training task.
+    pub threads: usize,
+    /// Virtual seconds between training checkpoints.
+    pub checkpoint_interval: f64,
+    /// Virtual-time cost model.
+    pub cost: CostModel,
+    /// Recommendations materialized per item and surface.
+    pub rec_k: usize,
+    /// Items per inference split.
+    pub items_per_split: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            cells: vec![
+                CellSpec::standard(sigmund_types::CellId(0), 8),
+                CellSpec::standard(sigmund_types::CellId(1), 8),
+            ],
+            preemption: PreemptionModel::typical(),
+            grid: GridSpec::small(),
+            keep_top: 3,
+            incremental_epochs: 3,
+            threads: 4,
+            checkpoint_interval: 300.0,
+            cost: CostModel::default(),
+            rec_k: 10,
+            items_per_split: 500,
+            seed: 11,
+        }
+    }
+}
+
+/// What one daily run produced.
+#[derive(Debug, Clone)]
+pub struct DayReport {
+    /// Day index (0 = first).
+    pub day: u32,
+    /// Models trained today.
+    pub models_trained: usize,
+    /// Training phase makespan (max over cells), virtual seconds.
+    pub train_makespan: f64,
+    /// Inference phase makespan, virtual seconds.
+    pub infer_makespan: f64,
+    /// Total metered cost across phases and cells.
+    pub cost: CostMeter,
+    /// Total pre-emptions absorbed.
+    pub preemptions: u64,
+    /// Winning config per retailer.
+    pub best: HashMap<RetailerId, ConfigRecord>,
+    /// Materialized recommendations per retailer, indexed by item id.
+    pub recs: HashMap<RetailerId, Vec<ItemRecs>>,
+    /// Per-cell training job stats.
+    pub train_stats: Vec<JobStats>,
+    /// Per-cell inference job stats.
+    pub infer_stats: Vec<JobStats>,
+}
+
+/// The long-running service state.
+pub struct SigmundService {
+    /// Configuration.
+    pub cfg: PipelineConfig,
+    /// The shared filesystem (exposed for serving-layer loads and tests).
+    pub dfs: Dfs,
+    day: u32,
+    /// (retailer, catalog size), onboarding order.
+    retailers: Vec<(RetailerId, usize)>,
+    /// Retailers that signed up since the last run.
+    new_since_last_run: Vec<RetailerId>,
+    /// Previous run's annotated config records.
+    last_outputs: Vec<ConfigRecord>,
+}
+
+impl SigmundService {
+    /// A fresh service with no retailers.
+    pub fn new(cfg: PipelineConfig) -> Self {
+        assert!(!cfg.cells.is_empty(), "need at least one cell");
+        Self {
+            cfg,
+            dfs: Dfs::new(),
+            day: 0,
+            retailers: Vec::new(),
+            new_since_last_run: Vec::new(),
+            last_outputs: Vec::new(),
+        }
+    }
+
+    /// Signs a retailer up: publishes its catalog and events and schedules a
+    /// full grid for the next run.
+    pub fn onboard(&mut self, catalog: &Catalog, events: &[Interaction]) {
+        let home = self.cfg.cells[self.retailers.len() % self.cfg.cells.len()].cell;
+        data::publish_retailer(&self.dfs, home, catalog, events)
+            .expect("catalog serialization cannot fail");
+        self.retailers.push((catalog.retailer, catalog.len()));
+        self.new_since_last_run.push(catalog.retailer);
+    }
+
+    /// Replaces a retailer's event log (the nightly data refresh). The
+    /// catalog may also have grown; republish both.
+    pub fn refresh_data(&mut self, catalog: &Catalog, events: &[Interaction]) {
+        let home = self
+            .dfs
+            .home_of(&data::train_path(catalog.retailer))
+            .unwrap_or(self.cfg.cells[0].cell);
+        data::publish_retailer(&self.dfs, home, catalog, events)
+            .expect("catalog serialization cannot fail");
+        if let Some(slot) = self
+            .retailers
+            .iter_mut()
+            .find(|(r, _)| *r == catalog.retailer)
+        {
+            slot.1 = catalog.len();
+        }
+    }
+
+    /// Retailers currently onboarded.
+    pub fn retailers(&self) -> &[(RetailerId, usize)] {
+        &self.retailers
+    }
+
+    /// Runs one daily cycle.
+    pub fn run_day(&mut self) -> DayReport {
+        let day_seed = self.cfg.seed.wrapping_add(self.day as u64 * 0x9E37);
+        // --- sweep --------------------------------------------------------
+        let new_catalogs: Vec<Catalog> = self
+            .new_since_last_run
+            .iter()
+            .filter_map(|r| data::load_catalog(&self.dfs, self.cfg.cells[0].cell, *r).ok())
+            .collect();
+        let new_refs: Vec<&Catalog> = new_catalogs.iter().collect();
+        let records = sweep::incremental_sweep(
+            &self.last_outputs,
+            self.cfg.keep_top,
+            self.cfg.incremental_epochs,
+            &new_refs,
+            &self.cfg.grid,
+            day_seed,
+        );
+        self.new_since_last_run.clear();
+        let models_trained = records.len();
+
+        // --- assign retailers (and their records) to cells -----------------
+        // Pack retailers by estimated training work, then migrate their data
+        // to the chosen cell (Section IV-B1) and permute records within it.
+        let mut work_per_retailer: HashMap<RetailerId, f64> = HashMap::new();
+        for r in &records {
+            let bytes = self
+                .dfs
+                .read(self.cfg.cells[0].cell, &r.train_path)
+                .map(|b| b.len())
+                .unwrap_or(0);
+            *work_per_retailer.entry(r.model.retailer).or_default() +=
+                r.epochs() as f64 * (bytes / 17) as f64;
+        }
+        let weighted: Vec<Weighted<RetailerId>> = {
+            let mut v: Vec<(RetailerId, f64)> = work_per_retailer.into_iter().collect();
+            v.sort_by_key(|(r, _)| *r);
+            v.into_iter()
+                .map(|(item, weight)| Weighted { item, weight })
+                .collect()
+        };
+        let bins = partition_greedy(&weighted, self.cfg.cells.len());
+        let mut cell_of: HashMap<RetailerId, usize> = HashMap::new();
+        for (ci, bin) in bins.iter().enumerate() {
+            for w in bin {
+                cell_of.insert(w.item, ci);
+                let _ = self
+                    .dfs
+                    .migrate(&data::train_path(w.item), self.cfg.cells[ci].cell);
+            }
+        }
+        let mut per_cell_records: Vec<Vec<ConfigRecord>> =
+            vec![Vec::new(); self.cfg.cells.len()];
+        for r in records {
+            let ci = *cell_of.get(&r.model.retailer).unwrap_or(&0);
+            per_cell_records[ci].push(r);
+        }
+        for (ci, recs) in per_cell_records.iter_mut().enumerate() {
+            *recs = permute(recs, day_seed ^ ci as u64);
+        }
+
+        // --- training MapReduces (one per cell) ----------------------------
+        let mut outputs = Vec::new();
+        let mut train_stats = Vec::new();
+        let mut cost = CostMeter::default();
+        let mut preemptions = 0u64;
+        let mut train_makespan = 0.0f64;
+        for (ci, recs) in per_cell_records.into_iter().enumerate() {
+            if recs.is_empty() {
+                continue;
+            }
+            let cell = self.cfg.cells[ci].clone();
+            let mut job = TrainJob::new(&self.dfs, cell.cell, recs, self.cfg.cost);
+            job.threads = self.cfg.threads;
+            job.checkpoint_interval = self.cfg.checkpoint_interval;
+            let stats = run_map_job(
+                &job,
+                job.n_splits(),
+                &JobConfig {
+                    cell,
+                    priority: Priority::Preemptible,
+                    preemption: self.cfg.preemption,
+                    seed: day_seed ^ (ci as u64) << 8,
+                    max_attempts: Some(MAX_TASK_ATTEMPTS),
+                },
+            );
+            outputs.extend(job.take_outputs());
+            cost.merge(&stats.cost);
+            preemptions += stats.preemptions;
+            train_makespan = train_makespan.max(stats.makespan);
+            train_stats.push(stats);
+        }
+
+        // --- model selection -----------------------------------------------
+        let best: HashMap<RetailerId, ConfigRecord> = sweep::top_k_per_retailer(&outputs, 1)
+            .into_iter()
+            .map(|r| (r.model.retailer, r))
+            .collect();
+
+        // --- inference MapReduces ------------------------------------------
+        // Bin-pack retailers by *item count* (Section IV-C1), then one job
+        // per cell over contiguous item-range splits.
+        let weighted_items: Vec<Weighted<RetailerId>> = self
+            .retailers
+            .iter()
+            .filter(|(r, _)| best.contains_key(r))
+            .map(|(r, n)| Weighted {
+                item: *r,
+                weight: *n as f64,
+            })
+            .collect();
+        let infer_bins = partition_greedy(&weighted_items, self.cfg.cells.len());
+        let mut infer_stats = Vec::new();
+        let mut infer_makespan = 0.0f64;
+        let mut all_recs: Vec<MaterializedRec> = Vec::new();
+        for (ci, bin) in infer_bins.iter().enumerate() {
+            if bin.is_empty() {
+                continue;
+            }
+            let cell = self.cfg.cells[ci].clone();
+            let counts: Vec<(RetailerId, usize)> = bin
+                .iter()
+                .map(|w| (w.item, w.weight as usize))
+                .collect();
+            let splits = make_splits(&counts, self.cfg.items_per_split);
+            let mut job = InferenceJob::new(
+                &self.dfs,
+                cell.cell,
+                splits,
+                best.clone(),
+                self.cfg.cost,
+            );
+            job.k = self.cfg.rec_k;
+            let stats = run_map_job(
+                &job,
+                job.n_splits(),
+                &JobConfig {
+                    cell,
+                    priority: Priority::Preemptible,
+                    preemption: self.cfg.preemption,
+                    seed: day_seed ^ 0xFACE ^ ((ci as u64) << 16),
+                    max_attempts: Some(MAX_TASK_ATTEMPTS),
+                },
+            );
+            all_recs.extend(job.take_outputs());
+            cost.merge(&stats.cost);
+            preemptions += stats.preemptions;
+            infer_makespan = infer_makespan.max(stats.makespan);
+            infer_stats.push(stats);
+        }
+
+        // --- batch publish --------------------------------------------------
+        let mut recs: HashMap<RetailerId, Vec<ItemRecs>> = HashMap::new();
+        for (r, n) in &self.retailers {
+            if best.contains_key(r) {
+                recs.insert(*r, vec![ItemRecs::default(); *n]);
+            }
+        }
+        for m in all_recs {
+            if let Some(v) = recs.get_mut(&m.retailer) {
+                let slot = m.item.index();
+                if slot < v.len() {
+                    v[slot] = m.recs;
+                }
+            }
+        }
+        for (r, v) in &recs {
+            let json = serde_json::to_vec(v).expect("recs serialize");
+            self.dfs
+                .write(self.cfg.cells[0].cell, &data::recs_path(*r), json.into());
+        }
+
+        self.last_outputs = outputs;
+        let report = DayReport {
+            day: self.day,
+            models_trained,
+            train_makespan,
+            infer_makespan,
+            cost,
+            preemptions,
+            best,
+            recs,
+            train_stats,
+            infer_stats,
+        };
+        self.day += 1;
+        report
+    }
+}
+
+/// Loads a retailer's published recommendations back from the DFS.
+pub fn load_recs(
+    dfs: &Dfs,
+    cell: sigmund_types::CellId,
+    r: RetailerId,
+) -> Result<Vec<ItemRecs>, sigmund_types::SigmundError> {
+    let bytes = dfs.read(cell, &data::recs_path(r))?;
+    serde_json::from_slice(&bytes)
+        .map_err(|e| sigmund_types::SigmundError::Corrupt(format!("recs: {e}")))
+}
+
+/// Convenience: look up the materialized recommendations for an item.
+pub fn recs_for_item(recs: &HashMap<RetailerId, Vec<ItemRecs>>, r: RetailerId, item: ItemId) -> Option<&ItemRecs> {
+    recs.get(&r).and_then(|v| v.get(item.index()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmund_datagen::RetailerSpec;
+    use sigmund_types::CellId;
+
+    fn service() -> SigmundService {
+        let cfg = PipelineConfig {
+            grid: GridSpec {
+                factors: vec![8],
+                learning_rates: vec![0.1],
+                regs: vec![(0.01, 0.01)],
+                features: vec![sigmund_types::FeatureSwitches::NONE],
+                samplers: vec![sigmund_types::NegativeSamplerKind::UniformUnseen],
+                seeds: vec![1],
+                epochs: 3,
+            },
+            cells: vec![
+                CellSpec::standard(CellId(0), 4),
+                CellSpec::standard(CellId(1), 4),
+            ],
+            preemption: PreemptionModel::NONE,
+            items_per_split: 30,
+            ..Default::default()
+        };
+        SigmundService::new(cfg)
+    }
+
+    fn small_retailer(r: u32, seed: u64) -> sigmund_datagen::RetailerData {
+        let mut spec = RetailerSpec::small(sigmund_types::RetailerId(r), seed);
+        spec.n_items = 40;
+        spec.n_users = 50;
+        spec.generate()
+    }
+
+    #[test]
+    fn first_day_runs_full_cycle() {
+        let mut svc = service();
+        for r in 0..3 {
+            let d = small_retailer(r, 100 + r as u64);
+            svc.onboard(&d.catalog, &d.events);
+        }
+        let report = svc.run_day();
+        assert_eq!(report.day, 0);
+        assert_eq!(report.models_trained, 3, "one config per retailer");
+        assert_eq!(report.best.len(), 3);
+        assert_eq!(report.recs.len(), 3);
+        assert!(report.train_makespan > 0.0);
+        assert!(report.infer_makespan > 0.0);
+        assert!(report.cost.total_cost() > 0.0);
+        // Every item of every retailer has a slot.
+        for v in report.recs.values() {
+            assert_eq!(v.len(), 40);
+        }
+        // Recommendations were batch-published to the DFS.
+        let loaded = load_recs(&svc.dfs, CellId(0), sigmund_types::RetailerId(0)).unwrap();
+        assert_eq!(loaded.len(), 40);
+    }
+
+    #[test]
+    fn second_day_is_incremental_and_cheaper() {
+        let mut svc = service();
+        let d = small_retailer(0, 7);
+        svc.onboard(&d.catalog, &d.events);
+        let day0 = svc.run_day();
+        let day1 = svc.run_day();
+        assert_eq!(day1.day, 1);
+        // keep_top=3 but only 1 config exists → 1 incremental model.
+        assert_eq!(day1.models_trained, 1);
+        // Incremental runs fewer epochs → cheaper.
+        assert!(
+            day1.cost.total_cpu_s() <= day0.cost.total_cpu_s() + 1e-9,
+            "incremental {:.2} vs full {:.2}",
+            day1.cost.total_cpu_s(),
+            day0.cost.total_cpu_s()
+        );
+    }
+
+    #[test]
+    fn new_retailer_mid_stream_gets_full_grid() {
+        let mut svc = service();
+        let d0 = small_retailer(0, 1);
+        svc.onboard(&d0.catalog, &d0.events);
+        svc.run_day();
+        let d1 = small_retailer(1, 2);
+        svc.onboard(&d1.catalog, &d1.events);
+        let report = svc.run_day();
+        // 1 incremental (retailer 0) + full grid (1 config) for retailer 1.
+        assert_eq!(report.models_trained, 2);
+        assert!(report.best.contains_key(&sigmund_types::RetailerId(1)));
+    }
+
+    #[test]
+    fn recs_lookup_helper() {
+        let mut svc = service();
+        let d = small_retailer(0, 9);
+        svc.onboard(&d.catalog, &d.events);
+        let report = svc.run_day();
+        let r = sigmund_types::RetailerId(0);
+        assert!(recs_for_item(&report.recs, r, ItemId(0)).is_some());
+        assert!(recs_for_item(&report.recs, r, ItemId(999)).is_none());
+    }
+}

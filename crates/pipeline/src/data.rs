@@ -1,0 +1,206 @@
+//! DFS layout and codecs for pipeline data.
+//!
+//! Everything a task needs flows through the DFS, exactly like the paper's
+//! pipeline: catalogs and event logs in, models and annotated config records
+//! out. Events use a compact fixed-width binary codec (17 bytes/event);
+//! catalogs and config records use JSON (they are small and debuggability
+//! wins — Section I lists "understand and debug problems efficiently" as a
+//! design goal).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sigmund_dfs::Dfs;
+use sigmund_types::{
+    ActionType, Catalog, CellId, ConfigRecord, Interaction, ItemId, RetailerId, SigmundError,
+    UserId,
+};
+
+/// DFS path of a retailer's training events.
+pub fn train_path(r: RetailerId) -> String {
+    format!("/data/r{}/train", r.0)
+}
+
+/// DFS path of a retailer's catalog.
+pub fn catalog_path(r: RetailerId) -> String {
+    format!("/catalog/r{}", r.0)
+}
+
+/// DFS path of a trained model for (retailer, config).
+pub fn model_path(r: RetailerId, config: u32) -> String {
+    format!("/models/r{}/c{}", r.0, config)
+}
+
+/// DFS directory for a training task's checkpoints.
+pub fn checkpoint_dir(r: RetailerId, config: u32) -> String {
+    format!("/ckpt/r{}/c{}", r.0, config)
+}
+
+/// DFS path of the materialized recommendations for a retailer.
+pub fn recs_path(r: RetailerId) -> String {
+    format!("/recs/r{}", r.0)
+}
+
+/// Encodes an event log (17 bytes per event).
+pub fn encode_events(events: &[Interaction]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + events.len() * 17);
+    buf.put_u32_le(events.len() as u32);
+    for e in events {
+        buf.put_u32_le(e.user.0);
+        buf.put_u32_le(e.item.0);
+        buf.put_u8(e.action as u8);
+        buf.put_u64_le(e.when);
+    }
+    buf.freeze()
+}
+
+/// Decodes an event log.
+///
+/// # Errors
+/// [`SigmundError::Corrupt`] on malformed bytes.
+pub fn decode_events(mut b: &[u8]) -> Result<Vec<Interaction>, SigmundError> {
+    let corrupt = |m: &str| SigmundError::Corrupt(format!("event log: {m}"));
+    if b.remaining() < 4 {
+        return Err(corrupt("missing length"));
+    }
+    let n = b.get_u32_le() as usize;
+    if b.remaining() != n * 17 {
+        return Err(corrupt("length mismatch"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let user = UserId(b.get_u32_le());
+        let item = ItemId(b.get_u32_le());
+        let action = match b.get_u8() {
+            0 => ActionType::View,
+            1 => ActionType::Search,
+            2 => ActionType::Cart,
+            3 => ActionType::Conversion,
+            x => return Err(corrupt(&format!("bad action {x}"))),
+        };
+        let when = b.get_u64_le();
+        out.push(Interaction::new(user, item, action, when));
+    }
+    Ok(out)
+}
+
+/// Publishes a retailer's catalog and events to the DFS (the ingestion step
+/// of the daily pipeline).
+pub fn publish_retailer(
+    dfs: &Dfs,
+    cell: CellId,
+    catalog: &Catalog,
+    events: &[Interaction],
+) -> Result<(), SigmundError> {
+    let cat_json = serde_json::to_vec(catalog)
+        .map_err(|e| SigmundError::Invalid(format!("catalog serialize: {e}")))?;
+    dfs.write(cell, &catalog_path(catalog.retailer), Bytes::from(cat_json));
+    dfs.write(cell, &train_path(catalog.retailer), encode_events(events));
+    Ok(())
+}
+
+/// Loads a retailer's catalog from the DFS.
+pub fn load_catalog(dfs: &Dfs, cell: CellId, r: RetailerId) -> Result<Catalog, SigmundError> {
+    let bytes = dfs.read(cell, &catalog_path(r))?;
+    serde_json::from_slice(&bytes).map_err(|e| SigmundError::Corrupt(format!("catalog: {e}")))
+}
+
+/// Loads a retailer's events from the DFS.
+pub fn load_events(dfs: &Dfs, cell: CellId, r: RetailerId) -> Result<Vec<Interaction>, SigmundError> {
+    decode_events(&dfs.read(cell, &train_path(r))?)
+}
+
+/// Serializes a batch of config records to JSON lines.
+pub fn encode_config_records(records: &[ConfigRecord]) -> Bytes {
+    let mut out = Vec::new();
+    for r in records {
+        out.extend_from_slice(&serde_json::to_vec(r).expect("config record serialize"));
+        out.push(b'\n');
+    }
+    Bytes::from(out)
+}
+
+/// Parses a batch of config records from JSON lines.
+///
+/// # Errors
+/// [`SigmundError::Corrupt`] on malformed lines.
+pub fn decode_config_records(bytes: &[u8]) -> Result<Vec<ConfigRecord>, SigmundError> {
+    bytes
+        .split(|&b| b == b'\n')
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            serde_json::from_slice(l)
+                .map_err(|e| SigmundError::Corrupt(format!("config record: {e}")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmund_types::{HyperParams, ItemMeta, Taxonomy};
+
+    fn events() -> Vec<Interaction> {
+        vec![
+            Interaction::new(UserId(1), ItemId(2), ActionType::View, 10),
+            Interaction::new(UserId(1), ItemId(3), ActionType::Conversion, 20),
+            Interaction::new(UserId(2), ItemId(0), ActionType::Cart, 5),
+        ]
+    }
+
+    #[test]
+    fn event_codec_round_trip() {
+        let evs = events();
+        let bytes = encode_events(&evs);
+        assert_eq!(bytes.len(), 4 + 3 * 17);
+        let back = decode_events(&bytes).unwrap();
+        assert_eq!(back, evs);
+    }
+
+    #[test]
+    fn event_codec_rejects_corruption() {
+        let bytes = encode_events(&events());
+        assert!(decode_events(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_events(&[1, 2]).is_err());
+        let mut bad = bytes.to_vec();
+        bad[4 + 8] = 99; // clobber an action byte
+        assert!(decode_events(&bad).is_err());
+    }
+
+    #[test]
+    fn publish_and_load_retailer() {
+        let mut tax = Taxonomy::new();
+        let c0 = tax.add_child(tax.root());
+        let mut catalog = Catalog::new(RetailerId(7), tax);
+        for _ in 0..5 {
+            catalog.add_item(ItemMeta::bare(c0));
+        }
+        let dfs = Dfs::new();
+        publish_retailer(&dfs, CellId(0), &catalog, &events()).unwrap();
+        let cat2 = load_catalog(&dfs, CellId(0), RetailerId(7)).unwrap();
+        assert_eq!(cat2.len(), 5);
+        assert_eq!(cat2.retailer, RetailerId(7));
+        let evs = load_events(&dfs, CellId(0), RetailerId(7)).unwrap();
+        assert_eq!(evs.len(), 3);
+    }
+
+    #[test]
+    fn config_record_lines_round_trip() {
+        let recs: Vec<ConfigRecord> = (0..3)
+            .map(|i| ConfigRecord::cold(RetailerId(1), i, HyperParams::default()))
+            .collect();
+        let bytes = encode_config_records(&recs);
+        let back = decode_config_records(&bytes).unwrap();
+        assert_eq!(back, recs);
+        assert!(decode_config_records(b"not json\n").is_err());
+        assert!(decode_config_records(b"").unwrap().is_empty());
+    }
+
+    #[test]
+    fn paths_are_distinct_per_retailer_and_config() {
+        assert_ne!(model_path(RetailerId(1), 0), model_path(RetailerId(1), 1));
+        assert_ne!(train_path(RetailerId(1)), train_path(RetailerId(2)));
+        assert_ne!(
+            checkpoint_dir(RetailerId(1), 0),
+            checkpoint_dir(RetailerId(2), 0)
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! The inference MapReduce job (Section IV-C).
+//!
+//! Input is "the union of all the items from each retailer", organized so a
+//! retailer's items are contiguous; each split covers one retailer's item
+//! range (large retailers get many splits and parallelize "over hundreds of
+//! machines", small ones one). A map task loads the retailer's **best**
+//! model once (single map thread per task so only one model is ever in
+//! memory — Section IV-C2), selects candidates, scores them, and emits the
+//! top-K lists for both surfaces.
+//!
+//! Inference splits are idempotent and cheap relative to training, so they
+//! are simply re-executed on pre-emption (no checkpointing).
+
+use crate::cost_model::CostModel;
+use crate::data;
+use parking_lot::Mutex;
+use sigmund_core::prelude::*;
+use sigmund_dfs::Dfs;
+use sigmund_mapreduce::{AttemptCtx, MapStatus, MapTask};
+use sigmund_types::{Catalog, CellId, ConfigRecord, ItemId, RetailerId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One inference split: a contiguous item range of one retailer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InferSplit {
+    /// The retailer.
+    pub retailer: RetailerId,
+    /// First item (inclusive).
+    pub start: u32,
+    /// Past-the-end item.
+    pub end: u32,
+}
+
+/// Builds splits covering every item of every retailer, at most
+/// `items_per_split` items each, retailer-contiguous.
+pub fn make_splits(
+    item_counts: &[(RetailerId, usize)],
+    items_per_split: usize,
+) -> Vec<InferSplit> {
+    assert!(items_per_split > 0);
+    let mut out = Vec::new();
+    for &(retailer, n) in item_counts {
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + items_per_split).min(n);
+            out.push(InferSplit {
+                retailer,
+                start: start as u32,
+                end: end as u32,
+            });
+            start = end;
+        }
+    }
+    out
+}
+
+/// Everything a split needs about its retailer, built once and shared.
+struct RetailerInferState {
+    catalog: Catalog,
+    model: BprModel,
+    cooc: CoocModel,
+    index: CandidateIndex,
+    repurchase: RepurchaseStats,
+    model_bytes: u64,
+    hybrid: HybridPolicy,
+}
+
+/// Output row: materialized recommendations for one item.
+#[derive(Debug, Clone)]
+pub struct MaterializedRec {
+    /// The retailer.
+    pub retailer: RetailerId,
+    /// The item.
+    pub item: ItemId,
+    /// Both recommendation surfaces (hybrid head/tail blend).
+    pub recs: ItemRecs,
+}
+
+/// The inference job over item-range splits.
+pub struct InferenceJob<'a> {
+    dfs: &'a Dfs,
+    cell: CellId,
+    splits: Vec<InferSplit>,
+    /// Best (trained, evaluated) config per retailer.
+    best: HashMap<RetailerId, ConfigRecord>,
+    cost: CostModel,
+    /// Recommendations per item surface.
+    pub k: usize,
+    selector: CandidateSelector,
+    cache: Mutex<HashMap<RetailerId, Arc<RetailerInferState>>>,
+    outputs: Mutex<Vec<MaterializedRec>>,
+}
+
+impl<'a> InferenceJob<'a> {
+    /// Creates the job. `best` maps each retailer to the config record that
+    /// won model selection (its `model_path` must exist in the DFS).
+    pub fn new(
+        dfs: &'a Dfs,
+        cell: CellId,
+        splits: Vec<InferSplit>,
+        best: HashMap<RetailerId, ConfigRecord>,
+        cost: CostModel,
+    ) -> Self {
+        Self {
+            dfs,
+            cell,
+            splits,
+            best,
+            cost,
+            k: 10,
+            selector: CandidateSelector::default(),
+            cache: Mutex::new(HashMap::new()),
+            outputs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Overrides the candidate selector (T9 sweeps `k`).
+    pub fn with_selector(mut self, selector: CandidateSelector) -> Self {
+        self.selector = selector;
+        self
+    }
+
+    /// Number of splits.
+    pub fn n_splits(&self) -> usize {
+        self.splits.len()
+    }
+
+    /// Takes the materialized recommendations.
+    pub fn take_outputs(&self) -> Vec<MaterializedRec> {
+        std::mem::take(&mut self.outputs.lock())
+    }
+
+    fn state_for(
+        &self,
+        r: RetailerId,
+    ) -> Result<Arc<RetailerInferState>, sigmund_types::SigmundError> {
+        if let Some(s) = self.cache.lock().get(&r) {
+            return Ok(Arc::clone(s));
+        }
+        let rec = self
+            .best
+            .get(&r)
+            .ok_or_else(|| sigmund_types::SigmundError::Invalid(format!("no best model for {r}")))?;
+        let catalog = data::load_catalog(self.dfs, self.cell, r)?;
+        let model_raw = self.dfs.read(self.cell, &rec.model_path)?;
+        let model_bytes = model_raw.len() as u64;
+        let model = ModelSnapshot::from_bytes(&model_raw)?.restore(&catalog, 0)?;
+        let events = data::load_events(self.dfs, self.cell, r)?;
+        let cooc = CoocModel::build(catalog.len(), &events, CoocConfig::default());
+        let index = CandidateIndex::build(&catalog);
+        let repurchase = RepurchaseStats::estimate(&catalog, &events, 0.3);
+        let state = Arc::new(RetailerInferState {
+            catalog,
+            model,
+            cooc,
+            index,
+            repurchase,
+            model_bytes,
+            hybrid: HybridPolicy::default(),
+        });
+        self.cache.lock().insert(r, Arc::clone(&state));
+        Ok(state)
+    }
+}
+
+impl MapTask for InferenceJob<'_> {
+    fn run(&self, split: usize, ctx: &mut AttemptCtx) -> MapStatus {
+        let sp = self.splits[split];
+        let Ok(state) = self.state_for(sp.retailer) else {
+            return MapStatus::Done; // permanent failure: skip
+        };
+        // Each task pays the model load once (tasks on other machines cannot
+        // share memory even though our in-process cache shares the compute).
+        if !ctx.consume(self.cost.load_seconds(state.model_bytes)) {
+            return MapStatus::Preempted;
+        }
+        let engine = InferenceEngine::new(
+            &state.model,
+            &state.catalog,
+            &state.index,
+            &state.cooc,
+            &state.repurchase,
+        )
+        .with_selector(self.selector.clone());
+        let mut local = Vec::with_capacity((sp.end - sp.start) as usize);
+        for i in sp.start..sp.end {
+            let item = ItemId(i);
+            let before = engine.candidates_scored();
+            let recs = ItemRecs {
+                view_based: state.hybrid.recommend(
+                    &state.cooc,
+                    &engine,
+                    item,
+                    RecTask::ViewBased,
+                    self.k,
+                ),
+                purchase_based: state.hybrid.recommend(
+                    &state.cooc,
+                    &engine,
+                    item,
+                    RecTask::PurchaseBased,
+                    self.k,
+                ),
+            };
+            let scored = engine.candidates_scored() - before;
+            if !ctx.consume(self.cost.scoring_seconds(scored.max(1))) {
+                // Discard partial output; the re-executed attempt redoes the
+                // whole split (idempotent).
+                return MapStatus::Preempted;
+            }
+            local.push(MaterializedRec {
+                retailer: sp.retailer,
+                item,
+                recs,
+            });
+        }
+        self.outputs.lock().extend(local);
+        MapStatus::Done
+    }
+
+    fn est_work(&self, split: usize) -> f64 {
+        let sp = self.splits[split];
+        // Linear in items, thanks to candidate selection (Section IV-C1).
+        let items = (sp.end - sp.start) as u64;
+        self.cost
+            .scoring_seconds(items * 2 * self.selector.max_candidates as u64 / 4)
+    }
+
+    fn memory_gb(&self, split: usize) -> f64 {
+        let sp = self.splits[split];
+        let factors = self
+            .best
+            .get(&sp.retailer)
+            .map(|r| r.params.factors)
+            .unwrap_or(16);
+        // One model in memory at a time (single map thread per task).
+        self.cost.model_memory_gb(0, factors).max(0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::full_sweep_for;
+    use crate::train_job::TrainJob;
+    use sigmund_cluster::{CellSpec, PreemptionModel, Priority};
+    use sigmund_datagen::RetailerSpec;
+    use sigmund_mapreduce::{run_map_job, JobConfig};
+
+    fn cfg(rate: f64, seed: u64) -> JobConfig {
+        JobConfig {
+            cell: CellSpec::standard(CellId(0), 2),
+            priority: Priority::Preemptible,
+            preemption: PreemptionModel {
+                rate_per_hour: rate,
+            },
+            seed,
+            max_attempts: None,
+        }
+    }
+
+    /// Trains one retailer end-to-end and returns its best record.
+    fn trained_retailer(dfs: &Dfs, seed: u64) -> (Catalog, ConfigRecord) {
+        let mut spec = RetailerSpec::small(RetailerId(0), seed);
+        spec.n_items = 50;
+        spec.n_users = 60;
+        let datum = spec.generate();
+        data::publish_retailer(dfs, CellId(0), &datum.catalog, &datum.events).unwrap();
+        let grid = GridSpec {
+            factors: vec![8],
+            learning_rates: vec![0.1],
+            regs: vec![(0.01, 0.01)],
+            features: vec![sigmund_types::FeatureSwitches::NONE],
+            samplers: vec![sigmund_types::NegativeSamplerKind::UniformUnseen],
+            seeds: vec![1],
+            epochs: 3,
+        };
+        let records = full_sweep_for(&datum.catalog, &grid);
+        let job = TrainJob::new(dfs, CellId(0), records.clone(), CostModel::default());
+        run_map_job(&job, records.len(), &cfg(0.0, 1));
+        let outputs = job.take_outputs();
+        (datum.catalog, outputs.into_iter().next().unwrap())
+    }
+
+    #[test]
+    fn make_splits_covers_all_items() {
+        let splits = make_splits(&[(RetailerId(0), 25), (RetailerId(1), 5)], 10);
+        assert_eq!(splits.len(), 4);
+        assert_eq!(splits[0], InferSplit { retailer: RetailerId(0), start: 0, end: 10 });
+        assert_eq!(splits[2].end, 25);
+        assert_eq!(splits[3], InferSplit { retailer: RetailerId(1), start: 0, end: 5 });
+    }
+
+    #[test]
+    fn inference_materializes_every_item() {
+        let dfs = Dfs::new();
+        let (catalog, best) = trained_retailer(&dfs, 3);
+        let splits = make_splits(&[(RetailerId(0), catalog.len())], 20);
+        let mut map = HashMap::new();
+        map.insert(RetailerId(0), best);
+        let job = InferenceJob::new(&dfs, CellId(0), splits.clone(), map, CostModel::default());
+        let stats = run_map_job(&job, splits.len(), &cfg(0.0, 1));
+        assert_eq!(stats.preemptions, 0);
+        let outputs = job.take_outputs();
+        assert_eq!(outputs.len(), catalog.len());
+        // Every item covered exactly once.
+        let mut seen: Vec<u32> = outputs.iter().map(|m| m.item.0).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..catalog.len() as u32).collect::<Vec<_>>());
+        // Lists respect K and never self-recommend.
+        for m in &outputs {
+            assert!(m.recs.view_based.len() <= 10);
+            assert!(m.recs.view_based.iter().all(|(i, _)| *i != m.item));
+        }
+    }
+
+    #[test]
+    fn preempted_splits_produce_no_duplicates() {
+        let dfs = Dfs::new();
+        let (catalog, best) = trained_retailer(&dfs, 4);
+        let splits = make_splits(&[(RetailerId(0), catalog.len())], 10);
+        let mut map = HashMap::new();
+        map.insert(RetailerId(0), best);
+        // Calibrate: measure the per-split cost without pre-emption, then
+        // set the hazard so the mean budget is about half a split.
+        let probe = InferenceJob::new(
+            &dfs,
+            CellId(0),
+            splits.clone(),
+            map.clone(),
+            CostModel::default(),
+        );
+        let clean = run_map_job(&probe, splits.len(), &cfg(0.0, 9));
+        let mean_split = clean.cost.total_cpu_s() / splits.len() as f64;
+        assert!(mean_split > 0.0);
+        let rate_per_hour = 3600.0 / (mean_split / 2.0);
+        let job = InferenceJob::new(&dfs, CellId(0), splits.clone(), map, CostModel::default());
+        let stats = run_map_job(&job, splits.len(), &cfg(rate_per_hour, 9));
+        let outputs = job.take_outputs();
+        let mut seen: Vec<u32> = outputs.iter().map(|m| m.item.0).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(
+            seen.len(),
+            outputs.len(),
+            "preempted attempts must not leak partial output"
+        );
+        assert_eq!(outputs.len(), catalog.len());
+        assert!(stats.preemptions > 0);
+    }
+
+    #[test]
+    fn missing_model_split_is_skipped() {
+        let dfs = Dfs::new();
+        let splits = vec![InferSplit {
+            retailer: RetailerId(42),
+            start: 0,
+            end: 5,
+        }];
+        let job =
+            InferenceJob::new(&dfs, CellId(0), splits, HashMap::new(), CostModel::default());
+        run_map_job(&job, 1, &cfg(0.0, 1));
+        assert!(job.take_outputs().is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! Fleet quality monitoring (Sections I and III-C promise that
+//! "recommendation quality is monitored and maintained" with no manual
+//! per-retailer attention — this is that machinery).
+//!
+//! The monitor ingests each [`DayReport`](crate::daily::DayReport), keeps a
+//! per-retailer MAP@10 history, and raises typed alerts that an operator (or
+//! an automated remediation like scheduling a full re-sweep) can act on:
+//!
+//! * **Regression** — today's selected model is significantly worse than the
+//!   retailer's trailing baseline (bad data push, drifted hyper-parameters);
+//! * **LowQuality** — the retailer has never produced a usable model (too
+//!   little data; candidate for co-occurrence-only serving);
+//! * **MissingModel** — the retailer is onboarded but model selection
+//!   produced nothing today (pipeline bug or data loss);
+//! * **EmptyRecommendations** — materialization coverage fell below the
+//!   floor (candidate-selection starvation).
+
+use crate::daily::DayReport;
+use serde::Serialize;
+use sigmund_types::RetailerId;
+use std::collections::HashMap;
+
+/// A quality problem the monitor detected for one retailer on one day.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum QualityAlert {
+    /// MAP dropped by more than the configured fraction vs the trailing mean.
+    Regression {
+        /// Affected retailer.
+        retailer: RetailerId,
+        /// Day the regression was observed.
+        day: u32,
+        /// Trailing-mean MAP@10 before today.
+        baseline_map: f64,
+        /// Today's MAP@10.
+        today_map: f64,
+    },
+    /// The retailer's best model has never reached the quality floor.
+    LowQuality {
+        /// Affected retailer.
+        retailer: RetailerId,
+        /// Best MAP@10 ever observed.
+        best_map: f64,
+    },
+    /// No model was selected for an onboarded retailer today.
+    MissingModel {
+        /// Affected retailer.
+        retailer: RetailerId,
+        /// Day it went missing.
+        day: u32,
+    },
+    /// Too many items ended the day with empty recommendation lists.
+    EmptyRecommendations {
+        /// Affected retailer.
+        retailer: RetailerId,
+        /// Fraction of items with a non-empty view-based list.
+        coverage: f64,
+    },
+}
+
+/// Monitor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorConfig {
+    /// Relative MAP drop (vs trailing mean) that trips a regression alert.
+    pub regression_drop: f64,
+    /// Days of history the trailing mean uses.
+    pub window: usize,
+    /// MAP floor below which a retailer is flagged LowQuality.
+    pub quality_floor: f64,
+    /// Minimum fraction of items that must have recommendations.
+    pub coverage_floor: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            regression_drop: 0.3,
+            window: 7,
+            quality_floor: 0.01,
+            coverage_floor: 0.5,
+        }
+    }
+}
+
+/// Per-retailer rolling state.
+#[derive(Debug, Clone, Default)]
+struct History {
+    maps: Vec<f64>,
+    best: f64,
+}
+
+/// The fleet quality monitor.
+#[derive(Debug, Default)]
+pub struct QualityMonitor {
+    cfg: MonitorConfig,
+    history: HashMap<RetailerId, History>,
+}
+
+impl QualityMonitor {
+    /// A monitor with the given thresholds.
+    pub fn new(cfg: MonitorConfig) -> Self {
+        Self {
+            cfg,
+            history: HashMap::new(),
+        }
+    }
+
+    /// Ingests a day's report and returns the alerts it raised.
+    pub fn record_day(
+        &mut self,
+        onboarded: &[(RetailerId, usize)],
+        report: &DayReport,
+    ) -> Vec<QualityAlert> {
+        let mut alerts = Vec::new();
+        for &(retailer, _) in onboarded {
+            let Some(best) = report.best.get(&retailer) else {
+                alerts.push(QualityAlert::MissingModel {
+                    retailer,
+                    day: report.day,
+                });
+                continue;
+            };
+            let map = best.metrics.map(|m| m.map_at_10).unwrap_or(0.0);
+            let hist = self.history.entry(retailer).or_default();
+
+            // Regression vs trailing mean (needs some history).
+            if hist.maps.len() >= 2 {
+                let from = hist.maps.len().saturating_sub(self.cfg.window);
+                let baseline: f64 =
+                    hist.maps[from..].iter().sum::<f64>() / (hist.maps.len() - from) as f64;
+                if baseline > 0.0 && map < baseline * (1.0 - self.cfg.regression_drop) {
+                    alerts.push(QualityAlert::Regression {
+                        retailer,
+                        day: report.day,
+                        baseline_map: baseline,
+                        today_map: map,
+                    });
+                }
+            }
+            hist.maps.push(map);
+            hist.best = hist.best.max(map);
+            if hist.best < self.cfg.quality_floor {
+                alerts.push(QualityAlert::LowQuality {
+                    retailer,
+                    best_map: hist.best,
+                });
+            }
+
+            // Coverage of today's materialized recommendations.
+            if let Some(recs) = report.recs.get(&retailer) {
+                if !recs.is_empty() {
+                    let covered = recs.iter().filter(|r| !r.view_based.is_empty()).count();
+                    let coverage = covered as f64 / recs.len() as f64;
+                    if coverage < self.cfg.coverage_floor {
+                        alerts.push(QualityAlert::EmptyRecommendations {
+                            retailer,
+                            coverage,
+                        });
+                    }
+                }
+            }
+        }
+        alerts
+    }
+
+    /// Fleet summary: (retailers tracked, mean latest MAP, worst latest MAP).
+    pub fn fleet_summary(&self) -> (usize, f64, f64) {
+        let latest: Vec<f64> = self
+            .history
+            .values()
+            .filter_map(|h| h.maps.last().copied())
+            .collect();
+        if latest.is_empty() {
+            return (0, 0.0, 0.0);
+        }
+        let mean = latest.iter().sum::<f64>() / latest.len() as f64;
+        let worst = latest.iter().cloned().fold(f64::INFINITY, f64::min);
+        (latest.len(), mean, worst)
+    }
+
+    /// Days of history recorded for a retailer.
+    pub fn days_tracked(&self, retailer: RetailerId) -> usize {
+        self.history.get(&retailer).map_or(0, |h| h.maps.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmund_cluster::CostMeter;
+    use sigmund_core::inference::ItemRecs;
+    use sigmund_types::{ConfigRecord, HyperParams, ItemId, ModelMetrics};
+
+    fn report(day: u32, entries: &[(u32, f64, usize, usize)]) -> DayReport {
+        // entries: (retailer, map, items_total, items_covered)
+        let mut best = HashMap::new();
+        let mut recs = HashMap::new();
+        for &(r, map, total, covered) in entries {
+            let mut rec = ConfigRecord::cold(RetailerId(r), 0, HyperParams::default());
+            rec.metrics = Some(ModelMetrics {
+                map_at_10: map,
+                ..Default::default()
+            });
+            best.insert(RetailerId(r), rec);
+            let mut table = vec![ItemRecs::default(); total];
+            for item in table.iter_mut().take(covered) {
+                item.view_based = vec![(ItemId(0), 1.0)];
+            }
+            recs.insert(RetailerId(r), table);
+        }
+        DayReport {
+            day,
+            models_trained: entries.len(),
+            train_makespan: 0.0,
+            infer_makespan: 0.0,
+            cost: CostMeter::default(),
+            preemptions: 0,
+            best,
+            recs,
+            train_stats: Vec::new(),
+            infer_stats: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn regression_fires_after_history() {
+        let mut mon = QualityMonitor::new(MonitorConfig::default());
+        let fleet = vec![(RetailerId(0), 10)];
+        // Two good days, then a crash.
+        assert!(mon.record_day(&fleet, &report(0, &[(0, 0.3, 10, 10)])).is_empty());
+        assert!(mon.record_day(&fleet, &report(1, &[(0, 0.31, 10, 10)])).is_empty());
+        let alerts = mon.record_day(&fleet, &report(2, &[(0, 0.05, 10, 10)]));
+        assert!(matches!(
+            alerts.as_slice(),
+            [QualityAlert::Regression { today_map, .. }] if *today_map == 0.05
+        ));
+    }
+
+    #[test]
+    fn small_fluctuations_do_not_alert() {
+        let mut mon = QualityMonitor::new(MonitorConfig::default());
+        let fleet = vec![(RetailerId(0), 10)];
+        mon.record_day(&fleet, &report(0, &[(0, 0.30, 10, 10)]));
+        mon.record_day(&fleet, &report(1, &[(0, 0.28, 10, 10)]));
+        let alerts = mon.record_day(&fleet, &report(2, &[(0, 0.26, 10, 10)]));
+        assert!(alerts.is_empty(), "{alerts:?}");
+    }
+
+    #[test]
+    fn missing_model_alerts() {
+        let mut mon = QualityMonitor::new(MonitorConfig::default());
+        let fleet = vec![(RetailerId(0), 10), (RetailerId(1), 10)];
+        let alerts = mon.record_day(&fleet, &report(0, &[(0, 0.2, 10, 10)]));
+        assert!(matches!(
+            alerts.as_slice(),
+            [QualityAlert::MissingModel { retailer, .. }] if *retailer == RetailerId(1)
+        ));
+    }
+
+    #[test]
+    fn low_quality_flags_hopeless_retailers() {
+        let mut mon = QualityMonitor::new(MonitorConfig::default());
+        let fleet = vec![(RetailerId(0), 10)];
+        let alerts = mon.record_day(&fleet, &report(0, &[(0, 0.001, 10, 10)]));
+        assert!(alerts
+            .iter()
+            .any(|a| matches!(a, QualityAlert::LowQuality { .. })));
+        // Once it ever clears the floor, the flag stops.
+        let alerts = mon.record_day(&fleet, &report(1, &[(0, 0.2, 10, 10)]));
+        assert!(alerts.is_empty());
+    }
+
+    #[test]
+    fn coverage_floor_alerts() {
+        let mut mon = QualityMonitor::new(MonitorConfig::default());
+        let fleet = vec![(RetailerId(0), 10)];
+        let alerts = mon.record_day(&fleet, &report(0, &[(0, 0.2, 10, 2)]));
+        assert!(matches!(
+            alerts.as_slice(),
+            [QualityAlert::EmptyRecommendations { coverage, .. }] if *coverage < 0.5
+        ));
+    }
+
+    #[test]
+    fn fleet_summary_tracks_latest() {
+        let mut mon = QualityMonitor::new(MonitorConfig::default());
+        let fleet = vec![(RetailerId(0), 10), (RetailerId(1), 10)];
+        mon.record_day(&fleet, &report(0, &[(0, 0.2, 10, 10), (1, 0.4, 10, 10)]));
+        let (n, mean, worst) = mon.fleet_summary();
+        assert_eq!(n, 2);
+        assert!((mean - 0.3).abs() < 1e-12);
+        assert!((worst - 0.2).abs() < 1e-12);
+        assert_eq!(mon.days_tracked(RetailerId(0)), 1);
+        assert_eq!(mon.days_tracked(RetailerId(9)), 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! The sweep step (Section IV-A): deciding which models to train today.
+//!
+//! "A full sweep training run kicks off training for every combination of
+//! hyper-parameters for every retailer. … An incremental sweep only trains a
+//! small set of models (typically 3) for each retailer corresponding to the
+//! best performing combinations … and uses the models trained in the
+//! previous run to initialize the parameters. An incremental sweep may
+//! include a new retailer that has signed up, in which case Sigmund trains
+//! all possible combinations of hyper-parameters for that retailer alone."
+//!
+//! The sweep emits [`ConfigRecord`]s; [`crate::data`] paths wire them to the
+//! DFS; the records are randomly permuted before being handed to the
+//! training job (Section IV-B1).
+
+use sigmund_core::selection::GridSpec;
+use sigmund_mapreduce::permute;
+use sigmund_types::{Catalog, ConfigRecord, RetailerId};
+use std::collections::HashMap;
+
+/// Builds the full grid of config records for one retailer.
+pub fn full_sweep_for(catalog: &Catalog, grid: &GridSpec) -> Vec<ConfigRecord> {
+    grid.configs(catalog)
+        .into_iter()
+        .enumerate()
+        .map(|(i, hp)| ConfigRecord::cold(catalog.retailer, i as u32, hp))
+        .collect()
+}
+
+/// Full sweep across a fleet, randomly permuted for load balance.
+pub fn full_sweep(catalogs: &[&Catalog], grid: &GridSpec, seed: u64) -> Vec<ConfigRecord> {
+    let records: Vec<ConfigRecord> = catalogs
+        .iter()
+        .flat_map(|c| full_sweep_for(c, grid))
+        .collect();
+    permute(&records, seed)
+}
+
+/// Picks the top-`k` evaluated records per retailer from a previous run's
+/// outputs (records lacking metrics are ignored).
+pub fn top_k_per_retailer(outputs: &[ConfigRecord], k: usize) -> Vec<ConfigRecord> {
+    let mut by_retailer: HashMap<RetailerId, Vec<&ConfigRecord>> = HashMap::new();
+    for r in outputs.iter().filter(|r| r.metrics.is_some()) {
+        by_retailer.entry(r.model.retailer).or_default().push(r);
+    }
+    let mut out = Vec::new();
+    let mut retailers: Vec<RetailerId> = by_retailer.keys().copied().collect();
+    retailers.sort();
+    for retailer in retailers {
+        let mut recs = by_retailer.remove(&retailer).expect("present");
+        recs.sort_by(|a, b| {
+            b.map_at_10()
+                .partial_cmp(&a.map_at_10())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out.extend(recs.into_iter().take(k).cloned());
+    }
+    out
+}
+
+/// Incremental sweep: warm-started top-`k` records per known retailer at
+/// `incremental_epochs`, plus a *full* grid for any retailer in
+/// `new_catalogs` (the just-signed-up case). The result is permuted.
+pub fn incremental_sweep(
+    previous_outputs: &[ConfigRecord],
+    k: usize,
+    incremental_epochs: u32,
+    new_catalogs: &[&Catalog],
+    grid: &GridSpec,
+    seed: u64,
+) -> Vec<ConfigRecord> {
+    let mut records = Vec::new();
+    for prev in top_k_per_retailer(previous_outputs, k) {
+        let mut r = prev.clone();
+        r.warm_start_path = Some(prev.model_path.clone());
+        r.epochs_override = Some(incremental_epochs);
+        r.metrics = None;
+        records.push(r);
+    }
+    for c in new_catalogs {
+        records.extend(full_sweep_for(c, grid));
+    }
+    permute(&records, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmund_types::{CategoryId, HyperParams, ItemMeta, ModelMetrics, Taxonomy};
+
+    fn catalog(r: u32, n: usize) -> Catalog {
+        let mut t = Taxonomy::new();
+        t.add_child(t.root());
+        let mut c = Catalog::new(RetailerId(r), t);
+        for _ in 0..n {
+            c.add_item(ItemMeta::bare(CategoryId(1)));
+        }
+        c
+    }
+
+    fn evaluated(r: u32, config: u32, map: f64) -> ConfigRecord {
+        let mut rec = ConfigRecord::cold(RetailerId(r), config, HyperParams::default());
+        rec.metrics = Some(ModelMetrics {
+            map_at_10: map,
+            ..Default::default()
+        });
+        rec
+    }
+
+    #[test]
+    fn full_sweep_covers_every_retailer_and_config() {
+        let c1 = catalog(0, 5);
+        let c2 = catalog(1, 5);
+        let grid = GridSpec::small();
+        let recs = full_sweep(&[&c1, &c2], &grid, 3);
+        let per = grid.configs(&c1).len();
+        assert_eq!(recs.len(), per * 2);
+        assert!(recs.iter().any(|r| r.model.retailer == RetailerId(0)));
+        assert!(recs.iter().any(|r| r.model.retailer == RetailerId(1)));
+        // Permutation shuffles: first record should not always be retailer 0
+        // config 0 (check against the unpermuted order).
+        let unpermuted = full_sweep_for(&c1, &grid);
+        assert_ne!(recs[0], unpermuted[0]);
+    }
+
+    #[test]
+    fn top_k_selects_best_per_retailer() {
+        let outputs = vec![
+            evaluated(0, 0, 0.1),
+            evaluated(0, 1, 0.5),
+            evaluated(0, 2, 0.3),
+            evaluated(1, 0, 0.2),
+        ];
+        let top = top_k_per_retailer(&outputs, 2);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].model.config, 1); // best of retailer 0
+        assert_eq!(top[1].model.config, 2);
+        assert_eq!(top[2].model.retailer, RetailerId(1));
+    }
+
+    #[test]
+    fn top_k_ignores_unevaluated() {
+        let outputs = vec![
+            ConfigRecord::cold(RetailerId(0), 0, HyperParams::default()),
+            evaluated(0, 1, 0.5),
+        ];
+        let top = top_k_per_retailer(&outputs, 3);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].model.config, 1);
+    }
+
+    #[test]
+    fn incremental_sweep_warm_starts_and_adds_new() {
+        let outputs = vec![evaluated(0, 0, 0.4), evaluated(0, 1, 0.6)];
+        let newbie = catalog(5, 4);
+        let grid = GridSpec::small();
+        let recs = incremental_sweep(&outputs, 1, 3, &[&newbie], &grid, 1);
+        let warm: Vec<&ConfigRecord> = recs
+            .iter()
+            .filter(|r| r.warm_start_path.is_some())
+            .collect();
+        assert_eq!(warm.len(), 1);
+        assert_eq!(warm[0].model.config, 1, "best previous config");
+        assert_eq!(warm[0].epochs(), 3);
+        assert!(warm[0].metrics.is_none(), "metrics reset for retraining");
+        let fresh: Vec<&ConfigRecord> = recs
+            .iter()
+            .filter(|r| r.model.retailer == RetailerId(5))
+            .collect();
+        assert_eq!(fresh.len(), grid.configs(&newbie).len());
+        assert!(fresh.iter().all(|r| r.warm_start_path.is_none()));
+    }
+}

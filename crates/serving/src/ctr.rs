@@ -1,0 +1,287 @@
+//! The online-experiment simulator behind Figure 6.
+//!
+//! The paper plots, across all retailers, an item's popularity (impressions
+//! per day) against the CTR of recommendations shown on that item's page,
+//! for Sigmund vs a plain co-occurrence baseline. We replay the retailer's
+//! *view events*: every view of item `i` by user `u` is one recommendation
+//! impression — the recommender's list for `i` is shown and `u` clicks each
+//! slot with probability `position_bias(slot) × click_probability(u, rec)`,
+//! where the click probability comes from the generator's ground-truth
+//! latent affinities. The y-axis, like the paper's, is meaningful only in
+//! relative terms.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use sigmund_core::inference::RecList;
+use sigmund_datagen::GroundTruth;
+use sigmund_types::{ActionType, Catalog, Interaction, ItemId};
+
+/// Click-simulation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CtrConfig {
+    /// Recommendation slots shown per impression.
+    pub k: usize,
+    /// Seed for click sampling.
+    pub seed: u64,
+    /// Virtual days the event log spans (for impressions/day).
+    pub days: f64,
+}
+
+impl Default for CtrConfig {
+    fn default() -> Self {
+        Self {
+            k: 6,
+            seed: 33,
+            days: 7.0,
+        }
+    }
+}
+
+/// Examination probability of recommendation slot `pos` (0-based): a
+/// standard inverse-log position-bias curve.
+pub fn position_bias(pos: usize) -> f64 {
+    1.0 / (2.0 + pos as f64).log2()
+}
+
+/// Per-query-item CTR tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CtrSample {
+    /// Views of the query item in the log (its popularity).
+    pub impressions: u64,
+    /// Recommendation slots shown on its page.
+    pub shown: u64,
+    /// Clicks on those slots.
+    pub clicks: u64,
+}
+
+impl CtrSample {
+    /// Clicks per shown slot (0 if nothing shown).
+    pub fn ctr(&self) -> f64 {
+        if self.shown == 0 {
+            0.0
+        } else {
+            self.clicks as f64 / self.shown as f64
+        }
+    }
+}
+
+/// Replays every view event against `recommender` and tallies clicks per
+/// query item. `recommender(i)` returns the list shown on item `i`'s page.
+pub fn simulate_ctr(
+    catalog: &Catalog,
+    truth: &GroundTruth,
+    events: &[Interaction],
+    mut recommender: impl FnMut(ItemId) -> RecList,
+    cfg: CtrConfig,
+) -> Vec<CtrSample> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut samples = vec![CtrSample::default(); catalog.len()];
+    // Cache each item's list: the materialized tables don't change while we
+    // replay one day of traffic.
+    let mut cache: Vec<Option<RecList>> = vec![None; catalog.len()];
+    for e in events {
+        if e.action != ActionType::View {
+            continue;
+        }
+        let s = &mut samples[e.item.index()];
+        s.impressions += 1;
+        let recs = cache[e.item.index()]
+            .get_or_insert_with(|| recommender(e.item))
+            .clone();
+        for (pos, (rec_item, _)) in recs.iter().take(cfg.k).enumerate() {
+            s.shown += 1;
+            let p = position_bias(pos) * truth.click_probability(catalog, e.user, *rec_item);
+            if rng.random::<f64>() < p {
+                s.clicks += 1;
+            }
+        }
+    }
+    samples
+}
+
+/// A popularity bucket of the Figure 6 plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CtrBucket {
+    /// Lower edge, impressions/day (inclusive).
+    pub lo: f64,
+    /// Upper edge (exclusive).
+    pub hi: f64,
+    /// Items in the bucket.
+    pub items: u64,
+    /// Mean CTR over shown slots in the bucket.
+    pub ctr: f64,
+}
+
+/// Buckets per-item CTR samples by log-scale popularity (impressions/day),
+/// like Figure 6's x-axis. Items never shown are skipped.
+pub fn bucket_by_popularity(samples: &[CtrSample], days: f64, n_buckets: usize) -> Vec<CtrBucket> {
+    assert!(n_buckets > 0 && days > 0.0);
+    let pops: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.shown > 0)
+        .map(|s| s.impressions as f64 / days)
+        .collect();
+    if pops.is_empty() {
+        return Vec::new();
+    }
+    let min = pops.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-3);
+    let max = pops.iter().cloned().fold(0.0, f64::max) * 1.0001;
+    let log_lo = min.ln();
+    let log_hi = max.ln().max(log_lo + 1e-9);
+    let width = (log_hi - log_lo) / n_buckets as f64;
+    let mut shown = vec![0u64; n_buckets];
+    let mut clicks = vec![0u64; n_buckets];
+    let mut items = vec![0u64; n_buckets];
+    for s in samples.iter().filter(|s| s.shown > 0) {
+        let pop = (s.impressions as f64 / days).max(min);
+        let b = (((pop.ln() - log_lo) / width) as usize).min(n_buckets - 1);
+        shown[b] += s.shown;
+        clicks[b] += s.clicks;
+        items[b] += 1;
+    }
+    (0..n_buckets)
+        .filter(|&b| items[b] > 0)
+        .map(|b| CtrBucket {
+            lo: (log_lo + b as f64 * width).exp(),
+            hi: (log_lo + (b + 1) as f64 * width).exp(),
+            items: items[b],
+            ctr: if shown[b] > 0 {
+                clicks[b] as f64 / shown[b] as f64
+            } else {
+                0.0
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmund_datagen::RetailerSpec;
+    use sigmund_types::RetailerId;
+
+    #[test]
+    fn position_bias_decays() {
+        assert!(position_bias(0) > position_bias(1));
+        assert!(position_bias(1) > position_bias(9));
+        assert!(position_bias(0) <= 1.0);
+    }
+
+    #[test]
+    fn ctr_counts_and_rates() {
+        let s = CtrSample {
+            impressions: 10,
+            shown: 50,
+            clicks: 5,
+        };
+        assert!((s.ctr() - 0.1).abs() < 1e-12);
+        assert_eq!(CtrSample::default().ctr(), 0.0);
+    }
+
+    #[test]
+    fn good_recommendations_outclick_bad_ones() {
+        let data = RetailerSpec::small(RetailerId(0), 21).generate();
+        let cfg = CtrConfig::default();
+        // "Good": recommend the viewing users' genuinely-liked items — use
+        // ground truth to pick each item's best companions by mean affinity
+        // of a probe user set. "Bad": recommend fixed arbitrary items.
+        let n = data.catalog.len();
+        let good = |item: ItemId| -> RecList {
+            let mut scored: Vec<(ItemId, f32)> = (0..n as u32)
+                .filter(|&j| j != item.0)
+                .map(|j| {
+                    let mean: f32 = (0..20u32)
+                        .map(|u| {
+                            data.truth.affinity(
+                                &data.catalog,
+                                sigmund_types::UserId(u),
+                                ItemId(j),
+                            )
+                        })
+                        .sum::<f32>()
+                        / 20.0;
+                    (ItemId(j), mean)
+                })
+                .collect();
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            scored.truncate(6);
+            scored
+        };
+        let bad = |item: ItemId| -> RecList {
+            (0..6u32)
+                .map(|j| (ItemId((item.0 + 17 + j * 13) % n as u32), 0.0))
+                .collect()
+        };
+        let s_good = simulate_ctr(&data.catalog, &data.truth, &data.events, good, cfg);
+        let s_bad = simulate_ctr(&data.catalog, &data.truth, &data.events, bad, cfg);
+        let ctr = |ss: &[CtrSample]| {
+            let shown: u64 = ss.iter().map(|s| s.shown).sum();
+            let clicks: u64 = ss.iter().map(|s| s.clicks).sum();
+            clicks as f64 / shown as f64
+        };
+        assert!(
+            ctr(&s_good) > ctr(&s_bad),
+            "good {:.4} must beat bad {:.4}",
+            ctr(&s_good),
+            ctr(&s_bad)
+        );
+    }
+
+    #[test]
+    fn impressions_match_view_counts() {
+        let data = RetailerSpec::small(RetailerId(0), 5).generate();
+        let samples = simulate_ctr(
+            &data.catalog,
+            &data.truth,
+            &data.events,
+            |_| RecList::new(),
+            CtrConfig::default(),
+        );
+        let views: u64 = data
+            .events
+            .iter()
+            .filter(|e| e.action == ActionType::View)
+            .count() as u64;
+        let total: u64 = samples.iter().map(|s| s.impressions).sum();
+        assert_eq!(total, views);
+        assert!(samples.iter().all(|s| s.shown == 0 && s.clicks == 0));
+    }
+
+    #[test]
+    fn buckets_cover_all_shown_items() {
+        let samples = vec![
+            CtrSample {
+                impressions: 1,
+                shown: 10,
+                clicks: 1,
+            },
+            CtrSample {
+                impressions: 100,
+                shown: 10,
+                clicks: 5,
+            },
+            CtrSample {
+                impressions: 10_000,
+                shown: 10,
+                clicks: 9,
+            },
+            CtrSample::default(), // never shown: skipped
+        ];
+        let buckets = bucket_by_popularity(&samples, 1.0, 4);
+        let total_items: u64 = buckets.iter().map(|b| b.items).sum();
+        assert_eq!(total_items, 3);
+        for b in &buckets {
+            assert!(b.lo < b.hi);
+            assert!((0.0..=1.0).contains(&b.ctr));
+        }
+        // Monotone edges.
+        for w in buckets.windows(2) {
+            assert!(w[0].hi <= w[1].lo + 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_samples_empty_buckets() {
+        assert!(bucket_by_popularity(&[], 1.0, 5).is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! # sigmund-serving
+//!
+//! The serving layer and the online-experiment (CTR) simulator.
+//!
+//! Section II-A: "the recommendations are loaded into a distributed serving
+//! system that leverages main-memory … to serve low-latency requests", and
+//! Section V: "the serving infrastructure can now be optimized for
+//! batch-updates every time we have the inference job complete" — so the
+//! store here is an immutable snapshot swapped atomically per daily batch,
+//! with lock-free-ish reads (an `Arc` clone under a read lock).
+//!
+//! Figure 6 is an *online* experiment (CTR vs item popularity). We cannot
+//! run live traffic, so [`ctr`] replays view events against the ground-truth
+//! click model from `sigmund-datagen` with position bias — the documented
+//! substitution (DESIGN.md §1).
+
+pub mod ctr;
+pub mod store;
+
+pub use ctr::{simulate_ctr, CtrBucket, CtrConfig, CtrSample, bucket_by_popularity};
+pub use store::{RecSurface, ServingStats, ServingStore};

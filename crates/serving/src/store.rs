@@ -1,0 +1,293 @@
+//! The batch-swapped, in-memory recommendation store.
+//!
+//! Lookups resolve the *last item* of the request context against the
+//! materialized item → top-K tables produced by offline inference; Sigmund
+//! deliberately keeps serving-time computation trivial (Section I: "have
+//! very lightweight computation at serving-time").
+
+use parking_lot::RwLock;
+use sigmund_core::inference::{ItemRecs, RecList};
+use sigmund_core::model::ContextEvent;
+use sigmund_types::{ActionType, ItemId, RetailerId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which materialized surface to serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecSurface {
+    /// Substitutes (before the purchase decision).
+    ViewBased,
+    /// Complements (after the purchase decision).
+    PurchaseBased,
+}
+
+/// One immutable day's worth of recommendations.
+#[derive(Debug, Default)]
+struct Snapshot {
+    generation: u64,
+    tables: HashMap<RetailerId, Vec<ItemRecs>>,
+}
+
+/// Request counters, the observability surface operators watch ("understand
+/// and debug problems efficiently", Section I). An *empty* response on a
+/// known retailer usually means inference coverage regressed — the
+/// `QualityMonitor` sees it offline, these counters see it live.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServingStats {
+    /// Lookups answered with a non-empty list.
+    pub hits: u64,
+    /// Lookups for a known retailer/item that had no recommendations.
+    pub empties: u64,
+    /// Lookups for an unknown retailer or out-of-range item.
+    pub misses: u64,
+}
+
+impl ServingStats {
+    /// Fraction of answered lookups that carried recommendations.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.empties + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The serving store: readers clone an `Arc` to the current snapshot; the
+/// daily batch publish builds a new snapshot and swaps it in atomically.
+///
+/// ```
+/// use sigmund_serving::{RecSurface, ServingStore};
+/// use sigmund_core::inference::ItemRecs;
+/// use sigmund_types::{ActionType, ItemId, RetailerId};
+/// use std::collections::HashMap;
+/// let store = ServingStore::new();
+/// let table = vec![ItemRecs {
+///     view_based: vec![(ItemId(1), 0.9)],
+///     purchase_based: vec![(ItemId(2), 0.8)],
+/// }];
+/// store.publish(HashMap::from([(RetailerId(0), table)]));
+/// // A user viewing item 0 gets substitutes; after buying, complements.
+/// let subs = store.serve(RetailerId(0), &[(ItemId(0), ActionType::View)], None);
+/// assert_eq!(subs[0].0, ItemId(1));
+/// let comps = store.serve(RetailerId(0), &[(ItemId(0), ActionType::Conversion)], None);
+/// assert_eq!(comps[0].0, ItemId(2));
+/// ```
+#[derive(Debug, Default)]
+pub struct ServingStore {
+    current: RwLock<Arc<Snapshot>>,
+    stats: RwLock<ServingStats>,
+}
+
+impl ServingStore {
+    /// An empty store (generation 0, no tables).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes a new batch: retailers present in `batch` are replaced,
+    /// others keep serving yesterday's tables. Returns the new generation.
+    pub fn publish(&self, batch: HashMap<RetailerId, Vec<ItemRecs>>) -> u64 {
+        let mut cur = self.current.write();
+        let mut tables = cur.tables.clone();
+        for (r, v) in batch {
+            tables.insert(r, v);
+        }
+        let generation = cur.generation + 1;
+        *cur = Arc::new(Snapshot { generation, tables });
+        generation
+    }
+
+    /// Current snapshot generation (0 = nothing published yet).
+    pub fn generation(&self) -> u64 {
+        self.current.read().generation
+    }
+
+    /// Serves a request: recommendations for the last item in `context`.
+    ///
+    /// The surface defaults from the last action when `surface` is `None`:
+    /// a conversion/cart context gets complements, anything else substitutes
+    /// (the before/after purchase-decision split of Figure 1).
+    pub fn serve(
+        &self,
+        retailer: RetailerId,
+        context: &[ContextEvent],
+        surface: Option<RecSurface>,
+    ) -> RecList {
+        let Some(&(item, action)) = context.last() else {
+            return RecList::new();
+        };
+        let surface = surface.unwrap_or(match action {
+            ActionType::Conversion | ActionType::Cart => RecSurface::PurchaseBased,
+            _ => RecSurface::ViewBased,
+        });
+        self.lookup(retailer, item, surface)
+    }
+
+    /// Direct item lookup.
+    pub fn lookup(&self, retailer: RetailerId, item: ItemId, surface: RecSurface) -> RecList {
+        let snap = Arc::clone(&self.current.read());
+        let Some(table) = snap.tables.get(&retailer) else {
+            self.stats.write().misses += 1;
+            return RecList::new();
+        };
+        let Some(recs) = table.get(item.index()) else {
+            self.stats.write().misses += 1;
+            return RecList::new();
+        };
+        let out = match surface {
+            RecSurface::ViewBased => recs.view_based.clone(),
+            RecSurface::PurchaseBased => recs.purchase_based.clone(),
+        };
+        if out.is_empty() {
+            self.stats.write().empties += 1;
+        } else {
+            self.stats.write().hits += 1;
+        }
+        out
+    }
+
+    /// Number of retailers currently served.
+    pub fn retailer_count(&self) -> usize {
+        self.current.read().tables.len()
+    }
+
+    /// Request counters since construction (or the last [`ServingStore::reset_stats`]).
+    pub fn stats(&self) -> ServingStats {
+        *self.stats.read()
+    }
+
+    /// Zeroes the request counters (e.g. at a metrics-scrape boundary).
+    pub fn reset_stats(&self) {
+        *self.stats.write() = ServingStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recs(view: &[u32], buy: &[u32]) -> ItemRecs {
+        ItemRecs {
+            view_based: view.iter().map(|&i| (ItemId(i), 1.0)).collect(),
+            purchase_based: buy.iter().map(|&i| (ItemId(i), 1.0)).collect(),
+        }
+    }
+
+    fn publish_one(store: &ServingStore, r: u32, table: Vec<ItemRecs>) {
+        let mut batch = HashMap::new();
+        batch.insert(RetailerId(r), table);
+        store.publish(batch);
+    }
+
+    #[test]
+    fn publish_and_lookup() {
+        let store = ServingStore::new();
+        assert_eq!(store.generation(), 0);
+        publish_one(&store, 0, vec![recs(&[1, 2], &[3])]);
+        assert_eq!(store.generation(), 1);
+        let v = store.lookup(RetailerId(0), ItemId(0), RecSurface::ViewBased);
+        assert_eq!(v.len(), 2);
+        let b = store.lookup(RetailerId(0), ItemId(0), RecSurface::PurchaseBased);
+        assert_eq!(b, vec![(ItemId(3), 1.0)]);
+    }
+
+    #[test]
+    fn unknown_retailer_or_item_is_empty() {
+        let store = ServingStore::new();
+        publish_one(&store, 0, vec![recs(&[1], &[])]);
+        assert!(store
+            .lookup(RetailerId(9), ItemId(0), RecSurface::ViewBased)
+            .is_empty());
+        assert!(store
+            .lookup(RetailerId(0), ItemId(5), RecSurface::ViewBased)
+            .is_empty());
+    }
+
+    #[test]
+    fn batch_replaces_only_published_retailers() {
+        let store = ServingStore::new();
+        publish_one(&store, 0, vec![recs(&[1], &[])]);
+        publish_one(&store, 1, vec![recs(&[2], &[])]);
+        assert_eq!(store.retailer_count(), 2);
+        // Re-publish retailer 0 only; retailer 1 keeps serving.
+        publish_one(&store, 0, vec![recs(&[7], &[])]);
+        assert_eq!(
+            store.lookup(RetailerId(0), ItemId(0), RecSurface::ViewBased),
+            vec![(ItemId(7), 1.0)]
+        );
+        assert_eq!(
+            store.lookup(RetailerId(1), ItemId(0), RecSurface::ViewBased),
+            vec![(ItemId(2), 1.0)]
+        );
+        assert_eq!(store.generation(), 3);
+    }
+
+    #[test]
+    fn serve_picks_surface_from_funnel_position() {
+        let store = ServingStore::new();
+        publish_one(&store, 0, vec![recs(&[1], &[2])]);
+        let view_ctx = vec![(ItemId(0), ActionType::View)];
+        let buy_ctx = vec![(ItemId(0), ActionType::Conversion)];
+        assert_eq!(store.serve(RetailerId(0), &view_ctx, None)[0].0, ItemId(1));
+        assert_eq!(store.serve(RetailerId(0), &buy_ctx, None)[0].0, ItemId(2));
+        // Explicit surface overrides.
+        assert_eq!(
+            store.serve(RetailerId(0), &view_ctx, Some(RecSurface::PurchaseBased))[0].0,
+            ItemId(2)
+        );
+        assert!(store.serve(RetailerId(0), &[], None).is_empty());
+    }
+
+    #[test]
+    fn stats_classify_requests() {
+        let store = ServingStore::new();
+        publish_one(&store, 0, vec![recs(&[1], &[])]);
+        // hit (view list non-empty)
+        store.lookup(RetailerId(0), ItemId(0), RecSurface::ViewBased);
+        // empty (purchase list empty)
+        store.lookup(RetailerId(0), ItemId(0), RecSurface::PurchaseBased);
+        // miss ×2 (unknown retailer, out-of-range item)
+        store.lookup(RetailerId(7), ItemId(0), RecSurface::ViewBased);
+        store.lookup(RetailerId(0), ItemId(99), RecSurface::ViewBased);
+        let s = store.stats();
+        assert_eq!(
+            (s.hits, s.empties, s.misses),
+            (1, 1, 2),
+            "stats: {s:?}"
+        );
+        assert!((s.hit_rate() - 0.25).abs() < 1e-12);
+        store.reset_stats();
+        assert_eq!(store.stats(), ServingStats::default());
+        assert_eq!(ServingStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_reads_during_publish() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let store = Arc::new(ServingStore::new());
+        publish_one(&store, 0, vec![recs(&[1], &[])]);
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let v = store.lookup(RetailerId(0), ItemId(0), RecSurface::ViewBased);
+                    // Always a complete list, never torn.
+                    assert_eq!(v.len(), 1);
+                    reads += 1;
+                }
+                reads
+            })
+        };
+        for i in 0..100 {
+            publish_one(&store, 0, vec![recs(&[i + 1], &[])]);
+        }
+        stop.store(true, Ordering::Relaxed);
+        assert!(reader.join().unwrap() > 0);
+        assert_eq!(store.generation(), 101);
+    }
+}

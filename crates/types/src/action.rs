@@ -1,0 +1,111 @@
+//! User action types and the paper's strength ordering.
+//!
+//! Sigmund consumes only implicit feedback. Section III-A of the paper orders
+//! interactions by increasing strength:
+//!
+//! ```text
+//! view < search < cart < conversion
+//! ```
+//!
+//! The ordering is load-bearing in two places: training-example construction
+//! (BPR constraints like "searched items beat viewed-only items") and the
+//! decaying user-context weights.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of implicit-feedback event a user generated for an item.
+///
+/// Derived `Ord` follows the paper's strength order because variants are
+/// declared weakest-first.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum ActionType {
+    /// The user viewed the item's product page.
+    View,
+    /// A search event led the user to the item (explicit intent).
+    Search,
+    /// The user added the item to their shopping cart.
+    Cart,
+    /// The user bought the item.
+    Conversion,
+}
+
+impl ActionType {
+    /// All action types, weakest first.
+    pub const ALL: [ActionType; 4] = [
+        ActionType::View,
+        ActionType::Search,
+        ActionType::Cart,
+        ActionType::Conversion,
+    ];
+
+    /// Ordinal strength (0 = weakest).
+    #[inline]
+    pub fn strength(self) -> u8 {
+        self as u8
+    }
+
+    /// The next-weaker action type, if any.
+    ///
+    /// Used when constructing cross-strength BPR constraints: for every
+    /// `search` positive we sample a negative among items that were merely
+    /// `view`ed, and so on down the funnel.
+    #[inline]
+    pub fn weaker(self) -> Option<ActionType> {
+        match self {
+            ActionType::View => None,
+            ActionType::Search => Some(ActionType::View),
+            ActionType::Cart => Some(ActionType::Search),
+            ActionType::Conversion => Some(ActionType::Cart),
+        }
+    }
+
+    /// Relative weight of this action when composing the user-context
+    /// embedding (stronger actions matter more). The exact values are a
+    /// modeling choice the paper leaves unspecified; these defaults follow
+    /// the qualitative ordering.
+    #[inline]
+    pub fn context_weight(self) -> f32 {
+        match self {
+            ActionType::View => 1.0,
+            ActionType::Search => 1.5,
+            ActionType::Cart => 2.5,
+            ActionType::Conversion => 4.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strength_order_matches_paper() {
+        assert!(ActionType::View < ActionType::Search);
+        assert!(ActionType::Search < ActionType::Cart);
+        assert!(ActionType::Cart < ActionType::Conversion);
+    }
+
+    #[test]
+    fn weaker_walks_down_the_funnel() {
+        assert_eq!(ActionType::Conversion.weaker(), Some(ActionType::Cart));
+        assert_eq!(ActionType::Cart.weaker(), Some(ActionType::Search));
+        assert_eq!(ActionType::Search.weaker(), Some(ActionType::View));
+        assert_eq!(ActionType::View.weaker(), None);
+    }
+
+    #[test]
+    fn context_weight_is_monotone_in_strength() {
+        let w: Vec<f32> = ActionType::ALL.iter().map(|a| a.context_weight()).collect();
+        assert!(w.windows(2).all(|p| p[0] < p[1]));
+    }
+
+    #[test]
+    fn all_lists_every_variant_weakest_first() {
+        assert_eq!(ActionType::ALL.len(), 4);
+        for (i, a) in ActionType::ALL.iter().enumerate() {
+            assert_eq!(a.strength() as usize, i);
+        }
+    }
+}

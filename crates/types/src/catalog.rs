@@ -1,0 +1,242 @@
+//! Per-retailer product catalogs: item → category/brand/price/facet metadata.
+//!
+//! Feature coverage is deliberately optional per item — Section III-C of the
+//! paper notes that many small retailers have brand coverage below 10%, which
+//! makes using the brand feature *detrimental*; the per-retailer
+//! feature-selection logic in `sigmund-core::selection` keys off the coverage
+//! numbers computed here.
+
+use crate::{BrandId, CategoryId, FacetId, ItemId, RetailerId, Taxonomy};
+use serde::{Deserialize, Serialize};
+
+/// Metadata a retailer supplied for one item. Any field other than the
+/// category may be missing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ItemMeta {
+    /// Taxonomy node the item attaches to.
+    pub category: CategoryId,
+    /// Brand, if provided.
+    pub brand: Option<BrandId>,
+    /// Price in (virtual) currency units, if provided.
+    pub price: Option<f32>,
+    /// Facet value (color, size class, …), if provided.
+    pub facet: Option<FacetId>,
+}
+
+impl ItemMeta {
+    /// Metadata with only a category.
+    pub fn bare(category: CategoryId) -> Self {
+        Self {
+            category,
+            brand: None,
+            price: None,
+            facet: None,
+        }
+    }
+}
+
+/// A retailer's product catalog plus its taxonomy.
+///
+/// Items are dense: `ItemId(0) .. ItemId(n-1)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Catalog {
+    /// The retailer this catalog belongs to.
+    pub retailer: RetailerId,
+    /// The retailer's category tree.
+    pub taxonomy: Taxonomy,
+    items: Vec<ItemMeta>,
+    n_brands: u32,
+}
+
+impl Catalog {
+    /// Creates an empty catalog over `taxonomy`.
+    pub fn new(retailer: RetailerId, taxonomy: Taxonomy) -> Self {
+        Self {
+            retailer,
+            taxonomy,
+            items: Vec::new(),
+            n_brands: 0,
+        }
+    }
+
+    /// Adds an item and returns its id.
+    ///
+    /// # Panics
+    /// Panics if the category is not in the taxonomy.
+    pub fn add_item(&mut self, meta: ItemMeta) -> ItemId {
+        assert!(
+            meta.category.index() < self.taxonomy.len(),
+            "item category not in taxonomy"
+        );
+        if let Some(b) = meta.brand {
+            self.n_brands = self.n_brands.max(b.0 + 1);
+        }
+        let id = ItemId::from_index(self.items.len());
+        self.items.push(meta);
+        id
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True iff the catalog has no items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Metadata for an item.
+    #[inline]
+    pub fn meta(&self, item: ItemId) -> &ItemMeta {
+        &self.items[item.index()]
+    }
+
+    /// Category of an item.
+    #[inline]
+    pub fn category(&self, item: ItemId) -> CategoryId {
+        self.items[item.index()].category
+    }
+
+    /// Iterates `(ItemId, &ItemMeta)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, &ItemMeta)> {
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (ItemId::from_index(i), m))
+    }
+
+    /// Iterates all item ids.
+    pub fn item_ids(&self) -> impl Iterator<Item = ItemId> + '_ {
+        (0..self.items.len()).map(ItemId::from_index)
+    }
+
+    /// Number of distinct brand ids referenced (upper bound: max id + 1).
+    #[inline]
+    pub fn brand_space(&self) -> u32 {
+        self.n_brands
+    }
+
+    /// Fraction of items with a brand, in `[0, 1]`. Returns 0 for an empty
+    /// catalog.
+    pub fn brand_coverage(&self) -> f64 {
+        self.coverage(|m| m.brand.is_some())
+    }
+
+    /// Fraction of items with a price.
+    pub fn price_coverage(&self) -> f64 {
+        self.coverage(|m| m.price.is_some())
+    }
+
+    /// Fraction of items with a facet.
+    pub fn facet_coverage(&self) -> f64 {
+        self.coverage(|m| m.facet.is_some())
+    }
+
+    fn coverage(&self, f: impl Fn(&ItemMeta) -> bool) -> f64 {
+        if self.items.is_empty() {
+            return 0.0;
+        }
+        self.items.iter().filter(|m| f(m)).count() as f64 / self.items.len() as f64
+    }
+
+    /// Applies price updates `(item index, new price)` — the daily
+    /// "retailers modify the sale prices on items" churn of Section III-C3.
+    /// Items without a price stay priceless (a price update targets an
+    /// existing price tag).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range index.
+    pub fn update_prices(&mut self, updates: &[(usize, f32)]) {
+        for &(i, p) in updates {
+            let meta = &mut self.items[i];
+            if meta.price.is_some() {
+                meta.price = Some(p);
+            }
+        }
+    }
+
+    /// LCA distance between two items (from `a`'s perspective; Figure 3).
+    #[inline]
+    pub fn lca_distance_from(&self, a: ItemId, b: ItemId) -> u32 {
+        self.taxonomy
+            .lca_distance_from(self.category(a), self.category(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Catalog {
+        let mut t = Taxonomy::new();
+        let c1 = t.add_child(t.root());
+        let c2 = t.add_child(t.root());
+        let mut cat = Catalog::new(RetailerId(0), t);
+        cat.add_item(ItemMeta {
+            category: c1,
+            brand: Some(BrandId(0)),
+            price: Some(10.0),
+            facet: None,
+        });
+        cat.add_item(ItemMeta::bare(c1));
+        cat.add_item(ItemMeta::bare(c2));
+        cat
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let cat = tiny();
+        assert_eq!(cat.len(), 3);
+        assert_eq!(cat.meta(ItemId(0)).brand, Some(BrandId(0)));
+        assert_eq!(cat.category(ItemId(2)).index(), 2);
+    }
+
+    #[test]
+    fn coverage_fractions() {
+        let cat = tiny();
+        assert!((cat.brand_coverage() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cat.price_coverage() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cat.facet_coverage(), 0.0);
+    }
+
+    #[test]
+    fn empty_catalog_coverage_is_zero() {
+        let cat = Catalog::new(RetailerId(0), Taxonomy::new());
+        assert_eq!(cat.brand_coverage(), 0.0);
+        assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn item_lca_distance() {
+        let cat = tiny();
+        // Items 0 and 1 share a category → distance 1.
+        assert_eq!(cat.lca_distance_from(ItemId(0), ItemId(1)), 1);
+        // Items 0 and 2 meet at the root → distance 2.
+        assert_eq!(cat.lca_distance_from(ItemId(0), ItemId(2)), 2);
+    }
+
+    #[test]
+    fn brand_space_tracks_max_id() {
+        let cat = tiny();
+        assert_eq!(cat.brand_space(), 1);
+    }
+
+    #[test]
+    fn update_prices_respects_priceless_items() {
+        let mut cat = tiny();
+        cat.update_prices(&[(0, 99.0), (1, 50.0)]);
+        assert_eq!(cat.meta(ItemId(0)).price, Some(99.0));
+        // Item 1 never had a price; the update is ignored.
+        assert_eq!(cat.meta(ItemId(1)).price, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "item category not in taxonomy")]
+    fn add_item_validates_category() {
+        let mut cat = Catalog::new(RetailerId(0), Taxonomy::new());
+        cat.add_item(ItemMeta::bare(CategoryId(5)));
+    }
+}

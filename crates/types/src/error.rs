@@ -1,0 +1,59 @@
+//! Workspace-wide error type.
+//!
+//! Hand-rolled rather than pulling in `thiserror`: the approved dependency
+//! list is small and the error surface here is too.
+
+use std::fmt;
+
+/// Errors surfaced by Sigmund components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SigmundError {
+    /// A DFS path was not found.
+    NotFound(String),
+    /// A DFS path already exists and the operation required it not to.
+    AlreadyExists(String),
+    /// Serialized bytes could not be decoded.
+    Corrupt(String),
+    /// The caller asked for something inconsistent (bad argument, missing
+    /// model, empty dataset, …).
+    Invalid(String),
+    /// A cluster task could not be scheduled (e.g. it asks for more memory
+    /// than any machine has).
+    Unschedulable(String),
+}
+
+impl fmt::Display for SigmundError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SigmundError::NotFound(p) => write!(f, "not found: {p}"),
+            SigmundError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            SigmundError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            SigmundError::Invalid(m) => write!(f, "invalid request: {m}"),
+            SigmundError::Unschedulable(m) => write!(f, "unschedulable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SigmundError {}
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, SigmundError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SigmundError::NotFound("/models/r1/c2".into());
+        assert_eq!(e.to_string(), "not found: /models/r1/c2");
+        let e = SigmundError::Unschedulable("needs 1TB".into());
+        assert!(e.to_string().contains("unschedulable"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SigmundError::Corrupt("x".into()));
+    }
+}

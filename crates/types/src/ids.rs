@@ -1,0 +1,154 @@
+//! Strongly-typed numeric identifiers.
+//!
+//! Sigmund solves one recommendation problem per retailer, so almost every
+//! identifier is scoped to a retailer. We keep ids as dense `u32` indexes so
+//! that models can store parameters in flat `Vec`s indexed by id instead of
+//! hash maps (see the training hot path in `sigmund-core`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index, for use with dense `Vec` storage.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a dense index.
+            ///
+            /// # Panics
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index overflows u32"))
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}#{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A retailer (tenant). Sigmund trains a fully separate model per retailer.
+    RetailerId
+);
+define_id!(
+    /// A user, scoped to one retailer (the same person at two retailers is two ids).
+    UserId
+);
+define_id!(
+    /// An item in a retailer's catalog. Item ids embed the retailer scope, as in
+    /// the paper ("Item IDs contain the retailer ID"): ids are only meaningful
+    /// together with their [`RetailerId`].
+    ItemId
+);
+define_id!(
+    /// A node in a retailer's product taxonomy.
+    CategoryId
+);
+define_id!(
+    /// An item brand.
+    BrandId
+);
+define_id!(
+    /// An item facet value (e.g. color for apparel, weight class for laptops),
+    /// used for late-funnel candidate filtering.
+    FacetId
+);
+
+define_id!(
+    /// A data center ("cell" in Borg terminology). Training and inference
+    /// jobs are split so there is one MapReduce per cell.
+    CellId
+);
+define_id!(
+    /// A physical machine within a cell.
+    MachineId
+);
+define_id!(
+    /// A task submitted to the cluster simulator.
+    TaskId
+);
+
+/// A trained-model identifier: one per (retailer, hyper-parameter config).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ModelId {
+    /// The retailer the model belongs to.
+    pub retailer: RetailerId,
+    /// Index of the hyper-parameter configuration within the retailer's grid.
+    pub config: u32,
+}
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model/r{}/c{}", self.retailer.0, self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        let id = ItemId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, ItemId(42));
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(UserId(1));
+        set.insert(UserId(1));
+        set.insert(UserId(2));
+        assert_eq!(set.len(), 2);
+        assert!(UserId(1) < UserId(2));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(RetailerId(7).to_string(), "RetailerId#7");
+        let m = ModelId {
+            retailer: RetailerId(3),
+            config: 9,
+        };
+        assert_eq!(m.to_string(), "model/r3/c9");
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let j = serde_json::to_string(&ItemId(5)).unwrap();
+        assert_eq!(j, "5");
+        let back: ItemId = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, ItemId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "id index overflows u32")]
+    fn from_index_overflow_panics() {
+        let _ = ItemId::from_index(u32::MAX as usize + 1);
+    }
+}

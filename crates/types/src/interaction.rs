@@ -1,0 +1,112 @@
+//! Timestamped user-item interactions — the rows of the implicit-feedback
+//! "user-item matrix" Sigmund trains on.
+
+use crate::{ActionType, ItemId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// Virtual time, in seconds since the start of the workload. All simulators
+/// in this workspace use virtual time; nothing reads the wall clock.
+pub type Timestamp = u64;
+
+/// One implicit-feedback event: `user` did `action` on `item` at `when`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interaction {
+    /// Who acted.
+    pub user: UserId,
+    /// The item acted upon.
+    pub item: ItemId,
+    /// What they did (view/search/cart/conversion).
+    pub action: ActionType,
+    /// Virtual time of the event.
+    pub when: Timestamp,
+}
+
+impl Interaction {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(user: UserId, item: ItemId, action: ActionType, when: Timestamp) -> Self {
+        Self {
+            user,
+            item,
+            action,
+            when,
+        }
+    }
+}
+
+/// Sorts interactions into per-user chronological order (user asc, time asc,
+/// then strength asc so a view and its conversion at the same timestamp come
+/// out funnel-ordered). Most of `sigmund-core` expects this ordering.
+pub fn sort_for_training(events: &mut [Interaction]) {
+    events.sort_by(|a, b| {
+        a.user
+            .cmp(&b.user)
+            .then(a.when.cmp(&b.when))
+            .then(a.action.cmp(&b.action))
+            .then(a.item.cmp(&b.item))
+    });
+}
+
+/// Iterates contiguous per-user slices of an interaction log previously
+/// sorted with [`sort_for_training`].
+pub fn per_user(events: &[Interaction]) -> impl Iterator<Item = (UserId, &[Interaction])> {
+    events.chunk_by(|a, b| a.user == b.user).map(|chunk| (chunk[0].user, chunk))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(u: u32, i: u32, a: ActionType, t: u64) -> Interaction {
+        Interaction::new(UserId(u), ItemId(i), a, t)
+    }
+
+    #[test]
+    fn sort_groups_users_and_orders_time() {
+        let mut v = vec![
+            ev(2, 1, ActionType::View, 5),
+            ev(1, 3, ActionType::View, 9),
+            ev(1, 2, ActionType::View, 1),
+            ev(2, 4, ActionType::View, 2),
+        ];
+        sort_for_training(&mut v);
+        assert_eq!(v[0].user, UserId(1));
+        assert_eq!(v[0].when, 1);
+        assert_eq!(v[1].when, 9);
+        assert_eq!(v[2].user, UserId(2));
+        assert_eq!(v[2].when, 2);
+    }
+
+    #[test]
+    fn same_timestamp_orders_by_strength() {
+        let mut v = vec![
+            ev(1, 7, ActionType::Conversion, 4),
+            ev(1, 7, ActionType::View, 4),
+            ev(1, 7, ActionType::Cart, 4),
+        ];
+        sort_for_training(&mut v);
+        assert_eq!(v[0].action, ActionType::View);
+        assert_eq!(v[2].action, ActionType::Conversion);
+    }
+
+    #[test]
+    fn per_user_yields_contiguous_slices() {
+        let mut v = vec![
+            ev(1, 1, ActionType::View, 1),
+            ev(1, 2, ActionType::View, 2),
+            ev(3, 5, ActionType::View, 1),
+        ];
+        sort_for_training(&mut v);
+        let groups: Vec<_> = per_user(&v).collect();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, UserId(1));
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[1].0, UserId(3));
+        assert_eq!(groups[1].1.len(), 1);
+    }
+
+    #[test]
+    fn per_user_empty_log() {
+        assert_eq!(per_user(&[]).count(), 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Product taxonomies and the least-common-ancestor (LCA) distance.
+//!
+//! A taxonomy is a rooted tree of categories ("Cell Phones → Smart Phones →
+//! Android Phones"). Items attach to exactly one category node and are
+//! treated as leaves hanging one level below it. Section III-D1 of the paper
+//! defines the LCA distance between two items as the number of edges from the
+//! query item's leaf up to the least common ancestor of both items'
+//! categories; Figure 3's worked examples pin the convention down:
+//! `distance(Nexus 5X, Nexus 6P) = 1` (same category), `distance(Nexus 5X,
+//! iPhone 6) = 2`, `distance(Nexus 5X, other) = 3`.
+
+use crate::CategoryId;
+use serde::{Deserialize, Serialize};
+
+/// A rooted category tree. Node 0 is always the root.
+///
+/// ```
+/// use sigmund_types::Taxonomy;
+/// // Figure 3: Cell Phones → Smart Phones → {Android, Apple}.
+/// let mut t = Taxonomy::new();
+/// let smart = t.add_child(t.root());
+/// let android = t.add_child(smart);
+/// let apple = t.add_child(smart);
+/// assert_eq!(t.lca_distance_from(android, android), 1); // same family
+/// assert_eq!(t.lca_distance_from(android, apple), 2);   // Nexus vs iPhone
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Taxonomy {
+    /// `parent[c]` is the parent of category `c`; the root's parent is itself.
+    parent: Vec<CategoryId>,
+    /// `depth[c]` = number of edges from the root (root has depth 0).
+    depth: Vec<u32>,
+}
+
+impl Taxonomy {
+    /// Creates a taxonomy containing only the root category.
+    pub fn new() -> Self {
+        Self {
+            parent: vec![CategoryId(0)],
+            depth: vec![0],
+        }
+    }
+
+    /// The root category.
+    #[inline]
+    pub fn root(&self) -> CategoryId {
+        CategoryId(0)
+    }
+
+    /// Number of categories (including the root).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True iff the taxonomy has only the root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.len() == 1
+    }
+
+    /// Adds a child category under `parent` and returns its id.
+    ///
+    /// # Panics
+    /// Panics if `parent` is not an existing category.
+    pub fn add_child(&mut self, parent: CategoryId) -> CategoryId {
+        assert!(parent.index() < self.parent.len(), "unknown parent category");
+        let id = CategoryId::from_index(self.parent.len());
+        self.parent.push(parent);
+        self.depth.push(self.depth[parent.index()] + 1);
+        id
+    }
+
+    /// The parent of a category (the root is its own parent).
+    #[inline]
+    pub fn parent(&self, c: CategoryId) -> CategoryId {
+        self.parent[c.index()]
+    }
+
+    /// Depth of a category (root = 0).
+    #[inline]
+    pub fn depth(&self, c: CategoryId) -> u32 {
+        self.depth[c.index()]
+    }
+
+    /// Walks from `c` to the root, yielding `c` first and the root last.
+    ///
+    /// Used by the hierarchical additive item model: an item's representation
+    /// sums embeddings for every ancestor category.
+    pub fn ancestors(&self, c: CategoryId) -> AncestorIter<'_> {
+        AncestorIter {
+            taxonomy: self,
+            cur: Some(c),
+        }
+    }
+
+    /// The least common ancestor of two categories.
+    pub fn lca(&self, mut a: CategoryId, mut b: CategoryId) -> CategoryId {
+        while self.depth(a) > self.depth(b) {
+            a = self.parent(a);
+        }
+        while self.depth(b) > self.depth(a) {
+            b = self.parent(b);
+        }
+        while a != b {
+            a = self.parent(a);
+            b = self.parent(b);
+        }
+        a
+    }
+
+    /// LCA distance between an item in category `from` and an item in
+    /// category `to`, measured from the `from` item's perspective (Figure 3).
+    ///
+    /// Items hang one edge below their category, so the distance is
+    /// `depth(from) + 1 - depth(lca)`; two items in the same category are at
+    /// distance 1.
+    pub fn lca_distance_from(&self, from: CategoryId, to: CategoryId) -> u32 {
+        let l = self.lca(from, to);
+        self.depth(from) + 1 - self.depth(l)
+    }
+
+    /// Symmetric LCA distance: the max of the two one-sided distances.
+    pub fn lca_distance(&self, a: CategoryId, b: CategoryId) -> u32 {
+        self.lca_distance_from(a, b)
+            .max(self.lca_distance_from(b, a))
+    }
+
+    /// The ancestor of `c` that is `k` levels up (clamped at the root).
+    pub fn ancestor_at(&self, mut c: CategoryId, k: u32) -> CategoryId {
+        for _ in 0..k {
+            c = self.parent(c);
+        }
+        c
+    }
+
+    /// All leaf-level categories (categories with no children). Computed in
+    /// one pass; intended for datagen and tests, not hot paths.
+    pub fn leaves(&self) -> Vec<CategoryId> {
+        let mut has_child = vec![false; self.len()];
+        for (i, p) in self.parent.iter().enumerate() {
+            if i != 0 {
+                has_child[p.index()] = true;
+            }
+        }
+        (0..self.len())
+            .filter(|&i| !has_child[i])
+            .map(CategoryId::from_index)
+            .collect()
+    }
+}
+
+impl Default for Taxonomy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Iterator over a category's ancestor chain; see [`Taxonomy::ancestors`].
+pub struct AncestorIter<'a> {
+    taxonomy: &'a Taxonomy,
+    cur: Option<CategoryId>,
+}
+
+impl Iterator for AncestorIter<'_> {
+    type Item = CategoryId;
+
+    fn next(&mut self) -> Option<CategoryId> {
+        let c = self.cur?;
+        self.cur = if c == self.taxonomy.root() {
+            None
+        } else {
+            Some(self.taxonomy.parent(c))
+        };
+        Some(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the Figure 3 taxonomy:
+    /// Cell Phones → { Smart Phones → { Android, Apple } }, items "other"
+    /// live directly under Cell Phones.
+    fn fig3() -> (Taxonomy, CategoryId, CategoryId, CategoryId) {
+        let mut t = Taxonomy::new(); // root = Cell Phones
+        let smart = t.add_child(t.root());
+        let android = t.add_child(smart);
+        let apple = t.add_child(smart);
+        let root = t.root();
+        (t, android, apple, root)
+    }
+
+    #[test]
+    fn fig3_distances_match_paper() {
+        let (t, android, apple, cell) = fig3();
+        // Nexus 5X and Nexus 6P are both in `android`.
+        assert_eq!(t.lca_distance_from(android, android), 1);
+        // Nexus 5X vs iPhone 6.
+        assert_eq!(t.lca_distance_from(android, apple), 2);
+        // Nexus 5X vs "other" (an item directly under Cell Phones).
+        assert_eq!(t.lca_distance_from(android, cell), 3);
+    }
+
+    #[test]
+    fn lca_basic() {
+        let (t, android, apple, cell) = fig3();
+        let smart = t.parent(android);
+        assert_eq!(t.lca(android, apple), smart);
+        assert_eq!(t.lca(android, android), android);
+        assert_eq!(t.lca(android, cell), cell);
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let (t, android, _, _) = fig3();
+        let chain: Vec<_> = t.ancestors(android).collect();
+        assert_eq!(chain.len(), 3); // android, smart, root
+        assert_eq!(*chain.last().unwrap(), t.root());
+        assert_eq!(chain[0], android);
+    }
+
+    #[test]
+    fn ancestor_at_clamps_at_root() {
+        let (t, android, _, _) = fig3();
+        assert_eq!(t.ancestor_at(android, 0), android);
+        assert_eq!(t.ancestor_at(android, 99), t.root());
+    }
+
+    #[test]
+    fn leaves_excludes_internal_nodes() {
+        let (t, android, apple, _) = fig3();
+        let leaves = t.leaves();
+        assert!(leaves.contains(&android));
+        assert!(leaves.contains(&apple));
+        assert!(!leaves.contains(&t.root()));
+    }
+
+    #[test]
+    fn root_only_taxonomy() {
+        let t = Taxonomy::new();
+        assert!(t.is_empty());
+        assert_eq!(t.leaves(), vec![t.root()]);
+        assert_eq!(t.lca_distance_from(t.root(), t.root()), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parent category")]
+    fn add_child_rejects_unknown_parent() {
+        let mut t = Taxonomy::new();
+        t.add_child(CategoryId(99));
+    }
+}

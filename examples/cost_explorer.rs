@@ -1,0 +1,87 @@
+//! Cost explorer: the pre-emptible-VM economics of Section II-B / IV-B3,
+//! interactively sweepable. For a training-shaped task mix it prints, per
+//! pre-emption rate, the cost and makespan of production VMs vs pre-emptible
+//! VMs with and without checkpointing.
+//!
+//! ```sh
+//! cargo run --release --example cost_explorer
+//! ```
+
+use sigmund_cluster::{
+    CellSpec, CheckpointPolicy, ClusterSim, PreemptionModel, Priority, TaskSpec,
+};
+use sigmund_types::{CellId, TaskId};
+
+fn tasks(priority: Priority, checkpoint: CheckpointPolicy) -> Vec<TaskSpec> {
+    // A Sigmund-ish mix: many small models, a few large ones (heavy skew).
+    let mut v = Vec::new();
+    for i in 0..30u32 {
+        v.push(TaskSpec {
+            id: TaskId(i),
+            work: 600.0, // 10 virtual minutes
+            memory_gb: 4.0,
+            priority,
+            checkpoint,
+            iteration_work: 30.0,
+        });
+    }
+    for i in 30..34u32 {
+        v.push(TaskSpec {
+            id: TaskId(i),
+            work: 14_400.0, // 4 virtual hours
+            memory_gb: 24.0,
+            priority,
+            checkpoint,
+            iteration_work: 600.0,
+        });
+    }
+    v
+}
+
+fn main() {
+    let cell = CellSpec::standard(CellId(0), 8);
+    println!(
+        "{:>12} {:>12} {:>10} {:>10} {:>12} {:>8}",
+        "preempt/hr", "variant", "cost", "makespan", "wasted_work", "kills"
+    );
+    for rate in [0.0, 0.25, 1.0, 4.0] {
+        let hazard = PreemptionModel {
+            rate_per_hour: rate,
+        };
+        let variants: Vec<(&str, Vec<TaskSpec>)> = vec![
+            (
+                "production",
+                tasks(Priority::Production, CheckpointPolicy::None),
+            ),
+            (
+                "preempt",
+                tasks(Priority::Preemptible, CheckpointPolicy::None),
+            ),
+            (
+                "preempt+ckpt",
+                tasks(
+                    Priority::Preemptible,
+                    CheckpointPolicy::TimeInterval(300.0),
+                ),
+            ),
+        ];
+        for (name, ts) in variants {
+            let sim = ClusterSim::new(cell.clone(), hazard, 42);
+            let r = sim.run(&ts);
+            let wasted: f64 = r.outcomes.iter().map(|o| o.wasted_work).sum();
+            println!(
+                "{rate:>12.2} {name:>12} {:>10.0} {:>10.0} {:>12.0} {:>8}",
+                r.cost.total_cost(),
+                r.makespan,
+                wasted,
+                r.preemptions
+            );
+        }
+        println!();
+    }
+    println!(
+        "reading: pre-emptible + time-interval checkpoints keeps the ~70% cost \
+         advantage even as the pre-emption rate climbs; without checkpoints the \
+         wasted work erodes (and can erase) the discount."
+    );
+}

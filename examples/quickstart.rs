@@ -1,0 +1,97 @@
+//! Quickstart: train one retailer's recommender end to end, in memory.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a synthetic retailer, splits a hold-out, grid-searches
+//! hyper-parameters, trains the winner, and prints substitute and accessory
+//! recommendations for a sample shopping context.
+
+use sigmund_core::prelude::*;
+use sigmund_datagen::RetailerSpec;
+use sigmund_types::{ActionType, ItemId, RetailerId};
+
+fn main() {
+    // 1. A synthetic retailer: 300 items, 400 users, funnel-shaped events.
+    let data = RetailerSpec::sized(RetailerId(0), 300, 400, 42).generate();
+    println!(
+        "retailer: {} items, {} users, {} events (brand coverage {:.0}%)",
+        data.catalog.len(),
+        data.spec.n_users,
+        data.events.len(),
+        data.catalog.brand_coverage() * 100.0
+    );
+
+    // 2. Dataset with the paper's leave-last-out hold-out.
+    let ds = Dataset::build(data.catalog.len(), data.events.clone(), true);
+    println!(
+        "dataset: {} training examples, {} hold-out users",
+        ds.n_examples(),
+        ds.holdout.len()
+    );
+
+    // 3. Grid search over hyper-parameters, selected by MAP@10.
+    let outcome = grid_search(
+        &data.catalog,
+        &ds,
+        &GridSpec::small(),
+        &SweepOptions {
+            threads: 4,
+            ..Default::default()
+        },
+    );
+    println!("\ngrid search over {} configs:", outcome.candidates.len());
+    for (i, c) in outcome.candidates.iter().enumerate().take(5) {
+        println!(
+            "  #{i}: F={:<3} lr={:<5} regV={:<5} taxonomy={} brand={} → MAP@10 {:.4}",
+            c.hp.factors,
+            c.hp.learning_rate,
+            c.hp.reg_item,
+            c.hp.features.use_taxonomy,
+            c.hp.features.use_brand,
+            c.metrics.map_at_10
+        );
+    }
+    let best = outcome.best();
+    println!(
+        "\nbest config: F={} lr={} MAP@10={:.4} AUC={:.4}",
+        best.hp.factors, best.hp.learning_rate, best.metrics.map_at_10, best.metrics.auc
+    );
+
+    // 4. Restore the winning model and materialize recommendations.
+    let model = best
+        .snapshot
+        .as_ref()
+        .expect("top candidate keeps its snapshot")
+        .restore(&data.catalog, 0)
+        .expect("snapshot restores");
+    let cooc = CoocModel::build(data.catalog.len(), &data.events, CoocConfig::default());
+    let index = CandidateIndex::build(&data.catalog);
+    let repurchase = RepurchaseStats::estimate(&data.catalog, &data.events, 0.3);
+    let engine = InferenceEngine::new(&model, &data.catalog, &index, &cooc, &repurchase);
+    let hybrid = HybridPolicy::default();
+
+    // 5. Recommendations for a user browsing item 0 (before the purchase
+    //    decision) and after buying it.
+    let query = ItemId(0);
+    println!("\nuser is viewing {query} — substitutes:");
+    for (item, score) in hybrid.recommend(&cooc, &engine, query, RecTask::ViewBased, 5) {
+        println!("  {item}  (score {score:.3})");
+    }
+    println!("user bought {query} — accessories/complements:");
+    for (item, score) in hybrid.recommend(&cooc, &engine, query, RecTask::PurchaseBased, 5) {
+        println!("  {item}  (score {score:.3})");
+    }
+
+    // 6. A context-aware request (Eq. 1 user embedding from recent actions).
+    let context = vec![
+        (ItemId(3), ActionType::View),
+        (ItemId(0), ActionType::Search),
+        (ItemId(7), ActionType::Cart),
+    ];
+    println!("\ncontext-aware recommendations for (view #3, search #0, cart #7):");
+    for (item, score) in engine.recommend_for_context(&context, RecTask::ViewBased, 5) {
+        println!("  {item}  (score {score:.3})");
+    }
+}

@@ -1,0 +1,163 @@
+//! The Section VII extensions in action: funnel-stage tailored serving,
+//! calibrated relevance thresholds (show nothing rather than junk), and the
+//! fleet quality monitor.
+//!
+//! ```sh
+//! cargo run --release --example tailored_serving
+//! ```
+
+use sigmund_core::prelude::*;
+use sigmund_datagen::RetailerSpec;
+use sigmund_types::{ActionType, HyperParams, ItemId, RetailerId};
+
+fn main() {
+    // Train one retailer.
+    let data = RetailerSpec::sized(RetailerId(0), 300, 400, 64).generate();
+    let ds = Dataset::build(data.catalog.len(), data.events.clone(), true);
+    let hp = HyperParams {
+        factors: 16,
+        epochs: 15,
+        ..Default::default()
+    };
+    let (model, metrics) = train_config(
+        &data.catalog,
+        &ds,
+        &hp,
+        hp.epochs,
+        None,
+        &SweepOptions {
+            threads: 4,
+            ..Default::default()
+        },
+    );
+    println!("trained: MAP@10 = {:.4}\n", metrics.map_at_10);
+
+    let cooc = CoocModel::build(data.catalog.len(), &data.events, CoocConfig::default());
+    let index = CandidateIndex::build(&data.catalog);
+    let rep = RepurchaseStats::estimate(&data.catalog, &data.events, 0.3);
+    let engine = InferenceEngine::new(&model, &data.catalog, &index, &cooc, &rep);
+
+    // --- funnel-stage tailoring -------------------------------------------
+    let contexts: Vec<(&str, Vec<ContextEvent>)> = vec![
+        (
+            "casual browser (3 categories in 4 views)",
+            vec![
+                (ItemId(0), ActionType::View),
+                (ItemId(150), ActionType::View),
+                (ItemId(80), ActionType::View),
+                (ItemId(10), ActionType::View),
+            ],
+        ),
+        (
+            "focused shopper (repeated searches, one family)",
+            {
+                // Pick three items that genuinely share a category.
+                let cat0 = data.catalog.category(ItemId(0));
+                let same: Vec<ItemId> = data
+                    .catalog
+                    .item_ids()
+                    .filter(|i| data.catalog.category(*i) == cat0)
+                    .take(3)
+                    .collect();
+                vec![
+                    (same[0], ActionType::View),
+                    (same[1], ActionType::Search),
+                    (same[2], ActionType::View),
+                    (same[1], ActionType::Search),
+                ]
+            },
+        ),
+        (
+            "just purchased",
+            vec![
+                (ItemId(1), ActionType::Search),
+                (ItemId(1), ActionType::Conversion),
+            ],
+        ),
+    ];
+    for (label, ctx) in &contexts {
+        let (stage, recs) = recommend_tailored(&engine, &data.catalog, ctx, 5);
+        println!("{label} → stage {stage:?}");
+        println!(
+            "  recs: {:?}",
+            recs.iter().map(|(i, _)| i.0).collect::<Vec<_>>()
+        );
+    }
+
+    // --- calibrated relevance thresholds ------------------------------------
+    let scaler =
+        calibrate_on_holdout(&model, &data.catalog, &ds, 4, 7).expect("hold-out available");
+    println!(
+        "\ncalibration: P(relevant) = sigmoid({:.3}·score + {:.3})",
+        scaler.a, scaler.b
+    );
+    let ctx = vec![(ItemId(0), ActionType::View)];
+    let recs = engine.recommend_for_context(&ctx, RecTask::ViewBased, 40);
+    println!(
+        "  P(relevant): rank-1 {:.3}, rank-20 {:.3}, rank-40 {:.3}",
+        scaler.probability(recs[0].1),
+        scaler.probability(recs[recs.len() / 2].1),
+        scaler.probability(recs.last().unwrap().1)
+    );
+    for threshold in [0.3, 0.6, 0.9] {
+        let kept = scaler.filter(&recs, threshold);
+        println!(
+            "  threshold {threshold:.1}: {} of {} slots pass the display bar",
+            kept.len(),
+            recs.len()
+        );
+    }
+
+    // --- quality monitoring --------------------------------------------------
+    use sigmund_pipeline::{MonitorConfig, QualityMonitor};
+    let mut monitor = QualityMonitor::new(MonitorConfig::default());
+    // Simulate three days of reports for a 2-retailer fleet where retailer 1
+    // regresses on day 2.
+    let fleet = vec![(RetailerId(0), 300), (RetailerId(1), 100)];
+    for (day, maps) in [(0u32, [0.25, 0.30]), (1, [0.26, 0.31]), (2, [0.24, 0.05])] {
+        let report = fake_report(day, &fleet, &maps);
+        let alerts = monitor.record_day(&fleet, &report);
+        println!("\nday {day}: {} alert(s)", alerts.len());
+        for a in &alerts {
+            println!("  ALERT: {a:?}");
+        }
+    }
+    let (n, mean, worst) = monitor.fleet_summary();
+    println!("\nfleet summary: {n} retailers, mean MAP {mean:.3}, worst {worst:.3}");
+}
+
+/// Builds a synthetic DayReport carrying just the fields the monitor reads.
+fn fake_report(
+    day: u32,
+    fleet: &[(RetailerId, usize)],
+    maps: &[f64],
+) -> sigmund_pipeline::DayReport {
+    use std::collections::HashMap;
+    let mut best = HashMap::new();
+    let mut recs = HashMap::new();
+    for (&(r, n_items), &map) in fleet.iter().zip(maps) {
+        let mut rec = sigmund_types::ConfigRecord::cold(r, 0, HyperParams::default());
+        rec.metrics = Some(sigmund_types::ModelMetrics {
+            map_at_10: map,
+            ..Default::default()
+        });
+        best.insert(r, rec);
+        let mut table = vec![ItemRecs::default(); n_items];
+        for item in table.iter_mut() {
+            item.view_based = vec![(ItemId(0), 1.0)];
+        }
+        recs.insert(r, table);
+    }
+    sigmund_pipeline::DayReport {
+        day,
+        models_trained: fleet.len(),
+        train_makespan: 0.0,
+        infer_makespan: 0.0,
+        cost: Default::default(),
+        preemptions: 0,
+        best,
+        recs,
+        train_stats: Vec::new(),
+        infer_stats: Vec::new(),
+    }
+}

@@ -1,0 +1,211 @@
+//! Full-service end-to-end tests: fleet → daily pipeline → serving → CTR.
+
+use sigmund_cluster::{CellSpec, PreemptionModel};
+use sigmund_core::selection::GridSpec;
+use sigmund_datagen::{FleetSpec, RetailerSpec};
+use sigmund_pipeline::{PipelineConfig, SigmundService};
+use sigmund_serving::{simulate_ctr, CtrConfig, RecSurface, ServingStore};
+use sigmund_types::*;
+
+fn tiny_grid() -> GridSpec {
+    GridSpec {
+        factors: vec![8],
+        learning_rates: vec![0.1],
+        regs: vec![(0.01, 0.01)],
+        features: vec![FeatureSwitches::NONE],
+        samplers: vec![NegativeSamplerKind::UniformUnseen],
+        seeds: vec![1],
+        epochs: 4,
+    }
+}
+
+fn service(preemption: PreemptionModel) -> SigmundService {
+    SigmundService::new(PipelineConfig {
+        cells: vec![
+            CellSpec::standard(CellId(0), 4),
+            CellSpec::standard(CellId(1), 4),
+        ],
+        preemption,
+        grid: tiny_grid(),
+        items_per_split: 25,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn fleet_day_produces_recs_for_every_retailer() {
+    let fleet = FleetSpec {
+        n_retailers: 4,
+        min_items: 25,
+        max_items: 80,
+        pareto_alpha: 1.2,
+        users_per_item: 1.0,
+        seed: 17,
+    };
+    let data = fleet.generate();
+    let mut svc = service(PreemptionModel::NONE);
+    for d in &data {
+        svc.onboard(&d.catalog, &d.events);
+    }
+    let report = svc.run_day();
+    assert_eq!(report.best.len(), 4);
+    for d in &data {
+        let recs = &report.recs[&d.retailer()];
+        assert_eq!(recs.len(), d.catalog.len());
+        let nonempty = recs.iter().filter(|r| !r.view_based.is_empty()).count();
+        assert!(
+            nonempty as f64 > 0.8 * recs.len() as f64,
+            "retailer {} coverage {nonempty}/{}",
+            d.retailer(),
+            recs.len()
+        );
+    }
+}
+
+#[test]
+fn preemption_changes_cost_but_not_results() {
+    let d = RetailerSpec::sized(RetailerId(0), 40, 60, 5).generate();
+
+    let mut calm = service(PreemptionModel::NONE);
+    calm.onboard(&d.catalog, &d.events);
+    let calm_report = calm.run_day();
+
+    let mut stormy = service(PreemptionModel {
+        rate_per_hour: 3600.0, // ~1 pre-emption per virtual second of runtime
+    });
+    stormy.onboard(&d.catalog, &d.events);
+    let stormy_report = stormy.run_day();
+
+    // Same models trained, same retailers served.
+    assert_eq!(calm_report.models_trained, stormy_report.models_trained);
+    assert_eq!(calm_report.best.len(), stormy_report.best.len());
+    assert_eq!(
+        calm_report.recs[&RetailerId(0)].len(),
+        stormy_report.recs[&RetailerId(0)].len()
+    );
+    // The storm costs at least as much machine time.
+    assert!(
+        stormy_report.cost.total_cpu_s() >= calm_report.cost.total_cpu_s() - 1e-9,
+        "stormy {:.3} vs calm {:.3}",
+        stormy_report.cost.total_cpu_s(),
+        calm_report.cost.total_cpu_s()
+    );
+}
+
+#[test]
+fn serving_store_integrates_with_pipeline_output() {
+    let d = RetailerSpec::sized(RetailerId(0), 30, 50, 9).generate();
+    let mut svc = service(PreemptionModel::NONE);
+    svc.onboard(&d.catalog, &d.events);
+    let report = svc.run_day();
+
+    let store = ServingStore::new();
+    store.publish(report.recs.clone());
+    assert_eq!(store.generation(), 1);
+
+    // Request path: a user who just viewed item 0.
+    let recs = store.serve(RetailerId(0), &[(ItemId(0), ActionType::View)], None);
+    assert!(recs.len() <= 10);
+    assert!(recs.iter().all(|(i, _)| *i != ItemId(0)));
+
+    // Next day's batch swaps atomically.
+    let report2 = svc.run_day();
+    store.publish(report2.recs.clone());
+    assert_eq!(store.generation(), 2);
+}
+
+#[test]
+fn ctr_simulation_runs_on_pipeline_output() {
+    let d = RetailerSpec::sized(RetailerId(0), 60, 120, 13).generate();
+    let mut svc = service(PreemptionModel::NONE);
+    svc.onboard(&d.catalog, &d.events);
+    let report = svc.run_day();
+    let table = &report.recs[&RetailerId(0)];
+
+    let samples = simulate_ctr(
+        &d.catalog,
+        &d.truth,
+        &d.events,
+        |item| table[item.index()].view_based.clone(),
+        CtrConfig::default(),
+    );
+    let shown: u64 = samples.iter().map(|s| s.shown).sum();
+    let clicks: u64 = samples.iter().map(|s| s.clicks).sum();
+    assert!(shown > 0, "recommendations were shown");
+    assert!(clicks > 0, "some clicks happen with a trained model");
+    assert!(clicks < shown, "CTR is a probability, not certainty");
+}
+
+#[test]
+fn multi_day_service_remains_stable() {
+    let d = RetailerSpec::sized(RetailerId(0), 35, 60, 23).generate();
+    let mut svc = service(PreemptionModel::typical());
+    svc.onboard(&d.catalog, &d.events);
+    let mut last_map = 0.0;
+    for day in 0..3 {
+        let report = svc.run_day();
+        assert_eq!(report.day, day);
+        let best = &report.best[&RetailerId(0)];
+        let map = best.metrics.unwrap().map_at_10;
+        assert!(map.is_finite() && map >= 0.0);
+        last_map = map;
+    }
+    assert!(last_map > 0.0, "after 3 days the model should rank above zero");
+}
+
+#[test]
+fn evolving_world_flows_through_daily_refresh() {
+    // The §III-C3 loop: the retailer's world changes every day; the service
+    // re-publishes data, warm-starts the top configs, and the grown catalog
+    // (new items!) must be covered by the new recommendation tables.
+    use sigmund_datagen::{evolve_day, EvolutionSpec};
+    let mut world = RetailerSpec::sized(RetailerId(0), 50, 80, 71).generate();
+    let mut svc = service(PreemptionModel::NONE);
+    svc.onboard(&world.catalog, &world.events);
+    let day0 = svc.run_day();
+    let items_day0 = world.catalog.len();
+    assert_eq!(day0.recs[&RetailerId(0)].len(), items_day0);
+
+    for day in 1..=2u64 {
+        let delta = evolve_day(
+            &mut world,
+            &EvolutionSpec {
+                new_item_rate: 0.1,
+                seed: 700 + day,
+                ..Default::default()
+            },
+        );
+        assert!(!delta.new_items.is_empty());
+        svc.refresh_data(&world.catalog, &world.events);
+        let report = svc.run_day();
+        let recs = &report.recs[&RetailerId(0)];
+        assert_eq!(
+            recs.len(),
+            world.catalog.len(),
+            "today's table covers the grown catalog"
+        );
+        // The newest item has a slot (it may or may not have recs yet, but
+        // the pipeline must not ignore it).
+        assert!(recs.len() > items_day0);
+        let map = report.best[&RetailerId(0)].metrics.unwrap().map_at_10;
+        assert!(map.is_finite() && map >= 0.0);
+    }
+}
+
+#[test]
+fn purchase_surface_served_after_conversion_context() {
+    let d = RetailerSpec::sized(RetailerId(0), 40, 80, 29).generate();
+    let mut svc = service(PreemptionModel::NONE);
+    svc.onboard(&d.catalog, &d.events);
+    let report = svc.run_day();
+    let store = ServingStore::new();
+    store.publish(report.recs.clone());
+    let item = ItemId(0);
+    let after_buy = store.serve(
+        RetailerId(0),
+        &[(item, ActionType::Conversion)],
+        None,
+    );
+    let explicit = store.lookup(RetailerId(0), item, RecSurface::PurchaseBased);
+    assert_eq!(after_buy, explicit, "conversion context serves complements");
+}

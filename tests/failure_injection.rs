@@ -1,0 +1,159 @@
+//! Failure injection: the manageability story of Section I ("understand and
+//! debug problems efficiently") only holds if corrupt or missing state
+//! degrades gracefully instead of wedging the daily pipeline.
+
+use bytes::Bytes;
+use sigmund_cluster::{CellSpec, PreemptionModel, Priority};
+use sigmund_core::selection::GridSpec;
+use sigmund_datagen::RetailerSpec;
+use sigmund_dfs::Dfs;
+use sigmund_mapreduce::{run_map_job, JobConfig};
+use sigmund_pipeline::{
+    data, full_sweep_for, CostModel, MonitorConfig, PipelineConfig, QualityAlert,
+    QualityMonitor, SigmundService, TrainJob,
+};
+use sigmund_types::*;
+
+fn tiny_grid() -> GridSpec {
+    GridSpec {
+        factors: vec![8],
+        learning_rates: vec![0.1],
+        regs: vec![(0.01, 0.01)],
+        features: vec![FeatureSwitches::NONE],
+        samplers: vec![NegativeSamplerKind::UniformUnseen],
+        seeds: vec![1],
+        epochs: 3,
+    }
+}
+
+fn job_cfg(cell_machines: usize) -> JobConfig {
+    JobConfig {
+        cell: CellSpec::standard(CellId(0), cell_machines),
+        priority: Priority::Preemptible,
+        preemption: PreemptionModel::NONE,
+        seed: 5,
+        max_attempts: Some(50),
+    }
+}
+
+#[test]
+fn corrupt_checkpoint_falls_back_to_fresh_training() {
+    let dfs = Dfs::new();
+    let d = RetailerSpec::sized(RetailerId(0), 50, 60, 61).generate();
+    data::publish_retailer(&dfs, CellId(0), &d.catalog, &d.events).unwrap();
+    let records = full_sweep_for(&d.catalog, &tiny_grid());
+    // Poison the checkpoint path the first record will try to restore.
+    let ckpt_dir = data::checkpoint_dir(RetailerId(0), records[0].model.config);
+    dfs.write(
+        CellId(0),
+        &format!("{ckpt_dir}/LIVE"),
+        Bytes::from_static(b"garbage-not-a-checkpoint"),
+    );
+    let job = TrainJob::new(&dfs, CellId(0), records.clone(), CostModel::default());
+    let stats = run_map_job(&job, records.len(), &job_cfg(2));
+    assert!(stats.failed.is_empty());
+    let outputs = job.take_outputs();
+    assert_eq!(outputs.len(), records.len(), "corruption must not drop work");
+    assert!(outputs.iter().all(|o| o.metrics.is_some()));
+}
+
+#[test]
+fn corrupt_warm_start_model_degrades_to_cold_start() {
+    let dfs = Dfs::new();
+    let d = RetailerSpec::sized(RetailerId(0), 50, 60, 62).generate();
+    data::publish_retailer(&dfs, CellId(0), &d.catalog, &d.events).unwrap();
+    let mut records = full_sweep_for(&d.catalog, &tiny_grid());
+    // Point warm start at garbage bytes.
+    dfs.write(CellId(0), "/models/r0/yesterday", Bytes::from_static(b"junk"));
+    records[0].warm_start_path = Some("/models/r0/yesterday".into());
+    let job = TrainJob::new(&dfs, CellId(0), records.clone(), CostModel::default());
+    run_map_job(&job, records.len(), &job_cfg(2));
+    let outputs = job.take_outputs();
+    assert_eq!(outputs.len(), records.len());
+    assert!(outputs[0].metrics.unwrap().map_at_10.is_finite());
+}
+
+#[test]
+fn vanished_training_data_is_flagged_not_fatal() {
+    let mut svc = SigmundService::new(PipelineConfig {
+        grid: tiny_grid(),
+        preemption: PreemptionModel::NONE,
+        items_per_split: 25,
+        ..Default::default()
+    });
+    let d0 = RetailerSpec::sized(RetailerId(0), 40, 50, 63).generate();
+    let d1 = RetailerSpec::sized(RetailerId(1), 40, 50, 64).generate();
+    svc.onboard(&d0.catalog, &d0.events);
+    svc.onboard(&d1.catalog, &d1.events);
+    let day0 = svc.run_day();
+    assert_eq!(day0.best.len(), 2);
+
+    // Catastrophe: retailer 1's training data disappears from the DFS.
+    svc.dfs.delete(&data::train_path(RetailerId(1))).unwrap();
+    let onboarded = svc.retailers().to_vec();
+    let day1 = svc.run_day();
+    // The healthy retailer is unaffected…
+    assert!(day1.best.contains_key(&RetailerId(0)));
+    // …the broken one produced no model, and the monitor says so.
+    assert!(!day1.best.contains_key(&RetailerId(1)));
+    let mut monitor = QualityMonitor::new(MonitorConfig::default());
+    let alerts = monitor.record_day(&onboarded, &day1);
+    assert!(
+        alerts.iter().any(|a| matches!(
+            a,
+            QualityAlert::MissingModel { retailer, .. } if *retailer == RetailerId(1)
+        )),
+        "expected a MissingModel alert: {alerts:?}"
+    );
+}
+
+#[test]
+fn corrupt_published_model_skips_inference_for_that_retailer() {
+    let mut svc = SigmundService::new(PipelineConfig {
+        grid: tiny_grid(),
+        preemption: PreemptionModel::NONE,
+        items_per_split: 25,
+        ..Default::default()
+    });
+    let d = RetailerSpec::sized(RetailerId(0), 40, 50, 65).generate();
+    svc.onboard(&d.catalog, &d.events);
+    let day0 = svc.run_day();
+    let model_path = &day0.best[&RetailerId(0)].model_path;
+    assert!(svc.dfs.exists(model_path));
+
+    // Clobber the published model, then run inference-only via a fresh day:
+    // the incremental sweep will retrain (writing a good model again), so to
+    // hit the corrupt-read path we corrupt and read back directly.
+    svc.dfs
+        .write(CellId(0), model_path, Bytes::from_static(b"not-a-model"));
+    let raw = svc.dfs.read(CellId(0), model_path).unwrap();
+    assert!(sigmund_core::prelude::ModelSnapshot::from_bytes(&raw).is_err());
+
+    // And the service itself recovers on the next day (retrains over it).
+    let day1 = svc.run_day();
+    assert!(day1.best.contains_key(&RetailerId(0)));
+    let recs = &day1.recs[&RetailerId(0)];
+    assert!(recs.iter().any(|r| !r.view_based.is_empty()));
+}
+
+#[test]
+fn heavy_preemption_day_still_completes() {
+    // This retailer's splits cost ~0.03 virtual seconds each; aim the mean
+    // pre-emption budget right at that so kills actually land, and
+    // checkpoint every ~half-epoch so progress survives them.
+    let mut svc = SigmundService::new(PipelineConfig {
+        grid: tiny_grid(),
+        preemption: PreemptionModel {
+            rate_per_hour: 2_000_000.0,
+        },
+        checkpoint_interval: 0.004,
+        items_per_split: 10,
+        ..Default::default()
+    });
+    let d = RetailerSpec::sized(RetailerId(0), 40, 60, 66).generate();
+    svc.onboard(&d.catalog, &d.events);
+    let report = svc.run_day();
+    assert!(report.preemptions > 0, "the storm must actually hit");
+    assert_eq!(report.best.len(), 1);
+    assert_eq!(report.recs[&RetailerId(0)].len(), 40);
+}

@@ -1,0 +1,366 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the workspace.
+
+use proptest::prelude::*;
+use sigmund_core::prelude::*;
+use sigmund_mapreduce::{chunk_evenly, chunk_weighted, permute};
+use sigmund_pipeline::{max_bin_load, partition_greedy, Weighted};
+use sigmund_types::*;
+
+/// Builds a random taxonomy from a sequence of parent picks.
+fn taxonomy_from(parents: &[usize]) -> Taxonomy {
+    let mut t = Taxonomy::new();
+    for &p in parents {
+        let existing = t.len();
+        t.add_child(CategoryId::from_index(p % existing));
+    }
+    t
+}
+
+proptest! {
+    #[test]
+    fn lca_distance_is_symmetric_and_positive(
+        parents in prop::collection::vec(0usize..50, 1..40),
+        a in 0usize..40,
+        b in 0usize..40,
+    ) {
+        let t = taxonomy_from(&parents);
+        let a = CategoryId::from_index(a % t.len());
+        let b = CategoryId::from_index(b % t.len());
+        let d_ab = t.lca_distance(a, b);
+        let d_ba = t.lca_distance(b, a);
+        prop_assert_eq!(d_ab, d_ba);
+        // Items hang one level below their category: distance ≥ 1 always.
+        prop_assert!(d_ab >= 1);
+        // Same category ⇒ distance exactly 1.
+        prop_assert_eq!(t.lca_distance(a, a), t.depth(a) - t.depth(t.lca(a, a)) + 1);
+    }
+
+    #[test]
+    fn lca_is_a_common_ancestor(
+        parents in prop::collection::vec(0usize..50, 1..40),
+        a in 0usize..40,
+        b in 0usize..40,
+    ) {
+        let t = taxonomy_from(&parents);
+        let a = CategoryId::from_index(a % t.len());
+        let b = CategoryId::from_index(b % t.len());
+        let l = t.lca(a, b);
+        prop_assert!(t.ancestors(a).any(|c| c == l));
+        prop_assert!(t.ancestors(b).any(|c| c == l));
+    }
+
+    #[test]
+    fn event_codec_round_trips(
+        raw in prop::collection::vec((0u32..1000, 0u32..1000, 0u8..4, 0u64..1_000_000), 0..200)
+    ) {
+        let events: Vec<Interaction> = raw.iter().map(|&(u, i, a, w)| {
+            let action = match a {
+                0 => ActionType::View,
+                1 => ActionType::Search,
+                2 => ActionType::Cart,
+                _ => ActionType::Conversion,
+            };
+            Interaction::new(UserId(u), ItemId(i), action, w)
+        }).collect();
+        let bytes = sigmund_pipeline::data::encode_events(&events);
+        let back = sigmund_pipeline::data::decode_events(&bytes).unwrap();
+        prop_assert_eq!(back, events);
+    }
+
+    #[test]
+    fn model_snapshot_round_trips(
+        n_items in 1usize..30,
+        factors in 1u32..12,
+        seed in 0u64..1000,
+    ) {
+        let mut t = Taxonomy::new();
+        let c = t.add_child(t.root());
+        let mut catalog = Catalog::new(RetailerId(0), t);
+        for _ in 0..n_items {
+            catalog.add_item(ItemMeta::bare(c));
+        }
+        let hp = HyperParams { factors, init_seed: seed, ..Default::default() };
+        let m = BprModel::init(&catalog, hp);
+        let snap = ModelSnapshot::capture(&m);
+        let back = ModelSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        prop_assert_eq!(&back, &snap);
+        let restored = back.restore(&catalog, 0).unwrap();
+        prop_assert_eq!(restored.n_items(), n_items);
+    }
+
+    #[test]
+    fn holdout_split_conserves_events(
+        raw in prop::collection::vec((0u32..20, 0u32..50, 0u64..10_000), 0..300)
+    ) {
+        let events: Vec<Interaction> = raw.iter()
+            .map(|&(u, i, w)| Interaction::new(UserId(u), ItemId(i), ActionType::View, w))
+            .collect();
+        let n = events.len();
+        let ds = Dataset::build(50, events, true);
+        // Hold-out removes at least one event per example (all the user's
+        // events of the held-out item) and never invents events.
+        prop_assert!(ds.train.len() + ds.holdout.len() <= n);
+        prop_assert!(ds.train.len() + ds.holdout.len() >= n.saturating_sub(n));
+        // At most one hold-out per user, and the positive is genuinely
+        // unseen for that user in training.
+        let mut users: Vec<u32> = ds.holdout.iter().map(|h| h.user.0).collect();
+        users.sort_unstable();
+        let before = users.len();
+        users.dedup();
+        prop_assert_eq!(users.len(), before, "at most one hold-out per user");
+        for h in &ds.holdout {
+            prop_assert!(!ds.is_seen(h.user, h.positive));
+            prop_assert!(!h.context.is_empty());
+        }
+    }
+
+    #[test]
+    fn training_never_produces_nonfinite_loss(
+        seed in 0u64..100,
+        factors in 2u32..10,
+        lr in 0.001f32..0.5,
+    ) {
+        let mut t = Taxonomy::new();
+        let c = t.add_child(t.root());
+        let mut catalog = Catalog::new(RetailerId(0), t);
+        for _ in 0..12 {
+            catalog.add_item(ItemMeta::bare(c));
+        }
+        let mut events = Vec::new();
+        for u in 0..6u32 {
+            for s in 0..4u64 {
+                events.push(Interaction::new(
+                    UserId(u),
+                    ItemId(((u as u64 + s * 5) % 12) as u32),
+                    ActionType::View,
+                    s,
+                ));
+            }
+        }
+        let ds = Dataset::build(12, events, false);
+        let hp = HyperParams { factors, learning_rate: lr, init_seed: seed, ..Default::default() };
+        let m = BprModel::init(&catalog, hp.clone());
+        let sampler = NegativeSampler::new(hp.negative_sampler, &catalog, None);
+        let stats = train(&m, &catalog, &ds, &sampler, TrainOptions {
+            epochs: 3, threads: 1, seed,
+        });
+        for s in &stats {
+            prop_assert!(s.mean_loss.is_finite());
+            prop_assert!(s.mean_loss >= 0.0);
+        }
+    }
+
+    #[test]
+    fn greedy_binpack_is_near_optimal(
+        weights in prop::collection::vec(1.0f64..100.0, 1..60),
+        n_bins in 1usize..8,
+    ) {
+        let items: Vec<Weighted<usize>> = weights.iter().enumerate()
+            .map(|(i, &w)| Weighted { item: i, weight: w })
+            .collect();
+        let bins = partition_greedy(&items, n_bins);
+        let load = max_bin_load(&bins);
+        let total: f64 = weights.iter().sum();
+        let biggest = weights.iter().cloned().fold(0.0, f64::max);
+        let lower = (total / n_bins as f64).max(biggest);
+        // Sanity: never below the trivial lower bound…
+        prop_assert!(load >= lower - 1e-9);
+        // …and within the provable list-scheduling guarantee
+        // (makespan ≤ total/m + (1 − 1/m)·max ≤ total/m + max).
+        prop_assert!(load <= total / n_bins as f64 + biggest + 1e-9,
+            "load {} vs guarantee {}", load, total / n_bins as f64 + biggest);
+        // Everything placed exactly once.
+        let placed: usize = bins.iter().map(|b| b.len()).sum();
+        prop_assert_eq!(placed, weights.len());
+    }
+
+    #[test]
+    fn chunking_partitions_the_input(
+        items in prop::collection::vec(0u32..1000, 0..100),
+        n in 1usize..10,
+        seed in 0u64..50,
+    ) {
+        let chunks = chunk_evenly(&items, n);
+        prop_assert_eq!(chunks.concat(), items.clone());
+        let weighted = chunk_weighted(&items, n, |x| *x as f64 + 1.0);
+        prop_assert_eq!(weighted.concat(), items.clone());
+        // Permutation preserves the multiset.
+        let mut p = permute(&items, seed);
+        let mut orig = items.clone();
+        p.sort_unstable();
+        orig.sort_unstable();
+        prop_assert_eq!(p, orig);
+    }
+
+    #[test]
+    fn metrics_stay_in_unit_interval(
+        seed in 0u64..50,
+        sample in prop::option::of(0.05f64..1.0),
+    ) {
+        let mut t = Taxonomy::new();
+        let c = t.add_child(t.root());
+        let mut catalog = Catalog::new(RetailerId(0), t);
+        for _ in 0..20 {
+            catalog.add_item(ItemMeta::bare(c));
+        }
+        let mut events = Vec::new();
+        for u in 0..10u32 {
+            for s in 0..5u64 {
+                events.push(Interaction::new(
+                    UserId(u),
+                    ItemId(((u as u64 * 3 + s * 7) % 20) as u32),
+                    ActionType::View,
+                    s,
+                ));
+            }
+        }
+        let ds = Dataset::build(20, events, true);
+        let hp = HyperParams { factors: 4, init_seed: seed, ..Default::default() };
+        let m = BprModel::init(&catalog, hp);
+        let metrics = evaluate(&m, &catalog, &ds, EvalConfig {
+            k: 10,
+            sample_fraction: sample,
+            seed,
+        });
+        for v in [metrics.map_at_10, metrics.auc, metrics.precision_at_10,
+                  metrics.recall_at_10, metrics.ndcg_at_10] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric {} out of range", v);
+        }
+        prop_assert_eq!(metrics.map_sampled, sample.is_some());
+    }
+
+    #[test]
+    fn zipf_sampler_stays_in_range(
+        n in 1usize..500,
+        s in 0.0f64..2.5,
+        seed in 0u64..100,
+    ) {
+        use rand::SeedableRng;
+        let z = sigmund_datagen::ZipfSampler::new(n, s);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn funnel_classifier_is_total_and_consistent(
+        parents in prop::collection::vec(0usize..20, 1..15),
+        raw_ctx in prop::collection::vec((0u32..40, 0u8..4), 0..30),
+    ) {
+        let t = taxonomy_from(&parents);
+        let leaves: Vec<CategoryId> = (0..t.len()).map(CategoryId::from_index).collect();
+        let mut catalog = Catalog::new(RetailerId(0), t);
+        for i in 0..40u32 {
+            catalog.add_item(ItemMeta::bare(leaves[i as usize % leaves.len()]));
+        }
+        let ctx: Vec<ContextEvent> = raw_ctx.iter().map(|&(i, a)| {
+            (ItemId(i), match a {
+                0 => ActionType::View,
+                1 => ActionType::Search,
+                2 => ActionType::Cart,
+                _ => ActionType::Conversion,
+            })
+        }).collect();
+        let stage = sigmund_core::funnel::classify(&catalog, &ctx);
+        // Total (no panic) and consistent with the last action.
+        match ctx.last() {
+            None => prop_assert_eq!(stage, sigmund_core::funnel::FunnelStage::Browsing),
+            Some((_, a)) if *a >= ActionType::Cart => {
+                prop_assert_eq!(stage, sigmund_core::funnel::FunnelStage::Accessorizing)
+            }
+            Some(_) => prop_assert!(stage != sigmund_core::funnel::FunnelStage::Accessorizing),
+        }
+    }
+
+    #[test]
+    fn platt_probabilities_are_bounded_and_monotone(
+        pos in prop::collection::vec(-5.0f32..5.0, 1..40),
+        neg in prop::collection::vec(-5.0f32..5.0, 1..40),
+        query in prop::collection::vec(-10.0f32..10.0, 2..10),
+    ) {
+        let sc = PlattScaler::fit(&pos, &neg);
+        let mut sorted = query.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let probs: Vec<f64> = sorted.iter().map(|&s| sc.probability(s)).collect();
+        for p in &probs {
+            prop_assert!((0.0..=1.0).contains(p));
+        }
+        // Monotone in score (direction given by the sign of the slope).
+        for w in probs.windows(2) {
+            if sc.a >= 0.0 {
+                prop_assert!(w[0] <= w[1] + 1e-12);
+            } else {
+                prop_assert!(w[0] >= w[1] - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn evolution_preserves_world_invariants(
+        seed in 0u64..30,
+        new_item_rate in 0.0f64..0.3,
+        stockout_rate in 0.0f64..0.5,
+        new_user_rate in 0.0f64..0.3,
+    ) {
+        use sigmund_datagen::{evolve_day, EvolutionSpec, RetailerSpec};
+        let mut world = RetailerSpec::sized(RetailerId(0), 40, 50, 5).generate();
+        let n_items_before = world.catalog.len();
+        let events_before = world.events.clone();
+        let horizon = events_before.iter().map(|e| e.when).max().unwrap_or(0);
+        let delta = evolve_day(&mut world, &EvolutionSpec {
+            new_item_rate,
+            stockout_rate,
+            new_user_rate,
+            seed,
+            ..Default::default()
+        });
+        // Append-only catalog; ground truth covers it.
+        prop_assert!(world.catalog.len() >= n_items_before);
+        prop_assert_eq!(world.truth.item_vecs.len(), world.catalog.len());
+        prop_assert_eq!(world.truth.user_vecs.len(), world.truth.user_budget.len());
+        // Yesterday's events are intact (as a multiset: log stays sorted).
+        let mut old: Vec<_> = world
+            .events
+            .iter()
+            .filter(|e| e.when <= horizon)
+            .copied()
+            .collect();
+        let mut expect = events_before.clone();
+        sigmund_types::sort_for_training(&mut old);
+        sigmund_types::sort_for_training(&mut expect);
+        prop_assert_eq!(old, expect);
+        // All new events reference valid ids and skip stockouts.
+        for e in world.events.iter().filter(|e| e.when > horizon) {
+            prop_assert!(e.item.index() < world.catalog.len());
+            prop_assert!(!delta.stockouts.contains(&e.item));
+        }
+    }
+
+    #[test]
+    fn context_weights_always_normalized(
+        actions in prop::collection::vec(0u8..4, 1..30),
+        decay in 0.1f32..1.0,
+    ) {
+        let mut t = Taxonomy::new();
+        let c = t.add_child(t.root());
+        let mut catalog = Catalog::new(RetailerId(0), t);
+        catalog.add_item(ItemMeta::bare(c));
+        let hp = HyperParams { factors: 2, context_decay: decay, ..Default::default() };
+        let m = BprModel::init(&catalog, hp);
+        let ctx: Vec<ContextEvent> = actions.iter().map(|&a| {
+            (ItemId(0), match a {
+                0 => ActionType::View,
+                1 => ActionType::Search,
+                2 => ActionType::Cart,
+                _ => ActionType::Conversion,
+            })
+        }).collect();
+        let mut w = Vec::new();
+        m.context_weights(&ctx, &mut w);
+        let sum: f32 = w.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "weights sum to {}", sum);
+        prop_assert!(w.iter().all(|x| *x >= 0.0));
+    }
+}
