@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Criterion benches for the substrate data structures: co-occurrence model
 //! construction, candidate index builds, LCA queries, event codecs, Zipf
 //! sampling, and workload generation throughput.

@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Criterion benches for the inference and serving paths: candidate-selected
 //! scoring vs naive full-catalog ranking (the Section IV-C1 linear-vs-
 //! quadratic argument at micro scale), and serving-store lookups.
@@ -25,14 +28,7 @@ fn setup(n_items: usize) -> Setup {
         epochs: 2,
         ..Default::default()
     };
-    let (model, _) = train_config(
-        &data.catalog,
-        &ds,
-        &hp,
-        2,
-        None,
-        &SweepOptions::default(),
-    );
+    let (model, _) = train_config(&data.catalog, &ds, &hp, 2, None, &SweepOptions::default());
     let cooc = CoocModel::build(data.catalog.len(), &data.events, CoocConfig::default());
     let index = CandidateIndex::build(&data.catalog);
     let rep = RepurchaseStats::estimate(&data.catalog, &data.events, 0.3);

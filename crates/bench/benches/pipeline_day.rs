@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Criterion bench for the end-to-end daily pipeline: full sweep → training
 //! MapReduce → inference MapReduce → batch publish, scaling with fleet size.
 //! This is wall-clock of the *real* computation (simulated time is virtual,
@@ -42,16 +45,11 @@ fn bench_daily_cycle(c: &mut Criterion) {
                         ..Default::default()
                     });
                     for r in 0..n {
-                        let d = RetailerSpec::sized(
-                            RetailerId(r as u32),
-                            40,
-                            50,
-                            100 + r as u64,
-                        )
-                        .generate();
-                        svc.onboard(&d.catalog, &d.events);
+                        let d = RetailerSpec::sized(RetailerId(r as u32), 40, 50, 100 + r as u64)
+                            .generate();
+                        svc.onboard(&d.catalog, &d.events).unwrap();
                     }
-                    let report = svc.run_day();
+                    let report = svc.run_day().unwrap();
                     report.models_trained
                 });
             },
@@ -71,13 +69,13 @@ fn bench_incremental_day(c: &mut Criterion) {
     });
     for r in 0..4 {
         let d = RetailerSpec::sized(RetailerId(r as u32), 40, 50, 200 + r as u64).generate();
-        svc.onboard(&d.catalog, &d.events);
+        svc.onboard(&d.catalog, &d.events).unwrap();
     }
-    svc.run_day();
+    svc.run_day().unwrap();
     let mut group = c.benchmark_group("incremental_day");
     group.sample_size(10);
     group.bench_function("4_retailers_top3", |b| {
-        b.iter(|| svc.run_day().models_trained);
+        b.iter(|| svc.run_day().unwrap().models_trained);
     });
     group.finish();
 }

@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Criterion benches for the training hot path: one BPR epoch under varying
 //! factor counts, thread counts (Hogwild), and negative samplers.
 

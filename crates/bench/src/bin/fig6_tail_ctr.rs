@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! **FIG6** — Figure 6 of the paper: cross-retailer plot of an item's
 //! popularity (impressions/day) vs the CTR of recommendations shown on that
 //! item, Sigmund's hybrid vs a plain co-occurrence baseline.
@@ -159,7 +162,14 @@ fn main() {
 
     println!("\nFigure 6 reproduction — CTR (relative to baseline overall) vs item popularity\n");
     let table = Table::new(
-        &["impr/day lo", "impr/day hi", "items", "cooc CTR", "sigmund CTR", "lift"],
+        &[
+            "impr/day lo",
+            "impr/day hi",
+            "items",
+            "cooc CTR",
+            "sigmund CTR",
+            "lift",
+        ],
         &[12, 12, 7, 10, 12, 7],
     );
     let mut rows = Vec::new();

@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! `report` — collates `results/*.jsonl` from previous experiment runs into
 //! one summary: which experiments have been run, their headline numbers, and
 //! whether each paper claim's *shape* held.
@@ -63,8 +66,7 @@ fn lines() -> Vec<Line> {
             claim: "10% sampled MAP preserves selection",
             verdict: |rows| {
                 let exact: Vec<f64> = rows.iter().filter_map(|r| num(r, "exact_map")).collect();
-                let sampled: Vec<f64> =
-                    rows.iter().filter_map(|r| num(r, "sampled_map")).collect();
+                let sampled: Vec<f64> = rows.iter().filter_map(|r| num(r, "sampled_map")).collect();
                 let argmax = |v: &[f64]| {
                     v.iter()
                         .enumerate()
@@ -91,8 +93,7 @@ fn lines() -> Vec<Line> {
                     .filter(|r| num(r, "n_items") == Some(3000.0))
                     .collect();
                 let (g, m) = (big.first()?, big.get(1)?);
-                let map_gap = (num(g, "map_at_10")? - num(m, "map_at_10")?)
-                    / num(g, "map_at_10")?;
+                let map_gap = (num(g, "map_at_10")? - num(m, "map_at_10")?) / num(g, "map_at_10")?;
                 let auc_gap = (num(g, "auc")? - num(m, "auc")?) / num(g, "auc")?;
                 Some(format!(
                     "rel gaps: MAP {:.1}% vs AUC {:.1}% → {}",
@@ -110,9 +111,7 @@ fn lines() -> Vec<Line> {
                 let r = rows.first()?;
                 let warm = num(r, "warm_epochs_to_target");
                 let cold = num(r, "cold_epochs_to_target");
-                let show = |v: Option<f64>| {
-                    v.map_or("never".to_string(), |x| format!("{x:.0}"))
-                };
+                let show = |v: Option<f64>| v.map_or("never".to_string(), |x| format!("{x:.0}"));
                 let holds = matches!((warm, cold), (Some(w), c)
                     if c.is_none_or(|c| w <= c));
                 Some(format!(
@@ -255,14 +254,17 @@ fn lines() -> Vec<Line> {
                 let cooc = find(rows, "recommender", "cooc")?;
                 let bpr = find(rows, "recommender", "bpr")?;
                 let hybrid = find(rows, "recommender", "hybrid")?;
-                let tail_win =
-                    num(bpr, "tail_oracle_quality")? > num(cooc, "tail_oracle_quality")?;
+                let tail_win = num(bpr, "tail_oracle_quality")? > num(cooc, "tail_oracle_quality")?;
                 let cov_win = num(hybrid, "coverage")? > num(cooc, "coverage")?;
                 Some(format!(
                     "tail win: {tail_win}; coverage {:.0}% vs {:.0}% → {}",
                     num(hybrid, "coverage")? * 100.0,
                     num(cooc, "coverage")? * 100.0,
-                    if tail_win && cov_win { "HOLDS" } else { "CHECK" }
+                    if tail_win && cov_win {
+                        "HOLDS"
+                    } else {
+                        "CHECK"
+                    }
                 ))
             },
         },
@@ -306,12 +308,18 @@ fn lines() -> Vec<Line> {
 
 fn main() {
     let dir = Path::new("results");
-    println!("\nSigmund reproduction — experiment status ({}/)\n", dir.display());
+    println!(
+        "\nSigmund reproduction — experiment status ({}/)\n",
+        dir.display()
+    );
     let mut ran = 0;
     for line in lines() {
         let path = dir.join(format!("{}.jsonl", line.file));
         let status = match fs::read_to_string(&path) {
-            Err(_) => format!("NOT RUN (cargo run --release -p sigmund-bench --bin {})", line.file),
+            Err(_) => format!(
+                "NOT RUN (cargo run --release -p sigmund-bench --bin {})",
+                line.file
+            ),
             Ok(text) => {
                 let rows: Vec<Value> = text
                     .lines()
@@ -324,5 +332,8 @@ fn main() {
         };
         println!("{:>5}  {:<48} {}", line.id, line.claim, status);
     }
-    println!("\n{ran}/{} experiments have results on disk.", lines().len());
+    println!(
+        "\n{ran}/{} experiments have results on disk.",
+        lines().len()
+    );
 }

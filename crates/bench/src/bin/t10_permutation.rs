@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! **T10** — Section IV-B1: "The input config records are randomly permuted
 //! before being written so that training tasks are randomly divided across
 //! different MapReduces. We also rely on this randomization strategy to
@@ -45,9 +48,7 @@ fn main() {
     let grouped: Vec<(RetailerId, f64)> = fleet
         .specs()
         .iter()
-        .flat_map(|s| {
-            (0..configs_per_retailer).map(move |_| (s.retailer, s.n_items as f64))
-        })
+        .flat_map(|s| (0..configs_per_retailer).map(move |_| (s.retailer, s.n_items as f64)))
         .collect();
     eprintln!(
         "t10: {} config records across {} retailers",

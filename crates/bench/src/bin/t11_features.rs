@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! **T11** — Sections III-B4 and III-C: side features. Two paper claims:
 //!
 //! 1. "Item taxonomies also help in dealing with new (cold) items" — we

@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! **T12** — Sections III-E and VII: "co-occurrence based recommendations
 //! work well with large amounts of data; more sophisticated techniques
 //! rarely outperform it … we were able to empirically demonstrate the value

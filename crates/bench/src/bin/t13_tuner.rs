@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! **T13 (extension)** — Section III-C1 points at Vizier-style black-box
 //! tuning as the upgrade path from plain grid search ("If we were to rebuild
 //! the hyperparameter search today…"). This ablation compares, at the same
@@ -52,7 +55,11 @@ fn main() {
         threads: 4,
         ..Default::default()
     };
-    eprintln!("t13: {} configs, full grid = {} epoch-units", configs.len(), configs.len() * 12);
+    eprintln!(
+        "t13: {} configs, full grid = {} epoch-units",
+        configs.len(),
+        configs.len() * 12
+    );
 
     println!("\nT13 — hyper-parameter search strategies at a glance\n");
     let table = Table::new(
@@ -86,7 +93,14 @@ fn main() {
             winner: format!("F={} lr={}", hp.factors, hp.learning_rate),
         });
     };
-    push(&mut rows, &table, "grid (full)", grid_budget, grid_map, &full.best().hp);
+    push(
+        &mut rows,
+        &table,
+        "grid (full)",
+        grid_budget,
+        grid_map,
+        &full.best().hp,
+    );
 
     // 2. Successive halving over the same configs.
     let halving = successive_halving(
@@ -109,8 +123,8 @@ fn main() {
     );
 
     // 3. Random subset of the grid, sized to the halving budget.
-    let n_random = ((halving.epoch_budget_used / grid.epochs as u64) as usize)
-        .clamp(1, configs.len());
+    let n_random =
+        ((halving.epoch_budget_used / grid.epochs as u64) as usize).clamp(1, configs.len());
     let mut rng = StdRng::seed_from_u64(99);
     let mut shuffled = configs.clone();
     shuffled.shuffle(&mut rng);

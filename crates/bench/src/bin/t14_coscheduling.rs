@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! **T14 (ablation)** — Section IV-B2's scheduling design choice: "Instead of
 //! implementing a complex and brittle scheduling constraint, we chose to
 //! train only a single retailer on a physical machine at a time, and instead
@@ -75,8 +78,11 @@ fn main() {
                 memory_gb: 32.0,
             },
         };
-        let a = ClusterSim::new(cell_a, PreemptionModel::NONE, 1)
-            .run(&mix(n_tasks, share, 1.0 / thread_speedup));
+        let a = ClusterSim::new(cell_a, PreemptionModel::NONE, 1).run(&mix(
+            n_tasks,
+            share,
+            1.0 / thread_speedup,
+        ));
         // Design B (rejected): 4 slots/machine, single-threaded tasks, the
         // memory-aware scheduler must keep co-resident models under 32 GB.
         let cell_b = CellSpec {

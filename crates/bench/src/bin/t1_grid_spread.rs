@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! **T1** — Section III-C: "a model with randomly chosen hyper-parameters can
 //! be a hundred times worse (on hold-out metrics) than the best model", and
 //! the best hyper-parameters differ across retailers.
@@ -43,15 +46,20 @@ fn main() {
         epochs: 10,
     };
 
-    let retailers = [
-        (60usize, 100usize, 1u64),
-        (200, 260, 2),
-        (500, 450, 3),
-    ];
+    let retailers = [(60usize, 100usize, 1u64), (200, 260, 2), (500, 450, 3)];
 
     println!("\nT1 — hyper-parameter grid spread per retailer (MAP@10)\n");
     let table = Table::new(
-        &["retailer", "items", "configs", "best", "median", "worst", "best/worst", "won by"],
+        &[
+            "retailer",
+            "items",
+            "configs",
+            "best",
+            "median",
+            "worst",
+            "best/worst",
+            "won by",
+        ],
         &[8, 6, 8, 8, 8, 8, 11, 16],
     );
     let mut rows = Vec::new();
@@ -78,7 +86,11 @@ fn main() {
         let best = maps[0];
         let median = maps[maps.len() / 2];
         let worst = *maps.last().unwrap();
-        let ratio = if worst > 0.0 { best / worst } else { f64::INFINITY };
+        let ratio = if worst > 0.0 {
+            best / worst
+        } else {
+            f64::INFINITY
+        };
         let bw = outcome.best();
         table.print(&[
             r.to_string(),

@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! **T2** — Section III-C2: "To save CPU cost, we sample 10% of the items and
 //! only estimate the MAP. We verified that this approximation does not hurt
 //! our model selection criterion."
@@ -79,7 +82,10 @@ fn main() {
         models.push((hp, m));
     }
 
-    println!("\nT2 — exact vs 10%-sampled MAP@10 on a {}-item retailer\n", data.catalog.len());
+    println!(
+        "\nT2 — exact vs 10%-sampled MAP@10 on a {}-item retailer\n",
+        data.catalog.len()
+    );
     let table = Table::new(
         &["config", "F", "lr", "epochs", "exact MAP", "sampled MAP"],
         &[6, 4, 7, 6, 10, 12],
@@ -129,6 +135,8 @@ fn main() {
          ({:.1}x faster)",
         exact_time / sampled_time.max(1e-9)
     );
-    println!("paper claim: sampling does not hurt model selection → expect rho ≈ 1 and same winner.");
+    println!(
+        "paper claim: sampling does not hurt model selection → expect rho ≈ 1 and same winner."
+    );
     write_results("t2_sampled_map", &rows);
 }

@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! **T3** — Section III-C2: why Sigmund selects by MAP@10 and disregards AUC:
 //! "for large merchants, the magnitude of the AUC difference between a good
 //! model and a mediocre one is very small (often in the fourth or fifth

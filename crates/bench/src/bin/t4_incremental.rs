@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! **T4** — Section III-C3 / IV-A: incremental training. "The idea is to
 //! store the models from the previous day and continue training from there …
 //! incremental runs require much fewer iterations to converge", and only the
@@ -68,7 +71,11 @@ fn main() {
         seeds: vec![1],
         epochs: 15,
     };
-    eprintln!("t4: day-0 grid ({} configs × {} epochs)…", grid.configs(&data.catalog).len(), grid.epochs);
+    eprintln!(
+        "t4: day-0 grid ({} configs × {} epochs)…",
+        grid.configs(&data.catalog).len(),
+        grid.epochs
+    );
     let day0 = grid_search(&data.catalog, &ds, &grid, &opts);
     let best_hp = day0.best().hp.clone();
     let snap = day0.best().snapshot.clone().expect("kept");
@@ -93,7 +100,11 @@ fn main() {
         if cold.map_at_10 >= bar && cold_hit.is_none() {
             cold_hit = Some(epochs);
         }
-        table.print(&[epochs.to_string(), f(warm.map_at_10, 4), f(cold.map_at_10, 4)]);
+        table.print(&[
+            epochs.to_string(),
+            f(warm.map_at_10, 4),
+            f(cold.map_at_10, 4),
+        ]);
         rows.push(T4Row {
             epochs,
             warm_map: warm.map_at_10,

@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! **T5** — Section II-B / IV: the pre-emptible-VM economics. "The cost
 //! advantage of this approach over using regular VMs can be nearly 70%.
 //! However, one needs to carefully consider the overheads from
@@ -74,7 +77,16 @@ fn main() {
     let cell = CellSpec::standard(CellId(0), 12);
     println!("\nT5 — pre-emptible VM economics (cost in production-CPU-second units)\n");
     let table = Table::new(
-        &["preempt/hr", "variant", "cost", "vs prod", "makespan", "wasted", "kills", "failed"],
+        &[
+            "preempt/hr",
+            "variant",
+            "cost",
+            "vs prod",
+            "makespan",
+            "wasted",
+            "kills",
+            "failed",
+        ],
         &[10, 14, 10, 8, 10, 9, 6, 6],
     );
     let mut rows = Vec::new();

@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! **T6** — Section IV-B3: checkpoint scheduling. "We use the strategy of
 //! scheduling checkpoints on a fixed time-interval instead of scheduling them
 //! after a fixed number of iterations. This choice was motivated by the
@@ -80,14 +83,26 @@ fn main() {
 
     println!("\nT6 — work lost to pre-emption by checkpoint policy and retailer class\n");
     let table = Table::new(
-        &["policy", "class", "s/iter", "tasks", "wasted", "waste/kill", "ckpts", "makespan"],
+        &[
+            "policy",
+            "class",
+            "s/iter",
+            "tasks",
+            "wasted",
+            "waste/kill",
+            "ckpts",
+            "makespan",
+        ],
         &[15, 7, 7, 6, 10, 10, 7, 10],
     );
     let mut rows = Vec::new();
     for (name, policy) in policies {
         let r = sim.run(&tasks_for(policy));
         if !r.failed.is_empty() {
-            println!("  [{name}] {} tasks abandoned after 40 attempts", r.failed.len());
+            println!(
+                "  [{name}] {} tasks abandoned after 40 attempts",
+                r.failed.len()
+            );
         }
         // Attribute outcomes back to classes by task id ranges.
         let mut offset = 0usize;

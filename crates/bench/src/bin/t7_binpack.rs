@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! **T7** — Section IV-C1: inference parallelization. "To minimize the total
 //! running time of the job, we use a greedy first-fit bin-packing heuristic
 //! to partition the retailers … We therefore use the number of items in each
@@ -55,15 +58,23 @@ fn main() {
     );
 
     let n_cells = 8;
-    println!("\nT7 — inference partitioning across {n_cells} cells (makespan proxy = heaviest cell)\n");
+    println!(
+        "\nT7 — inference partitioning across {n_cells} cells (makespan proxy = heaviest cell)\n"
+    );
     let table = Table::new(
         &["cost model", "strategy", "makespan", "vs ideal"],
         &[12, 12, 14, 9],
     );
     let mut rows = Vec::new();
     for (cost_name, weight_fn) in [
-        ("linear", Box::new(|n: usize| n as f64) as Box<dyn Fn(usize) -> f64>),
-        ("all-pairs", Box::new(|n: usize| (n as f64) * (n as f64) / 1e3)),
+        (
+            "linear",
+            Box::new(|n: usize| n as f64) as Box<dyn Fn(usize) -> f64>,
+        ),
+        (
+            "all-pairs",
+            Box::new(|n: usize| (n as f64) * (n as f64) / 1e3),
+        ),
     ] {
         let items: Vec<Weighted<RetailerId>> = sizes
             .iter()

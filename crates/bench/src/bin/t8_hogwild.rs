@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! **T8** — Section IV-B2: Hogwild multi-threaded training. Sigmund trains
 //! one retailer per machine and uses threads (not co-scheduled tasks) to use
 //! the memory already allocated: "requesting CPUs to run additional training
@@ -15,8 +18,8 @@ use serde::Serialize;
 use sigmund_bench::{f, write_results, Table};
 use sigmund_core::prelude::*;
 use sigmund_datagen::RetailerSpec;
-use sigmund_types::*;
 use sigmund_pipeline::CostModel;
+use sigmund_types::*;
 use std::time::Instant;
 
 #[derive(Serialize)]
@@ -57,7 +60,14 @@ fn main() {
     );
     let cost = CostModel::default();
     let table = Table::new(
-        &["threads", "wall (s)", "examples/s", "speedup", "amdahl", "MAP@10"],
+        &[
+            "threads",
+            "wall (s)",
+            "examples/s",
+            "speedup",
+            "amdahl",
+            "MAP@10",
+        ],
         &[7, 9, 12, 8, 7, 8],
     );
     let mut rows: Vec<T8Row> = Vec::new();

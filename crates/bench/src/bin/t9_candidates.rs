@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! **T9** — Section III-D1: candidate-selection trade-offs. "Using a small
 //! value of k keeps the recommendations precise, but will decrease coverage
 //! for tail items … Empirically we found that setting k = 2 provides a good

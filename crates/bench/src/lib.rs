@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! # sigmund-bench
 //!
 //! Experiment binaries (`src/bin/`) and Criterion benches (`benches/`)

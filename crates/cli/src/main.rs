@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! `sigmund` — operator CLI for the reproduction.
 //!
 //! ```text
@@ -69,7 +72,14 @@ fn print_help() {
 
 fn simulate(args: &Args) -> Result<(), String> {
     args.ensure_known(&[
-        "retailers", "days", "cells", "machines", "preempt", "min-items", "max-items", "seed",
+        "retailers",
+        "days",
+        "cells",
+        "machines",
+        "preempt",
+        "min-items",
+        "max-items",
+        "seed",
     ])?;
     let n_retailers: usize = args.get("retailers", 6)?;
     let days: u32 = args.get("days", 2)?;
@@ -110,13 +120,14 @@ fn simulate(args: &Args) -> Result<(), String> {
             d.catalog.len(),
             d.events.len()
         );
-        svc.onboard(&d.catalog, &d.events);
+        svc.onboard(&d.catalog, &d.events)
+            .map_err(|e| e.to_string())?;
     }
 
     let mut monitor = QualityMonitor::new(MonitorConfig::default());
     for _ in 0..days {
         let onboarded = svc.retailers().to_vec();
-        let report = svc.run_day();
+        let report = svc.run_day().map_err(|e| e.to_string())?;
         println!(
             "\nday {}: {} models | train {:.2}s + infer {:.2}s (virtual) | cost {:.2} | \
              {} pre-emptions",

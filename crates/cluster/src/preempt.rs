@@ -82,7 +82,9 @@ mod tests {
 
     #[test]
     fn samples_are_positive() {
-        let m = PreemptionModel { rate_per_hour: 10.0 };
+        let m = PreemptionModel {
+            rate_per_hour: 10.0,
+        };
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..1000 {
             assert!(m.sample(Priority::Preemptible, &mut rng).unwrap() > 0.0);

@@ -227,11 +227,9 @@ impl ClusterSim {
                         Some(machine) => {
                             let st = &mut state[idx];
                             st.attempts += 1;
-                            let interval =
-                                spec.checkpoint.interval_work(spec.iteration_work);
+                            let interval = spec.checkpoint.interval_work(spec.iteration_work);
                             // Checkpoint overhead slows effective progress.
-                            let speed = if interval.is_finite() && self.checkpoint_overhead > 0.0
-                            {
+                            let speed = if interval.is_finite() && self.checkpoint_overhead > 0.0 {
                                 interval / (interval + self.checkpoint_overhead)
                             } else {
                                 1.0
@@ -311,8 +309,7 @@ impl ClusterSim {
                     st.progress
                 };
                 if interval.is_finite() {
-                    let crossed =
-                        (saved / interval).floor() - (st.progress / interval).floor();
+                    let crossed = (saved / interval).floor() - (st.progress / interval).floor();
                     st.checkpoints += crossed.max(0.0) as u64;
                 }
                 st.wasted += attempted_progress - saved;
@@ -327,7 +324,7 @@ impl ClusterSim {
         }
 
         debug_assert!(pending.is_empty(), "deadlocked pending tasks");
-        outcomes.sort_by(|a, b| a.finish.partial_cmp(&b.finish).unwrap());
+        outcomes.sort_by(|a, b| a.finish.total_cmp(&b.finish));
         SimReport {
             makespan,
             outcomes,
@@ -369,7 +366,11 @@ mod tests {
         assert!((r.makespan - 150.0).abs() < 1e-6, "serial: {}", r.makespan);
         let sim2 = ClusterSim::new(cell(2), PreemptionModel::NONE, 1);
         let r2 = sim2.run(&tasks);
-        assert!((r2.makespan - 100.0).abs() < 1e-6, "parallel: {}", r2.makespan);
+        assert!(
+            (r2.makespan - 100.0).abs() < 1e-6,
+            "parallel: {}",
+            r2.makespan
+        );
         assert_eq!(r.preemptions, 0);
         assert_eq!(r.outcomes.len(), 2);
     }
@@ -479,7 +480,9 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let hazard = PreemptionModel { rate_per_hour: 50.0 };
+        let hazard = PreemptionModel {
+            rate_per_hour: 50.0,
+        };
         let tasks: Vec<TaskSpec> = (0..10).map(|i| task(i, 100.0 + i as f64)).collect();
         let run = |seed| ClusterSim::new(cell(3), hazard, seed).run(&tasks);
         assert_eq!(run(5), run(5));
@@ -532,7 +535,9 @@ mod tests {
     #[test]
     fn skewed_tasks_still_all_finish() {
         // Heavy skew plus pre-emptions: everything must eventually complete.
-        let hazard = PreemptionModel { rate_per_hour: 20.0 };
+        let hazard = PreemptionModel {
+            rate_per_hour: 20.0,
+        };
         let mut tasks: Vec<TaskSpec> = (0..20).map(|i| task(i, 10.0)).collect();
         tasks.push({
             let mut t = task(20, 5000.0);

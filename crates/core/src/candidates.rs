@@ -184,7 +184,11 @@ impl CandidateSelector {
         dedup[item.index()] = true; // never recommend the query item
         let cv = cooc.co_viewed(item);
         if cv.is_empty() {
-            self.extend(index.lca_k(catalog, item, self.view_k), &mut dedup, &mut out);
+            self.extend(
+                index.lca_k(catalog, item, self.view_k),
+                &mut dedup,
+                &mut out,
+            );
         } else {
             for j in cv {
                 self.extend(
@@ -352,7 +356,10 @@ mod tests {
         assert!(!rep.is_repurchasable(c.category(ItemId(0))));
         let sel = CandidateSelector::default();
         // cb(0) contains both 4 and 1 (counts 3 and 2).
-        assert!(cooc.co_bought(ItemId(0)).iter().any(|x| x.item == ItemId(1)));
+        assert!(cooc
+            .co_bought(ItemId(0))
+            .iter()
+            .any(|x| x.item == ItemId(1)));
         let cands = sel.purchase_based(&c, &idx, &cooc, &rep, ItemId(0));
         let got: Vec<u32> = cands.iter().map(|i| i.0).collect();
         // lca1(0) = {0,1} is removed; item 4 (different branch) survives.
@@ -401,7 +408,10 @@ mod tests {
     fn non_repurchasable_when_below_threshold() {
         let (c, _) = setup();
         // 1 of 4 buyers repeats → below 0.5 threshold.
-        let mut evs = vec![ev(0, 0, ActionType::Conversion, 0), ev(0, 0, ActionType::Conversion, 10)];
+        let mut evs = vec![
+            ev(0, 0, ActionType::Conversion, 0),
+            ev(0, 0, ActionType::Conversion, 10),
+        ];
         for u in 1..4 {
             evs.push(ev(u, 0, ActionType::Conversion, 0));
         }

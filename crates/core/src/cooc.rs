@@ -251,9 +251,7 @@ impl ExclusionIndex {
     /// True iff `other` co-occurs with `item`.
     #[inline]
     pub fn excluded(&self, item: ItemId, other: ItemId) -> bool {
-        self.per_item[item.index()]
-            .binary_search(&other.0)
-            .is_ok()
+        self.per_item[item.index()].binary_search(&other.0).is_ok()
     }
 }
 

@@ -21,9 +21,7 @@
 //! actually serve.
 
 use crate::model::ContextEvent;
-use sigmund_types::{
-    per_user, sort_for_training, ActionType, Interaction, ItemId, UserId,
-};
+use sigmund_types::{per_user, sort_for_training, ActionType, Interaction, ItemId, UserId};
 
 /// Maximum context events stored per example (the model may truncate further
 /// via `HyperParams::context_len`; the paper keeps "about 25").
@@ -244,7 +242,10 @@ fn build_examples(train: &[Interaction]) -> ExampleSet {
         let ctx_len = (evs.len() - from) as u32;
 
         for strong in [ActionType::Search, ActionType::Cart, ActionType::Conversion] {
-            let weak = strong.weaker().expect("non-view levels have weaker");
+            // Only View lacks a weaker level, and View is not iterated here.
+            let Some(weak) = strong.weaker() else {
+                continue;
+            };
             let pool_start = set.pools.len() as u32;
             set.pools.extend(
                 max_level

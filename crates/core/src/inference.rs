@@ -215,9 +215,7 @@ impl<'a> InferenceEngine<'a> {
 mod tests {
     use super::*;
     use crate::cooc::CoocConfig;
-    use sigmund_types::{
-        HyperParams, Interaction, ItemMeta, RetailerId, Taxonomy, UserId,
-    };
+    use sigmund_types::{HyperParams, Interaction, ItemMeta, RetailerId, Taxonomy, UserId};
 
     fn setup() -> (Catalog, CoocModel, CandidateIndex, RepurchaseStats) {
         let mut t = Taxonomy::new();
@@ -320,10 +318,7 @@ mod tests {
         let (c, cooc, index, rep) = setup();
         let m = model(&c);
         let eng = InferenceEngine::new(&m, &c, &index, &cooc, &rep);
-        let ctx = vec![
-            (ItemId(5), ActionType::View),
-            (ItemId(0), ActionType::View),
-        ];
+        let ctx = vec![(ItemId(5), ActionType::View), (ItemId(0), ActionType::View)];
         let recs = eng.recommend_for_context(&ctx, RecTask::ViewBased, 3);
         // Candidates derive from item 0 (the last context event).
         assert!(recs.iter().all(|(i, _)| *i != ItemId(0)));

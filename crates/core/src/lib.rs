@@ -1,3 +1,4 @@
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 //! # sigmund-core
 //!
@@ -56,6 +57,8 @@ pub mod dataset;
 pub mod funnel;
 pub mod hybrid;
 pub mod inference;
+#[cfg(loom)]
+pub mod loom_model;
 pub mod metrics;
 pub mod model;
 pub mod negative;
@@ -80,8 +83,8 @@ pub mod prelude {
     pub use crate::model::{BprModel, ContextEvent, ItemRepMatrix};
     pub use crate::negative::NegativeSampler;
     pub use crate::selection::{
-        grid_search, incremental_refresh, train_config, GridSpec, SelectionOutcome,
-        SweepOptions, TrainedCandidate,
+        grid_search, incremental_refresh, train_config, GridSpec, SelectionOutcome, SweepOptions,
+        TrainedCandidate,
     };
     pub use crate::snapshot::ModelSnapshot;
     pub use crate::train::{train, train_epoch, EpochStats, TrainOptions};

@@ -178,8 +178,8 @@ fn rank_of(
     let n_items = ds.n_items as u32;
     let seen = ds.seen_items(ex.user);
     // Eligible = catalog \ (seen \ {positive}).
-    let eligible_total = n_items as u64 - seen.len() as u64
-        + u64::from(seen.binary_search(&ex.positive.0).is_ok());
+    let eligible_total =
+        n_items as u64 - seen.len() as u64 + u64::from(seen.binary_search(&ex.positive.0).is_ok());
 
     // A diverged model produces NaN scores, and NaN comparisons are all
     // false — which would silently award rank 1. Score such a model at the
@@ -227,8 +227,7 @@ fn rank_of(
             let est_better = if sampled == 0 {
                 0.0
             } else {
-                (better as f64 + ties as f64 / 2.0)
-                    * (eligible_total.saturating_sub(1)) as f64
+                (better as f64 + ties as f64 / 2.0) * (eligible_total.saturating_sub(1)) as f64
                     / sampled as f64
             };
             Some(((est_better.round() as u64) + 1, eligible_total))
@@ -290,8 +289,8 @@ mod tests {
     use crate::negative::NegativeSampler;
     use crate::train::{train, TrainOptions};
     use sigmund_types::{
-        ActionType, HyperParams, Interaction, ItemMeta, NegativeSamplerKind, RetailerId,
-        Taxonomy, UserId,
+        ActionType, HyperParams, Interaction, ItemMeta, NegativeSamplerKind, RetailerId, Taxonomy,
+        UserId,
     };
 
     fn catalog(n: usize) -> Catalog {
@@ -476,12 +475,8 @@ mod tests {
             },
         );
         let all = evaluate(&m, &c, &ds, EvalConfig::default());
-        let even = evaluate_filtered(&m, &c, &ds, EvalConfig::default(), |ex| {
-            ex.user.0 % 2 == 0
-        });
-        let odd = evaluate_filtered(&m, &c, &ds, EvalConfig::default(), |ex| {
-            ex.user.0 % 2 == 1
-        });
+        let even = evaluate_filtered(&m, &c, &ds, EvalConfig::default(), |ex| ex.user.0 % 2 == 0);
+        let odd = evaluate_filtered(&m, &c, &ds, EvalConfig::default(), |ex| ex.user.0 % 2 == 1);
         assert_eq!(even.holdout_size + odd.holdout_size, all.holdout_size);
         let none = evaluate_filtered(&m, &c, &ds, EvalConfig::default(), |_| false);
         assert_eq!(none.holdout_size, 0);

@@ -229,13 +229,7 @@ impl BprModel {
 
     /// Applies an item-side gradient: the same `grad` flows to the item row
     /// and every active feature row, each with its own Adagrad accumulator.
-    pub(crate) fn apply_item_grad(
-        &self,
-        catalog: &Catalog,
-        item: ItemId,
-        grad: &[f32],
-        lr: f32,
-    ) {
+    pub(crate) fn apply_item_grad(&self, catalog: &Catalog, item: ItemId, grad: &[f32], lr: f32) {
         let reg = self.hp.reg_item;
         self.item_emb.adagrad_step(item.index(), grad, lr, reg);
         // Shared feature rows learn at a damped rate: the representation is a
@@ -268,7 +262,8 @@ impl BprModel {
         }
         if self.hp.features.use_price {
             if let Some(p) = meta.price {
-                self.price_emb.adagrad_step(price_bucket(p), grad, lr_f, reg);
+                self.price_emb
+                    .adagrad_step(price_bucket(p), grad, lr_f, reg);
             }
         }
     }

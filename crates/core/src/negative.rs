@@ -86,12 +86,7 @@ impl<'a> NegativeSampler<'a> {
 
     /// Uniform over the catalog, rejecting the positive and the user's seen
     /// items; falls back to any item ≠ positive after [`MAX_TRIES`].
-    fn uniform_unseen(
-        &self,
-        ds: &Dataset,
-        example: &Example,
-        rng: &mut StdRng,
-    ) -> Option<ItemId> {
+    fn uniform_unseen(&self, ds: &Dataset, example: &Example, rng: &mut StdRng) -> Option<ItemId> {
         let n = ds.n_items;
         if n < 2 {
             return None;
@@ -115,12 +110,7 @@ impl<'a> NegativeSampler<'a> {
     /// [`MIN_LCA_DISTANCE`] from the positive and rejects items co-occurring
     /// with it. Falls back to plain uniform-unseen when the constraints can't
     /// be met.
-    fn taxonomy_aware(
-        &self,
-        ds: &Dataset,
-        example: &Example,
-        rng: &mut StdRng,
-    ) -> Option<ItemId> {
+    fn taxonomy_aware(&self, ds: &Dataset, example: &Example, rng: &mut StdRng) -> Option<ItemId> {
         let n = ds.n_items;
         if n < 2 {
             return None;
@@ -216,7 +206,9 @@ mod tests {
         let mut scratch = vec![0.0; 4];
         let e = ds.examples.examples[0];
         for _ in 0..200 {
-            let j = s.sample(&ds, &m, &e, &[0.0; 4], &mut scratch, &mut rng).unwrap();
+            let j = s
+                .sample(&ds, &m, &e, &[0.0; 4], &mut scratch, &mut rng)
+                .unwrap();
             assert_ne!(j, e.pos);
             assert!(!ds.is_seen(UserId(0), j), "sampled seen item {j}");
         }
@@ -232,7 +224,9 @@ mod tests {
         let mut scratch = vec![0.0; 4];
         let e = ds.examples.examples[0]; // positive in category a
         for _ in 0..100 {
-            let j = s.sample(&ds, &m, &e, &[0.0; 4], &mut scratch, &mut rng).unwrap();
+            let j = s
+                .sample(&ds, &m, &e, &[0.0; 4], &mut scratch, &mut rng)
+                .unwrap();
             // All unseen items in category a (3,4) are at distance 1; the
             // sampler must land in category b.
             assert!(j.0 >= 5, "expected far item, got {j}");
@@ -259,7 +253,10 @@ mod tests {
         // Example with positive item 0: negative must never be 7.
         let e = ds.examples.examples[0];
         assert_eq!(e.pos, ItemId(1)); // first example: ctx (0), pos 1
-        let e0 = Example { pos: ItemId(0), ..e };
+        let e0 = Example {
+            pos: ItemId(0),
+            ..e
+        };
         for _ in 0..100 {
             let j = s
                 .sample(&ds, &m, &e0, &[0.0; 4], &mut scratch, &mut rng)

@@ -18,9 +18,7 @@ use crate::model::BprModel;
 use crate::negative::NegativeSampler;
 use crate::snapshot::ModelSnapshot;
 use crate::train::{train, TrainOptions};
-use sigmund_types::{
-    Catalog, FeatureSwitches, HyperParams, ModelMetrics, NegativeSamplerKind,
-};
+use sigmund_types::{Catalog, FeatureSwitches, HyperParams, ModelMetrics, NegativeSamplerKind};
 
 /// The hyper-parameter grid to sweep for one retailer.
 #[derive(Debug, Clone)]
@@ -253,14 +251,8 @@ pub fn incremental_refresh(
         .top_k(opts.keep_top)
         .iter()
         .map(|prev| {
-            let (model, metrics) = train_config(
-                catalog,
-                ds,
-                &prev.hp,
-                epochs,
-                prev.snapshot.as_ref(),
-                opts,
-            );
+            let (model, metrics) =
+                train_config(catalog, ds, &prev.hp, epochs, prev.snapshot.as_ref(), opts);
             TrainedCandidate {
                 hp: prev.hp.clone(),
                 metrics,

@@ -104,7 +104,9 @@ impl ModelSnapshot {
     }
 
     /// Serializes to bytes.
+    #[allow(clippy::expect_used)]
     pub fn to_bytes(&self) -> Bytes {
+        // xtask: allow(panic-surface) — HyperParams is a plain struct of numbers and enums; JSON encoding cannot fail
         let hp_json = serde_json::to_vec(&self.hp).expect("hyperparams serialize");
         let payload: usize = self
             .tables

@@ -11,6 +11,13 @@
 //! With a single training thread every operation is exact and deterministic,
 //! which is what the quality experiments rely on.
 
+//! Under `--cfg loom` the raw atomics are swapped for the deterministic
+//! interleaving explorer in [`crate::loom_model`], which exhaustively
+//! model-checks the racy paths (see `tests/loom_storage.rs`).
+
+#[cfg(loom)]
+use crate::loom_model::shim::{AtomicU32, Ordering};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// An `f32` that can be read and (racily) updated from many threads.
@@ -40,6 +47,7 @@ impl AtomicF32 {
     /// other's deltas; that is accepted by design [Niu et al., NIPS'11].
     #[inline]
     pub fn add(&self, delta: f32) {
+        debug_assert!(delta.is_finite(), "non-finite delta {delta}");
         self.store(self.load() + delta);
     }
 }
@@ -119,6 +127,7 @@ impl Table {
     #[inline]
     pub fn accumulate_row(&self, r: usize, w: f32, out: &mut [f32]) {
         debug_assert_eq!(out.len(), self.dim);
+        debug_assert!(w.is_finite(), "non-finite row weight {w}");
         for (o, c) in out.iter_mut().zip(self.row(r)) {
             *o += w * c.load();
         }
@@ -135,6 +144,11 @@ impl Table {
     /// `lr / sqrt(acc + eps)`.
     pub fn adagrad_step(&self, r: usize, grad: &[f32], lr: f32, reg: f32) {
         debug_assert_eq!(grad.len(), self.dim);
+        debug_assert!(lr.is_finite() && reg.is_finite(), "non-finite lr/reg");
+        debug_assert!(
+            grad.iter().all(|g| g.is_finite()),
+            "non-finite gradient for row {r}"
+        );
         let row = self.row(r);
         let mut norm2 = 0.0f32;
         for (cell, &g) in row.iter().zip(grad) {

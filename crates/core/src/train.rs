@@ -79,7 +79,8 @@ pub fn train_epoch(
         };
     }
     let mut order: Vec<u32> = (0..n as u32).collect();
-    let mut shuffle_rng = StdRng::seed_from_u64(opts.seed ^ (epoch as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+    let mut shuffle_rng =
+        StdRng::seed_from_u64(opts.seed ^ (epoch as u64).wrapping_mul(0xA24B_AED4_963E_E407));
     order.shuffle(&mut shuffle_rng);
 
     let threads = opts.threads.max(1).min(n);
@@ -109,9 +110,14 @@ pub fn train_epoch(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("trainer thread")).collect()
+        // join/scope only fail when a trainer thread panicked; re-raise the
+        // original payload instead of replacing it with an unwrap message.
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
     })
-    .expect("crossbeam scope");
+    .unwrap_or_else(|p| std::panic::resume_unwind(p));
 
     let (loss, count) = results
         .into_iter()
@@ -204,8 +210,8 @@ fn train_slice(
 mod tests {
     use super::*;
     use sigmund_types::{
-        ActionType, HyperParams, Interaction, ItemId, ItemMeta, NegativeSamplerKind,
-        RetailerId, Taxonomy, UserId,
+        ActionType, HyperParams, Interaction, ItemId, ItemMeta, NegativeSamplerKind, RetailerId,
+        Taxonomy, UserId,
     };
 
     fn catalog(n: usize) -> Catalog {

@@ -12,11 +12,11 @@
 
 use crate::dataset::Dataset;
 use crate::metrics::evaluate;
+use crate::model::BprModel;
+use crate::negative::NegativeSampler;
 use crate::selection::{SelectionOutcome, SweepOptions, TrainedCandidate};
 use crate::snapshot::ModelSnapshot;
 use crate::train::{train, TrainOptions};
-use crate::negative::NegativeSampler;
-use crate::model::BprModel;
 use sigmund_types::{Catalog, HyperParams};
 
 /// Successive-halving schedule.
@@ -125,9 +125,7 @@ pub fn successive_halving(
 mod tests {
     use super::*;
     use crate::selection::GridSpec;
-    use sigmund_types::{
-        ActionType, Interaction, ItemId, ItemMeta, RetailerId, Taxonomy, UserId,
-    };
+    use sigmund_types::{ActionType, Interaction, ItemId, ItemMeta, RetailerId, Taxonomy, UserId};
 
     fn catalog(n: usize) -> Catalog {
         let mut t = Taxonomy::new();

@@ -1,0 +1,111 @@
+//! Model-checked concurrency tests for the Hogwild storage layer.
+//!
+//! Build and run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p sigmund-core --release loom_
+//! ```
+//!
+//! Under `--cfg loom`, `storage::AtomicF32` runs on the deterministic
+//! interleaving explorer in `sigmund_core::loom_model`, and every test body
+//! here executes under *every* thread interleaving of its atomic
+//! operations. The assertions therefore prove properties of the Hogwild
+//! design itself, not of one lucky schedule:
+//!
+//! * word-sized accesses never produce torn values,
+//! * racing read-modify-write updates may lose deltas but never invent
+//!   values outside the set reachable by some sequential interleaving,
+//! * concurrent `adagrad_step`s always leave parameters finite and within
+//!   the envelope spanned by the possible accumulator outcomes.
+
+#![cfg(loom)]
+
+use sigmund_core::loom_model::{model, thread};
+use sigmund_core::storage::Table;
+use std::sync::Arc;
+
+#[test]
+fn loom_concurrent_adds_land_or_are_lost_never_invented() {
+    let schedules = model(|| {
+        let t = Arc::new(Table::zeros(1, 1));
+        let t1 = Arc::clone(&t);
+        let h = thread::spawn(move || {
+            t1.row(0)[0].add(1.0);
+        });
+        t.row(0)[0].add(2.0);
+        h.join();
+        let v = t.row(0)[0].load();
+        // Sequential outcomes: 3.0 (both land). Racy outcomes: one add's
+        // load/store pair straddles the other's store, dropping it — 1.0 or
+        // 2.0. Nothing else is reachable.
+        assert!(
+            v == 3.0 || v == 1.0 || v == 2.0,
+            "impossible Hogwild outcome: {v}"
+        );
+    });
+    // Each add is a load + store (2 scheduling points per thread), so there
+    // must be several distinct interleavings, including lossy ones.
+    assert!(schedules > 1, "explorer found only {schedules} schedule(s)");
+}
+
+#[test]
+fn loom_reader_never_sees_torn_value() {
+    model(|| {
+        let t = Arc::new(Table::zeros(1, 1));
+        let t1 = Arc::clone(&t);
+        let h = thread::spawn(move || {
+            // -1.0f32 and 1.0f32 differ in many bits; a torn write would
+            // surface as some third bit pattern.
+            t1.row(0)[0].store(-1.0);
+            t1.row(0)[0].store(1.0);
+        });
+        let seen = t.row(0)[0].load();
+        h.join();
+        assert!(
+            seen == 0.0 || seen == -1.0 || seen == 1.0,
+            "torn read: {seen} (bits {:08x})",
+            seen.to_bits()
+        );
+        assert_eq!(t.row(0)[0].load(), 1.0, "final store must win");
+    });
+}
+
+#[test]
+fn loom_concurrent_adagrad_steps_stay_finite_and_bounded() {
+    let schedules = model(|| {
+        let t = Arc::new(Table::zeros(1, 1));
+        let t1 = Arc::clone(&t);
+        let h = thread::spawn(move || {
+            t1.adagrad_step(0, &[1.0], 0.1, 0.0);
+        });
+        t.adagrad_step(0, &[1.0], 0.1, 0.0);
+        h.join();
+
+        let v = t.row(0)[0].load();
+        let acc = t.adagrad_acc(0);
+        assert!(v.is_finite(), "parameter diverged: {v}");
+        // The accumulator takes two racy +1.0 adds: 2.0 sequentially, 1.0
+        // when one add is lost. Never 0, never more than 2.
+        assert!(acc == 1.0 || acc == 2.0, "impossible accumulator: {acc}");
+        // Each visible step subtracts lr / sqrt(acc_seen + eps) with
+        // acc_seen in {1, 2}; between one surviving small step and two full
+        // steps the parameter must land in [-0.21, -0.07].
+        assert!(
+            (-0.21..=-0.07).contains(&v),
+            "parameter outside Hogwild envelope: {v} (acc {acc})"
+        );
+    });
+    // 6 atomic ops per step and two threads: hundreds of interleavings.
+    assert!(schedules > 100, "only {schedules} schedules explored");
+}
+
+#[test]
+fn loom_single_thread_step_is_exact() {
+    model(|| {
+        let t = Table::zeros(1, 1);
+        t.adagrad_step(0, &[1.0], 0.1, 0.0);
+        let expected = -0.1 / (1.0f32 + 1e-6).sqrt();
+        assert_eq!(t.row(0)[0].load(), expected);
+        assert_eq!(t.adagrad_acc(0), 1.0);
+    });
+}

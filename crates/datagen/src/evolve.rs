@@ -81,8 +81,7 @@ pub fn evolve_day(data: &mut RetailerData, spec: &EvolutionSpec) -> DayDelta {
     let mut new_items = Vec::with_capacity(n_new);
     for _ in 0..n_new {
         let leaf = data.leaves[rng.random_range(0..data.leaves.len())];
-        let brand = if data.spec.n_brands > 0 && rng.random::<f64>() < data.spec.brand_coverage
-        {
+        let brand = if data.spec.n_brands > 0 && rng.random::<f64>() < data.spec.brand_coverage {
             Some(BrandId(rng.random_range(0..data.spec.n_brands)))
         } else {
             None
@@ -92,8 +91,7 @@ pub fn evolve_day(data: &mut RetailerData, spec: &EvolutionSpec) -> DayDelta {
         } else {
             None
         };
-        let facet = if data.spec.n_facets > 0 && rng.random::<f64>() < data.spec.facet_coverage
-        {
+        let facet = if data.spec.n_facets > 0 && rng.random::<f64>() < data.spec.facet_coverage {
             Some(FacetId(rng.random_range(0..data.spec.n_facets)))
         } else {
             None
@@ -133,8 +131,7 @@ pub fn evolve_day(data: &mut RetailerData, spec: &EvolutionSpec) -> DayDelta {
     for i in 0..catalog.len() {
         if let Some(p) = catalog.meta(ItemId::from_index(i)).price {
             if rng.random::<f64>() < spec.reprice_rate {
-                let delta = 1.0
-                    + (rng.random::<f32>() * 2.0 - 1.0) * spec.reprice_magnitude as f32;
+                let delta = 1.0 + (rng.random::<f32>() * 2.0 - 1.0) * spec.reprice_magnitude as f32;
                 price_updates.push((i, (p * delta).max(1.0)));
                 repriced.push(ItemId::from_index(i));
             }
@@ -144,8 +141,7 @@ pub fn evolve_day(data: &mut RetailerData, spec: &EvolutionSpec) -> DayDelta {
 
     // --- new users --------------------------------------------------------
     let n_users_before = truth.user_vecs.len();
-    let n_new_users =
-        ((n_users_before as f64 * spec.new_user_rate).round() as usize).max(1);
+    let n_new_users = ((n_users_before as f64 * spec.new_user_rate).round() as usize).max(1);
     for _ in 0..n_new_users {
         let k = rng.random_range(1..=3.min(data.leaves.len()));
         let mut prefs = Vec::with_capacity(k);
@@ -194,8 +190,7 @@ pub fn evolve_day(data: &mut RetailerData, spec: &EvolutionSpec) -> DayDelta {
         &mut rng,
     );
     // Drop events on out-of-stock items and shift time.
-    let stockout_set: std::collections::HashSet<u32> =
-        stockouts.iter().map(|i| i.0).collect();
+    let stockout_set: std::collections::HashSet<u32> = stockouts.iter().map(|i| i.0).collect();
     today.retain(|e| !stockout_set.contains(&e.item.0));
     let new_events = today.len();
     for e in today.iter_mut() {
@@ -278,11 +273,7 @@ mod tests {
     #[test]
     fn repricing_moves_prices_boundedly() {
         let mut data = base();
-        let before: Vec<Option<f32>> = data
-            .catalog
-            .iter()
-            .map(|(_, m)| m.price)
-            .collect();
+        let before: Vec<Option<f32>> = data.catalog.iter().map(|(_, m)| m.price).collect();
         let spec = EvolutionSpec {
             reprice_rate: 1.0,
             reprice_magnitude: 0.2,

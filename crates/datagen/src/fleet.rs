@@ -7,8 +7,8 @@
 //! per-retailer model-selection experiments depend on.
 
 use crate::retailer::{RetailerData, RetailerSpec};
-use rand::rngs::StdRng;
 use rand::prelude::*;
+use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use sigmund_types::RetailerId;
 

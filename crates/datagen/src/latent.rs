@@ -7,8 +7,8 @@
 //! taxonomy really does carry signal, which is what makes the paper's
 //! hierarchical-feature claims testable.
 
-use rand::rngs::StdRng;
 use rand::prelude::*;
+use rand::rngs::StdRng;
 use sigmund_types::{Catalog, CategoryId, ItemId, UserId};
 
 /// Dimensionality of the ground-truth latent space (not the model's factor

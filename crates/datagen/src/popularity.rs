@@ -55,7 +55,9 @@ impl ZipfSampler {
     }
 
     /// Probability mass of a rank.
+    #[allow(clippy::expect_used)]
     pub fn pmf(&self, rank: usize) -> f64 {
+        // xtask: allow(panic-surface) — `new` asserts n > 0, so the table is never empty
         let total = *self.cumulative.last().expect("non-empty");
         let lo = if rank == 0 {
             0.0
@@ -66,7 +68,9 @@ impl ZipfSampler {
     }
 
     /// Draws a rank.
+    #[allow(clippy::expect_used)]
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        // xtask: allow(panic-surface) — `new` asserts n > 0, so the table is never empty
         let total = *self.cumulative.last().expect("non-empty");
         let x: f64 = rng.random_range(0.0..total);
         // partition_point returns the first index with cumulative > x.

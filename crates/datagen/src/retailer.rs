@@ -3,11 +3,9 @@
 use crate::latent::GroundTruth;
 use crate::sessions::{generate_sessions, SessionParams};
 use crate::taxonomy_gen::TaxonomySpec;
-use rand::rngs::StdRng;
 use rand::prelude::*;
-use sigmund_types::{
-    BrandId, Catalog, CategoryId, FacetId, Interaction, ItemMeta, RetailerId,
-};
+use rand::rngs::StdRng;
+use sigmund_types::{BrandId, Catalog, CategoryId, FacetId, Interaction, ItemMeta, RetailerId};
 
 /// Full specification of one synthetic retailer.
 #[derive(Debug, Clone)]

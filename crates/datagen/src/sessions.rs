@@ -13,8 +13,8 @@
 use crate::latent::GroundTruth;
 use crate::popularity::ZipfSampler;
 use crate::retailer::RetailerSpec;
-use rand::rngs::StdRng;
 use rand::prelude::*;
+use rand::rngs::StdRng;
 use sigmund_types::{
     sort_for_training, ActionType, Catalog, CategoryId, Interaction, ItemId, UserId,
 };
@@ -144,7 +144,7 @@ pub fn generate_sessions(
         let mut t: u64 = 0;
         for _ in 0..n_sessions {
             t += 10_000; // sessions are well separated in time
-            // Re-purchases due this session come first.
+                         // Re-purchases due this session come first.
             let mut i = 0;
             while i < pending_repurchase.len() {
                 if rng.random::<f64>() < p.repurchase_prob {
@@ -195,12 +195,7 @@ pub fn generate_sessions(
                         events.push(Interaction::new(user, item, ActionType::Cart, t));
                         if rng.random::<f64>() < p.conversion_base * 2.0 * boost {
                             t += 1;
-                            events.push(Interaction::new(
-                                user,
-                                item,
-                                ActionType::Conversion,
-                                t,
-                            ));
+                            events.push(Interaction::new(user, item, ActionType::Conversion, t));
                             let cat = catalog.category(item);
                             if is_consumable[cat.index()] {
                                 pending_repurchase.push((item, t));

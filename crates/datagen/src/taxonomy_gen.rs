@@ -1,7 +1,7 @@
 //! Random product-taxonomy generation.
 
-use rand::rngs::StdRng;
 use rand::prelude::*;
+use rand::rngs::StdRng;
 use sigmund_types::{CategoryId, Taxonomy};
 
 /// Shape parameters for a generated taxonomy tree.
@@ -33,7 +33,10 @@ impl TaxonomySpec {
     /// Panics if `min_branch == 0` or `min_branch > max_branch`.
     pub fn generate(&self, seed: u64) -> (Taxonomy, Vec<CategoryId>) {
         assert!(self.min_branch >= 1, "branching factor must be >= 1");
-        assert!(self.min_branch <= self.max_branch, "min_branch > max_branch");
+        assert!(
+            self.min_branch <= self.max_branch,
+            "min_branch > max_branch"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut t = Taxonomy::new();
         let mut frontier = vec![t.root()];

@@ -1,3 +1,4 @@
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 //! # sigmund-dfs
 //!
@@ -158,7 +159,11 @@ impl Dfs {
 
     /// Total bytes stored.
     pub fn total_bytes(&self) -> u64 {
-        self.files.read().values().map(|e| e.data.len() as u64).sum()
+        self.files
+            .read()
+            .values()
+            .map(|e| e.data.len() as u64)
+            .sum()
     }
 
     /// Traffic counters so far.

@@ -157,9 +157,8 @@ pub fn run_map_job<T: MapTask>(task: &T, n_splits: usize, cfg: &JobConfig) -> Jo
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // Machines become free at these times (min-heap keyed by quantized time).
-    let mut free_at: BinaryHeap<Reverse<(u64, usize)>> = (0..n_machines)
-        .map(|m| Reverse((0u64, m)))
-        .collect();
+    let mut free_at: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..n_machines).map(|m| Reverse((0u64, m))).collect();
     let quantize = |t: f64| -> u64 { (t * 1e9).round() as u64 };
 
     let mut pending: VecDeque<(usize, u32)> = (0..n_splits).map(|s| (s, 1)).collect();
@@ -189,6 +188,8 @@ pub fn run_map_job<T: MapTask>(task: &T, n_splits: usize, cfg: &JobConfig) -> Jo
     });
 
     while let Some((split, attempt)) = pending.pop_front() {
+        #[allow(clippy::expect_used)]
+        // xtask: allow(panic-surface) — heap holds exactly n_machines entries (asserted > 0) and every pop is re-pushed below
         let Reverse((qt, machine)) = free_at.pop().expect("at least one machine");
         let now = qt as f64 / 1e9;
         let budget = cfg
@@ -424,7 +425,10 @@ mod tests {
         c.max_attempts = Some(25);
         let stats = run_map_job(&task, 2, &c);
         assert_eq!(stats.failed, vec![TaskId(0)]);
-        assert!(stats.per_split[1].finish > 0.0, "small split still completes");
+        assert!(
+            stats.per_split[1].finish > 0.0,
+            "small split still completes"
+        );
         assert!(stats.preemptions >= 25);
     }
 

@@ -78,8 +78,11 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        let out: Vec<(u32, u32)> =
-            map_reduce(&Vec::<u32>::new(), |_, _| {}, |_, vs: Vec<u32>| vs.len() as u32);
+        let out: Vec<(u32, u32)> = map_reduce(
+            &Vec::<u32>::new(),
+            |_, _| {},
+            |_, vs: Vec<u32>| vs.len() as u32,
+        );
         assert!(out.is_empty());
     }
 

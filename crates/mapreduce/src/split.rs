@@ -58,7 +58,8 @@ pub fn chunk_weighted<T: Clone>(
             out.push(Vec::new());
             acc = 0.0;
         }
-        out.last_mut().expect("non-empty").push(it.clone());
+        let last = out.len() - 1;
+        out[last].push(it.clone());
         acc += w;
     }
     while out.len() < n_chunks {

@@ -26,13 +26,13 @@ pub struct Weighted<T> {
 pub fn partition_greedy<T: Clone>(items: &[Weighted<T>], n_bins: usize) -> Vec<Vec<Weighted<T>>> {
     assert!(n_bins > 0, "need at least one bin");
     let mut sorted: Vec<&Weighted<T>> = items.iter().collect();
-    sorted.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| b.weight.total_cmp(&a.weight));
     let mut bins: Vec<Vec<Weighted<T>>> = vec![Vec::new(); n_bins];
     let mut loads = vec![0.0f64; n_bins];
     for w in sorted {
         let lightest = (0..n_bins)
-            .min_by(|&a, &b| loads[a].partial_cmp(&loads[b]).unwrap())
-            .expect("n_bins > 0");
+            .min_by(|&a, &b| loads[a].total_cmp(&loads[b]))
+            .unwrap_or(0);
         loads[lightest] += w.weight;
         bins[lightest].push(w.clone());
     }

@@ -19,7 +19,7 @@ use sigmund_cluster::{CellSpec, CostMeter, PreemptionModel, Priority};
 use sigmund_core::prelude::*;
 use sigmund_dfs::Dfs;
 use sigmund_mapreduce::{permute, run_map_job, JobConfig, JobStats};
-use sigmund_types::{Catalog, ConfigRecord, Interaction, ItemId, RetailerId};
+use sigmund_types::{Catalog, ConfigRecord, Interaction, ItemId, RetailerId, SigmundError};
 use std::collections::HashMap;
 
 /// Retry budget for pipeline map tasks (real clusters cap retries; a split
@@ -131,23 +131,38 @@ impl SigmundService {
 
     /// Signs a retailer up: publishes its catalog and events and schedules a
     /// full grid for the next run.
-    pub fn onboard(&mut self, catalog: &Catalog, events: &[Interaction]) {
+    ///
+    /// # Errors
+    /// [`SigmundError::Invalid`] if the catalog fails to serialize; the
+    /// retailer is not onboarded in that case.
+    pub fn onboard(
+        &mut self,
+        catalog: &Catalog,
+        events: &[Interaction],
+    ) -> Result<(), SigmundError> {
         let home = self.cfg.cells[self.retailers.len() % self.cfg.cells.len()].cell;
-        data::publish_retailer(&self.dfs, home, catalog, events)
-            .expect("catalog serialization cannot fail");
+        data::publish_retailer(&self.dfs, home, catalog, events)?;
         self.retailers.push((catalog.retailer, catalog.len()));
         self.new_since_last_run.push(catalog.retailer);
+        Ok(())
     }
 
     /// Replaces a retailer's event log (the nightly data refresh). The
     /// catalog may also have grown; republish both.
-    pub fn refresh_data(&mut self, catalog: &Catalog, events: &[Interaction]) {
+    ///
+    /// # Errors
+    /// [`SigmundError::Invalid`] if the catalog fails to serialize; the
+    /// previously published data is left untouched in that case.
+    pub fn refresh_data(
+        &mut self,
+        catalog: &Catalog,
+        events: &[Interaction],
+    ) -> Result<(), SigmundError> {
         let home = self
             .dfs
             .home_of(&data::train_path(catalog.retailer))
             .unwrap_or(self.cfg.cells[0].cell);
-        data::publish_retailer(&self.dfs, home, catalog, events)
-            .expect("catalog serialization cannot fail");
+        data::publish_retailer(&self.dfs, home, catalog, events)?;
         if let Some(slot) = self
             .retailers
             .iter_mut()
@@ -155,6 +170,7 @@ impl SigmundService {
         {
             slot.1 = catalog.len();
         }
+        Ok(())
     }
 
     /// Retailers currently onboarded.
@@ -163,7 +179,12 @@ impl SigmundService {
     }
 
     /// Runs one daily cycle.
-    pub fn run_day(&mut self) -> DayReport {
+    ///
+    /// # Errors
+    /// [`SigmundError::Invalid`] if materialized recommendations fail to
+    /// serialize during batch publish (the day's outputs are discarded and
+    /// the day counter does not advance).
+    pub fn run_day(&mut self) -> Result<DayReport, SigmundError> {
         let day_seed = self.cfg.seed.wrapping_add(self.day as u64 * 0x9E37);
         // --- sweep --------------------------------------------------------
         let new_catalogs: Vec<Catalog> = self
@@ -213,8 +234,7 @@ impl SigmundService {
                     .migrate(&data::train_path(w.item), self.cfg.cells[ci].cell);
             }
         }
-        let mut per_cell_records: Vec<Vec<ConfigRecord>> =
-            vec![Vec::new(); self.cfg.cells.len()];
+        let mut per_cell_records: Vec<Vec<ConfigRecord>> = vec![Vec::new(); self.cfg.cells.len()];
         for r in records {
             let ci = *cell_of.get(&r.model.retailer).unwrap_or(&0);
             per_cell_records[ci].push(r);
@@ -282,18 +302,11 @@ impl SigmundService {
                 continue;
             }
             let cell = self.cfg.cells[ci].clone();
-            let counts: Vec<(RetailerId, usize)> = bin
-                .iter()
-                .map(|w| (w.item, w.weight as usize))
-                .collect();
+            let counts: Vec<(RetailerId, usize)> =
+                bin.iter().map(|w| (w.item, w.weight as usize)).collect();
             let splits = make_splits(&counts, self.cfg.items_per_split);
-            let mut job = InferenceJob::new(
-                &self.dfs,
-                cell.cell,
-                splits,
-                best.clone(),
-                self.cfg.cost,
-            );
+            let mut job =
+                InferenceJob::new(&self.dfs, cell.cell, splits, best.clone(), self.cfg.cost);
             job.k = self.cfg.rec_k;
             let stats = run_map_job(
                 &job,
@@ -329,7 +342,8 @@ impl SigmundService {
             }
         }
         for (r, v) in &recs {
-            let json = serde_json::to_vec(v).expect("recs serialize");
+            let json = serde_json::to_vec(v)
+                .map_err(|e| SigmundError::Invalid(format!("recs serialize: {e}")))?;
             self.dfs
                 .write(self.cfg.cells[0].cell, &data::recs_path(*r), json.into());
         }
@@ -348,7 +362,7 @@ impl SigmundService {
             infer_stats,
         };
         self.day += 1;
-        report
+        Ok(report)
     }
 }
 
@@ -364,7 +378,11 @@ pub fn load_recs(
 }
 
 /// Convenience: look up the materialized recommendations for an item.
-pub fn recs_for_item(recs: &HashMap<RetailerId, Vec<ItemRecs>>, r: RetailerId, item: ItemId) -> Option<&ItemRecs> {
+pub fn recs_for_item(
+    recs: &HashMap<RetailerId, Vec<ItemRecs>>,
+    r: RetailerId,
+    item: ItemId,
+) -> Option<&ItemRecs> {
     recs.get(&r).and_then(|v| v.get(item.index()))
 }
 
@@ -408,9 +426,9 @@ mod tests {
         let mut svc = service();
         for r in 0..3 {
             let d = small_retailer(r, 100 + r as u64);
-            svc.onboard(&d.catalog, &d.events);
+            svc.onboard(&d.catalog, &d.events).unwrap();
         }
-        let report = svc.run_day();
+        let report = svc.run_day().unwrap();
         assert_eq!(report.day, 0);
         assert_eq!(report.models_trained, 3, "one config per retailer");
         assert_eq!(report.best.len(), 3);
@@ -431,9 +449,9 @@ mod tests {
     fn second_day_is_incremental_and_cheaper() {
         let mut svc = service();
         let d = small_retailer(0, 7);
-        svc.onboard(&d.catalog, &d.events);
-        let day0 = svc.run_day();
-        let day1 = svc.run_day();
+        svc.onboard(&d.catalog, &d.events).unwrap();
+        let day0 = svc.run_day().unwrap();
+        let day1 = svc.run_day().unwrap();
         assert_eq!(day1.day, 1);
         // keep_top=3 but only 1 config exists → 1 incremental model.
         assert_eq!(day1.models_trained, 1);
@@ -450,11 +468,11 @@ mod tests {
     fn new_retailer_mid_stream_gets_full_grid() {
         let mut svc = service();
         let d0 = small_retailer(0, 1);
-        svc.onboard(&d0.catalog, &d0.events);
-        svc.run_day();
+        svc.onboard(&d0.catalog, &d0.events).unwrap();
+        svc.run_day().unwrap();
         let d1 = small_retailer(1, 2);
-        svc.onboard(&d1.catalog, &d1.events);
-        let report = svc.run_day();
+        svc.onboard(&d1.catalog, &d1.events).unwrap();
+        let report = svc.run_day().unwrap();
         // 1 incremental (retailer 0) + full grid (1 config) for retailer 1.
         assert_eq!(report.models_trained, 2);
         assert!(report.best.contains_key(&sigmund_types::RetailerId(1)));
@@ -464,8 +482,8 @@ mod tests {
     fn recs_lookup_helper() {
         let mut svc = service();
         let d = small_retailer(0, 9);
-        svc.onboard(&d.catalog, &d.events);
-        let report = svc.run_day();
+        svc.onboard(&d.catalog, &d.events).unwrap();
+        let report = svc.run_day().unwrap();
         let r = sigmund_types::RetailerId(0);
         assert!(recs_for_item(&report.recs, r, ItemId(0)).is_some());
         assert!(recs_for_item(&report.recs, r, ItemId(999)).is_none());

@@ -104,18 +104,27 @@ pub fn load_catalog(dfs: &Dfs, cell: CellId, r: RetailerId) -> Result<Catalog, S
 }
 
 /// Loads a retailer's events from the DFS.
-pub fn load_events(dfs: &Dfs, cell: CellId, r: RetailerId) -> Result<Vec<Interaction>, SigmundError> {
+pub fn load_events(
+    dfs: &Dfs,
+    cell: CellId,
+    r: RetailerId,
+) -> Result<Vec<Interaction>, SigmundError> {
     decode_events(&dfs.read(cell, &train_path(r))?)
 }
 
 /// Serializes a batch of config records to JSON lines.
-pub fn encode_config_records(records: &[ConfigRecord]) -> Bytes {
+///
+/// # Errors
+/// [`SigmundError::Invalid`] if a record fails to serialize.
+pub fn encode_config_records(records: &[ConfigRecord]) -> Result<Bytes, SigmundError> {
     let mut out = Vec::new();
     for r in records {
-        out.extend_from_slice(&serde_json::to_vec(r).expect("config record serialize"));
+        let line = serde_json::to_vec(r)
+            .map_err(|e| SigmundError::Invalid(format!("config record serialize: {e}")))?;
+        out.extend_from_slice(&line);
         out.push(b'\n');
     }
-    Bytes::from(out)
+    Ok(Bytes::from(out))
 }
 
 /// Parses a batch of config records from JSON lines.
@@ -187,7 +196,7 @@ mod tests {
         let recs: Vec<ConfigRecord> = (0..3)
             .map(|i| ConfigRecord::cold(RetailerId(1), i, HyperParams::default()))
             .collect();
-        let bytes = encode_config_records(&recs);
+        let bytes = encode_config_records(&recs).unwrap();
         let back = decode_config_records(&bytes).unwrap();
         assert_eq!(back, recs);
         assert!(decode_config_records(b"not json\n").is_err());

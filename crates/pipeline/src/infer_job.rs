@@ -34,10 +34,7 @@ pub struct InferSplit {
 
 /// Builds splits covering every item of every retailer, at most
 /// `items_per_split` items each, retailer-contiguous.
-pub fn make_splits(
-    item_counts: &[(RetailerId, usize)],
-    items_per_split: usize,
-) -> Vec<InferSplit> {
+pub fn make_splits(item_counts: &[(RetailerId, usize)], items_per_split: usize) -> Vec<InferSplit> {
     assert!(items_per_split > 0);
     let mut out = Vec::new();
     for &(retailer, n) in item_counts {
@@ -138,10 +135,9 @@ impl<'a> InferenceJob<'a> {
         if let Some(s) = self.cache.lock().get(&r) {
             return Ok(Arc::clone(s));
         }
-        let rec = self
-            .best
-            .get(&r)
-            .ok_or_else(|| sigmund_types::SigmundError::Invalid(format!("no best model for {r}")))?;
+        let rec = self.best.get(&r).ok_or_else(|| {
+            sigmund_types::SigmundError::Invalid(format!("no best model for {r}"))
+        })?;
         let catalog = data::load_catalog(self.dfs, self.cell, r)?;
         let model_raw = self.dfs.read(self.cell, &rec.model_path)?;
         let model_bytes = model_raw.len() as u64;
@@ -287,9 +283,23 @@ mod tests {
     fn make_splits_covers_all_items() {
         let splits = make_splits(&[(RetailerId(0), 25), (RetailerId(1), 5)], 10);
         assert_eq!(splits.len(), 4);
-        assert_eq!(splits[0], InferSplit { retailer: RetailerId(0), start: 0, end: 10 });
+        assert_eq!(
+            splits[0],
+            InferSplit {
+                retailer: RetailerId(0),
+                start: 0,
+                end: 10
+            }
+        );
         assert_eq!(splits[2].end, 25);
-        assert_eq!(splits[3], InferSplit { retailer: RetailerId(1), start: 0, end: 5 });
+        assert_eq!(
+            splits[3],
+            InferSplit {
+                retailer: RetailerId(1),
+                start: 0,
+                end: 5
+            }
+        );
     }
 
     #[test]
@@ -358,8 +368,13 @@ mod tests {
             start: 0,
             end: 5,
         }];
-        let job =
-            InferenceJob::new(&dfs, CellId(0), splits, HashMap::new(), CostModel::default());
+        let job = InferenceJob::new(
+            &dfs,
+            CellId(0),
+            splits,
+            HashMap::new(),
+            CostModel::default(),
+        );
         run_map_job(&job, 1, &cfg(0.0, 1));
         assert!(job.take_outputs().is_empty());
     }

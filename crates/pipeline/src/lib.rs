@@ -1,3 +1,4 @@
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 //! # sigmund-pipeline
 //!
@@ -27,7 +28,9 @@ pub mod monitor;
 pub mod sweep;
 pub mod train_job;
 
-pub use binpack::{max_bin_load, partition_greedy, partition_random, partition_round_robin, Weighted};
+pub use binpack::{
+    max_bin_load, partition_greedy, partition_random, partition_round_robin, Weighted,
+};
 pub use cost_model::CostModel;
 pub use daily::{load_recs, recs_for_item, DayReport, PipelineConfig, SigmundService};
 pub use infer_job::{make_splits, InferSplit, InferenceJob, MaterializedRec};

@@ -151,10 +151,7 @@ impl QualityMonitor {
                     let covered = recs.iter().filter(|r| !r.view_based.is_empty()).count();
                     let coverage = covered as f64 / recs.len() as f64;
                     if coverage < self.cfg.coverage_floor {
-                        alerts.push(QualityAlert::EmptyRecommendations {
-                            retailer,
-                            coverage,
-                        });
+                        alerts.push(QualityAlert::EmptyRecommendations { retailer, coverage });
                     }
                 }
             }
@@ -226,8 +223,12 @@ mod tests {
         let mut mon = QualityMonitor::new(MonitorConfig::default());
         let fleet = vec![(RetailerId(0), 10)];
         // Two good days, then a crash.
-        assert!(mon.record_day(&fleet, &report(0, &[(0, 0.3, 10, 10)])).is_empty());
-        assert!(mon.record_day(&fleet, &report(1, &[(0, 0.31, 10, 10)])).is_empty());
+        assert!(mon
+            .record_day(&fleet, &report(0, &[(0, 0.3, 10, 10)]))
+            .is_empty());
+        assert!(mon
+            .record_day(&fleet, &report(1, &[(0, 0.31, 10, 10)]))
+            .is_empty());
         let alerts = mon.record_day(&fleet, &report(2, &[(0, 0.05, 10, 10)]));
         assert!(matches!(
             alerts.as_slice(),

@@ -46,7 +46,9 @@ pub fn top_k_per_retailer(outputs: &[ConfigRecord], k: usize) -> Vec<ConfigRecor
     let mut retailers: Vec<RetailerId> = by_retailer.keys().copied().collect();
     retailers.sort();
     for retailer in retailers {
-        let mut recs = by_retailer.remove(&retailer).expect("present");
+        let Some(mut recs) = by_retailer.remove(&retailer) else {
+            continue;
+        };
         recs.sort_by(|a, b| {
             b.map_at_10()
                 .partial_cmp(&a.map_at_10())

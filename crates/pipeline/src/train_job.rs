@@ -121,7 +121,11 @@ impl MapTask for TrainJob<'_> {
 
         let catalog = &state.catalog;
         let ds = &state.dataset;
-        let ckpt = CheckpointStore::new(self.dfs, self.cell, data::checkpoint_dir(r, rec.model.config));
+        let ckpt = CheckpointStore::new(
+            self.dfs,
+            self.cell,
+            data::checkpoint_dir(r, rec.model.config),
+        );
 
         // Restore order: checkpoint (pre-empted attempt) > warm start
         // (incremental sweep) > fresh init.
@@ -174,10 +178,11 @@ impl MapTask for TrainJob<'_> {
         }
 
         let eval = Self::eval_config(catalog.len());
-        if !ctx.consume(
-            self.cost
-                .eval_seconds(ds.holdout.len(), catalog.len(), eval.sample_fraction),
-        ) {
+        if !ctx.consume(self.cost.eval_seconds(
+            ds.holdout.len(),
+            catalog.len(),
+            eval.sample_fraction,
+        )) {
             return MapStatus::Preempted;
         }
         let metrics = evaluate(&model, catalog, ds, eval);

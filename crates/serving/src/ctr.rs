@@ -192,11 +192,8 @@ mod tests {
                 .map(|j| {
                     let mean: f32 = (0..20u32)
                         .map(|u| {
-                            data.truth.affinity(
-                                &data.catalog,
-                                sigmund_types::UserId(u),
-                                ItemId(j),
-                            )
+                            data.truth
+                                .affinity(&data.catalog, sigmund_types::UserId(u), ItemId(j))
                         })
                         .sum::<f32>()
                         / 20.0;

@@ -1,3 +1,4 @@
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 //! # sigmund-serving
 //!
@@ -18,5 +19,5 @@
 pub mod ctr;
 pub mod store;
 
-pub use ctr::{simulate_ctr, CtrBucket, CtrConfig, CtrSample, bucket_by_popularity};
+pub use ctr::{bucket_by_popularity, simulate_ctr, CtrBucket, CtrConfig, CtrSample};
 pub use store::{RecSurface, ServingStats, ServingStore};

@@ -252,11 +252,7 @@ mod tests {
         store.lookup(RetailerId(7), ItemId(0), RecSurface::ViewBased);
         store.lookup(RetailerId(0), ItemId(99), RecSurface::ViewBased);
         let s = store.stats();
-        assert_eq!(
-            (s.hits, s.empties, s.misses),
-            (1, 1, 2),
-            "stats: {s:?}"
-        );
+        assert_eq!((s.hits, s.empties, s.misses), (1, 1, 2), "stats: {s:?}");
         assert!((s.hit_rate() - 0.25).abs() < 1e-12);
         store.reset_stats();
         assert_eq!(store.stats(), ServingStats::default());

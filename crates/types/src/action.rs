@@ -17,9 +17,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Derived `Ord` follows the paper's strength order because variants are
 /// declared weakest-first.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ActionType {
     /// The user viewed the item's product page.
     View,

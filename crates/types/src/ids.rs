@@ -29,7 +29,9 @@ macro_rules! define_id {
             /// # Panics
             /// Panics if `index` does not fit in `u32`.
             #[inline]
+            #[allow(clippy::expect_used)]
             pub fn from_index(index: usize) -> Self {
+                // xtask: allow(panic-surface) — overflow is a documented panic contract; ids are dense u32 indexes by invariant
                 Self(u32::try_from(index).expect("id index overflows u32"))
             }
         }

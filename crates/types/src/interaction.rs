@@ -50,7 +50,9 @@ pub fn sort_for_training(events: &mut [Interaction]) {
 /// Iterates contiguous per-user slices of an interaction log previously
 /// sorted with [`sort_for_training`].
 pub fn per_user(events: &[Interaction]) -> impl Iterator<Item = (UserId, &[Interaction])> {
-    events.chunk_by(|a, b| a.user == b.user).map(|chunk| (chunk[0].user, chunk))
+    events
+        .chunk_by(|a, b| a.user == b.user)
+        .map(|chunk| (chunk[0].user, chunk))
 }
 
 #[cfg(test)]

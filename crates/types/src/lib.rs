@@ -1,3 +1,4 @@
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 //! # sigmund-types
 //!
@@ -22,9 +23,7 @@ pub mod taxonomy;
 
 pub use action::ActionType;
 pub use catalog::{Catalog, ItemMeta};
-pub use config::{
-    ConfigRecord, FeatureSwitches, HyperParams, ModelMetrics, NegativeSamplerKind,
-};
+pub use config::{ConfigRecord, FeatureSwitches, HyperParams, ModelMetrics, NegativeSamplerKind};
 pub use error::{Result, SigmundError};
 pub use ids::{
     BrandId, CategoryId, CellId, FacetId, ItemId, MachineId, ModelId, RetailerId, TaskId, UserId,

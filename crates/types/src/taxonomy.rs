@@ -64,7 +64,10 @@ impl Taxonomy {
     /// # Panics
     /// Panics if `parent` is not an existing category.
     pub fn add_child(&mut self, parent: CategoryId) -> CategoryId {
-        assert!(parent.index() < self.parent.len(), "unknown parent category");
+        assert!(
+            parent.index() < self.parent.len(),
+            "unknown parent category"
+        );
         let id = CategoryId::from_index(self.parent.len());
         self.parent.push(parent);
         self.depth.push(self.depth[parent.index()] + 1);

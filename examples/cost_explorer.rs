@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Cost explorer: the pre-emptible-VM economics of Section II-B / IV-B3,
 //! interactively sweepable. For a training-shaped task mix it prints, per
 //! pre-emption rate, the cost and makespan of production VMs vs pre-emptible
@@ -59,10 +62,7 @@ fn main() {
             ),
             (
                 "preempt+ckpt",
-                tasks(
-                    Priority::Preemptible,
-                    CheckpointPolicy::TimeInterval(300.0),
-                ),
+                tasks(Priority::Preemptible, CheckpointPolicy::TimeInterval(300.0)),
             ),
         ];
         for (name, ts) in variants {

@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Incremental daily refresh (Section III-C3): the same retailer's world
 //! evolves day over day — new items, stockouts, price changes, new users,
 //! fresh traffic — and the model is warm-started from yesterday's parameters

@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Multi-tenant fleet: the "recommendations as a service" scenario from the
 //! paper's introduction — many heterogeneous retailers, one pipeline, fully
 //! separate models, daily batch publishing into the serving store.
@@ -52,11 +55,11 @@ fn main() {
         ..Default::default()
     });
     for d in &data {
-        svc.onboard(&d.catalog, &d.events);
+        svc.onboard(&d.catalog, &d.events).unwrap();
     }
 
     // Day 0: full sweep for everyone.
-    let report = svc.run_day();
+    let report = svc.run_day().unwrap();
     println!(
         "\nday 0: {} models trained; train makespan {:.0}s, inference {:.0}s (virtual); \
          cost {:.0} units; {} pre-emptions absorbed",
@@ -100,7 +103,7 @@ fn main() {
     }
 
     // Day 1: incremental — only the top-3 configs per retailer retrain.
-    let report1 = svc.run_day();
+    let report1 = svc.run_day().unwrap();
     println!(
         "\nday 1 (incremental): {} models, cost {:.0} units (vs {:.0} on day 0)",
         report1.models_trained,

@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! The Section VII extensions in action: funnel-stage tailored serving,
 //! calibrated relevance thresholds (show nothing rather than junk), and the
 //! fleet quality monitor.
@@ -48,25 +51,22 @@ fn main() {
                 (ItemId(10), ActionType::View),
             ],
         ),
-        (
-            "focused shopper (repeated searches, one family)",
-            {
-                // Pick three items that genuinely share a category.
-                let cat0 = data.catalog.category(ItemId(0));
-                let same: Vec<ItemId> = data
-                    .catalog
-                    .item_ids()
-                    .filter(|i| data.catalog.category(*i) == cat0)
-                    .take(3)
-                    .collect();
-                vec![
-                    (same[0], ActionType::View),
-                    (same[1], ActionType::Search),
-                    (same[2], ActionType::View),
-                    (same[1], ActionType::Search),
-                ]
-            },
-        ),
+        ("focused shopper (repeated searches, one family)", {
+            // Pick three items that genuinely share a category.
+            let cat0 = data.catalog.category(ItemId(0));
+            let same: Vec<ItemId> = data
+                .catalog
+                .item_ids()
+                .filter(|i| data.catalog.category(*i) == cat0)
+                .take(3)
+                .collect();
+            vec![
+                (same[0], ActionType::View),
+                (same[1], ActionType::Search),
+                (same[2], ActionType::View),
+                (same[1], ActionType::Search),
+            ]
+        }),
         (
             "just purchased",
             vec![

@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Whole-system determinism: every layer is seeded and clock-free, so two
 //! identical runs agree bit for bit — with one deliberate exception:
 //! **Hogwild training with >1 thread is racy by design** (lost updates
@@ -47,11 +50,11 @@ fn run_service(preempt: f64) -> Vec<(u32, u64, String)> {
         ..Default::default()
     });
     for d in fleet.generate() {
-        svc.onboard(&d.catalog, &d.events);
+        svc.onboard(&d.catalog, &d.events).unwrap();
     }
     let mut digest = Vec::new();
     for _ in 0..2 {
-        let report = svc.run_day();
+        let report = svc.run_day().unwrap();
         let mut retailers: Vec<&RetailerId> = report.recs.keys().collect();
         retailers.sort();
         for r in retailers {
@@ -155,16 +158,13 @@ fn workload_generation_is_cross_instance_stable() {
     // The exact event stream backs committed experiment numbers; keep a
     // fingerprint so accidental generator changes are caught loudly.
     let data = RetailerSpec::small(RetailerId(0), 42).generate();
-    let fp: u64 = data
-        .events
-        .iter()
-        .fold(0u64, |acc, e| {
-            acc.wrapping_mul(1_000_003)
-                .wrapping_add(e.user.0 as u64)
-                .wrapping_mul(1_000_033)
-                .wrapping_add(e.item.0 as u64)
-                .wrapping_add(e.action as u64)
-        });
+    let fp: u64 = data.events.iter().fold(0u64, |acc, e| {
+        acc.wrapping_mul(1_000_003)
+            .wrapping_add(e.user.0 as u64)
+            .wrapping_mul(1_000_033)
+            .wrapping_add(e.item.0 as u64)
+            .wrapping_add(e.action as u64)
+    });
     let again: u64 = RetailerSpec::small(RetailerId(0), 42)
         .generate()
         .events

@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Full-service end-to-end tests: fleet → daily pipeline → serving → CTR.
 
 use sigmund_cluster::{CellSpec, PreemptionModel};
@@ -45,9 +48,9 @@ fn fleet_day_produces_recs_for_every_retailer() {
     let data = fleet.generate();
     let mut svc = service(PreemptionModel::NONE);
     for d in &data {
-        svc.onboard(&d.catalog, &d.events);
+        svc.onboard(&d.catalog, &d.events).unwrap();
     }
-    let report = svc.run_day();
+    let report = svc.run_day().unwrap();
     assert_eq!(report.best.len(), 4);
     for d in &data {
         let recs = &report.recs[&d.retailer()];
@@ -67,14 +70,14 @@ fn preemption_changes_cost_but_not_results() {
     let d = RetailerSpec::sized(RetailerId(0), 40, 60, 5).generate();
 
     let mut calm = service(PreemptionModel::NONE);
-    calm.onboard(&d.catalog, &d.events);
-    let calm_report = calm.run_day();
+    calm.onboard(&d.catalog, &d.events).unwrap();
+    let calm_report = calm.run_day().unwrap();
 
     let mut stormy = service(PreemptionModel {
         rate_per_hour: 3600.0, // ~1 pre-emption per virtual second of runtime
     });
-    stormy.onboard(&d.catalog, &d.events);
-    let stormy_report = stormy.run_day();
+    stormy.onboard(&d.catalog, &d.events).unwrap();
+    let stormy_report = stormy.run_day().unwrap();
 
     // Same models trained, same retailers served.
     assert_eq!(calm_report.models_trained, stormy_report.models_trained);
@@ -96,8 +99,8 @@ fn preemption_changes_cost_but_not_results() {
 fn serving_store_integrates_with_pipeline_output() {
     let d = RetailerSpec::sized(RetailerId(0), 30, 50, 9).generate();
     let mut svc = service(PreemptionModel::NONE);
-    svc.onboard(&d.catalog, &d.events);
-    let report = svc.run_day();
+    svc.onboard(&d.catalog, &d.events).unwrap();
+    let report = svc.run_day().unwrap();
 
     let store = ServingStore::new();
     store.publish(report.recs.clone());
@@ -109,7 +112,7 @@ fn serving_store_integrates_with_pipeline_output() {
     assert!(recs.iter().all(|(i, _)| *i != ItemId(0)));
 
     // Next day's batch swaps atomically.
-    let report2 = svc.run_day();
+    let report2 = svc.run_day().unwrap();
     store.publish(report2.recs.clone());
     assert_eq!(store.generation(), 2);
 }
@@ -118,8 +121,8 @@ fn serving_store_integrates_with_pipeline_output() {
 fn ctr_simulation_runs_on_pipeline_output() {
     let d = RetailerSpec::sized(RetailerId(0), 60, 120, 13).generate();
     let mut svc = service(PreemptionModel::NONE);
-    svc.onboard(&d.catalog, &d.events);
-    let report = svc.run_day();
+    svc.onboard(&d.catalog, &d.events).unwrap();
+    let report = svc.run_day().unwrap();
     let table = &report.recs[&RetailerId(0)];
 
     let samples = simulate_ctr(
@@ -140,17 +143,20 @@ fn ctr_simulation_runs_on_pipeline_output() {
 fn multi_day_service_remains_stable() {
     let d = RetailerSpec::sized(RetailerId(0), 35, 60, 23).generate();
     let mut svc = service(PreemptionModel::typical());
-    svc.onboard(&d.catalog, &d.events);
+    svc.onboard(&d.catalog, &d.events).unwrap();
     let mut last_map = 0.0;
     for day in 0..3 {
-        let report = svc.run_day();
+        let report = svc.run_day().unwrap();
         assert_eq!(report.day, day);
         let best = &report.best[&RetailerId(0)];
         let map = best.metrics.unwrap().map_at_10;
         assert!(map.is_finite() && map >= 0.0);
         last_map = map;
     }
-    assert!(last_map > 0.0, "after 3 days the model should rank above zero");
+    assert!(
+        last_map > 0.0,
+        "after 3 days the model should rank above zero"
+    );
 }
 
 #[test]
@@ -161,8 +167,8 @@ fn evolving_world_flows_through_daily_refresh() {
     use sigmund_datagen::{evolve_day, EvolutionSpec};
     let mut world = RetailerSpec::sized(RetailerId(0), 50, 80, 71).generate();
     let mut svc = service(PreemptionModel::NONE);
-    svc.onboard(&world.catalog, &world.events);
-    let day0 = svc.run_day();
+    svc.onboard(&world.catalog, &world.events).unwrap();
+    let day0 = svc.run_day().unwrap();
     let items_day0 = world.catalog.len();
     assert_eq!(day0.recs[&RetailerId(0)].len(), items_day0);
 
@@ -176,8 +182,8 @@ fn evolving_world_flows_through_daily_refresh() {
             },
         );
         assert!(!delta.new_items.is_empty());
-        svc.refresh_data(&world.catalog, &world.events);
-        let report = svc.run_day();
+        svc.refresh_data(&world.catalog, &world.events).unwrap();
+        let report = svc.run_day().unwrap();
         let recs = &report.recs[&RetailerId(0)];
         assert_eq!(
             recs.len(),
@@ -196,16 +202,12 @@ fn evolving_world_flows_through_daily_refresh() {
 fn purchase_surface_served_after_conversion_context() {
     let d = RetailerSpec::sized(RetailerId(0), 40, 80, 29).generate();
     let mut svc = service(PreemptionModel::NONE);
-    svc.onboard(&d.catalog, &d.events);
-    let report = svc.run_day();
+    svc.onboard(&d.catalog, &d.events).unwrap();
+    let report = svc.run_day().unwrap();
     let store = ServingStore::new();
     store.publish(report.recs.clone());
     let item = ItemId(0);
-    let after_buy = store.serve(
-        RetailerId(0),
-        &[(item, ActionType::Conversion)],
-        None,
-    );
+    let after_buy = store.serve(RetailerId(0), &[(item, ActionType::Conversion)], None);
     let explicit = store.lookup(RetailerId(0), item, RecSurface::PurchaseBased);
     assert_eq!(after_buy, explicit, "conversion context serves complements");
 }

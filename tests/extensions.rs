@@ -1,19 +1,18 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Integration tests for the Section VII extension features: calibration,
 //! funnel tailoring, the successive-halving tuner, and quality monitoring —
 //! exercised on generated workloads end to end.
 
 use sigmund_core::prelude::*;
 use sigmund_datagen::RetailerSpec;
-use sigmund_pipeline::{MonitorConfig, PipelineConfig, QualityAlert, QualityMonitor, SigmundService};
+use sigmund_pipeline::{
+    MonitorConfig, PipelineConfig, QualityAlert, QualityMonitor, SigmundService,
+};
 use sigmund_types::*;
 
-fn trained_retailer(
-    seed: u64,
-) -> (
-    sigmund_datagen::RetailerData,
-    Dataset,
-    BprModel,
-) {
+fn trained_retailer(seed: u64) -> (sigmund_datagen::RetailerData, Dataset, BprModel) {
     let data = RetailerSpec::sized(RetailerId(0), 200, 300, seed).generate();
     let ds = Dataset::build(data.catalog.len(), data.events.clone(), true);
     let hp = HyperParams {
@@ -169,8 +168,8 @@ fn serving_stats_surface_coverage_problems() {
         items_per_split: 15,
         ..Default::default()
     });
-    svc.onboard(&d.catalog, &d.events);
-    let report = svc.run_day();
+    svc.onboard(&d.catalog, &d.events).unwrap();
+    let report = svc.run_day().unwrap();
     let store = ServingStore::new();
     store.publish(report.recs.clone());
     // Healthy lookups are hits; unknown retailers are misses.
@@ -201,11 +200,11 @@ fn monitor_watches_a_real_service() {
         items_per_split: 20,
         ..Default::default()
     });
-    svc.onboard(&d.catalog, &d.events);
+    svc.onboard(&d.catalog, &d.events).unwrap();
     let mut monitor = QualityMonitor::new(MonitorConfig::default());
     for _ in 0..3 {
         let onboarded = svc.retailers().to_vec();
-        let report = svc.run_day();
+        let report = svc.run_day().unwrap();
         let alerts = monitor.record_day(&onboarded, &report);
         // A healthy steady-state service raises no regression alerts.
         assert!(

@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Failure injection: the manageability story of Section I ("understand and
 //! debug problems efficiently") only holds if corrupt or missing state
 //! degrades gracefully instead of wedging the daily pipeline.
@@ -9,8 +12,8 @@ use sigmund_datagen::RetailerSpec;
 use sigmund_dfs::Dfs;
 use sigmund_mapreduce::{run_map_job, JobConfig};
 use sigmund_pipeline::{
-    data, full_sweep_for, CostModel, MonitorConfig, PipelineConfig, QualityAlert,
-    QualityMonitor, SigmundService, TrainJob,
+    data, full_sweep_for, CostModel, MonitorConfig, PipelineConfig, QualityAlert, QualityMonitor,
+    SigmundService, TrainJob,
 };
 use sigmund_types::*;
 
@@ -53,7 +56,11 @@ fn corrupt_checkpoint_falls_back_to_fresh_training() {
     let stats = run_map_job(&job, records.len(), &job_cfg(2));
     assert!(stats.failed.is_empty());
     let outputs = job.take_outputs();
-    assert_eq!(outputs.len(), records.len(), "corruption must not drop work");
+    assert_eq!(
+        outputs.len(),
+        records.len(),
+        "corruption must not drop work"
+    );
     assert!(outputs.iter().all(|o| o.metrics.is_some()));
 }
 
@@ -64,7 +71,11 @@ fn corrupt_warm_start_model_degrades_to_cold_start() {
     data::publish_retailer(&dfs, CellId(0), &d.catalog, &d.events).unwrap();
     let mut records = full_sweep_for(&d.catalog, &tiny_grid());
     // Point warm start at garbage bytes.
-    dfs.write(CellId(0), "/models/r0/yesterday", Bytes::from_static(b"junk"));
+    dfs.write(
+        CellId(0),
+        "/models/r0/yesterday",
+        Bytes::from_static(b"junk"),
+    );
     records[0].warm_start_path = Some("/models/r0/yesterday".into());
     let job = TrainJob::new(&dfs, CellId(0), records.clone(), CostModel::default());
     run_map_job(&job, records.len(), &job_cfg(2));
@@ -83,15 +94,15 @@ fn vanished_training_data_is_flagged_not_fatal() {
     });
     let d0 = RetailerSpec::sized(RetailerId(0), 40, 50, 63).generate();
     let d1 = RetailerSpec::sized(RetailerId(1), 40, 50, 64).generate();
-    svc.onboard(&d0.catalog, &d0.events);
-    svc.onboard(&d1.catalog, &d1.events);
-    let day0 = svc.run_day();
+    svc.onboard(&d0.catalog, &d0.events).unwrap();
+    svc.onboard(&d1.catalog, &d1.events).unwrap();
+    let day0 = svc.run_day().unwrap();
     assert_eq!(day0.best.len(), 2);
 
     // Catastrophe: retailer 1's training data disappears from the DFS.
     svc.dfs.delete(&data::train_path(RetailerId(1))).unwrap();
     let onboarded = svc.retailers().to_vec();
-    let day1 = svc.run_day();
+    let day1 = svc.run_day().unwrap();
     // The healthy retailer is unaffected…
     assert!(day1.best.contains_key(&RetailerId(0)));
     // …the broken one produced no model, and the monitor says so.
@@ -116,8 +127,8 @@ fn corrupt_published_model_skips_inference_for_that_retailer() {
         ..Default::default()
     });
     let d = RetailerSpec::sized(RetailerId(0), 40, 50, 65).generate();
-    svc.onboard(&d.catalog, &d.events);
-    let day0 = svc.run_day();
+    svc.onboard(&d.catalog, &d.events).unwrap();
+    let day0 = svc.run_day().unwrap();
     let model_path = &day0.best[&RetailerId(0)].model_path;
     assert!(svc.dfs.exists(model_path));
 
@@ -130,7 +141,7 @@ fn corrupt_published_model_skips_inference_for_that_retailer() {
     assert!(sigmund_core::prelude::ModelSnapshot::from_bytes(&raw).is_err());
 
     // And the service itself recovers on the next day (retrains over it).
-    let day1 = svc.run_day();
+    let day1 = svc.run_day().unwrap();
     assert!(day1.best.contains_key(&RetailerId(0)));
     let recs = &day1.recs[&RetailerId(0)];
     assert!(recs.iter().any(|r| !r.view_based.is_empty()));
@@ -151,8 +162,8 @@ fn heavy_preemption_day_still_completes() {
         ..Default::default()
     });
     let d = RetailerSpec::sized(RetailerId(0), 40, 60, 66).generate();
-    svc.onboard(&d.catalog, &d.events);
-    let report = svc.run_day();
+    svc.onboard(&d.catalog, &d.events).unwrap();
+    let report = svc.run_day().unwrap();
     assert!(report.preemptions > 0, "the storm must actually hit");
     assert_eq!(report.best.len(), 1);
     assert_eq!(report.recs[&RetailerId(0)].len(), 40);

@@ -1,3 +1,6 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Cross-crate integration tests: datagen → core → dfs, exercised the way
 //! the pipeline uses them (but without the scheduling engine — see
 //! `end_to_end.rs` for the full service).
@@ -125,14 +128,7 @@ fn model_round_trips_through_dfs_checkpoints() {
         epochs: 4,
         ..Default::default()
     };
-    let (model, metrics) = train_config(
-        &data.catalog,
-        &ds,
-        &hp,
-        4,
-        None,
-        &SweepOptions::default(),
-    );
+    let (model, metrics) = train_config(&data.catalog, &ds, &hp, 4, None, &SweepOptions::default());
     // Store via the DFS checkpoint machinery, restore, and verify identical
     // evaluation (bitwise identical parameters).
     let dfs = Dfs::new();
@@ -159,14 +155,7 @@ fn candidate_selection_bounds_inference_work() {
         epochs: 2,
         ..Default::default()
     };
-    let (model, _) = train_config(
-        &data.catalog,
-        &ds,
-        &hp,
-        2,
-        None,
-        &SweepOptions::default(),
-    );
+    let (model, _) = train_config(&data.catalog, &ds, &hp, 2, None, &SweepOptions::default());
     let cooc = CoocModel::build(data.catalog.len(), &data.events, CoocConfig::default());
     let index = CandidateIndex::build(&data.catalog);
     let rep = RepurchaseStats::estimate(&data.catalog, &data.events, 0.3);
@@ -247,14 +236,7 @@ fn hybrid_coverage_exceeds_pure_cooc() {
         epochs: 3,
         ..Default::default()
     };
-    let (model, _) = train_config(
-        &data.catalog,
-        &ds,
-        &hp,
-        3,
-        None,
-        &SweepOptions::default(),
-    );
+    let (model, _) = train_config(&data.catalog, &ds, &hp, 3, None, &SweepOptions::default());
     let cooc = CoocModel::build(data.catalog.len(), &data.events, CoocConfig::default());
     let index = CandidateIndex::build(&data.catalog);
     let rep = RepurchaseStats::estimate(&data.catalog, &data.events, 0.3);

@@ -1,0 +1,328 @@
+//! A comment/string-aware token scanner for Rust source.
+//!
+//! This is deliberately *not* a full parser: the lint rules only need a
+//! faithful token stream (identifiers and punctuation with line numbers)
+//! plus the text of line comments (for the `// xtask: allow(...)` escape
+//! hatch). Strings, char literals, raw strings, and nested block comments
+//! are consumed as opaque units so their contents can never produce false
+//! matches.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (multi-char operators arrive as
+    /// consecutive tokens, e.g. `::` is two `:`).
+    Punct(char),
+    /// A literal (string, char, or number) — contents never matched.
+    Literal,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A `//` comment with its text and location (block comments are discarded:
+/// the allow escape hatch is line-comment only, by design).
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    /// Text after the `//`, untrimmed.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Lexer output: the token stream and every line comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All `//` comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+/// Scans `src` into tokens and line comments.
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = bytes.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && bytes[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(LineComment {
+                    text: bytes[start..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if bytes[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == '/' && j + 1 < n && bytes[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == '*' && j + 1 < n && bytes[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let start_line = line;
+                i = consume_string(&bytes, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                if i + 1 < n && is_ident_start(bytes[i + 1]) && !(i + 2 < n && bytes[i + 2] == '\'')
+                {
+                    // Lifetime: consume the ident, emit nothing the rules need.
+                    let mut j = i + 1;
+                    while j < n && is_ident_cont(bytes[j]) {
+                        j += 1;
+                    }
+                    i = j;
+                } else {
+                    let start_line = line;
+                    let mut j = i + 1;
+                    while j < n {
+                        match bytes[j] {
+                            '\\' => j += 2,
+                            '\'' => {
+                                j += 1;
+                                break;
+                            }
+                            '\n' => {
+                                line += 1;
+                                j += 1;
+                            }
+                            _ => j += 1,
+                        }
+                    }
+                    i = j;
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        line: start_line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start_line = line;
+                let mut j = i;
+                while j < n && is_ident_cont(bytes[j]) {
+                    j += 1;
+                }
+                // Fractional part, but never eat a `..` range operator.
+                if j < n && bytes[j] == '.' && j + 1 < n && bytes[j + 1].is_ascii_digit() {
+                    j += 1;
+                    while j < n && is_ident_cont(bytes[j]) {
+                        j += 1;
+                    }
+                }
+                i = j;
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: start_line,
+                });
+            }
+            c if is_ident_start(c) => {
+                let mut j = i;
+                while j < n && is_ident_cont(bytes[j]) {
+                    j += 1;
+                }
+                let word: String = bytes[i..j].iter().collect();
+                // Raw/byte string prefixes: r"", r#""#, b"", br#""#, c"".
+                let prefix_ok = matches!(word.as_str(), "r" | "b" | "br" | "c" | "cr")
+                    || (word.chars().all(|ch| matches!(ch, 'r' | 'b' | 'c')) && word.len() <= 2);
+                if prefix_ok && j < n && (bytes[j] == '"' || bytes[j] == '#') {
+                    let start_line = line;
+                    if word.contains('r') && (bytes[j] == '#' || bytes[j] == '"') {
+                        i = consume_raw_string(&bytes, j, &mut line);
+                    } else if bytes[j] == '"' {
+                        i = consume_string(&bytes, j, &mut line);
+                    } else {
+                        // `b#` etc. — not a string; treat as ident and move on.
+                        out.tokens.push(Token {
+                            kind: TokenKind::Ident(word),
+                            line,
+                        });
+                        i = j;
+                        continue;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        line: start_line,
+                    });
+                } else {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Ident(word),
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a `"..."` string starting at the opening quote; returns the index
+/// one past the closing quote.
+fn consume_string(bytes: &[char], start: usize, line: &mut usize) -> usize {
+    let n = bytes.len();
+    let mut j = start + 1;
+    while j < n {
+        match bytes[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// Consumes a raw string starting at the `#`s or opening quote; returns the
+/// index one past the closing delimiter.
+fn consume_raw_string(bytes: &[char], start: usize, line: &mut usize) -> usize {
+    let n = bytes.len();
+    let mut j = start;
+    let mut hashes = 0usize;
+    while j < n && bytes[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= n || bytes[j] != '"' {
+        return j;
+    }
+    j += 1;
+    while j < n {
+        if bytes[j] == '\n' {
+            *line += 1;
+            j += 1;
+        } else if bytes[j] == '"' {
+            let mut k = 0usize;
+            while k < hashes && j + 1 + k < n && bytes[j + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return j + 1 + hashes;
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"
+            // unwrap() in a comment
+            /* Instant::now() in a block /* nested */ comment */
+            let s = "thread_rng() inside a string";
+            let r = r#"SystemTime::now() raw"#;
+            let c = '\'';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids
+            .iter()
+            .any(|s| s == "unwrap" || s == "Instant" || s == "thread_rng" || s == "SystemTime"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\n  c";
+        let lexed = lex(src);
+        let lines: Vec<usize> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let ids = idents(src);
+        assert!(ids.contains(&"str".to_string()));
+        // The 'a lifetimes must not swallow the following tokens.
+        assert_eq!(ids.iter().filter(|s| *s == "str").count(), 2);
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let src = "let x = 1; // xtask: allow(panic-surface) — reason\nlet y = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[0].text.contains("xtask: allow"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let src = "for i in 0..n { }";
+        let ids = idents(src);
+        assert!(ids.contains(&"n".to_string()));
+    }
+}

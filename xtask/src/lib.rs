@@ -1,0 +1,695 @@
+//! Invariant-enforcing static analysis for the sigmund-rs workspace.
+//!
+//! `cargo xtask lint` walks every `.rs` file in the repository and enforces
+//! three invariants that ordinary rustc/clippy lints cannot express:
+//!
+//! * **determinism** — wall clocks (`Instant::now`, `SystemTime::now`) and
+//!   OS-entropy RNG constructors (`thread_rng`, `from_entropy`,
+//!   `from_os_rng`) are forbidden everywhere, *including test code*, except
+//!   in the allowlisted bench binaries that measure wall time (T2/T8).
+//!   Simulators run on virtual time; an accidental wall clock silently
+//!   breaks bitwise reproducibility.
+//! * **panic-surface** — `.unwrap()`, `.expect(`, and `panic!` are forbidden
+//!   in non-test code of the library crates. Fallible paths must thread
+//!   `SigmundError` instead of aborting a day's pipeline run.
+//! * **atomics-scope** — `std::sync::atomic` is confined to
+//!   `crates/core/src/storage.rs`, the one module whose racy semantics are
+//!   deliberate (Hogwild) and model-checked (`cfg(loom)` tests).
+//!
+//! Genuinely-infallible sites opt out with a *reasoned* escape hatch on the
+//! same line or the line above:
+//!
+//! ```text
+//! // xtask: allow(panic-surface) — len checked above, split cannot fail
+//! ```
+//!
+//! An allow without a reason, an allow that matches nothing, or a malformed
+//! allow is itself a violation, so the escape hatch cannot rot silently.
+//!
+//! The crate is dependency-free by design: the linter must build and run
+//! even when the registry is unreachable or the workspace it lints is
+//! broken.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+
+use lexer::{lex, Lexed, Token, TokenKind};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The three lint rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Wall clocks and OS-entropy RNG sources are forbidden.
+    Determinism,
+    /// `.unwrap()` / `.expect(` / `panic!` forbidden in library crates.
+    PanicSurface,
+    /// `std::sync::atomic` confined to the Hogwild storage module.
+    AtomicsScope,
+}
+
+impl Rule {
+    /// Stable kebab-case name used in allow comments and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::PanicSurface => "panic-surface",
+            Rule::AtomicsScope => "atomics-scope",
+        }
+    }
+
+    /// Parses the kebab-case rule name.
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "determinism" => Some(Rule::Determinism),
+            "panic-surface" => Some(Rule::PanicSurface),
+            "atomics-scope" => Some(Rule::AtomicsScope),
+            _ => None,
+        }
+    }
+}
+
+/// Which files each rule applies to. Paths are repo-relative with `/`
+/// separators.
+#[derive(Debug, Clone)]
+pub struct Policy {
+    /// Files exempt from the determinism rule (bench binaries that
+    /// legitimately measure wall time).
+    pub determinism_allow: Vec<String>,
+    /// Files allowed to use `std::sync::atomic`.
+    pub atomics_allow: Vec<String>,
+    /// Crate names (under `crates/<name>/src/`) whose non-test code must be
+    /// panic-free.
+    pub panic_crates: Vec<String>,
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy {
+            determinism_allow: vec![
+                "crates/bench/src/bin/t2_sampled_map.rs".into(),
+                "crates/bench/src/bin/t8_hogwild.rs".into(),
+            ],
+            atomics_allow: vec!["crates/core/src/storage.rs".into()],
+            panic_crates: vec![
+                "types".into(),
+                "datagen".into(),
+                "dfs".into(),
+                "cluster".into(),
+                "mapreduce".into(),
+                "core".into(),
+                "pipeline".into(),
+                "serving".into(),
+            ],
+        }
+    }
+}
+
+impl Policy {
+    fn determinism_applies(&self, rel: &str) -> bool {
+        !self.determinism_allow.iter().any(|p| p == rel)
+    }
+
+    fn atomics_applies(&self, rel: &str) -> bool {
+        !self.atomics_allow.iter().any(|p| p == rel)
+    }
+
+    fn panic_applies(&self, rel: &str) -> bool {
+        self.panic_crates
+            .iter()
+            .any(|c| rel.starts_with(&format!("crates/{c}/src/")))
+    }
+}
+
+/// One confirmed rule violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule name (one of the three rules, or `allow-syntax` for a broken
+    /// escape-hatch comment).
+    pub rule: String,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// One parsed `// xtask: allow(...)` escape hatch.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule being allowed.
+    pub rule: Rule,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// The stated reason (never empty in a well-formed allow).
+    pub reason: String,
+    /// Whether the allow suppressed at least one match.
+    pub used: bool,
+}
+
+/// Lint result for a whole tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All violations, in path order.
+    pub violations: Vec<Violation>,
+    /// All well-formed allows, in path order.
+    pub allows: Vec<Allow>,
+}
+
+impl Report {
+    /// Violation counts keyed by rule name (includes zero entries for the
+    /// three core rules so reports are comparable over time).
+    pub fn counts(&self) -> BTreeMap<String, usize> {
+        let mut m = BTreeMap::new();
+        for r in [Rule::Determinism, Rule::PanicSurface, Rule::AtomicsScope] {
+            m.insert(r.name().to_string(), 0);
+        }
+        for v in &self.violations {
+            *m.entry(v.rule.clone()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Serializes the report as pretty-printed JSON (hand-rolled; the linter
+    /// is dependency-free).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str("  \"counts\": {");
+        let counts = self.counts();
+        let mut first = true;
+        for (k, v) in &counts {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!("\n    \"{}\": {}", json_escape(k), v));
+        }
+        s.push_str("\n  },\n");
+        s.push_str("  \"violations\": [");
+        first = true;
+        for v in &self.violations {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                json_escape(&v.rule),
+                json_escape(&v.file),
+                v.line,
+                json_escape(&v.message)
+            ));
+        }
+        s.push_str(if self.violations.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"allows\": [");
+        first = true;
+        for a in &self.allows {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"reason\": \"{}\", \"used\": {}}}",
+                json_escape(a.rule.name()),
+                json_escape(&a.file),
+                a.line,
+                json_escape(&a.reason),
+                a.used
+            ));
+        }
+        s.push_str(if self.allows.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Lints a single file's source text. `rel` is the repo-relative path used
+/// for policy decisions and reporting.
+pub fn lint_source(rel: &str, src: &str, policy: &Policy) -> (Vec<Violation>, Vec<Allow>) {
+    let lexed = lex(src);
+    let mut violations = Vec::new();
+    let mut allows = parse_allows(rel, &lexed, &mut violations);
+    let test_flags = mark_test_tokens(&lexed.tokens);
+    let matches = scan_rules(rel, &lexed.tokens, &test_flags, policy);
+    for (rule, line, message) in matches {
+        if let Some(a) = allows
+            .iter_mut()
+            .find(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+        {
+            a.used = true;
+        } else {
+            violations.push(Violation {
+                rule: rule.name().to_string(),
+                file: rel.to_string(),
+                line,
+                message,
+            });
+        }
+    }
+    for a in &allows {
+        if !a.used {
+            violations.push(Violation {
+                rule: "allow-syntax".to_string(),
+                file: rel.to_string(),
+                line: a.line,
+                message: format!(
+                    "unused `xtask: allow({})` — nothing on this line or the next matches the rule",
+                    a.rule.name()
+                ),
+            });
+        }
+    }
+    violations.sort_by_key(|v| v.line);
+    (violations, allows)
+}
+
+/// Walks `root` and lints every `.rs` file (skipping `target/`, `.git/`,
+/// `results/`, and the `xtask/` tree itself, whose fixtures contain
+/// deliberate violations).
+pub fn run_lint(root: &Path, policy: &Policy) -> io::Result<Report> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        let (violations, allows) = lint_source(&rel, &src, policy);
+        report.violations.extend(violations);
+        report.allows.extend(allows);
+    }
+    Ok(report)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    const SKIP_DIRS: &[&str] = &["target", ".git", "results", "xtask", "node_modules"];
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            let top_level = dir == root;
+            if SKIP_DIRS.contains(&name.as_ref())
+                && (top_level || name == "target" || name == ".git")
+            {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Parses every `// xtask: allow(<rule>) — <reason>` comment. Malformed
+/// comments (unknown rule, missing reason, bad syntax) are reported as
+/// `allow-syntax` violations.
+fn parse_allows(rel: &str, lexed: &Lexed, violations: &mut Vec<Violation>) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in &lexed.comments {
+        let text = c.text.trim();
+        let Some(pos) = text.find("xtask:") else {
+            continue;
+        };
+        let rest = text[pos + "xtask:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            violations.push(Violation {
+                rule: "allow-syntax".into(),
+                file: rel.into(),
+                line: c.line,
+                message: "malformed xtask comment — expected `xtask: allow(<rule>) — <reason>`"
+                    .into(),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            violations.push(Violation {
+                rule: "allow-syntax".into(),
+                file: rel.into(),
+                line: c.line,
+                message: "malformed xtask allow — missing `)`".into(),
+            });
+            continue;
+        };
+        let rule_name = rest[..close].trim();
+        let Some(rule) = Rule::parse(rule_name) else {
+            violations.push(Violation {
+                rule: "allow-syntax".into(),
+                file: rel.into(),
+                line: c.line,
+                message: format!(
+                    "unknown rule `{rule_name}` — expected determinism, panic-surface, or atomics-scope"
+                ),
+            });
+            continue;
+        };
+        let reason = rest[close + 1..]
+            .trim_start_matches(|ch: char| {
+                ch.is_whitespace() || ch == '—' || ch == '-' || ch == '–' || ch == ':'
+            })
+            .trim();
+        if reason.is_empty() {
+            violations.push(Violation {
+                rule: "allow-syntax".into(),
+                file: rel.into(),
+                line: c.line,
+                message: format!(
+                    "`xtask: allow({})` without a reason — state why the site is safe",
+                    rule.name()
+                ),
+            });
+            // Still record the allow so the underlying site is not double-
+            // reported; the missing reason is the one actionable violation.
+        }
+        allows.push(Allow {
+            rule,
+            file: rel.into(),
+            line: c.line,
+            reason: reason.to_string(),
+            used: false,
+        });
+    }
+    allows
+}
+
+/// Marks which tokens live inside test code: the body (and signature) of any
+/// item annotated `#[test]` or `#[cfg(test)]` (including `#[cfg(all(test,
+/// ...))]`; `#[cfg(not(test))]` does *not* count as test code).
+fn mark_test_tokens(tokens: &[Token]) -> Vec<bool> {
+    let punct = |i: usize, c: char| matches!(tokens.get(i).map(|t| &t.kind), Some(TokenKind::Punct(p)) if *p == c);
+    let mut flags = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if punct(i, '#') {
+            let mut j = i + 1;
+            let inner = punct(j, '!');
+            if inner {
+                j += 1;
+            }
+            if punct(j, '[') {
+                let (end, is_test) = scan_attr(tokens, j);
+                if !inner && is_test {
+                    // Skip any further attributes on the same item.
+                    let mut k = end + 1;
+                    while punct(k, '#') && punct(k + 1, '[') {
+                        let (e, _) = scan_attr(tokens, k + 1);
+                        k = e + 1;
+                    }
+                    // Walk the item: everything up to (and including) its
+                    // brace-delimited body is test code. A `;` at bracket
+                    // depth 0 before any `{` means a body-less item.
+                    let mut depth = 0i32;
+                    while k < tokens.len() {
+                        if let Some(TokenKind::Punct(p)) = tokens.get(k).map(|t| &t.kind) {
+                            match p {
+                                '(' | '[' => depth += 1,
+                                ')' | ']' => depth -= 1,
+                                ';' if depth == 0 => {
+                                    flags[k] = true;
+                                    k += 1;
+                                    break;
+                                }
+                                '{' if depth == 0 => {
+                                    let mut braces = 1i32;
+                                    flags[k] = true;
+                                    k += 1;
+                                    while k < tokens.len() && braces > 0 {
+                                        flags[k] = true;
+                                        match tokens[k].kind {
+                                            TokenKind::Punct('{') => braces += 1,
+                                            TokenKind::Punct('}') => braces -= 1,
+                                            _ => {}
+                                        }
+                                        k += 1;
+                                    }
+                                    break;
+                                }
+                                _ => {}
+                            }
+                        }
+                        flags[k] = true;
+                        k += 1;
+                    }
+                    i = k;
+                    continue;
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    flags
+}
+
+/// Scans the attribute starting at the `[` at `open`. Returns the index of
+/// the matching `]` and whether the attribute marks test code.
+fn scan_attr(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut idents: Vec<&str> = Vec::new();
+    let mut i = open;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Punct('[') | TokenKind::Punct('(') => depth += 1,
+            TokenKind::Punct(']') | TokenKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenKind::Ident(s) => idents.push(s.as_str()),
+            _ => {}
+        }
+        i += 1;
+    }
+    let is_test = match idents.first() {
+        Some(&"test") if idents.len() == 1 => true,
+        Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+        _ => false,
+    };
+    (i, is_test)
+}
+
+/// Scans the token stream for rule matches. Returns `(rule, line, message)`
+/// triples; allow-comment filtering happens in the caller.
+fn scan_rules(
+    rel: &str,
+    tokens: &[Token],
+    test_flags: &[bool],
+    policy: &Policy,
+) -> Vec<(Rule, usize, String)> {
+    let ident = |i: usize| -> Option<&str> {
+        tokens.get(i).and_then(|t| match &t.kind {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        })
+    };
+    let punct = |i: usize, c: char| matches!(tokens.get(i).map(|t| &t.kind), Some(TokenKind::Punct(p)) if *p == c);
+    let path_sep = |i: usize| punct(i, ':') && punct(i + 1, ':');
+
+    let determinism = policy.determinism_applies(rel);
+    let panics = policy.panic_applies(rel);
+    let atomics = policy.atomics_applies(rel);
+
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        let in_test = test_flags[i];
+
+        // determinism: applies to test code too — a wall clock in a test
+        // makes the *test* nondeterministic.
+        if determinism {
+            if let Some(name @ ("Instant" | "SystemTime")) = ident(i) {
+                if path_sep(i + 1) && ident(i + 3) == Some("now") {
+                    out.push((
+                        Rule::Determinism,
+                        tokens[i].line,
+                        format!(
+                            "`{name}::now()` — wall clocks break reproducibility; use virtual time"
+                        ),
+                    ));
+                }
+            }
+            if let Some(name @ ("thread_rng" | "from_entropy" | "from_os_rng")) = ident(i) {
+                out.push((
+                    Rule::Determinism,
+                    tokens[i].line,
+                    format!(
+                        "`{name}` — OS-entropy RNG; seed explicitly (e.g. `StdRng::seed_from_u64`)"
+                    ),
+                ));
+            }
+        }
+
+        // panic-surface: library crates, non-test code only.
+        if panics && !in_test {
+            if punct(i, '.') {
+                if let Some(name @ ("unwrap" | "expect")) = ident(i + 1) {
+                    if punct(i + 2, '(') {
+                        out.push((
+                            Rule::PanicSurface,
+                            tokens[i + 1].line,
+                            format!("`.{name}(...)` — thread `SigmundError` or annotate why this cannot fail"),
+                        ));
+                    }
+                }
+            }
+            if ident(i) == Some("panic") && punct(i + 1, '!') {
+                out.push((
+                    Rule::PanicSurface,
+                    tokens[i].line,
+                    "`panic!` — return an error instead of aborting the pipeline".to_string(),
+                ));
+            }
+        }
+
+        // atomics-scope: non-test code only (tests may assert on atomics).
+        if atomics
+            && !in_test
+            && ident(i) == Some("sync")
+            && path_sep(i + 1)
+            && ident(i + 3) == Some("atomic")
+        {
+            out.push((
+                Rule::AtomicsScope,
+                tokens[i].line,
+                "`std::sync::atomic` outside crates/core/src/storage.rs — keep lock-free code in one audited module"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violations(rel: &str, src: &str) -> Vec<Violation> {
+        lint_source(rel, src, &Policy::default()).0
+    }
+
+    #[test]
+    fn unwrap_in_lib_crate_is_flagged() {
+        let v = violations("crates/core/src/train.rs", "fn f() { x.unwrap(); }");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "panic-surface");
+    }
+
+    #[test]
+    fn unwrap_in_test_mod_is_fine() {
+        let src = "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { x.unwrap(); }\n}\n";
+        assert!(violations("crates/core/src/train.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_still_linted() {
+        let src = "#[cfg(not(test))]\nfn f() { x.unwrap(); }\n";
+        let v = violations("crates/core/src/train.rs", src);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn wall_clock_in_test_code_is_flagged() {
+        let src = "#[test]\nfn t() { let _ = Instant::now(); }\n";
+        let v = violations("crates/core/src/train.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "determinism");
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_and_is_used() {
+        let src = "fn f() {\n  // xtask: allow(panic-surface) — checked above\n  x.unwrap();\n}\n";
+        let (v, a) = lint_source("crates/core/src/train.rs", src, &Policy::default());
+        assert!(v.is_empty(), "{v:?}");
+        assert!(a[0].used);
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_violation() {
+        let src = "fn f() {\n  x.unwrap(); // xtask: allow(panic-surface)\n}\n";
+        let v = violations("crates/core/src/train.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "allow-syntax");
+    }
+
+    #[test]
+    fn unused_allow_is_a_violation() {
+        let src = "// xtask: allow(determinism) — no reason to exist\nfn f() {}\n";
+        let v = violations("crates/core/src/train.rs", src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("unused"));
+    }
+
+    #[test]
+    fn bench_allowlist_exempts_determinism() {
+        let src = "fn main() { let t = Instant::now(); }";
+        assert!(violations("crates/bench/src/bin/t2_sampled_map.rs", src).is_empty());
+        assert_eq!(violations("crates/bench/src/bin/t3_other.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn atomics_only_in_storage() {
+        let src = "use std::sync::atomic::AtomicU32;";
+        assert!(violations("crates/core/src/storage.rs", src).is_empty());
+        let v = violations("crates/serving/src/lib.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "atomics-scope");
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough() {
+        let report = Report {
+            files_scanned: 2,
+            violations: vec![Violation {
+                rule: "determinism".into(),
+                file: "a \"b\".rs".into(),
+                line: 3,
+                message: "m".into(),
+            }],
+            allows: vec![],
+        };
+        let j = report.to_json();
+        assert!(j.contains("\"files_scanned\": 2"));
+        assert!(j.contains("a \\\"b\\\".rs"));
+    }
+}

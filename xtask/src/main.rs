@@ -1,0 +1,100 @@
+//! CLI entry point: `cargo xtask lint [--json] [--root <path>]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::{run_lint, Policy};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint_cmd(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo xtask lint [--json] [--root <path>]");
+            eprintln!();
+            eprintln!("Enforces workspace invariants (determinism, panic-surface,");
+            eprintln!("atomics-scope) over every .rs file. --json additionally writes");
+            eprintln!("results/lint_report.json under the repo root.");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint_cmd(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+
+    let report = match run_lint(&root, &Policy::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let counts = report.counts();
+    println!(
+        "xtask lint: {} files scanned, {} allow(s) honored",
+        report.files_scanned,
+        report.allows.iter().filter(|a| a.used).count()
+    );
+    for (rule, n) in &counts {
+        println!("  {rule:<14} {n} violation(s)");
+    }
+    for v in &report.violations {
+        println!("  {}:{} [{}] {}", v.file, v.line, v.rule, v.message);
+    }
+
+    if json {
+        let out = root.join("results").join("lint_report.json");
+        if let Some(dir) = out.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("xtask lint: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(&out, report.to_json()) {
+            eprintln!("xtask lint: cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", out.display());
+    }
+
+    if report.violations.is_empty() {
+        println!("xtask lint: OK");
+        ExitCode::SUCCESS
+    } else {
+        println!("xtask lint: {} violation(s)", report.violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Repo root: the parent of the xtask manifest dir when run via cargo,
+/// falling back to the current directory.
+fn default_root() -> PathBuf {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(manifest);
+        if let Some(parent) = p.parent() {
+            return parent.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}

@@ -1,0 +1,21 @@
+// Fixture: every way an allow comment can be malformed.
+
+fn unknown_rule(x: Option<u32>) -> u32 {
+    // xtask: allow(no-such-rule) — reason present but rule is bogus
+    x.map_or(0, |v| v)
+}
+
+fn missing_reason(x: Option<u32>) -> u32 {
+    // xtask: allow(panic-surface)
+    x.unwrap()
+}
+
+fn unused(x: Option<u32>) -> u32 {
+    // xtask: allow(panic-surface) — nothing here actually unwraps
+    x.map_or(0, |v| v)
+}
+
+fn malformed(x: Option<u32>) -> u32 {
+    // xtask: allouw(panic-surface) — typo in "allow"
+    x.map_or(0, |v| v)
+}

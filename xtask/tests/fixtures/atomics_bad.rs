@@ -1,0 +1,6 @@
+// Fixture: atomics outside the audited storage module.
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn counter(c: &AtomicU32) -> u32 {
+    c.load(Ordering::Relaxed)
+}

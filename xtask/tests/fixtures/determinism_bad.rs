@@ -1,0 +1,19 @@
+// Fixture: every wall-clock / OS-entropy source the determinism rule bans.
+use std::time::{Instant, SystemTime};
+
+fn wall_clocks() {
+    let _t = Instant::now();
+    let _s = SystemTime::now();
+}
+
+fn entropy() {
+    let mut rng = thread_rng();
+    let a = StdRng::from_entropy();
+    let b = SmallRng::from_os_rng();
+    let _ = (rng, a, b);
+}
+
+#[test]
+fn even_tests_may_not_use_wall_clocks() {
+    let _t = Instant::now();
+}

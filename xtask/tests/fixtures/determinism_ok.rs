@@ -1,0 +1,15 @@
+// Fixture: deterministic code that *mentions* banned names only in places
+// the lexer must treat as opaque — none of these may be flagged.
+
+/// Docs may say `Instant::now()` freely.
+fn seeded() {
+    // thread_rng() would be wrong here; we seed explicitly instead.
+    let _rng = StdRng::seed_from_u64(42);
+    let _msg = "SystemTime::now() inside a string literal";
+    let _raw = r#"from_entropy() inside a raw string"#;
+    /* from_os_rng() inside a /* nested */ block comment */
+}
+
+fn virtual_time(clock: &VirtualClock) -> u64 {
+    clock.now_ticks()
+}

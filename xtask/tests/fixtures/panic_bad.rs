@@ -1,0 +1,19 @@
+// Fixture: panic-surface violations in non-test library code.
+
+fn unwraps(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn expects(x: Result<u32, ()>) -> u32 {
+    x.expect("should not fail")
+}
+
+fn panics(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+fn chained(m: &std::collections::HashMap<u32, u32>) -> u32 {
+    *m.get(&1).unwrap()
+}

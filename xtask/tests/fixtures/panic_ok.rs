@@ -1,0 +1,29 @@
+// Fixture: panic-free library code, plus the two sanctioned escapes —
+// test code and reasoned allow comments.
+
+fn threaded(x: Option<u32>) -> Result<u32, String> {
+    x.ok_or_else(|| "missing".to_string())
+}
+
+fn annotated(xs: &[u32]) -> u32 {
+    // xtask: allow(panic-surface) — slice is non-empty by construction above
+    *xs.first().unwrap()
+}
+
+fn annotated_same_line(x: Option<u32>) -> u32 {
+    x.unwrap() // xtask: allow(panic-surface) — caller checked is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let r: Result<u32, ()> = Ok(2);
+        assert_eq!(r.expect("ok"), 2);
+        if false {
+            panic!("tests may panic");
+        }
+    }
+}

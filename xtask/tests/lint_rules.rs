@@ -1,0 +1,142 @@
+//! Fixture-driven tests for the three lint rules and the allow escape hatch.
+//!
+//! Fixtures live in `tests/fixtures/`; each is linted under a synthetic
+//! repo-relative path so the policy (which rule applies where) is exercised
+//! exactly as it would be on the real tree.
+
+use std::collections::BTreeMap;
+use xtask::{lint_source, run_lint, Policy, Violation};
+
+const DETERMINISM_BAD: &str = include_str!("fixtures/determinism_bad.rs");
+const DETERMINISM_OK: &str = include_str!("fixtures/determinism_ok.rs");
+const PANIC_BAD: &str = include_str!("fixtures/panic_bad.rs");
+const PANIC_OK: &str = include_str!("fixtures/panic_ok.rs");
+const ATOMICS_BAD: &str = include_str!("fixtures/atomics_bad.rs");
+const ALLOW_BAD: &str = include_str!("fixtures/allow_bad.rs");
+
+fn lint(rel: &str, src: &str) -> Vec<Violation> {
+    lint_source(rel, src, &Policy::default()).0
+}
+
+fn by_rule(vs: &[Violation]) -> BTreeMap<String, usize> {
+    let mut m = BTreeMap::new();
+    for v in vs {
+        *m.entry(v.rule.clone()).or_insert(0usize) += 1;
+    }
+    m
+}
+
+#[test]
+fn determinism_positive_fixture_flags_every_source() {
+    let vs = lint("crates/core/src/clock.rs", DETERMINISM_BAD);
+    let counts = by_rule(&vs);
+    assert_eq!(counts.get("determinism"), Some(&6), "{vs:?}");
+    // One of the six is inside a #[test] fn — determinism applies there too.
+    assert!(vs.iter().any(|v| v.line == 18), "{vs:?}");
+}
+
+#[test]
+fn determinism_negative_fixture_is_clean() {
+    let vs = lint("crates/core/src/clock.rs", DETERMINISM_OK);
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn determinism_allowlisted_bench_binaries_are_exempt() {
+    for exempt in [
+        "crates/bench/src/bin/t2_sampled_map.rs",
+        "crates/bench/src/bin/t8_hogwild.rs",
+    ] {
+        let vs = lint(exempt, DETERMINISM_BAD);
+        assert_eq!(by_rule(&vs).get("determinism"), None, "{exempt}: {vs:?}");
+    }
+    // ...but the exemption is file-exact, not crate-wide.
+    let vs = lint("crates/bench/src/bin/t1_model_sizes.rs", DETERMINISM_BAD);
+    assert_eq!(by_rule(&vs).get("determinism"), Some(&6));
+}
+
+#[test]
+fn panic_positive_fixture_flags_unwrap_expect_and_panic() {
+    let vs = lint("crates/pipeline/src/daily.rs", PANIC_BAD);
+    let counts = by_rule(&vs);
+    assert_eq!(counts.get("panic-surface"), Some(&4), "{vs:?}");
+}
+
+#[test]
+fn panic_rule_only_applies_to_library_crates() {
+    // bench and cli are not library crates; tests/ and examples/ are not
+    // under crates/<lib>/src/ at all.
+    for rel in [
+        "crates/bench/src/bin/report.rs",
+        "crates/cli/src/main.rs",
+        "tests/end_to_end.rs",
+        "examples/retailer_fleet.rs",
+    ] {
+        let vs = lint(rel, PANIC_BAD);
+        assert_eq!(by_rule(&vs).get("panic-surface"), None, "{rel}: {vs:?}");
+    }
+}
+
+#[test]
+fn panic_negative_fixture_allows_tests_and_reasoned_escapes() {
+    let (vs, allows) = lint_source("crates/pipeline/src/daily.rs", PANIC_OK, &Policy::default());
+    assert!(vs.is_empty(), "{vs:?}");
+    let used: Vec<_> = allows.iter().filter(|a| a.used).collect();
+    assert_eq!(
+        used.len(),
+        2,
+        "both the line-above and same-line allows fire"
+    );
+    assert!(used.iter().all(|a| !a.reason.is_empty()));
+}
+
+#[test]
+fn atomics_positive_fixture_flags_outside_storage() {
+    let vs = lint("crates/serving/src/store.rs", ATOMICS_BAD);
+    assert_eq!(by_rule(&vs).get("atomics-scope"), Some(&1), "{vs:?}");
+    // Same source is legitimate inside the audited module.
+    let vs = lint("crates/core/src/storage.rs", ATOMICS_BAD);
+    assert_eq!(by_rule(&vs).get("atomics-scope"), None, "{vs:?}");
+}
+
+#[test]
+fn malformed_allows_are_each_their_own_violation() {
+    let vs = lint("crates/pipeline/src/daily.rs", ALLOW_BAD);
+    let counts = by_rule(&vs);
+    // unknown rule + missing reason + unused + typo'd `allouw` = 4.
+    assert_eq!(counts.get("allow-syntax"), Some(&4), "{vs:?}");
+    // The unwrap under the reason-less allow is suppressed: the missing
+    // reason is the single actionable finding for that site.
+    assert_eq!(counts.get("panic-surface"), None, "{vs:?}");
+    let lines: Vec<usize> = vs.iter().map(|v| v.line).collect();
+    assert_eq!(lines, vec![4, 9, 14, 19], "{vs:?}");
+}
+
+#[test]
+fn run_lint_walks_a_tree_and_reports_per_file() {
+    let root = std::env::temp_dir().join(format!("xtask-lint-tree-{}", std::process::id()));
+    let src_dir = root.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    // target/ must be skipped even when it contains violations.
+    let tgt = root.join("target/debug");
+    std::fs::create_dir_all(&tgt).unwrap();
+    std::fs::write(tgt.join("junk.rs"), "fn f() { x.unwrap(); }").unwrap();
+    std::fs::write(src_dir.join("ok.rs"), "fn f() -> u32 { 1 }\n").unwrap();
+    std::fs::write(
+        src_dir.join("bad.rs"),
+        "fn f() { let _ = Instant::now(); }\n",
+    )
+    .unwrap();
+
+    let report = run_lint(&root, &Policy::default()).unwrap();
+    assert_eq!(report.files_scanned, 2, "target/ is skipped");
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(report.violations[0].file, "crates/core/src/bad.rs");
+    assert_eq!(report.violations[0].rule, "determinism");
+
+    let json = report.to_json();
+    assert!(json.contains("\"determinism\": 1"));
+    assert!(json.contains("crates/core/src/bad.rs"));
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
