@@ -19,6 +19,19 @@ impl Args {
     /// Returns a human-readable message for a missing subcommand, a flag
     /// without a value, or a non-flag token in flag position.
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, String> {
+        Self::parse_with_switches(argv, &[])
+    }
+
+    /// Like [`Args::parse`], but flags named in `switches` are booleans that
+    /// take no value (`--trace`); they parse as `"true"` so
+    /// [`Args::get`] reads them with a `false` default.
+    ///
+    /// # Errors
+    /// Same conditions as [`Args::parse`].
+    pub fn parse_with_switches<I: IntoIterator<Item = String>>(
+        argv: I,
+        switches: &[&str],
+    ) -> Result<Self, String> {
         let mut it = argv.into_iter();
         let command = it.next().ok_or("missing subcommand")?;
         if command.starts_with("--") {
@@ -29,9 +42,12 @@ impl Args {
             let Some(key) = tok.strip_prefix("--") else {
                 return Err(format!("expected --flag, got {tok}"));
             };
-            let value = it
-                .next()
-                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            let value = if switches.contains(&key) {
+                "true".to_string()
+            } else {
+                it.next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?
+            };
             if flags.insert(key.to_string(), value).is_some() {
                 return Err(format!("flag --{key} given twice"));
             }
@@ -111,6 +127,23 @@ mod tests {
         let a = Args::parse(argv("cmd --good 1 --bad 2")).unwrap();
         assert!(a.ensure_known(&["good"]).is_err());
         assert!(a.ensure_known(&["good", "bad"]).is_ok());
+    }
+
+    #[test]
+    fn switches_need_no_value() {
+        let a = Args::parse_with_switches(
+            argv("simulate --trace --retailers 3"),
+            &["trace"],
+        )
+        .unwrap();
+        assert!(a.get("trace", false).unwrap());
+        assert_eq!(a.get("retailers", 0usize).unwrap(), 3);
+        // Absent switch defaults off.
+        let b = Args::parse_with_switches(argv("simulate --retailers 3"), &["trace"]).unwrap();
+        assert!(!b.get("trace", false).unwrap());
+        // A switch at end of argv is fine; a value flag still errors.
+        assert!(Args::parse_with_switches(argv("cmd --trace"), &["trace"]).is_ok());
+        assert!(Args::parse_with_switches(argv("cmd --other"), &["trace"]).is_err());
     }
 
     #[test]

@@ -19,8 +19,11 @@ use args::Args;
 use sigmund_cluster::{CellSpec, PreemptionModel};
 use sigmund_core::prelude::*;
 use sigmund_datagen::{evolve_day, EvolutionSpec, FleetSpec, RetailerSpec};
+use sigmund_obs::{summarize_metrics, summarize_trace, Level, Obs};
 use sigmund_pipeline::{MonitorConfig, PipelineConfig, QualityMonitor, SigmundService};
-use sigmund_types::{CellId, RetailerId};
+use sigmund_serving::{RecSurface, ServingStore};
+use sigmund_types::{CellId, ItemId, RetailerId};
+use std::path::Path;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -40,11 +43,12 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         print_help();
         return Ok(());
     }
-    let args = Args::parse(argv)?;
+    let args = Args::parse_with_switches(argv, &["trace"])?;
     match args.command.as_str() {
         "simulate" => simulate(&args),
         "train" => train_cmd(&args),
         "evolve" => evolve_cmd(&args),
+        "report" => report_cmd(&args),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -60,7 +64,11 @@ fn print_help() {
          \x20 simulate   run the daily pipeline over a synthetic fleet\n\
          \x20            --retailers N (6) --days D (2) --cells C (2) --machines M (6)\n\
          \x20            --preempt RATE/task-hr (0.25) --min-items (30) --max-items (400)\n\
-         \x20            --seed S (7)\n\
+         \x20            --threads T (4) --seed S (7)\n\
+         \x20            --trace    write results/trace.json (Chrome trace-event\n\
+         \x20                       format) + results/metrics.jsonl\n\
+         \x20 report     summarize the trace + metrics from a traced simulate\n\
+         \x20            --dir PATH (results)\n\
          \x20 train      grid-search one retailer and print recommendations\n\
          \x20            --items N (300) --users U (400) --grid small|paper (small)\n\
          \x20            --threads T (4) --seed S (42)\n\
@@ -79,7 +87,9 @@ fn simulate(args: &Args) -> Result<(), String> {
         "preempt",
         "min-items",
         "max-items",
+        "threads",
         "seed",
+        "trace",
     ])?;
     let n_retailers: usize = args.get("retailers", 6)?;
     let days: u32 = args.get("days", 2)?;
@@ -88,10 +98,17 @@ fn simulate(args: &Args) -> Result<(), String> {
     let preempt: f64 = args.get("preempt", 0.25)?;
     let min_items: usize = args.get("min-items", 30)?;
     let max_items: usize = args.get("max-items", 400)?;
+    let threads: usize = args.get("threads", 4)?;
     let seed: u64 = args.get("seed", 7)?;
-    if n_retailers == 0 || days == 0 || cells == 0 || machines == 0 {
+    let trace: bool = args.get("trace", false)?;
+    if n_retailers == 0 || days == 0 || cells == 0 || machines == 0 || threads == 0 {
         return Err("counts must be positive".into());
     }
+    let obs = if trace {
+        Obs::recording(Level::Debug)
+    } else {
+        Obs::disabled()
+    };
 
     let fleet = FleetSpec {
         n_retailers,
@@ -110,7 +127,9 @@ fn simulate(args: &Args) -> Result<(), String> {
         preemption: PreemptionModel {
             rate_per_hour: preempt,
         },
+        threads,
         seed,
+        obs: obs.clone(),
         ..Default::default()
     });
     for d in &data {
@@ -125,6 +144,7 @@ fn simulate(args: &Args) -> Result<(), String> {
     }
 
     let mut monitor = QualityMonitor::new(MonitorConfig::default());
+    let store = ServingStore::new();
     for _ in 0..days {
         let onboarded = svc.retailers().to_vec();
         let report = svc.run_day().map_err(|e| e.to_string())?;
@@ -150,12 +170,52 @@ fn simulate(args: &Args) -> Result<(), String> {
                 if m.map_sampled { " (sampled)" } else { "" }
             );
         }
-        for alert in monitor.record_day(&onboarded, &report) {
+        for alert in monitor.record_day_obs(&onboarded, &report, &obs, svc.virtual_now()) {
             println!("  ALERT: {alert:?}");
         }
+        // Swap today's batch into the serving store and sample one lookup
+        // per retailer so the serving gauges carry signal.
+        let generation = store.publish_obs(report.recs.clone(), &obs, svc.virtual_now());
+        let mut served: Vec<RetailerId> = report.recs.keys().copied().collect();
+        served.sort_unstable();
+        for r in served {
+            store.lookup(r, ItemId(0), RecSurface::ViewBased);
+        }
+        store.observe(&obs, svc.virtual_now(), generation);
     }
     let (n, mean, worst) = monitor.fleet_summary();
     println!("\nfleet: {n} retailers | mean MAP {mean:.4} | worst {worst:.4}");
+    if trace {
+        let (trace_path, metrics_path) = obs
+            .write_artifacts(Path::new("results"))
+            .map_err(|e| format!("write trace artifacts: {e}"))?;
+        println!(
+            "trace: {} ({} events) | metrics: {}",
+            trace_path.display(),
+            obs.event_count(),
+            metrics_path.display()
+        );
+    }
+    Ok(())
+}
+
+fn report_cmd(args: &Args) -> Result<(), String> {
+    args.ensure_known(&["dir"])?;
+    let dir = args.get_str("dir").unwrap_or("results");
+    let trace_path = Path::new(dir).join("trace.json");
+    let metrics_path = Path::new(dir).join("metrics.jsonl");
+    let trace = std::fs::read_to_string(&trace_path).map_err(|e| {
+        format!(
+            "read {}: {e} (run `sigmund simulate --trace` first)",
+            trace_path.display()
+        )
+    })?;
+    println!("trace summary — {}", trace_path.display());
+    println!("{}", summarize_trace(&trace));
+    let metrics = std::fs::read_to_string(&metrics_path)
+        .map_err(|e| format!("read {}: {e}", metrics_path.display()))?;
+    println!("metrics — {}", metrics_path.display());
+    println!("{}", summarize_metrics(&metrics));
     Ok(())
 }
 
@@ -315,6 +375,33 @@ mod tests {
              --min-items 20 --max-items 40 --preempt 0 --seed 3",
         ))
         .expect("simulate should succeed");
+    }
+
+    #[test]
+    fn traced_simulate_and_report_round_trip() {
+        run(argv(
+            "simulate --retailers 2 --days 1 --cells 1 --machines 2 \
+             --min-items 20 --max-items 40 --preempt 0 --threads 1 --seed 3 --trace",
+        ))
+        .expect("traced simulate");
+        let trace = std::fs::read_to_string("results/trace.json").expect("trace written");
+        assert!(trace.starts_with("{\"traceEvents\":["), "chrome trace header");
+        for cat in ["cluster", "mapreduce", "train", "pipeline", "serving"] {
+            assert!(
+                trace.contains(&format!("\"cat\":\"{cat}\"")),
+                "missing {cat} spans in trace"
+            );
+        }
+        assert!(std::fs::read_to_string("results/metrics.jsonl")
+            .expect("metrics written")
+            .contains("pipeline.days"));
+        run(argv("report --dir results")).expect("report reads artifacts");
+        let _ = std::fs::remove_dir_all("results");
+    }
+
+    #[test]
+    fn report_errors_without_artifacts() {
+        assert!(run(argv("report --dir definitely-missing-dir")).is_err());
     }
 
     #[test]

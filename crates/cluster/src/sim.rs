@@ -12,6 +12,7 @@ use crate::machine::{CellSpec, MachinePool};
 use crate::preempt::PreemptionModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sigmund_obs::{Level, Obs, Track};
 use sigmund_types::{MachineId, TaskId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -164,6 +165,15 @@ impl ClusterSim {
 
     /// Runs all tasks to completion and reports.
     pub fn run(&self, tasks: &[TaskSpec]) -> SimReport {
+        self.run_obs(tasks, &Obs::disabled(), 0.0)
+    }
+
+    /// [`ClusterSim::run`] with tracing: one span per task attempt on the
+    /// machine's lane (cat `cluster`), preemption instants, and
+    /// attempt/waste/checkpoint metrics. `t0` offsets the run on the
+    /// caller's virtual timeline.
+    pub fn run_obs(&self, tasks: &[TaskSpec], obs: &Obs, t0: f64) -> SimReport {
+        let cell_id = self.cell.cell.0;
         let mut pool = MachinePool::new(self.cell.clone());
         let mut rng = StdRng::seed_from_u64(self.seed);
 
@@ -182,6 +192,14 @@ impl ClusterSim {
         for t in tasks {
             if !pool.can_ever_fit(t.memory_gb) {
                 unschedulable.push(t.id);
+                obs.instant(
+                    Level::Warn,
+                    "cluster",
+                    "unschedulable task",
+                    Track::job(cell_id),
+                    t0,
+                    &[("task", t.id.0.into()), ("memory_gb", t.memory_gb.into())],
+                );
                 continue;
             }
             pending.push_back(state.len());
@@ -282,6 +300,20 @@ impl ClusterSim {
             let st = &mut state[task];
             st.cpu += elapsed;
             cost.charge(spec.priority, elapsed);
+            if obs.is_enabled() {
+                obs.span(
+                    Level::Debug,
+                    "cluster",
+                    &format!("task {}", spec.id.0),
+                    Track::machine(cell_id, machine.0),
+                    t0 + (now - elapsed),
+                    t0 + now,
+                    &[
+                        ("attempt", st.attempts.into()),
+                        ("status", if completes { "done" } else { "preempted" }.into()),
+                    ],
+                );
+            }
             if completes {
                 // Count checkpoints crossed during this final attempt.
                 if interval.is_finite() {
@@ -299,8 +331,19 @@ impl ClusterSim {
                     cpu_seconds: st.cpu,
                     checkpoints: st.checkpoints,
                 });
+                obs.histogram("cluster.task_attempts", f64::from(st.attempts));
+                obs.histogram("cluster.task_wasted_seconds", st.wasted);
             } else {
                 preemptions += 1;
+                obs.counter("cluster.preemptions", 1);
+                obs.instant(
+                    Level::Debug,
+                    "cluster",
+                    "preempt",
+                    Track::machine(cell_id, machine.0),
+                    t0 + now,
+                    &[("task", spec.id.0.into()), ("attempt", st.attempts.into())],
+                );
                 let attempted_progress = st.progress + elapsed * speed;
                 let saved = if interval.is_finite() {
                     let s = (attempted_progress / interval).floor() * interval;
@@ -316,6 +359,14 @@ impl ClusterSim {
                 st.progress = saved;
                 if self.max_attempts.is_some_and(|cap| st.attempts >= cap) {
                     failed.push(spec.id);
+                    obs.instant(
+                        Level::Error,
+                        "cluster",
+                        "task abandoned",
+                        Track::job(cell_id),
+                        t0 + now,
+                        &[("task", spec.id.0.into()), ("attempts", st.attempts.into())],
+                    );
                 } else {
                     pending.push_back(task);
                 }
@@ -325,6 +376,24 @@ impl ClusterSim {
 
         debug_assert!(pending.is_empty(), "deadlocked pending tasks");
         outcomes.sort_by(|a, b| a.finish.total_cmp(&b.finish));
+        if obs.is_enabled() {
+            obs.span(
+                Level::Info,
+                "cluster",
+                "cluster run",
+                Track::job(cell_id),
+                t0,
+                t0 + makespan,
+                &[
+                    ("tasks", tasks.len().into()),
+                    ("preemptions", preemptions.into()),
+                    ("checkpoints", checkpoints_total.into()),
+                    ("failed", failed.len().into()),
+                ],
+            );
+            obs.gauge("cluster.makespan_s", t0 + makespan, makespan);
+            obs.counter("cluster.checkpoints", checkpoints_total);
+        }
         SimReport {
             makespan,
             outcomes,
@@ -530,6 +599,30 @@ mod tests {
         let r = sim.run(&[]);
         assert_eq!(r.makespan, 0.0);
         assert!(r.outcomes.is_empty());
+    }
+
+    #[test]
+    fn run_obs_emits_machine_lane_spans() {
+        let hazard = PreemptionModel {
+            rate_per_hour: 100.0,
+        };
+        let mut t = task(0, 200.0);
+        t.checkpoint = CheckpointPolicy::TimeInterval(10.0);
+        let sim = ClusterSim::new(cell(2), hazard, 7);
+        let obs = Obs::recording(Level::Debug);
+        let r = sim.run_obs(&[t, task(1, 50.0)], &obs, 1.0);
+        let trace = obs.trace_json();
+        assert!(trace.contains("\"cat\":\"cluster\""), "{trace}");
+        assert!(trace.contains("task 0"), "{trace}");
+        assert!(trace.contains("cluster run"), "{trace}");
+        assert!(r.preemptions > 0, "hazard should preempt");
+        assert!(trace.contains("\"name\":\"preempt\""), "{trace}");
+        assert_eq!(
+            obs.metrics().map(|m| m.counter("cluster.preemptions")),
+            Some(r.preemptions)
+        );
+        // The disabled wrapper computes identical results.
+        assert_eq!(sim.run(&[t, task(1, 50.0)]), r);
     }
 
     #[test]

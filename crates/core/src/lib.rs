@@ -83,10 +83,10 @@ pub mod prelude {
     pub use crate::model::{BprModel, ContextEvent, ItemRepMatrix};
     pub use crate::negative::NegativeSampler;
     pub use crate::selection::{
-        grid_search, incremental_refresh, train_config, GridSpec, SelectionOutcome, SweepOptions,
-        TrainedCandidate,
+        grid_search, grid_search_obs, incremental_refresh, incremental_refresh_obs, train_config,
+        GridSpec, SelectionOutcome, SweepOptions, TrainedCandidate,
     };
     pub use crate::snapshot::ModelSnapshot;
-    pub use crate::train::{train, train_epoch, EpochStats, TrainOptions};
+    pub use crate::train::{observe_epoch, train, train_epoch, EpochStats, TrainOptions};
     pub use crate::tuner::{successive_halving, HalvingSchedule, TunerOutcome};
 }

@@ -18,6 +18,7 @@ use crate::model::BprModel;
 use crate::negative::NegativeSampler;
 use crate::snapshot::ModelSnapshot;
 use crate::train::{train, TrainOptions};
+use sigmund_obs::{Level, Obs, Track};
 use sigmund_types::{Catalog, FeatureSwitches, HyperParams, ModelMetrics, NegativeSamplerKind};
 
 /// The hyper-parameter grid to sweep for one retailer.
@@ -222,11 +223,30 @@ pub fn grid_search(
     grid: &GridSpec,
     opts: &SweepOptions,
 ) -> SelectionOutcome {
-    let mut candidates: Vec<TrainedCandidate> = grid
-        .configs(catalog)
+    grid_search_obs(catalog, ds, grid, opts, &Obs::disabled(), 0.0)
+}
+
+/// [`grid_search`] with progress reported as structured obs events instead
+/// of stdout: one Debug instant per config trained, a `sweep.map_at_10`
+/// histogram, and an Info completion event. Sweeps run outside any
+/// simulator clock, so the caller supplies the timestamp `ts` (all events
+/// share it; the `ordinal` arg orders configs).
+pub fn grid_search_obs(
+    catalog: &Catalog,
+    ds: &Dataset,
+    grid: &GridSpec,
+    opts: &SweepOptions,
+    obs: &Obs,
+    ts: f64,
+) -> SelectionOutcome {
+    let configs = grid.configs(catalog);
+    let n = configs.len();
+    let mut candidates: Vec<TrainedCandidate> = configs
         .into_iter()
-        .map(|hp| {
+        .enumerate()
+        .map(|(ordinal, hp)| {
             let (model, metrics) = train_config(catalog, ds, &hp, hp.epochs, None, opts);
+            observe_config(obs, ts, "config trained", ordinal, &hp, &metrics);
             TrainedCandidate {
                 hp,
                 metrics,
@@ -235,6 +255,7 @@ pub fn grid_search(
         })
         .collect();
     finalize(&mut candidates, opts.keep_top);
+    observe_sweep_done(obs, ts, "grid search done", n, &candidates);
     SelectionOutcome { candidates }
 }
 
@@ -247,12 +268,28 @@ pub fn incremental_refresh(
     epochs: u32,
     opts: &SweepOptions,
 ) -> SelectionOutcome {
+    incremental_refresh_obs(catalog, ds, previous, epochs, opts, &Obs::disabled(), 0.0)
+}
+
+/// [`incremental_refresh`] with obs progress events (see
+/// [`grid_search_obs`] for the event model).
+pub fn incremental_refresh_obs(
+    catalog: &Catalog,
+    ds: &Dataset,
+    previous: &SelectionOutcome,
+    epochs: u32,
+    opts: &SweepOptions,
+    obs: &Obs,
+    ts: f64,
+) -> SelectionOutcome {
     let mut candidates: Vec<TrainedCandidate> = previous
         .top_k(opts.keep_top)
         .iter()
-        .map(|prev| {
+        .enumerate()
+        .map(|(ordinal, prev)| {
             let (model, metrics) =
                 train_config(catalog, ds, &prev.hp, epochs, prev.snapshot.as_ref(), opts);
+            observe_config(obs, ts, "config refreshed", ordinal, &prev.hp, &metrics);
             TrainedCandidate {
                 hp: prev.hp.clone(),
                 metrics,
@@ -260,8 +297,59 @@ pub fn incremental_refresh(
             }
         })
         .collect();
+    let n = candidates.len();
     finalize(&mut candidates, opts.keep_top);
+    observe_sweep_done(obs, ts, "incremental refresh done", n, &candidates);
     SelectionOutcome { candidates }
+}
+
+/// One per-config progress event (Debug) plus the MAP@10 histogram sample.
+fn observe_config(
+    obs: &Obs,
+    ts: f64,
+    name: &str,
+    ordinal: usize,
+    hp: &HyperParams,
+    metrics: &ModelMetrics,
+) {
+    if !obs.level_enabled(Level::Debug) {
+        return;
+    }
+    obs.instant(
+        Level::Debug,
+        "sweep",
+        name,
+        Track::PIPELINE,
+        ts,
+        &[
+            ("ordinal", ordinal.into()),
+            ("factors", hp.factors.into()),
+            ("learning_rate", hp.learning_rate.into()),
+            ("map_at_10", metrics.map_at_10.into()),
+        ],
+    );
+    obs.histogram("sweep.map_at_10", metrics.map_at_10);
+}
+
+/// Sweep-completion event (Info) with the winning MAP@10.
+fn observe_sweep_done(obs: &Obs, ts: f64, name: &str, configs: usize, ranked: &[TrainedCandidate]) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.instant(
+        Level::Info,
+        "sweep",
+        name,
+        Track::PIPELINE,
+        ts,
+        &[
+            ("configs", configs.into()),
+            (
+                "best_map",
+                ranked.first().map_or(0.0, |c| c.metrics.map_at_10).into(),
+            ),
+        ],
+    );
 }
 
 /// Sorts by MAP@10 descending and drops snapshots beyond the top-K.
@@ -404,6 +492,38 @@ mod tests {
         assert_eq!(inc.candidates.len(), 2);
         // Warm-started short runs should not collapse: still a usable model.
         assert!(inc.best().metrics.map_at_10 >= 0.0);
+    }
+
+    #[test]
+    fn sweeps_emit_obs_events_not_stdout() {
+        let c = catalog(12);
+        let ds = dataset(12, 10);
+        let grid = GridSpec {
+            factors: vec![4, 8],
+            learning_rates: vec![0.1],
+            regs: vec![(0.01, 0.01)],
+            features: vec![FeatureSwitches::NONE],
+            samplers: vec![NegativeSamplerKind::UniformUnseen],
+            seeds: vec![1],
+            epochs: 2,
+        };
+        let opts = SweepOptions::default();
+        let obs = Obs::recording(Level::Debug);
+        let out = grid_search_obs(&c, &ds, &grid, &opts, &obs, 3.0);
+        let trace = obs.trace_json();
+        assert!(trace.contains("config trained"), "{trace}");
+        assert!(trace.contains("grid search done"), "{trace}");
+        assert!(obs.metrics_jsonl().contains("sweep.map_at_10"));
+        let inc = incremental_refresh_obs(&c, &ds, &out, 1, &opts, &obs, 4.0);
+        assert!(obs.trace_json().contains("incremental refresh done"));
+        assert!(!inc.candidates.is_empty());
+        // An Info-threshold handle skips the per-config Debug chatter but
+        // keeps completion milestones.
+        let quiet = Obs::recording(Level::Info);
+        grid_search_obs(&c, &ds, &grid, &opts, &quiet, 0.0);
+        let t = quiet.trace_json();
+        assert!(!t.contains("config trained"), "{t}");
+        assert!(t.contains("grid search done"), "{t}");
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::model::BprModel;
 use crate::negative::NegativeSampler;
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use sigmund_obs::{Level, Obs, Track};
 use sigmund_types::Catalog;
 
 /// Knobs for a training run.
@@ -44,6 +45,10 @@ impl Default for TrainOptions {
 pub struct EpochStats {
     /// Mean BPR loss (`−ln σ(s)`) over processed examples.
     pub mean_loss: f64,
+    /// Mean gradient magnitude `σ(−s)` over processed examples — the scalar
+    /// every row update is proportional to, so it tracks how hard the
+    /// optimizer is still pushing (→ 0 as the model converges).
+    pub mean_grad: f64,
     /// Examples processed (excludes skipped ones with empty contexts or no
     /// sampleable negative).
     pub examples: u64,
@@ -75,6 +80,7 @@ pub fn train_epoch(
     if n == 0 {
         return EpochStats {
             mean_loss: 0.0,
+            mean_grad: 0.0,
             examples: 0,
         };
     }
@@ -86,16 +92,18 @@ pub fn train_epoch(
     let threads = opts.threads.max(1).min(n);
     if threads == 1 {
         let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(epoch as u64));
-        let (loss, count) = train_slice(model, catalog, ds, sampler, &order, &mut rng);
+        let (loss, grad, count) = train_slice(model, catalog, ds, sampler, &order, &mut rng);
+        let denom = if count > 0 { count as f64 } else { 1.0 };
         return EpochStats {
-            mean_loss: if count > 0 { loss / count as f64 } else { 0.0 },
+            mean_loss: loss / denom,
+            mean_grad: grad / denom,
             examples: count,
         };
     }
 
     // Hogwild: split the shuffled order across threads; no locks anywhere.
     let chunk = n.div_ceil(threads);
-    let results: Vec<(f64, u64)> = crossbeam::thread::scope(|scope| {
+    let results: Vec<(f64, f64, u64)> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = order
             .chunks(chunk)
             .enumerate()
@@ -119,16 +127,66 @@ pub fn train_epoch(
     })
     .unwrap_or_else(|p| std::panic::resume_unwind(p));
 
-    let (loss, count) = results
+    let (loss, grad, count) = results
         .into_iter()
-        .fold((0.0, 0), |(l, c), (l2, c2)| (l + l2, c + c2));
+        .fold((0.0, 0.0, 0), |(l, g, c), (l2, g2, c2)| {
+            (l + l2, g + g2, c + c2)
+        });
+    let denom = if count > 0 { count as f64 } else { 1.0 };
     EpochStats {
-        mean_loss: if count > 0 { loss / count as f64 } else { 0.0 },
+        mean_loss: loss / denom,
+        mean_grad: grad / denom,
         examples: count,
     }
 }
 
-/// Processes one slice of example indices; returns (loss sum, count).
+/// Emits one epoch's obs record: a `train`-category span on `track` plus
+/// loss / gradient-magnitude / Adagrad-scale histograms. The Adagrad
+/// accumulator is sampled from the item-factor table (at most 64 rows,
+/// evenly strided) — enough to see the "damped frequent, boosted rare"
+/// spread without dumping every row.
+pub fn observe_epoch(
+    obs: &Obs,
+    track: Track,
+    start_s: f64,
+    end_s: f64,
+    epoch: u32,
+    stats: &EpochStats,
+    model: &BprModel,
+) {
+    if !obs.level_enabled(Level::Debug) {
+        return;
+    }
+    obs.span(
+        Level::Debug,
+        "train",
+        &format!("epoch {epoch}"),
+        track,
+        start_s,
+        end_s,
+        &[
+            ("epoch", epoch.into()),
+            ("mean_loss", stats.mean_loss.into()),
+            ("mean_grad", stats.mean_grad.into()),
+            ("examples", stats.examples.into()),
+        ],
+    );
+    obs.histogram("train.epoch_loss", stats.mean_loss);
+    obs.histogram("train.grad_norm", stats.mean_grad);
+    let table = model.tables()[0];
+    let rows = table.rows();
+    if rows > 0 {
+        let step = (rows / 64).max(1);
+        let mut r = 0;
+        while r < rows {
+            obs.histogram("train.adagrad_scale", f64::from(table.adagrad_acc(r)));
+            r += step;
+        }
+    }
+}
+
+/// Processes one slice of example indices; returns (loss sum, gradient-
+/// magnitude sum, count).
 fn train_slice(
     model: &BprModel,
     catalog: &Catalog,
@@ -136,7 +194,7 @@ fn train_slice(
     sampler: &NegativeSampler<'_>,
     indices: &[u32],
     rng: &mut StdRng,
-) -> (f64, u64) {
+) -> (f64, f64, u64) {
     let f = model.dim();
     let mut user_vec = vec![0.0f32; f];
     let mut rep_pos = vec![0.0f32; f];
@@ -147,6 +205,7 @@ fn train_slice(
     let lr = model.hp.learning_rate;
 
     let mut loss_sum = 0.0f64;
+    let mut grad_sum = 0.0f64;
     let mut count = 0u64;
 
     for &idx in indices {
@@ -175,6 +234,7 @@ fn train_slice(
         loss_sum += loss as f64;
         count += 1;
         let sig = 1.0 / (1.0 + s.exp()); // σ(−s): gradient magnitude
+        grad_sum += f64::from(sig);
 
         // Positive item rows: dL/d rep_pos = −σ(−s)·u.
         for (g, u) in grad.iter_mut().zip(user_vec.iter()) {
@@ -203,7 +263,7 @@ fn train_slice(
             model.apply_context_grad(catalog, *item, &grad, lr);
         }
     }
-    (loss_sum, count)
+    (loss_sum, grad_sum, count)
 }
 
 #[cfg(test)]
@@ -389,5 +449,56 @@ mod tests {
         );
         let total_acc: f32 = (0..20).map(|i| m.tables()[0].adagrad_acc(i)).sum();
         assert!(total_acc > 0.0);
+    }
+
+    #[test]
+    fn mean_grad_tracks_convergence() {
+        let c = catalog(40);
+        let ds = dataset(40, 24);
+        let m = BprModel::init(&c, hp());
+        let s = NegativeSampler::new(NegativeSamplerKind::UniformUnseen, &c, None);
+        let stats = train(
+            &m,
+            &c,
+            &ds,
+            &s,
+            TrainOptions {
+                epochs: 8,
+                threads: 1,
+                seed: 3,
+            },
+        );
+        // σ(−s) starts near 0.5 (random scores) and falls as the model
+        // separates positives from negatives.
+        assert!((stats[0].mean_grad - 0.5).abs() < 0.1, "{}", stats[0].mean_grad);
+        assert!(stats.last().unwrap().mean_grad < stats[0].mean_grad);
+    }
+
+    #[test]
+    fn observe_epoch_emits_span_and_histograms() {
+        use sigmund_obs::{Level, Obs, Track};
+        let c = catalog(20);
+        let ds = dataset(20, 10);
+        let m = BprModel::init(&c, hp());
+        let s = NegativeSampler::new(NegativeSamplerKind::UniformUnseen, &c, None);
+        let opts = TrainOptions {
+            epochs: 1,
+            threads: 1,
+            seed: 5,
+        };
+        let stats = train_epoch(&m, &c, &ds, &s, &opts, 0);
+        let obs = Obs::recording(Level::Debug);
+        observe_epoch(&obs, Track::machine(0, 0), 10.0, 12.0, 0, &stats, &m);
+        let trace = obs.trace_json();
+        assert!(trace.contains("\"cat\":\"train\""), "{trace}");
+        assert!(trace.contains("epoch 0"), "{trace}");
+        let metrics = obs.metrics_jsonl();
+        assert!(metrics.contains("train.epoch_loss"), "{metrics}");
+        assert!(metrics.contains("train.grad_norm"), "{metrics}");
+        assert!(metrics.contains("train.adagrad_scale"), "{metrics}");
+        // Below the Debug threshold nothing is recorded.
+        let quiet = Obs::recording(Level::Info);
+        observe_epoch(&quiet, Track::machine(0, 0), 10.0, 12.0, 0, &stats, &m);
+        assert_eq!(quiet.event_count(), 0);
     }
 }

@@ -11,6 +11,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sigmund_cluster::{CellSpec, CostMeter, PreemptionModel, Priority};
+use sigmund_obs::{Level, Obs, Track};
 use sigmund_types::TaskId;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -31,14 +32,18 @@ pub struct AttemptCtx {
     pub attempt: u32,
     budget: f64,
     used: f64,
+    start: f64,
+    track: Track,
 }
 
 impl AttemptCtx {
-    fn new(attempt: u32, budget: f64) -> Self {
+    fn new(attempt: u32, budget: f64, start: f64, track: Track) -> Self {
         Self {
             attempt,
             budget,
             used: 0.0,
+            start,
+            track,
         }
     }
 
@@ -66,6 +71,18 @@ impl AttemptCtx {
     pub fn remaining(&self) -> f64 {
         self.budget - self.used
     }
+
+    /// Absolute virtual time inside the attempt: the attempt's scheduled
+    /// start plus the time consumed so far. Tasks use it to stamp obs
+    /// events (checkpoints, epochs) on the job's timeline.
+    pub fn now(&self) -> f64 {
+        self.start + self.used
+    }
+
+    /// The machine lane this attempt is running on (for obs spans).
+    pub fn track(&self) -> Track {
+        self.track
+    }
 }
 
 /// A map task: user code plus scheduling metadata.
@@ -80,6 +97,11 @@ pub trait MapTask: Sync {
     /// Memory footprint of the split in GB.
     fn memory_gb(&self, _split: usize) -> f64 {
         4.0
+    }
+
+    /// Human-readable name for the split's attempt spans in the trace.
+    fn label(&self, split: usize) -> String {
+        format!("split {split}")
     }
 }
 
@@ -152,8 +174,25 @@ impl JobStats {
 /// Runs a map job over `n_splits` splits, executing the task's code for real
 /// while accounting virtual time.
 pub fn run_map_job<T: MapTask>(task: &T, n_splits: usize, cfg: &JobConfig) -> JobStats {
+    run_map_job_obs(task, n_splits, cfg, "map job", &Obs::disabled(), 0.0)
+}
+
+/// [`run_map_job`] with tracing: per-attempt spans on the cell's machine
+/// lanes (cat `cluster`), a job-level span on the cell's job lane (cat
+/// `mapreduce`), preemption/abandon instants, and straggler/load-imbalance
+/// metrics. `t0` is the job's virtual start time; `label` names the job
+/// span.
+pub fn run_map_job_obs<T: MapTask>(
+    task: &T,
+    n_splits: usize,
+    cfg: &JobConfig,
+    label: &str,
+    obs: &Obs,
+    t0: f64,
+) -> JobStats {
     let n_machines = cfg.cell.machines;
     assert!(n_machines > 0, "cell has no machines");
+    let cell_id = cfg.cell.cell.0;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // Machines become free at these times (min-heap keyed by quantized time).
@@ -181,6 +220,14 @@ pub fn run_map_job<T: MapTask>(task: &T, n_splits: usize, cfg: &JobConfig) -> Jo
     pending.retain(|&(s, _)| {
         if task.memory_gb(s) > cfg.cell.machine.memory_gb {
             unschedulable.push(TaskId::from_index(s));
+            obs.instant(
+                Level::Warn,
+                "mapreduce",
+                "unschedulable split",
+                Track::job(cell_id),
+                t0,
+                &[("split", s.into()), ("memory_gb", task.memory_gb(s).into())],
+            );
             false
         } else {
             true
@@ -196,7 +243,8 @@ pub fn run_map_job<T: MapTask>(task: &T, n_splits: usize, cfg: &JobConfig) -> Jo
             .preemption
             .sample(cfg.priority, &mut rng)
             .unwrap_or(f64::INFINITY);
-        let mut ctx = AttemptCtx::new(attempt, budget);
+        let track = Track::machine(cell_id, machine as u32);
+        let mut ctx = AttemptCtx::new(attempt, budget, t0 + now, track);
         let status = task.run(split, &mut ctx);
         let elapsed = ctx.used();
         let st = &mut stats[split];
@@ -206,15 +254,58 @@ pub fn run_map_job<T: MapTask>(task: &T, n_splits: usize, cfg: &JobConfig) -> Jo
         cost.charge(cfg.priority, elapsed);
         let end = now + elapsed;
         free_at.push(Reverse((quantize(end), machine)));
+        if obs.is_enabled() {
+            obs.span(
+                Level::Debug,
+                "cluster",
+                &task.label(split),
+                track,
+                t0 + now,
+                t0 + end,
+                &[
+                    ("split", split.into()),
+                    ("attempt", attempt.into()),
+                    (
+                        "status",
+                        match status {
+                            MapStatus::Done => "done",
+                            MapStatus::Preempted => "preempted",
+                        }
+                        .into(),
+                    ),
+                ],
+            );
+        }
         match status {
             MapStatus::Done => {
                 st.finish = end;
                 makespan = makespan.max(end);
+                obs.counter("mapreduce.splits_done", 1);
+                obs.histogram("mapreduce.split_attempts", f64::from(attempt));
+                obs.histogram("mapreduce.split_cpu_seconds", st.cpu_seconds);
             }
             MapStatus::Preempted => {
                 preemptions += 1;
+                obs.counter("mapreduce.preemptions", 1);
+                obs.instant(
+                    Level::Debug,
+                    "cluster",
+                    "preempt",
+                    track,
+                    t0 + end,
+                    &[("split", split.into()), ("attempt", attempt.into())],
+                );
                 if cfg.max_attempts.is_some_and(|cap| attempt >= cap) {
                     failed.push(TaskId::from_index(split));
+                    obs.counter("mapreduce.failed_splits", 1);
+                    obs.instant(
+                        Level::Error,
+                        "mapreduce",
+                        "split abandoned",
+                        Track::job(cell_id),
+                        t0 + end,
+                        &[("split", split.into()), ("attempts", attempt.into())],
+                    );
                 } else {
                     pending.push_back((split, attempt + 1));
                 }
@@ -222,7 +313,7 @@ pub fn run_map_job<T: MapTask>(task: &T, n_splits: usize, cfg: &JobConfig) -> Jo
         }
     }
 
-    JobStats {
+    let out = JobStats {
         makespan,
         cost,
         preemptions,
@@ -230,7 +321,40 @@ pub fn run_map_job<T: MapTask>(task: &T, n_splits: usize, cfg: &JobConfig) -> Jo
         machine_busy,
         unschedulable,
         failed,
+    };
+    if obs.is_enabled() {
+        let done_cpu: Vec<f64> = out
+            .per_split
+            .iter()
+            .filter(|s| s.cpu_seconds > 0.0)
+            .map(|s| s.cpu_seconds)
+            .collect();
+        let straggler = if done_cpu.is_empty() {
+            1.0
+        } else {
+            let max = done_cpu.iter().cloned().fold(0.0, f64::max);
+            max / (done_cpu.iter().sum::<f64>() / done_cpu.len() as f64)
+        };
+        obs.span(
+            Level::Info,
+            "mapreduce",
+            label,
+            Track::job(cell_id),
+            t0,
+            t0 + out.makespan,
+            &[
+                ("splits", n_splits.into()),
+                ("preemptions", out.preemptions.into()),
+                ("failed", out.failed.len().into()),
+                ("load_imbalance", out.load_imbalance().into()),
+                ("straggler_ratio", straggler.into()),
+            ],
+        );
+        obs.gauge("mapreduce.load_imbalance", t0 + out.makespan, out.load_imbalance());
+        obs.gauge("mapreduce.straggler_ratio", t0 + out.makespan, straggler);
+        obs.counter("mapreduce.jobs", 1);
     }
+    out
 }
 
 #[cfg(test)]
@@ -406,12 +530,48 @@ mod tests {
 
     #[test]
     fn attempt_ctx_budget_semantics() {
-        let mut ctx = AttemptCtx::new(1, 5.0);
+        let mut ctx = AttemptCtx::new(1, 5.0, 100.0, Track::PIPELINE);
         assert!(ctx.consume(3.0));
         assert_eq!(ctx.used(), 3.0);
         assert!((ctx.remaining() - 2.0).abs() < 1e-12);
+        assert_eq!(ctx.now(), 103.0, "absolute virtual time = start + used");
         assert!(!ctx.consume(3.0), "exceeds budget");
         assert_eq!(ctx.used(), 5.0, "machine time runs to the kill point");
+        assert_eq!(ctx.track(), Track::PIPELINE);
+    }
+
+    #[test]
+    fn obs_records_attempt_and_job_spans() {
+        let task = Fake::new(vec![10.0, 20.0]);
+        let obs = Obs::recording(Level::Debug);
+        let stats = run_map_job_obs(&task, 2, &cfg(2, 0.0, 1), "unit job", &obs, 5.0);
+        assert_eq!(stats.preemptions, 0);
+        let trace = obs.trace_json();
+        assert!(trace.contains("\"cat\":\"cluster\""), "{trace}");
+        assert!(trace.contains("\"cat\":\"mapreduce\""), "{trace}");
+        assert!(trace.contains("unit job"), "{trace}");
+        assert!(trace.contains("split 1"), "{trace}");
+        // Job span starts at t0 = 5 s.
+        assert!(trace.contains("\"ts\":5000000"), "{trace}");
+        let metrics = obs.metrics_jsonl();
+        assert!(metrics.contains("mapreduce.splits_done"), "{metrics}");
+        assert!(metrics.contains("mapreduce.load_imbalance"), "{metrics}");
+        // The disabled path records nothing but computes the same stats.
+        let silent = run_map_job(&Fake::new(vec![10.0, 20.0]), 2, &cfg(2, 0.0, 1));
+        assert_eq!(silent.makespan, stats.makespan);
+    }
+
+    #[test]
+    fn preemptions_show_up_in_trace_and_counters() {
+        let task = Fake::new(vec![100.0, 100.0]);
+        let obs = Obs::recording(Level::Debug);
+        let stats = run_map_job_obs(&task, 2, &cfg(2, 100.0, 7), "hazard job", &obs, 0.0);
+        assert!(stats.preemptions > 0);
+        assert!(obs.trace_json().contains("\"name\":\"preempt\""));
+        assert_eq!(
+            obs.metrics().map(|m| m.counter("mapreduce.preemptions")),
+            Some(stats.preemptions)
+        );
     }
 
     #[test]

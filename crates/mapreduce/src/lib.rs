@@ -26,6 +26,8 @@ pub mod engine;
 pub mod functional;
 pub mod split;
 
-pub use engine::{run_map_job, AttemptCtx, JobConfig, JobStats, MapStatus, MapTask, SplitStats};
+pub use engine::{
+    run_map_job, run_map_job_obs, AttemptCtx, JobConfig, JobStats, MapStatus, MapTask, SplitStats,
+};
 pub use functional::{map_reduce, shuffle};
 pub use split::{chunk_evenly, chunk_weighted, contiguous_runs, permute};

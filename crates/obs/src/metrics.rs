@@ -1,0 +1,286 @@
+//! The [`MetricsRegistry`]: counters, gauges and log2-bucketed histograms
+//! with deterministic (sorted) JSONL serialization.
+
+use crate::fmt_f64;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Registry updates are single-field writes; poison recovery is safe and
+    // keeps the library panic-free.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Last/min/max of a sampled value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gauge {
+    /// Most recent sample.
+    pub last: f64,
+    /// Smallest sample seen.
+    pub min: f64,
+    /// Largest sample seen.
+    pub max: f64,
+    /// Number of samples.
+    pub samples: u64,
+}
+
+/// A log2-bucketed histogram: 64 buckets spanning ~[2⁻³³, 2³¹), which
+/// comfortably covers losses, gradient norms, seconds and counts. Exact
+/// count/sum/min/max are tracked alongside, so the mean is exact and
+/// percentiles are bucket-upper-bound estimates clamped into `[min, max]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Number of recorded values (non-finite values are dropped).
+    pub count: u64,
+    /// Exact sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+    buckets: [u64; 64],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; 64],
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_index(v: f64) -> usize {
+        if v <= 0.0 || !v.is_finite() {
+            return 0;
+        }
+        let idx = v.log2().floor() as i64 + 33;
+        idx.clamp(0, 63) as usize
+    }
+
+    fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_index(v)] += 1;
+    }
+
+    /// Exact arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`0 < q <= 1`): the upper bound of the bucket
+    /// holding the target rank, clamped into `[min, max]`. Returns 0 if
+    /// empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= target {
+                let upper = f64::exp2(i as f64 - 32.0);
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// An explicit metrics registry — handed down, never a global. All maps are
+/// `BTreeMap`s so serialization order is deterministic.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named monotonic counter (created at 0).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut g = lock(&self.inner);
+        *g.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Records a gauge sample. Non-finite samples are dropped.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let mut g = lock(&self.inner);
+        let e = g.gauges.entry(name.to_owned()).or_insert(Gauge {
+            last: value,
+            min: value,
+            max: value,
+            samples: 0,
+        });
+        e.last = value;
+        e.min = e.min.min(value);
+        e.max = e.max.max(value);
+        e.samples += 1;
+    }
+
+    /// Records a value into the named histogram. Non-finite values are
+    /// dropped.
+    pub fn histogram_record(&self, name: &str, value: f64) {
+        let mut g = lock(&self.inner);
+        g.histograms.entry(name.to_owned()).or_default().record(value);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        lock(&self.inner).counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current state of a gauge, if any sample was recorded.
+    pub fn gauge(&self, name: &str) -> Option<Gauge> {
+        lock(&self.inner).gauges.get(name).copied()
+    }
+
+    /// Snapshot of a histogram, if any value was recorded.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        lock(&self.inner).histograms.get(name).cloned()
+    }
+
+    /// Serializes every metric as one JSON object per line: counters, then
+    /// gauges, then histograms, each sorted by name.
+    pub fn to_jsonl(&self) -> String {
+        let g = lock(&self.inner);
+        let mut out = String::new();
+        for (name, v) in &g.counters {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+                crate::json_escape(name),
+                v
+            );
+        }
+        for (name, v) in &g.gauges {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"gauge\",\"name\":\"{}\",\"last\":{},\"min\":{},\"max\":{},\"samples\":{}}}",
+                crate::json_escape(name),
+                fmt_f64(v.last),
+                fmt_f64(v.min),
+                fmt_f64(v.max),
+                v.samples
+            );
+        }
+        for (name, h) in &g.histograms {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                crate::json_escape(name),
+                h.count,
+                fmt_f64(h.min),
+                fmt_f64(h.max),
+                fmt_f64(h.mean()),
+                fmt_f64(h.quantile(0.50)),
+                fmt_f64(h.quantile(0.90)),
+                fmt_f64(h.quantile(0.99))
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        m.counter_add("a", 2);
+        m.counter_add("a", 3);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("never"), 0);
+    }
+
+    #[test]
+    fn gauges_track_last_min_max() {
+        let m = MetricsRegistry::new();
+        m.gauge_set("g", 2.0);
+        m.gauge_set("g", -1.0);
+        m.gauge_set("g", 0.5);
+        m.gauge_set("g", f64::NAN); // dropped
+        let g = m.gauge("g").unwrap();
+        assert_eq!((g.last, g.min, g.max, g.samples), (0.5, -1.0, 2.0, 3));
+    }
+
+    #[test]
+    fn histogram_mean_and_quantiles() {
+        let m = MetricsRegistry::new();
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            m.histogram_record("h", v);
+        }
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.count, 4);
+        assert!((h.mean() - 3.75).abs() < 1e-12);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 8.0);
+        // p50 lands in the bucket holding 2.0, i.e. [2, 4): upper bound 4.
+        assert!((h.quantile(0.5) - 4.0).abs() < 1e-12, "{}", h.quantile(0.5));
+        // p99 lands in the last bucket; clamped to max.
+        assert!((h.quantile(0.99) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_handles_zero_negative_and_tiny() {
+        let m = MetricsRegistry::new();
+        for v in [0.0, -3.0, 1e-12, f64::INFINITY] {
+            m.histogram_record("h", v);
+        }
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.count, 3); // infinity dropped
+        assert_eq!(h.min, -3.0);
+        // Quantile stays within [min, max] even for underflow buckets.
+        let q = h.quantile(0.5);
+        assert!((-3.0..=1e-12).contains(&q), "{q}");
+    }
+
+    #[test]
+    fn jsonl_is_sorted_and_stable() {
+        let m = MetricsRegistry::new();
+        m.counter_add("z.count", 1);
+        m.counter_add("a.count", 2);
+        m.gauge_set("mid.gauge", 1.5);
+        m.histogram_record("h.hist", 3.0);
+        let out = m.to_jsonl();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"a.count\""));
+        assert!(lines[1].contains("\"z.count\""));
+        assert!(lines[2].contains("\"mid.gauge\""));
+        assert!(lines[3].contains("\"h.hist\""));
+        // Deterministic: same inputs, same bytes.
+        assert_eq!(out, m.to_jsonl());
+    }
+}

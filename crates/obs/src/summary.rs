@@ -1,0 +1,181 @@
+//! Text summaries of the trace/metrics artifacts for `sigmund-cli report`.
+//!
+//! These parsers target exactly the line-oriented output this crate writes
+//! (one JSON object per line, fields in a known order, names without
+//! embedded quotes) — they are report formatters, not general JSON parsers.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Extracts the value of `"key":` in `line` as a raw string slice: quoted
+/// strings lose their quotes, numbers/booleans are returned verbatim.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(r) = rest.strip_prefix('"') {
+        Some(&r[..r.find('"')?])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+fn num(line: &str, key: &str) -> f64 {
+    field(line, key)
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.0)
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// Renders a metrics.jsonl document as an aligned text table, grouped into
+/// counters, gauges and histograms (input order, which the writer sorts).
+pub fn summarize_metrics(jsonl: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<10} {:<34} value", "type", "name");
+    let mut rows = 0;
+    for line in jsonl.lines() {
+        let (Some(ty), Some(name)) = (field(line, "type"), field(line, "name")) else {
+            continue;
+        };
+        let detail = match ty {
+            "counter" => format!("{}", num(line, "value")),
+            "gauge" => format!(
+                "last {} (min {}, max {}, n {})",
+                round3(num(line, "last")),
+                round3(num(line, "min")),
+                round3(num(line, "max")),
+                num(line, "samples")
+            ),
+            "histogram" => format!(
+                "n {} mean {} p50 {} p90 {} p99 {}",
+                num(line, "count"),
+                round3(num(line, "mean")),
+                round3(num(line, "p50")),
+                round3(num(line, "p90")),
+                round3(num(line, "p99"))
+            ),
+            _ => continue,
+        };
+        let _ = writeln!(out, "{ty:<10} {name:<34} {detail}");
+        rows += 1;
+    }
+    if rows == 0 {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+#[derive(Default)]
+struct CatStats {
+    spans: u64,
+    span_virtual_s: f64,
+    instants: u64,
+    samples: u64,
+}
+
+/// Renders a trace.json document as a per-category summary table: span
+/// count, total virtual seconds inside spans, instant-event count and
+/// gauge-sample count.
+pub fn summarize_trace(trace: &str) -> String {
+    let mut cats: BTreeMap<String, CatStats> = BTreeMap::new();
+    let mut total = 0u64;
+    for line in trace.lines() {
+        let Some(ph) = field(line, "ph") else {
+            continue;
+        };
+        if ph == "M" {
+            continue;
+        }
+        total += 1;
+        let cat = field(line, "cat").unwrap_or("?").to_owned();
+        let e = cats.entry(cat).or_default();
+        match ph {
+            "X" => {
+                e.spans += 1;
+                e.span_virtual_s += num(line, "dur") / 1e6;
+            }
+            "i" => e.instants += 1,
+            _ => e.samples += 1,
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} {:>14} {:>9} {:>8}",
+        "category", "spans", "virtual-sec", "instants", "samples"
+    );
+    for (cat, s) in &cats {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} {:>14} {:>9} {:>8}",
+            cat,
+            s.spans,
+            round3(s.span_virtual_s),
+            s.instants,
+            s.samples
+        );
+    }
+    if cats.is_empty() {
+        out.push_str("(no trace events)\n");
+    } else {
+        let _ = writeln!(out, "total events: {total}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Level, Obs, Track};
+
+    #[test]
+    fn field_extracts_strings_and_numbers() {
+        let line = "{\"type\":\"gauge\",\"name\":\"x.y\",\"last\":0.5,\"samples\":3}";
+        assert_eq!(field(line, "type"), Some("gauge"));
+        assert_eq!(field(line, "name"), Some("x.y"));
+        assert_eq!(field(line, "last"), Some("0.5"));
+        assert_eq!(field(line, "samples"), Some("3"));
+        assert_eq!(field(line, "absent"), None);
+    }
+
+    #[test]
+    fn metrics_summary_round_trips_writer_output() {
+        let obs = Obs::recording(Level::Debug);
+        obs.counter("pipeline.days", 2);
+        obs.gauge("serving.hit_rate", 1.0, 0.25);
+        obs.histogram("train.epoch_loss", 0.7);
+        let table = summarize_metrics(&obs.metrics_jsonl());
+        assert!(table.contains("counter"), "{table}");
+        assert!(table.contains("pipeline.days"), "{table}");
+        assert!(table.contains("serving.hit_rate"), "{table}");
+        assert!(table.contains("train.epoch_loss"), "{table}");
+    }
+
+    #[test]
+    fn trace_summary_counts_by_category() {
+        let obs = Obs::recording(Level::Debug);
+        obs.span(Level::Info, "cluster", "t", Track::machine(0, 0), 0.0, 2.0, &[]);
+        obs.span(Level::Info, "cluster", "t", Track::machine(0, 1), 0.0, 1.0, &[]);
+        obs.instant(Level::Warn, "monitor", "alert", Track::PIPELINE, 1.0, &[]);
+        obs.gauge("g", 1.0, 3.0);
+        let table = summarize_trace(&obs.trace_json());
+        assert!(table.contains("cluster"), "{table}");
+        assert!(table.contains("monitor"), "{table}");
+        assert!(table.contains("total events: 4"), "{table}");
+        // Two cluster spans totalling 3 virtual seconds.
+        let cluster_line = table.lines().find(|l| l.starts_with("cluster")).unwrap();
+        assert!(cluster_line.contains('2'), "{cluster_line}");
+        assert!(cluster_line.contains('3'), "{cluster_line}");
+    }
+
+    #[test]
+    fn empty_inputs_say_so() {
+        assert!(summarize_metrics("").contains("no metrics"));
+        assert!(summarize_trace("{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n")
+            .contains("no trace events"));
+    }
+}

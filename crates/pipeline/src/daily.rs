@@ -18,7 +18,8 @@ use crate::train_job::TrainJob;
 use sigmund_cluster::{CellSpec, CostMeter, PreemptionModel, Priority};
 use sigmund_core::prelude::*;
 use sigmund_dfs::Dfs;
-use sigmund_mapreduce::{permute, run_map_job, JobConfig, JobStats};
+use sigmund_mapreduce::{permute, run_map_job_obs, JobConfig, JobStats};
+use sigmund_obs::{Level, Obs, Track};
 use sigmund_types::{Catalog, ConfigRecord, Interaction, ItemId, RetailerId, SigmundError};
 use std::collections::HashMap;
 
@@ -52,6 +53,8 @@ pub struct PipelineConfig {
     pub items_per_split: usize,
     /// Master seed.
     pub seed: u64,
+    /// Observability handle; the disabled default records nothing.
+    pub obs: Obs,
 }
 
 impl Default for PipelineConfig {
@@ -71,6 +74,7 @@ impl Default for PipelineConfig {
             rec_k: 10,
             items_per_split: 500,
             seed: 11,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -113,6 +117,9 @@ pub struct SigmundService {
     new_since_last_run: Vec<RetailerId>,
     /// Previous run's annotated config records.
     last_outputs: Vec<ConfigRecord>,
+    /// The service's virtual clock: advances to the end of each day's
+    /// offline work (days are laid out back-to-back on one timeline).
+    virtual_now: f64,
 }
 
 impl SigmundService {
@@ -126,7 +133,14 @@ impl SigmundService {
             retailers: Vec::new(),
             new_since_last_run: Vec::new(),
             last_outputs: Vec::new(),
+            virtual_now: 0.0,
         }
+    }
+
+    /// Current virtual time (seconds since the service started; the end of
+    /// the last completed day's work).
+    pub fn virtual_now(&self) -> f64 {
+        self.virtual_now
     }
 
     /// Signs a retailer up: publishes its catalog and events and schedules a
@@ -144,6 +158,18 @@ impl SigmundService {
         data::publish_retailer(&self.dfs, home, catalog, events)?;
         self.retailers.push((catalog.retailer, catalog.len()));
         self.new_since_last_run.push(catalog.retailer);
+        self.cfg.obs.instant(
+            Level::Info,
+            "pipeline",
+            &format!("onboard {}", catalog.retailer),
+            Track::PIPELINE,
+            self.virtual_now,
+            &[
+                ("items", catalog.len().into()),
+                ("events", events.len().into()),
+                ("home_cell", home.0.into()),
+            ],
+        );
         Ok(())
     }
 
@@ -170,6 +196,17 @@ impl SigmundService {
         {
             slot.1 = catalog.len();
         }
+        self.cfg.obs.instant(
+            Level::Debug,
+            "pipeline",
+            &format!("data refresh {}", catalog.retailer),
+            Track::PIPELINE,
+            self.virtual_now,
+            &[
+                ("items", catalog.len().into()),
+                ("events", events.len().into()),
+            ],
+        );
         Ok(())
     }
 
@@ -186,6 +223,8 @@ impl SigmundService {
     /// the day counter does not advance).
     pub fn run_day(&mut self) -> Result<DayReport, SigmundError> {
         let day_seed = self.cfg.seed.wrapping_add(self.day as u64 * 0x9E37);
+        let obs = self.cfg.obs.clone();
+        let day_start = self.virtual_now;
         // --- sweep --------------------------------------------------------
         let new_catalogs: Vec<Catalog> = self
             .new_since_last_run
@@ -200,6 +239,22 @@ impl SigmundService {
             &new_refs,
             &self.cfg.grid,
             day_seed,
+        );
+        let warm_models = records
+            .iter()
+            .filter(|r| r.warm_start_path.is_some())
+            .count();
+        obs.instant(
+            Level::Info,
+            "pipeline",
+            "sweep plan",
+            Track::PIPELINE,
+            day_start,
+            &[
+                ("warm_models", warm_models.into()),
+                ("cold_models", (records.len() - warm_models).into()),
+                ("new_retailers", self.new_since_last_run.len().into()),
+            ],
         );
         self.new_since_last_run.clear();
         let models_trained = records.len();
@@ -257,7 +312,8 @@ impl SigmundService {
             let mut job = TrainJob::new(&self.dfs, cell.cell, recs, self.cfg.cost);
             job.threads = self.cfg.threads;
             job.checkpoint_interval = self.cfg.checkpoint_interval;
-            let stats = run_map_job(
+            job.obs = obs.clone();
+            let stats = run_map_job_obs(
                 &job,
                 job.n_splits(),
                 &JobConfig {
@@ -267,6 +323,9 @@ impl SigmundService {
                     seed: day_seed ^ (ci as u64) << 8,
                     max_attempts: Some(MAX_TASK_ATTEMPTS),
                 },
+                &format!("train cell {ci}"),
+                &obs,
+                day_start,
             );
             outputs.extend(job.take_outputs());
             cost.merge(&stats.cost);
@@ -274,12 +333,32 @@ impl SigmundService {
             train_makespan = train_makespan.max(stats.makespan);
             train_stats.push(stats);
         }
+        obs.span(
+            Level::Info,
+            "pipeline",
+            "train phase",
+            Track::PIPELINE,
+            day_start,
+            day_start + train_makespan,
+            &[("models", models_trained.into())],
+        );
 
         // --- model selection -----------------------------------------------
         let best: HashMap<RetailerId, ConfigRecord> = sweep::top_k_per_retailer(&outputs, 1)
             .into_iter()
             .map(|r| (r.model.retailer, r))
             .collect();
+        obs.instant(
+            Level::Info,
+            "pipeline",
+            "model selection",
+            Track::PIPELINE,
+            day_start + train_makespan,
+            &[
+                ("candidates", outputs.len().into()),
+                ("winners", best.len().into()),
+            ],
+        );
 
         // --- inference MapReduces ------------------------------------------
         // Bin-pack retailers by *item count* (Section IV-C1), then one job
@@ -308,7 +387,7 @@ impl SigmundService {
             let mut job =
                 InferenceJob::new(&self.dfs, cell.cell, splits, best.clone(), self.cfg.cost);
             job.k = self.cfg.rec_k;
-            let stats = run_map_job(
+            let stats = run_map_job_obs(
                 &job,
                 job.n_splits(),
                 &JobConfig {
@@ -318,6 +397,9 @@ impl SigmundService {
                     seed: day_seed ^ 0xFACE ^ ((ci as u64) << 16),
                     max_attempts: Some(MAX_TASK_ATTEMPTS),
                 },
+                &format!("infer cell {ci}"),
+                &obs,
+                day_start + train_makespan,
             );
             all_recs.extend(job.take_outputs());
             cost.merge(&stats.cost);
@@ -325,6 +407,16 @@ impl SigmundService {
             infer_makespan = infer_makespan.max(stats.makespan);
             infer_stats.push(stats);
         }
+        let day_end = day_start + train_makespan + infer_makespan;
+        obs.span(
+            Level::Info,
+            "pipeline",
+            "infer phase",
+            Track::PIPELINE,
+            day_start + train_makespan,
+            day_end,
+            &[("retailers", weighted_items.len().into())],
+        );
 
         // --- batch publish --------------------------------------------------
         let mut recs: HashMap<RetailerId, Vec<ItemRecs>> = HashMap::new();
@@ -341,12 +433,54 @@ impl SigmundService {
                 }
             }
         }
-        for (r, v) in &recs {
+        // Iterate in sorted retailer order: the trace must not depend on
+        // HashMap iteration order.
+        let mut publish_order: Vec<RetailerId> = recs.keys().copied().collect();
+        publish_order.sort_unstable();
+        let mut recs_published = 0u64;
+        for r in &publish_order {
+            let v = &recs[r];
             let json = serde_json::to_vec(v)
                 .map_err(|e| SigmundError::Invalid(format!("recs serialize: {e}")))?;
             self.dfs
                 .write(self.cfg.cells[0].cell, &data::recs_path(*r), json.into());
+            recs_published += v.len() as u64;
+            obs.instant(
+                Level::Debug,
+                "pipeline",
+                &format!("publish {r}"),
+                Track::PIPELINE,
+                day_end,
+                &[("items", v.len().into())],
+            );
         }
+        obs.counter("pipeline.recs_published", recs_published);
+        obs.counter("pipeline.days", 1);
+        obs.counter("pipeline.preemptions", preemptions);
+        obs.gauge("pipeline.models_trained", day_end, models_trained as f64);
+        obs.gauge("pipeline.train_makespan_s", day_end, train_makespan);
+        obs.gauge("pipeline.infer_makespan_s", day_end, infer_makespan);
+        obs.gauge("pipeline.cost_cpu_s", day_end, cost.total_cpu_s());
+        obs.span(
+            Level::Info,
+            "pipeline",
+            &format!("day {}", self.day),
+            Track::PIPELINE,
+            day_start,
+            day_end,
+            &[
+                ("models_trained", models_trained.into()),
+                ("preemptions", preemptions.into()),
+                ("retailers", self.retailers.len().into()),
+            ],
+        );
+        // Advance the virtual clock; a no-work day still takes nominal time
+        // so successive days never share a timestamp.
+        self.virtual_now = if day_end > day_start {
+            day_end
+        } else {
+            day_start + 1.0
+        };
 
         self.last_outputs = outputs;
         let report = DayReport {
@@ -476,6 +610,38 @@ mod tests {
         // 1 incremental (retailer 0) + full grid (1 config) for retailer 1.
         assert_eq!(report.models_trained, 2);
         assert!(report.best.contains_key(&sigmund_types::RetailerId(1)));
+    }
+
+    #[test]
+    fn run_day_emits_full_pipeline_trace() {
+        let mut svc = service();
+        svc.cfg.obs = Obs::recording(Level::Debug);
+        svc.cfg.threads = 1;
+        let d = small_retailer(0, 11);
+        svc.onboard(&d.catalog, &d.events).unwrap();
+        svc.run_day().unwrap();
+        let trace = svc.cfg.obs.trace_json();
+        for needle in [
+            "onboard RetailerId#0",
+            "sweep plan",
+            "train phase",
+            "model selection",
+            "infer phase",
+            "\"cat\":\"cluster\"",
+            "\"cat\":\"mapreduce\"",
+            "\"cat\":\"train\"",
+            "\"cat\":\"pipeline\"",
+        ] {
+            assert!(trace.contains(needle), "missing {needle} in trace");
+        }
+        let metrics = svc.cfg.obs.metrics().unwrap();
+        assert_eq!(metrics.counter("pipeline.days"), 1);
+        assert!(metrics.counter("pipeline.recs_published") > 0);
+        assert!(svc.virtual_now() > 0.0, "virtual clock advanced");
+        // Day 2 starts where day 1 ended.
+        let t1 = svc.virtual_now();
+        svc.run_day().unwrap();
+        assert!(svc.virtual_now() > t1);
     }
 
     #[test]

@@ -215,6 +215,11 @@ impl MapTask for InferenceJob<'_> {
         MapStatus::Done
     }
 
+    fn label(&self, split: usize) -> String {
+        let sp = self.splits[split];
+        format!("infer {} [{}..{})", sp.retailer, sp.start, sp.end)
+    }
+
     fn est_work(&self, split: usize) -> f64 {
         let sp = self.splits[split];
         // Linear in items, thanks to candidate selection (Section IV-C1).

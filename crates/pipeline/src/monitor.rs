@@ -17,6 +17,7 @@
 
 use crate::daily::DayReport;
 use serde::Serialize;
+use sigmund_obs::{ArgValue, Level, Obs, Track};
 use sigmund_types::RetailerId;
 use std::collections::HashMap;
 
@@ -55,6 +56,15 @@ pub enum QualityAlert {
         /// Fraction of items with a non-empty view-based list.
         coverage: f64,
     },
+    /// A previously [`QualityAlert::LowQuality`] retailer cleared the floor.
+    Recovered {
+        /// Affected retailer.
+        retailer: RetailerId,
+        /// Day the recovery was observed.
+        day: u32,
+        /// Best MAP@10 ever observed (now above the floor).
+        best_map: f64,
+    },
 }
 
 /// Monitor configuration.
@@ -86,6 +96,9 @@ impl Default for MonitorConfig {
 struct History {
     maps: Vec<f64>,
     best: f64,
+    /// Whether the retailer is currently flagged low-quality. `LowQuality`
+    /// fires only on the transition in; `Recovered` on the transition out.
+    low_quality: bool,
 }
 
 /// The fleet quality monitor.
@@ -139,8 +152,18 @@ impl QualityMonitor {
             hist.maps.push(map);
             hist.best = hist.best.max(map);
             if hist.best < self.cfg.quality_floor {
-                alerts.push(QualityAlert::LowQuality {
+                if !hist.low_quality {
+                    hist.low_quality = true;
+                    alerts.push(QualityAlert::LowQuality {
+                        retailer,
+                        best_map: hist.best,
+                    });
+                }
+            } else if hist.low_quality {
+                hist.low_quality = false;
+                alerts.push(QualityAlert::Recovered {
                     retailer,
+                    day: report.day,
                     best_map: hist.best,
                 });
             }
@@ -159,12 +182,82 @@ impl QualityMonitor {
         alerts
     }
 
+    /// Like [`QualityMonitor::record_day`], but also emits each alert as a
+    /// structured `monitor` event at virtual time `ts` and refreshes the
+    /// fleet-health gauges.
+    pub fn record_day_obs(
+        &mut self,
+        onboarded: &[(RetailerId, usize)],
+        report: &DayReport,
+        obs: &Obs,
+        ts: f64,
+    ) -> Vec<QualityAlert> {
+        let alerts = self.record_day(onboarded, report);
+        if !obs.is_enabled() {
+            return alerts;
+        }
+        for alert in &alerts {
+            let (name, level, retailer, extra): (&str, Level, RetailerId, (&str, ArgValue)) =
+                match alert {
+                    QualityAlert::Regression {
+                        retailer, today_map, ..
+                    } => (
+                        "regression",
+                        Level::Warn,
+                        *retailer,
+                        ("today_map", (*today_map).into()),
+                    ),
+                    QualityAlert::LowQuality { retailer, best_map } => (
+                        "low_quality",
+                        Level::Warn,
+                        *retailer,
+                        ("best_map", (*best_map).into()),
+                    ),
+                    QualityAlert::MissingModel { retailer, day } => {
+                        ("missing_model", Level::Warn, *retailer, ("day", (*day).into()))
+                    }
+                    QualityAlert::EmptyRecommendations { retailer, coverage } => (
+                        "empty_recommendations",
+                        Level::Warn,
+                        *retailer,
+                        ("coverage", (*coverage).into()),
+                    ),
+                    QualityAlert::Recovered {
+                        retailer, best_map, ..
+                    } => (
+                        "recovered",
+                        Level::Info,
+                        *retailer,
+                        ("best_map", (*best_map).into()),
+                    ),
+                };
+            obs.instant(
+                level,
+                "monitor",
+                name,
+                Track::PIPELINE,
+                ts,
+                &[("retailer", retailer.0.into()), extra],
+            );
+        }
+        obs.counter("monitor.alerts", alerts.len() as u64);
+        let (n, mean, worst) = self.fleet_summary();
+        if n > 0 {
+            obs.gauge("monitor.fleet_mean_map", ts, mean);
+            obs.gauge("monitor.fleet_worst_map", ts, worst);
+        }
+        alerts
+    }
+
     /// Fleet summary: (retailers tracked, mean latest MAP, worst latest MAP).
     pub fn fleet_summary(&self) -> (usize, f64, f64) {
-        let latest: Vec<f64> = self
-            .history
-            .values()
-            .filter_map(|h| h.maps.last().copied())
+        // Sum in sorted retailer order so the mean is bitwise reproducible
+        // (HashMap iteration order is seeded per process).
+        let mut keys: Vec<RetailerId> = self.history.keys().copied().collect();
+        keys.sort_unstable();
+        let latest: Vec<f64> = keys
+            .iter()
+            .filter_map(|r| self.history[r].maps.last().copied())
             .collect();
         if latest.is_empty() {
             return (0, 0.0, 0.0);
@@ -265,9 +358,77 @@ mod tests {
         assert!(alerts
             .iter()
             .any(|a| matches!(a, QualityAlert::LowQuality { .. })));
-        // Once it ever clears the floor, the flag stops.
+        // Clearing the floor emits a single Recovered transition.
         let alerts = mon.record_day(&fleet, &report(1, &[(0, 0.2, 10, 10)]));
-        assert!(alerts.is_empty());
+        assert!(matches!(
+            alerts.as_slice(),
+            [QualityAlert::Recovered { best_map, .. }] if *best_map == 0.2
+        ));
+        // Steady state afterwards is silent.
+        let alerts = mon.record_day(&fleet, &report(2, &[(0, 0.21, 10, 10)]));
+        assert!(alerts.is_empty(), "{alerts:?}");
+    }
+
+    #[test]
+    fn low_quality_fires_once_per_transition() {
+        let mut mon = QualityMonitor::new(MonitorConfig::default());
+        let fleet = vec![(RetailerId(0), 10)];
+        let alerts = mon.record_day(&fleet, &report(0, &[(0, 0.001, 10, 10)]));
+        assert_eq!(
+            alerts
+                .iter()
+                .filter(|a| matches!(a, QualityAlert::LowQuality { .. }))
+                .count(),
+            1
+        );
+        // Still below the floor: no re-fire.
+        for day in 1..4 {
+            let alerts = mon.record_day(&fleet, &report(day, &[(0, 0.002, 10, 10)]));
+            assert!(alerts.is_empty(), "day {day}: {alerts:?}");
+        }
+    }
+
+    #[test]
+    fn regression_then_recovery_sequence() {
+        let mut mon = QualityMonitor::new(MonitorConfig::default());
+        let fleet = vec![(RetailerId(0), 10)];
+        // Build a baseline above the floor, crash below it, then recover.
+        // `best` stays above the floor throughout, so the only alert in the
+        // sequence is the regression itself — recovery of a *regression* is
+        // implicit in the trailing mean, not a LowQuality state change.
+        mon.record_day(&fleet, &report(0, &[(0, 0.30, 10, 10)]));
+        mon.record_day(&fleet, &report(1, &[(0, 0.32, 10, 10)]));
+        let crash = mon.record_day(&fleet, &report(2, &[(0, 0.05, 10, 10)]));
+        assert!(matches!(
+            crash.as_slice(),
+            [QualityAlert::Regression { .. }]
+        ));
+        let back = mon.record_day(&fleet, &report(3, &[(0, 0.31, 10, 10)]));
+        assert!(back.is_empty(), "{back:?}");
+    }
+
+    #[test]
+    fn fleet_summary_empty_history() {
+        let mon = QualityMonitor::default();
+        assert_eq!(mon.fleet_summary(), (0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn record_day_obs_emits_alert_events_and_gauges() {
+        let obs = Obs::recording(Level::Debug);
+        let mut mon = QualityMonitor::new(MonitorConfig::default());
+        let fleet = vec![(RetailerId(0), 10)];
+        let alerts =
+            mon.record_day_obs(&fleet, &report(0, &[(0, 0.001, 10, 10)]), &obs, 42.0);
+        assert_eq!(alerts.len(), 1);
+        let trace = obs.trace_json();
+        assert!(trace.contains("low_quality"), "{trace}");
+        let metrics = obs.metrics().unwrap();
+        assert_eq!(metrics.counter("monitor.alerts"), 1);
+        assert!(metrics.gauge("monitor.fleet_mean_map").is_some());
+        // Recovery shows up as an Info event.
+        mon.record_day_obs(&fleet, &report(1, &[(0, 0.4, 10, 10)]), &obs, 43.0);
+        assert!(obs.trace_json().contains("recovered"));
     }
 
     #[test]

@@ -24,6 +24,7 @@ use parking_lot::Mutex;
 use sigmund_core::prelude::*;
 use sigmund_dfs::{CheckpointStore, Dfs};
 use sigmund_mapreduce::{AttemptCtx, MapStatus, MapTask};
+use sigmund_obs::{Level, Obs};
 use sigmund_types::{Catalog, CellId, ConfigRecord, RetailerId};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -48,6 +49,9 @@ pub struct TrainJob<'a> {
     pub threads: usize,
     /// Virtual seconds between checkpoints (paper: "a fixed time-interval").
     pub checkpoint_interval: f64,
+    /// Observability handle; per-epoch spans and checkpoint events are
+    /// emitted at Debug level. Disabled by default.
+    pub obs: Obs,
     cache: Mutex<HashMap<RetailerId, Arc<RetailerState>>>,
     outputs: Mutex<Vec<ConfigRecord>>,
 }
@@ -62,6 +66,7 @@ impl<'a> TrainJob<'a> {
             cost,
             threads: 4,
             checkpoint_interval: 300.0,
+            obs: Obs::disabled(),
             cache: Mutex::new(HashMap::new()),
             outputs: Mutex::new(Vec::new()),
         }
@@ -167,13 +172,31 @@ impl MapTask for TrainJob<'_> {
                 // checkpoint is lost (the next attempt restores from DFS).
                 return MapStatus::Preempted;
             }
-            train_epoch(&model, catalog, ds, &sampler, &opts, epochs_done);
+            let stats = train_epoch(&model, catalog, ds, &sampler, &opts, epochs_done);
             epochs_done += 1;
+            observe_epoch(
+                &self.obs,
+                ctx.track(),
+                ctx.now() - epoch_cost,
+                ctx.now(),
+                epochs_done - 1,
+                &stats,
+                &model,
+            );
             since_ckpt += epoch_cost;
             if since_ckpt >= self.checkpoint_interval && epochs_done < total_epochs {
                 let snap = ModelSnapshot::capture(&model);
                 let _ = ckpt.publish(epochs_done as u64, &snap.to_bytes());
                 since_ckpt = 0.0;
+                self.obs.counter("train.checkpoints", 1);
+                self.obs.instant(
+                    Level::Debug,
+                    "train",
+                    &format!("checkpoint {r} cfg{}", rec.model.config),
+                    ctx.track(),
+                    ctx.now(),
+                    &[("epochs_done", epochs_done.into())],
+                );
             }
         }
 
@@ -194,6 +217,11 @@ impl MapTask for TrainJob<'_> {
         out.metrics = Some(metrics);
         self.outputs.lock().push(out);
         MapStatus::Done
+    }
+
+    fn label(&self, split: usize) -> String {
+        let rec = &self.records[split];
+        format!("train {} cfg{}", rec.model.retailer, rec.model.config)
     }
 
     fn est_work(&self, split: usize) -> f64 {

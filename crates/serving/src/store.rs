@@ -8,6 +8,7 @@
 use parking_lot::RwLock;
 use sigmund_core::inference::{ItemRecs, RecList};
 use sigmund_core::model::ContextEvent;
+use sigmund_obs::{Level, Obs, Track};
 use sigmund_types::{ActionType, ItemId, RetailerId};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -102,6 +103,60 @@ impl ServingStore {
     /// Current snapshot generation (0 = nothing published yet).
     pub fn generation(&self) -> u64 {
         self.current.read().generation
+    }
+
+    /// [`ServingStore::publish`] with tracing: a `serving`-category span at
+    /// `ts` (virtual seconds) plus publish counters and retailer/generation
+    /// gauges.
+    pub fn publish_obs(&self, batch: HashMap<RetailerId, Vec<ItemRecs>>, obs: &Obs, ts: f64) -> u64 {
+        let batch_size = batch.len();
+        let generation = self.publish(batch);
+        obs.span(
+            Level::Info,
+            "serving",
+            &format!("publish gen {generation}"),
+            Track::SERVING,
+            ts,
+            ts,
+            &[
+                ("retailers_updated", batch_size.into()),
+                ("generation", generation.into()),
+            ],
+        );
+        obs.counter("serving.publishes", 1);
+        obs.gauge("serving.retailers", ts, self.retailer_count() as f64);
+        obs.gauge("serving.generation", ts, generation as f64);
+        generation
+    }
+
+    /// Emits the store's health gauges at `ts`: hit rate, current
+    /// generation, and the lag between `expected_generation` (how many
+    /// batches the pipeline has produced) and what is actually being served
+    /// — a stuck publisher shows up as a growing `serving.generation_lag`.
+    pub fn observe(&self, obs: &Obs, ts: f64, expected_generation: u64) {
+        if !obs.is_enabled() {
+            return;
+        }
+        let s = self.stats();
+        let generation = self.generation();
+        obs.gauge("serving.hit_rate", ts, s.hit_rate());
+        obs.gauge(
+            "serving.generation_lag",
+            ts,
+            expected_generation.saturating_sub(generation) as f64,
+        );
+        obs.instant(
+            Level::Debug,
+            "serving",
+            "stats",
+            Track::SERVING,
+            ts,
+            &[
+                ("hits", s.hits.into()),
+                ("empties", s.empties.into()),
+                ("misses", s.misses.into()),
+            ],
+        );
     }
 
     /// Serves a request: recommendations for the last item in `context`.
@@ -257,6 +312,38 @@ mod tests {
         store.reset_stats();
         assert_eq!(store.stats(), ServingStats::default());
         assert_eq!(ServingStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_zero_lookups() {
+        // Before any traffic the rate must be a well-defined 0.0, not NaN —
+        // the monitor and the obs gauges both consume it directly.
+        let store = ServingStore::new();
+        let s = store.stats();
+        assert_eq!((s.hits, s.empties, s.misses), (0, 0, 0));
+        assert_eq!(s.hit_rate(), 0.0);
+        assert!(s.hit_rate().is_finite());
+    }
+
+    #[test]
+    fn publish_obs_and_observe_emit_serving_telemetry() {
+        use sigmund_obs::{Level, Obs};
+        let store = ServingStore::new();
+        let obs = Obs::recording(Level::Debug);
+        let mut batch = HashMap::new();
+        batch.insert(RetailerId(0), vec![recs(&[1], &[])]);
+        let generation = store.publish_obs(batch, &obs, 2.0);
+        assert_eq!(generation, 1);
+        store.lookup(RetailerId(0), ItemId(0), RecSurface::ViewBased); // hit
+        store.lookup(RetailerId(9), ItemId(0), RecSurface::ViewBased); // miss
+        store.observe(&obs, 3.0, 2); // pipeline is one batch ahead
+        let trace = obs.trace_json();
+        assert!(trace.contains("\"cat\":\"serving\""), "{trace}");
+        assert!(trace.contains("publish gen 1"), "{trace}");
+        let m = obs.metrics().unwrap();
+        assert_eq!(m.counter("serving.publishes"), 1);
+        assert_eq!(m.gauge("serving.hit_rate").map(|g| g.last), Some(0.5));
+        assert_eq!(m.gauge("serving.generation_lag").map(|g| g.last), Some(1.0));
     }
 
     #[test]

@@ -1,0 +1,104 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+//! The determinism invariant, made observable: two same-seed single-threaded
+//! service runs must produce **byte-identical** `trace.json` and
+//! `metrics.jsonl` renderings. Everything in the obs layer — event order,
+//! float formatting, metric iteration — is exercised end to end, so any
+//! accidental wall clock, unseeded RNG, or unsorted HashMap walk anywhere in
+//! the instrumented pipeline shows up here as a diff.
+
+use sigmund_cluster::{CellSpec, PreemptionModel};
+use sigmund_core::prelude::*;
+use sigmund_datagen::FleetSpec;
+use sigmund_obs::{Level, Obs};
+use sigmund_pipeline::{MonitorConfig, PipelineConfig, QualityMonitor, SigmundService};
+use sigmund_serving::{RecSurface, ServingStore};
+use sigmund_types::*;
+
+fn tiny_grid() -> GridSpec {
+    GridSpec {
+        factors: vec![8],
+        learning_rates: vec![0.1],
+        regs: vec![(0.01, 0.01)],
+        features: vec![FeatureSwitches::NONE],
+        samplers: vec![NegativeSamplerKind::UniformUnseen],
+        seeds: vec![1],
+        epochs: 3,
+    }
+}
+
+/// One full traced run: service + serving store + monitor, two days,
+/// single-threaded (Hogwild >1 thread is deliberately racy — see
+/// tests/determinism.rs). Returns the rendered artifacts.
+fn traced_run() -> (String, String) {
+    let obs = Obs::recording(Level::Debug);
+    let fleet = FleetSpec {
+        n_retailers: 2,
+        min_items: 25,
+        max_items: 50,
+        pareto_alpha: 1.2,
+        users_per_item: 1.0,
+        seed: 33,
+    };
+    let mut svc = SigmundService::new(PipelineConfig {
+        cells: vec![CellSpec::standard(CellId(0), 3)],
+        grid: tiny_grid(),
+        preemption: PreemptionModel { rate_per_hour: 5.0 },
+        checkpoint_interval: 0.004,
+        items_per_split: 10,
+        threads: 1,
+        obs: obs.clone(),
+        ..Default::default()
+    });
+    for d in fleet.generate() {
+        svc.onboard(&d.catalog, &d.events).unwrap();
+    }
+    let mut monitor = QualityMonitor::new(MonitorConfig::default());
+    let store = ServingStore::new();
+    for _ in 0..2 {
+        let onboarded = svc.retailers().to_vec();
+        let report = svc.run_day().unwrap();
+        monitor.record_day_obs(&onboarded, &report, &obs, svc.virtual_now());
+        let generation = store.publish_obs(report.recs.clone(), &obs, svc.virtual_now());
+        let mut served: Vec<RetailerId> = report.recs.keys().copied().collect();
+        served.sort_unstable();
+        for r in served {
+            store.lookup(r, ItemId(0), RecSurface::ViewBased);
+        }
+        store.observe(&obs, svc.virtual_now(), generation);
+    }
+    (obs.trace_json(), obs.metrics_jsonl())
+}
+
+#[test]
+fn same_seed_single_thread_traces_are_byte_identical() {
+    let (trace_a, metrics_a) = traced_run();
+    let (trace_b, metrics_b) = traced_run();
+    assert_eq!(trace_a, trace_b, "trace.json must be byte-identical");
+    assert_eq!(metrics_a, metrics_b, "metrics.jsonl must be byte-identical");
+}
+
+#[test]
+fn trace_covers_every_instrumented_layer() {
+    let (trace, metrics) = traced_run();
+    assert!(trace.starts_with("{\"traceEvents\":["), "chrome trace header");
+    // `sweep`-cat events come from grid_search_obs (exercised in the
+    // selection unit tests); the service pipeline emits its sweep plan as a
+    // `pipeline` event, so it is not in this list.
+    for cat in ["cluster", "mapreduce", "train", "pipeline", "serving"] {
+        assert!(
+            trace.contains(&format!("\"cat\":\"{cat}\"")),
+            "missing {cat} events in trace"
+        );
+    }
+    for metric in [
+        "pipeline.days",
+        "mapreduce.jobs",
+        "train.epoch_loss",
+        "serving.hit_rate",
+        "monitor.fleet_mean_map",
+    ] {
+        assert!(metrics.contains(metric), "missing {metric} in metrics.jsonl");
+    }
+}

@@ -103,6 +103,7 @@ impl Default for Policy {
                 "core".into(),
                 "pipeline".into(),
                 "serving".into(),
+                "obs".into(),
             ],
         }
     }

@@ -1,0 +1,12 @@
+// Fixture: the tempting-but-forbidden ways to stamp an obs event. The obs
+// crate records *virtual* time handed in by the simulator; reading a wall
+// clock or OS entropy here would silently break byte-identical traces.
+
+fn stamp_event_with_wall_clock() {
+    let _ts = Instant::now();
+    let _wall = SystemTime::now();
+}
+
+fn jitter_sampling_with_entropy() {
+    let _rng = thread_rng();
+}

@@ -13,6 +13,7 @@ const PANIC_BAD: &str = include_str!("fixtures/panic_bad.rs");
 const PANIC_OK: &str = include_str!("fixtures/panic_ok.rs");
 const ATOMICS_BAD: &str = include_str!("fixtures/atomics_bad.rs");
 const ALLOW_BAD: &str = include_str!("fixtures/allow_bad.rs");
+const OBS_WALLCLOCK_BAD: &str = include_str!("fixtures/obs_wallclock_bad.rs");
 
 fn lint(rel: &str, src: &str) -> Vec<Violation> {
     lint_source(rel, src, &Policy::default()).0
@@ -88,6 +89,22 @@ fn panic_negative_fixture_allows_tests_and_reasoned_escapes() {
         "both the line-above and same-line allows fire"
     );
     assert!(used.iter().all(|a| !a.reason.is_empty()));
+}
+
+#[test]
+fn obs_crate_may_not_read_wall_clocks() {
+    // The obs crate's whole contract is virtual-time stamping; the
+    // determinism rule must cover it like any other crate.
+    let vs = lint("crates/obs/src/trace.rs", OBS_WALLCLOCK_BAD);
+    assert_eq!(by_rule(&vs).get("determinism"), Some(&3), "{vs:?}");
+}
+
+#[test]
+fn obs_crate_is_panic_free_library_code() {
+    // `obs` is in Policy::default().panic_crates: an unwrap in its non-test
+    // code is a violation, same as the other library crates.
+    let vs = lint("crates/obs/src/metrics.rs", PANIC_BAD);
+    assert_eq!(by_rule(&vs).get("panic-surface"), Some(&4), "{vs:?}");
 }
 
 #[test]
