@@ -92,6 +92,59 @@ fn bench_candidates_vs_full(c: &mut Criterion) {
     group.finish();
 }
 
+/// Inference-only setup: an untrained (init) model has the same compute
+/// shape as a trained one, so the fast-vs-reference comparison doesn't need
+/// to pay for training at 10k items.
+fn setup_untrained(n_items: usize, factors: u32) -> Setup {
+    let data = RetailerSpec::sized(RetailerId(0), n_items, n_items, 88).generate();
+    let hp = HyperParams {
+        factors,
+        features: FeatureSwitches::ALL,
+        ..Default::default()
+    };
+    let model = BprModel::init(&data.catalog, hp);
+    let cooc = CoocModel::build(data.catalog.len(), &data.events, CoocConfig::default());
+    let index = CandidateIndex::build(&data.catalog);
+    let rep = RepurchaseStats::estimate(&data.catalog, &data.events, 0.3);
+    Setup {
+        data,
+        model,
+        cooc,
+        index,
+        rep,
+    }
+}
+
+/// The tentpole claim: materialize-all via the rep-matrix + bounded top-K
+/// fast path vs the seed per-candidate-walk + full-sort reference path.
+/// The acceptance bar is ≥3× at 10k items / factors=32, single thread.
+fn bench_materialize_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("materialize_all");
+    group.sample_size(10);
+    for n_items in [2000usize, 10_000] {
+        let s = setup_untrained(n_items, 32);
+        let engine = InferenceEngine::new(&s.model, &s.data.catalog, &s.index, &s.cooc, &s.rep);
+        group.bench_with_input(BenchmarkId::new("fast_path", n_items), &n_items, |b, _| {
+            b.iter(|| engine.materialize_all(10));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("fast_path_4_threads", n_items),
+            &n_items,
+            |b, _| {
+                b.iter(|| engine.materialize_all_threads(10, 4));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference_path", n_items),
+            &n_items,
+            |b, _| {
+                b.iter(|| engine.materialize_all_reference(10));
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_serving_lookup(c: &mut Criterion) {
     let s = setup(500);
     let engine = InferenceEngine::new(&s.model, &s.data.catalog, &s.index, &s.cooc, &s.rep);
@@ -133,6 +186,7 @@ fn bench_evaluation(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_candidates_vs_full,
+    bench_materialize_all,
     bench_serving_lookup,
     bench_evaluation
 );

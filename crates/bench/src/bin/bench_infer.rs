@@ -1,0 +1,183 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+//! **bench_infer** — machine-readable inference-throughput benchmark for the
+//! fast path (DESIGN.md §8): rep-matrix scoring + bounded top-K vs the seed
+//! per-candidate-walk reference path, at 1 and 4 materialization threads.
+//!
+//! Unlike the Criterion benches this writes a single JSON document,
+//! `results/BENCH_infer.json`, so subsequent PRs have a perf trajectory to
+//! diff against (items/sec materialized, candidates scored/sec).
+//!
+//! ```sh
+//! cargo run --release -p sigmund-bench --bin bench_infer            # full
+//! cargo run --release -p sigmund-bench --bin bench_infer -- --smoke # CI
+//! ```
+//!
+//! `--smoke` runs one tiny catalog for one iteration — it exists so CI can
+//! exercise the measurement + JSON plumbing in seconds, not to produce
+//! meaningful numbers.
+
+use serde::Serialize;
+use sigmund_bench::{f, Table};
+use sigmund_core::prelude::*;
+use sigmund_datagen::RetailerSpec;
+use sigmund_types::*;
+use std::time::Instant;
+
+/// The single wall-clock seam in this binary. Everything measured here is
+/// wall time by design — this is a throughput benchmark, exempt from the
+/// virtual-time determinism invariant exactly like T2/T8.
+fn wall_now() -> Instant {
+    // xtask: allow(determinism) — throughput benchmark measuring real wall time; results are diagnostic, never fed back into simulation.
+    Instant::now()
+}
+
+#[derive(Serialize)]
+struct InferRow {
+    path: String,
+    threads: usize,
+    n_items: usize,
+    factors: u32,
+    k: usize,
+    iters: usize,
+    /// Best-of-`iters` wall seconds for one full `materialize_all` pass.
+    wall_s: f64,
+    items_per_s: f64,
+    candidates_per_s: f64,
+    speedup_vs_reference: f64,
+}
+
+#[derive(Serialize)]
+struct InferReport {
+    bench: &'static str,
+    mode: &'static str,
+    rows: Vec<InferRow>,
+}
+
+struct Measured {
+    wall_s: f64,
+    candidates: u64,
+}
+
+/// Best-of-N wall time for one materialize pass; `candidates` is the number
+/// of (item, candidate) dot products a single pass performs.
+fn measure(iters: usize, candidates: u64, mut pass: impl FnMut()) -> Measured {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = wall_now();
+        pass();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    Measured {
+        wall_s: best,
+        candidates,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sizes, iters): (&[usize], usize) = if smoke {
+        (&[200], 1)
+    } else {
+        (&[1000, 4000, 10_000], 3)
+    };
+    let factors = 32u32;
+    let k = 10usize;
+
+    println!(
+        "\nbench_infer — materialize-all throughput, factors={factors}, k={k}{}\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let table = Table::new(
+        &[
+            "path", "threads", "items", "wall s", "items/s", "cand/s", "speedup",
+        ],
+        &[14, 7, 7, 10, 11, 12, 8],
+    );
+
+    let mut rows = Vec::new();
+    for &n_items in sizes {
+        // An untrained (init) model has the same compute shape as a trained
+        // one; inference throughput doesn't depend on the learned values.
+        let data = RetailerSpec::sized(RetailerId(0), n_items, n_items, 88).generate();
+        let hp = HyperParams {
+            factors,
+            features: FeatureSwitches::ALL,
+            ..Default::default()
+        };
+        let model = BprModel::init(&data.catalog, hp);
+        let cooc = CoocModel::build(data.catalog.len(), &data.events, CoocConfig::default());
+        let index = CandidateIndex::build(&data.catalog);
+        let rep = RepurchaseStats::estimate(&data.catalog, &data.events, 0.3);
+        let engine = InferenceEngine::new(&model, &data.catalog, &index, &cooc, &rep);
+
+        // Candidate sets are identical across paths, so one fast pass tells
+        // us the per-pass dot-product count for all three measurements.
+        let before = engine.candidates_scored();
+        engine.materialize_all(k);
+        let per_pass = engine.candidates_scored() - before;
+
+        let runs: Vec<(&str, usize, Measured)> = vec![
+            (
+                "reference",
+                1,
+                measure(iters, per_pass, || {
+                    engine.materialize_all_reference(k);
+                }),
+            ),
+            (
+                "fast",
+                1,
+                measure(iters, per_pass, || {
+                    engine.materialize_all(k);
+                }),
+            ),
+            (
+                "fast",
+                4,
+                measure(iters, per_pass, || {
+                    engine.materialize_all_threads(k, 4);
+                }),
+            ),
+        ];
+        let reference_s = runs[0].2.wall_s;
+        for (path, threads, m) in runs {
+            let items_per_s = n_items as f64 / m.wall_s;
+            let candidates_per_s = m.candidates as f64 / m.wall_s;
+            let speedup = reference_s / m.wall_s;
+            table.print(&[
+                path.into(),
+                threads.to_string(),
+                n_items.to_string(),
+                f(m.wall_s, 4),
+                f(items_per_s, 0),
+                f(candidates_per_s, 0),
+                f(speedup, 2),
+            ]);
+            rows.push(InferRow {
+                path: path.into(),
+                threads,
+                n_items,
+                factors,
+                k,
+                iters,
+                wall_s: m.wall_s,
+                items_per_s,
+                candidates_per_s,
+                speedup_vs_reference: speedup,
+            });
+        }
+    }
+
+    let report = InferReport {
+        bench: "materialize_all",
+        mode: if smoke { "smoke" } else { "full" },
+        rows,
+    };
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/BENCH_infer.json";
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(path, json).expect("write BENCH_infer.json");
+    println!("\n[results] wrote {path}");
+}

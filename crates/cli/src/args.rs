@@ -131,11 +131,8 @@ mod tests {
 
     #[test]
     fn switches_need_no_value() {
-        let a = Args::parse_with_switches(
-            argv("simulate --trace --retailers 3"),
-            &["trace"],
-        )
-        .unwrap();
+        let a =
+            Args::parse_with_switches(argv("simulate --trace --retailers 3"), &["trace"]).unwrap();
         assert!(a.get("trace", false).unwrap());
         assert_eq!(a.get("retailers", 0usize).unwrap(), 3);
         // Absent switch defaults off.

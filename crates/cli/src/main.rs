@@ -64,7 +64,7 @@ fn print_help() {
          \x20 simulate   run the daily pipeline over a synthetic fleet\n\
          \x20            --retailers N (6) --days D (2) --cells C (2) --machines M (6)\n\
          \x20            --preempt RATE/task-hr (0.25) --min-items (30) --max-items (400)\n\
-         \x20            --threads T (4) --seed S (7)\n\
+         \x20            --threads T (4) --infer-threads I (1) --seed S (7)\n\
          \x20            --trace    write results/trace.json (Chrome trace-event\n\
          \x20                       format) + results/metrics.jsonl\n\
          \x20 report     summarize the trace + metrics from a traced simulate\n\
@@ -88,6 +88,7 @@ fn simulate(args: &Args) -> Result<(), String> {
         "min-items",
         "max-items",
         "threads",
+        "infer-threads",
         "seed",
         "trace",
     ])?;
@@ -99,9 +100,16 @@ fn simulate(args: &Args) -> Result<(), String> {
     let min_items: usize = args.get("min-items", 30)?;
     let max_items: usize = args.get("max-items", 400)?;
     let threads: usize = args.get("threads", 4)?;
+    let infer_threads: usize = args.get("infer-threads", 1)?;
     let seed: u64 = args.get("seed", 7)?;
     let trace: bool = args.get("trace", false)?;
-    if n_retailers == 0 || days == 0 || cells == 0 || machines == 0 || threads == 0 {
+    if n_retailers == 0
+        || days == 0
+        || cells == 0
+        || machines == 0
+        || threads == 0
+        || infer_threads == 0
+    {
         return Err("counts must be positive".into());
     }
     let obs = if trace {
@@ -128,6 +136,7 @@ fn simulate(args: &Args) -> Result<(), String> {
             rate_per_hour: preempt,
         },
         threads,
+        infer_threads,
         seed,
         obs: obs.clone(),
         ..Default::default()
@@ -363,6 +372,7 @@ mod tests {
     fn bad_flags_error_before_any_work() {
         assert!(run(argv("simulate --retailers nope")).is_err());
         assert!(run(argv("simulate --bogus 1")).is_err());
+        assert!(run(argv("simulate --infer-threads 0")).is_err());
         assert!(run(argv("train --grid huge")).is_err());
         assert!(run(argv("train --items 0")).is_err());
         assert!(run(argv("evolve --days 0")).is_err());
@@ -372,7 +382,7 @@ mod tests {
     fn tiny_simulate_runs_end_to_end() {
         run(argv(
             "simulate --retailers 2 --days 1 --cells 1 --machines 2 \
-             --min-items 20 --max-items 40 --preempt 0 --seed 3",
+             --min-items 20 --max-items 40 --preempt 0 --infer-threads 2 --seed 3",
         ))
         .expect("simulate should succeed");
     }
@@ -385,7 +395,10 @@ mod tests {
         ))
         .expect("traced simulate");
         let trace = std::fs::read_to_string("results/trace.json").expect("trace written");
-        assert!(trace.starts_with("{\"traceEvents\":["), "chrome trace header");
+        assert!(
+            trace.starts_with("{\"traceEvents\":["),
+            "chrome trace header"
+        );
         for cat in ["cluster", "mapreduce", "train", "pipeline", "serving"] {
             assert!(
                 trace.contains(&format!("\"cat\":\"{cat}\"")),

@@ -310,7 +310,10 @@ impl ClusterSim {
                     t0 + now,
                     &[
                         ("attempt", st.attempts.into()),
-                        ("status", if completes { "done" } else { "preempted" }.into()),
+                        (
+                            "status",
+                            if completes { "done" } else { "preempted" }.into(),
+                        ),
                     ],
                 );
             }

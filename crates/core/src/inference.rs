@@ -9,11 +9,32 @@
 //! "roughly linearly proportional to the number of items" because candidate
 //! selection caps the per-item work — the pipeline's bin-packing experiment
 //! leans on exactly that property.
+//!
+//! # Fast path (DESIGN.md §8)
+//!
+//! Scoring a candidate used to re-walk taxonomy ancestors and re-sum
+//! brand/price rows (`score_with` → `item_rep_into`) per candidate per
+//! query. The engine instead materializes both representation matrices once
+//! at construction — [`ItemRepMatrix`] for the scored side and
+//! [`CtxRepMatrix`] for the context side — after which a query is one
+//! weighted row-sum plus one flat [`dot`] per candidate, and top-K is a
+//! bounded selection instead of a full sort. Results are bitwise-identical
+//! to the per-candidate walks because every floating-point add happens in
+//! the same order; the `*_reference` methods keep the original path alive
+//! as an executable spec (`tests/infer_fastpath.rs` proves equivalence).
+//!
+//! Inference is read-only over the model, so [`InferenceEngine::materialize_all_threads`]
+//! may fan out over disjoint item ranges and still produce byte-identical
+//! output at any thread count — the opposite contract from Hogwild training,
+//! which is deliberately racy.
 
 use crate::candidates::{CandidateIndex, CandidateSelector, RepurchaseStats};
 use crate::cooc::CoocModel;
-use crate::model::{BprModel, ContextEvent};
+use crate::model::{dot, BprModel, ContextEvent, CtxRepMatrix, ItemRepMatrix};
 use sigmund_types::{ActionType, Catalog, ItemId};
+use std::cell::{Cell, RefCell};
+use std::cmp::Ordering;
+use std::sync::Arc;
 
 /// Which recommendation surface to produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,7 +49,7 @@ pub enum RecTask {
 pub type RecList = Vec<(ItemId, f32)>;
 
 /// Materialized recommendations for one item.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ItemRecs {
     /// Substitute recommendations.
     pub view_based: RecList,
@@ -36,7 +57,68 @@ pub struct ItemRecs {
     pub purchase_based: RecList,
 }
 
+/// The recommendation-list ordering contract: finite scores first,
+/// descending, ties broken by ascending [`ItemId`]; non-finite scores
+/// (NaN/±∞ from a diverged model) sort after every finite score, ordered
+/// among themselves by ascending id.
+///
+/// This is a total order (ids are unique), which `select_nth_unstable_by`
+/// requires and which makes bounded top-K agree exactly with a full sort.
+/// It also matches the `metrics::rank_of` invariant that non-finite scores
+/// rank last — a diverged model must not surface garbage above real
+/// recommendations.
+pub fn rec_order(a: &(ItemId, f32), b: &(ItemId, f32)) -> Ordering {
+    match (a.1.is_finite(), b.1.is_finite()) {
+        (true, true) => {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(Ordering::Equal) // unreachable: both finite
+                .then(a.0.cmp(&b.0))
+        }
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.0.cmp(&b.0),
+    }
+}
+
+/// Keeps the top `k` of `scored` under [`rec_order`], sorted. Exactly
+/// equivalent to `sort_by(rec_order); truncate(k)` but O(n + k log k):
+/// partition around the k-th element, drop the tail, sort the survivors.
+fn top_k_in_place(scored: &mut Vec<(ItemId, f32)>, k: usize) {
+    if k == 0 {
+        scored.clear();
+        return;
+    }
+    if scored.len() > k {
+        scored.select_nth_unstable_by(k - 1, rec_order);
+        scored.truncate(k);
+    }
+    scored.sort_unstable_by(rec_order);
+}
+
+/// Reusable per-engine buffers: the seed path allocated `weights`, a rep
+/// scratch row, and a user vector on every `rank` call.
+struct Scratch {
+    weights: Vec<f32>,
+    user_vec: Vec<f32>,
+    buf: Vec<(ItemId, f32)>,
+}
+
+impl Scratch {
+    fn new(dim: usize) -> Self {
+        Self {
+            weights: Vec::new(),
+            user_vec: vec![0.0; dim],
+            buf: Vec::new(),
+        }
+    }
+}
+
 /// Per-retailer inference engine. Borrows all the per-retailer artifacts.
+///
+/// Construction materializes both representation matrices
+/// (`2 × n_items × dim × 4` bytes), snapshotting the model parameters:
+/// an engine must be built *after* training finishes, never share a model
+/// that is still being updated.
 pub struct InferenceEngine<'a> {
     model: &'a BprModel,
     catalog: &'a Catalog,
@@ -44,12 +126,18 @@ pub struct InferenceEngine<'a> {
     cooc: &'a CoocModel,
     repurchase: &'a RepurchaseStats,
     selector: CandidateSelector,
+    /// Item-side representations, one flat row per catalog item.
+    item_reps: Arc<ItemRepMatrix>,
+    /// Context-side representations (user-vector construction).
+    ctx_reps: Arc<CtxRepMatrix>,
     /// Candidates scored so far (cost accounting for the pipeline).
-    scored: std::cell::Cell<u64>,
+    scored: Cell<u64>,
+    scratch: RefCell<Scratch>,
 }
 
 impl<'a> InferenceEngine<'a> {
-    /// Creates an engine with the default selector.
+    /// Creates an engine with the default selector, materializing the
+    /// representation matrices.
     pub fn new(
         model: &'a BprModel,
         catalog: &'a Catalog,
@@ -64,7 +152,10 @@ impl<'a> InferenceEngine<'a> {
             cooc,
             repurchase,
             selector: CandidateSelector::default(),
-            scored: std::cell::Cell::new(0),
+            item_reps: Arc::new(model.materialize_item_reps(catalog)),
+            ctx_reps: Arc::new(model.materialize_context_reps(catalog)),
+            scored: Cell::new(0),
+            scratch: RefCell::new(Scratch::new(model.dim())),
         }
     }
 
@@ -79,28 +170,28 @@ impl<'a> InferenceEngine<'a> {
         self.scored.get()
     }
 
+    /// A sibling engine sharing the (read-only) representation matrices but
+    /// with its own scratch and scored counter — what each worker thread of
+    /// [`InferenceEngine::map_items`] drives.
+    fn fork(&self) -> InferenceEngine<'a> {
+        InferenceEngine {
+            model: self.model,
+            catalog: self.catalog,
+            index: self.index,
+            cooc: self.cooc,
+            repurchase: self.repurchase,
+            selector: self.selector.clone(),
+            item_reps: Arc::clone(&self.item_reps),
+            ctx_reps: Arc::clone(&self.ctx_reps),
+            scored: Cell::new(0),
+            scratch: RefCell::new(Scratch::new(self.model.dim())),
+        }
+    }
+
     /// Top-`k` recommendations for a single-item context.
     pub fn recommend_for_item(&self, item: ItemId, task: RecTask, k: usize) -> RecList {
-        let candidates = match task {
-            RecTask::ViewBased => {
-                self.selector
-                    .view_based(self.catalog, self.index, self.cooc, item)
-            }
-            RecTask::PurchaseBased => self.selector.purchase_based(
-                self.catalog,
-                self.index,
-                self.cooc,
-                self.repurchase,
-                item,
-            ),
-        };
-        let context: [ContextEvent; 1] = [(
-            item,
-            match task {
-                RecTask::ViewBased => ActionType::View,
-                RecTask::PurchaseBased => ActionType::Conversion,
-            },
-        )];
+        let candidates = self.candidates_for(item, task, &self.selector);
+        let context = [single_item_context(item, task)];
         self.rank(&context, &candidates, k)
     }
 
@@ -115,19 +206,7 @@ impl<'a> InferenceEngine<'a> {
         let Some(&(last_item, _)) = context.last() else {
             return RecList::new();
         };
-        let candidates = match task {
-            RecTask::ViewBased => {
-                self.selector
-                    .view_based(self.catalog, self.index, self.cooc, last_item)
-            }
-            RecTask::PurchaseBased => self.selector.purchase_based(
-                self.catalog,
-                self.index,
-                self.cooc,
-                self.repurchase,
-                last_item,
-            ),
-        };
+        let candidates = self.candidates_for(last_item, task, &self.selector);
         self.rank(context, &candidates, k)
     }
 
@@ -145,37 +224,173 @@ impl<'a> InferenceEngine<'a> {
         let Some(&(last_item, _)) = context.last() else {
             return RecList::new();
         };
-        let mut candidates = match task {
-            RecTask::ViewBased => {
-                selector.view_based(self.catalog, self.index, self.cooc, last_item)
-            }
-            RecTask::PurchaseBased => selector.purchase_based(
-                self.catalog,
-                self.index,
-                self.cooc,
-                self.repurchase,
-                last_item,
-            ),
-        };
+        let mut candidates = self.candidates_for(last_item, task, selector);
         if facet_constrained {
             selector.constrain_to_facet(self.catalog, last_item, &mut candidates);
         }
         self.rank(context, &candidates, k)
     }
 
-    /// Materializes both surfaces for every catalog item.
+    /// Materializes both surfaces for every catalog item (single-threaded).
     pub fn materialize_all(&self, k: usize) -> Vec<ItemRecs> {
+        self.materialize_all_threads(k, 1)
+    }
+
+    /// Materializes both surfaces for every catalog item using up to
+    /// `threads` scoped worker threads over disjoint contiguous item ranges.
+    ///
+    /// Inference only reads the model, so the output is byte-identical for
+    /// every thread count (DESIGN.md §8) — `tests/infer_fastpath.rs` holds
+    /// this at 1, 2, and 4 threads against the reference path.
+    pub fn materialize_all_threads(&self, k: usize, threads: usize) -> Vec<ItemRecs> {
+        self.map_items(0..self.catalog.len() as u32, threads, |eng, item| {
+            ItemRecs {
+                view_based: eng.recommend_for_item(item, RecTask::ViewBased, k),
+                purchase_based: eng.recommend_for_item(item, RecTask::PurchaseBased, k),
+            }
+        })
+    }
+
+    /// Runs `f` over every item id in `range` and collects the results in
+    /// item order, fanning out over at most `threads` scoped threads.
+    ///
+    /// The range is cut into `threads` contiguous chunks (sizes differing by
+    /// at most one); each worker drives a [`InferenceEngine::fork`] of this
+    /// engine, and chunk outputs are stitched back in range order, so the
+    /// result is identical to the sequential map for any thread count as
+    /// long as `f` is pure (it only gets shared `&` state, which inference
+    /// never mutates). Workers' scored counts fold back into this engine.
+    pub fn map_items<T, F>(&self, range: std::ops::Range<u32>, threads: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&InferenceEngine<'a>, ItemId) -> T + Sync,
+    {
+        let n = range.len();
+        let threads = threads.clamp(1, n.max(1));
+        if threads == 1 {
+            return range.map(|i| f(self, ItemId(i))).collect();
+        }
+        let base = (n / threads) as u32;
+        let rem = n % threads;
+        let mut bounds = Vec::with_capacity(threads + 1);
+        let mut edge = range.start;
+        bounds.push(edge);
+        for t in 0..threads {
+            edge += base + u32::from(t < rem);
+            bounds.push(edge);
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut forked_scored = 0u64;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = bounds
+                .windows(2)
+                .map(|w| {
+                    let (lo, hi) = (w[0], w[1]);
+                    let eng = self.fork();
+                    let f = &f;
+                    s.spawn(move || {
+                        let part: Vec<T> = (lo..hi).map(|i| f(&eng, ItemId(i))).collect();
+                        (part, eng.candidates_scored())
+                    })
+                })
+                .collect();
+            for h in handles {
+                // A worker panic is a test-assertion or logic bug; surface
+                // it on the caller thread instead of swallowing it.
+                let (part, scored) = match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                };
+                out.extend(part);
+                forked_scored += scored;
+            }
+        });
+        self.scored.set(self.scored.get() + forked_scored);
+        out
+    }
+
+    /// Scores `candidates` against `context` and keeps the top `k`:
+    /// prematerialized user vector + one [`dot`] per candidate + bounded
+    /// top-K under [`rec_order`].
+    fn rank(&self, context: &[ContextEvent], candidates: &[ItemId], k: usize) -> RecList {
+        if candidates.is_empty() || k == 0 {
+            return RecList::new();
+        }
+        let mut scratch = self.scratch.borrow_mut();
+        let Scratch {
+            weights,
+            user_vec,
+            buf,
+        } = &mut *scratch;
+        self.model
+            .user_embedding_from_reps(&self.ctx_reps, context, weights, user_vec);
+        buf.clear();
+        buf.extend(
+            candidates
+                .iter()
+                .map(|&c| (c, dot(user_vec, self.item_reps.rep(c)))),
+        );
+        self.scored.set(self.scored.get() + buf.len() as u64);
+        top_k_in_place(buf, k);
+        buf.clone()
+    }
+
+    fn candidates_for(
+        &self,
+        item: ItemId,
+        task: RecTask,
+        selector: &CandidateSelector,
+    ) -> Vec<ItemId> {
+        match task {
+            RecTask::ViewBased => selector.view_based(self.catalog, self.index, self.cooc, item),
+            RecTask::PurchaseBased => {
+                selector.purchase_based(self.catalog, self.index, self.cooc, self.repurchase, item)
+            }
+        }
+    }
+
+    // --- reference (seed) scoring path -----------------------------------
+    //
+    // The pre-fast-path implementation, kept as the executable spec the
+    // fast path is tested against (and as the Criterion/BENCH_infer slow
+    // baseline): fresh buffers per call, per-candidate `score_with` rep
+    // walks, full sort. Does not advance the candidates-scored counter so
+    // pipeline cost accounting only ever counts the production path.
+
+    /// Reference implementation of [`InferenceEngine::recommend_for_item`]
+    /// (per-candidate representation walks + full sort).
+    pub fn recommend_for_item_reference(&self, item: ItemId, task: RecTask, k: usize) -> RecList {
+        let candidates = self.candidates_for(item, task, &self.selector);
+        let context = [single_item_context(item, task)];
+        self.rank_reference(&context, &candidates, k)
+    }
+
+    /// Reference implementation of [`InferenceEngine::recommend_for_context`].
+    pub fn recommend_for_context_reference(
+        &self,
+        context: &[ContextEvent],
+        task: RecTask,
+        k: usize,
+    ) -> RecList {
+        let Some(&(last_item, _)) = context.last() else {
+            return RecList::new();
+        };
+        let candidates = self.candidates_for(last_item, task, &self.selector);
+        self.rank_reference(context, &candidates, k)
+    }
+
+    /// Reference implementation of [`InferenceEngine::materialize_all`].
+    pub fn materialize_all_reference(&self, k: usize) -> Vec<ItemRecs> {
         self.catalog
             .item_ids()
             .map(|item| ItemRecs {
-                view_based: self.recommend_for_item(item, RecTask::ViewBased, k),
-                purchase_based: self.recommend_for_item(item, RecTask::PurchaseBased, k),
+                view_based: self.recommend_for_item_reference(item, RecTask::ViewBased, k),
+                purchase_based: self.recommend_for_item_reference(item, RecTask::PurchaseBased, k),
             })
             .collect()
     }
 
-    /// Scores `candidates` against `context` and keeps the top `k`.
-    fn rank(&self, context: &[ContextEvent], candidates: &[ItemId], k: usize) -> RecList {
+    fn rank_reference(&self, context: &[ContextEvent], candidates: &[ItemId], k: usize) -> RecList {
         if candidates.is_empty() || k == 0 {
             return RecList::new();
         }
@@ -200,15 +415,20 @@ impl<'a> InferenceEngine<'a> {
                 )
             })
             .collect();
-        self.scored.set(self.scored.get() + scored.len() as u64);
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        scored.sort_by(rec_order);
         scored.truncate(k);
         scored
     }
+}
+
+fn single_item_context(item: ItemId, task: RecTask) -> ContextEvent {
+    (
+        item,
+        match task {
+            RecTask::ViewBased => ActionType::View,
+            RecTask::PurchaseBased => ActionType::Conversion,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -256,6 +476,10 @@ mod tests {
                 ..Default::default()
             },
         )
+    }
+
+    fn bits(recs: &RecList) -> Vec<(u32, u32)> {
+        recs.iter().map(|(i, s)| (i.0, s.to_bits())).collect()
     }
 
     #[test]
@@ -322,5 +546,127 @@ mod tests {
         let recs = eng.recommend_for_context(&ctx, RecTask::ViewBased, 3);
         // Candidates derive from item 0 (the last context event).
         assert!(recs.iter().all(|(i, _)| *i != ItemId(0)));
+    }
+
+    #[test]
+    fn fast_path_matches_reference_bitwise() {
+        let (c, cooc, index, rep) = setup();
+        let m = model(&c);
+        let eng = InferenceEngine::new(&m, &c, &index, &cooc, &rep);
+        let ctx = vec![
+            (ItemId(2), ActionType::View),
+            (ItemId(5), ActionType::Conversion),
+            (ItemId(0), ActionType::View),
+        ];
+        for k in [0usize, 1, 3, 8, 13] {
+            for task in [RecTask::ViewBased, RecTask::PurchaseBased] {
+                for item in c.item_ids() {
+                    assert_eq!(
+                        bits(&eng.recommend_for_item(item, task, k)),
+                        bits(&eng.recommend_for_item_reference(item, task, k)),
+                        "item {item:?} task {task:?} k {k}"
+                    );
+                }
+                assert_eq!(
+                    bits(&eng.recommend_for_context(&ctx, task, k)),
+                    bits(&eng.recommend_for_context_reference(&ctx, task, k)),
+                    "context task {task:?} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_scores_rank_last() {
+        let (c, cooc, index, rep) = setup();
+        let m = model(&c);
+        // A diverged model: poison three items' embeddings so their scores
+        // come out NaN / ±∞. The seed comparator let these interleave
+        // arbitrarily; the contract now pins them after every finite score.
+        for d in 0..4 {
+            m.item_emb.row(1)[d].store(f32::NAN);
+            m.item_emb.row(2)[d].store(f32::INFINITY);
+            m.item_emb.row(3)[d].store(f32::NEG_INFINITY);
+        }
+        let eng = InferenceEngine::new(&m, &c, &index, &cooc, &rep);
+        let ctx = [(ItemId(0), ActionType::View)];
+        let candidates: Vec<ItemId> = (1..8).map(ItemId).collect();
+        let recs = eng.rank(&ctx, &candidates, candidates.len());
+        assert_eq!(recs.len(), 7);
+        let finite: Vec<u32> = recs
+            .iter()
+            .filter(|(_, s)| s.is_finite())
+            .map(|(i, _)| i.0)
+            .collect();
+        let tail: Vec<u32> = recs.iter().rev().take(3).rev().map(|(i, _)| i.0).collect();
+        assert_eq!(finite.len(), 4, "{recs:?}");
+        assert_eq!(tail, vec![1, 2, 3], "non-finite last, by id: {recs:?}");
+        // The bounded selection agrees with the reference full sort, both
+        // for the full list and under truncation through the class border.
+        for k in [1usize, 4, 5, 7] {
+            assert_eq!(
+                bits(&eng.rank(&ctx, &candidates, k)),
+                bits(&eng.rank_reference(&ctx, &candidates, k)),
+                "k {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_materialize_is_byte_identical() {
+        let (c, cooc, index, rep) = setup();
+        let m = model(&c);
+        let eng = InferenceEngine::new(&m, &c, &index, &cooc, &rep);
+        let single = eng.materialize_all(4);
+        let scored_single = eng.candidates_scored();
+        for threads in [2usize, 3, 4, 16] {
+            let eng2 = InferenceEngine::new(&m, &c, &index, &cooc, &rep);
+            let multi = eng2.materialize_all_threads(4, threads);
+            assert_eq!(single.len(), multi.len());
+            for (a, b) in single.iter().zip(multi.iter()) {
+                assert_eq!(bits(&a.view_based), bits(&b.view_based));
+                assert_eq!(bits(&a.purchase_based), bits(&b.purchase_based));
+            }
+            // Workers' scored counts fold back into the parent engine.
+            assert_eq!(eng2.candidates_scored(), scored_single);
+        }
+    }
+
+    #[test]
+    fn map_items_preserves_range_order() {
+        let (c, cooc, index, rep) = setup();
+        let m = model(&c);
+        let eng = InferenceEngine::new(&m, &c, &index, &cooc, &rep);
+        let ids = eng.map_items(2..7, 3, |_, item| item.0);
+        assert_eq!(ids, vec![2, 3, 4, 5, 6]);
+        assert!(eng.map_items(5..5, 4, |_, item| item.0).is_empty());
+    }
+
+    #[test]
+    fn rec_order_is_a_total_order_over_mixed_scores() {
+        // Transitivity smoke over every pair/triple of a mixed-class set —
+        // the seed comparator failed this (NaN interleaved via `Equal`).
+        let xs = [
+            (ItemId(0), 2.0f32),
+            (ItemId(1), 2.0),
+            (ItemId(2), -1.0),
+            (ItemId(3), f32::NAN),
+            (ItemId(4), f32::INFINITY),
+            (ItemId(5), f32::NEG_INFINITY),
+        ];
+        for a in &xs {
+            assert_eq!(rec_order(a, a), Ordering::Equal);
+            for b in &xs {
+                if a.0 != b.0 {
+                    assert_eq!(rec_order(a, b), rec_order(b, a).reverse());
+                }
+                for c in &xs {
+                    if rec_order(a, b) != Ordering::Greater && rec_order(b, c) != Ordering::Greater
+                    {
+                        assert_ne!(rec_order(a, c), Ordering::Greater, "{a:?} {b:?} {c:?}");
+                    }
+                }
+            }
+        }
     }
 }

@@ -80,7 +80,7 @@ pub mod prelude {
     pub use crate::metrics::{
         evaluate, evaluate_filtered, item_train_counts, spearman, EvalConfig,
     };
-    pub use crate::model::{BprModel, ContextEvent, ItemRepMatrix};
+    pub use crate::model::{dot, BprModel, ContextEvent, CtxRepMatrix, ItemRepMatrix};
     pub use crate::negative::NegativeSampler;
     pub use crate::selection::{
         grid_search, grid_search_obs, incremental_refresh, incremental_refresh_obs, train_config,

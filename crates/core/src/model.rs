@@ -137,17 +137,21 @@ impl BprModel {
     /// Normalized context weights `w_j` for a context of `len` events:
     /// `w_j ∝ action_weight(a_j) · decay^age_j`, normalized to sum to 1 so
     /// user-vector magnitude does not grow with context length.
+    ///
+    /// `decay^age` is carried as a running multiply from the newest event
+    /// backwards instead of a `powi` per event. The chained product can
+    /// differ from `powi` (which squares-and-multiplies) by a few ulps at
+    /// age ≥ 2; the normalization sum stays in forward event order.
     pub fn context_weights(&self, context: &[ContextEvent], out: &mut Vec<f32>) {
         out.clear();
         let decay = self.hp.context_decay;
-        let n = context.len();
-        let mut sum = 0.0f32;
-        for (j, (_, action)) in context.iter().enumerate() {
-            let age = (n - 1 - j) as i32;
-            let w = action.context_weight() * decay.powi(age);
-            out.push(w);
-            sum += w;
+        out.extend(context.iter().map(|(_, action)| action.context_weight()));
+        let mut factor = 1.0f32;
+        for w in out.iter_mut().rev() {
+            *w *= factor;
+            factor *= decay;
         }
+        let sum: f32 = out.iter().sum();
         if sum > 0.0 {
             for w in out.iter_mut() {
                 *w /= sum;
@@ -195,11 +199,7 @@ impl BprModel {
         scratch: &mut [f32],
     ) -> f32 {
         self.item_rep_into(catalog, item, scratch);
-        user_vec
-            .iter()
-            .zip(scratch.iter())
-            .map(|(a, b)| a * b)
-            .sum()
+        dot(user_vec, scratch)
     }
 
     /// Convenience: affinity of a context for an item (allocates buffers; use
@@ -225,6 +225,54 @@ impl BprModel {
             self.item_rep_into(catalog, item, &mut data[i * f..(i + 1) * f]);
         }
         ItemRepMatrix { data, dim: f }
+    }
+
+    /// Materializes all *context-side* representations into a dense
+    /// row-major matrix (`n_items × dim`) — the context twin of
+    /// [`BprModel::materialize_item_reps`]. Building user vectors
+    /// ([`BprModel::user_embedding_from_reps`]) is then a weighted sum of
+    /// flat rows instead of a taxonomy walk per context event.
+    pub fn materialize_context_reps(&self, catalog: &Catalog) -> CtxRepMatrix {
+        let f = self.dim();
+        let n = self.n_items();
+        let mut data = vec![0.0f32; n * f];
+        for i in 0..n {
+            let item = ItemId::from_index(i);
+            self.context_rep_into(catalog, item, &mut data[i * f..(i + 1) * f]);
+        }
+        CtxRepMatrix { data, dim: f }
+    }
+
+    /// Builds the user embedding (Eq. 1) into `out` from prematerialized
+    /// context representations. Bitwise-identical to
+    /// [`BprModel::user_embedding_into`]: same trailing-window truncation,
+    /// same weights, same accumulation order — the rep rows are just read
+    /// from `ctx_reps` instead of being rebuilt per event.
+    pub fn user_embedding_from_reps(
+        &self,
+        ctx_reps: &CtxRepMatrix,
+        context: &[ContextEvent],
+        weights: &mut Vec<f32>,
+        out: &mut [f32],
+    ) {
+        out.fill(0.0);
+        if context.is_empty() {
+            return;
+        }
+        // Only the trailing K events participate.
+        let k = self.hp.context_len as usize;
+        let ctx = if context.len() > k {
+            &context[context.len() - k..]
+        } else {
+            context
+        };
+        self.context_weights(ctx, weights);
+        for ((item, _), &w) in ctx.iter().zip(weights.iter()) {
+            let rep = ctx_reps.rep(*item);
+            for (o, s) in out.iter_mut().zip(rep.iter()) {
+                *o += w * s;
+            }
+        }
     }
 
     /// Applies an item-side gradient: the same `grad` flows to the item row
@@ -359,12 +407,52 @@ impl ItemRepMatrix {
     /// Dot product of a user vector with an item's representation.
     #[inline]
     pub fn score(&self, user_vec: &[f32], item: ItemId) -> f32 {
-        self.rep(item)
-            .iter()
-            .zip(user_vec)
-            .map(|(a, b)| a * b)
-            .sum()
+        dot(self.rep(item), user_vec)
     }
+}
+
+/// Dense, read-only context-representation matrix: row `i` is
+/// [`BprModel::context_rep_into`] for item `i` (see
+/// [`BprModel::materialize_context_reps`]). The context-side twin of
+/// [`ItemRepMatrix`], used by the inference fast path to build user vectors
+/// without re-walking taxonomy ancestors per context event.
+#[derive(Debug, Clone)]
+pub struct CtxRepMatrix {
+    data: Vec<f32>,
+    dim: usize,
+}
+
+impl CtxRepMatrix {
+    /// Context-representation row for an item.
+    #[inline]
+    pub fn rep(&self, item: ItemId) -> &[f32] {
+        let i = item.index();
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// True iff there are no items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Dot product of two equal-length `f32` slices.
+///
+/// The single scoring seam shared by [`BprModel::score_with`],
+/// [`ItemRepMatrix::score`], and the inference fast path — one place to
+/// vectorize when SIMD work lands. Pairs elementwise over the shorter slice
+/// and sums in index order, so it is bitwise-identical to the open-coded
+/// `zip`/`map`/`sum` loops it replaced.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
 }
 
 /// Standard-normal sample via the Irwin–Hall(12) approximation (mean 0,
@@ -548,6 +636,100 @@ mod tests {
             m.item_rep_into(&c, ItemId(i), &mut buf);
             assert_eq!(mat.rep(ItemId(i)), &buf[..]);
         }
+    }
+
+    #[test]
+    fn materialized_context_reps_match_context_rep_into() {
+        let c = catalog();
+        let m = BprModel::init(&c, hp(FeatureSwitches::ALL));
+        let mat = m.materialize_context_reps(&c);
+        assert_eq!(mat.len(), 10);
+        assert!(!mat.is_empty());
+        let mut buf = vec![0.0; 4];
+        for i in 0..10u32 {
+            m.context_rep_into(&c, ItemId(i), &mut buf);
+            assert_eq!(mat.rep(ItemId(i)), &buf[..]);
+        }
+    }
+
+    #[test]
+    fn user_embedding_from_reps_is_bitwise_identical() {
+        let c = catalog();
+        for features in [FeatureSwitches::NONE, FeatureSwitches::ALL] {
+            let m = BprModel::init(&c, hp(features));
+            let ctx_reps = m.materialize_context_reps(&c);
+            let f = m.dim();
+            // Longer than context_len to exercise the trailing-window path.
+            let long: Vec<ContextEvent> = (0..25)
+                .map(|i| {
+                    (
+                        ItemId(i as u32 % 10),
+                        if i % 3 == 0 {
+                            ActionType::Conversion
+                        } else {
+                            ActionType::View
+                        },
+                    )
+                })
+                .collect();
+            for ctx in [&long[..0], &long[..1], &long[..3], &long[..]] {
+                let (mut w1, mut s, mut u1) = (Vec::new(), vec![0.0; f], vec![0.0; f]);
+                let (mut w2, mut u2) = (Vec::new(), vec![0.0; f]);
+                m.user_embedding_into(&c, ctx, &mut w1, &mut s, &mut u1);
+                m.user_embedding_from_reps(&ctx_reps, ctx, &mut w2, &mut u2);
+                assert_eq!(
+                    u1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    u2.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "len {}",
+                    ctx.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn context_weights_match_powi_reference() {
+        // The running-multiply decay must track the old `decay.powi(age)`
+        // formulation. Ages 0 and 1 are bitwise-identical; beyond that the
+        // chained product may differ by ulps, so compare within 1e-6
+        // relative over a long context.
+        let c = catalog();
+        let m = BprModel::init(&c, hp(FeatureSwitches::NONE));
+        let ctx: Vec<ContextEvent> = (0..20)
+            .map(|i| {
+                (
+                    ItemId(i as u32 % 10),
+                    if i % 4 == 0 {
+                        ActionType::Conversion
+                    } else {
+                        ActionType::View
+                    },
+                )
+            })
+            .collect();
+        let mut w = Vec::new();
+        m.context_weights(&ctx, &mut w);
+        let decay = m.hp.context_decay;
+        let n = ctx.len();
+        let raw: Vec<f32> = ctx
+            .iter()
+            .enumerate()
+            .map(|(j, (_, a))| a.context_weight() * decay.powi((n - 1 - j) as i32))
+            .collect();
+        let sum: f32 = raw.iter().sum();
+        for (j, (got, want)) in w.iter().zip(raw.iter().map(|r| r / sum)).enumerate() {
+            let rel = (got - want).abs() / want.max(f32::MIN_POSITIVE);
+            assert!(rel < 1e-6, "weight {j}: got {got}, want {want}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn dot_matches_open_coded_sum() {
+        let a = [1.5f32, -2.0, 0.25, 3.0];
+        let b = [0.5f32, 4.0, -8.0, 1.0];
+        let want: f32 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+        assert_eq!(dot(&a, &b).to_bits(), want.to_bits());
+        assert_eq!(dot(&[], &[]), 0.0);
     }
 
     #[test]

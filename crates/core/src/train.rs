@@ -470,7 +470,11 @@ mod tests {
         );
         // σ(−s) starts near 0.5 (random scores) and falls as the model
         // separates positives from negatives.
-        assert!((stats[0].mean_grad - 0.5).abs() < 0.1, "{}", stats[0].mean_grad);
+        assert!(
+            (stats[0].mean_grad - 0.5).abs() < 0.1,
+            "{}",
+            stats[0].mean_grad
+        );
         assert!(stats.last().unwrap().mean_grad < stats[0].mean_grad);
     }
 

@@ -350,7 +350,11 @@ pub fn run_map_job_obs<T: MapTask>(
                 ("straggler_ratio", straggler.into()),
             ],
         );
-        obs.gauge("mapreduce.load_imbalance", t0 + out.makespan, out.load_imbalance());
+        obs.gauge(
+            "mapreduce.load_imbalance",
+            t0 + out.makespan,
+            out.load_imbalance(),
+        );
         obs.gauge("mapreduce.straggler_ratio", t0 + out.makespan, straggler);
         obs.counter("mapreduce.jobs", 1);
     }

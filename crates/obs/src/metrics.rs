@@ -151,7 +151,10 @@ impl MetricsRegistry {
     /// dropped.
     pub fn histogram_record(&self, name: &str, value: f64) {
         let mut g = lock(&self.inner);
-        g.histograms.entry(name.to_owned()).or_default().record(value);
+        g.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
     }
 
     /// Current value of a counter (0 if never touched).

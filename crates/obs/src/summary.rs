@@ -158,8 +158,24 @@ mod tests {
     #[test]
     fn trace_summary_counts_by_category() {
         let obs = Obs::recording(Level::Debug);
-        obs.span(Level::Info, "cluster", "t", Track::machine(0, 0), 0.0, 2.0, &[]);
-        obs.span(Level::Info, "cluster", "t", Track::machine(0, 1), 0.0, 1.0, &[]);
+        obs.span(
+            Level::Info,
+            "cluster",
+            "t",
+            Track::machine(0, 0),
+            0.0,
+            2.0,
+            &[],
+        );
+        obs.span(
+            Level::Info,
+            "cluster",
+            "t",
+            Track::machine(0, 1),
+            0.0,
+            1.0,
+            &[],
+        );
         obs.instant(Level::Warn, "monitor", "alert", Track::PIPELINE, 1.0, &[]);
         obs.gauge("g", 1.0, 3.0);
         let table = summarize_trace(&obs.trace_json());
@@ -175,7 +191,9 @@ mod tests {
     #[test]
     fn empty_inputs_say_so() {
         assert!(summarize_metrics("").contains("no metrics"));
-        assert!(summarize_trace("{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n")
-            .contains("no trace events"));
+        assert!(
+            summarize_trace("{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n")
+                .contains("no trace events")
+        );
     }
 }

@@ -305,7 +305,10 @@ impl Obs {
                 ts_us: ts,
                 dur_us: Some(dur),
                 track,
-                args: args.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect(),
+                args: args
+                    .iter()
+                    .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                    .collect(),
             },
         );
     }
@@ -498,7 +501,15 @@ mod tests {
     #[test]
     fn negative_and_nonfinite_timestamps_clamp_to_zero() {
         let obs = Obs::recording(Level::Debug);
-        obs.span(Level::Info, "c", "backwards", Track::PIPELINE, 5.0, 1.0, &[]);
+        obs.span(
+            Level::Info,
+            "c",
+            "backwards",
+            Track::PIPELINE,
+            5.0,
+            1.0,
+            &[],
+        );
         obs.instant(Level::Info, "c", "nan", Track::PIPELINE, f64::NAN, &[]);
         let json = obs.trace_json();
         assert!(json.contains("\"dur\":0"));
@@ -566,9 +577,15 @@ mod tests {
     fn same_calls_render_byte_identical_json() {
         let run = || {
             let obs = Obs::recording(Level::Debug);
-            obs.span(Level::Info, "train", "epoch 0", Track::job(1), 0.1, 0.9, &[
-                ("loss", 0.6931471805599453f64.into()),
-            ]);
+            obs.span(
+                Level::Info,
+                "train",
+                "epoch 0",
+                Track::job(1),
+                0.1,
+                0.9,
+                &[("loss", 0.6931471805599453f64.into())],
+            );
             obs.gauge("g", 0.9, 1.0 / 3.0);
             obs.histogram("h", 2.5);
             obs.counter("c", 3);

@@ -43,6 +43,9 @@ pub struct PipelineConfig {
     pub incremental_epochs: u32,
     /// Hogwild threads per training task.
     pub threads: usize,
+    /// Scoped worker threads per inference map task. Unlike Hogwild, this
+    /// never changes outputs — inference is read-only (DESIGN.md §8).
+    pub infer_threads: usize,
     /// Virtual seconds between training checkpoints.
     pub checkpoint_interval: f64,
     /// Virtual-time cost model.
@@ -69,6 +72,7 @@ impl Default for PipelineConfig {
             keep_top: 3,
             incremental_epochs: 3,
             threads: 4,
+            infer_threads: 1,
             checkpoint_interval: 300.0,
             cost: CostModel::default(),
             rec_k: 10,
@@ -387,6 +391,8 @@ impl SigmundService {
             let mut job =
                 InferenceJob::new(&self.dfs, cell.cell, splits, best.clone(), self.cfg.cost);
             job.k = self.cfg.rec_k;
+            job.threads = self.cfg.infer_threads;
+            job.obs = obs.clone();
             let stats = run_map_job_obs(
                 &job,
                 job.n_splits(),

@@ -4,9 +4,16 @@
 //! retailer's items are contiguous; each split covers one retailer's item
 //! range (large retailers get many splits and parallelize "over hundreds of
 //! machines", small ones one). A map task loads the retailer's **best**
-//! model once (single map thread per task so only one model is ever in
-//! memory — Section IV-C2), selects candidates, scores them, and emits the
-//! top-K lists for both surfaces.
+//! model once (one model in memory per task — Section IV-C2), materializes
+//! the representation matrices, selects candidates, scores them, and emits
+//! the top-K lists for both surfaces.
+//!
+//! A task may fan its item range out over [`InferenceJob::threads`] scoped
+//! worker threads ([`InferenceEngine::map_items`]): inference is read-only,
+//! so output stays byte-identical at any thread count, and virtual-time
+//! accounting (`ctx.consume`) replays sequentially in item order after the
+//! parallel compute so preemption sampling is thread-count-invariant too
+//! (DESIGN.md §8).
 //!
 //! Inference splits are idempotent and cheap relative to training, so they
 //! are simply re-executed on pre-emption (no checkpointing).
@@ -17,6 +24,7 @@ use parking_lot::Mutex;
 use sigmund_core::prelude::*;
 use sigmund_dfs::Dfs;
 use sigmund_mapreduce::{AttemptCtx, MapStatus, MapTask};
+use sigmund_obs::Obs;
 use sigmund_types::{Catalog, CellId, ConfigRecord, ItemId, RetailerId};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -84,6 +92,11 @@ pub struct InferenceJob<'a> {
     cost: CostModel,
     /// Recommendations per item surface.
     pub k: usize,
+    /// Scoped worker threads per map task (1 = sequential). Output is
+    /// byte-identical regardless — inference is read-only.
+    pub threads: usize,
+    /// Observability handle (virtual-time gauges/counters).
+    pub obs: Obs,
     selector: CandidateSelector,
     cache: Mutex<HashMap<RetailerId, Arc<RetailerInferState>>>,
     outputs: Mutex<Vec<MaterializedRec>>,
@@ -106,6 +119,8 @@ impl<'a> InferenceJob<'a> {
             best,
             cost,
             k: 10,
+            threads: 1,
+            obs: Obs::disabled(),
             selector: CandidateSelector::default(),
             cache: Mutex::new(HashMap::new()),
             outputs: Mutex::new(Vec::new()),
@@ -171,6 +186,13 @@ impl MapTask for InferenceJob<'_> {
         if !ctx.consume(self.cost.load_seconds(state.model_bytes)) {
             return MapStatus::Preempted;
         }
+        // Building the engine materializes both representation matrices —
+        // one rep per catalog item and side — which every attempt pays for
+        // in virtual time before any scoring happens.
+        let rep_build_s = self.cost.scoring_seconds(2 * state.catalog.len() as u64);
+        if !ctx.consume(rep_build_s) {
+            return MapStatus::Preempted;
+        }
         let engine = InferenceEngine::new(
             &state.model,
             &state.catalog,
@@ -179,37 +201,57 @@ impl MapTask for InferenceJob<'_> {
             &state.repurchase,
         )
         .with_selector(self.selector.clone());
-        let mut local = Vec::with_capacity((sp.end - sp.start) as usize);
-        for i in sp.start..sp.end {
-            let item = ItemId(i);
-            let before = engine.candidates_scored();
+        self.obs.gauge("infer.rep_build_s", ctx.now(), rep_build_s);
+        // Parallel phase: pure per-item compute over the split's range.
+        // Fan-out over scoped threads keeps results in item order, so the
+        // output is byte-identical for any `threads` value.
+        let per_item = engine.map_items(sp.start..sp.end, self.threads, |eng, item| {
+            let before = eng.candidates_scored();
             let recs = ItemRecs {
                 view_based: state.hybrid.recommend(
                     &state.cooc,
-                    &engine,
+                    eng,
                     item,
                     RecTask::ViewBased,
                     self.k,
                 ),
                 purchase_based: state.hybrid.recommend(
                     &state.cooc,
-                    &engine,
+                    eng,
                     item,
                     RecTask::PurchaseBased,
                     self.k,
                 ),
             };
-            let scored = engine.candidates_scored() - before;
+            (recs, eng.candidates_scored() - before)
+        });
+        // Sequential replay of virtual cost in item order: the `consume`
+        // sequence (and thus preemption sampling and traces) must not
+        // depend on the thread count.
+        let mut split_scored = 0u64;
+        let mut local = Vec::with_capacity((sp.end - sp.start) as usize);
+        for (offset, (recs, scored)) in per_item.into_iter().enumerate() {
             if !ctx.consume(self.cost.scoring_seconds(scored.max(1))) {
                 // Discard partial output; the re-executed attempt redoes the
                 // whole split (idempotent).
                 return MapStatus::Preempted;
             }
+            split_scored += scored;
             local.push(MaterializedRec {
                 retailer: sp.retailer,
-                item,
+                item: ItemId(sp.start + offset as u32),
                 recs,
             });
+        }
+        self.obs
+            .counter("infer.items_materialized", local.len() as u64);
+        self.obs.counter("infer.candidates_scored", split_scored);
+        if ctx.used() > 0.0 {
+            self.obs.gauge(
+                "infer.candidates_per_cpu_s",
+                ctx.now(),
+                split_scored as f64 / ctx.used(),
+            );
         }
         self.outputs.lock().extend(local);
         MapStatus::Done
@@ -235,8 +277,17 @@ impl MapTask for InferenceJob<'_> {
             .get(&sp.retailer)
             .map(|r| r.params.factors)
             .unwrap_or(16);
-        // One model in memory at a time (single map thread per task).
-        self.cost.model_memory_gb(0, factors).max(0.05)
+        // One model in memory at a time, plus the engine's two materialized
+        // representation matrices (item- and context-side, f32 rows). The
+        // retailer's item count is the largest split end for that retailer.
+        let items = self
+            .splits
+            .iter()
+            .filter(|s| s.retailer == sp.retailer)
+            .map(|s| s.end as f64)
+            .fold(0.0, f64::max);
+        let rep_matrix_gb = 2.0 * items * factors as f64 * 4.0 / 1e9;
+        self.cost.model_memory_gb(0, factors).max(0.05) + rep_matrix_gb
     }
 }
 
@@ -363,6 +414,39 @@ mod tests {
         );
         assert_eq!(outputs.len(), catalog.len());
         assert!(stats.preemptions > 0);
+    }
+
+    #[test]
+    fn threaded_job_output_matches_single_thread() {
+        let dfs = Dfs::new();
+        let (catalog, best) = trained_retailer(&dfs, 5);
+        let splits = make_splits(&[(RetailerId(0), catalog.len())], 20);
+        let mut map = HashMap::new();
+        map.insert(RetailerId(0), best);
+        let run_with = |threads: usize| {
+            let mut job = InferenceJob::new(
+                &dfs,
+                CellId(0),
+                splits.clone(),
+                map.clone(),
+                CostModel::default(),
+            );
+            job.threads = threads;
+            let stats = run_map_job(&job, splits.len(), &cfg(0.0, 7));
+            (job.take_outputs(), stats.makespan)
+        };
+        let (base, base_makespan) = run_with(1);
+        for threads in [2usize, 4] {
+            let (outs, makespan) = run_with(threads);
+            assert_eq!(outs.len(), base.len());
+            for (a, b) in base.iter().zip(outs.iter()) {
+                assert_eq!(a.item, b.item);
+                assert_eq!(a.recs, b.recs, "thread count changed recs for {:?}", a.item);
+            }
+            // Virtual-time accounting replays sequentially, so even the
+            // simulated makespan is thread-count-invariant.
+            assert_eq!(makespan, base_makespan);
+        }
     }
 
     #[test]

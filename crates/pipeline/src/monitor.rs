@@ -200,7 +200,9 @@ impl QualityMonitor {
             let (name, level, retailer, extra): (&str, Level, RetailerId, (&str, ArgValue)) =
                 match alert {
                     QualityAlert::Regression {
-                        retailer, today_map, ..
+                        retailer,
+                        today_map,
+                        ..
                     } => (
                         "regression",
                         Level::Warn,
@@ -213,9 +215,12 @@ impl QualityMonitor {
                         *retailer,
                         ("best_map", (*best_map).into()),
                     ),
-                    QualityAlert::MissingModel { retailer, day } => {
-                        ("missing_model", Level::Warn, *retailer, ("day", (*day).into()))
-                    }
+                    QualityAlert::MissingModel { retailer, day } => (
+                        "missing_model",
+                        Level::Warn,
+                        *retailer,
+                        ("day", (*day).into()),
+                    ),
                     QualityAlert::EmptyRecommendations { retailer, coverage } => (
                         "empty_recommendations",
                         Level::Warn,
@@ -418,8 +423,7 @@ mod tests {
         let obs = Obs::recording(Level::Debug);
         let mut mon = QualityMonitor::new(MonitorConfig::default());
         let fleet = vec![(RetailerId(0), 10)];
-        let alerts =
-            mon.record_day_obs(&fleet, &report(0, &[(0, 0.001, 10, 10)]), &obs, 42.0);
+        let alerts = mon.record_day_obs(&fleet, &report(0, &[(0, 0.001, 10, 10)]), &obs, 42.0);
         assert_eq!(alerts.len(), 1);
         let trace = obs.trace_json();
         assert!(trace.contains("low_quality"), "{trace}");

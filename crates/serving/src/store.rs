@@ -108,7 +108,12 @@ impl ServingStore {
     /// [`ServingStore::publish`] with tracing: a `serving`-category span at
     /// `ts` (virtual seconds) plus publish counters and retailer/generation
     /// gauges.
-    pub fn publish_obs(&self, batch: HashMap<RetailerId, Vec<ItemRecs>>, obs: &Obs, ts: f64) -> u64 {
+    pub fn publish_obs(
+        &self,
+        batch: HashMap<RetailerId, Vec<ItemRecs>>,
+        obs: &Obs,
+        ts: f64,
+    ) -> u64 {
         let batch_size = batch.len();
         let generation = self.publish(batch);
         obs.span(

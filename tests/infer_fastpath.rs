@@ -1,0 +1,187 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+//! Property-style equivalence suite for the inference fast path (DESIGN.md
+//! §8): the rep-matrix + bounded-top-K + (optionally threaded) fast path
+//! must be **bitwise identical** to the seed per-candidate-walk reference
+//! path across feature-switch combinations, degenerate and oversized `k`,
+//! tie-heavy models, and any inference thread count.
+
+use sigmund_core::prelude::*;
+use sigmund_datagen::RetailerSpec;
+use sigmund_types::*;
+
+/// One rec list collapsed to `(item id, score bits)` pairs.
+type ListBits = Vec<(u32, u32)>;
+
+/// Collapse a materialized run to comparable bits: f32 scores are compared
+/// via `to_bits`, so "equal" here means bit-for-bit, not approximately.
+fn bits(recs: &[ItemRecs]) -> Vec<(ListBits, ListBits)> {
+    recs.iter()
+        .map(|r| {
+            (
+                r.view_based
+                    .iter()
+                    .map(|(i, s)| (i.0, s.to_bits()))
+                    .collect(),
+                r.purchase_based
+                    .iter()
+                    .map(|(i, s)| (i.0, s.to_bits()))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn feature_combos() -> Vec<(&'static str, FeatureSwitches)> {
+    vec![
+        ("none", FeatureSwitches::NONE),
+        ("all", FeatureSwitches::ALL),
+        (
+            "taxonomy-only",
+            FeatureSwitches {
+                use_taxonomy: true,
+                use_brand: false,
+                use_price: false,
+            },
+        ),
+        (
+            "brand-only",
+            FeatureSwitches {
+                use_taxonomy: false,
+                use_brand: true,
+                use_price: false,
+            },
+        ),
+        (
+            "price-only",
+            FeatureSwitches {
+                use_taxonomy: false,
+                use_brand: false,
+                use_price: true,
+            },
+        ),
+    ]
+}
+
+struct Fixture {
+    data: sigmund_datagen::RetailerData,
+    model: BprModel,
+    cooc: CoocModel,
+    index: CandidateIndex,
+    rep: RepurchaseStats,
+}
+
+fn fixture(features: FeatureSwitches, init_std: f32) -> Fixture {
+    let data = RetailerSpec::sized(RetailerId(0), 60, 80, 10).generate();
+    let hp = HyperParams {
+        factors: 8,
+        features,
+        init_std,
+        ..Default::default()
+    };
+    let model = BprModel::init(&data.catalog, hp);
+    let cooc = CoocModel::build(data.catalog.len(), &data.events, CoocConfig::default());
+    let index = CandidateIndex::build(&data.catalog);
+    let rep = RepurchaseStats::estimate(&data.catalog, &data.events, 0.3);
+    Fixture {
+        data,
+        model,
+        cooc,
+        index,
+        rep,
+    }
+}
+
+impl Fixture {
+    fn engine(&self) -> InferenceEngine<'_> {
+        InferenceEngine::new(
+            &self.model,
+            &self.data.catalog,
+            &self.index,
+            &self.cooc,
+            &self.rep,
+        )
+    }
+}
+
+/// The tentpole equivalence property: for every feature combination and for
+/// degenerate (0), tiny (1), exact-catalog, and oversized `k`, the fast path
+/// reproduces the reference path bit for bit — including under threading.
+#[test]
+fn fast_path_is_bitwise_identical_to_reference_across_features_and_k() {
+    for (name, features) in feature_combos() {
+        let fx = fixture(features, 0.1);
+        let n = fx.data.catalog.len();
+        let engine = fx.engine();
+        for k in [0usize, 1, n, n + 5] {
+            let reference = bits(&engine.materialize_all_reference(k));
+            for threads in [1usize, 2, 4] {
+                let fast = bits(&engine.materialize_all_threads(k, threads));
+                assert_eq!(
+                    fast, reference,
+                    "features={name} k={k} threads={threads}: fast path diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Tie-heavy stress: with `init_std: 0.0` every embedding is all-zero, so
+/// every candidate scores exactly 0.0 and ordering is decided purely by the
+/// ItemId-ascending tiebreak. The fast path's select-then-sort must agree
+/// with the reference full sort even when *everything* ties.
+#[test]
+fn all_zero_model_ties_resolve_identically() {
+    let fx = fixture(FeatureSwitches::ALL, 0.0);
+    let engine = fx.engine();
+    for k in [1usize, 5, fx.data.catalog.len()] {
+        let reference = engine.materialize_all_reference(k);
+        let fast = engine.materialize_all_threads(k, 3);
+        assert_eq!(bits(&fast), bits(&reference), "k={k}");
+        // Every returned list must be ItemId-ascending (all scores tie).
+        for recs in &fast {
+            for list in [&recs.view_based, &recs.purchase_based] {
+                assert!(list.iter().all(|(_, s)| s.to_bits() == 0.0f32.to_bits()));
+                assert!(list.windows(2).all(|w| w[0].0 < w[1].0));
+            }
+        }
+    }
+}
+
+/// Context-driven queries go through the same fast path; check them too,
+/// with contexts shorter and longer than the trailing window.
+#[test]
+fn context_queries_match_reference_bitwise() {
+    let fx = fixture(FeatureSwitches::ALL, 0.1);
+    let engine = fx.engine();
+    let long_ctx: Vec<(ItemId, ActionType)> = (0..30)
+        .map(|i| {
+            (
+                ItemId(i % fx.data.catalog.len() as u32),
+                if i % 3 == 0 {
+                    ActionType::Conversion
+                } else {
+                    ActionType::View
+                },
+            )
+        })
+        .collect();
+    let contexts: Vec<&[(ItemId, ActionType)]> = vec![
+        &long_ctx[..1],
+        &long_ctx[..7],
+        &long_ctx[..], // longer than the 25-event trailing window
+    ];
+    for ctx in contexts {
+        for task in [RecTask::ViewBased, RecTask::PurchaseBased] {
+            for k in [1usize, 10] {
+                let fast = engine.recommend_for_context(ctx, task, k);
+                let reference = engine.recommend_for_context_reference(ctx, task, k);
+                let fb: Vec<(u32, u32)> = fast.iter().map(|(i, s)| (i.0, s.to_bits())).collect();
+                let rb: Vec<(u32, u32)> =
+                    reference.iter().map(|(i, s)| (i.0, s.to_bits())).collect();
+                assert_eq!(fb, rb, "ctx_len={} task={task:?} k={k}", ctx.len());
+            }
+        }
+    }
+}

@@ -82,7 +82,10 @@ fn same_seed_single_thread_traces_are_byte_identical() {
 #[test]
 fn trace_covers_every_instrumented_layer() {
     let (trace, metrics) = traced_run();
-    assert!(trace.starts_with("{\"traceEvents\":["), "chrome trace header");
+    assert!(
+        trace.starts_with("{\"traceEvents\":["),
+        "chrome trace header"
+    );
     // `sweep`-cat events come from grid_search_obs (exercised in the
     // selection unit tests); the service pipeline emits its sweep plan as a
     // `pipeline` event, so it is not in this list.
@@ -99,6 +102,9 @@ fn trace_covers_every_instrumented_layer() {
         "serving.hit_rate",
         "monitor.fleet_mean_map",
     ] {
-        assert!(metrics.contains(metric), "missing {metric} in metrics.jsonl");
+        assert!(
+            metrics.contains(metric),
+            "missing {metric} in metrics.jsonl"
+        );
     }
 }

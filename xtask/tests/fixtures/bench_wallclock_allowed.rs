@@ -1,0 +1,13 @@
+// Fixture: a bench binary outside the determinism allowlist that carries a
+// properly reasoned inline allow on its single wall-clock seam (mirrors
+// crates/bench/src/bin/bench_infer.rs), plus one unexempted use that must
+// still be flagged.
+
+fn wall_now() -> Instant {
+    // xtask: allow(determinism) — throughput benchmark measuring real wall time.
+    Instant::now()
+}
+
+fn unexempted() -> Instant {
+    Instant::now()
+}

@@ -14,6 +14,7 @@ const PANIC_OK: &str = include_str!("fixtures/panic_ok.rs");
 const ATOMICS_BAD: &str = include_str!("fixtures/atomics_bad.rs");
 const ALLOW_BAD: &str = include_str!("fixtures/allow_bad.rs");
 const OBS_WALLCLOCK_BAD: &str = include_str!("fixtures/obs_wallclock_bad.rs");
+const BENCH_WALLCLOCK_ALLOWED: &str = include_str!("fixtures/bench_wallclock_allowed.rs");
 
 fn lint(rel: &str, src: &str) -> Vec<Violation> {
     lint_source(rel, src, &Policy::default()).0
@@ -54,6 +55,25 @@ fn determinism_allowlisted_bench_binaries_are_exempt() {
     // ...but the exemption is file-exact, not crate-wide.
     let vs = lint("crates/bench/src/bin/t1_model_sizes.rs", DETERMINISM_BAD);
     assert_eq!(by_rule(&vs).get("determinism"), Some(&6));
+}
+
+#[test]
+fn non_allowlisted_bench_binary_uses_inline_allow_for_wall_clock() {
+    // bench_infer.rs is not on the file allowlist; its wall-clock seam is
+    // exempted by a reasoned inline allow instead. The fixture mirrors that
+    // shape: the allowed call is suppressed (and the allow counts as used),
+    // while a second, unexempted call in the same file still fires.
+    let (vs, allows) = lint_source(
+        "crates/bench/src/bin/bench_infer.rs",
+        BENCH_WALLCLOCK_ALLOWED,
+        &Policy::default(),
+    );
+    let counts = by_rule(&vs);
+    assert_eq!(counts.get("determinism"), Some(&1), "{vs:?}");
+    assert_eq!(vs[0].line, 12, "only the unexempted Instant::now fires");
+    let used: Vec<_> = allows.iter().filter(|a| a.used).collect();
+    assert_eq!(used.len(), 1);
+    assert!(used[0].reason.contains("throughput benchmark"));
 }
 
 #[test]
