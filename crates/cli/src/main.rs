@@ -20,7 +20,9 @@ use sigmund_cluster::{CellSpec, PreemptionModel};
 use sigmund_core::prelude::*;
 use sigmund_datagen::{evolve_day, EvolutionSpec, FleetSpec, RetailerSpec};
 use sigmund_obs::{summarize_metrics, summarize_trace, Level, Obs};
-use sigmund_pipeline::{MonitorConfig, PipelineConfig, QualityMonitor, SigmundService};
+use sigmund_pipeline::{
+    ChaosConfig, MonitorConfig, PipelineConfig, QualityMonitor, SigmundService,
+};
 use sigmund_serving::{RecSurface, ServingStore};
 use sigmund_types::{CellId, ItemId, RetailerId};
 use std::path::Path;
@@ -65,6 +67,8 @@ fn print_help() {
          \x20            --retailers N (6) --days D (2) --cells C (2) --machines M (6)\n\
          \x20            --preempt RATE/task-hr (0.25) --min-items (30) --max-items (400)\n\
          \x20            --threads T (4) --infer-threads I (1) --seed S (7)\n\
+         \x20            --fault-profile none|mild|storm (none)  seeded chaos harness\n\
+         \x20            --chaos-seed S (= --seed)  fault-injection seed\n\
          \x20            --trace    write results/trace.json (Chrome trace-event\n\
          \x20                       format) + results/metrics.jsonl\n\
          \x20 report     summarize the trace + metrics from a traced simulate\n\
@@ -90,6 +94,8 @@ fn simulate(args: &Args) -> Result<(), String> {
         "threads",
         "infer-threads",
         "seed",
+        "fault-profile",
+        "chaos-seed",
         "trace",
     ])?;
     let n_retailers: usize = args.get("retailers", 6)?;
@@ -102,6 +108,17 @@ fn simulate(args: &Args) -> Result<(), String> {
     let threads: usize = args.get("threads", 4)?;
     let infer_threads: usize = args.get("infer-threads", 1)?;
     let seed: u64 = args.get("seed", 7)?;
+    let chaos_seed: u64 = args.get("chaos-seed", seed)?;
+    let chaos = match args.get_str("fault-profile").unwrap_or("none") {
+        "none" => ChaosConfig::disabled(),
+        "mild" => ChaosConfig::mild(chaos_seed),
+        "storm" => ChaosConfig::storm(chaos_seed),
+        other => {
+            return Err(format!(
+                "--fault-profile must be none|mild|storm, got {other}"
+            ))
+        }
+    };
     let trace: bool = args.get("trace", false)?;
     if n_retailers == 0
         || days == 0
@@ -139,6 +156,7 @@ fn simulate(args: &Args) -> Result<(), String> {
         infer_threads,
         seed,
         obs: obs.clone(),
+        chaos,
         ..Default::default()
     });
     for d in &data {
@@ -177,6 +195,13 @@ fn simulate(args: &Args) -> Result<(), String> {
                 rec.params.learning_rate,
                 m.map_at_10,
                 if m.map_sampled { " (sampled)" } else { "" }
+            );
+        }
+        if !report.degraded.is_empty() {
+            let stale: Vec<String> = report.degraded.iter().map(|r| r.to_string()).collect();
+            println!(
+                "  degraded (serving previous generation): {}",
+                stale.join(", ")
             );
         }
         for alert in monitor.record_day_obs(&onboarded, &report, &obs, svc.virtual_now()) {
@@ -373,6 +398,7 @@ mod tests {
         assert!(run(argv("simulate --retailers nope")).is_err());
         assert!(run(argv("simulate --bogus 1")).is_err());
         assert!(run(argv("simulate --infer-threads 0")).is_err());
+        assert!(run(argv("simulate --fault-profile bogus")).is_err());
         assert!(run(argv("train --grid huge")).is_err());
         assert!(run(argv("train --items 0")).is_err());
         assert!(run(argv("evolve --days 0")).is_err());
@@ -385,6 +411,16 @@ mod tests {
              --min-items 20 --max-items 40 --preempt 0 --infer-threads 2 --seed 3",
         ))
         .expect("simulate should succeed");
+    }
+
+    #[test]
+    fn chaotic_simulate_runs_end_to_end() {
+        run(argv(
+            "simulate --retailers 2 --days 2 --cells 1 --machines 3 \
+             --min-items 20 --max-items 40 --preempt 0 --threads 1 --seed 3 \
+             --fault-profile storm --chaos-seed 11",
+        ))
+        .expect("storm-profile simulate should degrade, not fail");
     }
 
     #[test]

@@ -27,8 +27,10 @@ pub mod cost;
 pub mod machine;
 pub mod preempt;
 pub mod sim;
+pub mod storm;
 
 pub use cost::{CostMeter, Priority, PREEMPTIBLE_RATE, PRODUCTION_RATE};
 pub use machine::{CellSpec, MachinePool, MachineSpec};
 pub use preempt::PreemptionModel;
 pub use sim::{CheckpointPolicy, ClusterSim, SimReport, TaskOutcome, TaskSpec};
+pub use storm::{DrainWindow, StormSchedule};

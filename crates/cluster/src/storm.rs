@@ -1,0 +1,141 @@
+//! Correlated pre-emption storms: cell-wide drain windows.
+//!
+//! The exponential hazard in [`crate::PreemptionModel`] models *independent*
+//! pre-emptions — each task draws its own time-to-kill. Real clusters also
+//! exhibit *correlated* loss: a maintenance drain or a surge of production
+//! demand evicts every pre-emptible task in a cell at once. A
+//! [`StormSchedule`] layers those windows (in absolute virtual time) on top
+//! of the hazard: an attempt that starts inside a drain window gets a zero
+//! budget (killed immediately), and an attempt that starts before one is
+//! truncated at the window's edge. Production-priority work is exempt, like
+//! the hazard itself.
+//!
+//! The empty schedule is a guaranteed no-op — [`StormSchedule::cap`] returns
+//! the budget unchanged — so existing schedules are byte-identical when no
+//! storms are configured.
+
+use serde::{Deserialize, Serialize};
+
+/// One cell-wide drain window in absolute virtual seconds, half-open
+/// `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DrainWindow {
+    /// Window start (inclusive).
+    pub start: f64,
+    /// Window end (exclusive). `f64::INFINITY` drains until further notice.
+    pub end: f64,
+}
+
+impl DrainWindow {
+    /// True iff absolute time `t` falls inside the window.
+    pub fn contains(&self, t: f64) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// A set of drain windows applied to every pre-emptible attempt in a cell.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StormSchedule {
+    /// The drain windows. Order does not matter; overlap is allowed.
+    pub windows: Vec<DrainWindow>,
+}
+
+impl StormSchedule {
+    /// No storms: [`StormSchedule::cap`] is the identity on budgets.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A single window `[start, end)`.
+    pub fn single(start: f64, end: f64) -> Self {
+        StormSchedule {
+            windows: vec![DrainWindow { start, end }],
+        }
+    }
+
+    /// True iff there are no windows (the schedule cannot affect anything).
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// True iff `t` is inside any window.
+    pub fn draining_at(&self, t: f64) -> bool {
+        self.windows.iter().any(|w| w.contains(t))
+    }
+
+    /// Caps an attempt's pre-emption budget: an attempt starting at absolute
+    /// time `start` inside a window is killed immediately (budget 0); one
+    /// starting before a window cannot run past the window's opening edge.
+    /// With no windows the budget passes through untouched.
+    pub fn cap(&self, start: f64, budget: f64) -> f64 {
+        let mut capped = budget;
+        for w in &self.windows {
+            if w.contains(start) {
+                return 0.0;
+            }
+            if w.start > start {
+                capped = capped.min(w.start - start);
+            }
+        }
+        capped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_is_identity() {
+        let s = StormSchedule::none();
+        assert!(s.is_empty());
+        assert_eq!(s.cap(0.0, 123.0), 123.0);
+        assert_eq!(s.cap(1e9, f64::INFINITY), f64::INFINITY);
+        assert!(!s.draining_at(0.0));
+    }
+
+    #[test]
+    fn attempt_inside_window_gets_zero_budget() {
+        let s = StormSchedule::single(100.0, 200.0);
+        assert_eq!(s.cap(100.0, 50.0), 0.0, "start edge is inclusive");
+        assert_eq!(s.cap(150.0, 50.0), 0.0);
+        assert_eq!(s.cap(200.0, 50.0), 50.0, "end edge is exclusive");
+    }
+
+    #[test]
+    fn attempt_before_window_is_truncated_at_the_edge() {
+        let s = StormSchedule::single(100.0, 200.0);
+        assert_eq!(s.cap(90.0, 50.0), 10.0);
+        assert_eq!(s.cap(90.0, 5.0), 5.0, "short budgets pass through");
+        assert_eq!(s.cap(0.0, f64::INFINITY), 100.0);
+    }
+
+    #[test]
+    fn multiple_windows_take_the_tightest_cap() {
+        let s = StormSchedule {
+            windows: vec![
+                DrainWindow {
+                    start: 500.0,
+                    end: 600.0,
+                },
+                DrainWindow {
+                    start: 120.0,
+                    end: 130.0,
+                },
+            ],
+        };
+        assert_eq!(s.cap(100.0, 1000.0), 20.0);
+        assert_eq!(s.cap(125.0, 1000.0), 0.0);
+        assert_eq!(s.cap(130.0, 1000.0), 370.0);
+        assert!(s.draining_at(125.0) && s.draining_at(550.0));
+        assert!(!s.draining_at(130.0));
+    }
+
+    #[test]
+    fn infinite_window_drains_forever_after_start() {
+        let s = StormSchedule::single(10.0, f64::INFINITY);
+        assert_eq!(s.cap(10.0, 1.0), 0.0);
+        assert_eq!(s.cap(1e12, 1.0), 0.0);
+        assert_eq!(s.cap(0.0, 100.0), 10.0);
+    }
+}

@@ -62,7 +62,9 @@ impl<'a> CheckpointStore<'a> {
         buf.put_u64_le(progress);
         buf.put_slice(payload);
         let tmp = self.tmp_path();
-        self.dfs.write(self.cell, &tmp, buf.freeze());
+        // A faulted temp write aborts the publish; the previous LIVE
+        // checkpoint is untouched, so readers never observe the torn state.
+        self.dfs.write(self.cell, &tmp, buf.freeze())?;
         // Atomic publish: replaces (== garbage-collects) the old checkpoint.
         self.dfs.rename(&tmp, &self.live_path())?;
         Ok(seq)
@@ -144,7 +146,8 @@ mod tests {
     #[test]
     fn corrupt_checkpoint_is_reported() {
         let dfs = Dfs::new();
-        dfs.write(C0, "/ckpt/z/LIVE", Bytes::from_static(b"short"));
+        dfs.write(C0, "/ckpt/z/LIVE", Bytes::from_static(b"short"))
+            .unwrap();
         let store = CheckpointStore::new(&dfs, C0, "/ckpt/z");
         assert!(matches!(store.latest(), Err(SigmundError::Corrupt(_))));
     }

@@ -1,0 +1,291 @@
+//! Seeded fault injection for the simulated DFS.
+//!
+//! The injector turns a declarative [`FaultPlan`] into per-operation fault
+//! decisions. Every decision is a pure function of `(plan.seed, operation
+//! index, fault class)` through a splitmix64 hash — there is no OS entropy,
+//! no wall clock, and no shared RNG stream, so a run's fault sequence is
+//! reproducible bit-for-bit and *cannot* perturb any other seeded RNG in the
+//! system. Fault classes with a zero rate draw nothing, and [`crate::Dfs`]
+//! built without an injector ([`crate::Dfs::new`]) performs zero fault
+//! bookkeeping, which is what makes the disabled harness provably
+//! transparent (asserted byte-for-byte in `tests/chaos.rs`).
+//!
+//! Virtual time enters through [`FaultInjector::begin_day`]: the pipeline
+//! advances the injector's day counter at the start of each simulated day,
+//! and the plan's day windows gate which faults are live.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use sigmund_types::{CellId, FaultPlan};
+
+/// Running totals of injected faults, for observability and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Transient read errors injected.
+    pub read_errors: u64,
+    /// Transient write errors injected (lost writes).
+    pub write_errors: u64,
+    /// Torn (truncated) reads injected.
+    pub torn_reads: u64,
+    /// Cross-cell reads blocked by an active partition.
+    pub partition_blocks: u64,
+}
+
+/// What the injector decided for one `read`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// No fault: return the stored bytes.
+    None,
+    /// Fail the read with a transient error.
+    Error,
+    /// Return a torn (truncated) payload.
+    Torn,
+    /// The read crosses an active partition boundary: fail it.
+    Partitioned,
+}
+
+#[derive(Debug)]
+struct FaultState {
+    day: u32,
+    ops: u64,
+    stats: FaultStats,
+}
+
+/// Per-operation fault decider attached to a [`crate::Dfs`].
+///
+/// Interior-mutable so the `Dfs` API stays `&self`; the lock guards only a
+/// counter triple and is uncontended in single-threaded simulation runs.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: Mutex<FaultState>,
+}
+
+/// SplitMix64 finalizer — the standard seed-scrambling hash (Steele et al.),
+/// used here as a stateless counter-mode PRNG: `hash(seed ^ op ^ salt)`.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a hash to a uniform f64 in `[0, 1)` using the top 53 bits.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+// Domain-separation salts so read-error, torn-read, and write-error draws at
+// the same op index are independent.
+const SALT_READ: u64 = 0x52_45_41_44; // "READ"
+const SALT_TORN: u64 = 0x54_4F_52_4E; // "TORN"
+const SALT_WRITE: u64 = 0x57_52_49_54; // "WRIT"
+
+impl FaultInjector {
+    /// Wraps a plan. The injector starts at day 0 with zeroed counters.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            state: Mutex::new(FaultState {
+                day: 0,
+                ops: 0,
+                stats: FaultStats::default(),
+            }),
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Advances the injector's virtual-day counter. Called by the pipeline
+    /// at the start of each simulated day; day windows in the plan are
+    /// evaluated against this.
+    pub fn begin_day(&self, day: u32) {
+        self.state.lock().day = day;
+    }
+
+    /// Injected-fault totals so far.
+    pub fn stats(&self) -> FaultStats {
+        self.state.lock().stats
+    }
+
+    /// One uniform draw for op `op` under `salt`. Pure: no state involved
+    /// beyond the already-assigned op index.
+    fn draw(&self, op: u64, salt: u64) -> f64 {
+        unit(splitmix64(
+            self.plan.seed ^ op.wrapping_mul(0x0100_0000_01B3) ^ salt,
+        ))
+    }
+
+    /// Decides the fate of a read of `path` issued by `reader` for data
+    /// homed in `home`.
+    pub(crate) fn on_read(&self, reader: CellId, home: CellId) -> ReadFault {
+        let mut st = self.state.lock();
+        let day = st.day;
+        // Partitions are deterministic (no draw): any read crossing the
+        // boundary of a partitioned cell is blocked for the whole window.
+        if reader != home {
+            let crossed = self
+                .plan
+                .partitions
+                .iter()
+                .any(|p| p.active_on(day) && (p.cell == reader || p.cell == home));
+            if crossed {
+                st.stats.partition_blocks += 1;
+                return ReadFault::Partitioned;
+            }
+        }
+        if !self.plan.active_on(day) {
+            return ReadFault::None;
+        }
+        if self.plan.read_error_rate > 0.0 {
+            st.ops += 1;
+            let op = st.ops;
+            if self.draw(op, SALT_READ) < self.plan.read_error_rate {
+                st.stats.read_errors += 1;
+                return ReadFault::Error;
+            }
+        }
+        if self.plan.corrupt_rate > 0.0 {
+            st.ops += 1;
+            let op = st.ops;
+            if self.draw(op, SALT_TORN) < self.plan.corrupt_rate {
+                st.stats.torn_reads += 1;
+                return ReadFault::Torn;
+            }
+        }
+        ReadFault::None
+    }
+
+    /// Decides whether a write faults (true = inject a transient error and
+    /// drop the write).
+    pub(crate) fn on_write(&self) -> bool {
+        let mut st = self.state.lock();
+        if !self.plan.active_on(st.day) || self.plan.write_error_rate == 0.0 {
+            return false;
+        }
+        st.ops += 1;
+        let op = st.ops;
+        if self.draw(op, SALT_WRITE) < self.plan.write_error_rate {
+            st.stats.write_errors += 1;
+            return true;
+        }
+        false
+    }
+}
+
+/// Tears `data` the way a half-landed write would: keep the first half,
+/// drop the rest. Decoders downstream see a short/invalid payload and
+/// surface [`sigmund_types::SigmundError::Corrupt`].
+pub(crate) fn tear(data: &Bytes) -> Bytes {
+    Bytes::from(data[..data.len() / 2].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmund_types::Partition;
+
+    fn plan(read: f64, write: f64, corrupt: f64) -> FaultPlan {
+        FaultPlan {
+            seed: 42,
+            read_error_rate: read,
+            write_error_rate: write,
+            corrupt_rate: corrupt,
+            ..FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed_and_op() {
+        let run = || {
+            let inj = FaultInjector::new(plan(0.3, 0.3, 0.1));
+            let mut log = Vec::new();
+            for _ in 0..200 {
+                log.push(inj.on_read(CellId(0), CellId(0)));
+                log.push(if inj.on_write() {
+                    ReadFault::Error
+                } else {
+                    ReadFault::None
+                });
+            }
+            (log, inj.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rates_roughly_hold() {
+        let inj = FaultInjector::new(plan(0.25, 0.25, 0.0));
+        for _ in 0..2000 {
+            inj.on_read(CellId(0), CellId(0));
+            inj.on_write();
+        }
+        let s = inj.stats();
+        // 2000 draws each at p=0.25: expect ~500, allow a wide band.
+        assert!((350..650).contains(&(s.read_errors as i64)), "{s:?}");
+        assert!((350..650).contains(&(s.write_errors as i64)), "{s:?}");
+    }
+
+    #[test]
+    fn zero_rates_draw_nothing_and_inject_nothing() {
+        let inj = FaultInjector::new(plan(0.0, 0.0, 0.0));
+        for _ in 0..100 {
+            assert_eq!(inj.on_read(CellId(0), CellId(1)), ReadFault::None);
+            assert!(!inj.on_write());
+        }
+        assert_eq!(inj.stats(), FaultStats::default());
+        assert_eq!(inj.state.lock().ops, 0, "no-op classes must not draw");
+    }
+
+    #[test]
+    fn day_window_gates_rate_faults() {
+        let p = FaultPlan {
+            from_day: 1,
+            until_day: 2,
+            ..plan(1.0, 1.0, 0.0)
+        };
+        let inj = FaultInjector::new(p);
+        assert_eq!(inj.on_read(CellId(0), CellId(0)), ReadFault::None);
+        inj.begin_day(1);
+        assert_eq!(inj.on_read(CellId(0), CellId(0)), ReadFault::Error);
+        assert!(inj.on_write());
+        inj.begin_day(2);
+        assert_eq!(inj.on_read(CellId(0), CellId(0)), ReadFault::None);
+        assert!(!inj.on_write());
+    }
+
+    #[test]
+    fn partitions_block_cross_cell_reads_only() {
+        let p = FaultPlan {
+            partitions: vec![Partition {
+                cell: CellId(1),
+                from_day: 0,
+                until_day: 1,
+            }],
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(p);
+        // Local reads inside the partitioned cell still work.
+        assert_eq!(inj.on_read(CellId(1), CellId(1)), ReadFault::None);
+        // Crossing the boundary in either direction is blocked.
+        assert_eq!(inj.on_read(CellId(0), CellId(1)), ReadFault::Partitioned);
+        assert_eq!(inj.on_read(CellId(1), CellId(0)), ReadFault::Partitioned);
+        // Unrelated cross-cell traffic is untouched.
+        assert_eq!(inj.on_read(CellId(0), CellId(2)), ReadFault::None);
+        // Window over: everything flows again.
+        inj.begin_day(1);
+        assert_eq!(inj.on_read(CellId(0), CellId(1)), ReadFault::None);
+        assert_eq!(inj.stats().partition_blocks, 2);
+    }
+
+    #[test]
+    fn torn_reads_truncate_to_half() {
+        let data = Bytes::from(vec![7u8; 10]);
+        assert_eq!(tear(&data).len(), 5);
+        assert_eq!(tear(&Bytes::from(vec![1u8])).len(), 0);
+        assert_eq!(tear(&Bytes::new()).len(), 0);
+    }
+}

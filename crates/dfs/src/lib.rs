@@ -22,12 +22,15 @@
 //! are plain `/`-separated strings.
 
 pub mod checkpoint;
+pub mod fault;
 
 pub use checkpoint::CheckpointStore;
+pub use fault::{FaultInjector, FaultStats};
 
 use bytes::Bytes;
+use fault::ReadFault;
 use parking_lot::RwLock;
-use sigmund_types::{CellId, SigmundError};
+use sigmund_types::{CellId, FaultPlan, SigmundError};
 use std::collections::BTreeMap;
 
 /// A file plus the cell its primary replica lives in.
@@ -53,7 +56,7 @@ pub struct TransferStats {
 /// use sigmund_types::CellId;
 /// use bytes::Bytes;
 /// let dfs = Dfs::new();
-/// dfs.write(CellId(0), "/models/r1/c0", Bytes::from_static(b"weights"));
+/// dfs.write(CellId(0), "/models/r1/c0", Bytes::from_static(b"weights")).unwrap();
 /// assert_eq!(&dfs.read(CellId(0), "/models/r1/c0").unwrap()[..], b"weights");
 /// // Reading from another cell is accounted as cross-cell traffic.
 /// dfs.read(CellId(1), "/models/r1/c0").unwrap();
@@ -63,35 +66,102 @@ pub struct TransferStats {
 pub struct Dfs {
     files: RwLock<BTreeMap<String, Entry>>,
     stats: RwLock<TransferStats>,
+    injector: Option<FaultInjector>,
 }
 
 impl Dfs {
-    /// An empty filesystem.
+    /// An empty filesystem with no fault injection: every operation that
+    /// would succeed on a healthy filesystem succeeds.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty filesystem whose reads and writes are filtered through a
+    /// seeded [`FaultInjector`] executing `plan`. With an all-zero plan the
+    /// injector draws nothing, but callers that want provable transparency
+    /// should check [`FaultPlan::is_noop`] and use [`Dfs::new`] instead.
+    pub fn with_faults(plan: FaultPlan) -> Self {
+        Dfs {
+            files: RwLock::default(),
+            stats: RwLock::default(),
+            injector: Some(FaultInjector::new(plan)),
+        }
+    }
+
+    /// The fault injector, if this filesystem was built with one. The
+    /// pipeline uses this to advance the injector's virtual day and to
+    /// export [`FaultStats`] counters.
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
     /// Writes (or overwrites) `path`, homing the data in `cell`.
-    pub fn write(&self, cell: CellId, path: &str, data: Bytes) {
+    ///
+    /// # Errors
+    /// [`SigmundError::Transient`] if the fault injector drops the write
+    /// (nothing is stored; the caller may retry).
+    pub fn write(&self, cell: CellId, path: &str, data: Bytes) -> Result<(), SigmundError> {
+        if let Some(inj) = &self.injector {
+            if inj.on_write() {
+                return Err(SigmundError::Transient(format!(
+                    "injected write fault: {path}"
+                )));
+            }
+        }
         self.files
             .write()
             .insert(path.to_string(), Entry { data, home: cell });
+        Ok(())
     }
 
     /// Reads `path` from `cell`, charging cross-cell traffic if the data
     /// lives elsewhere.
     ///
     /// # Errors
-    /// [`SigmundError::NotFound`] if the path does not exist.
+    /// [`SigmundError::NotFound`] if the path does not exist;
+    /// [`SigmundError::Transient`] if the fault injector fails the read or
+    /// an active partition blocks the cross-cell transfer. A torn-read fault
+    /// instead returns truncated bytes, which downstream decoders surface as
+    /// [`SigmundError::Corrupt`].
     pub fn read(&self, cell: CellId, path: &str) -> Result<Bytes, SigmundError> {
         let files = self.files.read();
         let entry = files
             .get(path)
             .ok_or_else(|| SigmundError::NotFound(path.to_string()))?;
+        if let Some(inj) = &self.injector {
+            match inj.on_read(cell, entry.home) {
+                ReadFault::None => {}
+                ReadFault::Error => {
+                    return Err(SigmundError::Transient(format!(
+                        "injected read fault: {path}"
+                    )));
+                }
+                ReadFault::Partitioned => {
+                    return Err(SigmundError::Transient(format!(
+                        "partition: cell {} cannot reach {path} (home cell {})",
+                        cell.0, entry.home.0
+                    )));
+                }
+                ReadFault::Torn => {
+                    if entry.home != cell {
+                        self.stats.write().cross_cell_read_bytes += entry.data.len() as u64;
+                    }
+                    return Ok(fault::tear(&entry.data));
+                }
+            }
+        }
         if entry.home != cell {
             self.stats.write().cross_cell_read_bytes += entry.data.len() as u64;
         }
         Ok(entry.data.clone())
+    }
+
+    /// Reads `path` without consulting the fault injector and without
+    /// charging cross-cell traffic: an audit-surface read for tests and
+    /// offline inspection. Production loads must go through [`Dfs::read`] so
+    /// faults and transfer accounting stay on the data path.
+    pub fn peek(&self, path: &str) -> Option<Bytes> {
+        self.files.read().get(path).map(|e| e.data.clone())
     }
 
     /// True iff `path` exists.
@@ -182,7 +252,7 @@ mod tests {
     #[test]
     fn write_read_round_trip() {
         let dfs = Dfs::new();
-        dfs.write(C0, "/a/b", Bytes::from_static(b"hello"));
+        dfs.write(C0, "/a/b", Bytes::from_static(b"hello")).unwrap();
         assert_eq!(dfs.read(C0, "/a/b").unwrap(), Bytes::from_static(b"hello"));
         assert!(dfs.exists("/a/b"));
         assert!(!dfs.exists("/a"));
@@ -203,7 +273,7 @@ mod tests {
     #[test]
     fn cross_cell_reads_are_charged() {
         let dfs = Dfs::new();
-        dfs.write(C0, "/data", Bytes::from(vec![0u8; 100]));
+        dfs.write(C0, "/data", Bytes::from(vec![0u8; 100])).unwrap();
         dfs.read(C0, "/data").unwrap(); // local: free
         assert_eq!(dfs.stats().cross_cell_read_bytes, 0);
         dfs.read(C1, "/data").unwrap(); // remote: charged
@@ -213,7 +283,7 @@ mod tests {
     #[test]
     fn migrate_rehomes_and_charges_once() {
         let dfs = Dfs::new();
-        dfs.write(C0, "/data", Bytes::from(vec![0u8; 64]));
+        dfs.write(C0, "/data", Bytes::from(vec![0u8; 64])).unwrap();
         dfs.migrate("/data", C1).unwrap();
         assert_eq!(dfs.home_of("/data"), Some(C1));
         assert_eq!(dfs.stats().migrated_bytes, 64);
@@ -228,8 +298,8 @@ mod tests {
     #[test]
     fn rename_is_atomic_replace() {
         let dfs = Dfs::new();
-        dfs.write(C0, "/tmp", Bytes::from_static(b"new"));
-        dfs.write(C0, "/final", Bytes::from_static(b"old"));
+        dfs.write(C0, "/tmp", Bytes::from_static(b"new")).unwrap();
+        dfs.write(C0, "/final", Bytes::from_static(b"old")).unwrap();
         dfs.rename("/tmp", "/final").unwrap();
         assert!(!dfs.exists("/tmp"));
         assert_eq!(dfs.read(C0, "/final").unwrap(), Bytes::from_static(b"new"));
@@ -238,20 +308,71 @@ mod tests {
     #[test]
     fn list_by_prefix() {
         let dfs = Dfs::new();
-        dfs.write(C0, "/models/r1/c0", Bytes::new());
-        dfs.write(C0, "/models/r1/c1", Bytes::new());
-        dfs.write(C0, "/models/r2/c0", Bytes::new());
-        dfs.write(C0, "/data/r1", Bytes::new());
+        dfs.write(C0, "/models/r1/c0", Bytes::new()).unwrap();
+        dfs.write(C0, "/models/r1/c1", Bytes::new()).unwrap();
+        dfs.write(C0, "/models/r2/c0", Bytes::new()).unwrap();
+        dfs.write(C0, "/data/r1", Bytes::new()).unwrap();
         assert_eq!(dfs.list("/models/r1/").len(), 2);
         assert_eq!(dfs.list("/models/").len(), 3);
         assert_eq!(dfs.list("/zzz").len(), 0);
     }
 
     #[test]
+    fn injected_write_fault_drops_the_write() {
+        let dfs = Dfs::with_faults(FaultPlan {
+            seed: 1,
+            write_error_rate: 1.0,
+            ..FaultPlan::default()
+        });
+        let err = dfs.write(C0, "/a", Bytes::from_static(b"x")).unwrap_err();
+        assert!(matches!(err, SigmundError::Transient(_)));
+        assert!(!dfs.exists("/a"), "a faulted write must store nothing");
+        assert_eq!(dfs.injector().unwrap().stats().write_errors, 1);
+    }
+
+    #[test]
+    fn torn_read_returns_truncated_bytes() {
+        let dfs = Dfs::with_faults(FaultPlan {
+            seed: 1,
+            corrupt_rate: 1.0,
+            ..FaultPlan::default()
+        });
+        dfs.write(C0, "/a", Bytes::from(vec![9u8; 8])).unwrap();
+        assert_eq!(dfs.read(C0, "/a").unwrap().len(), 4);
+        assert_eq!(dfs.injector().unwrap().stats().torn_reads, 1);
+    }
+
+    #[test]
+    fn partition_blocks_cross_cell_reads_until_window_ends() {
+        let dfs = Dfs::with_faults(FaultPlan {
+            partitions: vec![sigmund_types::Partition {
+                cell: C1,
+                from_day: 0,
+                until_day: 1,
+            }],
+            ..FaultPlan::default()
+        });
+        dfs.write(C1, "/data", Bytes::from(vec![0u8; 4])).unwrap();
+        assert!(dfs.read(C1, "/data").is_ok(), "local read unaffected");
+        assert!(matches!(
+            dfs.read(C0, "/data"),
+            Err(SigmundError::Transient(_))
+        ));
+        dfs.injector().unwrap().begin_day(1);
+        assert!(dfs.read(C0, "/data").is_ok(), "partition healed on day 1");
+    }
+
+    #[test]
+    fn plain_dfs_has_no_injector() {
+        assert!(Dfs::new().injector().is_none());
+        assert!(Dfs::default().injector().is_none());
+    }
+
+    #[test]
     fn total_bytes_sums_files() {
         let dfs = Dfs::new();
-        dfs.write(C0, "/a", Bytes::from(vec![0u8; 10]));
-        dfs.write(C0, "/b", Bytes::from(vec![0u8; 5]));
+        dfs.write(C0, "/a", Bytes::from(vec![0u8; 10])).unwrap();
+        dfs.write(C0, "/b", Bytes::from(vec![0u8; 5])).unwrap();
         assert_eq!(dfs.total_bytes(), 15);
         dfs.delete("/a").unwrap();
         assert_eq!(dfs.total_bytes(), 5);

@@ -8,9 +8,10 @@
 //! the attempt (returning [`MapStatus::Preempted`]) and will be re-executed
 //! later — typically resuming from a checkpoint it wrote to the DFS.
 
+use crate::backoff::{BackoffPolicy, FlakyPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sigmund_cluster::{CellSpec, CostMeter, PreemptionModel, Priority};
+use sigmund_cluster::{CellSpec, CostMeter, PreemptionModel, Priority, StormSchedule};
 use sigmund_obs::{Level, Obs, Track};
 use sigmund_types::TaskId;
 use std::cmp::Reverse;
@@ -119,7 +120,21 @@ pub struct JobConfig {
     /// Abandon a split after this many attempts (`None` = retry forever).
     /// Production jobs should set this: a split whose minimum work unit
     /// exceeds every sampled budget would otherwise retry unboundedly.
+    /// This matters doubly now that tasks report *persistent* failures
+    /// (corrupt input, injected faults) as retryable: a config with
+    /// `max_attempts: None` **and** `backoff: None` has no bound at all and
+    /// will livelock on a split that can never succeed. Set a cap, a backoff
+    /// budget, or both.
     pub max_attempts: Option<u32>,
+    /// Exponential retry backoff charged to the virtual timeline. `None`
+    /// preserves the historical immediate-requeue behavior exactly (retried
+    /// splits re-enter the queue with no delay).
+    pub backoff: Option<BackoffPolicy>,
+    /// Correlated drain windows in absolute virtual time (storm mode). The
+    /// empty schedule is a guaranteed no-op.
+    pub storms: StormSchedule,
+    /// Quarantine machines that keep killing attempts. `None` disables.
+    pub flaky: Option<FlakyPolicy>,
 }
 
 /// Per-split scheduling outcome.
@@ -152,6 +167,10 @@ pub struct JobStats {
     pub unschedulable: Vec<TaskId>,
     /// Splits abandoned after exhausting the retry budget.
     pub failed: Vec<TaskId>,
+    /// Total virtual seconds of retry backoff charged to the timeline.
+    pub backoff_seconds: f64,
+    /// Machine quarantines triggered by the flaky policy.
+    pub quarantines: u64,
 }
 
 impl JobStats {
@@ -200,7 +219,10 @@ pub fn run_map_job_obs<T: MapTask>(
         (0..n_machines).map(|m| Reverse((0u64, m))).collect();
     let quantize = |t: f64| -> u64 { (t * 1e9).round() as u64 };
 
-    let mut pending: VecDeque<(usize, u32)> = (0..n_splits).map(|s| (s, 1)).collect();
+    // (split, attempt, earliest virtual start) — the third field is the
+    // retry ready-time; 0.0 for first attempts and, with no backoff policy,
+    // for every retry (the historical immediate-requeue behavior).
+    let mut pending: VecDeque<(usize, u32, f64)> = (0..n_splits).map(|s| (s, 1, 0.0)).collect();
     let mut stats: Vec<SplitStats> = (0..n_splits)
         .map(|split| SplitStats {
             split,
@@ -215,9 +237,13 @@ pub fn run_map_job_obs<T: MapTask>(
     let mut makespan = 0.0f64;
     let mut unschedulable = Vec::new();
     let mut failed = Vec::new();
+    let mut backoff_spent = vec![0.0f64; n_splits];
+    let mut backoff_total = 0.0f64;
+    let mut machine_preempts = vec![0u32; n_machines];
+    let mut quarantines = 0u64;
 
     // Reject splits that can never fit.
-    pending.retain(|&(s, _)| {
+    pending.retain(|&(s, _, _)| {
         if task.memory_gb(s) > cfg.cell.machine.memory_gb {
             unschedulable.push(TaskId::from_index(s));
             obs.instant(
@@ -234,15 +260,21 @@ pub fn run_map_job_obs<T: MapTask>(
         }
     });
 
-    while let Some((split, attempt)) = pending.pop_front() {
+    while let Some((split, attempt, ready)) = pending.pop_front() {
         #[allow(clippy::expect_used)]
         // xtask: allow(panic-surface) — heap holds exactly n_machines entries (asserted > 0) and every pop is re-pushed below
         let Reverse((qt, machine)) = free_at.pop().expect("at least one machine");
-        let now = qt as f64 / 1e9;
-        let budget = cfg
+        // A retry waits out its backoff even if a machine is idle sooner;
+        // `ready` is 0.0 everywhere when no backoff policy is set, making
+        // `max` the identity on the machine-free time.
+        let now = (qt as f64 / 1e9).max(ready);
+        let mut budget = cfg
             .preemption
             .sample(cfg.priority, &mut rng)
             .unwrap_or(f64::INFINITY);
+        if cfg.priority == Priority::Preemptible && !cfg.storms.is_empty() {
+            budget = cfg.storms.cap(t0 + now, budget);
+        }
         let track = Track::machine(cell_id, machine as u32);
         let mut ctx = AttemptCtx::new(attempt, budget, t0 + now, track);
         let status = task.run(split, &mut ctx);
@@ -253,7 +285,7 @@ pub fn run_map_job_obs<T: MapTask>(
         machine_busy[machine] += elapsed;
         cost.charge(cfg.priority, elapsed);
         let end = now + elapsed;
-        free_at.push(Reverse((quantize(end), machine)));
+        let mut machine_free = end;
         if obs.is_enabled() {
             obs.span(
                 Level::Debug,
@@ -286,6 +318,7 @@ pub fn run_map_job_obs<T: MapTask>(
             }
             MapStatus::Preempted => {
                 preemptions += 1;
+                machine_preempts[machine] += 1;
                 obs.counter("mapreduce.preemptions", 1);
                 obs.instant(
                     Level::Debug,
@@ -295,7 +328,46 @@ pub fn run_map_job_obs<T: MapTask>(
                     t0 + end,
                     &[("split", split.into()), ("attempt", attempt.into())],
                 );
-                if cfg.max_attempts.is_some_and(|cap| attempt >= cap) {
+                if let Some(f) = &cfg.flaky {
+                    if machine_preempts[machine] >= f.threshold {
+                        machine_preempts[machine] = 0;
+                        machine_free = end + f.quarantine_s;
+                        quarantines += 1;
+                        obs.counter("mapreduce.quarantines", 1);
+                        obs.instant(
+                            Level::Warn,
+                            "mapreduce",
+                            "machine quarantined",
+                            track,
+                            t0 + end,
+                            &[
+                                ("machine", machine.into()),
+                                ("quarantine_s", f.quarantine_s.into()),
+                            ],
+                        );
+                    }
+                }
+                // Decide the split's fate: attempts-cap backstop first, then
+                // the backoff budget (the primary give-up mechanism when a
+                // policy is set).
+                let capped = cfg.max_attempts.is_some_and(|cap| attempt >= cap);
+                let mut abandon_reason = if capped { Some("attempts cap") } else { None };
+                let mut next_ready = 0.0f64;
+                if !capped {
+                    if let Some(b) = &cfg.backoff {
+                        let delay = b.delay(cfg.seed, split, attempt + 1);
+                        if backoff_spent[split] + delay > b.budget {
+                            abandon_reason = Some("backoff budget");
+                        } else {
+                            backoff_spent[split] += delay;
+                            backoff_total += delay;
+                            next_ready = end + delay;
+                            obs.counter("mapreduce.backoff_retries", 1);
+                            obs.histogram("mapreduce.backoff_delay_s", delay);
+                        }
+                    }
+                }
+                if let Some(reason) = abandon_reason {
                     failed.push(TaskId::from_index(split));
                     obs.counter("mapreduce.failed_splits", 1);
                     obs.instant(
@@ -304,13 +376,18 @@ pub fn run_map_job_obs<T: MapTask>(
                         "split abandoned",
                         Track::job(cell_id),
                         t0 + end,
-                        &[("split", split.into()), ("attempts", attempt.into())],
+                        &[
+                            ("split", split.into()),
+                            ("attempts", attempt.into()),
+                            ("reason", reason.into()),
+                        ],
                     );
                 } else {
-                    pending.push_back((split, attempt + 1));
+                    pending.push_back((split, attempt + 1, next_ready));
                 }
             }
         }
+        free_at.push(Reverse((quantize(machine_free), machine)));
     }
 
     let out = JobStats {
@@ -321,6 +398,8 @@ pub fn run_map_job_obs<T: MapTask>(
         machine_busy,
         unschedulable,
         failed,
+        backoff_seconds: backoff_total,
+        quarantines,
     };
     if obs.is_enabled() {
         let done_cpu: Vec<f64> = out
@@ -443,6 +522,9 @@ mod tests {
             },
             seed,
             max_attempts: None,
+            backoff: None,
+            storms: StormSchedule::none(),
+            flaky: None,
         }
     }
 
@@ -602,5 +684,124 @@ mod tests {
         let stats = run_map_job(&task, 0, &cfg(2, 0.0, 1));
         assert_eq!(stats.makespan, 0.0);
         assert!(stats.per_split.is_empty());
+    }
+
+    #[test]
+    fn backoff_charges_delays_to_the_timeline() {
+        // One split on one machine: every retry delay sits on the critical
+        // path, so the backed-off makespan must be the plain makespan plus
+        // exactly the charged backoff seconds (the kill-budget RNG stream is
+        // identical in both runs).
+        let plain = run_map_job(&Fake::new(vec![200.0]), 1, &cfg(1, 100.0, 7));
+        let mut c = cfg(1, 100.0, 7);
+        c.backoff = Some(BackoffPolicy::gentle());
+        let backed = run_map_job(&Fake::new(vec![200.0]), 1, &c);
+        assert!(plain.preemptions > 0, "hazard must trigger retries");
+        assert_eq!(plain.backoff_seconds, 0.0);
+        assert!(backed.backoff_seconds > 0.0);
+        assert!(
+            (backed.makespan - (plain.makespan + backed.backoff_seconds)).abs() < 1e-6,
+            "delays must land on the critical path: {} vs {} (+{})",
+            backed.makespan,
+            plain.makespan,
+            backed.backoff_seconds
+        );
+        assert!(backed.per_split[0].finish > 0.0);
+    }
+
+    #[test]
+    fn backoff_budget_abandons_splits_without_attempt_caps() {
+        // Zero-budget storm forever: no attempt makes progress, and the
+        // backoff budget (not max_attempts, which is None) ends the retries.
+        let mut task = Fake::new(vec![50.0]);
+        task.resume = false;
+        let mut c = cfg(1, 0.0, 3);
+        c.storms = StormSchedule::single(0.0, f64::INFINITY);
+        c.backoff = Some(BackoffPolicy {
+            base: 1.0,
+            multiplier: 2.0,
+            cap: 16.0,
+            budget: 40.0,
+        });
+        let stats = run_map_job(&task, 1, &c);
+        assert_eq!(stats.failed, vec![TaskId(0)]);
+        assert!(stats.backoff_seconds <= 40.0);
+        assert!(stats.preemptions > 1);
+    }
+
+    #[test]
+    fn storm_window_kills_and_delays_attempts() {
+        // One 10 s split, one machine, drain window [5, 100): the first
+        // attempt starts at 0 and is truncated at the window edge.
+        let task = Fake::new(vec![10.0]);
+        let mut c = cfg(1, 0.0, 1);
+        c.storms = StormSchedule::single(5.0, 100.0);
+        c.backoff = Some(BackoffPolicy {
+            base: 200.0, // first retry lands past the window
+            multiplier: 1.0,
+            cap: 200.0,
+            budget: 1e6,
+        });
+        let stats = run_map_job(&task, 1, &c);
+        assert!(stats.preemptions >= 1, "window must kill the first attempt");
+        assert!(
+            stats.per_split[0].finish > 100.0,
+            "split can only finish after the window: {}",
+            stats.per_split[0].finish
+        );
+        // Production priority ignores storms entirely.
+        let mut p = cfg(1, 0.0, 1);
+        p.storms = StormSchedule::single(0.0, f64::INFINITY);
+        p.priority = Priority::Production;
+        let prod = run_map_job(&Fake::new(vec![10.0]), 1, &p);
+        assert_eq!(prod.preemptions, 0);
+        assert!((prod.makespan - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flaky_policy_quarantines_hot_machines() {
+        let mut task = Fake::new(vec![1000.0]);
+        task.resume = false;
+        let mut c = cfg(1, 100_000.0, 3);
+        c.max_attempts = Some(25);
+        c.flaky = Some(FlakyPolicy {
+            threshold: 5,
+            quarantine_s: 50.0,
+        });
+        let stats = run_map_job(&task, 1, &c);
+        assert!(
+            stats.quarantines >= 1,
+            "repeat kills must trigger quarantine"
+        );
+        // No policy → no quarantines, everything else equal.
+        let mut task2 = Fake::new(vec![1000.0]);
+        task2.resume = false;
+        let mut c2 = cfg(1, 100_000.0, 3);
+        c2.max_attempts = Some(25);
+        let plain = run_map_job(&task2, 1, &c2);
+        assert_eq!(plain.quarantines, 0);
+        assert_eq!(plain.preemptions, stats.preemptions);
+    }
+
+    #[test]
+    fn disabled_chaos_knobs_change_nothing() {
+        // backoff: None + empty storms + flaky: None must reproduce the
+        // historical schedule bit-for-bit (same spans, same stats).
+        let run = |chaosy: bool| {
+            let obs = Obs::recording(Level::Debug);
+            let mut c = cfg(2, 100.0, 7);
+            if chaosy {
+                c.backoff = None;
+                c.storms = StormSchedule::none();
+                c.flaky = None;
+            }
+            let stats = run_map_job_obs(&Fake::new(vec![40.0, 60.0]), 2, &c, "j", &obs, 0.0);
+            (stats, obs.trace_json(), obs.metrics_jsonl())
+        };
+        let (a_stats, a_trace, a_metrics) = run(false);
+        let (b_stats, b_trace, b_metrics) = run(true);
+        assert_eq!(a_stats, b_stats);
+        assert_eq!(a_trace, b_trace);
+        assert_eq!(a_metrics, b_metrics);
     }
 }

@@ -22,10 +22,12 @@
 //! random permutation of config records for load balance (Section IV-B1) and
 //! contiguous per-retailer chunks for inference (Section IV-C2).
 
+pub mod backoff;
 pub mod engine;
 pub mod functional;
 pub mod split;
 
+pub use backoff::{BackoffPolicy, FlakyPolicy};
 pub use engine::{
     run_map_job, run_map_job_obs, AttemptCtx, JobConfig, JobStats, MapStatus, MapTask, SplitStats,
 };

@@ -59,6 +59,9 @@ impl Track {
     /// The serving store's lane (publishes, stats snapshots).
     pub const SERVING: Track = Track { pid: 900, tid: 0 };
 
+    /// The chaos harness's lane (per-day injected-fault summaries).
+    pub const CHAOS: Track = Track { pid: 950, tid: 0 };
+
     /// Cell `cell`'s job-level lane (whole map jobs).
     pub fn job(cell: u32) -> Track {
         Track {
@@ -79,6 +82,7 @@ impl Track {
         match pid {
             0 => "pipeline".to_owned(),
             900 => "serving".to_owned(),
+            950 => "chaos".to_owned(),
             p => format!("cell {}", p - 1),
         }
     }

@@ -1,0 +1,162 @@
+//! Chaos configuration for the daily service: one knob bundle that wires the
+//! seeded fault injector ([`sigmund_dfs::FaultInjector`]), correlated
+//! preemption storms ([`sigmund_cluster::StormSchedule`]), and retry
+//! budgets ([`sigmund_mapreduce::BackoffPolicy`]) into
+//! [`crate::daily::SigmundService`].
+//!
+//! The default is fully disabled and provably transparent: a service built
+//! with [`ChaosConfig::disabled`] constructs a plain [`sigmund_dfs::Dfs`]
+//! (no injector object at all), passes `storms: StormSchedule::none()`,
+//! `backoff: None`, and `flaky: None` to every map job, and keeps the
+//! historical `MAX_TASK_ATTEMPTS` retry cap — every one of those is an exact
+//! identity in its subsystem, so traces and outputs are byte-identical to a
+//! build that predates the chaos harness (asserted in `tests/chaos.rs`).
+
+use sigmund_cluster::StormSchedule;
+use sigmund_mapreduce::{BackoffPolicy, FlakyPolicy};
+use sigmund_types::FaultPlan;
+
+/// A cell-wide correlated "preemption storm": for every simulated day in
+/// `[from_day, until_day)`, all preemptible work in the cell runs under a
+/// drain window covering the whole day — attempt budgets are cut to zero and
+/// only backoff delays (or other cells) make progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellStorm {
+    /// Index into [`crate::PipelineConfig::cells`] (not the `CellId`).
+    pub cell_index: usize,
+    /// First stormy day (inclusive).
+    pub from_day: u32,
+    /// First calm day (exclusive bound).
+    pub until_day: u32,
+}
+
+impl CellStorm {
+    /// Whether the storm covers `day`.
+    pub fn active_on(&self, day: u32) -> bool {
+        (self.from_day..self.until_day).contains(&day)
+    }
+}
+
+/// Everything the daily pipeline needs to run under injected faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// DFS fault plan (seeded read/write/torn-read errors and partitions).
+    /// A no-op plan means the service builds a plain injector-free `Dfs`.
+    pub plan: FaultPlan,
+    /// Cell-wide drain windows, one full simulated day each.
+    pub storms: Vec<CellStorm>,
+    /// Retry backoff charged to the virtual timeline; `None` keeps the
+    /// historical instant-retry behaviour.
+    pub backoff: Option<BackoffPolicy>,
+    /// Override for the per-split retry cap; `None` keeps
+    /// [`crate::daily::MAX_TASK_ATTEMPTS`].
+    pub max_attempts: Option<u32>,
+    /// Flaky-machine quarantine policy; `None` disables it.
+    pub flaky: Option<FlakyPolicy>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl ChaosConfig {
+    /// No faults, no storms, no backoff — byte-identical to the pre-chaos
+    /// pipeline.
+    pub fn disabled() -> Self {
+        ChaosConfig {
+            plan: FaultPlan::default(),
+            storms: Vec::new(),
+            backoff: None,
+            max_attempts: None,
+            flaky: None,
+        }
+    }
+
+    /// Whether every knob is at its identity setting.
+    pub fn is_disabled(&self) -> bool {
+        self.plan.is_noop()
+            && self.storms.is_empty()
+            && self.backoff.is_none()
+            && self.max_attempts.is_none()
+            && self.flaky.is_none()
+    }
+
+    /// A low-grade background fault profile: ~2% transient read/write
+    /// errors, ~1% torn reads, gentle backoff, and a tighter retry cap so
+    /// abandonment is reachable in tests.
+    pub fn mild(seed: u64) -> Self {
+        ChaosConfig {
+            plan: FaultPlan {
+                seed,
+                read_error_rate: 0.02,
+                write_error_rate: 0.02,
+                corrupt_rate: 0.01,
+                ..FaultPlan::default()
+            },
+            storms: Vec::new(),
+            backoff: Some(BackoffPolicy::gentle()),
+            max_attempts: Some(50),
+            flaky: None,
+        }
+    }
+
+    /// The [`ChaosConfig::mild`] profile plus a one-day storm drowning cell
+    /// 0 on day 1 — the canonical degradation scenario of `tests/chaos.rs`.
+    pub fn storm(seed: u64) -> Self {
+        ChaosConfig {
+            storms: vec![CellStorm {
+                cell_index: 0,
+                from_day: 1,
+                until_day: 2,
+            }],
+            ..Self::mild(seed)
+        }
+    }
+
+    /// The storm schedule a job in cell `cell_index` runs under on `day`,
+    /// where the day's work starts at absolute virtual time `day_start`. A
+    /// matching [`CellStorm`] drains the cell for the rest of the timeline
+    /// (days are laid out back-to-back, so "until the day ends" and
+    /// "forever" are indistinguishable to a job launched inside the window).
+    pub(crate) fn storms_for(&self, cell_index: usize, day: u32, day_start: f64) -> StormSchedule {
+        if self
+            .storms
+            .iter()
+            .any(|s| s.cell_index == cell_index && s.active_on(day))
+        {
+            StormSchedule::single(day_start, f64::INFINITY)
+        } else {
+            StormSchedule::none()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_the_default_and_detects_itself() {
+        assert!(ChaosConfig::default().is_disabled());
+        assert!(!ChaosConfig::mild(1).is_disabled());
+        assert!(!ChaosConfig::storm(1).is_disabled());
+        // A seed alone does not make a plan non-noop.
+        let mut c = ChaosConfig::disabled();
+        c.plan.seed = 99;
+        assert!(c.is_disabled());
+    }
+
+    #[test]
+    fn storm_profile_targets_cell_zero_day_one() {
+        let c = ChaosConfig::storm(7);
+        assert!(c.storms_for(0, 1, 100.0).draining_at(100.0));
+        assert!(c.storms_for(0, 0, 0.0).is_empty(), "day 0 is calm");
+        assert!(c.storms_for(1, 1, 100.0).is_empty(), "cell 1 is calm");
+        // The window opens exactly at the day start, not before.
+        let s = c.storms_for(0, 1, 50.0);
+        assert!(!s.draining_at(49.9));
+        assert!(s.draining_at(1e12));
+    }
+}

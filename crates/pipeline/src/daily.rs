@@ -10,6 +10,7 @@
 //! its per-cell jobs, while cost is the sum.
 
 use crate::binpack::{partition_greedy, Weighted};
+use crate::chaos::ChaosConfig;
 use crate::cost_model::CostModel;
 use crate::data;
 use crate::infer_job::{make_splits, InferenceJob, MaterializedRec};
@@ -17,11 +18,11 @@ use crate::sweep;
 use crate::train_job::TrainJob;
 use sigmund_cluster::{CellSpec, CostMeter, PreemptionModel, Priority};
 use sigmund_core::prelude::*;
-use sigmund_dfs::Dfs;
+use sigmund_dfs::{Dfs, FaultStats};
 use sigmund_mapreduce::{permute, run_map_job_obs, JobConfig, JobStats};
 use sigmund_obs::{Level, Obs, Track};
 use sigmund_types::{Catalog, ConfigRecord, Interaction, ItemId, RetailerId, SigmundError};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Retry budget for pipeline map tasks (real clusters cap retries; a split
 /// that cannot finish within any sampled pre-emption budget must not hang
@@ -58,6 +59,9 @@ pub struct PipelineConfig {
     pub seed: u64,
     /// Observability handle; the disabled default records nothing.
     pub obs: Obs,
+    /// Fault-injection knobs; the disabled default is provably transparent
+    /// (see [`ChaosConfig`] and `tests/chaos.rs`).
+    pub chaos: ChaosConfig,
 }
 
 impl Default for PipelineConfig {
@@ -79,6 +83,7 @@ impl Default for PipelineConfig {
             items_per_split: 500,
             seed: 11,
             obs: Obs::disabled(),
+            chaos: ChaosConfig::disabled(),
         }
     }
 }
@@ -106,6 +111,9 @@ pub struct DayReport {
     pub train_stats: Vec<JobStats>,
     /// Per-cell inference job stats.
     pub infer_stats: Vec<JobStats>,
+    /// Retailers that exhausted their fault budget today and kept serving
+    /// yesterday's published generation (sorted; empty without chaos).
+    pub degraded: Vec<RetailerId>,
 }
 
 /// The long-running service state.
@@ -124,20 +132,33 @@ pub struct SigmundService {
     /// The service's virtual clock: advances to the end of each day's
     /// offline work (days are laid out back-to-back on one timeline).
     virtual_now: f64,
+    /// Injected-fault totals at the end of the previous day (delta source
+    /// for the per-day chaos counters).
+    fault_stats_seen: FaultStats,
 }
 
 impl SigmundService {
     /// A fresh service with no retailers.
+    ///
+    /// A non-noop [`ChaosConfig::plan`] attaches a seeded fault injector to
+    /// the DFS; the noop plan builds a plain `Dfs` with no injector at all,
+    /// so the disabled harness cannot perturb anything.
     pub fn new(cfg: PipelineConfig) -> Self {
         assert!(!cfg.cells.is_empty(), "need at least one cell");
+        let dfs = if cfg.chaos.plan.is_noop() {
+            Dfs::new()
+        } else {
+            Dfs::with_faults(cfg.chaos.plan.clone())
+        };
         Self {
             cfg,
-            dfs: Dfs::new(),
+            dfs,
             day: 0,
             retailers: Vec::new(),
             new_since_last_run: Vec::new(),
             last_outputs: Vec::new(),
             virtual_now: 0.0,
+            fault_stats_seen: FaultStats::default(),
         }
     }
 
@@ -229,6 +250,9 @@ impl SigmundService {
         let day_seed = self.cfg.seed.wrapping_add(self.day as u64 * 0x9E37);
         let obs = self.cfg.obs.clone();
         let day_start = self.virtual_now;
+        if let Some(inj) = self.dfs.injector() {
+            inj.begin_day(self.day);
+        }
         // --- sweep --------------------------------------------------------
         let new_catalogs: Vec<Catalog> = self
             .new_since_last_run
@@ -301,6 +325,15 @@ impl SigmundService {
         for (ci, recs) in per_cell_records.iter_mut().enumerate() {
             *recs = permute(recs, day_seed ^ ci as u64);
         }
+        // Which retailers the sweep planned work for: a planned retailer
+        // whose configs all fail keeps its previous records alive so the
+        // next day's incremental sweep retrains (and recovers) it.
+        let planned: HashSet<RetailerId> = per_cell_records
+            .iter()
+            .flatten()
+            .map(|r| r.model.retailer)
+            .collect();
+        let max_attempts = self.cfg.chaos.max_attempts.unwrap_or(MAX_TASK_ATTEMPTS);
 
         // --- training MapReduces (one per cell) ----------------------------
         let mut outputs = Vec::new();
@@ -325,7 +358,10 @@ impl SigmundService {
                     priority: Priority::Preemptible,
                     preemption: self.cfg.preemption,
                     seed: day_seed ^ (ci as u64) << 8,
-                    max_attempts: Some(MAX_TASK_ATTEMPTS),
+                    max_attempts: Some(max_attempts),
+                    backoff: self.cfg.chaos.backoff,
+                    storms: self.cfg.chaos.storms_for(ci, self.day, day_start),
+                    flaky: self.cfg.chaos.flaky,
                 },
                 &format!("train cell {ci}"),
                 &obs,
@@ -380,6 +416,10 @@ impl SigmundService {
         let mut infer_stats = Vec::new();
         let mut infer_makespan = 0.0f64;
         let mut all_recs: Vec<MaterializedRec> = Vec::new();
+        // Retailers with at least one abandoned inference split: their
+        // materialized tables would have holes, so they degrade to the
+        // previous published generation instead.
+        let mut infer_failed: HashSet<RetailerId> = HashSet::new();
         for (ci, bin) in infer_bins.iter().enumerate() {
             if bin.is_empty() {
                 continue;
@@ -388,6 +428,7 @@ impl SigmundService {
             let counts: Vec<(RetailerId, usize)> =
                 bin.iter().map(|w| (w.item, w.weight as usize)).collect();
             let splits = make_splits(&counts, self.cfg.items_per_split);
+            let split_retailers: Vec<RetailerId> = splits.iter().map(|s| s.retailer).collect();
             let mut job =
                 InferenceJob::new(&self.dfs, cell.cell, splits, best.clone(), self.cfg.cost);
             job.k = self.cfg.rec_k;
@@ -401,12 +442,19 @@ impl SigmundService {
                     priority: Priority::Preemptible,
                     preemption: self.cfg.preemption,
                     seed: day_seed ^ 0xFACE ^ ((ci as u64) << 16),
-                    max_attempts: Some(MAX_TASK_ATTEMPTS),
+                    max_attempts: Some(max_attempts),
+                    backoff: self.cfg.chaos.backoff,
+                    storms: self
+                        .cfg
+                        .chaos
+                        .storms_for(ci, self.day, day_start + train_makespan),
+                    flaky: self.cfg.chaos.flaky,
                 },
                 &format!("infer cell {ci}"),
                 &obs,
                 day_start + train_makespan,
             );
+            infer_failed.extend(stats.failed.iter().map(|t| split_retailers[t.index()]));
             all_recs.extend(job.take_outputs());
             cost.merge(&stats.cost);
             preemptions += stats.preemptions;
@@ -424,10 +472,23 @@ impl SigmundService {
             &[("retailers", weighted_items.len().into())],
         );
 
+        // --- graceful degradation -------------------------------------------
+        // A retailer whose model selection or inference exhausted its fault
+        // budget keeps serving the previous published generation: its DFS
+        // recs are left untouched, it is excluded from today's batch, and it
+        // is reported so the monitor can raise `QualityAlert::Degraded`.
+        let mut degraded: Vec<RetailerId> = Vec::new();
+        for (r, _) in &self.retailers {
+            let failed_today = !best.contains_key(r) || infer_failed.contains(r);
+            if failed_today && self.dfs.exists(&data::recs_path(*r)) {
+                degraded.push(*r);
+            }
+        }
+
         // --- batch publish --------------------------------------------------
         let mut recs: HashMap<RetailerId, Vec<ItemRecs>> = HashMap::new();
         for (r, n) in &self.retailers {
-            if best.contains_key(r) {
+            if best.contains_key(r) && !degraded.contains(r) {
                 recs.insert(*r, vec![ItemRecs::default(); *n]);
             }
         }
@@ -448,8 +509,28 @@ impl SigmundService {
             let v = &recs[r];
             let json = serde_json::to_vec(v)
                 .map_err(|e| SigmundError::Invalid(format!("recs serialize: {e}")))?;
-            self.dfs
-                .write(self.cfg.cells[0].cell, &data::recs_path(*r), json.into());
+            // Injected write faults are transient: retry a few times, then
+            // degrade the retailer (previous generation stays live) rather
+            // than fail the whole day.
+            let mut published = false;
+            for _ in 0..3 {
+                if self
+                    .dfs
+                    .write(
+                        self.cfg.cells[0].cell,
+                        &data::recs_path(*r),
+                        json.clone().into(),
+                    )
+                    .is_ok()
+                {
+                    published = true;
+                    break;
+                }
+            }
+            if !published {
+                degraded.push(*r);
+                continue;
+            }
             recs_published += v.len() as u64;
             obs.instant(
                 Level::Debug,
@@ -460,9 +541,46 @@ impl SigmundService {
                 &[("items", v.len().into())],
             );
         }
+        degraded.sort_unstable();
+        for r in &degraded {
+            recs.remove(r);
+        }
         obs.counter("pipeline.recs_published", recs_published);
         obs.counter("pipeline.days", 1);
         obs.counter("pipeline.preemptions", preemptions);
+        // Chaos summary: only emitted when an injector is attached, so runs
+        // without one (including the all-zero plan, which never builds an
+        // injector) stay byte-identical to the pre-chaos pipeline.
+        if let Some(inj) = self.dfs.injector() {
+            let s = inj.stats();
+            let prev = self.fault_stats_seen;
+            obs.counter("chaos.read_errors", s.read_errors - prev.read_errors);
+            obs.counter("chaos.write_errors", s.write_errors - prev.write_errors);
+            obs.counter("chaos.torn_reads", s.torn_reads - prev.torn_reads);
+            obs.counter(
+                "chaos.partition_blocks",
+                s.partition_blocks - prev.partition_blocks,
+            );
+            obs.counter("chaos.degraded_retailer_days", degraded.len() as u64);
+            obs.instant(
+                Level::Info,
+                "chaos",
+                &format!("day {} fault summary", self.day),
+                Track::CHAOS,
+                day_end,
+                &[
+                    ("read_errors", (s.read_errors - prev.read_errors).into()),
+                    ("write_errors", (s.write_errors - prev.write_errors).into()),
+                    ("torn_reads", (s.torn_reads - prev.torn_reads).into()),
+                    (
+                        "partition_blocks",
+                        (s.partition_blocks - prev.partition_blocks).into(),
+                    ),
+                    ("degraded", degraded.len().into()),
+                ],
+            );
+            self.fault_stats_seen = s;
+        }
         obs.gauge("pipeline.models_trained", day_end, models_trained as f64);
         obs.gauge("pipeline.train_makespan_s", day_end, train_makespan);
         obs.gauge("pipeline.infer_makespan_s", day_end, infer_makespan);
@@ -488,7 +606,18 @@ impl SigmundService {
             day_start + 1.0
         };
 
-        self.last_outputs = outputs;
+        // Carry forward yesterday's records for planned retailers whose
+        // training produced nothing today (fault-budget exhaustion):
+        // tomorrow's incremental sweep then retrains them instead of
+        // silently dropping them from the fleet forever.
+        let trained: HashSet<RetailerId> = outputs.iter().map(|r| r.model.retailer).collect();
+        let mut next_outputs = outputs;
+        for rec in &self.last_outputs {
+            if planned.contains(&rec.model.retailer) && !trained.contains(&rec.model.retailer) {
+                next_outputs.push(rec.clone());
+            }
+        }
+        self.last_outputs = next_outputs;
         let report = DayReport {
             day: self.day,
             models_trained,
@@ -500,6 +629,7 @@ impl SigmundService {
             recs,
             train_stats,
             infer_stats,
+            degraded,
         };
         self.day += 1;
         Ok(report)

@@ -92,8 +92,8 @@ pub fn publish_retailer(
 ) -> Result<(), SigmundError> {
     let cat_json = serde_json::to_vec(catalog)
         .map_err(|e| SigmundError::Invalid(format!("catalog serialize: {e}")))?;
-    dfs.write(cell, &catalog_path(catalog.retailer), Bytes::from(cat_json));
-    dfs.write(cell, &train_path(catalog.retailer), encode_events(events));
+    dfs.write(cell, &catalog_path(catalog.retailer), Bytes::from(cat_json))?;
+    dfs.write(cell, &train_path(catalog.retailer), encode_events(events))?;
     Ok(())
 }
 

@@ -178,8 +178,15 @@ impl<'a> InferenceJob<'a> {
 impl MapTask for InferenceJob<'_> {
     fn run(&self, split: usize, ctx: &mut AttemptCtx) -> MapStatus {
         let sp = self.splits[split];
-        let Ok(state) = self.state_for(sp.retailer) else {
-            return MapStatus::Done; // permanent failure: skip
+        let state = match self.state_for(sp.retailer) {
+            Ok(s) => s,
+            // Transient read faults and torn-read corruption may clear on
+            // re-execution; the retry cap bounds genuinely corrupt data, and
+            // an exhausted split degrades the retailer to the previous
+            // published generation instead of serving empty tables.
+            Err(sigmund_types::SigmundError::Transient(_))
+            | Err(sigmund_types::SigmundError::Corrupt(_)) => return MapStatus::Preempted,
+            Err(_) => return MapStatus::Done, // permanent failure: skip
         };
         // Each task pays the model load once (tasks on other machines cannot
         // share memory even though our in-process cache shares the compute).
@@ -308,7 +315,12 @@ mod tests {
                 rate_per_hour: rate,
             },
             seed,
-            max_attempts: None,
+            // Corrupt/Transient loads are retryable now; a finite cap keeps
+            // a persistently failing split from retrying forever.
+            max_attempts: Some(50),
+            backoff: None,
+            storms: sigmund_cluster::StormSchedule::none(),
+            flaky: None,
         }
     }
 

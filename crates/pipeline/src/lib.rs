@@ -18,8 +18,11 @@
 //! * [`daily`] — [`daily::SigmundService`]: onboard retailers, run days.
 //! * [`monitor`] — fleet quality monitoring: per-retailer MAP history,
 //!   regression/coverage/missing-model alerts.
+//! * [`chaos`] — seeded fault-injection knobs (DFS faults, preemption
+//!   storms, retry budgets) and the graceful-degradation wiring.
 
 pub mod binpack;
+pub mod chaos;
 pub mod cost_model;
 pub mod daily;
 pub mod data;
@@ -31,6 +34,7 @@ pub mod train_job;
 pub use binpack::{
     max_bin_load, partition_greedy, partition_random, partition_round_robin, Weighted,
 };
+pub use chaos::{CellStorm, ChaosConfig};
 pub use cost_model::CostModel;
 pub use daily::{load_recs, recs_for_item, DayReport, PipelineConfig, SigmundService};
 pub use infer_job::{make_splits, InferSplit, InferenceJob, MaterializedRec};

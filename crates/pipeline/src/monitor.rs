@@ -13,7 +13,10 @@
 //! * **MissingModel** — the retailer is onboarded but model selection
 //!   produced nothing today (pipeline bug or data loss);
 //! * **EmptyRecommendations** — materialization coverage fell below the
-//!   floor (candidate-selection starvation).
+//!   floor (candidate-selection starvation);
+//! * **Degraded** — the retailer's pipeline exhausted its fault budget and
+//!   is serving the previous published generation (fires on the transition
+//!   in; **Recovered** fires when a fresh generation lands again).
 
 use crate::daily::DayReport;
 use serde::Serialize;
@@ -56,7 +59,8 @@ pub enum QualityAlert {
         /// Fraction of items with a non-empty view-based list.
         coverage: f64,
     },
-    /// A previously [`QualityAlert::LowQuality`] retailer cleared the floor.
+    /// A previously [`QualityAlert::LowQuality`] or
+    /// [`QualityAlert::Degraded`] retailer is healthy again.
     Recovered {
         /// Affected retailer.
         retailer: RetailerId,
@@ -64,6 +68,18 @@ pub enum QualityAlert {
         day: u32,
         /// Best MAP@10 ever observed (now above the floor).
         best_map: f64,
+    },
+    /// The retailer's pipeline exhausted its fault budget today: it keeps
+    /// serving the previous published generation (fires on the transition
+    /// into the degraded state; [`QualityAlert::Recovered`] fires on the way
+    /// out).
+    Degraded {
+        /// Affected retailer.
+        retailer: RetailerId,
+        /// Day the degradation started.
+        day: u32,
+        /// Consecutive days the served generation has been stale.
+        days_stale: u32,
     },
 }
 
@@ -99,6 +115,11 @@ struct History {
     /// Whether the retailer is currently flagged low-quality. `LowQuality`
     /// fires only on the transition in; `Recovered` on the transition out.
     low_quality: bool,
+    /// Whether the retailer is currently serving a stale (degraded)
+    /// generation; same transition-in/out alert discipline.
+    degraded: bool,
+    /// Consecutive days the served generation has been stale.
+    stale_days: u32,
 }
 
 /// The fleet quality monitor.
@@ -125,6 +146,22 @@ impl QualityMonitor {
     ) -> Vec<QualityAlert> {
         let mut alerts = Vec::new();
         for &(retailer, _) in onboarded {
+            // Degradation first: the pipeline already vouched that the
+            // previous generation is being served, so this is stale-model
+            // territory, not a missing model.
+            if report.degraded.contains(&retailer) {
+                let hist = self.history.entry(retailer).or_default();
+                hist.stale_days += 1;
+                if !hist.degraded {
+                    hist.degraded = true;
+                    alerts.push(QualityAlert::Degraded {
+                        retailer,
+                        day: report.day,
+                        days_stale: hist.stale_days,
+                    });
+                }
+                continue;
+            }
             let Some(best) = report.best.get(&retailer) else {
                 alerts.push(QualityAlert::MissingModel {
                     retailer,
@@ -134,6 +171,15 @@ impl QualityMonitor {
             };
             let map = best.metrics.map(|m| m.map_at_10).unwrap_or(0.0);
             let hist = self.history.entry(retailer).or_default();
+            if hist.degraded {
+                hist.degraded = false;
+                hist.stale_days = 0;
+                alerts.push(QualityAlert::Recovered {
+                    retailer,
+                    day: report.day,
+                    best_map: hist.best.max(map),
+                });
+            }
 
             // Regression vs trailing mean (needs some history).
             if hist.maps.len() >= 2 {
@@ -235,6 +281,16 @@ impl QualityMonitor {
                         *retailer,
                         ("best_map", (*best_map).into()),
                     ),
+                    QualityAlert::Degraded {
+                        retailer,
+                        days_stale,
+                        ..
+                    } => (
+                        "degraded",
+                        Level::Warn,
+                        *retailer,
+                        ("days_stale", (*days_stale).into()),
+                    ),
                 };
             obs.instant(
                 level,
@@ -313,7 +369,55 @@ mod tests {
             recs,
             train_stats: Vec::new(),
             infer_stats: Vec::new(),
+            degraded: Vec::new(),
         }
+    }
+
+    /// `report` with some retailers marked degraded.
+    fn degraded_report(
+        day: u32,
+        entries: &[(u32, f64, usize, usize)],
+        degraded: &[u32],
+    ) -> DayReport {
+        let mut rep = report(day, entries);
+        rep.degraded = degraded.iter().map(|&r| RetailerId(r)).collect();
+        rep
+    }
+
+    #[test]
+    fn degraded_fires_on_transition_and_recovers() {
+        let mut mon = QualityMonitor::new(MonitorConfig::default());
+        let fleet = vec![(RetailerId(0), 10)];
+        mon.record_day(&fleet, &report(0, &[(0, 0.3, 10, 10)]));
+        // Two degraded days: one Degraded alert, on the transition in.
+        let alerts = mon.record_day(&fleet, &degraded_report(1, &[], &[0]));
+        assert!(matches!(
+            alerts.as_slice(),
+            [QualityAlert::Degraded { retailer, day: 1, days_stale: 1 }]
+                if *retailer == RetailerId(0)
+        ));
+        let alerts = mon.record_day(&fleet, &degraded_report(2, &[], &[0]));
+        assert!(alerts.is_empty(), "no re-fire while degraded: {alerts:?}");
+        // A fresh generation lands: Recovered, then silence.
+        let alerts = mon.record_day(&fleet, &report(3, &[(0, 0.31, 10, 10)]));
+        assert!(matches!(
+            alerts.as_slice(),
+            [QualityAlert::Recovered { retailer, day: 3, .. }]
+                if *retailer == RetailerId(0)
+        ));
+        let alerts = mon.record_day(&fleet, &report(4, &[(0, 0.3, 10, 10)]));
+        assert!(alerts.is_empty(), "{alerts:?}");
+    }
+
+    #[test]
+    fn degraded_days_do_not_pollute_map_history() {
+        let mut mon = QualityMonitor::new(MonitorConfig::default());
+        let fleet = vec![(RetailerId(0), 10)];
+        mon.record_day(&fleet, &report(0, &[(0, 0.3, 10, 10)]));
+        mon.record_day(&fleet, &degraded_report(1, &[], &[0]));
+        // The degraded day records no MAP sample (the served model is
+        // yesterday's): one real day tracked so far, not two.
+        assert_eq!(mon.days_tracked(RetailerId(0)), 1);
     }
 
     #[test]

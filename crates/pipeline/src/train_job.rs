@@ -115,10 +115,17 @@ impl MapTask for TrainJob<'_> {
     fn run(&self, split: usize, ctx: &mut AttemptCtx) -> MapStatus {
         let rec = &self.records[split];
         let r = rec.model.retailer;
-        let Ok(state) = self.state_for(r) else {
+        let state = match self.state_for(r) {
+            Ok(s) => s,
+            // Injected transient read faults and torn-read corruption may
+            // clear on re-execution; report a preemption so the engine
+            // retries under its budget (the retry cap bounds genuinely
+            // corrupt data).
+            Err(sigmund_types::SigmundError::Transient(_))
+            | Err(sigmund_types::SigmundError::Corrupt(_)) => return MapStatus::Preempted,
             // Missing data is a permanent failure; emit nothing. Real
             // Sigmund would alert; we just finish the split.
-            return MapStatus::Done;
+            Err(_) => return MapStatus::Done,
         };
         if !ctx.consume(self.cost.load_seconds(state.load_bytes)) {
             return MapStatus::Preempted;
@@ -211,7 +218,15 @@ impl MapTask for TrainJob<'_> {
         let metrics = evaluate(&model, catalog, ds, eval);
 
         let snap = ModelSnapshot::capture(&model);
-        self.dfs.write(self.cell, &rec.model_path, snap.to_bytes());
+        if self
+            .dfs
+            .write(self.cell, &rec.model_path, snap.to_bytes())
+            .is_err()
+        {
+            // The trained model never landed; re-execution restores from the
+            // last checkpoint and tries the publish again.
+            return MapStatus::Preempted;
+        }
         ckpt.clear();
         let mut out = rec.clone();
         out.metrics = Some(metrics);
@@ -287,7 +302,12 @@ mod tests {
                 rate_per_hour: rate,
             },
             seed,
-            max_attempts: None,
+            // Corrupt/Transient loads are retryable now; a finite cap keeps
+            // a persistently failing split from retrying forever.
+            max_attempts: Some(50),
+            backoff: None,
+            storms: sigmund_cluster::StormSchedule::none(),
+            flaky: None,
         }
     }
 

@@ -27,6 +27,11 @@ pub enum RecSurface {
 struct Snapshot {
     generation: u64,
     tables: HashMap<RetailerId, Vec<ItemRecs>>,
+    /// Generation at which each retailer's table was last refreshed. A
+    /// retailer absent from a publish batch (e.g. degraded to its previous
+    /// generation) keeps its old stamp, so `generation - fresh[r]` is how
+    /// many batches stale its recommendations are.
+    fresh: HashMap<RetailerId, u64>,
 }
 
 /// Request counters, the observability surface operators watch ("understand
@@ -92,17 +97,43 @@ impl ServingStore {
     pub fn publish(&self, batch: HashMap<RetailerId, Vec<ItemRecs>>) -> u64 {
         let mut cur = self.current.write();
         let mut tables = cur.tables.clone();
+        let mut fresh = cur.fresh.clone();
+        let generation = cur.generation + 1;
         for (r, v) in batch {
             tables.insert(r, v);
+            fresh.insert(r, generation);
         }
-        let generation = cur.generation + 1;
-        *cur = Arc::new(Snapshot { generation, tables });
+        *cur = Arc::new(Snapshot {
+            generation,
+            tables,
+            fresh,
+        });
         generation
     }
 
     /// Current snapshot generation (0 = nothing published yet).
     pub fn generation(&self) -> u64 {
         self.current.read().generation
+    }
+
+    /// How many publish batches have landed since `retailer`'s table was
+    /// last refreshed (0 = fresh, `None` = never published). A degraded
+    /// retailer skipped by the pipeline's batch shows up here as a growing
+    /// lag while it keeps serving the stale table.
+    pub fn retailer_lag(&self, retailer: RetailerId) -> Option<u64> {
+        let snap = self.current.read();
+        snap.fresh.get(&retailer).map(|g| snap.generation - g)
+    }
+
+    /// The worst [`ServingStore::retailer_lag`] across all served retailers
+    /// (0 for an empty store).
+    pub fn max_lag(&self) -> u64 {
+        let snap = self.current.read();
+        snap.fresh
+            .values()
+            .map(|g| snap.generation - g)
+            .max()
+            .unwrap_or(0)
     }
 
     /// [`ServingStore::publish`] with tracing: a `serving`-category span at
@@ -150,6 +181,7 @@ impl ServingStore {
             ts,
             expected_generation.saturating_sub(generation) as f64,
         );
+        obs.gauge("serving.max_retailer_lag", ts, self.max_lag() as f64);
         obs.instant(
             Level::Debug,
             "serving",
@@ -282,6 +314,30 @@ mod tests {
             vec![(ItemId(2), 1.0)]
         );
         assert_eq!(store.generation(), 3);
+    }
+
+    #[test]
+    fn retailer_lag_tracks_skipped_batches() {
+        let store = ServingStore::new();
+        assert_eq!(store.max_lag(), 0, "empty store has no lag");
+        assert_eq!(store.retailer_lag(RetailerId(0)), None);
+        publish_one(&store, 0, vec![recs(&[1], &[])]);
+        publish_one(&store, 1, vec![recs(&[2], &[])]);
+        assert_eq!(store.retailer_lag(RetailerId(0)), Some(1));
+        assert_eq!(store.retailer_lag(RetailerId(1)), Some(0));
+        assert_eq!(store.max_lag(), 1);
+        // Retailer 0 degrades (absent from the next two batches): its lag
+        // grows while its stale table keeps serving.
+        publish_one(&store, 1, vec![recs(&[3], &[])]);
+        publish_one(&store, 1, vec![recs(&[4], &[])]);
+        assert_eq!(store.retailer_lag(RetailerId(0)), Some(3));
+        assert!(!store
+            .lookup(RetailerId(0), ItemId(0), RecSurface::ViewBased)
+            .is_empty());
+        // A fresh publish clears the lag.
+        publish_one(&store, 0, vec![recs(&[9], &[])]);
+        assert_eq!(store.retailer_lag(RetailerId(0)), Some(0));
+        assert_eq!(store.max_lag(), 1, "retailer 1 is now one batch behind");
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub enum SigmundError {
     /// A cluster task could not be scheduled (e.g. it asks for more memory
     /// than any machine has).
     Unschedulable(String),
+    /// A transient fault (injected or simulated): the operation may succeed
+    /// if retried. Produced by the DFS fault injector; callers that see this
+    /// should retry with backoff rather than treat it as permanent.
+    Transient(String),
 }
 
 impl fmt::Display for SigmundError {
@@ -30,6 +34,7 @@ impl fmt::Display for SigmundError {
             SigmundError::Corrupt(m) => write!(f, "corrupt data: {m}"),
             SigmundError::Invalid(m) => write!(f, "invalid request: {m}"),
             SigmundError::Unschedulable(m) => write!(f, "unschedulable: {m}"),
+            SigmundError::Transient(m) => write!(f, "transient fault: {m}"),
         }
     }
 }
@@ -49,6 +54,8 @@ mod tests {
         assert_eq!(e.to_string(), "not found: /models/r1/c2");
         let e = SigmundError::Unschedulable("needs 1TB".into());
         assert!(e.to_string().contains("unschedulable"));
+        let e = SigmundError::Transient("injected read fault".into());
+        assert_eq!(e.to_string(), "transient fault: injected read fault");
     }
 
     #[test]

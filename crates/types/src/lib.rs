@@ -17,6 +17,7 @@ pub mod action;
 pub mod catalog;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod interaction;
 pub mod taxonomy;
@@ -25,6 +26,7 @@ pub use action::ActionType;
 pub use catalog::{Catalog, ItemMeta};
 pub use config::{ConfigRecord, FeatureSwitches, HyperParams, ModelMetrics, NegativeSamplerKind};
 pub use error::{Result, SigmundError};
+pub use fault::{FaultPlan, Partition};
 pub use ids::{
     BrandId, CategoryId, CellId, FacetId, ItemId, MachineId, ModelId, RetailerId, TaskId, UserId,
 };

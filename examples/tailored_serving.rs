@@ -159,5 +159,6 @@ fn fake_report(
         recs,
         train_stats: Vec::new(),
         infer_stats: Vec::new(),
+        degraded: Vec::new(),
     }
 }

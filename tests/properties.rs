@@ -5,10 +5,25 @@
 //! invariants of the workspace.
 
 use proptest::prelude::*;
+use sigmund_core::inference::rec_order;
 use sigmund_core::prelude::*;
-use sigmund_mapreduce::{chunk_evenly, chunk_weighted, permute};
+use sigmund_mapreduce::{chunk_evenly, chunk_weighted, permute, BackoffPolicy};
 use sigmund_pipeline::{max_bin_load, partition_greedy, Weighted};
 use sigmund_types::*;
+use std::cmp::Ordering;
+
+/// Maps a generated `(class, magnitude)` pair onto a score, covering the
+/// full non-finite surface `rec_order` must totally order.
+fn score_of(class: u8, magnitude: u32) -> f32 {
+    match class % 6 {
+        0 => f32::NAN,
+        1 => f32::INFINITY,
+        2 => f32::NEG_INFINITY,
+        3 => 0.0,
+        4 => -0.0,
+        _ => (magnitude as f32 - 25.0) / 3.0,
+    }
+}
 
 /// Builds a random taxonomy from a sequence of parent picks.
 fn taxonomy_from(parents: &[usize]) -> Taxonomy {
@@ -365,5 +380,94 @@ proptest! {
         let sum: f32 = w.iter().sum();
         prop_assert!((sum - 1.0).abs() < 1e-4, "weights sum to {}", sum);
         prop_assert!(w.iter().all(|x| *x >= 0.0));
+    }
+
+    #[test]
+    fn rec_order_is_a_total_order(
+        raw in prop::collection::vec((0u32..50, 0u8..6, 0u32..50), 3..30),
+    ) {
+        let items: Vec<(ItemId, f32)> = raw.iter()
+            .map(|&(id, class, mag)| (ItemId(id), score_of(class, mag)))
+            .collect();
+        for a in &items {
+            // Reflexive even for NaN scores (where f32's partial order gives up).
+            prop_assert_eq!(rec_order(a, a), Ordering::Equal);
+            for b in &items {
+                // Antisymmetric: comparing the other way exactly reverses.
+                prop_assert_eq!(rec_order(a, b), rec_order(b, a).reverse());
+                for c in &items {
+                    // Transitive: a ≤ b ≤ c ⇒ a ≤ c.
+                    if rec_order(a, b) != Ordering::Greater
+                        && rec_order(b, c) != Ordering::Greater
+                    {
+                        prop_assert!(
+                            rec_order(a, c) != Ordering::Greater,
+                            "transitivity broke on {:?} {:?} {:?}", a, b, c
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rec_order_sorts_finite_desc_ties_by_id_nonfinite_last(
+        raw in prop::collection::vec((0u32..50, 0u8..6, 0u32..50), 1..60),
+    ) {
+        let mut items: Vec<(ItemId, f32)> = raw.iter()
+            .map(|&(id, class, mag)| (ItemId(id), score_of(class, mag)))
+            .collect();
+        items.sort_by(rec_order);
+        for w in items.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            // Once the non-finite tail starts, it never goes back to finite.
+            prop_assert!(
+                a.1.is_finite() || !b.1.is_finite(),
+                "non-finite {:?} sorted before finite {:?}", a, b
+            );
+            if a.1.is_finite() && b.1.is_finite() {
+                prop_assert!(a.1 >= b.1, "finite scores must descend");
+                if a.1 == b.1 {
+                    prop_assert!(a.0 <= b.0, "score ties must break ItemId asc");
+                }
+            }
+            if !a.1.is_finite() && !b.1.is_finite() {
+                prop_assert!(a.0 <= b.0, "non-finite tail must sort ItemId asc");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_is_monotone_capped_and_within_budget(
+        base in 0.01f64..5.0,
+        multiplier in 1.0f64..3.0,
+        cap in 0.5f64..120.0,
+        budget in 1.0f64..1_000.0,
+        seed in any::<u64>(),
+        split in 0usize..64,
+    ) {
+        let policy = BackoffPolicy { base, multiplier, cap, budget };
+        let delays = policy.charged_delays(seed, split);
+        // Deterministic per (seed, split): recomputing is bit-identical.
+        prop_assert_eq!(&delays, &policy.charged_delays(seed, split));
+        let mut spent = 0.0f64;
+        for w in delays.windows(2) {
+            // Monotone non-decreasing while multiplier ≥ 1.
+            prop_assert!(w[1] >= w[0], "delays must not shrink: {:?}", delays);
+        }
+        for d in &delays {
+            prop_assert!(d.is_finite() && *d > 0.0, "delay {} must be positive", d);
+            prop_assert!(*d <= cap, "delay {} exceeds cap {}", d, cap);
+            spent += d;
+        }
+        // The engine charges exactly this sequence, so the total virtual
+        // time burned in backoff can never exceed the budget.
+        prop_assert!(spent <= budget, "total {} exceeds budget {}", spent, budget);
+        // A different split gets a different jitter stream but the same
+        // invariants; spot-check determinism does not leak across splits.
+        let other = policy.charged_delays(seed, split + 64);
+        let mut other_spent = 0.0f64;
+        for d in &other { other_spent += d; }
+        prop_assert!(other_spent <= budget);
     }
 }

@@ -1,0 +1,19 @@
+// Fixture: the fault injector anti-pattern the determinism rule must catch —
+// fault decisions drawn from OS entropy or wall clocks instead of the plan
+// seed. If `crates/dfs/src/fault.rs` ever grows one of these, chaos runs stop
+// being reproducible per (seed, plan).
+
+fn should_fail_read() -> bool {
+    let mut rng = thread_rng();
+    rng.gen::<f64>() < 0.02
+}
+
+fn should_tear(op: u64) -> bool {
+    let rng = StdRng::from_entropy();
+    let _ = op;
+    rng.gen_bool(0.01)
+}
+
+fn jitter_ms() -> u128 {
+    Instant::now().elapsed().as_millis()
+}

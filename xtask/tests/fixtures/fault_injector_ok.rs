@@ -1,0 +1,26 @@
+// Fixture: the seed-derived draw pattern the real injector uses
+// (`crates/dfs/src/fault.rs`) — a stateless splitmix64 hash of
+// `(plan.seed, op index, fault-class salt)`. Entirely deterministic; the
+// determinism rule must stay silent here even though the comments mention
+// thread_rng() and Instant::now() by name.
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn draw(seed: u64, op: u64, salt: u64) -> f64 {
+    // No thread_rng(), no Instant::now(): the decision is a pure function of
+    // the plan seed and the operation counter.
+    unit(splitmix64(seed ^ op.wrapping_mul(0x0100_0000_01B3) ^ salt))
+}
+
+fn should_fail_read(seed: u64, op: u64, rate: f64) -> bool {
+    rate > 0.0 && draw(seed, op, 0x52_45_41_44) < rate
+}

@@ -15,6 +15,8 @@ const ATOMICS_BAD: &str = include_str!("fixtures/atomics_bad.rs");
 const ALLOW_BAD: &str = include_str!("fixtures/allow_bad.rs");
 const OBS_WALLCLOCK_BAD: &str = include_str!("fixtures/obs_wallclock_bad.rs");
 const BENCH_WALLCLOCK_ALLOWED: &str = include_str!("fixtures/bench_wallclock_allowed.rs");
+const FAULT_INJECTOR_BAD: &str = include_str!("fixtures/fault_injector_bad.rs");
+const FAULT_INJECTOR_OK: &str = include_str!("fixtures/fault_injector_ok.rs");
 
 fn lint(rel: &str, src: &str) -> Vec<Violation> {
     lint_source(rel, src, &Policy::default()).0
@@ -125,6 +127,33 @@ fn obs_crate_is_panic_free_library_code() {
     // code is a violation, same as the other library crates.
     let vs = lint("crates/obs/src/metrics.rs", PANIC_BAD);
     assert_eq!(by_rule(&vs).get("panic-surface"), Some(&4), "{vs:?}");
+}
+
+#[test]
+fn fault_injector_entropy_sources_are_flagged() {
+    // The chaos harness's reproducibility contract: fault decisions in
+    // `crates/dfs/src/fault.rs` must be seed-derived. An injector drawing
+    // from thread_rng / from_entropy / Instant::now is a determinism
+    // violation like anywhere else — no special exemption for "chaos" code.
+    let vs = lint("crates/dfs/src/fault.rs", FAULT_INJECTOR_BAD);
+    assert_eq!(by_rule(&vs).get("determinism"), Some(&3), "{vs:?}");
+}
+
+#[test]
+fn fault_injector_splitmix_pattern_is_clean() {
+    // The real injector's stateless splitmix64 draw (hash of seed ⊕ op ⊕
+    // salt) passes the determinism rule with zero allows — banned names in
+    // its comments stay opaque to the lexer.
+    let (vs, allows) = lint_source(
+        "crates/dfs/src/fault.rs",
+        FAULT_INJECTOR_OK,
+        &Policy::default(),
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+    assert!(
+        allows.is_empty(),
+        "the clean pattern needs no escape hatches"
+    );
 }
 
 #[test]
