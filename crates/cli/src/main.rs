@@ -21,7 +21,7 @@ use sigmund_core::prelude::*;
 use sigmund_datagen::{evolve_day, EvolutionSpec, FleetSpec, RetailerSpec};
 use sigmund_obs::{summarize_metrics, summarize_trace, Level, Obs};
 use sigmund_pipeline::{
-    ChaosConfig, MonitorConfig, PipelineConfig, QualityMonitor, SigmundService,
+    ChaosConfig, MonitorConfig, PipelineConfig, QualityAlert, QualityMonitor, SigmundService,
 };
 use sigmund_serving::{RecSurface, ServingStore};
 use sigmund_types::{CellId, ItemId, RetailerId};
@@ -51,6 +51,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "train" => train_cmd(&args),
         "evolve" => evolve_cmd(&args),
         "report" => report_cmd(&args),
+        "scrub" => scrub_cmd(&args),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -67,12 +68,17 @@ fn print_help() {
          \x20            --retailers N (6) --days D (2) --cells C (2) --machines M (6)\n\
          \x20            --preempt RATE/task-hr (0.25) --min-items (30) --max-items (400)\n\
          \x20            --threads T (4) --infer-threads I (1) --seed S (7)\n\
-         \x20            --fault-profile none|mild|storm (none)  seeded chaos harness\n\
+         \x20            --fault-profile none|mild|storm|bitflip (none)  seeded chaos\n\
          \x20            --chaos-seed S (= --seed)  fault-injection seed\n\
          \x20            --trace    write results/trace.json (Chrome trace-event\n\
          \x20                       format) + results/metrics.jsonl\n\
          \x20 report     summarize the trace + metrics from a traced simulate\n\
          \x20            --dir PATH (results)\n\
+         \x20 scrub      run a fleet under injected corruption, then checksum-scrub\n\
+         \x20            the DFS and report repairs\n\
+         \x20            --retailers N (3) --days D (2) --seed S (7)\n\
+         \x20            --fault-profile none|mild|storm|bitflip (bitflip)\n\
+         \x20            --chaos-seed S (= --seed)\n\
          \x20 train      grid-search one retailer and print recommendations\n\
          \x20            --items N (300) --users U (400) --grid small|paper (small)\n\
          \x20            --threads T (4) --seed S (42)\n\
@@ -80,6 +86,19 @@ fn print_help() {
          \x20            --items N (150) --users U (200) --days D (3) --seed S (99)\n\
          \x20 help       this text"
     );
+}
+
+/// Parses a `--fault-profile` value into a [`ChaosConfig`].
+fn fault_profile(name: &str, chaos_seed: u64) -> Result<ChaosConfig, String> {
+    match name {
+        "none" => Ok(ChaosConfig::disabled()),
+        "mild" => Ok(ChaosConfig::mild(chaos_seed)),
+        "storm" => Ok(ChaosConfig::storm(chaos_seed)),
+        "bitflip" => Ok(ChaosConfig::bitflip(chaos_seed)),
+        other => Err(format!(
+            "--fault-profile must be none|mild|storm|bitflip, got {other}"
+        )),
+    }
 }
 
 fn simulate(args: &Args) -> Result<(), String> {
@@ -109,16 +128,7 @@ fn simulate(args: &Args) -> Result<(), String> {
     let infer_threads: usize = args.get("infer-threads", 1)?;
     let seed: u64 = args.get("seed", 7)?;
     let chaos_seed: u64 = args.get("chaos-seed", seed)?;
-    let chaos = match args.get_str("fault-profile").unwrap_or("none") {
-        "none" => ChaosConfig::disabled(),
-        "mild" => ChaosConfig::mild(chaos_seed),
-        "storm" => ChaosConfig::storm(chaos_seed),
-        other => {
-            return Err(format!(
-                "--fault-profile must be none|mild|storm, got {other}"
-            ))
-        }
-    };
+    let chaos = fault_profile(args.get_str("fault-profile").unwrap_or("none"), chaos_seed)?;
     let trace: bool = args.get("trace", false)?;
     if n_retailers == 0
         || days == 0
@@ -145,6 +155,9 @@ fn simulate(args: &Args) -> Result<(), String> {
     };
     println!("generating {n_retailers} retailers…");
     let data = fleet.generate();
+    // Automatic post-publish rollback is only armed under an active fault
+    // profile: a clean run must stay byte-identical to the pre-rollback CLI.
+    let chaos_active = !chaos.is_disabled();
     let mut svc = SigmundService::new(PipelineConfig {
         cells: (0..cells)
             .map(|c| CellSpec::standard(CellId(c as u32), machines))
@@ -204,12 +217,34 @@ fn simulate(args: &Args) -> Result<(), String> {
                 stale.join(", ")
             );
         }
-        for alert in monitor.record_day_obs(&onboarded, &report, &obs, svc.virtual_now()) {
+        if !report.rejected.is_empty() {
+            let refused: Vec<String> = report.rejected.iter().map(|r| r.to_string()).collect();
+            println!("  rejected by admission gate: {}", refused.join(", "));
+        }
+        let alerts = monitor.record_day_obs(&onboarded, &report, &obs, svc.virtual_now());
+        for alert in &alerts {
             println!("  ALERT: {alert:?}");
         }
         // Swap today's batch into the serving store and sample one lookup
         // per retailer so the serving gauges carry signal.
         let generation = store.publish_obs(report.recs.clone(), &obs, svc.virtual_now());
+        // Post-publish safety net: a Regression alert on the very batch
+        // that just went live means the freshly served generation is
+        // suspect — automatically roll the store back to the previous one.
+        if chaos_active
+            && generation > 1
+            && alerts
+                .iter()
+                .any(|a| matches!(a, QualityAlert::Regression { .. }))
+        {
+            if let Some(live) = store.rollback_obs(generation - 1, &obs, svc.virtual_now()) {
+                println!(
+                    "  rollback: regression after publish — serving generation {} again \
+                     (live gen {live})",
+                    generation - 1
+                );
+            }
+        }
         let mut served: Vec<RetailerId> = report.recs.keys().copied().collect();
         served.sort_unstable();
         for r in served {
@@ -230,6 +265,84 @@ fn simulate(args: &Args) -> Result<(), String> {
             metrics_path.display()
         );
     }
+    Ok(())
+}
+
+fn scrub_cmd(args: &Args) -> Result<(), String> {
+    args.ensure_known(&["retailers", "days", "seed", "fault-profile", "chaos-seed"])?;
+    let n_retailers: usize = args.get("retailers", 3)?;
+    let days: u32 = args.get("days", 2)?;
+    let seed: u64 = args.get("seed", 7)?;
+    let chaos_seed: u64 = args.get("chaos-seed", seed)?;
+    let chaos = fault_profile(
+        args.get_str("fault-profile").unwrap_or("bitflip"),
+        chaos_seed,
+    )?;
+    if n_retailers == 0 || days == 0 {
+        return Err("counts must be positive".into());
+    }
+
+    // The DFS is in-process, so a scrub needs a populated tree: run a small
+    // fleet under the chosen fault profile, then walk and verify every blob.
+    let fleet = FleetSpec {
+        n_retailers,
+        min_items: 20,
+        max_items: 60,
+        pareto_alpha: 1.0,
+        users_per_item: 1.2,
+        seed,
+    };
+    let data = fleet.generate();
+    let mut svc = SigmundService::new(PipelineConfig {
+        cells: vec![CellSpec::standard(CellId(0), 4)],
+        preemption: PreemptionModel { rate_per_hour: 0.0 },
+        threads: 1,
+        seed,
+        chaos,
+        ..Default::default()
+    });
+    for d in &data {
+        svc.onboard(&d.catalog, &d.events)
+            .map_err(|e| e.to_string())?;
+    }
+    for _ in 0..days {
+        let report = svc.run_day().map_err(|e| e.to_string())?;
+        println!(
+            "day {}: {} models | {} rejected by admission gate | {} degraded",
+            report.day,
+            report.models_trained,
+            report.rejected.len(),
+            report.degraded.len()
+        );
+    }
+
+    let stats = svc.dfs.integrity_stats();
+    println!(
+        "\nread-path checksum failures during the run: {}",
+        stats.checksum_failures
+    );
+    let report = svc.dfs.scrub("/");
+    println!(
+        "scrub: {} blobs scanned | {} corrupt | {} repaired from previous version",
+        report.scanned, report.corrupt, report.repaired
+    );
+    for path in &report.unrepairable {
+        println!("  unrepairable: {path}");
+    }
+    // A second pass proves the repairs stuck: everything left is healthy or
+    // already reported unrepairable.
+    let again = svc.dfs.scrub("/");
+    if again.corrupt as usize != report.unrepairable.len() {
+        return Err(format!(
+            "scrub not idempotent: {} corrupt blobs after repair pass, expected {}",
+            again.corrupt,
+            report.unrepairable.len()
+        ));
+    }
+    println!(
+        "re-scrub: {} corrupt (all previously unrepairable)",
+        again.corrupt
+    );
     Ok(())
 }
 
@@ -421,6 +534,31 @@ mod tests {
              --fault-profile storm --chaos-seed 11",
         ))
         .expect("storm-profile simulate should degrade, not fail");
+    }
+
+    #[test]
+    fn bitflip_simulate_degrades_and_recovers() {
+        run(argv(
+            "simulate --retailers 2 --days 3 --cells 1 --machines 3 \
+             --min-items 20 --max-items 40 --preempt 0 --threads 1 --seed 3 \
+             --fault-profile bitflip --chaos-seed 5",
+        ))
+        .expect("bitflip-profile simulate should reject+degrade, not fail");
+    }
+
+    #[test]
+    fn scrub_smoke() {
+        run(argv(
+            "scrub --retailers 2 --days 2 --seed 3 --fault-profile bitflip --chaos-seed 5",
+        ))
+        .expect("scrub should verify and repair");
+        // A clean tree scrubs to zero corruption.
+        run(argv(
+            "scrub --retailers 2 --days 1 --seed 3 --fault-profile none",
+        ))
+        .expect("clean scrub");
+        assert!(run(argv("scrub --days 0")).is_err());
+        assert!(run(argv("scrub --fault-profile bogus")).is_err());
     }
 
     #[test]

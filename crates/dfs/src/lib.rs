@@ -20,6 +20,20 @@
 //!
 //! Everything lives in process memory behind a [`parking_lot`] lock; paths
 //! are plain `/`-separated strings.
+//!
+//! ## Checksummed blob framing
+//!
+//! Every [`Dfs::write`] stamps the stored blob with an FNV-1a 64 content
+//! checksum ([`sigmund_types::fnv1a64`]) computed over the bytes the caller
+//! handed in, and every [`Dfs::read`] re-hashes the bytes about to be
+//! returned and compares. A mismatch — a torn read, or a bit silently
+//! flipped at rest by the [`fault`] injector's `BitFlip` class — surfaces as
+//! [`SigmundError::Corrupt`] *at the storage layer*, instead of wherever the
+//! bytes happen to deserialize (or worse, don't). The checksum is kept in
+//! the entry's metadata, not framed into the payload, so [`Dfs::peek`] still
+//! returns exactly the stored bytes. [`Dfs::scrub`] walks a prefix offline,
+//! verifies every blob, and repairs from the retained previous version of
+//! the path where that version still verifies.
 
 pub mod checkpoint;
 pub mod fault;
@@ -28,16 +42,24 @@ pub use checkpoint::CheckpointStore;
 pub use fault::{FaultInjector, FaultStats};
 
 use bytes::Bytes;
-use fault::ReadFault;
+use fault::{ReadFault, WriteFault};
 use parking_lot::RwLock;
-use sigmund_types::{CellId, FaultPlan, SigmundError};
+use sigmund_types::{fnv1a64, CellId, FaultPlan, SigmundError};
 use std::collections::BTreeMap;
 
 /// A file plus the cell its primary replica lives in.
+///
+/// `crc` is the FNV-1a 64 hash of the bytes the *writer supplied* — if the
+/// injector flipped a bit on the way to storage, `data` no longer matches
+/// `crc`, which is exactly how the corruption is caught. `prev` retains the
+/// previous version of the path (data + its checksum) so [`Dfs::scrub`] has
+/// a healthy generation to repair from.
 #[derive(Debug, Clone)]
 struct Entry {
     data: Bytes,
+    crc: u64,
     home: CellId,
+    prev: Option<(Bytes, u64)>,
 }
 
 /// Cross-cell traffic statistics.
@@ -47,6 +69,33 @@ pub struct TransferStats {
     pub cross_cell_read_bytes: u64,
     /// Bytes moved by explicit [`Dfs::migrate`] calls.
     pub migrated_bytes: u64,
+}
+
+/// Integrity counters: corruption *detected* by checksum verification, as
+/// opposed to the injector's [`FaultStats`], which counts corruption
+/// *injected*. Reconciling the two is how tests prove nothing slips through.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegrityStats {
+    /// Reads that failed checksum verification (torn or bit-flipped blobs).
+    pub checksum_failures: u64,
+    /// Blobs a [`Dfs::scrub`] pass found corrupt.
+    pub scrub_corrupt: u64,
+    /// Corrupt blobs a [`Dfs::scrub`] pass repaired from a previous version.
+    pub scrub_repairs: u64,
+}
+
+/// Outcome of one [`Dfs::scrub`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Blobs whose checksum was verified.
+    pub scanned: u64,
+    /// Blobs that failed verification.
+    pub corrupt: u64,
+    /// Corrupt blobs restored from a verified previous version.
+    pub repaired: u64,
+    /// Paths left corrupt: no previous version, or the previous version is
+    /// itself corrupt.
+    pub unrepairable: Vec<String>,
 }
 
 /// The simulated distributed filesystem.
@@ -66,6 +115,7 @@ pub struct TransferStats {
 pub struct Dfs {
     files: RwLock<BTreeMap<String, Entry>>,
     stats: RwLock<TransferStats>,
+    integrity: RwLock<IntegrityStats>,
     injector: Option<FaultInjector>,
 }
 
@@ -84,6 +134,7 @@ impl Dfs {
         Dfs {
             files: RwLock::default(),
             stats: RwLock::default(),
+            integrity: RwLock::default(),
             injector: Some(FaultInjector::new(plan)),
         }
     }
@@ -95,22 +146,41 @@ impl Dfs {
         self.injector.as_ref()
     }
 
-    /// Writes (or overwrites) `path`, homing the data in `cell`.
+    /// Writes (or overwrites) `path`, homing the data in `cell` and stamping
+    /// an FNV-1a 64 checksum over the supplied bytes. Overwriting retains
+    /// the replaced version as the path's repair source for [`Dfs::scrub`].
     ///
     /// # Errors
     /// [`SigmundError::Transient`] if the fault injector drops the write
-    /// (nothing is stored; the caller may retry).
+    /// (nothing is stored; the caller may retry). A `BitFlip` fault instead
+    /// *succeeds*, storing the payload with one bit flipped — the corruption
+    /// is only discovered when a later read fails checksum verification.
     pub fn write(&self, cell: CellId, path: &str, data: Bytes) -> Result<(), SigmundError> {
-        if let Some(inj) = &self.injector {
-            if inj.on_write() {
+        let crc = fnv1a64(&data);
+        let data = match self
+            .injector
+            .as_ref()
+            .map_or(WriteFault::None, |inj| inj.on_write())
+        {
+            WriteFault::None => data,
+            WriteFault::Error => {
                 return Err(SigmundError::Transient(format!(
                     "injected write fault: {path}"
                 )));
             }
-        }
-        self.files
-            .write()
-            .insert(path.to_string(), Entry { data, home: cell });
+            WriteFault::BitFlip { entropy } => fault::flip(&data, entropy),
+        };
+        let mut files = self.files.write();
+        let prev = files.get(path).map(|e| (e.data.clone(), e.crc));
+        files.insert(
+            path.to_string(),
+            Entry {
+                data,
+                crc,
+                home: cell,
+                prev,
+            },
+        );
         Ok(())
     }
 
@@ -120,40 +190,45 @@ impl Dfs {
     /// # Errors
     /// [`SigmundError::NotFound`] if the path does not exist;
     /// [`SigmundError::Transient`] if the fault injector fails the read or
-    /// an active partition blocks the cross-cell transfer. A torn-read fault
-    /// instead returns truncated bytes, which downstream decoders surface as
-    /// [`SigmundError::Corrupt`].
+    /// an active partition blocks the cross-cell transfer;
+    /// [`SigmundError::Corrupt`] if the bytes about to be returned fail
+    /// checksum verification — a torn read, or a payload bit-flipped at
+    /// write time. Corrupt is retryable for torn reads (the stored blob is
+    /// intact) but persistent for bit flips.
     pub fn read(&self, cell: CellId, path: &str) -> Result<Bytes, SigmundError> {
         let files = self.files.read();
         let entry = files
             .get(path)
             .ok_or_else(|| SigmundError::NotFound(path.to_string()))?;
-        if let Some(inj) = &self.injector {
-            match inj.on_read(cell, entry.home) {
-                ReadFault::None => {}
-                ReadFault::Error => {
-                    return Err(SigmundError::Transient(format!(
-                        "injected read fault: {path}"
-                    )));
-                }
-                ReadFault::Partitioned => {
-                    return Err(SigmundError::Transient(format!(
-                        "partition: cell {} cannot reach {path} (home cell {})",
-                        cell.0, entry.home.0
-                    )));
-                }
-                ReadFault::Torn => {
-                    if entry.home != cell {
-                        self.stats.write().cross_cell_read_bytes += entry.data.len() as u64;
-                    }
-                    return Ok(fault::tear(&entry.data));
-                }
+        let data = match self
+            .injector
+            .as_ref()
+            .map_or(ReadFault::None, |inj| inj.on_read(cell, entry.home))
+        {
+            ReadFault::None => entry.data.clone(),
+            ReadFault::Error => {
+                return Err(SigmundError::Transient(format!(
+                    "injected read fault: {path}"
+                )));
             }
-        }
+            ReadFault::Partitioned => {
+                return Err(SigmundError::Transient(format!(
+                    "partition: cell {} cannot reach {path} (home cell {})",
+                    cell.0, entry.home.0
+                )));
+            }
+            ReadFault::Torn => fault::tear(&entry.data),
+        };
         if entry.home != cell {
             self.stats.write().cross_cell_read_bytes += entry.data.len() as u64;
         }
-        Ok(entry.data.clone())
+        if fnv1a64(&data) != entry.crc {
+            self.integrity.write().checksum_failures += 1;
+            return Err(SigmundError::Corrupt(format!(
+                "checksum mismatch reading {path}"
+            )));
+        }
+        Ok(data)
     }
 
     /// Reads `path` without consulting the fault injector and without
@@ -182,15 +257,20 @@ impl Dfs {
     }
 
     /// Atomically renames `from` to `to` (replacing `to` if present), the
-    /// primitive checkpointing builds on.
+    /// primitive checkpointing builds on. A replaced target becomes the new
+    /// entry's retained previous version, so [`Dfs::scrub`] can repair a
+    /// corrupt publish from the generation it superseded.
     ///
     /// # Errors
     /// [`SigmundError::NotFound`] if `from` does not exist.
     pub fn rename(&self, from: &str, to: &str) -> Result<(), SigmundError> {
         let mut files = self.files.write();
-        let entry = files
+        let mut entry = files
             .remove(from)
             .ok_or_else(|| SigmundError::NotFound(from.to_string()))?;
+        if let Some(old) = files.get(to) {
+            entry.prev = Some((old.data.clone(), old.crc));
+        }
         files.insert(to.to_string(), entry);
         Ok(())
     }
@@ -239,6 +319,43 @@ impl Dfs {
     /// Traffic counters so far.
     pub fn stats(&self) -> TransferStats {
         *self.stats.read()
+    }
+
+    /// Integrity counters so far (corruption detected, scrub activity).
+    pub fn integrity_stats(&self) -> IntegrityStats {
+        *self.integrity.read()
+    }
+
+    /// Verifies the checksum of every blob under `prefix` and repairs
+    /// corrupt blobs from the path's retained previous version where that
+    /// version still verifies. An offline maintenance pass: it bypasses the
+    /// fault injector (scrubbing reads the replica directly) and charges no
+    /// cross-cell traffic.
+    pub fn scrub(&self, prefix: &str) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        let mut files = self.files.write();
+        for (path, entry) in files.range_mut(prefix.to_string()..) {
+            if !path.starts_with(prefix) {
+                break;
+            }
+            report.scanned += 1;
+            if fnv1a64(&entry.data) == entry.crc {
+                continue;
+            }
+            report.corrupt += 1;
+            match entry.prev.take() {
+                Some((data, crc)) if fnv1a64(&data) == crc => {
+                    entry.data = data;
+                    entry.crc = crc;
+                    report.repaired += 1;
+                }
+                _ => report.unrepairable.push(path.clone()),
+            }
+        }
+        let mut integ = self.integrity.write();
+        integ.scrub_corrupt += report.corrupt;
+        integ.scrub_repairs += report.repaired;
+        report
     }
 }
 
@@ -331,15 +448,92 @@ mod tests {
     }
 
     #[test]
-    fn torn_read_returns_truncated_bytes() {
+    fn torn_read_is_caught_by_checksum() {
         let dfs = Dfs::with_faults(FaultPlan {
             seed: 1,
             corrupt_rate: 1.0,
             ..FaultPlan::default()
         });
         dfs.write(C0, "/a", Bytes::from(vec![9u8; 8])).unwrap();
-        assert_eq!(dfs.read(C0, "/a").unwrap().len(), 4);
+        // The injector tears the payload, the storage layer detects it:
+        // callers see Corrupt instead of silently short bytes.
+        assert!(matches!(dfs.read(C0, "/a"), Err(SigmundError::Corrupt(_))));
         assert_eq!(dfs.injector().unwrap().stats().torn_reads, 1);
+        assert_eq!(dfs.integrity_stats().checksum_failures, 1);
+        // The stored blob itself is intact — a retry that doesn't tear wins.
+        assert_eq!(dfs.peek("/a").unwrap().len(), 8);
+    }
+
+    #[test]
+    fn bit_flipped_write_succeeds_but_every_read_fails_checksum() {
+        let dfs = Dfs::with_faults(FaultPlan {
+            seed: 3,
+            bitflip_rate: 1.0,
+            ..FaultPlan::default()
+        });
+        dfs.write(C0, "/m", Bytes::from(vec![0u8; 32])).unwrap();
+        assert!(dfs.exists("/m"), "a bit-flip write reports success");
+        assert_eq!(dfs.injector().unwrap().stats().bit_flips, 1);
+        // Unlike a torn read, the corruption is persistent: every read fails.
+        for _ in 0..3 {
+            assert!(matches!(dfs.read(C0, "/m"), Err(SigmundError::Corrupt(_))));
+        }
+        assert_eq!(dfs.integrity_stats().checksum_failures, 3);
+        // peek exposes the raw (corrupt) replica for audits.
+        let raw = dfs.peek("/m").unwrap();
+        assert_eq!(raw.iter().map(|b| b.count_ones()).sum::<u32>(), 1);
+    }
+
+    #[test]
+    fn scrub_repairs_from_previous_version() {
+        let dfs = Dfs::with_faults(FaultPlan {
+            seed: 3,
+            bitflip_rate: 1.0,
+            from_day: 1,
+            until_day: 2,
+            ..FaultPlan::default()
+        });
+        // Day 0: healthy generation lands.
+        dfs.write(C0, "/m", Bytes::from(vec![1u8; 16])).unwrap();
+        dfs.write(C0, "/other", Bytes::from(vec![2u8; 16])).unwrap();
+        // Day 1: the overwrite is silently flipped.
+        dfs.injector().unwrap().begin_day(1);
+        dfs.write(C0, "/m", Bytes::from(vec![3u8; 16])).unwrap();
+        assert!(dfs.read(C0, "/m").is_err());
+        let report = dfs.scrub("/");
+        assert_eq!((report.scanned, report.corrupt, report.repaired), (2, 1, 1));
+        assert!(report.unrepairable.is_empty());
+        // Repaired to the day-0 generation, readable again.
+        assert_eq!(dfs.read(C0, "/m").unwrap(), Bytes::from(vec![1u8; 16]));
+        let integ = dfs.integrity_stats();
+        assert_eq!((integ.scrub_corrupt, integ.scrub_repairs), (1, 1));
+    }
+
+    #[test]
+    fn scrub_reports_unrepairable_first_generation_corruption() {
+        let dfs = Dfs::with_faults(FaultPlan {
+            seed: 3,
+            bitflip_rate: 1.0,
+            ..FaultPlan::default()
+        });
+        // First-ever write of the path is flipped: no previous version.
+        dfs.write(C0, "/m", Bytes::from(vec![1u8; 16])).unwrap();
+        let report = dfs.scrub("/");
+        assert_eq!((report.corrupt, report.repaired), (1, 0));
+        assert_eq!(report.unrepairable, vec!["/m".to_string()]);
+        // Scrub is honest: the blob stays corrupt rather than silently
+        // "repaired" with bad bytes.
+        assert!(dfs.read(C0, "/m").is_err());
+    }
+
+    #[test]
+    fn scrub_of_healthy_tree_is_a_no_op() {
+        let dfs = Dfs::new();
+        dfs.write(C0, "/a", Bytes::from_static(b"x")).unwrap();
+        dfs.write(C0, "/b", Bytes::from_static(b"y")).unwrap();
+        let report = dfs.scrub("/");
+        assert_eq!((report.scanned, report.corrupt), (2, 0));
+        assert_eq!(dfs.integrity_stats(), IntegrityStats::default());
     }
 
     #[test]

@@ -102,6 +102,31 @@ impl ChaosConfig {
         }
     }
 
+    /// Silent-corruption profile: every write on day 1 has one bit flipped
+    /// *after* the content checksum is stamped, with no other fault class
+    /// active. Day 0 trains and publishes cleanly; on day 1 every model
+    /// blob written is corrupt, so the admission gate's checksum-verified
+    /// re-read rejects every winner and the fleet degrades to day 0's
+    /// generation; day 2 is calm and recovers. The canonical
+    /// zero-corrupt-models-reach-LIVE scenario of `tests/chaos.rs`.
+    pub fn bitflip(seed: u64) -> Self {
+        ChaosConfig {
+            plan: FaultPlan {
+                seed,
+                bitflip_rate: 1.0,
+                from_day: 1,
+                until_day: 2,
+                ..FaultPlan::default()
+            },
+            storms: Vec::new(),
+            backoff: None,
+            // Bit flips are persistent (re-writing re-flips on a stormy
+            // day): keep retries short so the day finishes.
+            max_attempts: Some(50),
+            flaky: None,
+        }
+    }
+
     /// The [`ChaosConfig::mild`] profile plus a one-day storm drowning cell
     /// 0 on day 1 — the canonical degradation scenario of `tests/chaos.rs`.
     pub fn storm(seed: u64) -> Self {
@@ -142,6 +167,7 @@ mod tests {
         assert!(ChaosConfig::default().is_disabled());
         assert!(!ChaosConfig::mild(1).is_disabled());
         assert!(!ChaosConfig::storm(1).is_disabled());
+        assert!(!ChaosConfig::bitflip(1).is_disabled());
         // A seed alone does not make a plan non-noop.
         let mut c = ChaosConfig::disabled();
         c.plan.seed = 99;

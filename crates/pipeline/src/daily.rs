@@ -14,11 +14,12 @@ use crate::chaos::ChaosConfig;
 use crate::cost_model::CostModel;
 use crate::data;
 use crate::infer_job::{make_splits, InferenceJob, MaterializedRec};
+use crate::integrity::{IntegrityConfig, RejectReason};
 use crate::sweep;
 use crate::train_job::TrainJob;
 use sigmund_cluster::{CellSpec, CostMeter, PreemptionModel, Priority};
 use sigmund_core::prelude::*;
-use sigmund_dfs::{Dfs, FaultStats};
+use sigmund_dfs::{Dfs, FaultStats, IntegrityStats};
 use sigmund_mapreduce::{permute, run_map_job_obs, JobConfig, JobStats};
 use sigmund_obs::{Level, Obs, Track};
 use sigmund_types::{Catalog, ConfigRecord, Interaction, ItemId, RetailerId, SigmundError};
@@ -62,6 +63,10 @@ pub struct PipelineConfig {
     /// Fault-injection knobs; the disabled default is provably transparent
     /// (see [`ChaosConfig`] and `tests/chaos.rs`).
     pub chaos: ChaosConfig,
+    /// Pre-publish admission gate; the default admits everything healthy
+    /// and is byte-identical to [`IntegrityConfig::disabled`] on clean runs
+    /// (see DESIGN.md §10 and `tests/chaos.rs`).
+    pub integrity: IntegrityConfig,
 }
 
 impl Default for PipelineConfig {
@@ -84,6 +89,7 @@ impl Default for PipelineConfig {
             seed: 11,
             obs: Obs::disabled(),
             chaos: ChaosConfig::disabled(),
+            integrity: IntegrityConfig::default(),
         }
     }
 }
@@ -114,6 +120,11 @@ pub struct DayReport {
     /// Retailers that exhausted their fault budget today and kept serving
     /// yesterday's published generation (sorted; empty without chaos).
     pub degraded: Vec<RetailerId>,
+    /// Retailers whose winning model was refused by the admission gate
+    /// (checksum failure, invalid snapshot, or quality collapse); a subset
+    /// of `degraded` whenever a previous generation exists. Sorted; empty
+    /// on clean runs.
+    pub rejected: Vec<RetailerId>,
 }
 
 /// The long-running service state.
@@ -135,6 +146,12 @@ pub struct SigmundService {
     /// Injected-fault totals at the end of the previous day (delta source
     /// for the per-day chaos counters).
     fault_stats_seen: FaultStats,
+    /// Last admission-gate-accepted MAP@10 per retailer (baseline for the
+    /// relative quality-collapse check).
+    last_accepted_map: HashMap<RetailerId, f64>,
+    /// DFS integrity totals at the end of the previous day (delta source
+    /// for the per-day `integrity.*` counters).
+    integrity_seen: IntegrityStats,
 }
 
 impl SigmundService {
@@ -159,6 +176,8 @@ impl SigmundService {
             last_outputs: Vec::new(),
             virtual_now: 0.0,
             fault_stats_seen: FaultStats::default(),
+            last_accepted_map: HashMap::new(),
+            integrity_seen: IntegrityStats::default(),
         }
     }
 
@@ -384,7 +403,7 @@ impl SigmundService {
         );
 
         // --- model selection -----------------------------------------------
-        let best: HashMap<RetailerId, ConfigRecord> = sweep::top_k_per_retailer(&outputs, 1)
+        let mut best: HashMap<RetailerId, ConfigRecord> = sweep::top_k_per_retailer(&outputs, 1)
             .into_iter()
             .map(|r| (r.model.retailer, r))
             .collect();
@@ -399,6 +418,39 @@ impl SigmundService {
                 ("winners", best.len().into()),
             ],
         );
+
+        // --- admission gate -------------------------------------------------
+        // The last check before a model's recommendations can go LIVE:
+        // re-read every winner from the DFS (storage checksum catches torn
+        // or bit-flipped blobs), validate the snapshot (catches parseable
+        // garbage), and apply the quality gate (catches degenerate models).
+        // A rejected winner is removed from `best`, which routes its
+        // retailer through the existing graceful-degradation path below.
+        let mut rejected: Vec<RetailerId> = Vec::new();
+        if self.cfg.integrity.gate {
+            let mut winners: Vec<RetailerId> = best.keys().copied().collect();
+            winners.sort_unstable();
+            for r in winners {
+                match self.admit(&best[&r]) {
+                    Ok(Some(map)) => {
+                        self.last_accepted_map.insert(r, map);
+                    }
+                    Ok(None) => {}
+                    Err(reason) => {
+                        obs.instant(
+                            Level::Warn,
+                            "integrity",
+                            &format!("reject {r}"),
+                            Track::PIPELINE,
+                            day_start + train_makespan,
+                            &[("reason", reason.label().into())],
+                        );
+                        rejected.push(r);
+                        best.remove(&r);
+                    }
+                }
+            }
+        }
 
         // --- inference MapReduces ------------------------------------------
         // Bin-pack retailers by *item count* (Section IV-C1), then one job
@@ -581,6 +633,17 @@ impl SigmundService {
             );
             self.fault_stats_seen = s;
         }
+        // Integrity summary: emitted only when something could have changed
+        // the outcome (an injector is attached, a model was rejected, or a
+        // checksum actually failed), so clean runs emit nothing and stay
+        // byte-identical to the pre-gate pipeline.
+        let integ = self.dfs.integrity_stats();
+        let checksum_delta = integ.checksum_failures - self.integrity_seen.checksum_failures;
+        if self.dfs.injector().is_some() || !rejected.is_empty() || checksum_delta > 0 {
+            obs.counter("integrity.rejected", rejected.len() as u64);
+            obs.counter("integrity.checksum_failures", checksum_delta);
+        }
+        self.integrity_seen = integ;
         obs.gauge("pipeline.models_trained", day_end, models_trained as f64);
         obs.gauge("pipeline.train_makespan_s", day_end, train_makespan);
         obs.gauge("pipeline.infer_makespan_s", day_end, infer_makespan);
@@ -630,9 +693,78 @@ impl SigmundService {
             train_stats,
             infer_stats,
             degraded,
+            rejected,
         };
         self.day += 1;
         Ok(report)
+    }
+
+    /// Admission check for one winning config: re-read its model from the
+    /// DFS (the storage layer verifies the blob checksum), parse and
+    /// validate the snapshot, then apply the quality gate against the
+    /// retailer's last accepted MAP@10.
+    ///
+    /// Returns the MAP to record as the new accepted baseline (`None` when
+    /// the record carries no metrics — nothing to baseline against).
+    fn admit(&self, rec: &ConfigRecord) -> Result<Option<f64>, RejectReason> {
+        // Read from the blob's home cell: the gate must not charge
+        // cross-cell transfer on clean runs.
+        let cell = self
+            .dfs
+            .home_of(&rec.model_path)
+            .unwrap_or(self.cfg.cells[0].cell);
+        let mut bytes = None;
+        for _ in 0..3 {
+            match self.dfs.read(cell, &rec.model_path) {
+                Ok(b) => {
+                    bytes = Some(b);
+                    break;
+                }
+                // A checksum mismatch is persistent: the stored bytes are
+                // not the bytes training wrote. No point retrying.
+                Err(SigmundError::Corrupt(_)) => return Err(RejectReason::ChecksumFailure),
+                // Injected transient faults: retry within a small budget.
+                Err(_) => {}
+            }
+        }
+        let Some(bytes) = bytes else {
+            return Err(RejectReason::Unreadable);
+        };
+        let snapshot =
+            ModelSnapshot::from_bytes(&bytes).map_err(|_| RejectReason::InvalidSnapshot)?;
+        let r = rec.model.retailer;
+        let cat_cell = self
+            .dfs
+            .home_of(&data::catalog_path(r))
+            .unwrap_or(self.cfg.cells[0].cell);
+        let mut catalog = None;
+        for _ in 0..3 {
+            if let Ok(c) = data::load_catalog(&self.dfs, cat_cell, r) {
+                catalog = Some(c);
+                break;
+            }
+        }
+        match &catalog {
+            // Shape checks against the live catalog when it is readable …
+            Some(c) => snapshot.validate_for(c),
+            // … structural checks alone when it is not (the gate judges the
+            // model, not the catalog's availability).
+            None => snapshot.validate(),
+        }
+        .map_err(|_| RejectReason::InvalidSnapshot)?;
+        let Some(m) = rec.metrics.as_ref() else {
+            return Ok(None);
+        };
+        let map = m.map_at_10;
+        if map.is_nan() || map < self.cfg.integrity.min_map {
+            return Err(RejectReason::QualityCollapse);
+        }
+        if let Some(&last) = self.last_accepted_map.get(&r) {
+            if last > 0.0 && map < last * self.cfg.integrity.collapse_fraction {
+                return Err(RejectReason::QualityCollapse);
+            }
+        }
+        Ok(Some(map))
     }
 }
 

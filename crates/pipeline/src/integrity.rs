@@ -1,0 +1,127 @@
+//! Pre-publish admission gate: the last check between "training finished"
+//! and "this model's recommendations go LIVE".
+//!
+//! PR 4's chaos harness made corruption *survivable* (retry, degrade, carry
+//! forward); this gate makes it *unpublishable*. After model selection and
+//! before inference, the daily loop re-reads every winning model from the
+//! DFS (catching storage-level corruption via the blob checksum), runs
+//! [`sigmund_core::snapshot::ModelSnapshot::validate`] (catching parseable
+//! garbage: NaN/Inf parameters, blown-up norms, shape drift), and applies a
+//! quality gate on MAP@10 (catching degenerate-but-numerically-healthy
+//! models). A rejected retailer is handled exactly like a degraded one: its
+//! previous published generation stays live and the next day's incremental
+//! sweep retrains it.
+//!
+//! The default configuration keeps the structural checks on but sets both
+//! quality thresholds to values that can never fire, so a clean run admits
+//! every model and stays byte-identical to a run with the gate disabled
+//! (asserted in `tests/chaos.rs`; see DESIGN.md §10).
+
+/// Admission-gate configuration.
+#[derive(Debug, Clone)]
+pub struct IntegrityConfig {
+    /// Master switch. With `gate: false` the daily loop performs no
+    /// admission reads at all — the seed-pipeline behaviour.
+    pub gate: bool,
+    /// Absolute MAP@10 floor: a winner below this is rejected. The default
+    /// `0.0` never fires (MAP is non-negative).
+    pub min_map: f64,
+    /// Relative collapse threshold: a winner whose MAP@10 fell below
+    /// `collapse_fraction ×` the retailer's last *admitted* MAP is rejected.
+    /// The default `0.0` never fires.
+    pub collapse_fraction: f64,
+}
+
+impl Default for IntegrityConfig {
+    fn default() -> Self {
+        Self {
+            gate: true,
+            min_map: 0.0,
+            collapse_fraction: 0.0,
+        }
+    }
+}
+
+impl IntegrityConfig {
+    /// No gate at all: no admission reads, no validation, no quality check.
+    /// Byte-identical to the pipeline before the gate existed.
+    pub fn disabled() -> Self {
+        Self {
+            gate: false,
+            ..Self::default()
+        }
+    }
+
+    /// Quality thresholds that actually bite, for chaos runs and tests:
+    /// reject a winner whose MAP@10 dropped below 5% of the last admitted
+    /// value or below an absolute floor of `1e-4`.
+    pub fn strict() -> Self {
+        Self {
+            gate: true,
+            min_map: 1e-4,
+            collapse_fraction: 0.05,
+        }
+    }
+}
+
+/// Why the admission gate rejected a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The DFS read failed checksum verification: the stored bytes are not
+    /// the bytes training wrote (bit flip, torn blob).
+    ChecksumFailure,
+    /// The model could not be read at all within the retry budget
+    /// (persistent transient faults or a vanished path).
+    Unreadable,
+    /// The bytes read back cleanly but failed parsing or
+    /// [`sigmund_core::snapshot::ModelSnapshot::validate`]: non-finite
+    /// parameters, oversized norms, or shapes inconsistent with the catalog.
+    InvalidSnapshot,
+    /// The model is structurally healthy but its MAP@10 collapsed below the
+    /// configured floor or relative threshold.
+    QualityCollapse,
+}
+
+impl RejectReason {
+    /// Stable lower-case label for traces and alert payloads.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectReason::ChecksumFailure => "checksum_failure",
+            RejectReason::Unreadable => "unreadable",
+            RejectReason::InvalidSnapshot => "invalid_snapshot",
+            RejectReason::QualityCollapse => "quality_collapse",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_gate_thresholds_can_never_fire() {
+        let cfg = IntegrityConfig::default();
+        assert!(cfg.gate);
+        // Any non-negative finite MAP passes both checks.
+        for map in [0.0, 1e-12, 0.5, 1.0] {
+            assert!(map >= cfg.min_map);
+            assert!(map >= 1.0 * cfg.collapse_fraction);
+        }
+    }
+
+    #[test]
+    fn strict_thresholds_bite() {
+        let cfg = IntegrityConfig::strict();
+        assert!(1e-5 < cfg.min_map, "floor rejects near-zero MAP");
+        assert!(
+            0.001 < 0.5 * cfg.collapse_fraction,
+            "collapse rejects 500x drops"
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(RejectReason::ChecksumFailure.label(), "checksum_failure");
+        assert_eq!(RejectReason::QualityCollapse.label(), "quality_collapse");
+    }
+}

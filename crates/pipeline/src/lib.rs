@@ -20,6 +20,8 @@
 //!   regression/coverage/missing-model alerts.
 //! * [`chaos`] — seeded fault-injection knobs (DFS faults, preemption
 //!   storms, retry budgets) and the graceful-degradation wiring.
+//! * [`integrity`] — the pre-publish admission gate: checksum-verified
+//!   model re-reads, snapshot validation, and MAP collapse detection.
 
 pub mod binpack;
 pub mod chaos;
@@ -27,6 +29,7 @@ pub mod cost_model;
 pub mod daily;
 pub mod data;
 pub mod infer_job;
+pub mod integrity;
 pub mod monitor;
 pub mod sweep;
 pub mod train_job;
@@ -38,6 +41,7 @@ pub use chaos::{CellStorm, ChaosConfig};
 pub use cost_model::CostModel;
 pub use daily::{load_recs, recs_for_item, DayReport, PipelineConfig, SigmundService};
 pub use infer_job::{make_splits, InferSplit, InferenceJob, MaterializedRec};
+pub use integrity::{IntegrityConfig, RejectReason};
 pub use monitor::{MonitorConfig, QualityAlert, QualityMonitor};
 pub use sweep::{full_sweep, full_sweep_for, incremental_sweep, top_k_per_retailer};
 pub use train_job::{TrainJob, SAMPLED_MAP_THRESHOLD};

@@ -16,7 +16,10 @@
 //!   floor (candidate-selection starvation);
 //! * **Degraded** — the retailer's pipeline exhausted its fault budget and
 //!   is serving the previous published generation (fires on the transition
-//!   in; **Recovered** fires when a fresh generation lands again).
+//!   in; **Recovered** fires when a fresh generation lands again);
+//! * **Rejected** — the admission gate refused today's winning model
+//!   (checksum failure, invalid snapshot, quality collapse); fires every
+//!   rejected day since each day's gate decision is independent.
 
 use crate::daily::DayReport;
 use serde::Serialize;
@@ -80,6 +83,17 @@ pub enum QualityAlert {
         day: u32,
         /// Consecutive days the served generation has been stale.
         days_stale: u32,
+    },
+    /// The admission gate refused the retailer's winning model today; the
+    /// previous published generation stays live (see
+    /// [`crate::integrity::IntegrityConfig`]). Unlike
+    /// [`QualityAlert::Degraded`] this fires on *every* rejected day — each
+    /// day's gate decision is independent evidence of trouble.
+    Rejected {
+        /// Affected retailer.
+        retailer: RetailerId,
+        /// Day the model was rejected.
+        day: u32,
     },
 }
 
@@ -146,7 +160,17 @@ impl QualityMonitor {
     ) -> Vec<QualityAlert> {
         let mut alerts = Vec::new();
         for &(retailer, _) in onboarded {
-            // Degradation first: the pipeline already vouched that the
+            // Admission-gate rejections fire every rejected day: each day's
+            // gate decision is independent, and an operator watching the
+            // alert stream must see how long the gate has been refusing.
+            let rejected_today = report.rejected.contains(&retailer);
+            if rejected_today {
+                alerts.push(QualityAlert::Rejected {
+                    retailer,
+                    day: report.day,
+                });
+            }
+            // Degradation next: the pipeline already vouched that the
             // previous generation is being served, so this is stale-model
             // territory, not a missing model.
             if report.degraded.contains(&retailer) {
@@ -163,10 +187,15 @@ impl QualityMonitor {
                 continue;
             }
             let Some(best) = report.best.get(&retailer) else {
-                alerts.push(QualityAlert::MissingModel {
-                    retailer,
-                    day: report.day,
-                });
+                // A gate rejection with no previous generation to degrade to
+                // already raised `Rejected`; piling MissingModel on top
+                // would double-alert one root cause.
+                if !rejected_today {
+                    alerts.push(QualityAlert::MissingModel {
+                        retailer,
+                        day: report.day,
+                    });
+                }
                 continue;
             };
             let map = best.metrics.map(|m| m.map_at_10).unwrap_or(0.0);
@@ -291,6 +320,9 @@ impl QualityMonitor {
                         *retailer,
                         ("days_stale", (*days_stale).into()),
                     ),
+                    QualityAlert::Rejected { retailer, day } => {
+                        ("rejected", Level::Warn, *retailer, ("day", (*day).into()))
+                    }
                 };
             obs.instant(
                 level,
@@ -370,6 +402,7 @@ mod tests {
             train_stats: Vec::new(),
             infer_stats: Vec::new(),
             degraded: Vec::new(),
+            rejected: Vec::new(),
         }
     }
 
@@ -418,6 +451,49 @@ mod tests {
         // The degraded day records no MAP sample (the served model is
         // yesterday's): one real day tracked so far, not two.
         assert_eq!(mon.days_tracked(RetailerId(0)), 1);
+    }
+
+    #[test]
+    fn rejected_fires_every_day_and_suppresses_missing_model() {
+        let mut mon = QualityMonitor::new(MonitorConfig::default());
+        let fleet = vec![(RetailerId(0), 10)];
+        mon.record_day(&fleet, &report(0, &[(0, 0.3, 10, 10)]));
+        // Gate rejection with a previous generation: Rejected (every day)
+        // plus Degraded (transition edge only).
+        let mut rep = degraded_report(1, &[], &[0]);
+        rep.rejected = vec![RetailerId(0)];
+        let alerts = mon.record_day(&fleet, &rep);
+        assert!(
+            alerts
+                .iter()
+                .any(|a| matches!(a, QualityAlert::Rejected { day: 1, .. })),
+            "{alerts:?}"
+        );
+        assert!(
+            alerts
+                .iter()
+                .any(|a| matches!(a, QualityAlert::Degraded { .. })),
+            "{alerts:?}"
+        );
+        // Second rejected day: Rejected re-fires, Degraded does not.
+        let mut rep = degraded_report(2, &[], &[0]);
+        rep.rejected = vec![RetailerId(0)];
+        let alerts = mon.record_day(&fleet, &rep);
+        assert!(matches!(
+            alerts.as_slice(),
+            [QualityAlert::Rejected { day: 2, .. }]
+        ));
+        // Rejection with no previous generation to serve (not degraded):
+        // Rejected alone — MissingModel would double-alert one root cause.
+        let obs = Obs::recording(Level::Debug);
+        let mut rep = report(3, &[]);
+        rep.rejected = vec![RetailerId(0)];
+        let alerts = mon.record_day_obs(&fleet, &rep, &obs, 99.0);
+        assert!(matches!(
+            alerts.as_slice(),
+            [QualityAlert::Rejected { day: 3, .. }]
+        ));
+        assert!(obs.trace_json().contains("rejected"));
     }
 
     #[test]

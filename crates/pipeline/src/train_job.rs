@@ -146,7 +146,23 @@ impl MapTask for TrainJob<'_> {
                 .and_then(|s| s.restore(catalog, rec.params.init_seed))
             {
                 Ok(m) => (m, c.progress as u32),
-                Err(_) => (BprModel::init(catalog, rec.params.clone()), 0),
+                Err(_) => {
+                    // A checkpoint that reads back cleanly but fails to
+                    // parse or restore is garbage on every future attempt
+                    // too: count it, drop it so retries don't keep
+                    // re-parsing it, and fall back to a fresh start.
+                    self.obs.counter("train.checkpoint_restore_failures", 1);
+                    self.obs.instant(
+                        Level::Debug,
+                        "train",
+                        &format!("bad checkpoint {r} cfg{}", rec.model.config),
+                        ctx.track(),
+                        ctx.now(),
+                        &[("progress", c.progress.into())],
+                    );
+                    ckpt.clear();
+                    (BprModel::init(catalog, rec.params.clone()), 0)
+                }
             },
             _ => {
                 let warm = rec.warm_start_path.as_ref().and_then(|p| {

@@ -20,4 +20,4 @@ pub mod ctr;
 pub mod store;
 
 pub use ctr::{bucket_by_popularity, simulate_ctr, CtrBucket, CtrConfig, CtrSample};
-pub use store::{RecSurface, ServingStats, ServingStore};
+pub use store::{RecSurface, ServingStats, ServingStore, HISTORY_DEPTH};

@@ -10,8 +10,13 @@ use sigmund_core::inference::{ItemRecs, RecList};
 use sigmund_core::model::ContextEvent;
 use sigmund_obs::{Level, Obs, Track};
 use sigmund_types::{ActionType, ItemId, RetailerId};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+
+/// How many published generations the store retains for
+/// [`ServingStore::rollback_to`]. Snapshots are shared `Arc`s, so the ring
+/// costs pointers, not table copies.
+pub const HISTORY_DEPTH: usize = 4;
 
 /// Which materialized surface to serve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +88,9 @@ impl ServingStats {
 #[derive(Debug, Default)]
 pub struct ServingStore {
     current: RwLock<Arc<Snapshot>>,
+    /// Ring of the most recent published snapshots (newest last), the undo
+    /// log [`ServingStore::rollback_to`] restores from.
+    history: RwLock<VecDeque<Arc<Snapshot>>>,
     stats: RwLock<ServingStats>,
 }
 
@@ -103,12 +111,84 @@ impl ServingStore {
             tables.insert(r, v);
             fresh.insert(r, generation);
         }
-        *cur = Arc::new(Snapshot {
+        let snap = Arc::new(Snapshot {
             generation,
             tables,
             fresh,
         });
+        *cur = Arc::clone(&snap);
+        drop(cur);
+        self.retain(snap);
         generation
+    }
+
+    /// Appends a snapshot to the rollback ring, evicting the oldest past
+    /// [`HISTORY_DEPTH`].
+    fn retain(&self, snap: Arc<Snapshot>) {
+        let mut h = self.history.write();
+        h.push_back(snap);
+        while h.len() > HISTORY_DEPTH {
+            h.pop_front();
+        }
+    }
+
+    /// Generations currently available to [`ServingStore::rollback_to`]
+    /// (ascending; includes the live generation).
+    pub fn generations_retained(&self) -> Vec<u64> {
+        self.history.read().iter().map(|s| s.generation).collect()
+    }
+
+    /// Rolls the live snapshot back to a retained previous `generation`.
+    ///
+    /// The rollback is itself a publish: it installs a *new* generation
+    /// whose tables are the target's, so readers swap atomically and the
+    /// generation counter never runs backwards. The target's freshness
+    /// stamps are kept as-is — [`ServingStore::retailer_lag`] then reports
+    /// the *true* staleness of what is being served, which is exactly what
+    /// an operator debugging a rollback needs to see.
+    ///
+    /// Returns the new live generation, or `None` if `generation` is no
+    /// longer (or never was) in the ring.
+    pub fn rollback_to(&self, generation: u64) -> Option<u64> {
+        let target = self
+            .history
+            .read()
+            .iter()
+            .find(|s| s.generation == generation)
+            .map(Arc::clone)?;
+        let mut cur = self.current.write();
+        let snap = Arc::new(Snapshot {
+            generation: cur.generation + 1,
+            tables: target.tables.clone(),
+            fresh: target.fresh.clone(),
+        });
+        let new_gen = snap.generation;
+        *cur = Arc::clone(&snap);
+        drop(cur);
+        self.retain(snap);
+        Some(new_gen)
+    }
+
+    /// [`ServingStore::rollback_to`] with tracing: a Warn-level `serving`
+    /// event plus the `integrity.rollbacks` counter. Emits nothing when the
+    /// target generation is gone.
+    pub fn rollback_obs(&self, generation: u64, obs: &Obs, ts: f64) -> Option<u64> {
+        let new_gen = self.rollback_to(generation)?;
+        obs.span(
+            Level::Warn,
+            "serving",
+            &format!("rollback to gen {generation}"),
+            Track::SERVING,
+            ts,
+            ts,
+            &[
+                ("target_generation", generation.into()),
+                ("generation", new_gen.into()),
+            ],
+        );
+        obs.counter("integrity.rollbacks", 1);
+        obs.gauge("serving.generation", ts, new_gen as f64);
+        Some(new_gen)
     }
 
     /// Current snapshot generation (0 = nothing published yet).
@@ -338,6 +418,63 @@ mod tests {
         publish_one(&store, 0, vec![recs(&[9], &[])]);
         assert_eq!(store.retailer_lag(RetailerId(0)), Some(0));
         assert_eq!(store.max_lag(), 1, "retailer 1 is now one batch behind");
+    }
+
+    #[test]
+    fn rollback_restores_a_previous_generation() {
+        let store = ServingStore::new();
+        publish_one(&store, 0, vec![recs(&[1], &[])]);
+        publish_one(&store, 0, vec![recs(&[2], &[])]);
+        assert_eq!(store.generation(), 2);
+        assert_eq!(store.generations_retained(), vec![1, 2]);
+        // Roll back to generation 1: readers see the old table under a new
+        // generation number (the counter never runs backwards).
+        let new_gen = store.rollback_to(1).unwrap();
+        assert_eq!(new_gen, 3);
+        assert_eq!(store.generation(), 3);
+        assert_eq!(
+            store.lookup(RetailerId(0), ItemId(0), RecSurface::ViewBased),
+            vec![(ItemId(1), 1.0)]
+        );
+        // The lag reports the true staleness of what is served: the live
+        // tables were stamped at generation 1, two publishes ago.
+        assert_eq!(store.retailer_lag(RetailerId(0)), Some(2));
+        assert_eq!(store.max_lag(), 2);
+        // An unknown generation is refused.
+        assert!(store.rollback_to(99).is_none());
+        // The rollback itself is retained, so it can be re-targeted.
+        assert_eq!(store.generations_retained(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rollback_ring_is_depth_bounded() {
+        let store = ServingStore::new();
+        for i in 0..8 {
+            publish_one(&store, 0, vec![recs(&[i + 1], &[])]);
+        }
+        let retained = store.generations_retained();
+        assert_eq!(retained.len(), HISTORY_DEPTH);
+        assert_eq!(retained, vec![5, 6, 7, 8]);
+        // Evicted generations are gone for good.
+        assert!(store.rollback_to(4).is_none());
+        assert!(store.rollback_to(5).is_some());
+    }
+
+    #[test]
+    fn rollback_obs_counts_and_traces() {
+        use sigmund_obs::{Level, Obs};
+        let store = ServingStore::new();
+        let obs = Obs::recording(Level::Debug);
+        publish_one(&store, 0, vec![recs(&[1], &[])]);
+        publish_one(&store, 0, vec![recs(&[2], &[])]);
+        assert_eq!(store.rollback_obs(1, &obs, 5.0), Some(3));
+        let trace = obs.trace_json();
+        assert!(trace.contains("rollback to gen 1"), "{trace}");
+        let m = obs.metrics().unwrap();
+        assert_eq!(m.counter("integrity.rollbacks"), 1);
+        // A refused rollback emits nothing.
+        assert_eq!(store.rollback_obs(99, &obs, 6.0), None);
+        assert_eq!(obs.metrics().unwrap().counter("integrity.rollbacks"), 1);
     }
 
     #[test]

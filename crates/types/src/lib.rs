@@ -18,6 +18,7 @@ pub mod catalog;
 pub mod config;
 pub mod error;
 pub mod fault;
+pub mod hash;
 pub mod ids;
 pub mod interaction;
 pub mod taxonomy;
@@ -27,6 +28,7 @@ pub use catalog::{Catalog, ItemMeta};
 pub use config::{ConfigRecord, FeatureSwitches, HyperParams, ModelMetrics, NegativeSamplerKind};
 pub use error::{Result, SigmundError};
 pub use fault::{FaultPlan, Partition};
+pub use hash::fnv1a64;
 pub use ids::{
     BrandId, CategoryId, CellId, FacetId, ItemId, MachineId, ModelId, RetailerId, TaskId, UserId,
 };

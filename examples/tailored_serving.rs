@@ -160,5 +160,6 @@ fn fake_report(
         train_stats: Vec::new(),
         infer_stats: Vec::new(),
         degraded: Vec::new(),
+        rejected: Vec::new(),
     }
 }

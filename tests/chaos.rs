@@ -17,6 +17,15 @@
 //!     generation's bytes, grows serving lag, and the first calm day emits
 //!     `QualityAlert::Recovered` and catches serving back up.
 //!
+//! ISSUE 5 extends the contract with end-to-end integrity:
+//! (e) a silent-corruption day ([`ChaosConfig::bitflip`]) never publishes a
+//!     corrupt model: the admission gate's checksum-verified re-read rejects
+//!     every winner, the previous generation's bytes stay live, and the
+//!     first clean day recovers — and every injected flip is *detected*
+//!     (injector `bit_flips` reconciles against DFS `checksum_failures`);
+//! (f) the admission gate is transparent on clean runs — gate-on vs
+//!     gate-off is byte-identical when nothing is rejected.
+//!
 //! A small multi-seed soak runs in CI; the wide matrix is `#[ignore]`d and
 //! run from the `chaos-soak` workflow (see `.github/workflows/`).
 
@@ -25,7 +34,8 @@ use sigmund_core::prelude::*;
 use sigmund_datagen::FleetSpec;
 use sigmund_obs::{Level, Obs};
 use sigmund_pipeline::{
-    data, ChaosConfig, MonitorConfig, PipelineConfig, QualityAlert, QualityMonitor, SigmundService,
+    data, ChaosConfig, IntegrityConfig, MonitorConfig, PipelineConfig, QualityAlert,
+    QualityMonitor, SigmundService,
 };
 use sigmund_serving::{RecSurface, ServingStore};
 use sigmund_types::*;
@@ -57,18 +67,34 @@ struct RunArtifacts {
     recs: Vec<(u32, u32, Vec<u8>)>,
     /// Per-day sorted degraded lists from the `DayReport`.
     degraded: Vec<(u32, Vec<u32>)>,
+    /// Per-day sorted admission-gate rejections from the `DayReport`.
+    rejected: Vec<(u32, Vec<u32>)>,
     /// Per-day monitor alerts.
     alerts: Vec<(u32, Vec<QualityAlert>)>,
     /// Per-day serving-store max generation lag after publish.
     lags: Vec<u64>,
     /// Injector totals at the end of the run (`None` when no injector).
     faults: Option<sigmund_dfs::FaultStats>,
+    /// Checksum-verification totals at the end of the run (corruption
+    /// *detected*, to reconcile against the injector's *injected* counts).
+    integrity: sigmund_dfs::IntegrityStats,
 }
 
 /// One full run: 2-retailer fleet, one 3-machine cell, single-threaded
 /// training (the byte-identity contract requires `threads: 1`, exactly as in
 /// `tests/trace_determinism.rs`).
 fn chaos_run(seed: u64, chaos: ChaosConfig, days: u32) -> RunArtifacts {
+    chaos_run_with(seed, chaos, days, IntegrityConfig::default())
+}
+
+/// [`chaos_run`] with an explicit admission-gate configuration (used to
+/// prove the gate is transparent on clean runs).
+fn chaos_run_with(
+    seed: u64,
+    chaos: ChaosConfig,
+    days: u32,
+    integrity: IntegrityConfig,
+) -> RunArtifacts {
     let obs = Obs::recording(Level::Debug);
     let fleet = FleetSpec {
         n_retailers: 2,
@@ -88,6 +114,7 @@ fn chaos_run(seed: u64, chaos: ChaosConfig, days: u32) -> RunArtifacts {
         seed,
         obs: obs.clone(),
         chaos,
+        integrity,
         ..Default::default()
     });
     for d in fleet.generate() {
@@ -100,9 +127,11 @@ fn chaos_run(seed: u64, chaos: ChaosConfig, days: u32) -> RunArtifacts {
         metrics: String::new(),
         recs: Vec::new(),
         degraded: Vec::new(),
+        rejected: Vec::new(),
         alerts: Vec::new(),
         lags: Vec::new(),
         faults: None,
+        integrity: sigmund_dfs::IntegrityStats::default(),
     };
     for _ in 0..days {
         let onboarded = svc.retailers().to_vec();
@@ -111,6 +140,8 @@ fn chaos_run(seed: u64, chaos: ChaosConfig, days: u32) -> RunArtifacts {
         out.alerts.push((report.day, day_alerts));
         out.degraded
             .push((report.day, report.degraded.iter().map(|r| r.0).collect()));
+        out.rejected
+            .push((report.day, report.rejected.iter().map(|r| r.0).collect()));
         let generation = store.publish_obs(report.recs.clone(), &obs, svc.virtual_now());
         let mut served: Vec<RetailerId> = report.recs.keys().copied().collect();
         served.sort_unstable();
@@ -129,6 +160,7 @@ fn chaos_run(seed: u64, chaos: ChaosConfig, days: u32) -> RunArtifacts {
         }
     }
     out.faults = svc.dfs.injector().map(|inj| inj.stats());
+    out.integrity = svc.dfs.integrity_stats();
     out.trace = obs.trace_json();
     out.metrics = obs.metrics_jsonl();
     out
@@ -321,6 +353,132 @@ fn storm_day_degrades_and_first_calm_day_recovers() {
     );
 }
 
+#[test]
+fn bitflip_day_rejects_every_winner_and_first_clean_day_recovers() {
+    if !serde_backend_available() {
+        eprintln!("skipping: serde_json backend is stubbed in this environment");
+        return;
+    }
+    // bitflip(seed): every write on day 1 has one bit flipped after the
+    // content checksum is stamped — persistent silent corruption. Day 0
+    // trains and publishes clean, day 1 corrupts every model blob written,
+    // day 2 is calm (and warm-start reads of day 1's corrupt blobs fall
+    // back to cold retrains).
+    let run = chaos_run(7, ChaosConfig::bitflip(5), 3);
+
+    // Day 0: clean — nothing rejected, nobody degraded.
+    assert_eq!(run.rejected[0], (0, vec![]), "day 0 must publish clean");
+    assert_eq!(run.degraded[0], (0, vec![]), "day 0 must publish clean");
+    // Day 1: every winner's re-read fails checksum verification, so the
+    // gate rejects all of them and each rides its previous generation.
+    assert_eq!(
+        run.rejected[1],
+        (1, vec![0, 1]),
+        "bitflip day must reject every winner at the admission gate"
+    );
+    assert_eq!(
+        run.degraded[1],
+        (1, vec![0, 1]),
+        "every rejected retailer must degrade to its previous generation"
+    );
+    // Day 2: clean writes again — the gate admits and the fleet recovers.
+    assert_eq!(run.rejected[2], (2, vec![]), "clean day must admit");
+    assert_eq!(run.degraded[2], (2, vec![]), "clean day must recover");
+
+    // Zero corrupted models reach LIVE: the bitflip day leaves each
+    // retailer's previously published bytes untouched, then day 2
+    // republishes fresh ones.
+    let bytes_of = |day: u32, r: u32| {
+        &run.recs
+            .iter()
+            .find(|(d, rr, _)| *d == day && *rr == r)
+            .unwrap()
+            .2
+    };
+    for r in [0, 1] {
+        assert!(!bytes_of(0, r).is_empty(), "day 0 published retailer {r}");
+        assert_eq!(
+            bytes_of(0, r),
+            bytes_of(1, r),
+            "bitflip day must leave retailer {r}'s previous generation untouched"
+        );
+        assert!(
+            !bytes_of(2, r).is_empty(),
+            "clean day must republish retailer {r}"
+        );
+    }
+
+    // Injected-vs-detected reconciliation: the injector flipped bits, and
+    // every rejection was driven by a *detected* checksum failure — silent
+    // corruption is never silently served.
+    let stats = run.faults.expect("bitflip plan attaches an injector");
+    assert!(
+        stats.bit_flips >= 2,
+        "day 1 must flip at least one bit per model written: {stats:?}"
+    );
+    assert!(
+        run.integrity.checksum_failures as usize >= run.rejected[1].1.len(),
+        "each gate rejection implies a detected checksum failure: \
+         {:?} vs {} rejections",
+        run.integrity,
+        run.rejected[1].1.len()
+    );
+
+    // Alerts: Rejected + Degraded for both retailers on day 1 (and no
+    // MissingModel — the rejection explains the gap), Recovered on day 2.
+    let day1 = &run.alerts[1].1;
+    for r in [0, 1] {
+        assert!(
+            day1.iter().any(|a| matches!(
+                a,
+                QualityAlert::Rejected { retailer, day: 1 } if retailer.0 == r
+            )),
+            "missing Rejected alert for retailer {r} on day 1: {day1:?}"
+        );
+    }
+    assert!(
+        day1.iter()
+            .all(|a| !matches!(a, QualityAlert::MissingModel { .. })),
+        "Rejected must suppress MissingModel for the same root cause: {day1:?}"
+    );
+    let day2 = &run.alerts[2].1;
+    for r in [0, 1] {
+        assert!(
+            day2.iter().any(|a| matches!(
+                a,
+                QualityAlert::Recovered { retailer, day: 2, .. } if retailer.0 == r
+            )),
+            "missing Recovered alert for retailer {r} on day 2: {day2:?}"
+        );
+    }
+
+    // The integrity counters reached the metrics stream.
+    assert!(
+        run.metrics.contains("integrity.rejected"),
+        "metrics.jsonl must carry the integrity.rejected counter"
+    );
+
+    // And the whole scenario is byte-identical across re-runs.
+    soak_one(7, ChaosConfig::bitflip(5), 3);
+}
+
+#[test]
+fn admission_gate_is_byte_identical_on_clean_runs() {
+    if !serde_backend_available() {
+        eprintln!("skipping: serde_json backend is stubbed in this environment");
+        return;
+    }
+    // Invariant (f): with no injector and nothing to reject, the gate's
+    // checksum-verified re-reads must not perturb a single byte of any
+    // artifact — gate-on (the default) vs gate-off is indistinguishable.
+    let a = chaos_run_with(7, ChaosConfig::disabled(), 2, IntegrityConfig::default());
+    let b = chaos_run_with(7, ChaosConfig::disabled(), 2, IntegrityConfig::disabled());
+    assert_eq!(a.trace, b.trace, "gate must not appear in clean traces");
+    assert_eq!(a.metrics, b.metrics, "gate must not emit clean-run metrics");
+    assert!(a == b, "gate must not perturb clean-run artifacts");
+    assert!(a.rejected.iter().all(|(_, r)| r.is_empty()));
+}
+
 /// CI-sized multi-seed soak: invariants (a)+(b) across seeds and profiles.
 #[test]
 fn multi_seed_soak_small() {
@@ -346,5 +504,25 @@ fn multi_seed_soak_wide() {
     for seed in [1, 2, 3, 5, 8] {
         soak_one(seed, ChaosConfig::mild(seed.wrapping_mul(0x9E37)), 3);
         soak_one(seed, ChaosConfig::storm(seed.wrapping_mul(0x79B9)), 3);
+        // Silent corruption: also prove no corrupt model reaches LIVE and
+        // that every injected flip is detected, at every seed.
+        let run = chaos_run(seed, ChaosConfig::bitflip(seed.wrapping_mul(0xB17)), 3);
+        let stats = run.faults.expect("bitflip plan attaches an injector");
+        assert!(
+            run.integrity.checksum_failures >= 1 || stats.bit_flips == 0,
+            "seed {seed}: injected flips must be detected: {stats:?} vs {:?}",
+            run.integrity
+        );
+        for (day, r) in run
+            .rejected
+            .iter()
+            .flat_map(|(d, rs)| rs.iter().map(move |r| (*d, *r)))
+        {
+            assert!(
+                run.degraded[day as usize].1.contains(&r),
+                "seed {seed}: rejected retailer {r} on day {day} must degrade"
+            );
+        }
+        soak_one(seed, ChaosConfig::bitflip(seed.wrapping_mul(0xB17)), 3);
     }
 }

@@ -77,7 +77,9 @@ fn corrupt_checkpoint_falls_back_to_fresh_training() {
         Bytes::from_static(b"garbage-not-a-checkpoint"),
     )
     .unwrap();
-    let job = TrainJob::new(&dfs, CellId(0), records.clone(), CostModel::default());
+    let mut job = TrainJob::new(&dfs, CellId(0), records.clone(), CostModel::default());
+    let obs = sigmund_obs::Obs::recording(sigmund_obs::Level::Debug);
+    job.obs = obs.clone();
     let stats = run_map_job(&job, records.len(), &job_cfg(2));
     assert!(stats.failed.is_empty());
     let outputs = job.take_outputs();
@@ -87,6 +89,17 @@ fn corrupt_checkpoint_falls_back_to_fresh_training() {
         "corruption must not drop work"
     );
     assert!(outputs.iter().all(|o| o.metrics.is_some()));
+    // The bad restore is counted, and the garbage checkpoint is cleared so
+    // retries (and tomorrow's run) don't keep re-parsing it.
+    assert!(
+        obs.metrics_jsonl()
+            .contains("train.checkpoint_restore_failures"),
+        "bad checkpoint restores must be counted"
+    );
+    assert!(
+        dfs.peek(&format!("{ckpt_dir}/LIVE")).is_none(),
+        "the garbage checkpoint must be cleared, not left to poison retries"
+    );
 }
 
 #[test]

@@ -471,3 +471,43 @@ proptest! {
         prop_assert!(other_spent <= budget);
     }
 }
+
+proptest! {
+    /// End-to-end integrity (ISSUE 5): a serialized [`ModelSnapshot`] rejects
+    /// *any* single-byte mutation anywhere in the blob — header, payload, or
+    /// trailing checksum. The checksum absorb step is bijective per byte, so
+    /// a flipped payload byte always changes the digest; header mutations
+    /// are caught by the magic/version/shape checks instead.
+    #[test]
+    fn model_snapshot_rejects_any_single_byte_mutation(
+        n_items in 1usize..8,
+        seed in 0u64..64,
+        pos_pick in any::<u32>(),
+        delta in 1u8..,
+    ) {
+        let mut t = Taxonomy::new();
+        let node = t.add_child(t.root());
+        let mut c = Catalog::new(RetailerId(1), t);
+        for _ in 0..n_items {
+            c.add_item(ItemMeta::bare(node));
+        }
+        let m = BprModel::init(
+            &c,
+            HyperParams {
+                factors: 4,
+                init_seed: seed,
+                ..Default::default()
+            },
+        );
+        let bytes = ModelSnapshot::capture(&m).to_bytes();
+        let pos = pos_pick as usize % bytes.len();
+        let mut bad = bytes.to_vec();
+        bad[pos] = bad[pos].wrapping_add(delta);
+        prop_assert!(
+            ModelSnapshot::from_bytes(&bad).is_err(),
+            "single-byte mutation at offset {} of {} went undetected",
+            pos,
+            bytes.len()
+        );
+    }
+}

@@ -1,0 +1,26 @@
+// Fixture: three ways a "content checksum" can smuggle nondeterminism in —
+// seeding the state from a wall clock, salting per-process from OS entropy,
+// and timestamping verification. Any of these makes a stored digest
+// unverifiable on re-read, so the determinism rule must flag all three.
+use std::time::{Instant, SystemTime};
+
+fn seeded_from_clock(bytes: &[u8]) -> u64 {
+    // Violation: digest depends on when the process started.
+    let mut h = Instant::now().elapsed().as_nanos() as u64;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01B3);
+    }
+    h
+}
+
+fn per_process_salt() -> u64 {
+    // Violation: a different salt every boot means yesterday's checksums
+    // never verify today.
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+fn verified_at(payload: &[u8], stored: u64) -> (bool, SystemTime) {
+    // Violation: stamping the verdict with a wall clock.
+    (seeded_from_clock(payload) == stored, SystemTime::now())
+}

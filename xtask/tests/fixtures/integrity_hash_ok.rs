@@ -1,0 +1,24 @@
+// Fixture: the entropy-free content checksum the integrity layer rests on
+// (`crates/types/src/hash.rs`) — FNV-1a 64 as a pure function of the input
+// bytes. No RNG, no wall clock, no process state: a corrupted blob must hash
+// the same way on every machine on every run, or scrub/admission decisions
+// would be irreproducible. The determinism rule must stay silent here with
+// zero inline allows.
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn verify(payload: &[u8], stored: u64) -> bool {
+    // The only inputs are the bytes and the stamped digest — re-verifying
+    // yesterday's blob tomorrow gives the same verdict.
+    fnv1a64(payload) == stored
+}

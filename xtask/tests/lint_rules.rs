@@ -17,6 +17,8 @@ const OBS_WALLCLOCK_BAD: &str = include_str!("fixtures/obs_wallclock_bad.rs");
 const BENCH_WALLCLOCK_ALLOWED: &str = include_str!("fixtures/bench_wallclock_allowed.rs");
 const FAULT_INJECTOR_BAD: &str = include_str!("fixtures/fault_injector_bad.rs");
 const FAULT_INJECTOR_OK: &str = include_str!("fixtures/fault_injector_ok.rs");
+const INTEGRITY_HASH_BAD: &str = include_str!("fixtures/integrity_hash_bad.rs");
+const INTEGRITY_HASH_OK: &str = include_str!("fixtures/integrity_hash_ok.rs");
 
 fn lint(rel: &str, src: &str) -> Vec<Violation> {
     lint_source(rel, src, &Policy::default()).0
@@ -147,6 +149,33 @@ fn fault_injector_splitmix_pattern_is_clean() {
     let (vs, allows) = lint_source(
         "crates/dfs/src/fault.rs",
         FAULT_INJECTOR_OK,
+        &Policy::default(),
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+    assert!(
+        allows.is_empty(),
+        "the clean pattern needs no escape hatches"
+    );
+}
+
+#[test]
+fn integrity_hash_entropy_sources_are_flagged() {
+    // The integrity layer's verifiability contract: a content checksum in
+    // `crates/types/src/hash.rs` must be a pure function of the bytes.
+    // Clock-seeded state, per-process RNG salts, and wall-clock verdict
+    // stamps are each a determinism violation — corruption detection gets
+    // no exemption from the reproducibility rules it exists to protect.
+    let vs = lint("crates/types/src/hash.rs", INTEGRITY_HASH_BAD);
+    assert_eq!(by_rule(&vs).get("determinism"), Some(&3), "{vs:?}");
+}
+
+#[test]
+fn integrity_hash_pure_fnv_pattern_is_clean() {
+    // The real FNV-1a absorb loop passes the determinism rule with zero
+    // allows — checksums need no escape hatches to be reproducible.
+    let (vs, allows) = lint_source(
+        "crates/types/src/hash.rs",
+        INTEGRITY_HASH_OK,
         &Policy::default(),
     );
     assert!(vs.is_empty(), "{vs:?}");
