@@ -10,7 +10,7 @@ use sigmund_core::prelude::*;
 use sigmund_datagen::RetailerSpec;
 use sigmund_serving::{RecSurface, ServingStore};
 use sigmund_types::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 struct Setup {
     data: sigmund_datagen::RetailerData,
@@ -150,7 +150,7 @@ fn bench_serving_lookup(c: &mut Criterion) {
     let engine = InferenceEngine::new(&s.model, &s.data.catalog, &s.index, &s.cooc, &s.rep);
     let all = engine.materialize_all(10);
     let store = ServingStore::new();
-    let mut batch = HashMap::new();
+    let mut batch = BTreeMap::new();
     batch.insert(RetailerId(0), all);
     store.publish(batch);
     c.bench_function("serving_store_lookup", |b| {

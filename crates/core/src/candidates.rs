@@ -17,7 +17,7 @@
 
 use crate::cooc::CoocModel;
 use sigmund_types::{ActionType, Catalog, CategoryId, Interaction, ItemId, Timestamp};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Default candidate-set size cap ("about a thousand" in the paper).
 pub const DEFAULT_MAX_CANDIDATES: usize = 1000;
@@ -74,7 +74,7 @@ impl RepurchaseStats {
     pub fn estimate(catalog: &Catalog, events: &[Interaction], threshold: f64) -> Self {
         let n_cats = catalog.taxonomy.len();
         // (users with ≥1 buy, users with ≥2 buys, interval sum, interval n)
-        let mut per_cat_user: HashMap<(u32, u32), Vec<Timestamp>> = HashMap::new();
+        let mut per_cat_user: BTreeMap<(u32, u32), Vec<Timestamp>> = BTreeMap::new();
         for e in events {
             if e.action == ActionType::Conversion {
                 let cat = catalog.category(e.item);

@@ -11,7 +11,7 @@
 //! regardless of gap.
 
 use sigmund_types::{per_user, sort_for_training, ActionType, Interaction, ItemId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Construction knobs.
 #[derive(Debug, Clone, Copy)]
@@ -76,8 +76,8 @@ impl CoocModel {
 
         let mut view_count = vec![0u32; n_items];
         let mut buy_count = vec![0u32; n_items];
-        let mut view_pairs: HashMap<(u32, u32), u32> = HashMap::new();
-        let mut buy_pairs: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut view_pairs: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+        let mut buy_pairs: BTreeMap<(u32, u32), u32> = BTreeMap::new();
 
         for (_, evs) in per_user(&events) {
             let views: Vec<&Interaction> = evs
@@ -183,7 +183,7 @@ fn key(a: ItemId, b: ItemId) -> (u32, u32) {
 /// Converts raw pair counts into per-item PMI-ranked top-M lists.
 fn rank_pairs(
     n_items: usize,
-    pairs: &HashMap<(u32, u32), u32>,
+    pairs: &BTreeMap<(u32, u32), u32>,
     marginals: &[u32],
     cfg: &CoocConfig,
 ) -> Vec<Vec<CoItem>> {

@@ -74,8 +74,8 @@ impl ModelSnapshot {
             .tables()
             .iter()
             .map(|t| TableSnapshot {
-                rows: t.rows() as u32,
-                dim: t.dim() as u32,
+                rows: wire_u32(t.rows()),
+                dim: wire_u32(t.dim()),
                 data: t.to_vec(),
                 acc: t.acc_to_vec(),
             })
@@ -215,9 +215,9 @@ impl ModelSnapshot {
         buf.put_slice(MAGIC);
         buf.put_u32_le(VERSION);
         buf.put_u32_le(self.retailer.0);
-        buf.put_u32_le(hp_json.len() as u32);
+        buf.put_u32_le(wire_u32(hp_json.len()));
         buf.put_slice(&hp_json);
-        buf.put_u32_le(self.tables.len() as u32);
+        buf.put_u32_le(wire_u32(self.tables.len()));
         for t in &self.tables {
             buf.put_u32_le(t.rows);
             buf.put_u32_le(t.dim);
@@ -336,11 +336,19 @@ impl ModelSnapshot {
     }
 }
 
+/// Clamps a length to a `u32` wire field without a silent `as` truncation.
+/// Real tables are orders of magnitude below `u32::MAX` rows; saturation
+/// keeps the encoder total, and the decode-side length cross-checks reject
+/// the (unreachable) overflow case.
+fn wire_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
 /// Restores one table's leading rows from a snapshot (the live table may have
 /// extra, freshly initialized rows).
 fn restore_table(table: &Table, snap: &TableSnapshot) {
     let dim = table.dim();
-    debug_assert_eq!(dim as u32, snap.dim);
+    debug_assert_eq!(dim, snap.dim as usize);
     // Brand/price tables can legitimately shrink between runs (feature spaces
     // are derived from the catalog); restore only the overlapping rows.
     let rows = (snap.rows as usize).min(table.rows());
@@ -457,7 +465,7 @@ mod tests {
         buf.put_slice(MAGIC);
         buf.put_u32_le(VERSION_V1);
         buf.put_u32_le(snap.retailer.0);
-        buf.put_u32_le(hp_json.len() as u32);
+        buf.put_u32_le(wire_u32(hp_json.len()));
         buf.put_slice(&hp_json);
         buf.put_u32_le(snap.tables.len() as u32);
         for t in &snap.tables {
@@ -558,7 +566,7 @@ mod tests {
             buf.put_slice(MAGIC);
             buf.put_u32_le(VERSION);
             buf.put_u32_le(3);
-            buf.put_u32_le(hp_json.len() as u32);
+            buf.put_u32_le(wire_u32(hp_json.len()));
             buf.put_slice(&hp_json);
             buf.put_u32_le(1);
             buf.put_u32_le(rows);

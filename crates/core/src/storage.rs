@@ -235,6 +235,7 @@ impl Table {
 #[inline]
 pub fn dot_row(buf: &[f32], row: &[AtomicF32]) -> f32 {
     debug_assert_eq!(buf.len(), row.len());
+    // xtask: allow(dot-seam) — Hogwild training-path dot over atomic cells; the audited inference seam is model::dot, which cannot read AtomicF32 rows
     buf.iter().zip(row).map(|(b, c)| b * c.load()).sum()
 }
 

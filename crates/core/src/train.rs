@@ -224,6 +224,7 @@ fn train_slice(
             .iter()
             .zip(rep_pos.iter().zip(rep_neg.iter()))
             .map(|(u, (p, n))| u * (p - n))
+            // xtask: allow(dot-seam) — fused pos/neg margin on the training path; splitting into two model::dot calls would reorder float accumulation and change trained bytes
             .sum();
         // Numerically stable softplus(−s).
         let loss = if s > 0.0 {

@@ -96,7 +96,9 @@ impl<'a> CheckpointStore<'a> {
 
     /// Removes the live checkpoint (end-of-training cleanup).
     pub fn clear(&self) {
+        // xtask: allow(error-swallow) — end-of-training cleanup: the live blob may never have been written, and a leftover checkpoint is harmless
         let _ = self.dfs.delete(&self.live_path());
+        // xtask: allow(error-swallow) — same: the tmp blob only exists if a publish was interrupted mid-swap
         let _ = self.dfs.delete(&self.tmp_path());
     }
 }

@@ -23,7 +23,7 @@ use sigmund_dfs::{Dfs, FaultStats, IntegrityStats};
 use sigmund_mapreduce::{permute, run_map_job_obs, JobConfig, JobStats};
 use sigmund_obs::{Level, Obs, Track};
 use sigmund_types::{Catalog, ConfigRecord, Interaction, ItemId, RetailerId, SigmundError};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Retry budget for pipeline map tasks (real clusters cap retries; a split
 /// that cannot finish within any sampled pre-emption budget must not hang
@@ -110,9 +110,9 @@ pub struct DayReport {
     /// Total pre-emptions absorbed.
     pub preemptions: u64,
     /// Winning config per retailer.
-    pub best: HashMap<RetailerId, ConfigRecord>,
+    pub best: BTreeMap<RetailerId, ConfigRecord>,
     /// Materialized recommendations per retailer, indexed by item id.
-    pub recs: HashMap<RetailerId, Vec<ItemRecs>>,
+    pub recs: BTreeMap<RetailerId, Vec<ItemRecs>>,
     /// Per-cell training job stats.
     pub train_stats: Vec<JobStats>,
     /// Per-cell inference job stats.
@@ -148,7 +148,7 @@ pub struct SigmundService {
     fault_stats_seen: FaultStats,
     /// Last admission-gate-accepted MAP@10 per retailer (baseline for the
     /// relative quality-collapse check).
-    last_accepted_map: HashMap<RetailerId, f64>,
+    last_accepted_map: BTreeMap<RetailerId, f64>,
     /// DFS integrity totals at the end of the previous day (delta source
     /// for the per-day `integrity.*` counters).
     integrity_seen: IntegrityStats,
@@ -176,7 +176,7 @@ impl SigmundService {
             last_outputs: Vec::new(),
             virtual_now: 0.0,
             fault_stats_seen: FaultStats::default(),
-            last_accepted_map: HashMap::new(),
+            last_accepted_map: BTreeMap::new(),
             integrity_seen: IntegrityStats::default(),
         }
     }
@@ -309,7 +309,7 @@ impl SigmundService {
         // --- assign retailers (and their records) to cells -----------------
         // Pack retailers by estimated training work, then migrate their data
         // to the chosen cell (Section IV-B1) and permute records within it.
-        let mut work_per_retailer: HashMap<RetailerId, f64> = HashMap::new();
+        let mut work_per_retailer: BTreeMap<RetailerId, f64> = BTreeMap::new();
         for r in &records {
             let bytes = self
                 .dfs
@@ -327,10 +327,11 @@ impl SigmundService {
                 .collect()
         };
         let bins = partition_greedy(&weighted, self.cfg.cells.len());
-        let mut cell_of: HashMap<RetailerId, usize> = HashMap::new();
+        let mut cell_of: BTreeMap<RetailerId, usize> = BTreeMap::new();
         for (ci, bin) in bins.iter().enumerate() {
             for w in bin {
                 cell_of.insert(w.item, ci);
+                // xtask: allow(error-swallow) — placement is best-effort: a failed migrate leaves the blob readable in its home cell
                 let _ = self
                     .dfs
                     .migrate(&data::train_path(w.item), self.cfg.cells[ci].cell);
@@ -347,7 +348,7 @@ impl SigmundService {
         // Which retailers the sweep planned work for: a planned retailer
         // whose configs all fail keeps its previous records alive so the
         // next day's incremental sweep retrains (and recovers) it.
-        let planned: HashSet<RetailerId> = per_cell_records
+        let planned: BTreeSet<RetailerId> = per_cell_records
             .iter()
             .flatten()
             .map(|r| r.model.retailer)
@@ -403,7 +404,7 @@ impl SigmundService {
         );
 
         // --- model selection -----------------------------------------------
-        let mut best: HashMap<RetailerId, ConfigRecord> = sweep::top_k_per_retailer(&outputs, 1)
+        let mut best: BTreeMap<RetailerId, ConfigRecord> = sweep::top_k_per_retailer(&outputs, 1)
             .into_iter()
             .map(|r| (r.model.retailer, r))
             .collect();
@@ -471,7 +472,7 @@ impl SigmundService {
         // Retailers with at least one abandoned inference split: their
         // materialized tables would have holes, so they degrade to the
         // previous published generation instead.
-        let mut infer_failed: HashSet<RetailerId> = HashSet::new();
+        let mut infer_failed: BTreeSet<RetailerId> = BTreeSet::new();
         for (ci, bin) in infer_bins.iter().enumerate() {
             if bin.is_empty() {
                 continue;
@@ -538,7 +539,7 @@ impl SigmundService {
         }
 
         // --- batch publish --------------------------------------------------
-        let mut recs: HashMap<RetailerId, Vec<ItemRecs>> = HashMap::new();
+        let mut recs: BTreeMap<RetailerId, Vec<ItemRecs>> = BTreeMap::new();
         for (r, n) in &self.retailers {
             if best.contains_key(r) && !degraded.contains(r) {
                 recs.insert(*r, vec![ItemRecs::default(); *n]);
@@ -552,10 +553,9 @@ impl SigmundService {
                 }
             }
         }
-        // Iterate in sorted retailer order: the trace must not depend on
-        // HashMap iteration order.
-        let mut publish_order: Vec<RetailerId> = recs.keys().copied().collect();
-        publish_order.sort_unstable();
+        // BTreeMap keys iterate in sorted retailer order, so the publish
+        // sequence (and the trace) is deterministic by construction.
+        let publish_order: Vec<RetailerId> = recs.keys().copied().collect();
         let mut recs_published = 0u64;
         for r in &publish_order {
             let v = &recs[r];
@@ -673,7 +673,7 @@ impl SigmundService {
         // training produced nothing today (fault-budget exhaustion):
         // tomorrow's incremental sweep then retrains them instead of
         // silently dropping them from the fleet forever.
-        let trained: HashSet<RetailerId> = outputs.iter().map(|r| r.model.retailer).collect();
+        let trained: BTreeSet<RetailerId> = outputs.iter().map(|r| r.model.retailer).collect();
         let mut next_outputs = outputs;
         for rec in &self.last_outputs {
             if planned.contains(&rec.model.retailer) && !trained.contains(&rec.model.retailer) {
@@ -781,7 +781,7 @@ pub fn load_recs(
 
 /// Convenience: look up the materialized recommendations for an item.
 pub fn recs_for_item(
-    recs: &HashMap<RetailerId, Vec<ItemRecs>>,
+    recs: &BTreeMap<RetailerId, Vec<ItemRecs>>,
     r: RetailerId,
     item: ItemId,
 ) -> Option<&ItemRecs> {

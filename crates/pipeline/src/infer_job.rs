@@ -26,7 +26,7 @@ use sigmund_dfs::Dfs;
 use sigmund_mapreduce::{AttemptCtx, MapStatus, MapTask};
 use sigmund_obs::Obs;
 use sigmund_types::{Catalog, CellId, ConfigRecord, ItemId, RetailerId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// One inference split: a contiguous item range of one retailer.
@@ -88,7 +88,7 @@ pub struct InferenceJob<'a> {
     cell: CellId,
     splits: Vec<InferSplit>,
     /// Best (trained, evaluated) config per retailer.
-    best: HashMap<RetailerId, ConfigRecord>,
+    best: BTreeMap<RetailerId, ConfigRecord>,
     cost: CostModel,
     /// Recommendations per item surface.
     pub k: usize,
@@ -98,7 +98,7 @@ pub struct InferenceJob<'a> {
     /// Observability handle (virtual-time gauges/counters).
     pub obs: Obs,
     selector: CandidateSelector,
-    cache: Mutex<HashMap<RetailerId, Arc<RetailerInferState>>>,
+    cache: Mutex<BTreeMap<RetailerId, Arc<RetailerInferState>>>,
     outputs: Mutex<Vec<MaterializedRec>>,
 }
 
@@ -109,7 +109,7 @@ impl<'a> InferenceJob<'a> {
         dfs: &'a Dfs,
         cell: CellId,
         splits: Vec<InferSplit>,
-        best: HashMap<RetailerId, ConfigRecord>,
+        best: BTreeMap<RetailerId, ConfigRecord>,
         cost: CostModel,
     ) -> Self {
         Self {
@@ -122,7 +122,7 @@ impl<'a> InferenceJob<'a> {
             threads: 1,
             obs: Obs::disabled(),
             selector: CandidateSelector::default(),
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(BTreeMap::new()),
             outputs: Mutex::new(Vec::new()),
         }
     }
@@ -375,7 +375,7 @@ mod tests {
         let dfs = Dfs::new();
         let (catalog, best) = trained_retailer(&dfs, 3);
         let splits = make_splits(&[(RetailerId(0), catalog.len())], 20);
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         map.insert(RetailerId(0), best);
         let job = InferenceJob::new(&dfs, CellId(0), splits.clone(), map, CostModel::default());
         let stats = run_map_job(&job, splits.len(), &cfg(0.0, 1));
@@ -398,7 +398,7 @@ mod tests {
         let dfs = Dfs::new();
         let (catalog, best) = trained_retailer(&dfs, 4);
         let splits = make_splits(&[(RetailerId(0), catalog.len())], 10);
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         map.insert(RetailerId(0), best);
         // Calibrate: measure the per-split cost without pre-emption, then
         // set the hazard so the mean budget is about half a split.
@@ -433,7 +433,7 @@ mod tests {
         let dfs = Dfs::new();
         let (catalog, best) = trained_retailer(&dfs, 5);
         let splits = make_splits(&[(RetailerId(0), catalog.len())], 20);
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         map.insert(RetailerId(0), best);
         let run_with = |threads: usize| {
             let mut job = InferenceJob::new(
@@ -473,7 +473,7 @@ mod tests {
             &dfs,
             CellId(0),
             splits,
-            HashMap::new(),
+            BTreeMap::new(),
             CostModel::default(),
         );
         run_map_job(&job, 1, &cfg(0.0, 1));

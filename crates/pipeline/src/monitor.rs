@@ -25,7 +25,7 @@ use crate::daily::DayReport;
 use serde::Serialize;
 use sigmund_obs::{ArgValue, Level, Obs, Track};
 use sigmund_types::RetailerId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A quality problem the monitor detected for one retailer on one day.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -140,7 +140,7 @@ struct History {
 #[derive(Debug, Default)]
 pub struct QualityMonitor {
     cfg: MonitorConfig,
-    history: HashMap<RetailerId, History>,
+    history: BTreeMap<RetailerId, History>,
 }
 
 impl QualityMonitor {
@@ -148,7 +148,7 @@ impl QualityMonitor {
     pub fn new(cfg: MonitorConfig) -> Self {
         Self {
             cfg,
-            history: HashMap::new(),
+            history: BTreeMap::new(),
         }
     }
 
@@ -344,13 +344,12 @@ impl QualityMonitor {
 
     /// Fleet summary: (retailers tracked, mean latest MAP, worst latest MAP).
     pub fn fleet_summary(&self) -> (usize, f64, f64) {
-        // Sum in sorted retailer order so the mean is bitwise reproducible
-        // (HashMap iteration order is seeded per process).
-        let mut keys: Vec<RetailerId> = self.history.keys().copied().collect();
-        keys.sort_unstable();
-        let latest: Vec<f64> = keys
-            .iter()
-            .filter_map(|r| self.history[r].maps.last().copied())
+        // BTreeMap values iterate in sorted retailer order, so the mean is
+        // bitwise reproducible by construction.
+        let latest: Vec<f64> = self
+            .history
+            .values()
+            .filter_map(|h| h.maps.last().copied())
             .collect();
         if latest.is_empty() {
             return (0, 0.0, 0.0);
@@ -375,8 +374,8 @@ mod tests {
 
     fn report(day: u32, entries: &[(u32, f64, usize, usize)]) -> DayReport {
         // entries: (retailer, map, items_total, items_covered)
-        let mut best = HashMap::new();
-        let mut recs = HashMap::new();
+        let mut best = BTreeMap::new();
+        let mut recs = BTreeMap::new();
         for &(r, map, total, covered) in entries {
             let mut rec = ConfigRecord::cold(RetailerId(r), 0, HyperParams::default());
             rec.metrics = Some(ModelMetrics {

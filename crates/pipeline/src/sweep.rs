@@ -15,7 +15,7 @@
 use sigmund_core::selection::GridSpec;
 use sigmund_mapreduce::permute;
 use sigmund_types::{Catalog, ConfigRecord, RetailerId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Builds the full grid of config records for one retailer.
 pub fn full_sweep_for(catalog: &Catalog, grid: &GridSpec) -> Vec<ConfigRecord> {
@@ -38,17 +38,14 @@ pub fn full_sweep(catalogs: &[&Catalog], grid: &GridSpec, seed: u64) -> Vec<Conf
 /// Picks the top-`k` evaluated records per retailer from a previous run's
 /// outputs (records lacking metrics are ignored).
 pub fn top_k_per_retailer(outputs: &[ConfigRecord], k: usize) -> Vec<ConfigRecord> {
-    let mut by_retailer: HashMap<RetailerId, Vec<&ConfigRecord>> = HashMap::new();
+    let mut by_retailer: BTreeMap<RetailerId, Vec<&ConfigRecord>> = BTreeMap::new();
     for r in outputs.iter().filter(|r| r.metrics.is_some()) {
         by_retailer.entry(r.model.retailer).or_default().push(r);
     }
     let mut out = Vec::new();
-    let mut retailers: Vec<RetailerId> = by_retailer.keys().copied().collect();
-    retailers.sort();
-    for retailer in retailers {
-        let Some(mut recs) = by_retailer.remove(&retailer) else {
-            continue;
-        };
+    // BTreeMap iterates in sorted retailer order, so the output layout is
+    // deterministic without an explicit key sort.
+    for (_retailer, mut recs) in by_retailer {
         recs.sort_by(|a, b| {
             b.map_at_10()
                 .partial_cmp(&a.map_at_10())

@@ -209,7 +209,12 @@ impl MapTask for TrainJob<'_> {
             since_ckpt += epoch_cost;
             if since_ckpt >= self.checkpoint_interval && epochs_done < total_epochs {
                 let snap = ModelSnapshot::capture(&model);
-                let _ = ckpt.publish(epochs_done as u64, &snap.to_bytes());
+                if ckpt.publish(epochs_done as u64, &snap.to_bytes()).is_err() {
+                    // Best-effort: a lost checkpoint only costs recovery time,
+                    // but surface the miss. Emitting the counter on the Err
+                    // path only keeps clean runs byte-identical.
+                    self.obs.counter("train.checkpoint_failures", 1);
+                }
                 since_ckpt = 0.0;
                 self.obs.counter("train.checkpoints", 1);
                 self.obs.instant(

@@ -10,7 +10,7 @@ use sigmund_core::inference::{ItemRecs, RecList};
 use sigmund_core::model::ContextEvent;
 use sigmund_obs::{Level, Obs, Track};
 use sigmund_types::{ActionType, ItemId, RetailerId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// How many published generations the store retains for
@@ -31,12 +31,12 @@ pub enum RecSurface {
 #[derive(Debug, Default)]
 struct Snapshot {
     generation: u64,
-    tables: HashMap<RetailerId, Vec<ItemRecs>>,
+    tables: BTreeMap<RetailerId, Vec<ItemRecs>>,
     /// Generation at which each retailer's table was last refreshed. A
     /// retailer absent from a publish batch (e.g. degraded to its previous
     /// generation) keeps its old stamp, so `generation - fresh[r]` is how
     /// many batches stale its recommendations are.
-    fresh: HashMap<RetailerId, u64>,
+    fresh: BTreeMap<RetailerId, u64>,
 }
 
 /// Request counters, the observability surface operators watch ("understand
@@ -72,13 +72,13 @@ impl ServingStats {
 /// use sigmund_serving::{RecSurface, ServingStore};
 /// use sigmund_core::inference::ItemRecs;
 /// use sigmund_types::{ActionType, ItemId, RetailerId};
-/// use std::collections::HashMap;
+/// use std::collections::BTreeMap;
 /// let store = ServingStore::new();
 /// let table = vec![ItemRecs {
 ///     view_based: vec![(ItemId(1), 0.9)],
 ///     purchase_based: vec![(ItemId(2), 0.8)],
 /// }];
-/// store.publish(HashMap::from([(RetailerId(0), table)]));
+/// store.publish(BTreeMap::from([(RetailerId(0), table)]));
 /// // A user viewing item 0 gets substitutes; after buying, complements.
 /// let subs = store.serve(RetailerId(0), &[(ItemId(0), ActionType::View)], None);
 /// assert_eq!(subs[0].0, ItemId(1));
@@ -102,7 +102,7 @@ impl ServingStore {
 
     /// Publishes a new batch: retailers present in `batch` are replaced,
     /// others keep serving yesterday's tables. Returns the new generation.
-    pub fn publish(&self, batch: HashMap<RetailerId, Vec<ItemRecs>>) -> u64 {
+    pub fn publish(&self, batch: BTreeMap<RetailerId, Vec<ItemRecs>>) -> u64 {
         let mut cur = self.current.write();
         let mut tables = cur.tables.clone();
         let mut fresh = cur.fresh.clone();
@@ -221,7 +221,7 @@ impl ServingStore {
     /// gauges.
     pub fn publish_obs(
         &self,
-        batch: HashMap<RetailerId, Vec<ItemRecs>>,
+        batch: BTreeMap<RetailerId, Vec<ItemRecs>>,
         obs: &Obs,
         ts: f64,
     ) -> u64 {
@@ -348,7 +348,7 @@ mod tests {
     }
 
     fn publish_one(store: &ServingStore, r: u32, table: Vec<ItemRecs>) {
-        let mut batch = HashMap::new();
+        let mut batch = BTreeMap::new();
         batch.insert(RetailerId(r), table);
         store.publish(batch);
     }
@@ -528,7 +528,7 @@ mod tests {
         use sigmund_obs::{Level, Obs};
         let store = ServingStore::new();
         let obs = Obs::recording(Level::Debug);
-        let mut batch = HashMap::new();
+        let mut batch = BTreeMap::new();
         batch.insert(RetailerId(0), vec![recs(&[1], &[])]);
         let generation = store.publish_obs(batch, &obs, 2.0);
         assert_eq!(generation, 1);

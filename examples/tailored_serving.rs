@@ -132,9 +132,9 @@ fn fake_report(
     fleet: &[(RetailerId, usize)],
     maps: &[f64],
 ) -> sigmund_pipeline::DayReport {
-    use std::collections::HashMap;
-    let mut best = HashMap::new();
-    let mut recs = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut best = BTreeMap::new();
+    let mut recs = BTreeMap::new();
     for (&(r, n_items), &map) in fleet.iter().zip(maps) {
         let mut rec = sigmund_types::ConfigRecord::cold(r, 0, HyperParams::default());
         rec.metrics = Some(sigmund_types::ModelMetrics {

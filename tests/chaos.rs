@@ -526,3 +526,70 @@ fn multi_seed_soak_wide() {
         soak_one(seed, ChaosConfig::bitflip(seed.wrapping_mul(0xB17)), 3);
     }
 }
+
+/// Every [`FaultPlan`] fault class must be exercised by name (the
+/// `fault-coverage` lint in `cargo xtask lint` enforces this file mentions
+/// them). `bitflip_rate` is the silent-corruption class: the write reports
+/// success, the checksum was stamped *before* the flip, and only a later
+/// read discovers the damage.
+#[test]
+fn bitflip_rate_corrupts_after_the_checksum_is_stamped() {
+    let plan = FaultPlan {
+        seed: 99,
+        bitflip_rate: 1.0,
+        ..FaultPlan::default()
+    };
+    assert!(!plan.is_noop());
+    let dfs = sigmund_dfs::Dfs::with_faults(plan);
+    let inj = dfs
+        .injector()
+        .expect("bitflip_rate plan attaches an injector");
+    inj.begin_day(0);
+    dfs.write(CellId(0), "blob", bytes::Bytes::from_static(b"payload"))
+        .expect("bit-flipped writes report success — that is the point");
+    assert!(
+        matches!(dfs.read(CellId(0), "blob"), Err(SigmundError::Corrupt(_))),
+        "every read of a bit-flipped blob must fail checksum verification"
+    );
+    assert_eq!(inj.stats().bit_flips, 1);
+    assert!(dfs.integrity_stats().checksum_failures >= 1);
+}
+
+/// The `partitions` fault class: a day-windowed cross-cell partition blocks
+/// reads into or out of the cut-off cell, leaves same-cell reads alone, and
+/// lifts exactly at `until_day` (the window is exclusive).
+#[test]
+fn partitions_block_cross_cell_reads_for_their_window_only() {
+    let plan = FaultPlan {
+        partitions: vec![Partition {
+            cell: CellId(1),
+            from_day: 1,
+            until_day: 2,
+        }],
+        ..FaultPlan::default()
+    };
+    assert!(!plan.is_noop(), "partitions alone must arm the injector");
+    let dfs = sigmund_dfs::Dfs::with_faults(plan);
+    let inj = dfs.injector().expect("partition plan attaches an injector");
+    dfs.write(CellId(0), "blob", bytes::Bytes::from_static(b"payload"))
+        .expect("write");
+
+    // Day 0: the partition is not yet active — cross-cell reads flow.
+    inj.begin_day(0);
+    assert!(dfs.read(CellId(1), "blob").is_ok());
+
+    // Day 1: cell 1 is cut off. A read from inside the partitioned cell
+    // crossing to the blob's home cell fails transiently (retryable, like
+    // any network fault); reads local to the home cell are untouched.
+    inj.begin_day(1);
+    assert!(matches!(
+        dfs.read(CellId(1), "blob"),
+        Err(SigmundError::Transient(_))
+    ));
+    assert!(dfs.read(CellId(0), "blob").is_ok());
+
+    // Day 2: `until_day` is exclusive — the partition has lifted.
+    inj.begin_day(2);
+    assert!(dfs.read(CellId(1), "blob").is_ok());
+    assert!(inj.stats().partition_blocks >= 1);
+}

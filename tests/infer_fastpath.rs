@@ -185,3 +185,25 @@ fn context_queries_match_reference_bitwise() {
         }
     }
 }
+
+/// Single-item queries (the serving-store miss path) run through the same
+/// equivalence contract: `recommend_for_item` must reproduce
+/// `recommend_for_item_reference` bit for bit on every item, task, and `k`.
+#[test]
+fn single_item_queries_match_reference_bitwise() {
+    let fx = fixture(FeatureSwitches::ALL, 0.1);
+    let engine = fx.engine();
+    let n = fx.data.catalog.len();
+    for item in (0..n as u32).map(ItemId) {
+        for task in [RecTask::ViewBased, RecTask::PurchaseBased] {
+            for k in [1usize, 10, n + 5] {
+                let fast = engine.recommend_for_item(item, task, k);
+                let reference = engine.recommend_for_item_reference(item, task, k);
+                let fb: Vec<(u32, u32)> = fast.iter().map(|(i, s)| (i.0, s.to_bits())).collect();
+                let rb: Vec<(u32, u32)> =
+                    reference.iter().map(|(i, s)| (i.0, s.to_bits())).collect();
+                assert_eq!(fb, rb, "item={item} task={task:?} k={k}");
+            }
+        }
+    }
+}

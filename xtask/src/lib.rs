@@ -1,30 +1,33 @@
 //! Invariant-enforcing static analysis for the sigmund-rs workspace.
 //!
 //! `cargo xtask lint` walks every `.rs` file in the repository and enforces
-//! three invariants that ordinary rustc/clippy lints cannot express:
+//! the invariants that ordinary rustc/clippy lints cannot express. Rules
+//! live in a registry ([`rules::registry`]) — each entry bundles the rule's
+//! name, severity, file policy, test-code policy, scanner, and the ok/bad
+//! fixture pair that proves it works. The catalog (what each rule proves
+//! and which workspace invariant it guards) is rendered in DESIGN.md §6.
 //!
-//! * **determinism** — wall clocks (`Instant::now`, `SystemTime::now`) and
-//!   OS-entropy RNG constructors (`thread_rng`, `from_entropy`,
-//!   `from_os_rng`) are forbidden everywhere, *including test code*, except
-//!   in the allowlisted bench binaries that measure wall time (T2/T8).
-//!   Simulators run on virtual time; an accidental wall clock silently
-//!   breaks bitwise reproducibility.
-//! * **panic-surface** — `.unwrap()`, `.expect(`, and `panic!` are forbidden
-//!   in non-test code of the library crates. Fallible paths must thread
-//!   `SigmundError` instead of aborting a day's pipeline run.
-//! * **atomics-scope** — `std::sync::atomic` is confined to
-//!   `crates/core/src/storage.rs`, the one module whose racy semantics are
-//!   deliberate (Hogwild) and model-checked (`cfg(loom)` tests).
+//! Scanning runs in two phases:
 //!
-//! Genuinely-infallible sites opt out with a *reasoned* escape hatch on the
-//! same line or the line above:
+//! 1. **per-file** — each file's token stream is checked against every
+//!    applicable per-file rule (determinism, panic-surface, atomics-scope,
+//!    map-iteration, dot-seam, error-swallow, cast-truncation);
+//! 2. **cross-file** — the whole tree is checked for *presence* properties
+//!    (reference-coverage, fault-coverage): every `pub fn *_reference`
+//!    executable spec must be exercised by name in the fast-path
+//!    equivalence suite, and every `FaultPlan` fault class in the chaos
+//!    suite.
+//!
+//! Genuinely-safe sites opt out with a *reasoned* escape hatch on the same
+//! line or the line above:
 //!
 //! ```text
 //! // xtask: allow(panic-surface) — len checked above, split cannot fail
 //! ```
 //!
-//! An allow without a reason, an allow that matches nothing, or a malformed
-//! allow is itself a violation, so the escape hatch cannot rot silently.
+//! An allow without a reason, an allow naming an unknown rule, or an allow
+//! that suppresses nothing is itself a violation (`allow-syntax`), so the
+//! escape hatch cannot rot silently.
 //!
 //! The crate is dependency-free by design: the linter must build and run
 //! even when the registry is unreachable or the workspace it lints is
@@ -33,44 +36,18 @@
 #![warn(missing_docs)]
 
 pub mod lexer;
+pub mod rules;
 
 use lexer::{lex, Lexed, Token, TokenKind};
+use rules::{registry, rule_named, rule_names, FileCtx, Scan, TestCode, TreeCtx, TreeFile};
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The three lint rules.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Rule {
-    /// Wall clocks and OS-entropy RNG sources are forbidden.
-    Determinism,
-    /// `.unwrap()` / `.expect(` / `panic!` forbidden in library crates.
-    PanicSurface,
-    /// `std::sync::atomic` confined to the Hogwild storage module.
-    AtomicsScope,
-}
-
-impl Rule {
-    /// Stable kebab-case name used in allow comments and reports.
-    pub fn name(self) -> &'static str {
-        match self {
-            Rule::Determinism => "determinism",
-            Rule::PanicSurface => "panic-surface",
-            Rule::AtomicsScope => "atomics-scope",
-        }
-    }
-
-    /// Parses the kebab-case rule name.
-    pub fn parse(s: &str) -> Option<Rule> {
-        match s {
-            "determinism" => Some(Rule::Determinism),
-            "panic-surface" => Some(Rule::PanicSurface),
-            "atomics-scope" => Some(Rule::AtomicsScope),
-            _ => None,
-        }
-    }
-}
+/// Version of the JSON report schema written by [`Report::to_json`].
+/// Bumped when fields are added/renamed so archived reports diff cleanly.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Which files each rule applies to. Paths are repo-relative with `/`
 /// separators.
@@ -81,9 +58,24 @@ pub struct Policy {
     pub determinism_allow: Vec<String>,
     /// Files allowed to use `std::sync::atomic`.
     pub atomics_allow: Vec<String>,
-    /// Crate names (under `crates/<name>/src/`) whose non-test code must be
-    /// panic-free.
-    pub panic_crates: Vec<String>,
+    /// Crate names (under `crates/<name>/src/`) whose non-test code is held
+    /// to library standards: panic-free, no hash-order iteration, no
+    /// swallowed errors.
+    pub library_crates: Vec<String>,
+    /// Path prefixes where the dot-seam rule applies (scoring code).
+    pub dot_seam_scope: Vec<String>,
+    /// Files exempt from the dot-seam rule (the seam itself).
+    pub dot_seam_exempt: Vec<String>,
+    /// Path prefixes of blob/snapshot parse paths (cast-truncation scope).
+    pub parse_paths: Vec<String>,
+    /// Source prefix scanned for `pub fn *_reference` executable specs.
+    pub reference_src_prefix: String,
+    /// Test file that must exercise every `*_reference` method by name.
+    pub reference_test_file: String,
+    /// File holding the `FaultPlan` struct whose fault classes need tests.
+    pub fault_plan_file: String,
+    /// Test file that must exercise every fault class by name.
+    pub fault_test_file: String,
 }
 
 impl Default for Policy {
@@ -94,7 +86,7 @@ impl Default for Policy {
                 "crates/bench/src/bin/t8_hogwild.rs".into(),
             ],
             atomics_allow: vec!["crates/core/src/storage.rs".into()],
-            panic_crates: vec![
+            library_crates: vec![
                 "types".into(),
                 "datagen".into(),
                 "dfs".into(),
@@ -105,30 +97,25 @@ impl Default for Policy {
                 "serving".into(),
                 "obs".into(),
             ],
+            dot_seam_scope: vec!["crates/core/src/".into(), "crates/serving/src/".into()],
+            dot_seam_exempt: vec!["crates/core/src/model.rs".into()],
+            parse_paths: vec![
+                "crates/core/src/snapshot.rs".into(),
+                "crates/dfs/src/".into(),
+                "crates/types/src/hash.rs".into(),
+            ],
+            reference_src_prefix: "crates/core/src/".into(),
+            reference_test_file: "tests/infer_fastpath.rs".into(),
+            fault_plan_file: "crates/types/src/fault.rs".into(),
+            fault_test_file: "tests/chaos.rs".into(),
         }
-    }
-}
-
-impl Policy {
-    fn determinism_applies(&self, rel: &str) -> bool {
-        !self.determinism_allow.iter().any(|p| p == rel)
-    }
-
-    fn atomics_applies(&self, rel: &str) -> bool {
-        !self.atomics_allow.iter().any(|p| p == rel)
-    }
-
-    fn panic_applies(&self, rel: &str) -> bool {
-        self.panic_crates
-            .iter()
-            .any(|c| rel.starts_with(&format!("crates/{c}/src/")))
     }
 }
 
 /// One confirmed rule violation.
 #[derive(Debug, Clone)]
 pub struct Violation {
-    /// Rule name (one of the three rules, or `allow-syntax` for a broken
+    /// Rule name (a registered rule, or `allow-syntax` for a broken
     /// escape-hatch comment).
     pub rule: String,
     /// Repo-relative file path.
@@ -139,11 +126,20 @@ pub struct Violation {
     pub message: String,
 }
 
+impl Violation {
+    /// Severity name of this violation's rule (`error` for unknown rules).
+    pub fn severity(&self) -> &'static str {
+        rule_named(&self.rule)
+            .map(|r| r.severity.name())
+            .unwrap_or("error")
+    }
+}
+
 /// One parsed `// xtask: allow(...)` escape hatch.
 #[derive(Debug, Clone)]
 pub struct Allow {
-    /// The rule being allowed.
-    pub rule: Rule,
+    /// Name of the rule being allowed.
+    pub rule: String,
     /// Repo-relative file path.
     pub file: String,
     /// 1-based line of the comment.
@@ -159,19 +155,19 @@ pub struct Allow {
 pub struct Report {
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
-    /// All violations, in path order.
+    /// All violations, sorted by (file, line, rule).
     pub violations: Vec<Violation>,
-    /// All well-formed allows, in path order.
+    /// All well-formed allows, sorted by (file, line, rule).
     pub allows: Vec<Allow>,
 }
 
 impl Report {
-    /// Violation counts keyed by rule name (includes zero entries for the
-    /// three core rules so reports are comparable over time).
+    /// Violation counts keyed by rule name. Every registered rule gets an
+    /// entry (zero included) so reports stay comparable across PRs.
     pub fn counts(&self) -> BTreeMap<String, usize> {
         let mut m = BTreeMap::new();
-        for r in [Rule::Determinism, Rule::PanicSurface, Rule::AtomicsScope] {
-            m.insert(r.name().to_string(), 0);
+        for r in registry() {
+            m.insert(r.name.to_string(), 0);
         }
         for v in &self.violations {
             *m.entry(v.rule.clone()).or_insert(0) += 1;
@@ -179,11 +175,21 @@ impl Report {
         m
     }
 
+    /// Sorts violations and allows by (file, line, rule) for stable diffs.
+    pub fn sort(&mut self) {
+        self.violations
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+        self.allows
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    }
+
     /// Serializes the report as pretty-printed JSON (hand-rolled; the linter
-    /// is dependency-free).
+    /// is dependency-free). Schema v2: `schema_version` field, per-violation
+    /// severity, entries pre-sorted by (file, line, rule).
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
+        s.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
         s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         s.push_str("  \"counts\": {");
         let counts = self.counts();
@@ -204,8 +210,9 @@ impl Report {
             }
             first = false;
             s.push_str(&format!(
-                "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
                 json_escape(&v.rule),
+                v.severity(),
                 json_escape(&v.file),
                 v.line,
                 json_escape(&v.message)
@@ -225,7 +232,7 @@ impl Report {
             first = false;
             s.push_str(&format!(
                 "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"reason\": \"{}\", \"used\": {}}}",
-                json_escape(a.rule.name()),
+                json_escape(&a.rule),
                 json_escape(&a.file),
                 a.line,
                 json_escape(&a.reason),
@@ -257,67 +264,189 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Lints a single file's source text. `rel` is the repo-relative path used
-/// for policy decisions and reporting.
+/// Lints a single file's source text with every per-file rule active.
+/// `rel` is the repo-relative path used for policy decisions and reporting.
+/// Cross-file rules need a whole tree and run only under [`run_lint`].
 pub fn lint_source(rel: &str, src: &str, policy: &Policy) -> (Vec<Violation>, Vec<Allow>) {
     let lexed = lex(src);
+    let all = |_: &str| true;
     let mut violations = Vec::new();
-    let mut allows = parse_allows(rel, &lexed, &mut violations);
-    let test_flags = mark_test_tokens(&lexed.tokens);
-    let matches = scan_rules(rel, &lexed.tokens, &test_flags, policy);
-    for (rule, line, message) in matches {
-        if let Some(a) = allows
-            .iter_mut()
-            .find(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
-        {
-            a.used = true;
-        } else {
-            violations.push(Violation {
-                rule: rule.name().to_string(),
-                file: rel.to_string(),
-                line,
-                message,
-            });
-        }
-    }
-    for a in &allows {
-        if !a.used {
-            violations.push(Violation {
-                rule: "allow-syntax".to_string(),
-                file: rel.to_string(),
-                line: a.line,
-                message: format!(
-                    "unused `xtask: allow({})` — nothing on this line or the next matches the rule",
-                    a.rule.name()
-                ),
-            });
-        }
-    }
-    violations.sort_by_key(|v| v.line);
+    let mut allows = Vec::new();
+    scan_file(rel, &lexed, policy, &all, &mut violations, &mut allows);
+    report_unused_allows(&allows, &all, &mut violations);
+    violations.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
     (violations, allows)
 }
 
-/// Walks `root` and lints every `.rs` file (skipping `target/`, `.git/`,
-/// `results/`, and the `xtask/` tree itself, whose fixtures contain
-/// deliberate violations).
+/// Walks `root` and lints every `.rs` file with every rule (skipping
+/// `target/`, `.git/`, `results/`, and the `xtask/` tree itself, whose
+/// fixtures contain deliberate violations).
 pub fn run_lint(root: &Path, policy: &Policy) -> io::Result<Report> {
-    let mut files = Vec::new();
-    walk(root, root, &mut files)?;
-    files.sort();
+    run_lint_filtered(root, policy, None)
+}
+
+/// Like [`run_lint`], restricted to the named rules when `filter` is
+/// `Some`. Unused-allow reporting is restricted to allows whose rule is
+/// active (an allow for a rule that did not run cannot have been used).
+pub fn run_lint_filtered(
+    root: &Path,
+    policy: &Policy,
+    filter: Option<&[String]>,
+) -> io::Result<Report> {
+    let active = |name: &str| match filter {
+        None => true,
+        Some(f) => f.iter().any(|n| n == name),
+    };
+    let mut paths = Vec::new();
+    walk(root, root, &mut paths)?;
+    paths.sort();
+
     let mut report = Report::default();
-    for path in files {
+    let mut allows: Vec<Allow> = Vec::new();
+    let mut tree: Vec<TreeFile> = Vec::new();
+    for path in paths {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
         let src = fs::read_to_string(&path)?;
+        let lexed = lex(&src);
         report.files_scanned += 1;
-        let (violations, allows) = lint_source(&rel, &src, policy);
-        report.violations.extend(violations);
-        report.allows.extend(allows);
+        scan_file(
+            &rel,
+            &lexed,
+            policy,
+            &active,
+            &mut report.violations,
+            &mut allows,
+        );
+        tree.push(TreeFile {
+            rel,
+            tokens: lexed.tokens,
+        });
     }
+
+    // Cross-file phase: presence properties over the whole tree. Matches
+    // are suppressible through the same allow mechanism, anchored at the
+    // reported (file, line).
+    let ctx = TreeCtx {
+        files: &tree,
+        policy,
+    };
+    for rule in registry() {
+        let Scan::CrossFile(scan) = rule.scan else {
+            continue;
+        };
+        if !active(rule.name) {
+            continue;
+        }
+        for (file, line, message) in scan(&ctx) {
+            suppress_or_report(
+                rule.name,
+                &file,
+                line,
+                message,
+                &mut allows,
+                &mut report.violations,
+            );
+        }
+    }
+
+    report_unused_allows(&allows, &active, &mut report.violations);
+    report.allows = allows;
+    report.sort();
     Ok(report)
+}
+
+/// Runs every active per-file rule over one lexed file, routing matches
+/// through the allow mechanism.
+fn scan_file(
+    rel: &str,
+    lexed: &Lexed,
+    policy: &Policy,
+    active: &dyn Fn(&str) -> bool,
+    violations: &mut Vec<Violation>,
+    allows: &mut Vec<Allow>,
+) {
+    let mut file_allows = parse_allows(rel, lexed, active, violations);
+    let test_flags = mark_test_tokens(&lexed.tokens);
+    let ctx = FileCtx {
+        rel,
+        tokens: &lexed.tokens,
+        policy,
+    };
+    for rule in registry() {
+        let Scan::PerFile(scan) = rule.scan else {
+            continue;
+        };
+        if !active(rule.name) || !(rule.applies)(policy, rel) {
+            continue;
+        }
+        for (idx, message) in scan(&ctx) {
+            if rule.test_code == TestCode::Skipped && test_flags.get(idx).copied().unwrap_or(false)
+            {
+                continue;
+            }
+            let Some(tok) = lexed.tokens.get(idx) else {
+                continue;
+            };
+            suppress_or_report(
+                rule.name,
+                rel,
+                tok.line,
+                message,
+                &mut file_allows,
+                violations,
+            );
+        }
+    }
+    allows.append(&mut file_allows);
+}
+
+/// Marks the allow covering (file, line) as used, or records a violation.
+fn suppress_or_report(
+    rule: &str,
+    file: &str,
+    line: usize,
+    message: String,
+    allows: &mut [Allow],
+    violations: &mut Vec<Violation>,
+) {
+    if let Some(a) = allows
+        .iter_mut()
+        .find(|a| a.rule == rule && a.file == file && (a.line == line || a.line + 1 == line))
+    {
+        a.used = true;
+    } else {
+        violations.push(Violation {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line,
+            message,
+        });
+    }
+}
+
+/// Reports each allow that suppressed nothing, provided its rule ran.
+fn report_unused_allows(
+    allows: &[Allow],
+    active: &dyn Fn(&str) -> bool,
+    violations: &mut Vec<Violation>,
+) {
+    for a in allows {
+        if !a.used && active(&a.rule) {
+            violations.push(Violation {
+                rule: "allow-syntax".to_string(),
+                file: a.file.clone(),
+                line: a.line,
+                message: format!(
+                    "unused `xtask: allow({})` — nothing on this line or the next matches the rule",
+                    a.rule
+                ),
+            });
+        }
+    }
 }
 
 fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -344,8 +473,24 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 
 /// Parses every `// xtask: allow(<rule>) — <reason>` comment. Malformed
 /// comments (unknown rule, missing reason, bad syntax) are reported as
-/// `allow-syntax` violations.
-fn parse_allows(rel: &str, lexed: &Lexed, violations: &mut Vec<Violation>) -> Vec<Allow> {
+/// `allow-syntax` violations when that rule is active.
+fn parse_allows(
+    rel: &str,
+    lexed: &Lexed,
+    active: &dyn Fn(&str) -> bool,
+    violations: &mut Vec<Violation>,
+) -> Vec<Allow> {
+    let syntax_active = active("allow-syntax");
+    let push_syntax = |line: usize, message: String, violations: &mut Vec<Violation>| {
+        if syntax_active {
+            violations.push(Violation {
+                rule: "allow-syntax".into(),
+                file: rel.into(),
+                line,
+                message,
+            });
+        }
+    };
     let mut allows = Vec::new();
     for c in &lexed.comments {
         let text = c.text.trim();
@@ -354,34 +499,31 @@ fn parse_allows(rel: &str, lexed: &Lexed, violations: &mut Vec<Violation>) -> Ve
         };
         let rest = text[pos + "xtask:".len()..].trim_start();
         let Some(rest) = rest.strip_prefix("allow(") else {
-            violations.push(Violation {
-                rule: "allow-syntax".into(),
-                file: rel.into(),
-                line: c.line,
-                message: "malformed xtask comment — expected `xtask: allow(<rule>) — <reason>`"
-                    .into(),
-            });
+            push_syntax(
+                c.line,
+                "malformed xtask comment — expected `xtask: allow(<rule>) — <reason>`".into(),
+                violations,
+            );
             continue;
         };
         let Some(close) = rest.find(')') else {
-            violations.push(Violation {
-                rule: "allow-syntax".into(),
-                file: rel.into(),
-                line: c.line,
-                message: "malformed xtask allow — missing `)`".into(),
-            });
+            push_syntax(
+                c.line,
+                "malformed xtask allow — missing `)`".into(),
+                violations,
+            );
             continue;
         };
         let rule_name = rest[..close].trim();
-        let Some(rule) = Rule::parse(rule_name) else {
-            violations.push(Violation {
-                rule: "allow-syntax".into(),
-                file: rel.into(),
-                line: c.line,
-                message: format!(
-                    "unknown rule `{rule_name}` — expected determinism, panic-surface, or atomics-scope"
+        let Some(rule) = rule_named(rule_name) else {
+            push_syntax(
+                c.line,
+                format!(
+                    "unknown rule `{rule_name}` — registered rules: {}",
+                    rule_names()
                 ),
-            });
+                violations,
+            );
             continue;
         };
         let reason = rest[close + 1..]
@@ -390,20 +532,19 @@ fn parse_allows(rel: &str, lexed: &Lexed, violations: &mut Vec<Violation>) -> Ve
             })
             .trim();
         if reason.is_empty() {
-            violations.push(Violation {
-                rule: "allow-syntax".into(),
-                file: rel.into(),
-                line: c.line,
-                message: format!(
+            push_syntax(
+                c.line,
+                format!(
                     "`xtask: allow({})` without a reason — state why the site is safe",
-                    rule.name()
+                    rule.name
                 ),
-            });
+                violations,
+            );
             // Still record the allow so the underlying site is not double-
             // reported; the missing reason is the one actionable violation.
         }
         allows.push(Allow {
-            rule,
+            rule: rule.name.to_string(),
             file: rel.into(),
             line: c.line,
             reason: reason.to_string(),
@@ -511,96 +652,6 @@ fn scan_attr(tokens: &[Token], open: usize) -> (usize, bool) {
     (i, is_test)
 }
 
-/// Scans the token stream for rule matches. Returns `(rule, line, message)`
-/// triples; allow-comment filtering happens in the caller.
-fn scan_rules(
-    rel: &str,
-    tokens: &[Token],
-    test_flags: &[bool],
-    policy: &Policy,
-) -> Vec<(Rule, usize, String)> {
-    let ident = |i: usize| -> Option<&str> {
-        tokens.get(i).and_then(|t| match &t.kind {
-            TokenKind::Ident(s) => Some(s.as_str()),
-            _ => None,
-        })
-    };
-    let punct = |i: usize, c: char| matches!(tokens.get(i).map(|t| &t.kind), Some(TokenKind::Punct(p)) if *p == c);
-    let path_sep = |i: usize| punct(i, ':') && punct(i + 1, ':');
-
-    let determinism = policy.determinism_applies(rel);
-    let panics = policy.panic_applies(rel);
-    let atomics = policy.atomics_applies(rel);
-
-    let mut out = Vec::new();
-    for i in 0..tokens.len() {
-        let in_test = test_flags[i];
-
-        // determinism: applies to test code too — a wall clock in a test
-        // makes the *test* nondeterministic.
-        if determinism {
-            if let Some(name @ ("Instant" | "SystemTime")) = ident(i) {
-                if path_sep(i + 1) && ident(i + 3) == Some("now") {
-                    out.push((
-                        Rule::Determinism,
-                        tokens[i].line,
-                        format!(
-                            "`{name}::now()` — wall clocks break reproducibility; use virtual time"
-                        ),
-                    ));
-                }
-            }
-            if let Some(name @ ("thread_rng" | "from_entropy" | "from_os_rng")) = ident(i) {
-                out.push((
-                    Rule::Determinism,
-                    tokens[i].line,
-                    format!(
-                        "`{name}` — OS-entropy RNG; seed explicitly (e.g. `StdRng::seed_from_u64`)"
-                    ),
-                ));
-            }
-        }
-
-        // panic-surface: library crates, non-test code only.
-        if panics && !in_test {
-            if punct(i, '.') {
-                if let Some(name @ ("unwrap" | "expect")) = ident(i + 1) {
-                    if punct(i + 2, '(') {
-                        out.push((
-                            Rule::PanicSurface,
-                            tokens[i + 1].line,
-                            format!("`.{name}(...)` — thread `SigmundError` or annotate why this cannot fail"),
-                        ));
-                    }
-                }
-            }
-            if ident(i) == Some("panic") && punct(i + 1, '!') {
-                out.push((
-                    Rule::PanicSurface,
-                    tokens[i].line,
-                    "`panic!` — return an error instead of aborting the pipeline".to_string(),
-                ));
-            }
-        }
-
-        // atomics-scope: non-test code only (tests may assert on atomics).
-        if atomics
-            && !in_test
-            && ident(i) == Some("sync")
-            && path_sep(i + 1)
-            && ident(i + 3) == Some("atomic")
-        {
-            out.push((
-                Rule::AtomicsScope,
-                tokens[i].line,
-                "`std::sync::atomic` outside crates/core/src/storage.rs — keep lock-free code in one audited module"
-                    .to_string(),
-            ));
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -631,7 +682,7 @@ mod tests {
 
     #[test]
     fn wall_clock_in_test_code_is_flagged() {
-        let src = "#[test]\nfn t() { let _ = Instant::now(); }\n";
+        let src = "#[test]\nfn t() { let t = Instant::now(); t }\n";
         let v = violations("crates/core/src/train.rs", src);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "determinism");
@@ -663,7 +714,7 @@ mod tests {
 
     #[test]
     fn bench_allowlist_exempts_determinism() {
-        let src = "fn main() { let t = Instant::now(); }";
+        let src = "fn main() { let t = Instant::now(); t }";
         assert!(violations("crates/bench/src/bin/t2_sampled_map.rs", src).is_empty());
         assert_eq!(violations("crates/bench/src/bin/t3_other.rs", src).len(), 1);
     }
@@ -690,7 +741,83 @@ mod tests {
             allows: vec![],
         };
         let j = report.to_json();
+        assert!(j.contains("\"schema_version\": 2"));
         assert!(j.contains("\"files_scanned\": 2"));
+        assert!(j.contains("\"severity\": \"error\""));
         assert!(j.contains("a \\\"b\\\".rs"));
+    }
+
+    #[test]
+    fn counts_enumerate_every_registered_rule() {
+        let counts = Report::default().counts();
+        for r in registry() {
+            assert_eq!(
+                counts.get(r.name),
+                Some(&0),
+                "missing zero entry: {}",
+                r.name
+            );
+        }
+        assert_eq!(counts.len(), registry().len());
+    }
+
+    #[test]
+    fn hash_map_iteration_is_flagged_and_btree_is_not() {
+        let src = "fn f(m: &HashMap<u32, u32>) -> Vec<u32> { m.keys().copied().collect() }";
+        let v = violations("crates/core/src/candidates.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "map-iteration");
+        let src = "fn f(m: &BTreeMap<u32, u32>) -> Vec<u32> { m.keys().copied().collect() }";
+        assert!(violations("crates/core/src/candidates.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_map_lookup_is_not_iteration() {
+        let src = "fn f(m: &HashMap<u32, u32>) -> Option<&u32> { m.get(&1) }";
+        assert!(violations("crates/core/src/candidates.rs", src).is_empty());
+    }
+
+    #[test]
+    fn for_loop_over_hash_map_is_flagged() {
+        let src = "fn f(m: HashMap<u32, u32>) { for (k, v) in m { drop((k, v)); } }";
+        let v = violations("crates/pipeline/src/daily.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "map-iteration");
+    }
+
+    #[test]
+    fn dot_seam_flags_sum_outside_model() {
+        let src = "fn f(a: &[f32], b: &[f32]) -> f32 { a.iter().zip(b).map(|(x, y)| x * y).sum() }";
+        let v = violations("crates/core/src/inference.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "dot-seam");
+        // The seam itself is exempt.
+        assert!(violations("crates/core/src/model.rs", src).is_empty());
+        // Out of scope: non-scoring crates.
+        assert!(violations("crates/datagen/src/events.rs", src).is_empty());
+    }
+
+    #[test]
+    fn error_swallow_flags_let_underscore_but_not_write_macro() {
+        let src = "fn f() { let _ = fallible(); }";
+        let v = violations("crates/dfs/src/checkpoint.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "error-swallow");
+        let src = "fn f(out: &mut String) { let _ = writeln!(out, \"x\"); }";
+        assert!(violations("crates/obs/src/summary.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cast_truncation_flags_parse_paths_only() {
+        let src = "fn f(n: u64) -> u32 { n as u32 }";
+        let v = violations("crates/core/src/snapshot.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "cast-truncation");
+        // Widening casts are fine even in parse paths.
+        let src = "fn f(n: u32) -> u64 { n as u64 }";
+        assert!(violations("crates/core/src/snapshot.rs", src).is_empty());
+        // Outside parse paths the rule does not apply.
+        let src = "fn f(n: u64) -> u32 { n as u32 }";
+        assert!(violations("crates/core/src/train.rs", src).is_empty());
     }
 }

@@ -1,20 +1,33 @@
-//! CLI entry point: `cargo xtask lint [--json] [--root <path>]`.
+//! CLI entry point:
+//!
+//! * `cargo xtask lint [--json] [--root <path>] [--rule <name>]...`
+//! * `cargo xtask rules` — print the rule catalog
+//! * `cargo xtask bench-gate [<path>] [--min <speedup>]`
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use xtask::{run_lint, Policy};
+use xtask::rules::{registry, rule_named, rule_names, Scope};
+use xtask::{run_lint_filtered, Policy};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint_cmd(&args[1..]),
+        Some("rules") => rules_cmd(),
+        Some("bench-gate") => bench_gate_cmd(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask lint [--json] [--root <path>]");
+            eprintln!("usage: cargo xtask <command>");
             eprintln!();
-            eprintln!("Enforces workspace invariants (determinism, panic-surface,");
-            eprintln!("atomics-scope) over every .rs file. --json additionally writes");
-            eprintln!("results/lint_report.json under the repo root.");
+            eprintln!("  lint [--json] [--root <path>] [--rule <name>]...");
+            eprintln!("      Enforces workspace invariants over every .rs file. --json");
+            eprintln!("      additionally writes results/lint_report.json under the repo");
+            eprintln!("      root; --rule restricts the run to the named rules (repeatable).");
+            eprintln!("  rules");
+            eprintln!("      Prints the registered rule catalog (see DESIGN.md §6).");
+            eprintln!("  bench-gate [<path>] [--min <speedup>]");
+            eprintln!("      Fails if any fast-path row of BENCH_infer.json (default");
+            eprintln!("      results/BENCH_infer.json) is slower than the reference path.");
             ExitCode::from(2)
         }
     }
@@ -23,6 +36,7 @@ fn main() -> ExitCode {
 fn lint_cmd(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut root: Option<PathBuf> = None;
+    let mut rules_filter: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -34,6 +48,19 @@ fn lint_cmd(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--rule" => match it.next() {
+                Some(name) => {
+                    if rule_named(name).is_none() {
+                        eprintln!("unknown rule `{name}` — registered rules: {}", rule_names());
+                        return ExitCode::from(2);
+                    }
+                    rules_filter.push(name.clone());
+                }
+                None => {
+                    eprintln!("--rule requires a rule name ({})", rule_names());
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("unknown argument `{other}`");
                 return ExitCode::from(2);
@@ -41,8 +68,13 @@ fn lint_cmd(args: &[String]) -> ExitCode {
         }
     }
     let root = root.unwrap_or_else(default_root);
+    let filter = if rules_filter.is_empty() {
+        None
+    } else {
+        Some(rules_filter.as_slice())
+    };
 
-    let report = match run_lint(&root, &Policy::default()) {
+    let report = match run_lint_filtered(&root, &Policy::default(), filter) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("xtask lint: failed to scan {}: {e}", root.display());
@@ -57,10 +89,20 @@ fn lint_cmd(args: &[String]) -> ExitCode {
         report.allows.iter().filter(|a| a.used).count()
     );
     for (rule, n) in &counts {
-        println!("  {rule:<14} {n} violation(s)");
+        if filter.is_some_and(|f| !f.iter().any(|name| name == rule)) {
+            continue;
+        }
+        println!("  {rule:<20} {n} violation(s)");
     }
     for v in &report.violations {
-        println!("  {}:{} [{}] {}", v.file, v.line, v.rule, v.message);
+        println!(
+            "  {}:{} [{}/{}] {}",
+            v.file,
+            v.line,
+            v.rule,
+            v.severity(),
+            v.message
+        );
     }
 
     if json {
@@ -87,6 +129,121 @@ fn lint_cmd(args: &[String]) -> ExitCode {
     }
 }
 
+fn rules_cmd() -> ExitCode {
+    for r in registry() {
+        let scope = match r.scope() {
+            Scope::PerFile => "per-file",
+            Scope::CrossFile => "cross-file",
+        };
+        println!("{} [{}, {}]", r.name, r.severity.name(), scope);
+        println!("  proves: {}", r.proves);
+        println!("  guards: {}", r.guards);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Gate on `results/BENCH_infer.json`: every `"path": "fast"` row must hit
+/// at least `--min` (default 1.0) speedup over the reference path. The
+/// parser is a dependency-free scan over the flat row objects bench_infer
+/// writes — schema drift (no fast rows found) is an error, not a pass.
+fn bench_gate_cmd(args: &[String]) -> ExitCode {
+    let mut path: Option<PathBuf> = None;
+    let mut min = 1.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--min" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(v) => min = v,
+                None => {
+                    eprintln!("--min requires a number");
+                    return ExitCode::from(2);
+                }
+            },
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let path = path.unwrap_or_else(|| default_root().join("results").join("BENCH_infer.json"));
+
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask bench-gate: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let rows = fast_rows(&json);
+    if rows.is_empty() {
+        eprintln!(
+            "xtask bench-gate: no `\"path\": \"fast\"` rows with speedup_vs_reference in {}",
+            path.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for (threads, speedup) in &rows {
+        let verdict = if *speedup >= min { "ok" } else { "FAIL" };
+        if *speedup < min {
+            failed = true;
+        }
+        println!("  fast path, {threads} thread(s): {speedup:.2}x vs reference [{verdict}]");
+    }
+    if failed {
+        println!("xtask bench-gate: fast path below {min:.2}x of reference");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "xtask bench-gate: OK ({} fast row(s) >= {min:.2}x)",
+            rows.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+/// Extracts `(threads, speedup_vs_reference)` from each flat `"path":
+/// "fast"` row object of bench_infer's JSON output.
+fn fast_rows(json: &str) -> Vec<(u64, f64)> {
+    let mut rows = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, c) in json.char_indices() {
+        match c {
+            '{' => start = Some(i),
+            '}' => {
+                if let Some(s) = start.take() {
+                    // Innermost (flat) object only — nested '{' reset `start`.
+                    let compact: String =
+                        json[s..=i].chars().filter(|c| !c.is_whitespace()).collect();
+                    if !compact.contains("\"path\":\"fast\"") {
+                        continue;
+                    }
+                    let Some(speedup) = field_number(&compact, "speedup_vs_reference") else {
+                        continue;
+                    };
+                    let threads = field_number(&compact, "threads").unwrap_or(0.0) as u64;
+                    rows.push((threads, speedup));
+                }
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
+/// Reads the numeric value of `"key":` from a whitespace-free JSON object.
+fn field_number(compact: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = compact.find(&pat)? + pat.len();
+    let rest = &compact[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].parse::<f64>().ok()
+}
+
 /// Repo root: the parent of the xtask manifest dir when run via cargo,
 /// falling back to the current directory.
 fn default_root() -> PathBuf {
@@ -97,4 +254,73 @@ fn default_root() -> PathBuf {
         }
     }
     PathBuf::from(".")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact shape `bench_infer` writes: a pretty-printed report object
+    /// wrapping flat row objects.
+    const REPORT: &str = r#"{
+      "bench": "materialize_all",
+      "mode": "smoke",
+      "rows": [
+        {
+          "path": "reference",
+          "threads": 1,
+          "wall_s": 0.8,
+          "speedup_vs_reference": 1.0
+        },
+        {
+          "path": "fast",
+          "threads": 1,
+          "wall_s": 0.2,
+          "speedup_vs_reference": 4.1
+        },
+        {
+          "path": "fast",
+          "threads": 4,
+          "wall_s": 0.1,
+          "speedup_vs_reference": 8.2
+        }
+      ]
+    }"#;
+
+    #[test]
+    fn fast_rows_reads_only_fast_path_rows() {
+        let rows = fast_rows(REPORT);
+        assert_eq!(rows, vec![(1, 4.1), (4, 8.2)]);
+    }
+
+    #[test]
+    fn fast_rows_is_empty_on_schema_drift() {
+        // A renamed field must read as "no rows" (exit 2 in the gate), never
+        // as a silent pass.
+        let drifted = REPORT.replace("speedup_vs_reference", "speedup");
+        assert!(fast_rows(&drifted).is_empty());
+        assert!(fast_rows("{}").is_empty());
+    }
+
+    #[test]
+    fn field_number_handles_missing_and_trailing_fields() {
+        assert_eq!(field_number("{\"threads\":4}", "threads"), Some(4.0));
+        assert_eq!(
+            field_number(
+                "{\"a\":1,\"speedup_vs_reference\":0.93}",
+                "speedup_vs_reference"
+            ),
+            Some(0.93)
+        );
+        assert_eq!(field_number("{\"a\":1}", "threads"), None);
+    }
+
+    #[test]
+    fn gate_threshold_compares_per_row() {
+        // A regression in any single row must trip the gate even when the
+        // mean is healthy.
+        let rows = fast_rows(&REPORT.replace("4.1", "0.9"));
+        assert!(rows.iter().any(|(_, s)| *s < 1.0));
+        assert!(rows.iter().any(|(_, s)| *s >= 1.0));
+    }
 }

@@ -1,0 +1,776 @@
+//! The rule registry: every invariant the linter enforces, as data.
+//!
+//! A [`RuleDescriptor`] bundles a rule's name, severity, file policy,
+//! test-code policy, scanner, and the ok/bad fixture pair that proves it
+//! works (`xtask/tests/lint_rules.rs` iterates the registry and asserts
+//! each bad fixture fires and each ok fixture is clean). Adding a rule is
+//! adding one entry to [`REGISTRY`] plus its two fixtures — the engine,
+//! the `--rule` filter, the JSON report counts, and the fixture self-test
+//! all pick it up from here.
+//!
+//! Rules come in two scopes:
+//!
+//! * **per-file** — scan one file's token stream (determinism,
+//!   panic-surface, atomics-scope, map-iteration, dot-seam, error-swallow,
+//!   cast-truncation);
+//! * **cross-file** — scan the whole tree after per-file scanning
+//!   (reference-coverage, fault-coverage). These prove *presence*
+//!   properties a single file cannot: every `pub fn *_reference`
+//!   executable spec is exercised by name in the fast-path equivalence
+//!   suite, and every `FaultPlan` fault class is exercised in the chaos
+//!   suite.
+
+use crate::lexer::{Token, TokenKind};
+use crate::Policy;
+use std::collections::BTreeSet;
+
+/// How a finding is treated by the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the build (exit 1).
+    Error,
+    /// Reported (and counted in the JSON report) but never fails the build.
+    Warning,
+}
+
+impl Severity {
+    /// Stable lowercase name used in the JSON report.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// Whether a rule's matches inside `#[test]` / `#[cfg(test)]` code count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestCode {
+    /// Matches in test code are violations too (e.g. a wall clock makes the
+    /// *test* nondeterministic).
+    Checked,
+    /// Test code is exempt (e.g. tests may unwrap).
+    Skipped,
+}
+
+/// Context handed to a per-file scanner.
+pub struct FileCtx<'a> {
+    /// Repo-relative path with `/` separators.
+    pub rel: &'a str,
+    /// The file's token stream (strings/comments already opaque).
+    pub tokens: &'a [Token],
+    /// Which files each rule applies to.
+    pub policy: &'a Policy,
+}
+
+/// One lexed file of the whole tree, for cross-file scanners.
+pub struct TreeFile {
+    /// Repo-relative path with `/` separators.
+    pub rel: String,
+    /// The file's token stream.
+    pub tokens: Vec<Token>,
+}
+
+/// Context handed to a cross-file scanner: every `.rs` file in the tree.
+pub struct TreeCtx<'a> {
+    /// All scanned files, sorted by path.
+    pub files: &'a [TreeFile],
+    /// Which files each rule applies to.
+    pub policy: &'a Policy,
+}
+
+/// A per-file scanner returns `(token index, message)` pairs; the engine
+/// maps indexes to lines and applies the rule's [`TestCode`] policy.
+pub type PerFileScan = fn(&FileCtx) -> Vec<(usize, String)>;
+
+/// A cross-file scanner returns `(file, line, message)` triples.
+pub type CrossFileScan = fn(&TreeCtx) -> Vec<(String, usize, String)>;
+
+/// How a rule scans.
+pub enum Scan {
+    /// Runs on each file's token stream.
+    PerFile(PerFileScan),
+    /// Runs once over the whole tree, after per-file scanning.
+    CrossFile(CrossFileScan),
+    /// Produced by the engine itself (the allow-comment parser).
+    Builtin,
+}
+
+/// Scope of a rule, derived from its [`Scan`] variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Scans one file at a time.
+    PerFile,
+    /// Scans the whole tree.
+    CrossFile,
+}
+
+/// One registered rule.
+pub struct RuleDescriptor {
+    /// Stable kebab-case name used in allow comments, `--rule`, and reports.
+    pub name: &'static str,
+    /// Whether findings fail the build.
+    pub severity: Severity,
+    /// One line: what the rule proves.
+    pub proves: &'static str,
+    /// Which workspace invariant it guards (see DESIGN.md §6).
+    pub guards: &'static str,
+    /// Whether test code is scanned.
+    pub test_code: TestCode,
+    /// File policy: does this rule apply to `rel`? (Per-file rules only;
+    /// cross-file rules encode their paths in [`Policy`] directly.)
+    pub applies: fn(&Policy, &str) -> bool,
+    /// The scanner.
+    pub scan: Scan,
+    /// Fixture (file for per-file rules, directory for cross-file rules)
+    /// under `xtask/tests/fixtures/` that must lint clean for this rule.
+    pub fixture_ok: &'static str,
+    /// Fixture that must produce at least one violation of this rule.
+    pub fixture_bad: &'static str,
+    /// Synthetic repo-relative path per-file fixtures are linted under, so
+    /// the file policy is exercised exactly as on the real tree.
+    pub fixture_rel: &'static str,
+}
+
+impl RuleDescriptor {
+    /// Scope of the rule, derived from its scanner.
+    pub fn scope(&self) -> Scope {
+        match self.scan {
+            Scan::CrossFile(_) => Scope::CrossFile,
+            _ => Scope::PerFile,
+        }
+    }
+}
+
+fn applies_always(_: &Policy, _: &str) -> bool {
+    true
+}
+
+fn applies_never(_: &Policy, _: &str) -> bool {
+    false
+}
+
+fn applies_determinism(p: &Policy, rel: &str) -> bool {
+    !p.determinism_allow.iter().any(|f| f == rel)
+}
+
+fn applies_atomics(p: &Policy, rel: &str) -> bool {
+    !p.atomics_allow.iter().any(|f| f == rel)
+}
+
+fn applies_library(p: &Policy, rel: &str) -> bool {
+    p.library_crates
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/src/")))
+}
+
+fn applies_dot_seam(p: &Policy, rel: &str) -> bool {
+    p.dot_seam_scope.iter().any(|pre| rel.starts_with(pre))
+        && !p.dot_seam_exempt.iter().any(|f| f == rel)
+}
+
+fn applies_parse_paths(p: &Policy, rel: &str) -> bool {
+    p.parse_paths.iter().any(|pre| rel.starts_with(pre))
+}
+
+/// The registry. Order is the order rules run and print in.
+pub static REGISTRY: &[RuleDescriptor] = &[
+    RuleDescriptor {
+        name: "determinism",
+        severity: Severity::Error,
+        proves: "no wall clocks or OS-entropy RNG constructors anywhere, including tests",
+        guards: "bitwise reproducibility: simulators run on virtual time and seeded RNGs",
+        test_code: TestCode::Checked,
+        applies: applies_determinism,
+        scan: Scan::PerFile(scan_determinism),
+        fixture_ok: "determinism_ok.rs",
+        fixture_bad: "determinism_bad.rs",
+        fixture_rel: "crates/core/src/clock.rs",
+    },
+    RuleDescriptor {
+        name: "panic-surface",
+        severity: Severity::Error,
+        proves: "no .unwrap()/.expect(/panic! in non-test library code",
+        guards: "fault propagation: fallible paths thread SigmundError instead of aborting a day",
+        test_code: TestCode::Skipped,
+        applies: applies_library,
+        scan: Scan::PerFile(scan_panic),
+        fixture_ok: "panic_ok.rs",
+        fixture_bad: "panic_bad.rs",
+        fixture_rel: "crates/pipeline/src/daily.rs",
+    },
+    RuleDescriptor {
+        name: "atomics-scope",
+        severity: Severity::Error,
+        proves: "std::sync::atomic appears only in the audited Hogwild module",
+        guards: "loom coverage: every racy interleaving lives in one model-checked file",
+        test_code: TestCode::Skipped,
+        applies: applies_atomics,
+        scan: Scan::PerFile(scan_atomics),
+        fixture_ok: "atomics_ok.rs",
+        fixture_bad: "atomics_bad.rs",
+        fixture_rel: "crates/serving/src/store.rs",
+    },
+    RuleDescriptor {
+        name: "map-iteration",
+        severity: Severity::Error,
+        proves: "no iteration over HashMap/HashSet in non-test library code",
+        guards: "byte-identical traces: per-process hash seeding must not order any output",
+        test_code: TestCode::Skipped,
+        applies: applies_library,
+        scan: Scan::PerFile(scan_map_iteration),
+        fixture_ok: "map_iteration_ok.rs",
+        fixture_bad: "map_iteration_bad.rs",
+        fixture_rel: "crates/pipeline/src/daily.rs",
+    },
+    RuleDescriptor {
+        name: "dot-seam",
+        severity: Severity::Error,
+        proves: "no hand-rolled f32 dot products outside core/src/model.rs",
+        guards: "fast-path equivalence: SIMD work lands behind model::dot without bitwise drift",
+        test_code: TestCode::Skipped,
+        applies: applies_dot_seam,
+        scan: Scan::PerFile(scan_dot_seam),
+        fixture_ok: "dot_seam_ok.rs",
+        fixture_bad: "dot_seam_bad.rs",
+        fixture_rel: "crates/core/src/inference.rs",
+    },
+    RuleDescriptor {
+        name: "error-swallow",
+        severity: Severity::Error,
+        proves: "no `let _ =` or bare `.ok();` discards in non-test library code",
+        guards: "fault propagation: Dfs::write is fallible precisely so faults surface",
+        test_code: TestCode::Skipped,
+        applies: applies_library,
+        scan: Scan::PerFile(scan_error_swallow),
+        fixture_ok: "error_swallow_ok.rs",
+        fixture_bad: "error_swallow_bad.rs",
+        fixture_rel: "crates/dfs/src/checkpoint.rs",
+    },
+    RuleDescriptor {
+        name: "cast-truncation",
+        severity: Severity::Error,
+        proves: "no narrowing `as` casts in blob/snapshot parse paths",
+        guards: "integrity: adversarial headers are rejected by try_from/checked_*, never wrapped",
+        test_code: TestCode::Skipped,
+        applies: applies_parse_paths,
+        scan: Scan::PerFile(scan_cast_truncation),
+        fixture_ok: "cast_truncation_ok.rs",
+        fixture_bad: "cast_truncation_bad.rs",
+        fixture_rel: "crates/core/src/snapshot.rs",
+    },
+    RuleDescriptor {
+        name: "reference-coverage",
+        severity: Severity::Error,
+        proves:
+            "every `pub fn *_reference` in core is exercised by name in tests/infer_fastpath.rs",
+        guards: "fast-path equivalence: the executable spec cannot silently lose its test",
+        test_code: TestCode::Checked,
+        applies: applies_never,
+        scan: Scan::CrossFile(scan_reference_coverage),
+        fixture_ok: "xfile_reference_ok",
+        fixture_bad: "xfile_reference_bad",
+        fixture_rel: "",
+    },
+    RuleDescriptor {
+        name: "fault-coverage",
+        severity: Severity::Error,
+        proves: "every FaultPlan fault class is exercised by name in tests/chaos.rs",
+        guards: "chaos coverage: a new fault class cannot ship without a soak test",
+        test_code: TestCode::Checked,
+        applies: applies_never,
+        scan: Scan::CrossFile(scan_fault_coverage),
+        fixture_ok: "xfile_fault_ok",
+        fixture_bad: "xfile_fault_bad",
+        fixture_rel: "",
+    },
+    RuleDescriptor {
+        name: "allow-syntax",
+        severity: Severity::Error,
+        proves: "every escape hatch is well-formed, reasoned, and suppresses something",
+        guards: "the escape hatch itself: allows cannot rot silently",
+        test_code: TestCode::Checked,
+        applies: applies_always,
+        scan: Scan::Builtin,
+        fixture_ok: "allow_ok.rs",
+        fixture_bad: "allow_bad.rs",
+        fixture_rel: "crates/pipeline/src/daily.rs",
+    },
+];
+
+/// The registry of all rules, in run order.
+pub fn registry() -> &'static [RuleDescriptor] {
+    REGISTRY
+}
+
+/// Looks up a rule by its kebab-case name.
+pub fn rule_named(name: &str) -> Option<&'static RuleDescriptor> {
+    REGISTRY.iter().find(|r| r.name == name)
+}
+
+/// All registered rule names, comma-separated (for error messages).
+pub fn rule_names() -> String {
+    let names: Vec<&str> = REGISTRY.iter().map(|r| r.name).collect();
+    names.join(", ")
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers shared by the scanners.
+
+fn ident(tokens: &[Token], i: usize) -> Option<&str> {
+    tokens.get(i).and_then(|t| match &t.kind {
+        TokenKind::Ident(s) => Some(s.as_str()),
+        _ => None,
+    })
+}
+
+fn punct(tokens: &[Token], i: usize, c: char) -> bool {
+    matches!(tokens.get(i).map(|t| &t.kind), Some(TokenKind::Punct(p)) if *p == c)
+}
+
+fn path_sep(tokens: &[Token], i: usize) -> bool {
+    punct(tokens, i, ':') && punct(tokens, i + 1, ':')
+}
+
+// ---------------------------------------------------------------------------
+// Per-file scanners.
+
+fn scan_determinism(ctx: &FileCtx) -> Vec<(usize, String)> {
+    let t = ctx.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if let Some(name @ ("Instant" | "SystemTime")) = ident(t, i) {
+            if path_sep(t, i + 1) && ident(t, i + 3) == Some("now") {
+                out.push((
+                    i,
+                    format!(
+                        "`{name}::now()` — wall clocks break reproducibility; use virtual time"
+                    ),
+                ));
+            }
+        }
+        if let Some(name @ ("thread_rng" | "from_entropy" | "from_os_rng")) = ident(t, i) {
+            out.push((
+                i,
+                format!(
+                    "`{name}` — OS-entropy RNG; seed explicitly (e.g. `StdRng::seed_from_u64`)"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn scan_panic(ctx: &FileCtx) -> Vec<(usize, String)> {
+    let t = ctx.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if punct(t, i, '.') {
+            if let Some(name @ ("unwrap" | "expect")) = ident(t, i + 1) {
+                if punct(t, i + 2, '(') {
+                    out.push((
+                        i + 1,
+                        format!(
+                            "`.{name}(...)` — thread `SigmundError` or annotate why this cannot fail"
+                        ),
+                    ));
+                }
+            }
+        }
+        if ident(t, i) == Some("panic") && punct(t, i + 1, '!') {
+            out.push((
+                i,
+                "`panic!` — return an error instead of aborting the pipeline".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+fn scan_atomics(ctx: &FileCtx) -> Vec<(usize, String)> {
+    let t = ctx.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if ident(t, i) == Some("sync") && path_sep(t, i + 1) && ident(t, i + 3) == Some("atomic") {
+            out.push((
+                i,
+                "`std::sync::atomic` outside crates/core/src/storage.rs — keep lock-free code in one audited module"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Methods whose call on a hash collection observes its nondeterministic
+/// iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Tracks identifiers bound, annotated, or field-declared as
+/// `HashMap`/`HashSet` (including through wrappers like `Mutex<HashMap<..>>`
+/// and qualified paths), then flags iteration over them: direct `for x in
+/// map`, and `.iter()/.keys()/.values()/.drain()/...` calls. Lookups
+/// (`get`, `insert`, `contains`) are fine — only *order-observing* uses
+/// fire.
+fn scan_map_iteration(ctx: &FileCtx) -> Vec<(usize, String)> {
+    let t = ctx.tokens;
+
+    // Pass A: names whose type or constructor is HashMap/HashSet.
+    let mut tracked: BTreeSet<&str> = BTreeSet::new();
+    for i in 0..t.len() {
+        let Some(ty @ ("HashMap" | "HashSet")) = ident(t, i) else {
+            continue;
+        };
+        let _ = ty;
+        // Walk back over the type/constructor context to the binding marker
+        // (`:` annotation or `=` assignment); the ident right before it is
+        // the bound name. `use` paths and return types hit neither marker.
+        let mut j = i;
+        let mut steps = 0usize;
+        while j > 0 && steps < 12 {
+            j -= 1;
+            steps += 1;
+            match &t[j].kind {
+                TokenKind::Punct('<') | TokenKind::Punct('&') | TokenKind::Punct('(') => {}
+                TokenKind::Punct(':') => {
+                    if j > 0 && punct(t, j - 1, ':') {
+                        // `::` path separator: step past the pair.
+                        j -= 1;
+                        continue;
+                    }
+                    if let Some(name) = ident(t, j.wrapping_sub(1)) {
+                        tracked.insert(name);
+                    }
+                    break;
+                }
+                TokenKind::Punct('=') => {
+                    if let Some(name) = ident(t, j.wrapping_sub(1)) {
+                        tracked.insert(name);
+                    }
+                    break;
+                }
+                TokenKind::Ident(_) => {}
+                _ => break,
+            }
+        }
+    }
+    if tracked.is_empty() {
+        return Vec::new();
+    }
+
+    let fire = |name: &str| {
+        format!(
+            "iteration over hash collection `{name}` — per-process hash seeding makes the order \
+             nondeterministic; use BTreeMap/BTreeSet, or collect-and-sort under a reasoned allow"
+        )
+    };
+
+    // Pass B: order-observing uses of tracked names.
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        // receiver.method( ... ) where method observes iteration order.
+        if punct(t, i, '.') {
+            if let Some(m) = ident(t, i + 1) {
+                if ITER_METHODS.contains(&m) && punct(t, i + 2, '(') {
+                    if let Some(name) = ident(t, i.wrapping_sub(1)) {
+                        if tracked.contains(name) {
+                            out.push((i + 1, fire(name)));
+                        }
+                    }
+                }
+            }
+        }
+        // for PAT in <expr containing a tracked name iterated directly> {
+        if ident(t, i) == Some("for") {
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            let mut found_in = None;
+            while j < t.len() && j < i + 40 {
+                match &t[j].kind {
+                    TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                    TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                    TokenKind::Ident(s) if s == "in" && depth == 0 => {
+                        found_in = Some(j);
+                        break;
+                    }
+                    TokenKind::Punct('{') | TokenKind::Punct(';') => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(jin) = found_in {
+                let mut k = jin + 1;
+                let mut depth = 0i32;
+                while k < t.len() && k < jin + 40 {
+                    match &t[k].kind {
+                        TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                        TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                        TokenKind::Punct('{') if depth == 0 => break,
+                        // Direct iteration: the tracked name IS the
+                        // iterated expression (next token closes it).
+                        // Method chains (`map.len()`) are not flagged
+                        // here; order-observing methods fire above.
+                        TokenKind::Ident(name)
+                            if tracked.contains(name.as_str())
+                                && (punct(t, k + 1, '{') || k + 1 >= t.len()) =>
+                        {
+                            out.push((k, fire(name)));
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Flags `.sum::<f32>()` and `.zip(..)....sum(..)` chains — the hand-rolled
+/// dot-product shapes — outside the `model::dot` seam. Scoring must route
+/// through the one audited accumulation so SIMD work cannot drift bitwise.
+fn scan_dot_seam(ctx: &FileCtx) -> Vec<(usize, String)> {
+    let t = ctx.tokens;
+    let mut hits: BTreeSet<usize> = BTreeSet::new();
+    for i in 0..t.len() {
+        // .sum::<f32>()
+        if punct(t, i, '.')
+            && ident(t, i + 1) == Some("sum")
+            && path_sep(t, i + 2)
+            && punct(t, i + 4, '<')
+            && ident(t, i + 5) == Some("f32")
+        {
+            hits.insert(i + 1);
+        }
+        // .zip( ... ).map( ... ).sum( — the classic hand-rolled dot chain.
+        if punct(t, i, '.') && ident(t, i + 1) == Some("zip") && punct(t, i + 2, '(') {
+            let mut k = i + 3;
+            while k < t.len() && k < i + 60 {
+                match &t[k].kind {
+                    TokenKind::Punct(';') | TokenKind::Punct('{') | TokenKind::Punct('}') => break,
+                    TokenKind::Punct('.') if ident(t, k + 1) == Some("sum") => {
+                        hits.insert(k + 1);
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+    }
+    hits.into_iter()
+        .map(|i| {
+            (
+                i,
+                "hand-rolled f32 accumulation — route scoring through `model::dot`, the one \
+                 seam SIMD work is allowed to change"
+                    .to_string(),
+            )
+        })
+        .collect()
+}
+
+/// Flags `let _ = <expr>;` and bare `.ok();` — both discard a `Result` the
+/// caller was given for a reason. `let _ = write!(..)` / `writeln!(..)` is
+/// exempt: formatting into a `String` is infallible and that idiom is how
+/// the obs renderers spell it.
+fn scan_error_swallow(ctx: &FileCtx) -> Vec<(usize, String)> {
+    let t = ctx.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if ident(t, i) == Some("let") && ident(t, i + 1) == Some("_") && punct(t, i + 2, '=') {
+            let fmt_macro =
+                matches!(ident(t, i + 3), Some("write" | "writeln")) && punct(t, i + 4, '!');
+            if !fmt_macro {
+                out.push((
+                    i + 1,
+                    "`let _ = ...` discards a result — handle the error, or state why dropping \
+                     it is safe with a reasoned allow"
+                        .to_string(),
+                ));
+            }
+        }
+        if punct(t, i, '.')
+            && ident(t, i + 1) == Some("ok")
+            && punct(t, i + 2, '(')
+            && punct(t, i + 3, ')')
+            && punct(t, i + 4, ';')
+        {
+            out.push((
+                i + 1,
+                "bare `.ok();` swallows the error — handle it, or state why dropping it is safe \
+                 with a reasoned allow"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Integer types an `as` cast can silently truncate into.
+const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Flags narrowing `as` casts in blob/snapshot parse paths: adversarial
+/// lengths must go through `try_from`/`checked_*` so they are rejected,
+/// never wrapped into a small number a bounds check happily accepts.
+fn scan_cast_truncation(ctx: &FileCtx) -> Vec<(usize, String)> {
+    let t = ctx.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if ident(t, i) == Some("as") {
+            if let Some(ty) = ident(t, i + 1) {
+                if NARROW_TYPES.contains(&ty) {
+                    out.push((
+                        i,
+                        format!(
+                            "narrowing `as {ty}` in a parse path — use `{ty}::try_from` or \
+                             checked arithmetic so oversized values are rejected, not wrapped"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Cross-file scanners.
+
+fn idents_of(tokens: &[Token]) -> BTreeSet<&str> {
+    tokens
+        .iter()
+        .filter_map(|t| match &t.kind {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Every `pub fn <name>_reference` under the core source prefix must be
+/// named in the fast-path equivalence suite.
+fn scan_reference_coverage(ctx: &TreeCtx) -> Vec<(String, usize, String)> {
+    let test_file = ctx
+        .files
+        .iter()
+        .find(|f| f.rel == ctx.policy.reference_test_file);
+    let test_idents = test_file.map(|f| idents_of(&f.tokens));
+    let mut out = Vec::new();
+    for f in ctx
+        .files
+        .iter()
+        .filter(|f| f.rel.starts_with(&ctx.policy.reference_src_prefix))
+    {
+        let t = &f.tokens;
+        for i in 0..t.len() {
+            if ident(t, i) == Some("pub") && ident(t, i + 1) == Some("fn") {
+                let Some(name) = ident(t, i + 2) else {
+                    continue;
+                };
+                if !name.ends_with("_reference") {
+                    continue;
+                }
+                let covered = match &test_idents {
+                    Some(set) => set.contains(name),
+                    None => false,
+                };
+                if !covered {
+                    out.push((
+                        f.rel.clone(),
+                        t[i + 2].line,
+                        format!(
+                            "executable spec `{name}` is not exercised by name in `{}` — the \
+                             fast path lost its bitwise-equivalence witness",
+                            ctx.policy.reference_test_file
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Every fault-class field of `FaultPlan` (`*_rate` rates and `partitions`)
+/// must be named in the chaos suite.
+fn scan_fault_coverage(ctx: &TreeCtx) -> Vec<(String, usize, String)> {
+    let Some(plan_file) = ctx
+        .files
+        .iter()
+        .find(|f| f.rel == ctx.policy.fault_plan_file)
+    else {
+        return Vec::new();
+    };
+    let test_idents = ctx
+        .files
+        .iter()
+        .find(|f| f.rel == ctx.policy.fault_test_file)
+        .map(|f| idents_of(&f.tokens));
+
+    // Locate `struct FaultPlan { ... }` and collect its fault-class fields.
+    let t = &plan_file.tokens;
+    let mut fields: Vec<(String, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < t.len() {
+        if ident(t, i) == Some("struct") && ident(t, i + 1) == Some("FaultPlan") {
+            let mut j = i + 2;
+            while j < t.len() && !punct(t, j, '{') {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            while j < t.len() {
+                match &t[j].kind {
+                    TokenKind::Punct('{') => depth += 1,
+                    TokenKind::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenKind::Ident(name)
+                        if depth == 1
+                            && punct(t, j + 1, ':')
+                            && !punct(t, j + 2, ':')
+                            && (name.ends_with("_rate") || name == "partitions") =>
+                    {
+                        fields.push((name.clone(), t[j].line));
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            break;
+        }
+        i += 1;
+    }
+
+    fields
+        .into_iter()
+        .filter(|(name, _)| match &test_idents {
+            Some(set) => !set.contains(name.as_str()),
+            None => true,
+        })
+        .map(|(name, line)| {
+            (
+                ctx.policy.fault_plan_file.clone(),
+                line,
+                format!(
+                    "fault class `{name}` is not exercised by name in `{}` — a fault class \
+                     without a chaos test is an untested failure mode",
+                    ctx.policy.fault_test_file
+                ),
+            )
+        })
+        .collect()
+}

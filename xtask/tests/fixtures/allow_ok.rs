@@ -1,0 +1,8 @@
+// Fixture: well-formed escape hatches — one on the line above, one on the
+// same line, both reasoned, both suppressing a real match.
+
+pub fn publish(dfs: &mut Dfs, blob: &[u8]) {
+    // xtask: allow(error-swallow) — migration is best-effort placement
+    let _ = dfs.migrate(blob);
+    dfs.write(blob).expect("preflighted"); // xtask: allow(panic-surface) — buffer length checked by caller
+}

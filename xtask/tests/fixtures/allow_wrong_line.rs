@@ -1,0 +1,8 @@
+// Fixture: an allow naming the right rule but anchored two lines above the
+// site — out of range, so the site still fires and the allow reads unused.
+
+pub fn f(x: Option<u32>) -> u32 {
+    // xtask: allow(panic-surface) — right rule, wrong line: one line too far
+    let y = 1;
+    x.unwrap() + y
+}

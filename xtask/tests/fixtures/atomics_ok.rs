@@ -1,0 +1,17 @@
+// Fixture: serving-layer state without raw atomics — lock-free code stays
+// confined to the audited Hogwild module.
+
+use std::sync::Mutex;
+
+pub struct Store {
+    inner: Mutex<Vec<u32>>,
+}
+
+impl Store {
+    pub fn len(&self) -> usize {
+        match self.inner.lock() {
+            Ok(v) => v.len(),
+            Err(_) => 0,
+        }
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: narrowing `as` casts in a parse path — an adversarial length
+// silently wraps into a small number a bounds check happily accepts.
+
+pub fn parse_len(raw: u64) -> u32 {
+    raw as u32
+}
+
+pub fn parse_dim(raw: usize) -> u16 {
+    raw as u16
+}

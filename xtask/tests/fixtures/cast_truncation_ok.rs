@@ -1,0 +1,15 @@
+// Fixture: the approved patterns — `try_from` rejects oversized values,
+// widening conversions are loss-free, and checked arithmetic propagates
+// overflow instead of wrapping.
+
+pub fn parse_len(raw: u64) -> Result<u32, SnapshotError> {
+    u32::try_from(raw).map_err(|_| SnapshotError::Truncated)
+}
+
+pub fn widen(n: u32) -> u64 {
+    u64::from(n)
+}
+
+pub fn row_bytes(rows: usize, dim: usize) -> Option<usize> {
+    rows.checked_mul(dim)
+}

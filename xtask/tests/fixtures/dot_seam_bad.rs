@@ -1,0 +1,11 @@
+// Fixture: hand-rolled f32 accumulation in scoring code — both the classic
+// zip/map/sum dot chain and a turbofished f32 sum must route through
+// `model::dot` instead.
+
+pub fn score(user: &[f32], item: &[f32]) -> f32 {
+    user.iter().zip(item.iter()).map(|(u, v)| u * v).sum()
+}
+
+pub fn norm2(xs: &[f32]) -> f32 {
+    xs.iter().map(|x| x * x).sum::<f32>()
+}

@@ -1,0 +1,13 @@
+// Fixture: scoring routed through the one audited seam, plus an integer
+// sum that the rule must leave alone (only f32 accumulation is order-
+// sensitive enough to guard).
+
+use crate::model;
+
+pub fn score(user: &[f32], item: &[f32]) -> f32 {
+    model::dot(user, item)
+}
+
+pub fn total(counts: &[u64]) -> u64 {
+    counts.iter().sum()
+}

@@ -1,0 +1,10 @@
+// Fixture: both ways library code swallows a Result — `let _ =` and a
+// bare `.ok();` statement.
+
+pub fn clear(dfs: &mut Dfs, path: &str) {
+    let _ = dfs.delete(path);
+}
+
+pub fn tidy(dfs: &mut Dfs, path: &str) {
+    dfs.delete(path).ok();
+}

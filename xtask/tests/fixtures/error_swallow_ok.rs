@@ -1,0 +1,18 @@
+// Fixture: the approved patterns — propagate the Result, drop it under a
+// reasoned allow when discarding is genuinely safe, and the `write!`/
+// `writeln!`-into-String carve-out (fmt to a String is infallible).
+
+use std::fmt::Write as _;
+
+pub fn clear(dfs: &mut Dfs, path: &str) -> Result<(), DfsError> {
+    dfs.delete(path)
+}
+
+pub fn best_effort_clear(dfs: &mut Dfs, path: &str) {
+    // xtask: allow(error-swallow) — cleanup is best-effort; blob stays readable
+    let _ = dfs.delete(path);
+}
+
+pub fn render(out: &mut String, n: usize) {
+    let _ = writeln!(out, "{n}");
+}

@@ -1,0 +1,42 @@
+// Fixture: every shape of hash-order iteration the rule must catch —
+// order-observing method calls, direct `for ... in`, and drains — plus a
+// test-module loop that must NOT fire (test code is exempt).
+
+use std::collections::{HashMap, HashSet};
+
+pub fn summarize(best: &HashMap<u32, f32>) -> Vec<u32> {
+    let mut out: Vec<u32> = best.keys().copied().collect();
+    out.sort_unstable();
+    out
+}
+
+pub fn emit(recs: HashMap<u32, Vec<u32>>) -> usize {
+    let mut n = 0;
+    for (_r, v) in recs {
+        n += v.len();
+    }
+    n
+}
+
+pub struct Planner {
+    planned: HashSet<u32>,
+}
+
+impl Planner {
+    pub fn drain_all(&mut self) -> Vec<u32> {
+        self.planned.drain().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn order_free_assertion_is_fine_in_tests() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for (k, _) in m {
+            drop(k);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture: the approved patterns — BTreeMap for anything iterated, HashMap
+// for pure lookup tables, and collect-and-sort under a reasoned allow when
+// a HashMap genuinely earns its O(1) lookups.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn summarize(best: &BTreeMap<u32, f32>) -> Vec<u32> {
+    best.keys().copied().collect()
+}
+
+pub fn lookup(cache: &HashMap<u32, f32>, id: u32) -> Option<f32> {
+    cache.get(&id).copied()
+}
+
+pub fn occupancy(cache: &HashMap<u32, f32>) -> usize {
+    cache.len()
+}
+
+pub fn sorted_entries(pairs: &HashMap<u32, u32>) -> Vec<(u32, u32)> {
+    // xtask: allow(map-iteration) — iteration feeds an immediate total sort
+    let mut v: Vec<(u32, u32)> = pairs.iter().map(|(&k, &c)| (k, c)).collect();
+    v.sort_unstable();
+    v
+}

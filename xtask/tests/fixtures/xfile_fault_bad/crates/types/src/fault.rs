@@ -1,0 +1,8 @@
+// Cross-file fixture: a fault plan with a class (`partitions`) the chaos
+// suite never exercises by name.
+
+pub struct FaultPlan {
+    pub seed: u64,
+    pub read_error_rate: f64,
+    pub partitions: Vec<u32>,
+}

@@ -1,0 +1,10 @@
+#[test]
+fn every_fault_class_is_exercised() {
+    let plan = FaultPlan {
+        seed: 1,
+        read_error_rate: 0.1,
+        partitions: vec![2],
+    };
+    assert!(plan.read_error_rate > 0.0);
+    assert_eq!(plan.partitions.len(), 1);
+}

@@ -1,0 +1,6 @@
+// Cross-file fixture: an executable-spec method the equivalence suite
+// never names — the fast path has lost its bitwise witness.
+
+pub fn recommend_reference(seed: u32) -> Vec<u32> {
+    vec![seed]
+}

@@ -1,0 +1,7 @@
+// recommend_reference appears only in this comment, which must not count
+// as coverage — the lexer keeps comments opaque.
+
+#[test]
+fn unrelated() {
+    assert_eq!(1 + 1, 2);
+}

@@ -1,0 +1,6 @@
+// Cross-file fixture: an executable-spec method that IS exercised by name
+// in the fast-path equivalence suite.
+
+pub fn recommend_reference(seed: u32) -> Vec<u32> {
+    vec![seed]
+}

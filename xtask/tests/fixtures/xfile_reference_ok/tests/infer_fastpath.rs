@@ -1,0 +1,4 @@
+#[test]
+fn fast_path_matches_reference() {
+    assert_eq!(fast(7), recommend_reference(7));
+}

@@ -1,11 +1,16 @@
-//! Fixture-driven tests for the three lint rules and the allow escape hatch.
+//! Fixture-driven tests for the registered lint rules and the allow
+//! escape hatch.
 //!
-//! Fixtures live in `tests/fixtures/`; each is linted under a synthetic
-//! repo-relative path so the policy (which rule applies where) is exercised
-//! exactly as it would be on the real tree.
+//! Per-file fixtures live in `tests/fixtures/`; each is linted under a
+//! synthetic repo-relative path so the policy (which rule applies where)
+//! is exercised exactly as it would be on the real tree. Cross-file rules
+//! are proven against miniature directory trees (`fixtures/xfile_*`) run
+//! through `run_lint_filtered`.
 
 use std::collections::BTreeMap;
-use xtask::{lint_source, run_lint, Policy, Violation};
+use std::path::{Path, PathBuf};
+use xtask::rules::{registry, Scope};
+use xtask::{lint_source, run_lint, run_lint_filtered, Policy, Violation};
 
 const DETERMINISM_BAD: &str = include_str!("fixtures/determinism_bad.rs");
 const DETERMINISM_OK: &str = include_str!("fixtures/determinism_ok.rs");
@@ -13,12 +18,22 @@ const PANIC_BAD: &str = include_str!("fixtures/panic_bad.rs");
 const PANIC_OK: &str = include_str!("fixtures/panic_ok.rs");
 const ATOMICS_BAD: &str = include_str!("fixtures/atomics_bad.rs");
 const ALLOW_BAD: &str = include_str!("fixtures/allow_bad.rs");
+const ALLOW_OK: &str = include_str!("fixtures/allow_ok.rs");
+const ALLOW_WRONG_LINE: &str = include_str!("fixtures/allow_wrong_line.rs");
 const OBS_WALLCLOCK_BAD: &str = include_str!("fixtures/obs_wallclock_bad.rs");
 const BENCH_WALLCLOCK_ALLOWED: &str = include_str!("fixtures/bench_wallclock_allowed.rs");
 const FAULT_INJECTOR_BAD: &str = include_str!("fixtures/fault_injector_bad.rs");
 const FAULT_INJECTOR_OK: &str = include_str!("fixtures/fault_injector_ok.rs");
 const INTEGRITY_HASH_BAD: &str = include_str!("fixtures/integrity_hash_bad.rs");
 const INTEGRITY_HASH_OK: &str = include_str!("fixtures/integrity_hash_ok.rs");
+const MAP_ITERATION_BAD: &str = include_str!("fixtures/map_iteration_bad.rs");
+const MAP_ITERATION_OK: &str = include_str!("fixtures/map_iteration_ok.rs");
+const DOT_SEAM_BAD: &str = include_str!("fixtures/dot_seam_bad.rs");
+const DOT_SEAM_OK: &str = include_str!("fixtures/dot_seam_ok.rs");
+const ERROR_SWALLOW_BAD: &str = include_str!("fixtures/error_swallow_bad.rs");
+const ERROR_SWALLOW_OK: &str = include_str!("fixtures/error_swallow_ok.rs");
+const CAST_TRUNCATION_BAD: &str = include_str!("fixtures/cast_truncation_bad.rs");
+const CAST_TRUNCATION_OK: &str = include_str!("fixtures/cast_truncation_ok.rs");
 
 fn lint(rel: &str, src: &str) -> Vec<Violation> {
     lint_source(rel, src, &Policy::default()).0
@@ -31,6 +46,63 @@ fn by_rule(vs: &[Violation]) -> BTreeMap<String, usize> {
     }
     m
 }
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+// ---------------------------------------------------------------------------
+// Registry self-test: every rule must prove itself against its fixtures.
+
+#[test]
+fn every_registered_rule_has_proving_fixtures() {
+    let dir = fixtures_dir();
+    let policy = Policy::default();
+    for rule in registry() {
+        match rule.scope() {
+            Scope::PerFile => {
+                let ok = std::fs::read_to_string(dir.join(rule.fixture_ok))
+                    .unwrap_or_else(|e| panic!("{}: missing ok fixture: {e}", rule.name));
+                let bad = std::fs::read_to_string(dir.join(rule.fixture_bad))
+                    .unwrap_or_else(|e| panic!("{}: missing bad fixture: {e}", rule.name));
+                let (v_ok, _) = lint_source(rule.fixture_rel, &ok, &policy);
+                assert!(
+                    v_ok.iter().all(|v| v.rule != rule.name),
+                    "{}: ok fixture fired: {v_ok:?}",
+                    rule.name
+                );
+                let (v_bad, _) = lint_source(rule.fixture_rel, &bad, &policy);
+                assert!(
+                    v_bad.iter().any(|v| v.rule == rule.name),
+                    "{}: bad fixture did not fire: {v_bad:?}",
+                    rule.name
+                );
+            }
+            Scope::CrossFile => {
+                let filter = vec![rule.name.to_string()];
+                let ok = run_lint_filtered(&dir.join(rule.fixture_ok), &policy, Some(&filter))
+                    .unwrap_or_else(|e| panic!("{}: ok tree unreadable: {e}", rule.name));
+                assert!(
+                    ok.violations.iter().all(|v| v.rule != rule.name),
+                    "{}: ok tree fired: {:?}",
+                    rule.name,
+                    ok.violations
+                );
+                let bad = run_lint_filtered(&dir.join(rule.fixture_bad), &policy, Some(&filter))
+                    .unwrap_or_else(|e| panic!("{}: bad tree unreadable: {e}", rule.name));
+                assert!(
+                    bad.violations.iter().any(|v| v.rule == rule.name),
+                    "{}: bad tree did not fire: {:?}",
+                    rule.name,
+                    bad.violations
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// determinism
 
 #[test]
 fn determinism_positive_fixture_flags_every_source() {
@@ -80,6 +152,9 @@ fn non_allowlisted_bench_binary_uses_inline_allow_for_wall_clock() {
     assert!(used[0].reason.contains("throughput benchmark"));
 }
 
+// ---------------------------------------------------------------------------
+// panic-surface
+
 #[test]
 fn panic_positive_fixture_flags_unwrap_expect_and_panic() {
     let vs = lint("crates/pipeline/src/daily.rs", PANIC_BAD);
@@ -125,11 +200,14 @@ fn obs_crate_may_not_read_wall_clocks() {
 
 #[test]
 fn obs_crate_is_panic_free_library_code() {
-    // `obs` is in Policy::default().panic_crates: an unwrap in its non-test
-    // code is a violation, same as the other library crates.
+    // `obs` is in Policy::default().library_crates: an unwrap in its
+    // non-test code is a violation, same as the other library crates.
     let vs = lint("crates/obs/src/metrics.rs", PANIC_BAD);
     assert_eq!(by_rule(&vs).get("panic-surface"), Some(&4), "{vs:?}");
 }
+
+// ---------------------------------------------------------------------------
+// chaos & integrity surfaces stay under the determinism rule
 
 #[test]
 fn fault_injector_entropy_sources_are_flagged() {
@@ -144,8 +222,9 @@ fn fault_injector_entropy_sources_are_flagged() {
 #[test]
 fn fault_injector_splitmix_pattern_is_clean() {
     // The real injector's stateless splitmix64 draw (hash of seed ⊕ op ⊕
-    // salt) passes the determinism rule with zero allows — banned names in
-    // its comments stay opaque to the lexer.
+    // salt) passes every rule with zero allows — banned names in its
+    // comments stay opaque to the lexer, and its widening `as f64` casts
+    // are not narrowing (crates/dfs/src/ is a cast-truncation parse path).
     let (vs, allows) = lint_source(
         "crates/dfs/src/fault.rs",
         FAULT_INJECTOR_OK,
@@ -162,17 +241,15 @@ fn fault_injector_splitmix_pattern_is_clean() {
 fn integrity_hash_entropy_sources_are_flagged() {
     // The integrity layer's verifiability contract: a content checksum in
     // `crates/types/src/hash.rs` must be a pure function of the bytes.
-    // Clock-seeded state, per-process RNG salts, and wall-clock verdict
-    // stamps are each a determinism violation — corruption detection gets
-    // no exemption from the reproducibility rules it exists to protect.
     let vs = lint("crates/types/src/hash.rs", INTEGRITY_HASH_BAD);
     assert_eq!(by_rule(&vs).get("determinism"), Some(&3), "{vs:?}");
 }
 
 #[test]
 fn integrity_hash_pure_fnv_pattern_is_clean() {
-    // The real FNV-1a absorb loop passes the determinism rule with zero
-    // allows — checksums need no escape hatches to be reproducible.
+    // The real FNV-1a absorb loop passes every rule with zero allows —
+    // checksums need no escape hatches to be reproducible, and the absorb
+    // uses `u64::from`, not narrowing casts (hash.rs is a parse path).
     let (vs, allows) = lint_source(
         "crates/types/src/hash.rs",
         INTEGRITY_HASH_OK,
@@ -185,6 +262,9 @@ fn integrity_hash_pure_fnv_pattern_is_clean() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// atomics-scope
+
 #[test]
 fn atomics_positive_fixture_flags_outside_storage() {
     let vs = lint("crates/serving/src/store.rs", ATOMICS_BAD);
@@ -193,6 +273,108 @@ fn atomics_positive_fixture_flags_outside_storage() {
     let vs = lint("crates/core/src/storage.rs", ATOMICS_BAD);
     assert_eq!(by_rule(&vs).get("atomics-scope"), None, "{vs:?}");
 }
+
+// ---------------------------------------------------------------------------
+// map-iteration
+
+#[test]
+fn map_iteration_flags_methods_loops_and_drains() {
+    let vs = lint("crates/pipeline/src/daily.rs", MAP_ITERATION_BAD);
+    let counts = by_rule(&vs);
+    // .keys() + direct for-in + .drain(); the test-module loop is exempt.
+    assert_eq!(counts.get("map-iteration"), Some(&3), "{vs:?}");
+}
+
+#[test]
+fn map_iteration_ok_patterns_pass_with_one_reasoned_allow() {
+    let (vs, allows) = lint_source(
+        "crates/pipeline/src/daily.rs",
+        MAP_ITERATION_OK,
+        &Policy::default(),
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+    // The collect-and-sort idiom carries the fixture's single allow.
+    let used: Vec<_> = allows.iter().filter(|a| a.used).collect();
+    assert_eq!(used.len(), 1, "{allows:?}");
+    assert_eq!(used[0].rule, "map-iteration");
+}
+
+#[test]
+fn map_iteration_only_applies_to_library_crates() {
+    for rel in ["crates/cli/src/main.rs", "tests/end_to_end.rs"] {
+        let vs = lint(rel, MAP_ITERATION_BAD);
+        assert_eq!(by_rule(&vs).get("map-iteration"), None, "{rel}: {vs:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// dot-seam
+
+#[test]
+fn dot_seam_flags_zip_sum_and_turbofish_f32() {
+    let vs = lint("crates/core/src/inference.rs", DOT_SEAM_BAD);
+    assert_eq!(by_rule(&vs).get("dot-seam"), Some(&2), "{vs:?}");
+}
+
+#[test]
+fn dot_seam_ok_patterns_are_clean_and_model_rs_is_exempt() {
+    let vs = lint("crates/core/src/inference.rs", DOT_SEAM_OK);
+    assert!(vs.is_empty(), "{vs:?}");
+    // The seam itself may hand-roll the accumulation it defines.
+    let vs = lint("crates/core/src/model.rs", DOT_SEAM_BAD);
+    assert_eq!(by_rule(&vs).get("dot-seam"), None, "{vs:?}");
+    // Non-scoring crates are out of scope.
+    let vs = lint("crates/datagen/src/latent.rs", DOT_SEAM_BAD);
+    assert_eq!(by_rule(&vs).get("dot-seam"), None, "{vs:?}");
+}
+
+// ---------------------------------------------------------------------------
+// error-swallow
+
+#[test]
+fn error_swallow_flags_let_underscore_and_bare_ok() {
+    let vs = lint("crates/dfs/src/checkpoint.rs", ERROR_SWALLOW_BAD);
+    assert_eq!(by_rule(&vs).get("error-swallow"), Some(&2), "{vs:?}");
+}
+
+#[test]
+fn error_swallow_ok_patterns_pass_with_one_reasoned_allow() {
+    let (vs, allows) = lint_source(
+        "crates/dfs/src/checkpoint.rs",
+        ERROR_SWALLOW_OK,
+        &Policy::default(),
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+    // Propagation and writeln!-into-String need no allows; the best-effort
+    // cleanup carries the fixture's single reasoned one.
+    let used: Vec<_> = allows.iter().filter(|a| a.used).collect();
+    assert_eq!(used.len(), 1, "{allows:?}");
+    assert_eq!(used[0].rule, "error-swallow");
+}
+
+// ---------------------------------------------------------------------------
+// cast-truncation
+
+#[test]
+fn cast_truncation_flags_narrowing_casts_in_parse_paths() {
+    let vs = lint("crates/core/src/snapshot.rs", CAST_TRUNCATION_BAD);
+    assert_eq!(by_rule(&vs).get("cast-truncation"), Some(&2), "{vs:?}");
+    // dfs blob handling is a parse path too.
+    let vs = lint("crates/dfs/src/blob.rs", CAST_TRUNCATION_BAD);
+    assert_eq!(by_rule(&vs).get("cast-truncation"), Some(&2), "{vs:?}");
+}
+
+#[test]
+fn cast_truncation_ok_patterns_are_clean_and_scope_is_narrow() {
+    let vs = lint("crates/core/src/snapshot.rs", CAST_TRUNCATION_OK);
+    assert!(vs.is_empty(), "{vs:?}");
+    // Outside the parse paths, narrowing casts are clippy's problem.
+    let vs = lint("crates/core/src/train.rs", CAST_TRUNCATION_BAD);
+    assert_eq!(by_rule(&vs).get("cast-truncation"), None, "{vs:?}");
+}
+
+// ---------------------------------------------------------------------------
+// allow escape-hatch edge cases
 
 #[test]
 fn malformed_allows_are_each_their_own_violation() {
@@ -208,7 +390,50 @@ fn malformed_allows_are_each_their_own_violation() {
 }
 
 #[test]
-fn run_lint_walks_a_tree_and_reports_per_file() {
+fn unknown_rule_allow_lists_the_registry() {
+    let vs = lint("crates/pipeline/src/daily.rs", ALLOW_BAD);
+    let unknown = vs
+        .iter()
+        .find(|v| v.line == 4)
+        .expect("unknown-rule violation at line 4");
+    assert!(
+        unknown.message.contains("registered rules:")
+            && unknown.message.contains("map-iteration")
+            && unknown.message.contains("fault-coverage"),
+        "{unknown:?}"
+    );
+}
+
+#[test]
+fn allow_on_same_line_and_line_above_both_suppress() {
+    let (vs, allows) = lint_source("crates/pipeline/src/daily.rs", ALLOW_OK, &Policy::default());
+    assert!(vs.is_empty(), "{vs:?}");
+    assert_eq!(allows.len(), 2, "{allows:?}");
+    assert!(allows.iter().all(|a| a.used), "{allows:?}");
+    // One anchored on the line above the site, one on the site's own line.
+    assert!(allows.iter().any(|a| a.rule == "error-swallow"));
+    assert!(allows.iter().any(|a| a.rule == "panic-surface"));
+}
+
+#[test]
+fn allow_matching_rule_but_wrong_line_does_not_suppress() {
+    let vs = lint("crates/pipeline/src/daily.rs", ALLOW_WRONG_LINE);
+    let counts = by_rule(&vs);
+    // The site still fires, and the out-of-range allow reads unused.
+    assert_eq!(counts.get("panic-surface"), Some(&1), "{vs:?}");
+    assert_eq!(counts.get("allow-syntax"), Some(&1), "{vs:?}");
+    assert!(
+        vs.iter()
+            .any(|v| v.rule == "allow-syntax" && v.message.contains("unused")),
+        "{vs:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// whole-tree runs: sorting, filtering, cross-file phase
+
+#[test]
+fn run_lint_walks_a_tree_and_reports_sorted() {
     let root = std::env::temp_dir().join(format!("xtask-lint-tree-{}", std::process::id()));
     let src_dir = root.join("crates/core/src");
     std::fs::create_dir_all(&src_dir).unwrap();
@@ -219,19 +444,71 @@ fn run_lint_walks_a_tree_and_reports_per_file() {
     std::fs::write(src_dir.join("ok.rs"), "fn f() -> u32 { 1 }\n").unwrap();
     std::fs::write(
         src_dir.join("bad.rs"),
-        "fn f() { let _ = Instant::now(); }\n",
+        "fn f() { let t = Instant::now(); let _ = fallible(); }\n",
     )
     .unwrap();
 
     let report = run_lint(&root, &Policy::default()).unwrap();
     assert_eq!(report.files_scanned, 2, "target/ is skipped");
-    assert_eq!(report.violations.len(), 1);
+    // Same line, two rules: sorted by (file, line, rule) — determinism
+    // before error-swallow.
+    assert_eq!(report.violations.len(), 2);
     assert_eq!(report.violations[0].file, "crates/core/src/bad.rs");
     assert_eq!(report.violations[0].rule, "determinism");
+    assert_eq!(report.violations[1].rule, "error-swallow");
 
     let json = report.to_json();
+    assert!(json.contains("\"schema_version\": 2"));
     assert!(json.contains("\"determinism\": 1"));
+    assert!(json.contains("\"severity\": \"error\""));
     assert!(json.contains("crates/core/src/bad.rs"));
 
+    // --rule filtering: only the named rule runs.
+    let filter = vec!["error-swallow".to_string()];
+    let report = run_lint_filtered(&root, &Policy::default(), Some(&filter)).unwrap();
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert_eq!(report.violations[0].rule, "error-swallow");
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn cross_file_rules_anchor_violations_at_the_definition() {
+    let dir = fixtures_dir();
+    let policy = Policy::default();
+    let filter = vec!["reference-coverage".to_string()];
+    let report =
+        run_lint_filtered(&dir.join("xfile_reference_bad"), &policy, Some(&filter)).unwrap();
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    let v = &report.violations[0];
+    assert_eq!(v.rule, "reference-coverage");
+    assert_eq!(v.file, "crates/core/src/inference.rs");
+    assert!(v.message.contains("recommend_reference"), "{v:?}");
+
+    let filter = vec!["fault-coverage".to_string()];
+    let report = run_lint_filtered(&dir.join("xfile_fault_bad"), &policy, Some(&filter)).unwrap();
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    let v = &report.violations[0];
+    assert_eq!(v.rule, "fault-coverage");
+    assert_eq!(v.file, "crates/types/src/fault.rs");
+    assert!(v.message.contains("partitions"), "{v:?}");
+}
+
+#[test]
+fn missing_equivalence_suite_fails_reference_coverage() {
+    // A tree with a *_reference method but no tests/infer_fastpath.rs at
+    // all must fail — deleting the suite cannot silently pass the gate.
+    let root = std::env::temp_dir().join(format!("xtask-lint-noref-{}", std::process::id()));
+    let src_dir = root.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::write(
+        src_dir.join("inference.rs"),
+        "pub fn rank_reference(x: u32) -> u32 { x }\n",
+    )
+    .unwrap();
+    let filter = vec!["reference-coverage".to_string()];
+    let report = run_lint_filtered(&root, &Policy::default(), Some(&filter)).unwrap();
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert_eq!(report.violations[0].rule, "reference-coverage");
     std::fs::remove_dir_all(&root).unwrap();
 }
