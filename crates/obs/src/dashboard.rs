@@ -1,0 +1,538 @@
+//! Deterministic live-ops dashboard: folds [`HealthEvent`]s into fleet
+//! state and renders fixed-width text frames.
+//!
+//! The renderer is a pure function of the state, and the state is a pure
+//! fold over the event sequence — no clocks, no terminal queries, no
+//! allocator-order dependence (all iterated maps are `BTreeMap`). Two
+//! same-seed runs therefore produce byte-identical frame sequences, which
+//! is exactly what `tests/watch_stream.rs` and the CI watch-smoke job
+//! assert. ANSI is opt-in and additive: `render(true)` prepends a
+//! clear-screen/home sequence and colors state labels, nothing else, so
+//! golden tests diff the `render(false)` output.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::stream::{AlertKind, HealthEvent};
+
+/// Quality-history samples retained per retailer (the sparkline width).
+const SPARK_WIDTH: usize = 16;
+/// Alert-feed lines retained.
+const FEED_DEPTH: usize = 8;
+/// Unicode block ramp for the quality sparkline, lowest to highest.
+const SPARK_RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Per-retailer rollup — the "shop health" row.
+#[derive(Debug, Clone, Default)]
+struct RetailerRow {
+    /// Most recent MAP@10 sample.
+    last_map: f64,
+    /// Trailing MAP samples, oldest first, capped at [`SPARK_WIDTH`].
+    history: Vec<f64>,
+    /// Day of the last `Degraded` event, if any.
+    degraded_day: Option<u32>,
+    /// Day of the last `Rejected` event, if any.
+    rejected_day: Option<u32>,
+    /// Day of the last quality sample (used to age out state flags).
+    last_day: u32,
+    /// Alerts raised for this retailer so far.
+    alerts: u64,
+}
+
+impl RetailerRow {
+    /// One-word serving state for the frame, given the current day.
+    fn state(&self, day: u32) -> &'static str {
+        if self.rejected_day == Some(day) {
+            "REJECTED"
+        } else if self.degraded_day == Some(day) {
+            "DEGRADED"
+        } else {
+            "ok"
+        }
+    }
+}
+
+/// Fleet state folded from a [`HealthEvent`] stream, plus a deterministic
+/// text renderer.
+///
+/// ```
+/// use sigmund_obs::{Dashboard, HealthEvent};
+/// let mut dash = Dashboard::new();
+/// dash.apply(&HealthEvent::Quality { ts: 86400.0, day: 0, retailer: 0, map: 0.31 });
+/// dash.apply(&HealthEvent::Published { ts: 86400.0, generation: 1, retailers: 1 });
+/// let frame = dash.render(false);
+/// assert!(frame.contains("gen 1"));
+/// assert!(frame.contains("0.3100"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Dashboard {
+    retailers: BTreeMap<u32, RetailerRow>,
+    day: u32,
+    ts: f64,
+    // Serving state.
+    generation: u64,
+    expected_generation: u64,
+    max_retailer_lag: u64,
+    rollbacks: u64,
+    // Cumulative fault/integrity counters.
+    read_errors: u64,
+    write_errors: u64,
+    torn_reads: u64,
+    checksum_failures: u64,
+    rejected_total: u64,
+    degraded_total: u64,
+    // Last-seen phase makespans.
+    phases: BTreeMap<&'static str, f64>,
+    /// Recent alert lines, oldest first, capped at [`FEED_DEPTH`].
+    feed: Vec<String>,
+    /// Events the subscriber lost to ring eviction (see `note_lost`).
+    lost: u64,
+}
+
+impl Dashboard {
+    /// An empty dashboard (no retailers, generation 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records events lost to ring eviction, so the frame can surface that
+    /// the view is incomplete instead of silently lying.
+    pub fn note_lost(&mut self, lost: u64) {
+        self.lost += lost;
+    }
+
+    /// Folds one event into the fleet state.
+    pub fn apply(&mut self, event: &HealthEvent) {
+        self.ts = event.ts();
+        match event {
+            HealthEvent::Quality {
+                day, retailer, map, ..
+            } => {
+                self.day = self.day.max(*day);
+                let row = self.retailers.entry(*retailer).or_default();
+                row.last_map = *map;
+                row.last_day = *day;
+                row.history.push(*map);
+                if row.history.len() > SPARK_WIDTH {
+                    row.history.remove(0);
+                }
+            }
+            HealthEvent::Alert {
+                day,
+                retailer,
+                kind,
+                value,
+                ..
+            } => {
+                self.day = self.day.max(*day);
+                self.retailers.entry(*retailer).or_default().alerts += 1;
+                let line = match kind {
+                    AlertKind::Regression => {
+                        format!("d{day} r{retailer} regression (map {})", fmt4(*value))
+                    }
+                    AlertKind::LowQuality => {
+                        format!("d{day} r{retailer} low quality (best {})", fmt4(*value))
+                    }
+                    AlertKind::MissingModel => format!("d{day} r{retailer} missing model"),
+                    AlertKind::EmptyRecommendations => {
+                        format!("d{day} r{retailer} empty recs (coverage {})", fmt4(*value))
+                    }
+                    AlertKind::Recovered => {
+                        format!("d{day} r{retailer} recovered (map {})", fmt4(*value))
+                    }
+                    AlertKind::Degraded => {
+                        format!("d{day} r{retailer} degraded ({} stale days)", *value as u64)
+                    }
+                    AlertKind::Rejected => format!("d{day} r{retailer} model rejected"),
+                };
+                self.feed.push(line);
+                if self.feed.len() > FEED_DEPTH {
+                    self.feed.remove(0);
+                }
+            }
+            HealthEvent::Degraded { day, retailer, .. } => {
+                self.day = self.day.max(*day);
+                self.degraded_total += 1;
+                self.retailers.entry(*retailer).or_default().degraded_day = Some(*day);
+            }
+            HealthEvent::Rejected {
+                day,
+                retailer,
+                reason,
+                ..
+            } => {
+                self.day = self.day.max(*day);
+                self.rejected_total += 1;
+                self.retailers.entry(*retailer).or_default().rejected_day = Some(*day);
+                self.feed
+                    .push(format!("d{day} r{retailer} rejected: {reason}"));
+                if self.feed.len() > FEED_DEPTH {
+                    self.feed.remove(0);
+                }
+            }
+            HealthEvent::Phase {
+                day,
+                phase,
+                makespan_s,
+                ..
+            } => {
+                self.day = self.day.max(*day);
+                self.phases.insert(phase, *makespan_s);
+            }
+            HealthEvent::Faults {
+                day,
+                read_errors,
+                write_errors,
+                torn_reads,
+                checksum_failures,
+                ..
+            } => {
+                self.day = self.day.max(*day);
+                self.read_errors += read_errors;
+                self.write_errors += write_errors;
+                self.torn_reads += torn_reads;
+                self.checksum_failures += checksum_failures;
+            }
+            HealthEvent::Published { generation, .. } => {
+                self.generation = *generation;
+                self.expected_generation = self.expected_generation.max(*generation);
+            }
+            HealthEvent::Rollback {
+                generation,
+                target_generation,
+                ..
+            } => {
+                self.rollbacks += 1;
+                self.generation = *generation;
+                self.expected_generation = self.expected_generation.max(*generation);
+                self.feed.push(format!(
+                    "rollback to gen {target_generation} (now gen {generation})"
+                ));
+                if self.feed.len() > FEED_DEPTH {
+                    self.feed.remove(0);
+                }
+            }
+            HealthEvent::ServingLag {
+                generation,
+                expected_generation,
+                max_retailer_lag,
+                ..
+            } => {
+                self.generation = *generation;
+                self.expected_generation = *expected_generation;
+                self.max_retailer_lag = *max_retailer_lag;
+            }
+        }
+    }
+
+    /// Folds a batch of events (`apply` in order) plus a loss count, as
+    /// returned by `HealthCursor::poll`.
+    pub fn apply_batch(&mut self, lost: u64, events: &[HealthEvent]) {
+        self.note_lost(lost);
+        for e in events {
+            self.apply(e);
+        }
+    }
+
+    /// Renders one fixed-width text frame. With `ansi`, prepends a
+    /// clear-screen/cursor-home sequence and colors retailer states; the
+    /// text content is otherwise identical to the plain rendering.
+    pub fn render(&self, ansi: bool) -> String {
+        let mut out = String::with_capacity(1024);
+        if ansi {
+            out.push_str("\x1b[2J\x1b[H");
+        }
+        let w = 66;
+        let bar = "=".repeat(w);
+        let thin = "-".repeat(w);
+        let _ = writeln!(out, "{bar}");
+        let _ = writeln!(
+            out,
+            "SIGMUND FLEET  day {:>3}  t={:>9}s  gen {}/{}  lag {}",
+            self.day,
+            fmt1(self.ts),
+            self.generation,
+            self.expected_generation,
+            self.max_retailer_lag
+        );
+        let _ = writeln!(out, "{bar}");
+
+        // Fleet rollup line.
+        let n = self.retailers.len();
+        let (mean, worst) = if n == 0 {
+            (0.0, 0.0)
+        } else {
+            let sum: f64 = self.retailers.values().map(|r| r.last_map).sum();
+            let worst = self
+                .retailers
+                .values()
+                .map(|r| r.last_map)
+                .fold(f64::INFINITY, f64::min);
+            (sum / n as f64, worst)
+        };
+        let _ = writeln!(
+            out,
+            "fleet: {n} retailers  mean map {}  worst {}",
+            fmt4(mean),
+            fmt4(worst)
+        );
+        let _ = writeln!(
+            out,
+            "faults: read {}  write {}  torn {}  cksum {}  | rejected {}  degraded {}  rollbacks {}",
+            self.read_errors,
+            self.write_errors,
+            self.torn_reads,
+            self.checksum_failures,
+            self.rejected_total,
+            self.degraded_total,
+            self.rollbacks
+        );
+        let mut phase_line = String::from("phases:");
+        for (name, makespan) in &self.phases {
+            let _ = write!(phase_line, "  {name} {}s", fmt1(*makespan));
+        }
+        let _ = writeln!(out, "{phase_line}");
+        if self.lost > 0 {
+            let _ = writeln!(out, "WARNING: {} events lost to ring eviction", self.lost);
+        }
+        let _ = writeln!(out, "{thin}");
+
+        // Per-retailer rows (BTreeMap: ascending id, deterministic).
+        let _ = writeln!(
+            out,
+            "{:>4}  {:>7}  {:<16}  {:>6}  state",
+            "shop", "map@10", "trend", "alerts"
+        );
+        for (id, row) in &self.retailers {
+            let state = row.state(self.day);
+            let state_cell = if ansi {
+                match state {
+                    "REJECTED" => format!("\x1b[31m{state}\x1b[0m"),
+                    "DEGRADED" => format!("\x1b[33m{state}\x1b[0m"),
+                    _ => format!("\x1b[32m{state}\x1b[0m"),
+                }
+            } else {
+                state.to_owned()
+            };
+            let _ = writeln!(
+                out,
+                "{:>4}  {:>7}  {:<16}  {:>6}  {}",
+                id,
+                fmt4(row.last_map),
+                sparkline(&row.history),
+                row.alerts,
+                state_cell
+            );
+        }
+        let _ = writeln!(out, "{thin}");
+        let _ = writeln!(out, "recent alerts:");
+        if self.feed.is_empty() {
+            let _ = writeln!(out, "  (none)");
+        } else {
+            for line in &self.feed {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+        let _ = writeln!(out, "{bar}");
+        out
+    }
+}
+
+/// Renders a MAP history as a block-character sparkline, scaled to the
+/// window's own min/max (a flat window renders mid-ramp).
+fn sparkline(history: &[f64]) -> String {
+    if history.is_empty() {
+        return String::new();
+    }
+    let lo = history.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = history.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    history
+        .iter()
+        .map(|&v| {
+            if !(hi - lo).is_finite() || hi <= lo {
+                SPARK_RAMP[3]
+            } else {
+                let t = (v - lo) / (hi - lo);
+                // t in [0,1]; scale into the ramp without overflowing.
+                let idx = (t * (SPARK_RAMP.len() - 1) as f64).round() as usize;
+                SPARK_RAMP[idx.min(SPARK_RAMP.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Fixed 4-decimal rendering (quality metrics).
+fn fmt4(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "nan".to_owned()
+    }
+}
+
+/// Fixed 1-decimal rendering (timestamps, makespans).
+fn fmt1(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "nan".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quality(day: u32, retailer: u32, map: f64) -> HealthEvent {
+        HealthEvent::Quality {
+            ts: (day + 1) as f64 * 86_400.0,
+            day,
+            retailer,
+            map,
+        }
+    }
+
+    #[test]
+    fn empty_dashboard_renders_a_frame() {
+        let frame = Dashboard::new().render(false);
+        assert!(frame.contains("SIGMUND FLEET"));
+        assert!(frame.contains("fleet: 0 retailers"));
+        assert!(frame.contains("(none)"));
+    }
+
+    #[test]
+    fn rendering_is_a_pure_function_of_state() {
+        let mut dash = Dashboard::new();
+        dash.apply(&quality(0, 0, 0.25));
+        dash.apply(&quality(0, 1, 0.35));
+        dash.apply(&HealthEvent::Published {
+            ts: 86_400.0,
+            generation: 1,
+            retailers: 2,
+        });
+        let a = dash.render(false);
+        let b = dash.render(false);
+        assert_eq!(a, b);
+        assert!(a.contains("fleet: 2 retailers  mean map 0.3000  worst 0.2500"));
+        assert!(a.contains("gen 1/1"));
+    }
+
+    #[test]
+    fn ansi_frame_is_plain_frame_plus_escapes() {
+        let mut dash = Dashboard::new();
+        dash.apply(&quality(0, 0, 0.25));
+        let plain = dash.render(false);
+        let ansi = dash.render(true);
+        assert!(ansi.starts_with("\x1b[2J\x1b[H"));
+        // Stripping escape sequences recovers the plain frame.
+        let mut stripped = String::new();
+        let mut chars = ansi.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c == '\x1b' {
+                for d in chars.by_ref() {
+                    if d == 'm' || d == 'H' || d == 'J' {
+                        break;
+                    }
+                }
+            } else {
+                stripped.push(c);
+            }
+        }
+        assert_eq!(stripped, plain);
+    }
+
+    #[test]
+    fn state_flags_age_out_with_the_day() {
+        let mut dash = Dashboard::new();
+        dash.apply(&quality(0, 0, 0.2));
+        dash.apply(&HealthEvent::Degraded {
+            ts: 86_400.0,
+            day: 0,
+            retailer: 0,
+        });
+        assert!(dash.render(false).contains("DEGRADED"));
+        // A new day with no degradation clears the flag.
+        dash.apply(&quality(1, 0, 0.3));
+        assert!(!dash.render(false).contains("DEGRADED"));
+        assert!(dash.render(false).contains("degraded 1"), "total persists");
+    }
+
+    #[test]
+    fn rejection_outranks_degradation_and_feeds_the_alert_log() {
+        let mut dash = Dashboard::new();
+        dash.apply(&HealthEvent::Degraded {
+            ts: 1.0,
+            day: 0,
+            retailer: 3,
+        });
+        dash.apply(&HealthEvent::Rejected {
+            ts: 1.0,
+            day: 0,
+            retailer: 3,
+            reason: "checksum_failure",
+        });
+        let frame = dash.render(false);
+        assert!(frame.contains("REJECTED"));
+        assert!(frame.contains("d0 r3 rejected: checksum_failure"));
+    }
+
+    #[test]
+    fn fault_counters_accumulate_across_days() {
+        let mut dash = Dashboard::new();
+        for day in 0..2 {
+            dash.apply(&HealthEvent::Faults {
+                ts: (day + 1) as f64,
+                day,
+                read_errors: 2,
+                write_errors: 1,
+                torn_reads: 0,
+                checksum_failures: 3,
+            });
+        }
+        let frame = dash.render(false);
+        assert!(frame.contains("read 4  write 2  torn 0  cksum 6"));
+    }
+
+    #[test]
+    fn sparkline_tracks_history_and_caps_width() {
+        let mut dash = Dashboard::new();
+        for day in 0..(SPARK_WIDTH as u32 + 5) {
+            dash.apply(&quality(day, 0, 0.1 + 0.01 * day as f64));
+        }
+        let row = &dash.retailers[&0];
+        assert_eq!(row.history.len(), SPARK_WIDTH);
+        let spark = sparkline(&row.history);
+        assert_eq!(spark.chars().count(), SPARK_WIDTH);
+        assert!(spark.ends_with('█'), "rising series peaks at the end");
+        assert_eq!(sparkline(&[0.5, 0.5]), "▄▄", "flat series renders mid-ramp");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn loss_is_surfaced_in_the_frame() {
+        let mut dash = Dashboard::new();
+        dash.apply_batch(3, &[quality(0, 0, 0.2)]);
+        assert!(dash
+            .render(false)
+            .contains("WARNING: 3 events lost to ring eviction"));
+    }
+
+    #[test]
+    fn rollback_updates_generation_and_feed() {
+        let mut dash = Dashboard::new();
+        dash.apply(&HealthEvent::Published {
+            ts: 1.0,
+            generation: 2,
+            retailers: 1,
+        });
+        dash.apply(&HealthEvent::Rollback {
+            ts: 2.0,
+            target_generation: 1,
+            generation: 3,
+        });
+        let frame = dash.render(false);
+        assert!(frame.contains("gen 3/3"));
+        assert!(frame.contains("rollbacks 1"));
+        assert!(frame.contains("rollback to gen 1 (now gen 3)"));
+    }
+}

@@ -44,12 +44,16 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
+mod dashboard;
 mod metrics;
+mod stream;
 mod summary;
 mod trace;
 
+pub use dashboard::Dashboard;
 pub use metrics::{Gauge, Histogram, MetricsRegistry};
-pub use summary::{summarize_metrics, summarize_trace};
+pub use stream::{AlertKind, HealthBus, HealthCursor, HealthEvent};
+pub use summary::{summarize_integrity, summarize_metrics, summarize_trace};
 pub use trace::{ArgValue, Level, Obs, TraceEvent, Track};
 
 /// Renders an `f64` as a JSON value: shortest round-trip decimal for finite

@@ -270,6 +270,57 @@ mod tests {
     }
 
     #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::default();
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.0);
+        }
+    }
+
+    #[test]
+    fn quantile_of_single_sample_is_that_sample() {
+        let m = MetricsRegistry::new();
+        m.histogram_record("h", 3.0);
+        let h = m.histogram("h").unwrap();
+        // Every quantile lands in 3.0's bucket ([2, 4) → upper bound 4),
+        // then clamps into [min, max] = [3, 3].
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 3.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_with_all_samples_in_last_bucket() {
+        let m = MetricsRegistry::new();
+        // 2^40 lands past the top of the bucket range; everything clamps
+        // into bucket 63.
+        for v in [1.1e12, 1.2e12, 1.3e12] {
+            m.histogram_record("h", v);
+        }
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.buckets[63], 3);
+        // The last bucket's nominal upper bound (2^31) is *below* the
+        // samples, so the clamp pulls the estimate up to min.
+        assert_eq!(h.quantile(0.5), 1.1e12);
+        assert_eq!(h.quantile(1.0), 1.1e12);
+    }
+
+    #[test]
+    fn quantile_clamps_into_min_max() {
+        let m = MetricsRegistry::new();
+        // Both land in the [2, 4) bucket whose upper bound is 4.0 — above
+        // max. The documented clamp keeps the estimate inside [min, max].
+        m.histogram_record("h", 2.5);
+        m.histogram_record("h", 3.5);
+        let h = m.histogram("h").unwrap();
+        for q in [0.5, 0.9, 1.0] {
+            let est = h.quantile(q);
+            assert!((2.5..=3.5).contains(&est), "q={q} est={est}");
+        }
+        assert_eq!(h.quantile(1.0), 3.5, "top quantile clamps to max");
+    }
+
+    #[test]
     fn jsonl_is_sorted_and_stable() {
         let m = MetricsRegistry::new();
         m.counter_add("z.count", 1);

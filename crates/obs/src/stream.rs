@@ -1,0 +1,508 @@
+//! The streaming fleet-health bus: a bounded, virtual-time-stamped ring of
+//! typed [`HealthEvent`]s with subscriber cursors.
+//!
+//! Everything the post-hoc `report` surfaces — quality transitions,
+//! degradation, admission-gate rejections, fault counters, generation lag —
+//! is also a *state change* an operator wants to see while the system runs.
+//! Publishers (the quality monitor, the daily pipeline, the admission gate,
+//! the serving store) push typed events onto a [`HealthBus`] as those
+//! changes happen; consumers (the `sigmund watch` dashboard, tests) attach
+//! a [`HealthCursor`] and drain incrementally.
+//!
+//! Design rules, inherited from the rest of the crate:
+//!
+//! 1. **Virtual time only.** Every event carries a timestamp passed in by
+//!    the caller; the bus never reads a clock.
+//! 2. **Transparent when disabled.** The default handle is disabled and
+//!    every publish is a no-op — exactly the [`crate::Obs`] discipline — so
+//!    library code can publish unconditionally and a run with no bus
+//!    attached is byte-identical to one before the bus existed.
+//! 3. **Bounded.** The ring holds at most its configured capacity; old
+//!    events are evicted, and a slow subscriber learns exactly how many
+//!    events it lost ([`HealthCursor::poll`] returns the count) instead of
+//!    silently missing them.
+//! 4. **No dependencies, no panics, no wall clocks.** Same bar as the rest
+//!    of `sigmund-obs`.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Ring updates are push/pop-front only; poison recovery is safe and
+    // keeps the library panic-free.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The kind of quality alert a [`HealthEvent::Alert`] carries — the typed
+/// mirror of the pipeline monitor's alert enum, kept here (dependency-free)
+/// so the bus does not need the pipeline crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// Today's MAP dropped sharply vs the trailing baseline.
+    Regression,
+    /// The retailer has never produced a usable model.
+    LowQuality,
+    /// Model selection produced nothing for an onboarded retailer.
+    MissingModel,
+    /// Materialization coverage fell below the floor.
+    EmptyRecommendations,
+    /// A previously low-quality or degraded retailer is healthy again.
+    Recovered,
+    /// The retailer's pipeline exhausted its fault budget (transition in).
+    Degraded,
+    /// The admission gate refused the retailer's winning model.
+    Rejected,
+}
+
+impl AlertKind {
+    /// Stable lower-case label, matching the monitor's trace event names.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlertKind::Regression => "regression",
+            AlertKind::LowQuality => "low_quality",
+            AlertKind::MissingModel => "missing_model",
+            AlertKind::EmptyRecommendations => "empty_recommendations",
+            AlertKind::Recovered => "recovered",
+            AlertKind::Degraded => "degraded",
+            AlertKind::Rejected => "rejected",
+        }
+    }
+}
+
+/// One typed fleet-health event. Retailer ids are raw `u32`s (the dense
+/// index inside `RetailerId`) so the bus stays dependency-free.
+///
+/// All timestamps (`ts`) are virtual seconds supplied by the publisher —
+/// the same timeline the trace artifacts use.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthEvent {
+    /// A retailer's selected model produced a MAP@10 sample today.
+    Quality {
+        /// Virtual time of the day's end.
+        ts: f64,
+        /// Day index.
+        day: u32,
+        /// Affected retailer.
+        retailer: u32,
+        /// Today's MAP@10.
+        map: f64,
+    },
+    /// A quality-monitor alert transition.
+    Alert {
+        /// Virtual time the alert was raised.
+        ts: f64,
+        /// Day index.
+        day: u32,
+        /// Affected retailer.
+        retailer: u32,
+        /// Which alert fired.
+        kind: AlertKind,
+        /// Alert-specific magnitude: today's MAP for regressions, best MAP
+        /// for low-quality/recovery, coverage for empty recommendations,
+        /// stale days for degradation, the day for missing/rejected.
+        value: f64,
+    },
+    /// The retailer served a stale (previous) generation today.
+    Degraded {
+        /// Virtual time of the day's end.
+        ts: f64,
+        /// Day index.
+        day: u32,
+        /// Affected retailer.
+        retailer: u32,
+    },
+    /// The admission gate refused the retailer's winning model today.
+    Rejected {
+        /// Virtual time of the gate decision.
+        ts: f64,
+        /// Day index.
+        day: u32,
+        /// Affected retailer.
+        retailer: u32,
+        /// Stable reject-reason label (`checksum_failure`, …).
+        reason: &'static str,
+    },
+    /// A pipeline phase completed.
+    Phase {
+        /// Virtual time the phase ended.
+        ts: f64,
+        /// Day index.
+        day: u32,
+        /// Phase name (`train`, `infer`).
+        phase: &'static str,
+        /// Phase makespan in virtual seconds (max over cells).
+        makespan_s: f64,
+    },
+    /// Per-day injected-fault and integrity counter deltas.
+    Faults {
+        /// Virtual time of the day's end.
+        ts: f64,
+        /// Day index.
+        day: u32,
+        /// Injected read faults today.
+        read_errors: u64,
+        /// Injected write faults today.
+        write_errors: u64,
+        /// Injected torn reads today.
+        torn_reads: u64,
+        /// Blob checksum verification failures today.
+        checksum_failures: u64,
+    },
+    /// The serving store swapped in a new generation.
+    Published {
+        /// Virtual time of the publish.
+        ts: f64,
+        /// The new live generation.
+        generation: u64,
+        /// Retailers whose tables were refreshed in this batch.
+        retailers: usize,
+    },
+    /// The serving store rolled back to a previous generation.
+    Rollback {
+        /// Virtual time of the rollback.
+        ts: f64,
+        /// The generation whose tables were restored.
+        target_generation: u64,
+        /// The new live generation (rollback is itself a publish).
+        generation: u64,
+    },
+    /// A serving-health snapshot: how far serving trails the pipeline.
+    ServingLag {
+        /// Virtual time of the snapshot.
+        ts: f64,
+        /// Live serving generation.
+        generation: u64,
+        /// Generations the pipeline has produced.
+        expected_generation: u64,
+        /// Worst per-retailer staleness, in publish batches.
+        max_retailer_lag: u64,
+    },
+}
+
+impl HealthEvent {
+    /// The event's virtual timestamp (seconds).
+    pub fn ts(&self) -> f64 {
+        match self {
+            HealthEvent::Quality { ts, .. }
+            | HealthEvent::Alert { ts, .. }
+            | HealthEvent::Degraded { ts, .. }
+            | HealthEvent::Rejected { ts, .. }
+            | HealthEvent::Phase { ts, .. }
+            | HealthEvent::Faults { ts, .. }
+            | HealthEvent::Published { ts, .. }
+            | HealthEvent::Rollback { ts, .. }
+            | HealthEvent::ServingLag { ts, .. } => *ts,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BusInner {
+    cap: usize,
+    /// Sequence number of the *next* event to be published. The ring holds
+    /// sequences `[next_seq - events.len(), next_seq)`.
+    next_seq: u64,
+    events: VecDeque<HealthEvent>,
+    /// Subscriber cursors attached so far (diagnostic only).
+    subscribers: u64,
+}
+
+/// The bounded fleet-health event bus. Cheap to clone (an `Arc`); the
+/// default handle is disabled and every publish is a no-op.
+///
+/// ```
+/// use sigmund_obs::{HealthBus, HealthEvent};
+/// let bus = HealthBus::bounded(64);
+/// let mut cursor = bus.subscribe();
+/// bus.publish(HealthEvent::Published { ts: 1.0, generation: 1, retailers: 3 });
+/// let (lost, events) = cursor.poll();
+/// assert_eq!((lost, events.len()), (0, 1));
+/// assert!(cursor.poll().1.is_empty(), "cursor advanced");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HealthBus {
+    inner: Option<Arc<Mutex<BusInner>>>,
+}
+
+impl HealthBus {
+    /// A disabled bus: publishes are no-ops, subscribers see nothing.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A live bus retaining at most `capacity` events (min 1).
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(BusInner {
+                cap: capacity.max(1),
+                next_seq: 0,
+                events: VecDeque::new(),
+                subscribers: 0,
+            }))),
+        }
+    }
+
+    /// Whether this handle records anything at all. Use to skip building
+    /// expensive events when the bus is off.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Publishes an event, evicting the oldest if the ring is full.
+    pub fn publish(&self, event: HealthEvent) {
+        if let Some(inner) = &self.inner {
+            let mut g = lock(inner);
+            if g.events.len() == g.cap {
+                g.events.pop_front();
+            }
+            g.events.push_back(event);
+            g.next_seq += 1;
+        }
+    }
+
+    /// Total events ever published (including evicted ones).
+    pub fn total_published(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| lock(i).next_seq)
+    }
+
+    /// Events currently retained in the ring.
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| lock(i).events.len())
+    }
+
+    /// Whether the ring is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Subscribers attached so far (0 for a disabled bus).
+    pub fn subscriber_count(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| lock(i).subscribers)
+    }
+
+    /// Attaches a cursor starting at the *oldest retained* event, so a
+    /// subscriber created before any publishes sees everything.
+    pub fn subscribe(&self) -> HealthCursor {
+        let next = self.inner.as_ref().map_or(0, |i| {
+            let mut g = lock(i);
+            g.subscribers += 1;
+            g.next_seq - g.events.len() as u64
+        });
+        HealthCursor {
+            bus: self.clone(),
+            next,
+        }
+    }
+}
+
+/// A subscriber's position on the bus. Polling drains every event published
+/// since the last poll; if the ring overflowed past the cursor, the poll
+/// reports how many events were lost instead of silently skipping them.
+#[derive(Debug)]
+pub struct HealthCursor {
+    bus: HealthBus,
+    /// Sequence number of the next event this cursor has not seen.
+    next: u64,
+}
+
+impl HealthCursor {
+    /// Drains events published since the last poll, advancing the cursor.
+    /// Returns `(lost, events)`: `lost` counts events evicted from the ring
+    /// before this cursor read them (0 unless the subscriber fell more than
+    /// a full ring behind).
+    pub fn poll(&mut self) -> (u64, Vec<HealthEvent>) {
+        let Some(inner) = &self.bus.inner else {
+            return (0, Vec::new());
+        };
+        let g = lock(inner);
+        let oldest = g.next_seq - g.events.len() as u64;
+        let lost = oldest.saturating_sub(self.next);
+        let from = self.next.max(oldest);
+        let events: Vec<HealthEvent> = g
+            .events
+            .iter()
+            .skip((from - oldest) as usize)
+            .cloned()
+            .collect();
+        self.next = g.next_seq;
+        (lost, events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: f64) -> HealthEvent {
+        HealthEvent::Published {
+            ts,
+            generation: ts as u64,
+            retailers: 1,
+        }
+    }
+
+    #[test]
+    fn disabled_bus_is_a_no_op() {
+        let bus = HealthBus::disabled();
+        bus.publish(ev(1.0));
+        assert!(!bus.is_enabled());
+        assert_eq!(bus.total_published(), 0);
+        assert!(bus.is_empty());
+        let mut c = bus.subscribe();
+        assert_eq!(c.poll(), (0, Vec::new()));
+        assert_eq!(bus.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!HealthBus::default().is_enabled());
+    }
+
+    #[test]
+    fn cursor_drains_incrementally() {
+        let bus = HealthBus::bounded(8);
+        let mut c = bus.subscribe();
+        bus.publish(ev(1.0));
+        bus.publish(ev(2.0));
+        let (lost, evs) = c.poll();
+        assert_eq!(lost, 0);
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].ts(), 1.0);
+        // Nothing new: empty poll.
+        assert!(c.poll().1.is_empty());
+        bus.publish(ev(3.0));
+        let (_, evs) = c.poll();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].ts(), 3.0);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_reports_loss() {
+        let bus = HealthBus::bounded(3);
+        let mut c = bus.subscribe();
+        for i in 0..10 {
+            bus.publish(ev(i as f64));
+        }
+        assert_eq!(bus.len(), 3);
+        assert_eq!(bus.total_published(), 10);
+        let (lost, evs) = c.poll();
+        assert_eq!(lost, 7, "7 events evicted before the slow poll");
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].ts(), 7.0, "survivors are the newest");
+        // Caught up: no further loss.
+        bus.publish(ev(10.0));
+        assert_eq!(c.poll(), (0, vec![ev(10.0)]));
+    }
+
+    #[test]
+    fn late_subscriber_sees_retained_events_only() {
+        let bus = HealthBus::bounded(2);
+        for i in 0..5 {
+            bus.publish(ev(i as f64));
+        }
+        // A fresh cursor starts at the oldest retained event — it never
+        // reports loss for events published before it existed.
+        let mut c = bus.subscribe();
+        let (lost, evs) = c.poll();
+        assert_eq!(lost, 0);
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].ts(), 3.0);
+    }
+
+    #[test]
+    fn independent_cursors_do_not_interfere() {
+        let bus = HealthBus::bounded(8);
+        let mut a = bus.subscribe();
+        let mut b = bus.subscribe();
+        bus.publish(ev(1.0));
+        assert_eq!(a.poll().1.len(), 1);
+        bus.publish(ev(2.0));
+        assert_eq!(a.poll().1.len(), 1);
+        // b sees both, in order, regardless of a's drains.
+        let (lost, evs) = b.poll();
+        assert_eq!((lost, evs.len()), (0, 2));
+        assert_eq!(bus.subscriber_count(), 2);
+    }
+
+    #[test]
+    fn clones_share_one_ring() {
+        let bus = HealthBus::bounded(4);
+        let clone = bus.clone();
+        let mut c = bus.subscribe();
+        clone.publish(ev(1.0));
+        assert_eq!(c.poll().1.len(), 1);
+    }
+
+    #[test]
+    fn alert_labels_are_stable() {
+        assert_eq!(AlertKind::Regression.label(), "regression");
+        assert_eq!(
+            AlertKind::EmptyRecommendations.label(),
+            "empty_recommendations"
+        );
+        assert_eq!(AlertKind::Rejected.label(), "rejected");
+    }
+
+    #[test]
+    fn every_event_reports_its_timestamp() {
+        let events = [
+            HealthEvent::Quality {
+                ts: 1.0,
+                day: 0,
+                retailer: 0,
+                map: 0.1,
+            },
+            HealthEvent::Alert {
+                ts: 2.0,
+                day: 0,
+                retailer: 0,
+                kind: AlertKind::Recovered,
+                value: 0.2,
+            },
+            HealthEvent::Degraded {
+                ts: 3.0,
+                day: 0,
+                retailer: 0,
+            },
+            HealthEvent::Rejected {
+                ts: 4.0,
+                day: 0,
+                retailer: 0,
+                reason: "checksum_failure",
+            },
+            HealthEvent::Phase {
+                ts: 5.0,
+                day: 0,
+                phase: "train",
+                makespan_s: 1.0,
+            },
+            HealthEvent::Faults {
+                ts: 6.0,
+                day: 0,
+                read_errors: 0,
+                write_errors: 0,
+                torn_reads: 0,
+                checksum_failures: 0,
+            },
+            HealthEvent::Published {
+                ts: 7.0,
+                generation: 1,
+                retailers: 1,
+            },
+            HealthEvent::Rollback {
+                ts: 8.0,
+                target_generation: 1,
+                generation: 2,
+            },
+            HealthEvent::ServingLag {
+                ts: 9.0,
+                generation: 1,
+                expected_generation: 1,
+                max_retailer_lag: 0,
+            },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.ts(), (i + 1) as f64);
+        }
+    }
+}

@@ -69,6 +69,40 @@ pub fn summarize_metrics(jsonl: &str) -> String {
     out
 }
 
+/// The fleet-integrity counters the `report` subcommand surfaces: admission
+/// gate and serving-rollback activity plus checkpoint trouble. All default
+/// to 0 so a clean run still prints the full table (silence is ambiguous;
+/// an explicit zero is not).
+const INTEGRITY_COUNTERS: [&str; 4] = [
+    "integrity.checksum_failures",
+    "integrity.rejected",
+    "integrity.rollbacks",
+    "train.checkpoint_failures",
+];
+
+/// Renders the integrity/rollback counter rollup from a metrics.jsonl
+/// document — every counter in the fixed set prints, absent ones as 0.
+pub fn summarize_integrity(jsonl: &str) -> String {
+    let mut values: BTreeMap<&str, f64> = INTEGRITY_COUNTERS.iter().map(|n| (*n, 0.0)).collect();
+    for line in jsonl.lines() {
+        if field(line, "type") != Some("counter") {
+            continue;
+        }
+        let Some(name) = field(line, "name") else {
+            continue;
+        };
+        if let Some(slot) = values.get_mut(name) {
+            *slot = num(line, "value");
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "integrity:");
+    for (name, value) in &values {
+        let _ = writeln!(out, "  {name:<34} {value}");
+    }
+    out
+}
+
 #[derive(Default)]
 struct CatStats {
     spans: u64,
@@ -153,6 +187,68 @@ mod tests {
         assert!(table.contains("pipeline.days"), "{table}");
         assert!(table.contains("serving.hit_rate"), "{table}");
         assert!(table.contains("train.epoch_loss"), "{table}");
+    }
+
+    #[test]
+    fn metrics_round_trip_survives_quantile_like_names() {
+        // Writer → summarizer round trip over every metric kind, with names
+        // deliberately containing "p50"/"p90"-like substrings: the ad-hoc
+        // field scraper keys on `"p50":` (quote-colon delimited), so a name
+        // like `latency.p50` must not be misread as a histogram field.
+        let obs = Obs::recording(Level::Debug);
+        obs.counter("p50", 7);
+        obs.counter("latency.p50", 3);
+        obs.gauge("gauges.p90.last", 10.0, 2.5);
+        obs.histogram("histo.with.p90.inside", 1.0);
+        obs.histogram("histo.with.p90.inside", 100.0);
+        let jsonl = obs.metrics_jsonl();
+        let table = summarize_metrics(&jsonl);
+        let row = |name: &str| {
+            table
+                .lines()
+                .find(|l| l.split_whitespace().nth(1) == Some(name))
+                .unwrap_or_else(|| panic!("missing row {name} in:\n{table}"))
+                .to_owned()
+        };
+        assert!(row("p50").contains("counter"), "{table}");
+        assert!(row("p50").ends_with('7'), "{table}");
+        assert!(row("latency.p50").ends_with('3'), "{table}");
+        assert!(row("gauges.p90.last").contains("last 2.5"), "{table}");
+        let h = row("histo.with.p90.inside");
+        assert!(h.contains("n 2"), "{h}");
+        assert!(h.contains("mean 50.5"), "{h}");
+        // Quantiles come from the histogram's own fields, not the name.
+        assert!(!h.contains("p50 0 "), "{h}");
+    }
+
+    #[test]
+    fn integrity_summary_defaults_to_zero_and_reads_counters() {
+        let clean = summarize_integrity("");
+        for name in super::INTEGRITY_COUNTERS {
+            assert!(clean.contains(name), "{clean}");
+        }
+        assert_eq!(clean.matches(" 0\n").count(), 4, "{clean}");
+
+        let obs = Obs::recording(Level::Debug);
+        obs.counter("integrity.rollbacks", 2);
+        obs.counter("integrity.rejected", 1);
+        obs.counter("unrelated.counter", 9);
+        let table = summarize_integrity(&obs.metrics_jsonl());
+        let val = |name: &str| {
+            table
+                .lines()
+                .find(|l| l.contains(name))
+                .and_then(|l| l.split_whitespace().last())
+                .map(str::to_owned)
+        };
+        assert_eq!(val("integrity.rollbacks").as_deref(), Some("2"), "{table}");
+        assert_eq!(val("integrity.rejected").as_deref(), Some("1"), "{table}");
+        assert_eq!(
+            val("integrity.checksum_failures").as_deref(),
+            Some("0"),
+            "{table}"
+        );
+        assert!(!table.contains("unrelated"), "{table}");
     }
 
     #[test]

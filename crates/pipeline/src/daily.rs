@@ -21,7 +21,7 @@ use sigmund_cluster::{CellSpec, CostMeter, PreemptionModel, Priority};
 use sigmund_core::prelude::*;
 use sigmund_dfs::{Dfs, FaultStats, IntegrityStats};
 use sigmund_mapreduce::{permute, run_map_job_obs, JobConfig, JobStats};
-use sigmund_obs::{Level, Obs, Track};
+use sigmund_obs::{HealthBus, HealthEvent, Level, Obs, Track};
 use sigmund_types::{Catalog, ConfigRecord, Interaction, ItemId, RetailerId, SigmundError};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -67,6 +67,11 @@ pub struct PipelineConfig {
     /// and is byte-identical to [`IntegrityConfig::disabled`] on clean runs
     /// (see DESIGN.md §10 and `tests/chaos.rs`).
     pub integrity: IntegrityConfig,
+    /// Streaming fleet-health bus: phase completions, gate rejections,
+    /// degradation and per-day fault deltas are published here as they
+    /// happen. The disabled default makes every publish a no-op, so runs
+    /// without a bus stay byte-identical (DESIGN.md §11).
+    pub bus: HealthBus,
 }
 
 impl Default for PipelineConfig {
@@ -90,6 +95,7 @@ impl Default for PipelineConfig {
             obs: Obs::disabled(),
             chaos: ChaosConfig::disabled(),
             integrity: IntegrityConfig::default(),
+            bus: HealthBus::disabled(),
         }
     }
 }
@@ -268,6 +274,7 @@ impl SigmundService {
     pub fn run_day(&mut self) -> Result<DayReport, SigmundError> {
         let day_seed = self.cfg.seed.wrapping_add(self.day as u64 * 0x9E37);
         let obs = self.cfg.obs.clone();
+        let bus = self.cfg.bus.clone();
         let day_start = self.virtual_now;
         if let Some(inj) = self.dfs.injector() {
             inj.begin_day(self.day);
@@ -402,6 +409,12 @@ impl SigmundService {
             day_start + train_makespan,
             &[("models", models_trained.into())],
         );
+        bus.publish(HealthEvent::Phase {
+            ts: day_start + train_makespan,
+            day: self.day,
+            phase: "train",
+            makespan_s: train_makespan,
+        });
 
         // --- model selection -----------------------------------------------
         let mut best: BTreeMap<RetailerId, ConfigRecord> = sweep::top_k_per_retailer(&outputs, 1)
@@ -446,6 +459,7 @@ impl SigmundService {
                             day_start + train_makespan,
                             &[("reason", reason.label().into())],
                         );
+                        bus.publish(reason.health_event(day_start + train_makespan, self.day, r));
                         rejected.push(r);
                         best.remove(&r);
                     }
@@ -524,6 +538,12 @@ impl SigmundService {
             day_end,
             &[("retailers", weighted_items.len().into())],
         );
+        bus.publish(HealthEvent::Phase {
+            ts: day_end,
+            day: self.day,
+            phase: "infer",
+            makespan_s: infer_makespan,
+        });
 
         // --- graceful degradation -------------------------------------------
         // A retailer whose model selection or inference exhausted its fault
@@ -596,6 +616,11 @@ impl SigmundService {
         degraded.sort_unstable();
         for r in &degraded {
             recs.remove(r);
+            bus.publish(HealthEvent::Degraded {
+                ts: day_end,
+                day: self.day,
+                retailer: r.0,
+            });
         }
         obs.counter("pipeline.recs_published", recs_published);
         obs.counter("pipeline.days", 1);
@@ -603,16 +628,21 @@ impl SigmundService {
         // Chaos summary: only emitted when an injector is attached, so runs
         // without one (including the all-zero plan, which never builds an
         // injector) stay byte-identical to the pre-chaos pipeline.
+        let mut fault_delta = FaultStats::default();
         if let Some(inj) = self.dfs.injector() {
             let s = inj.stats();
             let prev = self.fault_stats_seen;
-            obs.counter("chaos.read_errors", s.read_errors - prev.read_errors);
-            obs.counter("chaos.write_errors", s.write_errors - prev.write_errors);
-            obs.counter("chaos.torn_reads", s.torn_reads - prev.torn_reads);
-            obs.counter(
-                "chaos.partition_blocks",
-                s.partition_blocks - prev.partition_blocks,
-            );
+            fault_delta = FaultStats {
+                read_errors: s.read_errors - prev.read_errors,
+                write_errors: s.write_errors - prev.write_errors,
+                torn_reads: s.torn_reads - prev.torn_reads,
+                partition_blocks: s.partition_blocks - prev.partition_blocks,
+                bit_flips: s.bit_flips - prev.bit_flips,
+            };
+            obs.counter("chaos.read_errors", fault_delta.read_errors);
+            obs.counter("chaos.write_errors", fault_delta.write_errors);
+            obs.counter("chaos.torn_reads", fault_delta.torn_reads);
+            obs.counter("chaos.partition_blocks", fault_delta.partition_blocks);
             obs.counter("chaos.degraded_retailer_days", degraded.len() as u64);
             obs.instant(
                 Level::Info,
@@ -621,13 +651,10 @@ impl SigmundService {
                 Track::CHAOS,
                 day_end,
                 &[
-                    ("read_errors", (s.read_errors - prev.read_errors).into()),
-                    ("write_errors", (s.write_errors - prev.write_errors).into()),
-                    ("torn_reads", (s.torn_reads - prev.torn_reads).into()),
-                    (
-                        "partition_blocks",
-                        (s.partition_blocks - prev.partition_blocks).into(),
-                    ),
+                    ("read_errors", fault_delta.read_errors.into()),
+                    ("write_errors", fault_delta.write_errors.into()),
+                    ("torn_reads", fault_delta.torn_reads.into()),
+                    ("partition_blocks", fault_delta.partition_blocks.into()),
                     ("degraded", degraded.len().into()),
                 ],
             );
@@ -644,6 +671,18 @@ impl SigmundService {
             obs.counter("integrity.checksum_failures", checksum_delta);
         }
         self.integrity_seen = integ;
+        // One per-day fault/integrity delta event for the live dashboard —
+        // published even on clean days (zeros), so a watcher can tell "no
+        // faults" from "no data". The disabled default bus makes this a
+        // no-op, keeping busless runs byte-identical.
+        bus.publish(HealthEvent::Faults {
+            ts: day_end,
+            day: self.day,
+            read_errors: fault_delta.read_errors,
+            write_errors: fault_delta.write_errors,
+            torn_reads: fault_delta.torn_reads,
+            checksum_failures: checksum_delta,
+        });
         obs.gauge("pipeline.models_trained", day_end, models_trained as f64);
         obs.gauge("pipeline.train_makespan_s", day_end, train_makespan);
         obs.gauge("pipeline.infer_makespan_s", day_end, infer_makespan);

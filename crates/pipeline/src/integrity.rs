@@ -92,6 +92,23 @@ impl RejectReason {
             RejectReason::QualityCollapse => "quality_collapse",
         }
     }
+
+    /// The streaming [`HealthEvent`](sigmund_obs::HealthEvent) for this
+    /// rejection, for the daily loop to publish on the fleet-health bus at
+    /// the moment the gate decides.
+    pub fn health_event(
+        &self,
+        ts: f64,
+        day: u32,
+        retailer: sigmund_types::RetailerId,
+    ) -> sigmund_obs::HealthEvent {
+        sigmund_obs::HealthEvent::Rejected {
+            ts,
+            day,
+            retailer: retailer.0,
+            reason: self.label(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -123,5 +140,19 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(RejectReason::ChecksumFailure.label(), "checksum_failure");
         assert_eq!(RejectReason::QualityCollapse.label(), "quality_collapse");
+    }
+
+    #[test]
+    fn health_event_carries_the_label() {
+        let ev = RejectReason::InvalidSnapshot.health_event(9.0, 2, sigmund_types::RetailerId(7));
+        assert_eq!(
+            ev,
+            sigmund_obs::HealthEvent::Rejected {
+                ts: 9.0,
+                day: 2,
+                retailer: 7,
+                reason: "invalid_snapshot",
+            }
+        );
     }
 }

@@ -42,6 +42,6 @@ pub use cost_model::CostModel;
 pub use daily::{load_recs, recs_for_item, DayReport, PipelineConfig, SigmundService};
 pub use infer_job::{make_splits, InferSplit, InferenceJob, MaterializedRec};
 pub use integrity::{IntegrityConfig, RejectReason};
-pub use monitor::{MonitorConfig, QualityAlert, QualityMonitor};
+pub use monitor::{FleetSummary, MonitorConfig, QualityAlert, QualityMonitor};
 pub use sweep::{full_sweep, full_sweep_for, incremental_sweep, top_k_per_retailer};
 pub use train_job::{TrainJob, SAMPLED_MAP_THRESHOLD};

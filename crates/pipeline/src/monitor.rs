@@ -23,7 +23,7 @@
 
 use crate::daily::DayReport;
 use serde::Serialize;
-use sigmund_obs::{ArgValue, Level, Obs, Track};
+use sigmund_obs::{AlertKind, ArgValue, HealthBus, HealthEvent, Level, Obs, Track};
 use sigmund_types::RetailerId;
 use std::collections::BTreeMap;
 
@@ -97,6 +97,18 @@ pub enum QualityAlert {
     },
 }
 
+/// Fleet-wide quality rollup over the latest MAP@10 sample of every
+/// retailer the monitor tracks (see [`QualityMonitor::fleet_summary`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct FleetSummary {
+    /// Retailers with at least one recorded MAP sample.
+    pub retailers: usize,
+    /// Mean of the latest MAP@10 samples (0 if no retailers are tracked).
+    pub mean_map: f64,
+    /// Worst (minimum) latest MAP@10 sample (0 if no retailers are tracked).
+    pub worst_map: f64,
+}
+
 /// Monitor configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct MonitorConfig {
@@ -141,14 +153,29 @@ struct History {
 pub struct QualityMonitor {
     cfg: MonitorConfig,
     history: BTreeMap<RetailerId, History>,
+    /// Streaming health bus. Disabled by default, in which case every
+    /// publish is a no-op and the monitor behaves exactly as before the
+    /// bus existed.
+    bus: HealthBus,
 }
 
 impl QualityMonitor {
-    /// A monitor with the given thresholds.
+    /// A monitor with the given thresholds (health bus disabled).
     pub fn new(cfg: MonitorConfig) -> Self {
         Self {
             cfg,
             history: BTreeMap::new(),
+            bus: HealthBus::disabled(),
+        }
+    }
+
+    /// A monitor that also streams per-retailer quality samples and alert
+    /// transitions onto `bus` as [`HealthEvent`]s.
+    pub fn with_bus(cfg: MonitorConfig, bus: HealthBus) -> Self {
+        Self {
+            cfg,
+            history: BTreeMap::new(),
+            bus,
         }
     }
 
@@ -257,9 +284,77 @@ impl QualityMonitor {
         alerts
     }
 
+    /// Streams today's per-retailer quality samples and alert transitions
+    /// onto the health bus. A no-op on a disabled bus, so this runs
+    /// unconditionally — *before* any obs early-return — and a run with no
+    /// bus attached stays byte-identical.
+    fn publish_health(
+        &self,
+        onboarded: &[(RetailerId, usize)],
+        report: &DayReport,
+        alerts: &[QualityAlert],
+        ts: f64,
+    ) {
+        if !self.bus.is_enabled() {
+            return;
+        }
+        for &(retailer, _) in onboarded {
+            // Degraded days serve yesterday's model: no fresh MAP sample.
+            if report.degraded.contains(&retailer) {
+                continue;
+            }
+            if let Some(best) = report.best.get(&retailer) {
+                let map = best.metrics.map(|m| m.map_at_10).unwrap_or(0.0);
+                self.bus.publish(HealthEvent::Quality {
+                    ts,
+                    day: report.day,
+                    retailer: retailer.0,
+                    map,
+                });
+            }
+        }
+        for alert in alerts {
+            let (retailer, kind, value) = match alert {
+                QualityAlert::Regression {
+                    retailer,
+                    today_map,
+                    ..
+                } => (*retailer, AlertKind::Regression, *today_map),
+                QualityAlert::LowQuality { retailer, best_map } => {
+                    (*retailer, AlertKind::LowQuality, *best_map)
+                }
+                QualityAlert::MissingModel { retailer, day } => {
+                    (*retailer, AlertKind::MissingModel, f64::from(*day))
+                }
+                QualityAlert::EmptyRecommendations { retailer, coverage } => {
+                    (*retailer, AlertKind::EmptyRecommendations, *coverage)
+                }
+                QualityAlert::Recovered {
+                    retailer, best_map, ..
+                } => (*retailer, AlertKind::Recovered, *best_map),
+                QualityAlert::Degraded {
+                    retailer,
+                    days_stale,
+                    ..
+                } => (*retailer, AlertKind::Degraded, f64::from(*days_stale)),
+                QualityAlert::Rejected { retailer, day } => {
+                    (*retailer, AlertKind::Rejected, f64::from(*day))
+                }
+            };
+            self.bus.publish(HealthEvent::Alert {
+                ts,
+                day: report.day,
+                retailer: retailer.0,
+                kind,
+                value,
+            });
+        }
+    }
+
     /// Like [`QualityMonitor::record_day`], but also emits each alert as a
-    /// structured `monitor` event at virtual time `ts` and refreshes the
-    /// fleet-health gauges.
+    /// structured `monitor` event at virtual time `ts`, refreshes the
+    /// fleet-health gauges, and streams quality samples + alerts onto the
+    /// health bus (if one was attached via [`QualityMonitor::with_bus`]).
     pub fn record_day_obs(
         &mut self,
         onboarded: &[(RetailerId, usize)],
@@ -268,6 +363,7 @@ impl QualityMonitor {
         ts: f64,
     ) -> Vec<QualityAlert> {
         let alerts = self.record_day(onboarded, report);
+        self.publish_health(onboarded, report, &alerts, ts);
         if !obs.is_enabled() {
             return alerts;
         }
@@ -334,16 +430,17 @@ impl QualityMonitor {
             );
         }
         obs.counter("monitor.alerts", alerts.len() as u64);
-        let (n, mean, worst) = self.fleet_summary();
-        if n > 0 {
-            obs.gauge("monitor.fleet_mean_map", ts, mean);
-            obs.gauge("monitor.fleet_worst_map", ts, worst);
+        let summary = self.fleet_summary();
+        if summary.retailers > 0 {
+            obs.gauge("monitor.fleet_mean_map", ts, summary.mean_map);
+            obs.gauge("monitor.fleet_worst_map", ts, summary.worst_map);
         }
         alerts
     }
 
-    /// Fleet summary: (retailers tracked, mean latest MAP, worst latest MAP).
-    pub fn fleet_summary(&self) -> (usize, f64, f64) {
+    /// Fleet summary over the latest MAP@10 sample of every tracked
+    /// retailer.
+    pub fn fleet_summary(&self) -> FleetSummary {
         // BTreeMap values iterate in sorted retailer order, so the mean is
         // bitwise reproducible by construction.
         let latest: Vec<f64> = self
@@ -352,11 +449,15 @@ impl QualityMonitor {
             .filter_map(|h| h.maps.last().copied())
             .collect();
         if latest.is_empty() {
-            return (0, 0.0, 0.0);
+            return FleetSummary::default();
         }
         let mean = latest.iter().sum::<f64>() / latest.len() as f64;
         let worst = latest.iter().cloned().fold(f64::INFINITY, f64::min);
-        (latest.len(), mean, worst)
+        FleetSummary {
+            retailers: latest.len(),
+            mean_map: mean,
+            worst_map: worst,
+        }
     }
 
     /// Days of history recorded for a retailer.
@@ -594,7 +695,7 @@ mod tests {
     #[test]
     fn fleet_summary_empty_history() {
         let mon = QualityMonitor::default();
-        assert_eq!(mon.fleet_summary(), (0, 0.0, 0.0));
+        assert_eq!(mon.fleet_summary(), FleetSummary::default());
     }
 
     #[test]
@@ -630,11 +731,54 @@ mod tests {
         let mut mon = QualityMonitor::new(MonitorConfig::default());
         let fleet = vec![(RetailerId(0), 10), (RetailerId(1), 10)];
         mon.record_day(&fleet, &report(0, &[(0, 0.2, 10, 10), (1, 0.4, 10, 10)]));
-        let (n, mean, worst) = mon.fleet_summary();
-        assert_eq!(n, 2);
-        assert!((mean - 0.3).abs() < 1e-12);
-        assert!((worst - 0.2).abs() < 1e-12);
+        let summary = mon.fleet_summary();
+        assert_eq!(summary.retailers, 2);
+        assert!((summary.mean_map - 0.3).abs() < 1e-12);
+        assert!((summary.worst_map - 0.2).abs() < 1e-12);
         assert_eq!(mon.days_tracked(RetailerId(0)), 1);
         assert_eq!(mon.days_tracked(RetailerId(9)), 0);
+    }
+
+    #[test]
+    fn monitor_streams_quality_and_alerts_onto_the_bus() {
+        let bus = HealthBus::bounded(64);
+        let mut cursor = bus.subscribe();
+        let mut mon = QualityMonitor::with_bus(MonitorConfig::default(), bus);
+        let fleet = vec![(RetailerId(0), 10)];
+        // The bus publishes even with obs disabled — the two layers are
+        // independent.
+        mon.record_day_obs(
+            &fleet,
+            &report(0, &[(0, 0.001, 10, 10)]),
+            &Obs::disabled(),
+            5.0,
+        );
+        let (lost, events) = cursor.poll();
+        assert_eq!(lost, 0);
+        assert!(
+            matches!(
+                events.as_slice(),
+                [
+                    HealthEvent::Quality { ts: q_ts, day: 0, retailer: 0, map },
+                    HealthEvent::Alert { kind: AlertKind::LowQuality, .. },
+                ] if *q_ts == 5.0 && *map == 0.001
+            ),
+            "{events:?}"
+        );
+        // A degraded day publishes no Quality sample, only the alert.
+        mon.record_day_obs(
+            &fleet,
+            &degraded_report(1, &[], &[0]),
+            &Obs::disabled(),
+            6.0,
+        );
+        let (_, events) = cursor.poll();
+        assert!(
+            matches!(
+                events.as_slice(),
+                [HealthEvent::Alert { kind: AlertKind::Degraded, value, .. }] if *value == 1.0
+            ),
+            "{events:?}"
+        );
     }
 }

@@ -8,7 +8,7 @@
 use parking_lot::RwLock;
 use sigmund_core::inference::{ItemRecs, RecList};
 use sigmund_core::model::ContextEvent;
-use sigmund_obs::{Level, Obs, Track};
+use sigmund_obs::{HealthBus, HealthEvent, Level, Obs, Track};
 use sigmund_types::{ActionType, ItemId, RetailerId};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
@@ -92,12 +92,25 @@ pub struct ServingStore {
     /// log [`ServingStore::rollback_to`] restores from.
     history: RwLock<VecDeque<Arc<Snapshot>>>,
     stats: RwLock<ServingStats>,
+    /// Streaming health bus: publishes, rollbacks and lag snapshots are
+    /// streamed here by the `*_obs`/`observe` methods (which carry virtual
+    /// timestamps). Disabled by default — every publish is then a no-op.
+    bus: HealthBus,
 }
 
 impl ServingStore {
     /// An empty store (generation 0, no tables).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty store that also streams generation changes and lag
+    /// snapshots onto `bus` as [`HealthEvent`]s.
+    pub fn with_bus(bus: HealthBus) -> Self {
+        Self {
+            bus,
+            ..Self::default()
+        }
     }
 
     /// Publishes a new batch: retailers present in `batch` are replaced,
@@ -174,6 +187,11 @@ impl ServingStore {
     /// target generation is gone.
     pub fn rollback_obs(&self, generation: u64, obs: &Obs, ts: f64) -> Option<u64> {
         let new_gen = self.rollback_to(generation)?;
+        self.bus.publish(HealthEvent::Rollback {
+            ts,
+            target_generation: generation,
+            generation: new_gen,
+        });
         obs.span(
             Level::Warn,
             "serving",
@@ -227,6 +245,11 @@ impl ServingStore {
     ) -> u64 {
         let batch_size = batch.len();
         let generation = self.publish(batch);
+        self.bus.publish(HealthEvent::Published {
+            ts,
+            generation,
+            retailers: batch_size,
+        });
         obs.span(
             Level::Info,
             "serving",
@@ -250,6 +273,17 @@ impl ServingStore {
     /// batches the pipeline has produced) and what is actually being served
     /// — a stuck publisher shows up as a growing `serving.generation_lag`.
     pub fn observe(&self, obs: &Obs, ts: f64, expected_generation: u64) {
+        // The bus snapshot goes out even when obs is disabled: the two
+        // layers are independent, and the dashboard may be the only
+        // consumer running.
+        if self.bus.is_enabled() {
+            self.bus.publish(HealthEvent::ServingLag {
+                ts,
+                generation: self.generation(),
+                expected_generation,
+                max_retailer_lag: self.max_lag(),
+            });
+        }
         if !obs.is_enabled() {
             return;
         }
@@ -542,6 +576,51 @@ mod tests {
         assert_eq!(m.counter("serving.publishes"), 1);
         assert_eq!(m.gauge("serving.hit_rate").map(|g| g.last), Some(0.5));
         assert_eq!(m.gauge("serving.generation_lag").map(|g| g.last), Some(1.0));
+    }
+
+    #[test]
+    fn store_streams_generation_changes_onto_the_bus() {
+        use sigmund_obs::Obs;
+        let bus = HealthBus::bounded(16);
+        let mut cursor = bus.subscribe();
+        let store = ServingStore::with_bus(bus);
+        let obs = Obs::disabled(); // bus publishing is independent of obs
+        let mut batch = BTreeMap::new();
+        batch.insert(RetailerId(0), vec![recs(&[1], &[])]);
+        store.publish_obs(batch.clone(), &obs, 1.0);
+        store.publish_obs(batch, &obs, 2.0);
+        store.rollback_obs(1, &obs, 3.0);
+        store.observe(&obs, 4.0, 4); // pipeline one batch ahead of gen 3
+        let (lost, events) = cursor.poll();
+        assert_eq!(lost, 0);
+        assert!(
+            matches!(
+                events.as_slice(),
+                [
+                    HealthEvent::Published {
+                        generation: 1,
+                        retailers: 1,
+                        ..
+                    },
+                    HealthEvent::Published { generation: 2, .. },
+                    HealthEvent::Rollback {
+                        target_generation: 1,
+                        generation: 3,
+                        ..
+                    },
+                    HealthEvent::ServingLag {
+                        generation: 3,
+                        expected_generation: 4,
+                        max_retailer_lag: 2,
+                        ..
+                    },
+                ]
+            ),
+            "{events:?}"
+        );
+        // A refused rollback publishes nothing.
+        store.rollback_obs(99, &obs, 5.0);
+        assert!(cursor.poll().1.is_empty());
     }
 
     #[test]

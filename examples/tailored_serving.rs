@@ -122,8 +122,11 @@ fn main() {
             println!("  ALERT: {a:?}");
         }
     }
-    let (n, mean, worst) = monitor.fleet_summary();
-    println!("\nfleet summary: {n} retailers, mean MAP {mean:.3}, worst {worst:.3}");
+    let summary = monitor.fleet_summary();
+    println!(
+        "\nfleet summary: {} retailers, mean MAP {:.3}, worst {:.3}",
+        summary.retailers, summary.mean_map, summary.worst_map
+    );
 }
 
 /// Builds a synthetic DayReport carrying just the fields the monitor reads.

@@ -215,7 +215,7 @@ fn monitor_watches_a_real_service() {
         );
     }
     assert_eq!(monitor.days_tracked(RetailerId(0)), 3);
-    let (n, mean, _) = monitor.fleet_summary();
-    assert_eq!(n, 1);
-    assert!(mean >= 0.0);
+    let summary = monitor.fleet_summary();
+    assert_eq!(summary.retailers, 1);
+    assert!(summary.mean_map >= 0.0);
 }

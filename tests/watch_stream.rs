@@ -1,0 +1,247 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+//! The streaming fleet-health bus, end to end: the daily pipeline publishes
+//! [`HealthEvent`]s as state changes happen, a cursor drains them, and the
+//! dashboard folds them into frames. Two invariants are asserted here:
+//!
+//! 1. **Frame determinism** — same-seed `threads: 1` runs produce
+//!    byte-identical frame *sequences* (not just final frames). This is the
+//!    golden-snapshot contract the CI watch-smoke job also checks from the
+//!    outside by `cmp`-ing two headless `sigmund watch` runs.
+//! 2. **Bus transparency** — with no bus attached (the default), the
+//!    pipeline's trace.json / metrics.jsonl are byte-identical to a run
+//!    that streams every event to a subscriber: observation must not
+//!    perturb the observed.
+
+use sigmund_cluster::{CellSpec, PreemptionModel};
+use sigmund_core::prelude::*;
+use sigmund_datagen::FleetSpec;
+use sigmund_obs::{Dashboard, HealthBus, HealthEvent, Level, Obs};
+use sigmund_pipeline::{MonitorConfig, PipelineConfig, QualityMonitor, SigmundService};
+use sigmund_serving::{RecSurface, ServingStore};
+use sigmund_types::*;
+
+/// The daily publish path is serde-backed; in stripped build environments
+/// where `serde_json` is a stub, skip the service-driven tests rather than
+/// fail (same policy as tests/chaos.rs).
+fn serde_backend_available() -> bool {
+    serde_json::from_str::<u32>("1").is_ok()
+}
+
+fn tiny_grid() -> GridSpec {
+    GridSpec {
+        factors: vec![8],
+        learning_rates: vec![0.1],
+        regs: vec![(0.01, 0.01)],
+        features: vec![FeatureSwitches::NONE],
+        samplers: vec![NegativeSamplerKind::UniformUnseen],
+        seeds: vec![1],
+        epochs: 3,
+    }
+}
+
+fn tiny_fleet() -> FleetSpec {
+    FleetSpec {
+        n_retailers: 2,
+        min_items: 25,
+        max_items: 50,
+        pareto_alpha: 1.2,
+        users_per_item: 1.0,
+        seed: 33,
+    }
+}
+
+fn service(obs: &Obs, bus: HealthBus) -> SigmundService {
+    let mut svc = SigmundService::new(PipelineConfig {
+        cells: vec![CellSpec::standard(CellId(0), 3)],
+        grid: tiny_grid(),
+        preemption: PreemptionModel { rate_per_hour: 5.0 },
+        checkpoint_interval: 0.004,
+        items_per_split: 10,
+        threads: 1,
+        obs: obs.clone(),
+        bus,
+        ..Default::default()
+    });
+    for d in tiny_fleet().generate() {
+        svc.onboard(&d.catalog, &d.events).unwrap();
+    }
+    svc
+}
+
+/// One watch-style run: tick `days`, stream through a bounded bus, render a
+/// frame per day. Returns the concatenated plain frames.
+fn watch_run(days: u32) -> String {
+    let obs = Obs::disabled();
+    let bus = HealthBus::bounded(1024);
+    let mut cursor = bus.subscribe();
+    let mut dash = Dashboard::new();
+    let mut svc = service(&obs, bus.clone());
+    let mut monitor = QualityMonitor::with_bus(MonitorConfig::default(), bus.clone());
+    let store = ServingStore::with_bus(bus.clone());
+    let mut frames = String::new();
+    for _ in 0..days {
+        let onboarded = svc.retailers().to_vec();
+        let report = svc.run_day().unwrap();
+        monitor.record_day_obs(&onboarded, &report, &obs, svc.virtual_now());
+        let generation = store.publish_obs(report.recs.clone(), &obs, svc.virtual_now());
+        let mut served: Vec<RetailerId> = report.recs.keys().copied().collect();
+        served.sort_unstable();
+        for r in served {
+            store.lookup(r, ItemId(0), RecSurface::ViewBased);
+        }
+        store.observe(&obs, svc.virtual_now(), generation);
+        let (lost, events) = cursor.poll();
+        dash.apply_batch(lost, &events);
+        frames.push_str(&dash.render(false));
+    }
+    frames
+}
+
+/// One traced run, optionally streaming onto a live bus with a subscriber.
+/// Returns the rendered trace + metrics artifacts.
+fn traced_run(with_bus: bool) -> (String, String) {
+    let obs = Obs::recording(Level::Debug);
+    let (bus, mut cursor) = if with_bus {
+        let bus = HealthBus::bounded(1024);
+        let cursor = bus.subscribe();
+        (bus, Some(cursor))
+    } else {
+        (HealthBus::disabled(), None)
+    };
+    let mut svc = service(&obs, bus.clone());
+    let mut monitor = if with_bus {
+        QualityMonitor::with_bus(MonitorConfig::default(), bus.clone())
+    } else {
+        QualityMonitor::new(MonitorConfig::default())
+    };
+    let store = if with_bus {
+        ServingStore::with_bus(bus.clone())
+    } else {
+        ServingStore::new()
+    };
+    for _ in 0..2 {
+        let onboarded = svc.retailers().to_vec();
+        let report = svc.run_day().unwrap();
+        monitor.record_day_obs(&onboarded, &report, &obs, svc.virtual_now());
+        let generation = store.publish_obs(report.recs.clone(), &obs, svc.virtual_now());
+        let mut served: Vec<RetailerId> = report.recs.keys().copied().collect();
+        served.sort_unstable();
+        for r in served {
+            store.lookup(r, ItemId(0), RecSurface::ViewBased);
+        }
+        store.observe(&obs, svc.virtual_now(), generation);
+    }
+    if let Some(cursor) = cursor.as_mut() {
+        let (lost, events) = cursor.poll();
+        assert_eq!(lost, 0, "1024-slot ring must not evict a 2-day run");
+        assert!(!events.is_empty(), "an attached bus must see the run");
+    }
+    (obs.trace_json(), obs.metrics_jsonl())
+}
+
+#[test]
+fn same_seed_watch_frame_sequences_are_byte_identical() {
+    if !serde_backend_available() {
+        eprintln!("skipping: serde_json backend unavailable");
+        return;
+    }
+    let a = watch_run(2);
+    let b = watch_run(2);
+    assert_eq!(a, b, "frame sequences must be byte-identical");
+}
+
+#[test]
+fn watch_frames_cover_fleet_health() {
+    if !serde_backend_available() {
+        eprintln!("skipping: serde_json backend unavailable");
+        return;
+    }
+    let frames = watch_run(2);
+    assert!(frames.contains("SIGMUND FLEET"));
+    assert!(frames.contains("fleet: 2 retailers"));
+    // Both pipeline phases report makespans through the bus.
+    assert!(frames.contains("phases:  infer "));
+    assert!(frames.contains(" train "));
+    // Two publishes, no rollback: the last frame serves generation 2.
+    assert!(frames.contains("gen 2/2"));
+    assert!(!frames.contains('\u{1b}'), "plain frames carry no ANSI");
+}
+
+#[test]
+fn streaming_to_a_subscriber_leaves_the_trace_byte_identical() {
+    if !serde_backend_available() {
+        eprintln!("skipping: serde_json backend unavailable");
+        return;
+    }
+    let (trace_off, metrics_off) = traced_run(false);
+    let (trace_on, metrics_on) = traced_run(true);
+    assert_eq!(
+        trace_off, trace_on,
+        "an attached health bus must not perturb trace.json"
+    );
+    assert_eq!(
+        metrics_off, metrics_on,
+        "an attached health bus must not perturb metrics.jsonl"
+    );
+}
+
+// The remaining tests are pure bus/dashboard plumbing — no serde, so they
+// run even in stripped environments.
+
+#[test]
+fn cursor_reports_ring_eviction_and_dashboard_surfaces_it() {
+    let bus = HealthBus::bounded(2);
+    let mut cursor = bus.subscribe();
+    for day in 0..5u32 {
+        bus.publish(HealthEvent::Degraded {
+            ts: f64::from(day),
+            day,
+            retailer: 0,
+        });
+    }
+    let (lost, events) = cursor.poll();
+    assert_eq!(lost, 3, "five published, two retained");
+    assert_eq!(events.len(), 2);
+    let mut dash = Dashboard::new();
+    dash.apply_batch(lost, &events);
+    let frame = dash.render(false);
+    assert!(frame.contains("WARNING: 3 events lost to ring eviction"));
+    assert!(frame.contains("degraded 2"), "only retained events fold");
+}
+
+#[test]
+fn two_dashboards_folding_the_same_stream_render_identically() {
+    let bus = HealthBus::bounded(64);
+    let mut a_cur = bus.subscribe();
+    let mut b_cur = bus.subscribe();
+    for day in 0..4u32 {
+        bus.publish(HealthEvent::Quality {
+            ts: f64::from(day + 1) * 86_400.0,
+            day,
+            retailer: day % 2,
+            map: 0.2 + 0.01 * f64::from(day),
+        });
+        bus.publish(HealthEvent::Published {
+            ts: f64::from(day + 1) * 86_400.0,
+            generation: u64::from(day) + 1,
+            retailers: 2,
+        });
+    }
+    let mut a = Dashboard::new();
+    let mut b = Dashboard::new();
+    // One subscriber drains incrementally, the other in a single batch —
+    // the folded state (and thus the frame) must not depend on batching.
+    let (lost, events) = a_cur.poll();
+    a.apply_batch(lost, &events);
+    loop {
+        let (lost, events) = b_cur.poll();
+        if events.is_empty() {
+            break;
+        }
+        b.apply_batch(lost, &events);
+    }
+    assert_eq!(a.render(false), b.render(false));
+    assert_eq!(a.render(true), b.render(true));
+}
