@@ -1,0 +1,156 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+//! **bench_fleet** — fleet-scale daily-pipeline throughput (DESIGN.md §12).
+//!
+//! Runs one full simulated Sigmund day — streaming datagen → onboard →
+//! train → select → infer → streaming publish — over Pareto-skewed fleets
+//! of 100, 1 000, and 10 000 retailers, and writes
+//! `results/BENCH_fleet.json` so subsequent PRs have a scale trajectory to
+//! diff against. The key committed number is `peak_logical_bytes`: with
+//! [`PipelineConfig::stream_recs`] the pipeline's resident recommendation
+//! output is bounded by the *largest single retailer*
+//! (`sublinear_bound_bytes`, a fleet-size-independent capacity bound), not
+//! the fleet total — `cargo xtask bench-gate results/BENCH_fleet.json`
+//! fails if any row breaks that invariant.
+//!
+//! ```sh
+//! cargo run --release -p sigmund-bench --bin bench_fleet            # full
+//! cargo run --release -p sigmund-bench --bin bench_fleet -- --smoke # CI
+//! ```
+//!
+//! `--smoke` runs only the 100-retailer tier — it exists so CI can exercise
+//! the full pipeline + report + gate plumbing in seconds.
+
+use sigmund_bench::{f, render_report, write_report, JsonObj, Table};
+use sigmund_cluster::{CellSpec, PreemptionModel};
+use sigmund_core::prelude::GridSpec;
+use sigmund_datagen::FleetSpec;
+use sigmund_obs::ByteLedger;
+use sigmund_pipeline::{PipelineConfig, SigmundService};
+use sigmund_types::{CellId, FeatureSwitches, NegativeSamplerKind};
+use std::time::Instant;
+
+/// The single wall-clock seam in this binary. Everything measured here is
+/// wall time by design — this is a throughput benchmark, exempt from the
+/// virtual-time determinism invariant exactly like T2/T8 and bench_infer.
+fn wall_now() -> Instant {
+    // xtask: allow(determinism) — throughput benchmark measuring real wall time; results are diagnostic, never fed back into simulation.
+    Instant::now()
+}
+
+/// One trained config per retailer: fleet-scale throughput is about the
+/// pipeline's shape, not hyper-parameter search breadth.
+fn fleet_grid() -> GridSpec {
+    GridSpec {
+        factors: vec![8],
+        learning_rates: vec![0.1],
+        regs: vec![(0.01, 0.01)],
+        features: vec![FeatureSwitches::NONE],
+        samplers: vec![NegativeSamplerKind::UniformUnseen],
+        seeds: vec![1],
+        epochs: 2,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let tiers: &[usize] = if smoke { &[100] } else { &[100, 1_000, 10_000] };
+    let rec_k = 10usize;
+
+    println!(
+        "\nbench_fleet — one streamed daily cycle per fleet tier{}\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let table = Table::new(
+        &[
+            "retailers",
+            "items",
+            "events",
+            "wall s",
+            "vday s",
+            "peak KB",
+            "bound KB",
+            "r/day",
+        ],
+        &[9, 9, 10, 8, 10, 9, 9, 11],
+    );
+
+    let mut rows = Vec::new();
+    for &n_retailers in tiers {
+        let fleet = FleetSpec {
+            n_retailers,
+            min_items: 20,
+            max_items: 2_000,
+            pareto_alpha: 1.16,
+            users_per_item: 1.0,
+            seed: 88,
+        };
+        let cfg = PipelineConfig {
+            grid: fleet_grid(),
+            cells: (0..4).map(|i| CellSpec::standard(CellId(i), 8)).collect(),
+            preemption: PreemptionModel::NONE,
+            threads: 1,
+            rec_k,
+            stream_recs: true,
+            ledger: ByteLedger::tracking(),
+            ..Default::default()
+        };
+        let t0 = wall_now();
+        let mut svc = SigmundService::new(cfg);
+        // Streaming onboarding: one retailer's data is resident at a time —
+        // the generator is seeded per retailer, so this is byte-identical to
+        // materializing the whole fleet first (tests/fleet_scale.rs).
+        let mut total_items = 0u64;
+        let mut total_events = 0u64;
+        let mut max_items = 0u64;
+        for data in fleet.stream() {
+            total_items += data.catalog.len() as u64;
+            total_events += data.events.len() as u64;
+            max_items = max_items.max(data.catalog.len() as u64);
+            svc.onboard(&data.catalog, &data.events).unwrap();
+        }
+        let report = svc.run_day().unwrap();
+        let wall_s = t0.elapsed().as_secs_f64();
+        let virtual_makespan_s = report.train_makespan + report.infer_makespan;
+        let peak = svc.cfg.ledger.peak();
+        // Fleet-size-independent capacity bound: the largest retailer's
+        // table at worst-case list lengths (48 header + 16·k bytes per
+        // item). Streaming publish must keep the resident peak under it.
+        let bound = (48 + 16 * rec_k as u64) * max_items;
+        let retailers_per_day = if virtual_makespan_s > 0.0 {
+            n_retailers as f64 * 86_400.0 / virtual_makespan_s
+        } else {
+            0.0
+        };
+        assert!(
+            report.degraded.is_empty() && report.rejected.is_empty(),
+            "clean fleet day must not degrade retailers"
+        );
+        table.print(&[
+            n_retailers.to_string(),
+            total_items.to_string(),
+            total_events.to_string(),
+            f(wall_s, 2),
+            f(virtual_makespan_s, 1),
+            (peak / 1024).to_string(),
+            (bound / 1024).to_string(),
+            f(retailers_per_day, 0),
+        ]);
+        rows.push(
+            JsonObj::new()
+                .str("mode", "stream")
+                .int("retailers", n_retailers as u64)
+                .int("total_items", total_items)
+                .int("total_events", total_events)
+                .num("wall_s", wall_s)
+                .num("virtual_makespan_s", virtual_makespan_s)
+                .num("retailers_per_day", retailers_per_day)
+                .int("peak_logical_bytes", peak)
+                .int("sublinear_bound_bytes", bound),
+        );
+    }
+
+    let doc = render_report("fleet_day", if smoke { "smoke" } else { "full" }, &rows);
+    write_report("BENCH_fleet.json", &doc);
+}

@@ -18,8 +18,7 @@
 //! exercise the measurement + JSON plumbing in seconds, not to produce
 //! meaningful numbers.
 
-use serde::Serialize;
-use sigmund_bench::{f, Table};
+use sigmund_bench::{f, render_report, write_report, JsonObj, Table};
 use sigmund_core::prelude::*;
 use sigmund_datagen::RetailerSpec;
 use sigmund_types::*;
@@ -31,28 +30,6 @@ use std::time::Instant;
 fn wall_now() -> Instant {
     // xtask: allow(determinism) — throughput benchmark measuring real wall time; results are diagnostic, never fed back into simulation.
     Instant::now()
-}
-
-#[derive(Serialize)]
-struct InferRow {
-    path: String,
-    threads: usize,
-    n_items: usize,
-    factors: u32,
-    k: usize,
-    iters: usize,
-    /// Best-of-`iters` wall seconds for one full `materialize_all` pass.
-    wall_s: f64,
-    items_per_s: f64,
-    candidates_per_s: f64,
-    speedup_vs_reference: f64,
-}
-
-#[derive(Serialize)]
-struct InferReport {
-    bench: &'static str,
-    mode: &'static str,
-    rows: Vec<InferRow>,
 }
 
 struct Measured {
@@ -155,29 +132,26 @@ fn main() {
                 f(candidates_per_s, 0),
                 f(speedup, 2),
             ]);
-            rows.push(InferRow {
-                path: path.into(),
-                threads,
-                n_items,
-                factors,
-                k,
-                iters,
-                wall_s: m.wall_s,
-                items_per_s,
-                candidates_per_s,
-                speedup_vs_reference: speedup,
-            });
+            rows.push(
+                JsonObj::new()
+                    .str("path", path)
+                    .int("threads", threads as u64)
+                    .int("n_items", n_items as u64)
+                    .int("factors", factors as u64)
+                    .int("k", k as u64)
+                    .int("iters", iters as u64)
+                    .num("wall_s", m.wall_s)
+                    .num("items_per_s", items_per_s)
+                    .num("candidates_per_s", candidates_per_s)
+                    .num("speedup_vs_reference", speedup),
+            );
         }
     }
 
-    let report = InferReport {
-        bench: "materialize_all",
-        mode: if smoke { "smoke" } else { "full" },
-        rows,
-    };
-    std::fs::create_dir_all("results").expect("create results dir");
-    let path = "results/BENCH_infer.json";
-    let json = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write(path, json).expect("write BENCH_infer.json");
-    println!("\n[results] wrote {path}");
+    let doc = render_report(
+        "materialize_all",
+        if smoke { "smoke" } else { "full" },
+        &rows,
+    );
+    write_report("BENCH_infer.json", &doc);
 }

@@ -57,6 +57,86 @@ pub fn f(v: f64, prec: usize) -> String {
     format!("{v:.prec$}")
 }
 
+/// A hand-rendered flat JSON object. Bench report binaries render their
+/// committed `results/BENCH_*.json` documents through this instead of a
+/// serde backend, so report generation works in every build environment
+/// (and the output shape stays a plain scan for `xtask bench-gate`).
+#[derive(Debug, Default, Clone)]
+pub struct JsonObj {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObj {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field (escapes quotes and backslashes).
+    pub fn str(mut self, key: &str, v: &str) -> Self {
+        let escaped: String = v
+            .chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                c => vec![c],
+            })
+            .collect();
+        self.fields.push((key.into(), format!("\"{escaped}\"")));
+        self
+    }
+
+    /// Adds a float field; non-finite values render as `null`.
+    pub fn num(mut self, key: &str, v: f64) -> Self {
+        let rendered = if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".into()
+        };
+        self.fields.push((key.into(), rendered));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn int(mut self, key: &str, v: u64) -> Self {
+        self.fields.push((key.into(), v.to_string()));
+        self
+    }
+
+    /// Renders the object with each field on its own line at `indent` spaces.
+    pub fn render(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let inner = " ".repeat(indent + 2);
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{inner}\"{k}\": {v}"))
+            .collect();
+        format!("{pad}{{\n{}\n{pad}}}", body.join(",\n"))
+    }
+}
+
+/// Renders a whole `BENCH_*.json` report: header fields plus a `rows` array
+/// of flat objects, pretty-printed (the same overall shape serde_json's
+/// pretty printer produced before these reports went hand-rendered).
+pub fn render_report(bench: &str, mode: &str, rows: &[JsonObj]) -> String {
+    let rendered: Vec<String> = rows.iter().map(|r| r.render(4)).collect();
+    format!(
+        "{{\n  \"bench\": \"{bench}\",\n  \"mode\": \"{mode}\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rendered.join(",\n")
+    )
+}
+
+/// Writes a rendered report under `results/<name>`, creating the directory.
+pub fn write_report(name: &str, rendered: &str) -> PathBuf {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(name);
+    fs::write(&path, rendered).expect("write report");
+    println!("\n[results] wrote {}", path.display());
+    path
+}
+
 /// Writes experiment records as JSON lines under `results/<name>.jsonl`,
 /// creating the directory as needed. Returns the path written.
 pub fn write_results<T: Serialize>(name: &str, records: &[T]) -> PathBuf {
@@ -89,5 +169,29 @@ mod tests {
     #[test]
     fn f_formats_precision() {
         assert_eq!(f(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn json_obj_renders_flat_fields() {
+        let obj = JsonObj::new()
+            .str("path", "fast")
+            .int("threads", 4)
+            .num("speedup_vs_reference", 2.5)
+            .num("bad", f64::NAN);
+        let r = obj.render(0);
+        assert!(r.contains("\"path\": \"fast\""));
+        assert!(r.contains("\"threads\": 4"));
+        assert!(r.contains("\"speedup_vs_reference\": 2.5"));
+        assert!(r.contains("\"bad\": null"));
+    }
+
+    #[test]
+    fn report_shape_is_scannable() {
+        let rows = vec![JsonObj::new().str("mode", "stream").int("retailers", 100)];
+        let doc = render_report("fleet_day", "smoke", &rows);
+        assert!(doc.starts_with("{\n  \"bench\": \"fleet_day\""));
+        assert!(doc.contains("\"rows\": ["));
+        let compact: String = doc.chars().filter(|c| !c.is_whitespace()).collect();
+        assert!(compact.contains("\"mode\":\"stream\",\"retailers\":100"));
     }
 }

@@ -164,7 +164,6 @@ fn simulate(args: &Args) -> Result<(), String> {
         seed,
     };
     println!("generating {n_retailers} retailers…");
-    let data = fleet.generate();
     // Automatic post-publish rollback is only armed under an active fault
     // profile: a clean run must stay byte-identical to the pre-rollback CLI.
     let chaos_active = !chaos.is_disabled();
@@ -182,7 +181,10 @@ fn simulate(args: &Args) -> Result<(), String> {
         chaos,
         ..Default::default()
     });
-    for d in &data {
+    // Streamed onboarding: each retailer is generated, published to the
+    // DFS, and dropped before the next — per-retailer seeding makes this
+    // byte-identical to materializing the fleet first (DESIGN.md §12).
+    for d in fleet.stream() {
         println!(
             "  onboarding {}: {} items, {} events",
             d.retailer(),
@@ -344,7 +346,6 @@ fn watch(args: &Args) -> Result<(), String> {
         users_per_item: 1.2,
         seed,
     };
-    let data = fleet.generate();
     let chaos_active = !chaos.is_disabled();
     let mut svc = SigmundService::new(PipelineConfig {
         cells: (0..cells)
@@ -361,7 +362,7 @@ fn watch(args: &Args) -> Result<(), String> {
         bus: bus.clone(),
         ..Default::default()
     });
-    for d in &data {
+    for d in fleet.stream() {
         svc.onboard(&d.catalog, &d.events)
             .map_err(|e| e.to_string())?;
     }
@@ -431,7 +432,6 @@ fn scrub_cmd(args: &Args) -> Result<(), String> {
         users_per_item: 1.2,
         seed,
     };
-    let data = fleet.generate();
     let mut svc = SigmundService::new(PipelineConfig {
         cells: vec![CellSpec::standard(CellId(0), 4)],
         preemption: PreemptionModel { rate_per_hour: 0.0 },
@@ -440,7 +440,7 @@ fn scrub_cmd(args: &Args) -> Result<(), String> {
         chaos,
         ..Default::default()
     });
-    for d in &data {
+    for d in fleet.stream() {
         svc.onboard(&d.catalog, &d.events)
             .map_err(|e| e.to_string())?;
     }

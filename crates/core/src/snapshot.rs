@@ -9,7 +9,7 @@
 //! The format is a compact little-endian binary built with `bytes`:
 //!
 //! ```text
-//! magic "SGMD" | version u32 | retailer u32 | hp (JSON, length-prefixed)
+//! magic "SGMD" | version u32 | retailer u32 | hp (length-prefixed)
 //! | 6 tables: rows u32, dim u32, data f32*, acc f32*
 //! | checksum u64 (v2+: FNV-1a 64 over every preceding byte)
 //! ```
@@ -18,8 +18,13 @@
 //! field is parsed, so a snapshot mutated anywhere — header, hyper-params,
 //! or a single f32 bit that would otherwise parse fine — is rejected as
 //! [`SigmundError::Corrupt`] instead of restoring a silently-wrong model.
-//! Version 1 snapshots (no checksum) remain readable through an explicit
-//! compat path. Structural validity beyond parsing is a separate concern:
+//! Version 3 (current) keeps the v2 envelope but encodes the
+//! hyper-parameters with [`HyperParams::to_wire`] instead of JSON: encoding
+//! is infallible (no panic surface), needs no serde backend at runtime, and
+//! is what lets `bench_fleet` drive the full daily loop serde-free.
+//! Version 1 (no checksum) and version 2 (JSON hyper-params) snapshots
+//! remain readable through explicit compat paths.
+//! Structural validity beyond parsing is a separate concern:
 //! [`ModelSnapshot::validate`] checks finiteness, row norms, and shape
 //! consistency, and is what the pipeline's admission gate runs before a
 //! model may publish.
@@ -30,7 +35,10 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sigmund_types::{fnv1a64, Catalog, HyperParams, RetailerId, SigmundError};
 
 const MAGIC: &[u8; 4] = b"SGMD";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
+/// The JSON-hyper-params format, kept readable for models written before the
+/// serde-free wire codec.
+const VERSION_V2: u32 = 2;
 /// The pre-checksum format, kept readable for checkpoints written before the
 /// integrity framing existed.
 const VERSION_V1: u32 = 1;
@@ -201,22 +209,20 @@ impl ModelSnapshot {
         Ok(())
     }
 
-    /// Serializes to bytes.
-    #[allow(clippy::expect_used)]
+    /// Serializes to bytes (format v3: wire-encoded hyper-parameters).
     pub fn to_bytes(&self) -> Bytes {
-        // xtask: allow(panic-surface) — HyperParams is a plain struct of numbers and enums; JSON encoding cannot fail
-        let hp_json = serde_json::to_vec(&self.hp).expect("hyperparams serialize");
+        let hp_wire = self.hp.to_wire();
         let payload: usize = self
             .tables
             .iter()
             .map(|t| 8 + t.data.len() * 4 + t.acc.len() * 4)
             .sum();
-        let mut buf = BytesMut::with_capacity(16 + hp_json.len() + payload);
+        let mut buf = BytesMut::with_capacity(16 + hp_wire.len() + payload);
         buf.put_slice(MAGIC);
         buf.put_u32_le(VERSION);
         buf.put_u32_le(self.retailer.0);
-        buf.put_u32_le(wire_u32(hp_json.len()));
-        buf.put_slice(&hp_json);
+        buf.put_u32_le(wire_u32(hp_wire.len()));
+        buf.put_slice(&hp_wire);
         buf.put_u32_le(wire_u32(self.tables.len()));
         for t in &self.tables {
             buf.put_u32_le(t.rows);
@@ -235,9 +241,9 @@ impl ModelSnapshot {
 
     /// Deserializes from bytes.
     ///
-    /// For current-version (v2) snapshots the trailing payload checksum is
-    /// verified before anything else is parsed; v1 snapshots take the
-    /// explicit no-checksum compat path.
+    /// For v2+ snapshots the trailing payload checksum is verified before
+    /// anything else is parsed; v1 snapshots take the explicit no-checksum
+    /// compat path. v1/v2 carry JSON hyper-parameters, v3 the wire codec.
     ///
     /// # Errors
     /// Returns [`SigmundError::Corrupt`] on any malformed input, including a
@@ -252,7 +258,7 @@ impl ModelSnapshot {
         }
         let version = (&raw[4..8]).get_u32_le();
         let body = match version {
-            VERSION => {
+            VERSION | VERSION_V2 => {
                 if raw.len() < 16 {
                     return Err(corrupt("truncated checksum"));
                 }
@@ -265,12 +271,13 @@ impl ModelSnapshot {
             VERSION_V1 => &raw[8..],
             v => return Err(corrupt(&format!("unsupported version {v}"))),
         };
-        Self::parse_body(body)
+        Self::parse_body(body, version == VERSION)
     }
 
-    /// Parses everything after the magic + version header (and before the v2
-    /// checksum, already stripped and verified by the caller).
-    fn parse_body(mut b: &[u8]) -> Result<Self, SigmundError> {
+    /// Parses everything after the magic + version header (and before the
+    /// v2+ checksum, already stripped and verified by the caller).
+    /// `wire_hp` selects the v3 hyper-parameter codec over v1/v2 JSON.
+    fn parse_body(mut b: &[u8], wire_hp: bool) -> Result<Self, SigmundError> {
         let corrupt = |m: &str| SigmundError::Corrupt(format!("model snapshot: {m}"));
         if b.remaining() < 8 {
             return Err(corrupt("truncated header"));
@@ -280,8 +287,12 @@ impl ModelSnapshot {
         if b.remaining() < hp_len {
             return Err(corrupt("truncated hyper-parameters"));
         }
-        let hp: HyperParams = serde_json::from_slice(&b[..hp_len])
-            .map_err(|e| corrupt(&format!("hyper-parameters: {e}")))?;
+        let hp: HyperParams = if wire_hp {
+            HyperParams::from_wire(&b[..hp_len])?
+        } else {
+            serde_json::from_slice(&b[..hp_len])
+                .map_err(|e| corrupt(&format!("hyper-parameters: {e}")))?
+        };
         b.advance(hp_len);
         if b.remaining() < 4 {
             return Err(corrupt("missing table count"));
@@ -516,13 +527,58 @@ mod tests {
     fn unknown_versions_are_rejected() {
         let snap = ModelSnapshot::capture(&model(&catalog(3)));
         let mut bytes = snap.to_bytes().to_vec();
-        bytes[4] = 3;
-        // A v2 parser sees version 3 before the checksum could vouch for it.
+        bytes[4] = 99;
+        // The parser sees version 99 before the checksum could vouch for it.
         let err = ModelSnapshot::from_bytes(&bytes).unwrap_err();
         assert!(
             format!("{err:?}").contains("unsupported version"),
             "{err:?}"
         );
+    }
+
+    /// Serializes `snap` in the v2 layout (checksummed envelope, JSON
+    /// hyper-params), byte-for-byte what `to_bytes` produced before v3.
+    fn to_v2_bytes(snap: &ModelSnapshot) -> Vec<u8> {
+        let hp_json = serde_json::to_vec(&snap.hp).unwrap();
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION_V2);
+        buf.put_u32_le(snap.retailer.0);
+        buf.put_u32_le(wire_u32(hp_json.len()));
+        buf.put_slice(&hp_json);
+        buf.put_u32_le(snap.tables.len() as u32);
+        for t in &snap.tables {
+            buf.put_u32_le(t.rows);
+            buf.put_u32_le(t.dim);
+            for &v in &t.data {
+                buf.put_f32_le(v);
+            }
+            for &v in &t.acc {
+                buf.put_f32_le(v);
+            }
+        }
+        let checksum = fnv1a64(&buf);
+        buf.put_u64_le(checksum);
+        buf.to_vec()
+    }
+
+    #[test]
+    fn v2_snapshots_stay_readable_through_compat_path() {
+        if serde_json::from_str::<u32>("1").is_err() {
+            eprintln!("skipping: serde_json backend is stubbed in this environment");
+            return;
+        }
+        let c = catalog(8);
+        let m = model(&c);
+        m.tables()[0].adagrad_step(2, &[0.5, -0.25, 0.0, 1.0], 0.1, 0.01);
+        let snap = ModelSnapshot::capture(&m);
+        let v2 = to_v2_bytes(&snap);
+        let back = ModelSnapshot::from_bytes(&v2).unwrap();
+        assert_eq!(back, snap);
+        // The v2 checksum still guards the v2 payload.
+        let mut flipped = v2.clone();
+        flipped[10] ^= 1;
+        assert!(ModelSnapshot::from_bytes(&flipped).is_err());
     }
 
     #[test]
@@ -551,11 +607,7 @@ mod tests {
         // usize: the checksum is attacker-consistent (computed over the
         // malicious bytes), so the parser's checked arithmetic is the only
         // line of defence against a wrapped "needed bytes" figure.
-        if serde_json::from_str::<u32>("1").is_err() {
-            eprintln!("skipping: serde_json backend is stubbed in this environment");
-            return;
-        }
-        let hp_json = serde_json::to_vec(&HyperParams::default()).unwrap();
+        let hp_wire = HyperParams::default().to_wire();
         for (rows, dim) in [
             (u32::MAX, u32::MAX),
             (u32::MAX, 4),
@@ -566,8 +618,8 @@ mod tests {
             buf.put_slice(MAGIC);
             buf.put_u32_le(VERSION);
             buf.put_u32_le(3);
-            buf.put_u32_le(wire_u32(hp_json.len()));
-            buf.put_slice(&hp_json);
+            buf.put_u32_le(wire_u32(hp_wire.len()));
+            buf.put_slice(&hp_wire);
             buf.put_u32_le(1);
             buf.put_u32_le(rows);
             buf.put_u32_le(dim);

@@ -7,10 +7,8 @@
 //! per-retailer model-selection experiments depend on.
 
 use crate::retailer::{RetailerData, RetailerSpec};
-use rand::prelude::*;
-use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
-use sigmund_types::RetailerId;
+use sigmund_types::{splitmix64, unit_f64, RetailerId};
 
 /// Coarse retailer size classes, used for reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -68,36 +66,51 @@ impl Default for FleetSpec {
 }
 
 impl FleetSpec {
+    /// The spec for retailer `i`, computed in O(1) with no shared RNG state.
+    ///
+    /// Catalog size and per-retailer seed are pure functions of
+    /// `(self.seed, i)` (splitmix64 draws), so any retailer's data can be
+    /// generated without drawing the ones before it — streamed and
+    /// materialized fleets are byte-identical regardless of generation order.
+    pub fn spec_of(&self, i: usize) -> RetailerSpec {
+        assert!(self.min_items >= 1 && self.max_items >= self.min_items);
+        let n_items = self.sample_size(i);
+        let n_users = ((n_items as f64 * self.users_per_item) as usize).max(10);
+        RetailerSpec::sized(
+            RetailerId::from_index(i),
+            n_items,
+            n_users,
+            // Derive a distinct, stable per-retailer seed.
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64),
+        )
+    }
+
     /// Draws the per-retailer specs (cheap; no event generation).
     pub fn specs(&self) -> Vec<RetailerSpec> {
-        assert!(self.min_items >= 1 && self.max_items >= self.min_items);
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        (0..self.n_retailers)
-            .map(|i| {
-                let n_items = self.sample_size(&mut rng);
-                let n_users = ((n_items as f64 * self.users_per_item) as usize).max(10);
-                RetailerSpec::sized(
-                    RetailerId::from_index(i),
-                    n_items,
-                    n_users,
-                    // Derive a distinct, stable per-retailer seed.
-                    self.seed
-                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        .wrapping_add(i as u64),
-                )
-            })
-            .collect()
+        (0..self.n_retailers).map(|i| self.spec_of(i)).collect()
     }
 
-    /// Generates data for every retailer in the fleet. O(total events); use
-    /// modest sizes in tests.
+    /// Streams the fleet one retailer at a time: each `next()` generates one
+    /// retailer's data and nothing else is resident. This is the
+    /// bounded-memory path — peak footprint is the largest single retailer,
+    /// not the whole fleet (DESIGN.md §12).
+    pub fn stream(&self) -> impl Iterator<Item = RetailerData> + '_ {
+        (0..self.n_retailers).map(|i| self.spec_of(i).generate())
+    }
+
+    /// Generates data for every retailer in the fleet. O(total events) time
+    /// *and* memory; use [`FleetSpec::stream`] for large fleets.
     pub fn generate(&self) -> Vec<RetailerData> {
-        self.specs().iter().map(|s| s.generate()).collect()
+        self.stream().collect()
     }
 
-    /// Truncated-Pareto catalog size.
-    fn sample_size(&self, rng: &mut StdRng) -> usize {
-        let u: f64 = rng.random::<f64>().max(1e-12);
+    /// Truncated-Pareto catalog size for retailer `i` — a stateless draw
+    /// (splitmix64 of the fleet seed and index) so sizes don't depend on
+    /// sampling order.
+    fn sample_size(&self, i: usize) -> usize {
+        let u = unit_f64(splitmix64(self.seed ^ splitmix64(i as u64)));
         let raw = self.min_items as f64 * u.powf(-1.0 / self.pareto_alpha);
         raw.min(self.max_items as f64) as usize
     }
@@ -165,6 +178,39 @@ mod tests {
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 20);
+    }
+
+    #[test]
+    fn spec_of_is_order_independent() {
+        let fleet = FleetSpec {
+            n_retailers: 25,
+            ..Default::default()
+        };
+        let all = fleet.specs();
+        // Evaluate indexes in reverse: identical specs, no shared RNG walk.
+        for i in (0..fleet.n_retailers).rev() {
+            let s = fleet.spec_of(i);
+            assert_eq!(s.n_items, all[i].n_items);
+            assert_eq!(s.n_users, all[i].n_users);
+            assert_eq!(s.seed, all[i].seed);
+        }
+    }
+
+    #[test]
+    fn stream_matches_generate() {
+        let fleet = FleetSpec {
+            n_retailers: 4,
+            min_items: 20,
+            max_items: 80,
+            pareto_alpha: 1.1,
+            users_per_item: 1.0,
+            seed: 31,
+        };
+        let materialized = fleet.generate();
+        for (streamed, full) in fleet.stream().zip(materialized.iter()) {
+            assert_eq!(streamed.events.len(), full.events.len());
+            assert_eq!(streamed.catalog.len(), full.catalog.len());
+        }
     }
 
     #[test]

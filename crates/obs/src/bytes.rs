@@ -1,0 +1,220 @@
+//! Deterministic logical-bytes accounting: a high-water-mark ledger.
+//!
+//! The fleet-scale invariant (DESIGN.md §12) is that the daily pipeline's
+//! peak footprint is bounded by the *largest single retailer* plus fixed
+//! per-retailer state — not by the fleet's total event volume. Wall-clock
+//! RSS cannot test that (allocator slack, platform noise), so the pipeline
+//! charges a [`ByteLedger`] with the *logical* size of every bulk structure
+//! it holds (event buffers, rec tables in flight) and releases the charge
+//! when the structure is dropped. The resulting peak is a pure function of
+//! the seeded workload — a number a regression test can pin exactly.
+//!
+//! Design rules, shared with the rest of the crate:
+//!
+//! 1. **Transparent when disabled.** The default ledger is disabled and
+//!    every charge is a no-op, so library code can account unconditionally.
+//! 2. **Deterministic.** Charges are computed from deterministic sizes
+//!    (`len * size_of`), never from allocator or OS state.
+//! 3. **No atomics.** The workspace scopes `std::sync::atomic` to the
+//!    Hogwild table; a `Mutex` is plenty for per-phase accounting.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Ledger updates are add/sub only; poison recovery is safe and keeps
+    // the library panic-free.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[derive(Debug, Default)]
+struct LedgerInner {
+    current: u64,
+    peak: u64,
+}
+
+/// A logical-bytes high-water-mark ledger. Cheap to clone (an `Arc`); the
+/// default handle is disabled and every charge is a no-op.
+///
+/// ```
+/// use sigmund_obs::ByteLedger;
+/// let ledger = ByteLedger::tracking();
+/// {
+///     let _a = ledger.charge(1000);
+///     let _b = ledger.charge(500);
+///     assert_eq!(ledger.current(), 1500);
+/// } // both charges released here
+/// assert_eq!(ledger.current(), 0);
+/// assert_eq!(ledger.peak(), 1500);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ByteLedger {
+    inner: Option<Arc<Mutex<LedgerInner>>>,
+}
+
+impl ByteLedger {
+    /// A disabled ledger: charges are no-ops, `peak()` is always 0.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A live ledger starting at zero bytes.
+    pub fn tracking() -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(LedgerInner::default()))),
+        }
+    }
+
+    /// Whether this handle records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Charges `bytes` to the ledger, returning a guard that releases the
+    /// charge when dropped. On a disabled ledger this is free.
+    #[must_use = "dropping the guard immediately releases the charge"]
+    pub fn charge(&self, bytes: u64) -> ByteCharge {
+        if let Some(inner) = &self.inner {
+            let mut g = lock(inner);
+            g.current += bytes;
+            g.peak = g.peak.max(g.current);
+        }
+        ByteCharge {
+            ledger: self.clone(),
+            bytes,
+        }
+    }
+
+    /// Bytes currently charged.
+    pub fn current(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| lock(i).current)
+    }
+
+    /// High-water mark: the largest `current()` ever observed.
+    pub fn peak(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| lock(i).peak)
+    }
+
+    /// Resets the high-water mark to the current charge level (e.g. between
+    /// benchmark tiers sharing one ledger).
+    pub fn reset_peak(&self) {
+        if let Some(inner) = &self.inner {
+            let mut g = lock(inner);
+            g.peak = g.current;
+        }
+    }
+
+    fn release(&self, bytes: u64) {
+        if let Some(inner) = &self.inner {
+            let mut g = lock(inner);
+            g.current = g.current.saturating_sub(bytes);
+        }
+    }
+}
+
+/// An outstanding charge on a [`ByteLedger`]; dropping it releases the
+/// bytes. Hold it for exactly as long as the accounted structure is live.
+#[derive(Debug)]
+pub struct ByteCharge {
+    ledger: ByteLedger,
+    bytes: u64,
+}
+
+impl ByteCharge {
+    /// The number of bytes this guard holds.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Grows this charge in place (e.g. a buffer that was extended).
+    pub fn grow(&mut self, additional: u64) {
+        if let Some(inner) = &self.ledger.inner {
+            let mut g = lock(inner);
+            g.current += additional;
+            g.peak = g.peak.max(g.current);
+        }
+        self.bytes += additional;
+    }
+}
+
+impl Drop for ByteCharge {
+    fn drop(&mut self) {
+        self.ledger.release(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_ledger_is_a_no_op() {
+        let ledger = ByteLedger::disabled();
+        let c = ledger.charge(1_000_000);
+        assert!(!ledger.is_enabled());
+        assert_eq!(ledger.current(), 0);
+        assert_eq!(ledger.peak(), 0);
+        drop(c);
+        assert_eq!(ledger.peak(), 0);
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!ByteLedger::default().is_enabled());
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark_across_release() {
+        let ledger = ByteLedger::tracking();
+        {
+            let _a = ledger.charge(300);
+            {
+                let _b = ledger.charge(700);
+                assert_eq!(ledger.current(), 1000);
+            }
+            assert_eq!(ledger.current(), 300, "inner charge released");
+        }
+        assert_eq!(ledger.current(), 0);
+        assert_eq!(ledger.peak(), 1000, "peak survives releases");
+    }
+
+    #[test]
+    fn sequential_charges_do_not_stack_the_peak() {
+        let ledger = ByteLedger::tracking();
+        for _ in 0..10 {
+            let _c = ledger.charge(100);
+        }
+        assert_eq!(ledger.peak(), 100, "one retailer at a time = flat peak");
+    }
+
+    #[test]
+    fn grow_extends_an_outstanding_charge() {
+        let ledger = ByteLedger::tracking();
+        let mut c = ledger.charge(10);
+        c.grow(90);
+        assert_eq!(c.bytes(), 100);
+        assert_eq!(ledger.current(), 100);
+        drop(c);
+        assert_eq!(ledger.current(), 0, "grown charge fully released");
+    }
+
+    #[test]
+    fn clones_share_one_ledger() {
+        let ledger = ByteLedger::tracking();
+        let clone = ledger.clone();
+        let _c = clone.charge(42);
+        assert_eq!(ledger.current(), 42);
+    }
+
+    #[test]
+    fn reset_peak_rebases_to_current() {
+        let ledger = ByteLedger::tracking();
+        let hold = ledger.charge(50);
+        {
+            let _spike = ledger.charge(1000);
+        }
+        assert_eq!(ledger.peak(), 1050);
+        ledger.reset_peak();
+        assert_eq!(ledger.peak(), 50, "rebased to the outstanding charge");
+        drop(hold);
+    }
+}

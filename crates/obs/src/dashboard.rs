@@ -83,6 +83,8 @@ pub struct Dashboard {
     degraded_total: u64,
     // Last-seen phase makespans.
     phases: BTreeMap<&'static str, f64>,
+    // Fleet-scale gauges from the last `Fleet` event (None until one arrives).
+    fleet_gauges: Option<(usize, f64, u64)>,
     /// Recent alert lines, oldest first, capped at [`FEED_DEPTH`].
     feed: Vec<String>,
     /// Events the subscriber lost to ring eviction (see `note_lost`).
@@ -222,6 +224,16 @@ impl Dashboard {
                 self.expected_generation = *expected_generation;
                 self.max_retailer_lag = *max_retailer_lag;
             }
+            HealthEvent::Fleet {
+                day,
+                retailers,
+                makespan_s,
+                peak_logical_bytes,
+                ..
+            } => {
+                self.day = self.day.max(*day);
+                self.fleet_gauges = Some((*retailers, *makespan_s, *peak_logical_bytes));
+            }
         }
     }
 
@@ -255,6 +267,22 @@ impl Dashboard {
             self.expected_generation,
             self.max_retailer_lag
         );
+        if let Some((retailers, makespan_s, peak_bytes)) = self.fleet_gauges {
+            // Virtual throughput: how many retailers this day's makespan
+            // would sustain per 24h of cluster time.
+            let per_day = if makespan_s > 0.0 {
+                retailers as f64 * 86_400.0 / makespan_s
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "scale: {} retailers/day  makespan {}s  peak {} logical",
+                fmt1(per_day),
+                fmt1(makespan_s),
+                fmt_bytes(peak_bytes)
+            );
+        }
         let _ = writeln!(out, "{bar}");
 
         // Fleet rollup line.
@@ -376,6 +404,23 @@ fn fmt1(v: f64) -> String {
         format!("{v:.1}")
     } else {
         "nan".to_owned()
+    }
+}
+
+/// Human-readable byte count with a fixed 1-decimal mantissa — integer
+/// arithmetic plus one `f64` division, so the rendering is deterministic.
+fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut unit = 0;
+    let mut scale = 1u64;
+    while unit + 1 < UNITS.len() && bytes >= scale * 1024 {
+        scale *= 1024;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{:.1} {}", bytes as f64 / scale as f64, UNITS[unit])
     }
 }
 
@@ -515,6 +560,33 @@ mod tests {
         assert!(dash
             .render(false)
             .contains("WARNING: 3 events lost to ring eviction"));
+    }
+
+    #[test]
+    fn fleet_gauges_render_in_the_header() {
+        let mut dash = Dashboard::new();
+        let frame = dash.render(false);
+        assert!(!frame.contains("scale:"), "no gauge line before an event");
+        dash.apply(&HealthEvent::Fleet {
+            ts: 86_400.0,
+            day: 0,
+            retailers: 100,
+            makespan_s: 8_640.0,
+            peak_logical_bytes: 3 * 1024 * 1024 + 524_288,
+        });
+        let frame = dash.render(false);
+        assert!(
+            frame.contains("scale: 1000.0 retailers/day  makespan 8640.0s  peak 3.5 MiB logical"),
+            "frame was:\n{frame}"
+        );
+    }
+
+    #[test]
+    fn byte_units_scale() {
+        assert_eq!(fmt_bytes(0), "0 B");
+        assert_eq!(fmt_bytes(999), "999 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(5 * 1024 * 1024 * 1024), "5.0 GiB");
     }
 
     #[test]

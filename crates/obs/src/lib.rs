@@ -44,12 +44,14 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
+mod bytes;
 mod dashboard;
 mod metrics;
 mod stream;
 mod summary;
 mod trace;
 
+pub use bytes::{ByteCharge, ByteLedger};
 pub use dashboard::Dashboard;
 pub use metrics::{Gauge, Histogram, MetricsRegistry};
 pub use stream::{AlertKind, HealthBus, HealthCursor, HealthEvent};

@@ -177,6 +177,20 @@ pub enum HealthEvent {
         /// Worst per-retailer staleness, in publish batches.
         max_retailer_lag: u64,
     },
+    /// Fleet-scale throughput gauges for one pipeline day (DESIGN.md §12).
+    Fleet {
+        /// Virtual time of the day's end.
+        ts: f64,
+        /// Day index.
+        day: u32,
+        /// Retailers the pipeline processed today.
+        retailers: usize,
+        /// Total virtual makespan of the day (train + infer), seconds.
+        makespan_s: f64,
+        /// Peak logical bytes charged to the pipeline's byte ledger today
+        /// (0 when the ledger is disabled).
+        peak_logical_bytes: u64,
+    },
 }
 
 impl HealthEvent {
@@ -191,7 +205,8 @@ impl HealthEvent {
             | HealthEvent::Faults { ts, .. }
             | HealthEvent::Published { ts, .. }
             | HealthEvent::Rollback { ts, .. }
-            | HealthEvent::ServingLag { ts, .. } => *ts,
+            | HealthEvent::ServingLag { ts, .. }
+            | HealthEvent::Fleet { ts, .. } => *ts,
         }
     }
 }
@@ -499,6 +514,13 @@ mod tests {
                 generation: 1,
                 expected_generation: 1,
                 max_retailer_lag: 0,
+            },
+            HealthEvent::Fleet {
+                ts: 10.0,
+                day: 0,
+                retailers: 1,
+                makespan_s: 1.0,
+                peak_logical_bytes: 0,
             },
         ];
         for (i, e) in events.iter().enumerate() {

@@ -2,16 +2,21 @@
 //!
 //! Everything a task needs flows through the DFS, exactly like the paper's
 //! pipeline: catalogs and event logs in, models and annotated config records
-//! out. Events use a compact fixed-width binary codec (17 bytes/event);
-//! catalogs and config records use JSON (they are small and debuggability
+//! out. Events use a compact fixed-width binary codec (17 bytes/event).
+//! Catalogs and recommendation tables use compact magic-tagged binary codecs
+//! too (DESIGN.md §12): at fleet scale the JSON encode/decode dominated the
+//! day, and the binary path needs no serde backend at runtime. JSON blobs
+//! written by earlier versions stay readable — the loaders dispatch on the
+//! magic bytes. Config records keep JSON (they are small and debuggability
 //! wins — Section I lists "understand and debug problems efficiently" as a
 //! design goal).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sigmund_core::prelude::ItemRecs;
 use sigmund_dfs::Dfs;
 use sigmund_types::{
-    ActionType, Catalog, CellId, ConfigRecord, Interaction, ItemId, RetailerId, SigmundError,
-    UserId,
+    ActionType, BrandId, Catalog, CategoryId, CellId, ConfigRecord, FacetId, Interaction, ItemId,
+    ItemMeta, RetailerId, SigmundError, Taxonomy, UserId,
 };
 
 /// DFS path of a retailer's training events.
@@ -37,6 +42,12 @@ pub fn checkpoint_dir(r: RetailerId, config: u32) -> String {
 /// DFS path of the materialized recommendations for a retailer.
 pub fn recs_path(r: RetailerId) -> String {
     format!("/recs/r{}", r.0)
+}
+
+/// DFS path of one inference split's recommendation part blob (streamed
+/// publish, DESIGN.md §12). `start` is the split's first item index.
+pub fn recs_part_path(r: RetailerId, start: u32) -> String {
+    format!("/recs_parts/r{}/p{start}", r.0)
 }
 
 /// Encodes an event log (17 bytes per event).
@@ -82,6 +93,189 @@ pub fn decode_events(mut b: &[u8]) -> Result<Vec<Interaction>, SigmundError> {
     Ok(out)
 }
 
+/// Magic bytes tagging a binary catalog blob (vs legacy JSON).
+pub const CATALOG_MAGIC: &[u8; 4] = b"SGCT";
+
+/// Encodes a catalog in the compact binary layout:
+///
+/// ```text
+/// magic "SGCT" | retailer u32 | n_categories u32 | parent u32 (per non-root
+/// category, in id order) | n_items u32 | per item: flags u8 (bit 0 brand,
+/// 1 price, 2 facet) , category u32 , then each present optional field
+/// ```
+///
+/// Taxonomies are append-only (every node's parent has a smaller id), so the
+/// parent list alone reconstructs the tree, depths included.
+pub fn encode_catalog(catalog: &Catalog) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + catalog.taxonomy.len() * 4 + catalog.len() * 9);
+    buf.put_slice(CATALOG_MAGIC);
+    buf.put_u32_le(catalog.retailer.0);
+    buf.put_u32_le(u32::try_from(catalog.taxonomy.len()).unwrap_or(u32::MAX));
+    for i in 1..catalog.taxonomy.len() {
+        buf.put_u32_le(catalog.taxonomy.parent(CategoryId::from_index(i)).0);
+    }
+    buf.put_u32_le(u32::try_from(catalog.len()).unwrap_or(u32::MAX));
+    for (_, m) in catalog.iter() {
+        let flags = u8::from(m.brand.is_some())
+            | u8::from(m.price.is_some()) << 1
+            | u8::from(m.facet.is_some()) << 2;
+        buf.put_u8(flags);
+        buf.put_u32_le(m.category.0);
+        if let Some(b) = m.brand {
+            buf.put_u32_le(b.0);
+        }
+        if let Some(p) = m.price {
+            buf.put_f32_le(p);
+        }
+        if let Some(f) = m.facet {
+            buf.put_u32_le(f.0);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a binary catalog blob (see [`encode_catalog`]).
+///
+/// # Errors
+/// [`SigmundError::Corrupt`] on malformed bytes, including parent or
+/// category references that would break the append-only taxonomy invariant.
+pub fn decode_catalog(mut b: &[u8]) -> Result<Catalog, SigmundError> {
+    let corrupt = |m: &str| SigmundError::Corrupt(format!("catalog blob: {m}"));
+    if b.remaining() < 12 || &b[..4] != CATALOG_MAGIC {
+        return Err(corrupt("missing magic"));
+    }
+    b.advance(4);
+    let retailer = RetailerId(b.get_u32_le());
+    let n_cats = b.get_u32_le() as usize;
+    if n_cats == 0 {
+        return Err(corrupt("taxonomy missing root"));
+    }
+    if b.remaining() < (n_cats - 1) * 4 {
+        return Err(corrupt("truncated taxonomy"));
+    }
+    let mut taxonomy = Taxonomy::new();
+    for i in 1..n_cats {
+        let parent = CategoryId(b.get_u32_le());
+        // add_child asserts on unknown parents; reject instead of panicking.
+        if parent.index() >= i {
+            return Err(corrupt(&format!("category {i} parent out of range")));
+        }
+        taxonomy.add_child(parent);
+    }
+    if b.remaining() < 4 {
+        return Err(corrupt("missing item count"));
+    }
+    let n_items = b.get_u32_le() as usize;
+    let mut catalog = Catalog::new(retailer, taxonomy);
+    for i in 0..n_items {
+        if b.remaining() < 5 {
+            return Err(corrupt("truncated item"));
+        }
+        let flags = b.get_u8();
+        if flags & !0b111 != 0 {
+            return Err(corrupt(&format!("item {i} reserved flag bits")));
+        }
+        let category = CategoryId(b.get_u32_le());
+        if category.index() >= catalog.taxonomy.len() {
+            return Err(corrupt(&format!("item {i} category out of range")));
+        }
+        let optional = 4
+            * (usize::from(flags & 1) + usize::from(flags >> 1 & 1) + usize::from(flags >> 2 & 1));
+        if b.remaining() < optional {
+            return Err(corrupt("truncated item fields"));
+        }
+        let brand = (flags & 1 != 0).then(|| BrandId(b.get_u32_le()));
+        let price = (flags & 2 != 0).then(|| b.get_f32_le());
+        let facet = (flags & 4 != 0).then(|| FacetId(b.get_u32_le()));
+        catalog.add_item(ItemMeta {
+            category,
+            brand,
+            price,
+            facet,
+        });
+    }
+    if b.has_remaining() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok(catalog)
+}
+
+/// Magic bytes tagging a binary recommendation-table blob (vs legacy JSON).
+pub const RECS_MAGIC: &[u8; 4] = b"SGRC";
+
+/// Encodes a recommendation table (one `ItemRecs` per item, in id order):
+/// magic, item count, then per item two length-prefixed `(item u32,
+/// score f32)` lists (view-based, purchase-based).
+pub fn encode_recs(recs: &[ItemRecs]) -> Bytes {
+    let entries: usize = recs
+        .iter()
+        .map(|r| r.view_based.len() + r.purchase_based.len())
+        .sum();
+    let mut buf = BytesMut::with_capacity(8 + recs.len() * 8 + entries * 8);
+    buf.put_slice(RECS_MAGIC);
+    buf.put_u32_le(u32::try_from(recs.len()).unwrap_or(u32::MAX));
+    for r in recs {
+        for list in [&r.view_based, &r.purchase_based] {
+            buf.put_u32_le(u32::try_from(list.len()).unwrap_or(u32::MAX));
+            for &(item, score) in list {
+                buf.put_u32_le(item.0);
+                buf.put_f32_le(score);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a binary recommendation table (see [`encode_recs`]).
+///
+/// # Errors
+/// [`SigmundError::Corrupt`] on malformed bytes.
+pub fn decode_recs(mut b: &[u8]) -> Result<Vec<ItemRecs>, SigmundError> {
+    let corrupt = |m: &str| SigmundError::Corrupt(format!("recs blob: {m}"));
+    if b.remaining() < 8 || &b[..4] != RECS_MAGIC {
+        return Err(corrupt("missing magic"));
+    }
+    b.advance(4);
+    let n = b.get_u32_le() as usize;
+    let get_list = |b: &mut &[u8]| -> Result<Vec<(ItemId, f32)>, SigmundError> {
+        if b.remaining() < 4 {
+            return Err(corrupt("truncated list length"));
+        }
+        let k = b.get_u32_le() as usize;
+        if b.remaining() < k.checked_mul(8).ok_or_else(|| corrupt("list overflows"))? {
+            return Err(corrupt("truncated list"));
+        }
+        let mut out = Vec::with_capacity(k);
+        for _ in 0..k {
+            out.push((ItemId(b.get_u32_le()), b.get_f32_le()));
+        }
+        Ok(out)
+    };
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let view_based = get_list(&mut b)?;
+        let purchase_based = get_list(&mut b)?;
+        out.push(ItemRecs {
+            view_based,
+            purchase_based,
+        });
+    }
+    if b.has_remaining() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok(out)
+}
+
+/// Deterministic logical size of a recommendation table: a fixed per-item
+/// overhead plus 8 bytes per `(item, score)` entry. This is what the
+/// pipeline charges to its [`sigmund_obs::ByteLedger`] — a pure function of
+/// the table's shape, never of allocator state (DESIGN.md §12).
+pub fn recs_logical_bytes(recs: &[ItemRecs]) -> u64 {
+    recs.iter()
+        .map(|r| 48 + 8 * (r.view_based.len() + r.purchase_based.len()) as u64)
+        .sum()
+}
+
 /// Publishes a retailer's catalog and events to the DFS (the ingestion step
 /// of the daily pipeline).
 pub fn publish_retailer(
@@ -90,16 +284,23 @@ pub fn publish_retailer(
     catalog: &Catalog,
     events: &[Interaction],
 ) -> Result<(), SigmundError> {
-    let cat_json = serde_json::to_vec(catalog)
-        .map_err(|e| SigmundError::Invalid(format!("catalog serialize: {e}")))?;
-    dfs.write(cell, &catalog_path(catalog.retailer), Bytes::from(cat_json))?;
+    dfs.write(
+        cell,
+        &catalog_path(catalog.retailer),
+        encode_catalog(catalog),
+    )?;
     dfs.write(cell, &train_path(catalog.retailer), encode_events(events))?;
     Ok(())
 }
 
-/// Loads a retailer's catalog from the DFS.
+/// Loads a retailer's catalog from the DFS. Binary blobs (the current
+/// format) dispatch on the magic bytes; anything else takes the legacy JSON
+/// path.
 pub fn load_catalog(dfs: &Dfs, cell: CellId, r: RetailerId) -> Result<Catalog, SigmundError> {
     let bytes = dfs.read(cell, &catalog_path(r))?;
+    if bytes.starts_with(CATALOG_MAGIC) {
+        return decode_catalog(&bytes);
+    }
     serde_json::from_slice(&bytes).map_err(|e| SigmundError::Corrupt(format!("catalog: {e}")))
 }
 
@@ -201,6 +402,78 @@ mod tests {
         assert_eq!(back, recs);
         assert!(decode_config_records(b"not json\n").is_err());
         assert!(decode_config_records(b"").unwrap().is_empty());
+    }
+
+    #[test]
+    fn catalog_codec_round_trips_metadata_and_taxonomy() {
+        let mut tax = Taxonomy::new();
+        let c0 = tax.add_child(tax.root());
+        let c1 = tax.add_child(c0);
+        let mut catalog = Catalog::new(RetailerId(9), tax);
+        catalog.add_item(ItemMeta {
+            category: c1,
+            brand: Some(sigmund_types::BrandId(4)),
+            price: Some(12.5),
+            facet: Some(sigmund_types::FacetId(2)),
+        });
+        catalog.add_item(ItemMeta::bare(c0));
+        let bytes = encode_catalog(&catalog);
+        let back = decode_catalog(&bytes).unwrap();
+        assert_eq!(back.retailer, catalog.retailer);
+        assert_eq!(back.len(), catalog.len());
+        assert_eq!(back.taxonomy.len(), catalog.taxonomy.len());
+        assert_eq!(back.taxonomy.depth(c1), 2);
+        assert_eq!(back.meta(ItemId(0)), catalog.meta(ItemId(0)));
+        assert_eq!(back.meta(ItemId(1)), catalog.meta(ItemId(1)));
+        assert_eq!(back.brand_space(), catalog.brand_space());
+    }
+
+    #[test]
+    fn catalog_codec_rejects_malformed_bytes() {
+        let mut tax = Taxonomy::new();
+        let c0 = tax.add_child(tax.root());
+        let mut catalog = Catalog::new(RetailerId(1), tax);
+        catalog.add_item(ItemMeta::bare(c0));
+        let bytes = encode_catalog(&catalog).to_vec();
+        assert!(decode_catalog(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_catalog(b"not a catalog").is_err());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_catalog(&long).is_err());
+        // A forward parent reference must be rejected, not panic add_child.
+        let mut bad_parent = bytes.clone();
+        bad_parent[12..16].copy_from_slice(&7u32.to_le_bytes());
+        assert!(decode_catalog(&bad_parent).is_err());
+    }
+
+    #[test]
+    fn recs_codec_round_trips() {
+        let recs = vec![
+            ItemRecs {
+                view_based: vec![(ItemId(3), 0.5), (ItemId(1), 0.25)],
+                purchase_based: vec![(ItemId(2), 1.5)],
+            },
+            ItemRecs::default(),
+        ];
+        let bytes = encode_recs(&recs);
+        assert!(bytes.starts_with(RECS_MAGIC));
+        let back = decode_recs(&bytes).unwrap();
+        assert_eq!(back, recs);
+        assert!(decode_recs(&bytes[..bytes.len() - 2]).is_err());
+        assert!(decode_recs(b"junk").is_err());
+        let mut long = bytes.to_vec();
+        long.push(9);
+        assert!(decode_recs(&long).is_err());
+    }
+
+    #[test]
+    fn recs_logical_bytes_is_shape_determined() {
+        let recs = vec![ItemRecs {
+            view_based: vec![(ItemId(0), 1.0); 10],
+            purchase_based: vec![(ItemId(1), 2.0); 6],
+        }];
+        assert_eq!(recs_logical_bytes(&recs), 48 + 8 * 16);
+        assert_eq!(recs_logical_bytes(&[]), 0);
     }
 
     #[test]

@@ -97,6 +97,11 @@ pub struct InferenceJob<'a> {
     pub threads: usize,
     /// Observability handle (virtual-time gauges/counters).
     pub obs: Obs,
+    /// Streaming sink: when set, each completed split writes its recs as a
+    /// binary part blob ([`data::recs_part_path`]) on the job's cell instead
+    /// of accumulating them in [`Self::take_outputs`]. Bounds the job's
+    /// resident output to one split regardless of fleet size (DESIGN.md §12).
+    pub persist_splits: bool,
     selector: CandidateSelector,
     cache: Mutex<BTreeMap<RetailerId, Arc<RetailerInferState>>>,
     outputs: Mutex<Vec<MaterializedRec>>,
@@ -121,6 +126,7 @@ impl<'a> InferenceJob<'a> {
             k: 10,
             threads: 1,
             obs: Obs::disabled(),
+            persist_splits: false,
             selector: CandidateSelector::default(),
             cache: Mutex::new(BTreeMap::new()),
             outputs: Mutex::new(Vec::new()),
@@ -250,6 +256,20 @@ impl MapTask for InferenceJob<'_> {
                 recs,
             });
         }
+        if self.persist_splits {
+            // Streaming sink: the split's output leaves memory immediately as
+            // a part blob; the publish phase stitches parts per retailer. A
+            // failed write is retryable like any other fault in the attempt.
+            let table: Vec<ItemRecs> = local.iter().map(|m| m.recs.clone()).collect();
+            let part = data::recs_part_path(sp.retailer, sp.start);
+            if self
+                .dfs
+                .write(self.cell, &part, data::encode_recs(&table))
+                .is_err()
+            {
+                return MapStatus::Preempted;
+            }
+        }
         self.obs
             .counter("infer.items_materialized", local.len() as u64);
         self.obs.counter("infer.candidates_scored", split_scored);
@@ -260,7 +280,9 @@ impl MapTask for InferenceJob<'_> {
                 split_scored as f64 / ctx.used(),
             );
         }
-        self.outputs.lock().extend(local);
+        if !self.persist_splits {
+            self.outputs.lock().extend(local);
+        }
         MapStatus::Done
     }
 
@@ -294,7 +316,10 @@ impl MapTask for InferenceJob<'_> {
             .map(|s| s.end as f64)
             .fold(0.0, f64::max);
         let rep_matrix_gb = 2.0 * items * factors as f64 * 4.0 / 1e9;
-        self.cost.model_memory_gb(0, factors).max(0.05) + rep_matrix_gb
+        // The model term must use the retailer's real item count: passing 0
+        // collapsed it to the floor and under-packed large retailers, so a
+        // cell could admit more concurrent big-catalog tasks than fit.
+        self.cost.model_memory_gb(items as usize, factors).max(0.05) + rep_matrix_gb
     }
 }
 
@@ -458,6 +483,44 @@ mod tests {
             // Virtual-time accounting replays sequentially, so even the
             // simulated makespan is thread-count-invariant.
             assert_eq!(makespan, base_makespan);
+        }
+    }
+
+    #[test]
+    fn persisted_splits_match_in_memory_outputs() {
+        let dfs = Dfs::new();
+        let (catalog, best) = trained_retailer(&dfs, 6);
+        let splits = make_splits(&[(RetailerId(0), catalog.len())], 20);
+        let mut map = BTreeMap::new();
+        map.insert(RetailerId(0), best);
+        let base = InferenceJob::new(
+            &dfs,
+            CellId(0),
+            splits.clone(),
+            map.clone(),
+            CostModel::default(),
+        );
+        run_map_job(&base, splits.len(), &cfg(0.0, 11));
+        let in_memory = base.take_outputs();
+        let mut streaming =
+            InferenceJob::new(&dfs, CellId(0), splits.clone(), map, CostModel::default());
+        streaming.persist_splits = true;
+        run_map_job(&streaming, splits.len(), &cfg(0.0, 11));
+        assert!(
+            streaming.take_outputs().is_empty(),
+            "streaming mode must not accumulate in-memory output"
+        );
+        // Stitching the part blobs in split order reproduces the in-memory
+        // table exactly.
+        let mut stitched = Vec::new();
+        for sp in &splits {
+            let part = data::recs_part_path(sp.retailer, sp.start);
+            let bytes = dfs.read(CellId(0), &part).unwrap();
+            stitched.extend(data::decode_recs(&bytes).unwrap());
+        }
+        assert_eq!(stitched.len(), in_memory.len());
+        for (a, b) in in_memory.iter().zip(stitched.iter()) {
+            assert_eq!(&a.recs, b);
         }
     }
 

@@ -25,7 +25,7 @@ use crate::daily::DayReport;
 use serde::Serialize;
 use sigmund_obs::{AlertKind, ArgValue, HealthBus, HealthEvent, Level, Obs, Track};
 use sigmund_types::RetailerId;
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// A quality problem the monitor detected for one retailer on one day.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -133,10 +133,18 @@ impl Default for MonitorConfig {
     }
 }
 
-/// Per-retailer rolling state.
+/// Per-retailer rolling state. Deliberately *bounded*: the MAP ring keeps
+/// only the `MonitorConfig::window` samples the regression baseline reads,
+/// plus a running count — at fleet scale the monitor's footprint is a fixed
+/// number of bytes per retailer, independent of how many days it has run
+/// (DESIGN.md §12).
 #[derive(Debug, Clone, Default)]
 struct History {
-    maps: Vec<f64>,
+    /// The last `window` MAP samples, oldest first.
+    recent: VecDeque<f64>,
+    /// Total MAP samples ever recorded (including ones evicted from the
+    /// ring).
+    samples: usize,
     best: f64,
     /// Whether the retailer is currently flagged low-quality. `LowQuality`
     /// fires only on the transition in; `Recovered` on the transition out.
@@ -148,11 +156,37 @@ struct History {
     stale_days: u32,
 }
 
+impl History {
+    /// Records a sample, evicting past the window (min 1, so the latest
+    /// sample is always retained for the fleet summary).
+    fn push_map(&mut self, map: f64, window: usize) {
+        self.recent.push_back(map);
+        while self.recent.len() > window.max(1) {
+            self.recent.pop_front();
+        }
+        self.samples += 1;
+    }
+
+    /// Trailing mean over the retained window (`None` until a sample lands).
+    fn baseline(&self) -> Option<f64> {
+        if self.recent.is_empty() {
+            return None;
+        }
+        Some(self.recent.iter().sum::<f64>() / self.recent.len() as f64)
+    }
+}
+
 /// The fleet quality monitor.
 #[derive(Debug, Default)]
 pub struct QualityMonitor {
     cfg: MonitorConfig,
-    history: BTreeMap<RetailerId, History>,
+    /// Flat per-retailer arena indexed by the dense `RetailerId` (grown on
+    /// first sight of a retailer; index order = retailer order, so fleet
+    /// rollups stay deterministic).
+    history: Vec<History>,
+    /// Which arena slots have actually been touched (a grown-but-untracked
+    /// slot must not count toward the fleet summary).
+    tracked: Vec<bool>,
     /// Streaming health bus. Disabled by default, in which case every
     /// publish is a no-op and the monitor behaves exactly as before the
     /// bus existed.
@@ -164,7 +198,8 @@ impl QualityMonitor {
     pub fn new(cfg: MonitorConfig) -> Self {
         Self {
             cfg,
-            history: BTreeMap::new(),
+            history: Vec::new(),
+            tracked: Vec::new(),
             bus: HealthBus::disabled(),
         }
     }
@@ -173,9 +208,28 @@ impl QualityMonitor {
     /// transitions onto `bus` as [`HealthEvent`]s.
     pub fn with_bus(cfg: MonitorConfig, bus: HealthBus) -> Self {
         Self {
-            cfg,
-            history: BTreeMap::new(),
             bus,
+            ..Self::new(cfg)
+        }
+    }
+
+    /// The arena slot for `retailer`, growing the arena on first sight.
+    fn hist_mut(&mut self, retailer: RetailerId) -> &mut History {
+        let idx = retailer.index();
+        if idx >= self.history.len() {
+            self.history.resize_with(idx + 1, History::default);
+            self.tracked.resize(idx + 1, false);
+        }
+        self.tracked[idx] = true;
+        &mut self.history[idx]
+    }
+
+    fn hist(&self, retailer: RetailerId) -> Option<&History> {
+        let idx = retailer.index();
+        if *self.tracked.get(idx)? {
+            self.history.get(idx)
+        } else {
+            None
         }
     }
 
@@ -185,6 +239,7 @@ impl QualityMonitor {
         onboarded: &[(RetailerId, usize)],
         report: &DayReport,
     ) -> Vec<QualityAlert> {
+        let cfg = self.cfg;
         let mut alerts = Vec::new();
         for &(retailer, _) in onboarded {
             // Admission-gate rejections fire every rejected day: each day's
@@ -201,7 +256,7 @@ impl QualityMonitor {
             // previous generation is being served, so this is stale-model
             // territory, not a missing model.
             if report.degraded.contains(&retailer) {
-                let hist = self.history.entry(retailer).or_default();
+                let hist = self.hist_mut(retailer);
                 hist.stale_days += 1;
                 if !hist.degraded {
                     hist.degraded = true;
@@ -226,7 +281,7 @@ impl QualityMonitor {
                 continue;
             };
             let map = best.metrics.map(|m| m.map_at_10).unwrap_or(0.0);
-            let hist = self.history.entry(retailer).or_default();
+            let hist = self.hist_mut(retailer);
             if hist.degraded {
                 hist.degraded = false;
                 hist.stale_days = 0;
@@ -237,23 +292,24 @@ impl QualityMonitor {
                 });
             }
 
-            // Regression vs trailing mean (needs some history).
-            if hist.maps.len() >= 2 {
-                let from = hist.maps.len().saturating_sub(self.cfg.window);
-                let baseline: f64 =
-                    hist.maps[from..].iter().sum::<f64>() / (hist.maps.len() - from) as f64;
-                if baseline > 0.0 && map < baseline * (1.0 - self.cfg.regression_drop) {
-                    alerts.push(QualityAlert::Regression {
-                        retailer,
-                        day: report.day,
-                        baseline_map: baseline,
-                        today_map: map,
-                    });
+            // Regression vs trailing mean (needs some history). The ring
+            // retains exactly the `window` samples the baseline reads, so
+            // bounding it loses nothing.
+            if hist.samples >= 2 {
+                if let Some(baseline) = hist.baseline() {
+                    if baseline > 0.0 && map < baseline * (1.0 - cfg.regression_drop) {
+                        alerts.push(QualityAlert::Regression {
+                            retailer,
+                            day: report.day,
+                            baseline_map: baseline,
+                            today_map: map,
+                        });
+                    }
                 }
             }
-            hist.maps.push(map);
+            hist.push_map(map, cfg.window);
             hist.best = hist.best.max(map);
-            if hist.best < self.cfg.quality_floor {
+            if hist.best < cfg.quality_floor {
                 if !hist.low_quality {
                     hist.low_quality = true;
                     alerts.push(QualityAlert::LowQuality {
@@ -275,7 +331,7 @@ impl QualityMonitor {
                 if !recs.is_empty() {
                     let covered = recs.iter().filter(|r| !r.view_based.is_empty()).count();
                     let coverage = covered as f64 / recs.len() as f64;
-                    if coverage < self.cfg.coverage_floor {
+                    if coverage < cfg.coverage_floor {
                         alerts.push(QualityAlert::EmptyRecommendations { retailer, coverage });
                     }
                 }
@@ -441,28 +497,35 @@ impl QualityMonitor {
     /// Fleet summary over the latest MAP@10 sample of every tracked
     /// retailer.
     pub fn fleet_summary(&self) -> FleetSummary {
-        // BTreeMap values iterate in sorted retailer order, so the mean is
-        // bitwise reproducible by construction.
-        let latest: Vec<f64> = self
-            .history
-            .values()
-            .filter_map(|h| h.maps.last().copied())
-            .collect();
-        if latest.is_empty() {
+        // The arena iterates in dense-index (= retailer) order, so the mean
+        // is bitwise reproducible by construction.
+        let mut n = 0usize;
+        let mut sum = 0.0;
+        let mut worst = f64::INFINITY;
+        for (h, &tracked) in self.history.iter().zip(&self.tracked) {
+            if !tracked {
+                continue;
+            }
+            if let Some(&latest) = h.recent.back() {
+                n += 1;
+                sum += latest;
+                worst = worst.min(latest);
+            }
+        }
+        if n == 0 {
             return FleetSummary::default();
         }
-        let mean = latest.iter().sum::<f64>() / latest.len() as f64;
-        let worst = latest.iter().cloned().fold(f64::INFINITY, f64::min);
         FleetSummary {
-            retailers: latest.len(),
-            mean_map: mean,
+            retailers: n,
+            mean_map: sum / n as f64,
             worst_map: worst,
         }
     }
 
-    /// Days of history recorded for a retailer.
+    /// Days of history recorded for a retailer (total samples, including
+    /// ones evicted from the bounded window ring).
     pub fn days_tracked(&self, retailer: RetailerId) -> usize {
-        self.history.get(&retailer).map_or(0, |h| h.maps.len())
+        self.hist(retailer).map_or(0, |h| h.samples)
     }
 }
 
@@ -472,6 +535,7 @@ mod tests {
     use sigmund_cluster::CostMeter;
     use sigmund_core::inference::ItemRecs;
     use sigmund_types::{ConfigRecord, HyperParams, ItemId, ModelMetrics};
+    use std::collections::BTreeMap;
 
     fn report(day: u32, entries: &[(u32, f64, usize, usize)]) -> DayReport {
         // entries: (retailer, map, items_total, items_covered)
@@ -724,6 +788,27 @@ mod tests {
             alerts.as_slice(),
             [QualityAlert::EmptyRecommendations { coverage, .. }] if *coverage < 0.5
         ));
+    }
+
+    #[test]
+    fn history_ring_is_bounded_by_the_window() {
+        let cfg = MonitorConfig::default();
+        let mut mon = QualityMonitor::new(cfg);
+        let fleet = vec![(RetailerId(0), 10)];
+        for day in 0..50 {
+            mon.record_day(&fleet, &report(day, &[(0, 0.3, 10, 10)]));
+        }
+        assert_eq!(
+            mon.days_tracked(RetailerId(0)),
+            50,
+            "count survives eviction"
+        );
+        let hist = mon.hist(RetailerId(0)).unwrap();
+        assert_eq!(
+            hist.recent.len(),
+            cfg.window,
+            "ring never grows past the regression window"
+        );
     }
 
     #[test]

@@ -27,16 +27,35 @@ pub enum RecSurface {
     PurchaseBased,
 }
 
-/// One immutable day's worth of recommendations.
+/// One retailer's served table plus its freshness stamp.
+///
+/// The table is an `Arc`: a publish that doesn't touch this retailer copies
+/// the pointer, not the recommendations — the arena scales with fleet
+/// *count*, never with total fleet items (DESIGN.md §12).
+#[derive(Debug, Clone)]
+struct TableSlot {
+    table: Arc<Vec<ItemRecs>>,
+    /// Generation at which this retailer's table was last refreshed. A
+    /// retailer absent from a publish batch (e.g. degraded to its previous
+    /// generation) keeps its old stamp, so `generation - fresh` is how many
+    /// batches stale its recommendations are.
+    fresh: u64,
+}
+
+/// One immutable day's worth of recommendations: a flat arena of slots
+/// indexed by the dense `RetailerId` (`None` = never published).
 #[derive(Debug, Default)]
 struct Snapshot {
     generation: u64,
-    tables: BTreeMap<RetailerId, Vec<ItemRecs>>,
-    /// Generation at which each retailer's table was last refreshed. A
-    /// retailer absent from a publish batch (e.g. degraded to its previous
-    /// generation) keeps its old stamp, so `generation - fresh[r]` is how
-    /// many batches stale its recommendations are.
-    fresh: BTreeMap<RetailerId, u64>,
+    slots: Vec<Option<TableSlot>>,
+    /// Number of `Some` slots (so `retailer_count` stays O(1)).
+    served: usize,
+}
+
+impl Snapshot {
+    fn slot(&self, retailer: RetailerId) -> Option<&TableSlot> {
+        self.slots.get(retailer.index()).and_then(Option::as_ref)
+    }
 }
 
 /// Request counters, the observability surface operators watch ("understand
@@ -116,18 +135,35 @@ impl ServingStore {
     /// Publishes a new batch: retailers present in `batch` are replaced,
     /// others keep serving yesterday's tables. Returns the new generation.
     pub fn publish(&self, batch: BTreeMap<RetailerId, Vec<ItemRecs>>) -> u64 {
+        self.publish_shared(batch.into_iter().map(|(r, v)| (r, Arc::new(v))).collect())
+    }
+
+    /// [`ServingStore::publish`] for tables already behind an `Arc`: the
+    /// bounded-memory publish path hands the same `Arc` to the store that it
+    /// accounted in the pipeline, so nothing is copied on the way in.
+    pub fn publish_shared(&self, batch: BTreeMap<RetailerId, Arc<Vec<ItemRecs>>>) -> u64 {
         let mut cur = self.current.write();
-        let mut tables = cur.tables.clone();
-        let mut fresh = cur.fresh.clone();
+        // O(fleet count) pointer copies — the tables themselves are shared.
+        let mut slots = cur.slots.clone();
+        let mut served = cur.served;
         let generation = cur.generation + 1;
-        for (r, v) in batch {
-            tables.insert(r, v);
-            fresh.insert(r, generation);
+        for (r, table) in batch {
+            let idx = r.index();
+            if idx >= slots.len() {
+                slots.resize(idx + 1, None);
+            }
+            if slots[idx].is_none() {
+                served += 1;
+            }
+            slots[idx] = Some(TableSlot {
+                table,
+                fresh: generation,
+            });
         }
         let snap = Arc::new(Snapshot {
             generation,
-            tables,
-            fresh,
+            slots,
+            served,
         });
         *cur = Arc::clone(&snap);
         drop(cur);
@@ -172,8 +208,8 @@ impl ServingStore {
         let mut cur = self.current.write();
         let snap = Arc::new(Snapshot {
             generation: cur.generation + 1,
-            tables: target.tables.clone(),
-            fresh: target.fresh.clone(),
+            slots: target.slots.clone(),
+            served: target.served,
         });
         let new_gen = snap.generation;
         *cur = Arc::clone(&snap);
@@ -220,16 +256,17 @@ impl ServingStore {
     /// lag while it keeps serving the stale table.
     pub fn retailer_lag(&self, retailer: RetailerId) -> Option<u64> {
         let snap = self.current.read();
-        snap.fresh.get(&retailer).map(|g| snap.generation - g)
+        snap.slot(retailer).map(|s| snap.generation - s.fresh)
     }
 
     /// The worst [`ServingStore::retailer_lag`] across all served retailers
     /// (0 for an empty store).
     pub fn max_lag(&self) -> u64 {
         let snap = self.current.read();
-        snap.fresh
-            .values()
-            .map(|g| snap.generation - g)
+        snap.slots
+            .iter()
+            .flatten()
+            .map(|s| snap.generation - s.fresh)
             .max()
             .unwrap_or(0)
     }
@@ -243,8 +280,23 @@ impl ServingStore {
         obs: &Obs,
         ts: f64,
     ) -> u64 {
+        self.publish_shared_obs(
+            batch.into_iter().map(|(r, v)| (r, Arc::new(v))).collect(),
+            obs,
+            ts,
+        )
+    }
+
+    /// [`ServingStore::publish_shared`] with the same tracing as
+    /// [`ServingStore::publish_obs`].
+    pub fn publish_shared_obs(
+        &self,
+        batch: BTreeMap<RetailerId, Arc<Vec<ItemRecs>>>,
+        obs: &Obs,
+        ts: f64,
+    ) -> u64 {
         let batch_size = batch.len();
-        let generation = self.publish(batch);
+        let generation = self.publish_shared(batch);
         self.bus.publish(HealthEvent::Published {
             ts,
             generation,
@@ -334,11 +386,11 @@ impl ServingStore {
     /// Direct item lookup.
     pub fn lookup(&self, retailer: RetailerId, item: ItemId, surface: RecSurface) -> RecList {
         let snap = Arc::clone(&self.current.read());
-        let Some(table) = snap.tables.get(&retailer) else {
+        let Some(slot) = snap.slot(retailer) else {
             self.stats.write().misses += 1;
             return RecList::new();
         };
-        let Some(recs) = table.get(item.index()) else {
+        let Some(recs) = slot.table.get(item.index()) else {
             self.stats.write().misses += 1;
             return RecList::new();
         };
@@ -356,7 +408,7 @@ impl ServingStore {
 
     /// Number of retailers currently served.
     pub fn retailer_count(&self) -> usize {
-        self.current.read().tables.len()
+        self.current.read().served
     }
 
     /// Request counters since construction (or the last [`ServingStore::reset_stats`]).
@@ -621,6 +673,32 @@ mod tests {
         // A refused rollback publishes nothing.
         store.rollback_obs(99, &obs, 5.0);
         assert!(cursor.poll().1.is_empty());
+    }
+
+    #[test]
+    fn publish_shares_untouched_tables_across_generations() {
+        let store = ServingStore::new();
+        let big = Arc::new(vec![recs(&[1, 2, 3], &[4])]);
+        let mut batch = BTreeMap::new();
+        batch.insert(RetailerId(0), Arc::clone(&big));
+        store.publish_shared(batch);
+        // Publish 10 more batches touching only retailer 1: retailer 0's
+        // table must be pointer-shared by every snapshot, never copied.
+        for i in 0..10u32 {
+            publish_one(&store, 1, vec![recs(&[i], &[])]);
+        }
+        let served = store
+            .current
+            .read()
+            .slot(RetailerId(0))
+            .map(|s| Arc::clone(&s.table))
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&served, &big),
+            "untouched table was deep-copied by an unrelated publish"
+        );
+        // 1 live + HISTORY_DEPTH retained + `big` + `served` here.
+        assert!(Arc::strong_count(&big) >= HISTORY_DEPTH + 2);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! retailer.
 
 use crate::ids::ModelId;
-use crate::RetailerId;
+use crate::{RetailerId, SigmundError};
 use serde::{Deserialize, Serialize};
 
 /// Which side features the model uses. Feature selection is per retailer:
@@ -97,6 +97,86 @@ impl Default for HyperParams {
             context_len: 25,
             context_decay: 0.85,
         }
+    }
+}
+
+impl HyperParams {
+    /// Size of the fixed-width wire encoding produced by
+    /// [`HyperParams::to_wire`].
+    pub const WIRE_LEN: usize = 42;
+
+    /// Serializes to the fixed-width little-endian wire format embedded in
+    /// model snapshots (format v3). Unlike the JSON encoding used by earlier
+    /// snapshot versions, this is infallible and needs no serde backend.
+    ///
+    /// Layout: factors u32 | learning_rate f32 | reg_item f32 |
+    /// reg_context f32 | features u8 (bit 0 taxonomy, 1 brand, 2 price) |
+    /// sampler u8 | init_seed u64 | init_std f32 | epochs u32 |
+    /// context_len u32 | context_decay f32.
+    #[must_use]
+    pub fn to_wire(&self) -> [u8; Self::WIRE_LEN] {
+        let mut b = [0u8; Self::WIRE_LEN];
+        b[0..4].copy_from_slice(&self.factors.to_le_bytes());
+        b[4..8].copy_from_slice(&self.learning_rate.to_le_bytes());
+        b[8..12].copy_from_slice(&self.reg_item.to_le_bytes());
+        b[12..16].copy_from_slice(&self.reg_context.to_le_bytes());
+        b[16] = u8::from(self.features.use_taxonomy)
+            | u8::from(self.features.use_brand) << 1
+            | u8::from(self.features.use_price) << 2;
+        b[17] = match self.negative_sampler {
+            NegativeSamplerKind::UniformUnseen => 0,
+            NegativeSamplerKind::TaxonomyAware => 1,
+            NegativeSamplerKind::Adaptive => 2,
+        };
+        b[18..26].copy_from_slice(&self.init_seed.to_le_bytes());
+        b[26..30].copy_from_slice(&self.init_std.to_le_bytes());
+        b[30..34].copy_from_slice(&self.epochs.to_le_bytes());
+        b[34..38].copy_from_slice(&self.context_len.to_le_bytes());
+        b[38..42].copy_from_slice(&self.context_decay.to_le_bytes());
+        b
+    }
+
+    /// Parses the [`HyperParams::to_wire`] format.
+    ///
+    /// # Errors
+    /// [`SigmundError::Corrupt`] on a wrong length, an unknown sampler tag,
+    /// or reserved feature bits being set.
+    pub fn from_wire(b: &[u8]) -> Result<Self, SigmundError> {
+        let corrupt = |m: &str| SigmundError::Corrupt(format!("hyper-params wire: {m}"));
+        if b.len() != Self::WIRE_LEN {
+            return Err(corrupt(&format!(
+                "length {} != {}",
+                b.len(),
+                Self::WIRE_LEN
+            )));
+        }
+        let f4 = |at: usize| [b[at], b[at + 1], b[at + 2], b[at + 3]];
+        if b[16] & !0b111 != 0 {
+            return Err(corrupt(&format!("reserved feature bits {:#04x}", b[16])));
+        }
+        let negative_sampler = match b[17] {
+            0 => NegativeSamplerKind::UniformUnseen,
+            1 => NegativeSamplerKind::TaxonomyAware,
+            2 => NegativeSamplerKind::Adaptive,
+            x => return Err(corrupt(&format!("unknown sampler tag {x}"))),
+        };
+        Ok(Self {
+            factors: u32::from_le_bytes(f4(0)),
+            learning_rate: f32::from_le_bytes(f4(4)),
+            reg_item: f32::from_le_bytes(f4(8)),
+            reg_context: f32::from_le_bytes(f4(12)),
+            features: FeatureSwitches {
+                use_taxonomy: b[16] & 1 != 0,
+                use_brand: b[16] & 2 != 0,
+                use_price: b[16] & 4 != 0,
+            },
+            negative_sampler,
+            init_seed: u64::from_le_bytes([b[18], b[19], b[20], b[21], b[22], b[23], b[24], b[25]]),
+            init_std: f32::from_le_bytes(f4(26)),
+            epochs: u32::from_le_bytes(f4(30)),
+            context_len: u32::from_le_bytes(f4(34)),
+            context_decay: f32::from_le_bytes(f4(38)),
+        })
     }
 }
 
@@ -202,6 +282,36 @@ mod tests {
         let back: ConfigRecord = serde_json::from_str(&j).unwrap();
         assert_eq!(back, r);
         assert_eq!(back.map_at_10(), Some(0.25));
+    }
+
+    #[test]
+    fn hyper_params_wire_round_trip() {
+        let mut hp = HyperParams {
+            factors: 24,
+            learning_rate: 0.05,
+            features: FeatureSwitches::ALL,
+            negative_sampler: NegativeSamplerKind::Adaptive,
+            init_seed: u64::MAX - 3,
+            ..Default::default()
+        };
+        let back = HyperParams::from_wire(&hp.to_wire()).unwrap();
+        assert_eq!(back, hp);
+        hp.negative_sampler = NegativeSamplerKind::TaxonomyAware;
+        hp.features = FeatureSwitches::NONE;
+        assert_eq!(HyperParams::from_wire(&hp.to_wire()).unwrap(), hp);
+    }
+
+    #[test]
+    fn hyper_params_wire_rejects_malformed_bytes() {
+        let wire = HyperParams::default().to_wire();
+        assert!(HyperParams::from_wire(&wire[..wire.len() - 1]).is_err());
+        assert!(HyperParams::from_wire(&[]).is_err());
+        let mut bad_sampler = wire;
+        bad_sampler[17] = 9;
+        assert!(HyperParams::from_wire(&bad_sampler).is_err());
+        let mut bad_features = wire;
+        bad_features[16] = 0b1000;
+        assert!(HyperParams::from_wire(&bad_features).is_err());
     }
 
     #[test]

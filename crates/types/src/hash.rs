@@ -36,6 +36,34 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// SplitMix64 finalizer: the workspace's canonical *stateless* mixer.
+///
+/// Where [`fnv1a64`] digests byte streams, `splitmix64` scrambles a single
+/// 64-bit word — the building block for entropy-free "draws" that are pure
+/// functions of `(seed, index)` with no RNG object to advance. The chaos
+/// harness's fault decisions and the fleet generator's catalog-size samples
+/// both need this shape: any index can be evaluated in O(1) without drawing
+/// all the indexes before it, which is what makes streaming generation
+/// byte-identical to materialized generation.
+#[must_use]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a [`splitmix64`]-style word to a uniform `f64` in `(0, 1]`.
+///
+/// Uses the top 53 bits (the f64 mantissa width) so the result is exactly
+/// representable; clamped away from zero so Pareto-style `u^(-1/alpha)`
+/// transforms stay finite.
+#[must_use]
+pub fn unit_f64(h: u64) -> f64 {
+    let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    u.max(1e-12)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

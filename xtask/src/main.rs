@@ -28,6 +28,9 @@ fn main() -> ExitCode {
             eprintln!("  bench-gate [<path>] [--min <speedup>]");
             eprintln!("      Fails if any fast-path row of BENCH_infer.json (default");
             eprintln!("      results/BENCH_infer.json) is slower than the reference path.");
+            eprintln!("      A path whose file name contains `fleet` is gated on the");
+            eprintln!("      BENCH_fleet schema instead: every row's peak_logical_bytes");
+            eprintln!("      must stay within its sublinear_bound_bytes.");
             ExitCode::from(2)
         }
     }
@@ -142,10 +145,15 @@ fn rules_cmd() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Gate on `results/BENCH_infer.json`: every `"path": "fast"` row must hit
-/// at least `--min` (default 1.0) speedup over the reference path. The
-/// parser is a dependency-free scan over the flat row objects bench_infer
-/// writes — schema drift (no fast rows found) is an error, not a pass.
+/// Gate on a committed `BENCH_*.json` report. The schema is dispatched on
+/// the file name: names containing `fleet` are validated as BENCH_fleet
+/// (every row's `peak_logical_bytes` must stay within its
+/// `sublinear_bound_bytes` — the bounded-memory invariant of DESIGN.md
+/// §12); everything else as BENCH_infer (every `"path": "fast"` row must
+/// hit at least `--min`, default 1.0, speedup over the reference path).
+/// Both parsers are dependency-free scans over the flat row objects the
+/// bench binaries write — schema drift (no recognizable rows) is an error,
+/// not a pass.
 fn bench_gate_cmd(args: &[String]) -> ExitCode {
     let mut path: Option<PathBuf> = None;
     let mut min = 1.0f64;
@@ -177,6 +185,13 @@ fn bench_gate_cmd(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let is_fleet = path
+        .file_name()
+        .map(|n| n.to_string_lossy().to_lowercase().contains("fleet"))
+        .unwrap_or(false);
+    if is_fleet {
+        return fleet_gate(&json, &path);
+    }
     let rows = fast_rows(&json);
     if rows.is_empty() {
         eprintln!(
@@ -204,6 +219,72 @@ fn bench_gate_cmd(args: &[String]) -> ExitCode {
         );
         ExitCode::SUCCESS
     }
+}
+
+/// Gate for the BENCH_fleet schema: every row must carry both
+/// `peak_logical_bytes` and `sublinear_bound_bytes` (a row with either
+/// missing is schema drift → exit 2), and peak must not exceed the bound.
+fn fleet_gate(json: &str, path: &std::path::Path) -> ExitCode {
+    let rows = fleet_rows(json);
+    if rows.is_empty() {
+        eprintln!(
+            "xtask bench-gate: no rows with retailers/peak_logical_bytes/sublinear_bound_bytes in {}",
+            path.display()
+        );
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for (retailers, peak, bound) in &rows {
+        let verdict = if peak <= bound { "ok" } else { "FAIL" };
+        if peak > bound {
+            failed = true;
+        }
+        println!(
+            "  {retailers} retailer(s): peak {peak} logical bytes vs bound {bound} [{verdict}]"
+        );
+    }
+    if failed {
+        println!("xtask bench-gate: peak logical bytes exceeded the sublinear bound");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "xtask bench-gate: OK ({} fleet row(s) within their sublinear bound)",
+            rows.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+/// Extracts `(retailers, peak_logical_bytes, sublinear_bound_bytes)` from
+/// each flat row object of bench_fleet's JSON output. Rows missing any of
+/// the three fields are dropped (the caller treats an empty result as
+/// schema drift).
+fn fleet_rows(json: &str) -> Vec<(u64, u64, u64)> {
+    let mut rows = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, c) in json.char_indices() {
+        match c {
+            '{' => start = Some(i),
+            '}' => {
+                if let Some(s) = start.take() {
+                    let compact: String =
+                        json[s..=i].chars().filter(|c| !c.is_whitespace()).collect();
+                    let Some(peak) = field_number(&compact, "peak_logical_bytes") else {
+                        continue;
+                    };
+                    let Some(bound) = field_number(&compact, "sublinear_bound_bytes") else {
+                        continue;
+                    };
+                    let Some(retailers) = field_number(&compact, "retailers") else {
+                        continue;
+                    };
+                    rows.push((retailers as u64, peak as u64, bound as u64));
+                }
+            }
+            _ => {}
+        }
+    }
+    rows
 }
 
 /// Extracts `(threads, speedup_vs_reference)` from each flat `"path":
@@ -322,5 +403,60 @@ mod tests {
         let rows = fast_rows(&REPORT.replace("4.1", "0.9"));
         assert!(rows.iter().any(|(_, s)| *s < 1.0));
         assert!(rows.iter().any(|(_, s)| *s >= 1.0));
+    }
+
+    /// The exact shape `bench_fleet` writes.
+    const FLEET_REPORT: &str = r#"{
+      "bench": "fleet_day",
+      "mode": "smoke",
+      "rows": [
+        {
+          "mode": "stream",
+          "retailers": 100,
+          "total_items": 14000,
+          "peak_logical_bytes": 400000,
+          "sublinear_bound_bytes": 416000
+        },
+        {
+          "mode": "stream",
+          "retailers": 1000,
+          "total_items": 140000,
+          "peak_logical_bytes": 410000,
+          "sublinear_bound_bytes": 416000
+        }
+      ]
+    }"#;
+
+    #[test]
+    fn fleet_rows_reads_peak_and_bound() {
+        let rows = fleet_rows(FLEET_REPORT);
+        assert_eq!(
+            rows,
+            vec![(100, 400_000, 416_000), (1000, 410_000, 416_000)]
+        );
+    }
+
+    #[test]
+    fn fleet_rows_is_empty_on_schema_drift() {
+        // A renamed field must read as "no rows" (exit 2 in the gate), never
+        // as a silent pass.
+        let drifted = FLEET_REPORT.replace("peak_logical_bytes", "peak_bytes");
+        assert!(fleet_rows(&drifted).is_empty());
+        let drifted = FLEET_REPORT.replace("sublinear_bound_bytes", "bound");
+        assert!(fleet_rows(&drifted).is_empty());
+        assert!(fleet_rows("{}").is_empty());
+    }
+
+    #[test]
+    fn fleet_gate_trips_on_unbounded_peak() {
+        // Any row over its bound fails the gate.
+        let broken = FLEET_REPORT.replace(
+            "\"peak_logical_bytes\": 410000",
+            "\"peak_logical_bytes\": 500000",
+        );
+        let rows = fleet_rows(&broken);
+        assert!(rows.iter().any(|(_, p, b)| p > b));
+        let healthy = fleet_rows(FLEET_REPORT);
+        assert!(healthy.iter().all(|(_, p, b)| p <= b));
     }
 }
