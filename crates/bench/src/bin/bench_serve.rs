@@ -1,0 +1,122 @@
+// Experiment / test / example code may unwrap freely; the workspace-level
+// clippy panic lints target library crates only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+//! **bench_serve** — concurrent serving-frontend throughput (DESIGN.md §13).
+//!
+//! Replays Zipf-skewed lookup traffic from a simulated million-user day
+//! against the sharded, flash-tiered [`sigmund_serving::ServingStore`] while
+//! a publisher thread concurrently republishes batches through the
+//! lock-free swap, and writes `results/BENCH_serve.json` (sustained QPS,
+//! hot-tier hit rate, p99 virtual latency). `cargo xtask bench-gate
+//! results/BENCH_serve.json` fails if any row's hot-tier hit rate or
+//! per-thread QPS drops below its floor.
+//!
+//! ```sh
+//! cargo run --release -p sigmund-bench --bin bench_serve              # full
+//! cargo run --release -p sigmund-bench --bin bench_serve -- --smoke   # CI
+//! cargo run --release -p sigmund-bench --bin bench_serve -- --serve-threads 8
+//! ```
+//!
+//! `--smoke` runs only the smallest scale — it exists so CI can exercise
+//! the replay + report + gate plumbing in seconds. Request classification
+//! (and so `hit_rate`) is thread-count invariant; `hot_hit_rate` and
+//! `p99_virtual_ms` come from the deterministic sequential tier replay
+//! (see `sigmund_bench::serve`). Only `wall_s`/`qps` measure wall time.
+
+use sigmund_bench::serve::{build_fixture, run_serve_replay, ServeSpec};
+use sigmund_bench::{f, render_report, write_report, JsonObj, Table};
+use sigmund_obs::Obs;
+use std::time::Instant;
+
+/// The single wall-clock seam in this binary: QPS is wall time by design —
+/// a throughput benchmark, exempt exactly like T2/T8 and bench_fleet.
+fn wall_now() -> Instant {
+    // xtask: allow(determinism) — throughput benchmark measuring real wall time; results are diagnostic, never fed back into simulation.
+    Instant::now()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let serve_threads = args
+        .iter()
+        .position(|a| a == "--serve-threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(4)
+        .max(1);
+
+    // (retailers, requests): the full run sweeps to a 1M-lookup day.
+    let scales: &[(usize, usize)] = if smoke {
+        &[(200, 20_000)]
+    } else {
+        &[(400, 100_000), (800, 300_000), (1_600, 1_000_000)]
+    };
+
+    println!(
+        "\nbench_serve — concurrent replay vs a republishing store, {serve_threads} reader thread(s){}\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let table = Table::new(
+        &[
+            "retailers",
+            "requests",
+            "wall s",
+            "qps",
+            "qps/thr",
+            "hit",
+            "hot",
+            "p99 ms",
+            "pubs",
+        ],
+        &[9, 9, 7, 11, 10, 6, 6, 7, 5],
+    );
+
+    let mut rows = Vec::new();
+    for &(n_retailers, requests) in scales {
+        let spec = ServeSpec::sized(n_retailers, requests, serve_threads);
+        let fixture = build_fixture(&spec);
+        let t0 = wall_now();
+        let report = run_serve_replay(fixture, &Obs::disabled());
+        let wall_s = t0.elapsed().as_secs_f64();
+        let qps = if wall_s > 0.0 {
+            report.requests as f64 / wall_s
+        } else {
+            0.0
+        };
+        let qps_per_thread = qps / serve_threads as f64;
+        assert_eq!(
+            report.stats.cold_misses, 0,
+            "clean replay must not degrade any lookup"
+        );
+        table.print(&[
+            n_retailers.to_string(),
+            requests.to_string(),
+            f(wall_s, 2),
+            f(qps, 0),
+            f(qps_per_thread, 0),
+            f(report.hit_rate, 3),
+            f(report.hot_hit_rate, 3),
+            f(report.p99_virtual_ms, 2),
+            report.publishes.to_string(),
+        ]);
+        rows.push(
+            JsonObj::new()
+                .int("n_retailers", n_retailers as u64)
+                .int("requests", report.requests)
+                .int("serve_threads", serve_threads as u64)
+                .int("publishes", report.publishes)
+                .num("wall_s", wall_s)
+                .num("qps", qps)
+                .num("qps_per_thread", qps_per_thread)
+                .num("hit_rate", report.hit_rate)
+                .num("hot_hit_rate", report.hot_hit_rate)
+                .num("p99_virtual_ms", report.p99_virtual_ms)
+                .num("virtual_makespan_s", report.virtual_makespan_s)
+                .int("cold_misses", report.stats.cold_misses),
+        );
+    }
+
+    let doc = render_report("serve_replay", if smoke { "smoke" } else { "full" }, &rows);
+    write_report("BENCH_serve.json", &doc);
+}

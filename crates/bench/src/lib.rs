@@ -11,6 +11,8 @@
 //! table printer for human-readable output and a JSON-lines writer so each
 //! run leaves machine-readable results under `results/`.
 
+pub mod serve;
+
 use serde::Serialize;
 use std::fs;
 use std::io::Write;

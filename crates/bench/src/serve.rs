@@ -1,0 +1,507 @@
+//! The `bench_serve` replay harness (DESIGN.md §13).
+//!
+//! Replays a precomputed, Zipf-skewed lookup log from a simulated
+//! million-user day against a [`ServingStore`] while a publisher thread
+//! concurrently republishes batches through the sharded lock-free swap —
+//! the serving-side answer to `bench_fleet`'s pipeline-side trajectory.
+//!
+//! Determinism contract (asserted in `tests/serve_scale.rs`):
+//!
+//! * the traffic log is a pure function of the spec seed — retailer choice,
+//!   item choice, and surface are all splitmix64 streams;
+//! * every request's *classification* (hit / empty / miss) is invariant
+//!   under both thread interleaving and concurrent republishes: republished
+//!   tables keep the same shape (list emptiness per item index), and the
+//!   publisher only touches dedicated *churn* retailers that receive no
+//!   traffic, so [`ServingStats`] are identical at any `serve_threads`;
+//! * the schedule-dependent hot/flash split is *not* asserted — the
+//!   committed `hot_hit_rate` and `p99_virtual_ms` instead come from a
+//!   sequential [`TierSim`] replay of the same log, which is exactly the
+//!   live tier's trajectory at `serve_threads = 1`.
+//!
+//! Wall-clock throughput (QPS) is measured by the `bench_serve` binary
+//! around [`run_serve_replay`]; everything in this module runs on virtual
+//! time.
+
+use sigmund_core::inference::ItemRecs;
+use sigmund_datagen::FleetSpec;
+use sigmund_dfs::Dfs;
+use sigmund_obs::{Level, Obs, Track};
+use sigmund_serving::{
+    ColdTierConfig, RecSurface, ServingStats, ServingStore, TierOutcome, TierSim,
+};
+use sigmund_types::{splitmix64, CellId, ItemId, RetailerId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// Item indexes whose purchase-based list is deliberately empty (one in
+/// [`EMPTY_STRIDE`]) — the fixture's source of classified `empty` responses.
+const EMPTY_STRIDE: usize = 7;
+
+/// How many requests a reader thread completes between progress-counter
+/// bumps (the publisher paces its republishes off this counter).
+const PROGRESS_BLOCK: u64 = 1024;
+
+/// Virtual cost of a lookup answered from memory (hot cache or an untiered
+/// table), in milliseconds.
+const HOT_MS: f64 = 0.05;
+
+/// Virtual base cost of a flash fetch, before the per-item decode cost.
+const FLASH_BASE_MS: f64 = 0.8;
+
+/// Virtual decode cost per item of the fetched table, in milliseconds.
+const FLASH_PER_ITEM_MS: f64 = 0.001;
+
+/// What to replay: fleet shape, traffic volume, concurrency, and tiering.
+#[derive(Debug, Clone)]
+pub struct ServeSpec {
+    /// Retailers receiving lookup traffic (Pareto-skewed catalog sizes).
+    pub n_retailers: usize,
+    /// Extra retailers the publisher republishes during the replay. They
+    /// receive no traffic, so republish/trim races cannot perturb the
+    /// request classification (see the module doc).
+    pub churn_retailers: usize,
+    /// Total lookups in the traffic log.
+    pub requests: usize,
+    /// Reader threads replaying disjoint contiguous chunks of the log.
+    pub serve_threads: usize,
+    /// Republish batches the publisher thread lands during the replay.
+    pub publishes: usize,
+    /// Recommendations per item in the synthesized tables.
+    pub rec_k: usize,
+    /// Zipf exponent of the retailer popularity distribution.
+    pub zipf_s: f64,
+    /// Hot/flash tiering; [`ColdTierConfig::disabled`] serves all-memory.
+    pub tier: ColdTierConfig,
+    /// Seeds the traffic log and the table synthesis.
+    pub seed: u64,
+}
+
+impl ServeSpec {
+    /// The CI-sized smoke spec (one scale, seconds of wall time).
+    pub fn smoke(serve_threads: usize) -> Self {
+        Self::sized(200, 20_000, serve_threads)
+    }
+
+    /// A spec at the given retailer/request scale with the default traffic
+    /// mix, tier sizing (hot capacity = 1/8 of the fleet), and seed.
+    pub fn sized(n_retailers: usize, requests: usize, serve_threads: usize) -> Self {
+        ServeSpec {
+            n_retailers,
+            churn_retailers: 32,
+            requests,
+            serve_threads: serve_threads.max(1),
+            publishes: 6,
+            rec_k: 10,
+            zipf_s: 1.2,
+            tier: ColdTierConfig::enabled((n_retailers / 8).max(1), 2, 77),
+            seed: 99,
+        }
+    }
+}
+
+/// One replayed lookup. `item` may be out of catalog range — those are the
+/// log's deliberate misses.
+#[derive(Debug, Clone, Copy)]
+pub struct Request {
+    /// Target retailer.
+    pub retailer: RetailerId,
+    /// Item whose recommendations are requested.
+    pub item: ItemId,
+    /// Which surface is requested.
+    pub surface: RecSurface,
+}
+
+/// A built replay: the store (initial generation published and, with
+/// tiering on, spilled to flash) plus the precomputed traffic log.
+pub struct ServeFixture {
+    /// The spec this fixture was built from.
+    pub spec: ServeSpec,
+    /// The store under test.
+    pub store: ServingStore,
+    /// The full lookup log, in virtual-time order.
+    pub traffic: Vec<Request>,
+    /// Catalog size per traffic retailer (dense by retailer index).
+    pub n_items: Vec<usize>,
+}
+
+/// What one replay measured. Wall-clock throughput is deliberately absent:
+/// the binary measures it around [`run_serve_replay`]; everything here is
+/// deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeReport {
+    /// Lookups replayed.
+    pub requests: u64,
+    /// Reader threads used.
+    pub serve_threads: usize,
+    /// Republish batches landed during the replay.
+    pub publishes: u64,
+    /// Final request counters (thread-count invariant).
+    pub stats: ServingStats,
+    /// Fraction of lookups answered with recommendations.
+    pub hit_rate: f64,
+    /// Hot-tier hit rate of the sequential [`TierSim`] replay (1.0 when the
+    /// spec disables tiering — every lookup is served from memory).
+    pub hot_hit_rate: f64,
+    /// 99th-percentile per-request virtual latency of the latency model.
+    pub p99_virtual_ms: f64,
+    /// Modeled replay makespan: total virtual service time divided across
+    /// the reader threads.
+    pub virtual_makespan_s: f64,
+    /// Total (serial) virtual service time — thread-count invariant; the
+    /// trace timeline is stamped with this, never the makespan.
+    pub serial_virtual_s: f64,
+    /// Store generation after the replay (initial publish + republishes).
+    pub generation: u64,
+}
+
+fn mix(seed: u64, t: usize, salt: u64) -> u64 {
+    splitmix64(seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt)
+}
+
+fn unit_f64(h: u64) -> f64 {
+    // 53 high bits → [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Synthesizes one retailer's table: every item gets `rec_k` view-based
+/// neighbours; purchase lists are empty for one item in [`EMPTY_STRIDE`].
+/// `rot` varies the *targets* across publishes without changing any list's
+/// emptiness, so republishing never changes a request's classification.
+pub fn synth_table(n_items: usize, rec_k: usize, rot: u64) -> Vec<ItemRecs> {
+    let k = rec_k.min(n_items.saturating_sub(1)).max(1);
+    let rot = rot as usize;
+    (0..n_items)
+        .map(|j| {
+            let view_based = (1..=k)
+                .map(|m| (ItemId(((j + m + rot) % n_items) as u32), 1.0 / m as f32))
+                .collect();
+            let purchase_based = if j % EMPTY_STRIDE == 0 {
+                Vec::new()
+            } else {
+                (1..=k)
+                    .map(|m| (ItemId(((j + 2 * m + rot) % n_items) as u32), 0.9 / m as f32))
+                    .collect()
+            };
+            ItemRecs {
+                view_based,
+                purchase_based,
+            }
+        })
+        .collect()
+}
+
+/// Builds the store and the traffic log for `spec`. The initial publish
+/// (generation 1) covers traffic and churn retailers alike; with tiering
+/// enabled every table spills to flash here, so the replay starts cold.
+pub fn build_fixture(spec: &ServeSpec) -> ServeFixture {
+    let fleet = FleetSpec {
+        n_retailers: spec.n_retailers + spec.churn_retailers,
+        min_items: 20,
+        max_items: 2_000,
+        pareto_alpha: 1.16,
+        users_per_item: 1.0,
+        seed: spec.seed,
+    };
+    let n_items: Vec<usize> = (0..spec.n_retailers)
+        .map(|i| fleet.spec_of(i).n_items)
+        .collect();
+
+    let store = ServingStore::with_cold_tier(spec.tier, Arc::new(Dfs::new()), CellId(0));
+    let mut batch: BTreeMap<RetailerId, Vec<ItemRecs>> = BTreeMap::new();
+    for (i, &n) in n_items.iter().enumerate() {
+        batch.insert(RetailerId(i as u32), synth_table(n, spec.rec_k, 0));
+    }
+    for c in 0..spec.churn_retailers {
+        let i = spec.n_retailers + c;
+        batch.insert(
+            RetailerId(i as u32),
+            synth_table(fleet.spec_of(i).n_items, spec.rec_k, 0),
+        );
+    }
+    store.publish(batch);
+
+    // Zipf CDF over traffic retailers: retailer i has rank i + 1.
+    let weights: Vec<f64> = (0..spec.n_retailers)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(spec.zipf_s))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+
+    let traffic: Vec<Request> = (0..spec.requests)
+        .map(|t| {
+            let u = unit_f64(mix(spec.seed, t, 0xA11CE));
+            let r = cdf.partition_point(|&c| c <= u).min(spec.n_retailers - 1);
+            let n = n_items[r];
+            let retailer = RetailerId(r as u32);
+            let sel = mix(spec.seed, t, 0xB0B) % 100;
+            let pick = mix(spec.seed, t, 0xCAFE) as usize;
+            if sel < 2 {
+                // Out-of-catalog probe: a counted miss at any generation.
+                Request {
+                    retailer,
+                    item: ItemId(n as u32),
+                    surface: RecSurface::ViewBased,
+                }
+            } else if sel < 6 {
+                // An item whose purchase list is empty by construction.
+                let choices = (n - 1) / EMPTY_STRIDE + 1;
+                Request {
+                    retailer,
+                    item: ItemId((pick % choices * EMPTY_STRIDE) as u32),
+                    surface: RecSurface::PurchaseBased,
+                }
+            } else {
+                Request {
+                    retailer,
+                    item: ItemId((pick % n) as u32),
+                    surface: RecSurface::ViewBased,
+                }
+            }
+        })
+        .collect();
+
+    ServeFixture {
+        spec: spec.clone(),
+        store,
+        traffic,
+        n_items,
+    }
+}
+
+/// Replays the fixture: `serve_threads` readers sweep disjoint contiguous
+/// chunks of the log while a publisher thread lands `publishes` churn
+/// batches, paced off reader progress so the swaps genuinely overlap the
+/// reads. Emits a deterministic trace/gauge summary on `obs` after all
+/// threads join (virtual timestamps only — byte-identical at any thread
+/// count). Consumes the fixture; build a fresh one per run.
+pub fn run_serve_replay(fixture: ServeFixture, obs: &Obs) -> ServeReport {
+    let ServeFixture {
+        spec,
+        store,
+        traffic,
+        n_items,
+    } = fixture;
+    let threads = spec.serve_threads.max(1);
+    let total = traffic.len();
+    let progress: Mutex<u64> = Mutex::new(0);
+
+    std::thread::scope(|s| {
+        // The publisher: republish churn retailers only, paced so batch p
+        // lands after roughly p/(publishes+1) of the traffic has been read.
+        s.spawn(|| {
+            let fleet_seed = spec.seed;
+            for p in 1..=spec.publishes {
+                let threshold =
+                    (total as u64).saturating_mul(p as u64) / (spec.publishes as u64 + 1);
+                loop {
+                    if *progress.lock().unwrap() >= threshold {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                let fleet = FleetSpec {
+                    n_retailers: spec.n_retailers + spec.churn_retailers,
+                    min_items: 20,
+                    max_items: 2_000,
+                    pareto_alpha: 1.16,
+                    users_per_item: 1.0,
+                    seed: fleet_seed,
+                };
+                let mut batch: BTreeMap<RetailerId, Vec<ItemRecs>> = BTreeMap::new();
+                for c in 0..spec.churn_retailers {
+                    let i = spec.n_retailers + c;
+                    batch.insert(
+                        RetailerId(i as u32),
+                        synth_table(fleet.spec_of(i).n_items, spec.rec_k, p as u64),
+                    );
+                }
+                store.publish(batch);
+            }
+        });
+        for chunk_idx in 0..threads {
+            let lo = chunk_idx * total / threads;
+            let hi = (chunk_idx + 1) * total / threads;
+            let chunk = &traffic[lo..hi];
+            let store = &store;
+            let progress = &progress;
+            s.spawn(move || {
+                let mut local = 0u64;
+                for req in chunk {
+                    store.lookup(req.retailer, req.item, req.surface);
+                    local += 1;
+                    if local.is_multiple_of(PROGRESS_BLOCK) {
+                        *progress.lock().unwrap() += PROGRESS_BLOCK;
+                    }
+                }
+                *progress.lock().unwrap() += local % PROGRESS_BLOCK;
+            });
+        }
+    });
+
+    let stats = store.stats();
+    let (hot_hit_rate, p99_virtual_ms, serial_virtual_s) = latency_model(&spec, &traffic, &n_items);
+    let generation = store.generation();
+    let report = ServeReport {
+        requests: total as u64,
+        serve_threads: threads,
+        publishes: spec.publishes as u64,
+        stats,
+        hit_rate: stats.hit_rate(),
+        hot_hit_rate,
+        p99_virtual_ms,
+        virtual_makespan_s: serial_virtual_s / threads.max(1) as f64,
+        serial_virtual_s,
+        generation,
+    };
+    observe_replay(&report, &store, obs);
+    report
+}
+
+/// The sequential latency model: replay the log through a fresh [`TierSim`]
+/// (the live tier's exact policy machine) and price each request — memory
+/// answers cost [`HOT_MS`], flash fetches cost [`FLASH_BASE_MS`] plus the
+/// per-item decode cost of that retailer's table. Returns
+/// `(hot_hit_rate, p99_ms, serial_virtual_s)` — the last is the *serial*
+/// total; [`run_serve_replay`] divides it by the thread count for the
+/// makespan, so everything returned here is thread-count invariant. With
+/// tiering disabled everything is memory-resident: the rate is 1.0 and
+/// every request costs [`HOT_MS`].
+pub fn latency_model(spec: &ServeSpec, traffic: &[Request], n_items: &[usize]) -> (f64, f64, f64) {
+    let mut sim = (!spec.tier.is_disabled()).then(|| TierSim::new(spec.tier));
+    let mut hot = 0u64;
+    let mut latencies: Vec<f64> = Vec::with_capacity(traffic.len());
+    for req in traffic {
+        let from_memory = match &mut sim {
+            None => true,
+            Some(sim) => matches!(sim.access(req.retailer), TierOutcome::Hit),
+        };
+        if from_memory {
+            hot += 1;
+            latencies.push(HOT_MS);
+        } else {
+            let n = n_items
+                .get(req.retailer.index())
+                .copied()
+                .unwrap_or_default();
+            latencies.push(FLASH_BASE_MS + FLASH_PER_ITEM_MS * n as f64);
+        }
+    }
+    if latencies.is_empty() {
+        return (1.0, 0.0, 0.0);
+    }
+    let hot_hit_rate = hot as f64 / latencies.len() as f64;
+    let total_ms: f64 = latencies.iter().sum();
+    let mut sorted = latencies;
+    sorted.sort_by(f64::total_cmp);
+    let idx = ((sorted.len() as f64 * 0.99).ceil() as usize).clamp(1, sorted.len()) - 1;
+    let p99 = sorted[idx];
+    (hot_hit_rate, p99, total_ms / 1_000.0)
+}
+
+/// Emits the replay's deterministic summary: one serving span over the
+/// serial virtual timeline plus latency/hot-rate gauges and the store's own
+/// [`ServingStore::observe`] health gauges. Called after every thread has
+/// joined, from one thread, at virtual timestamps — so the trace is
+/// byte-identical at any `serve_threads` (`tests/serve_scale.rs`).
+fn observe_replay(report: &ServeReport, store: &ServingStore, obs: &Obs) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let end = report.serial_virtual_s;
+    obs.span(
+        Level::Info,
+        "serving",
+        &format!("serve replay x{}", report.requests),
+        Track::SERVING,
+        0.0,
+        end,
+        &[
+            ("requests", report.requests.into()),
+            ("publishes", report.publishes.into()),
+            ("generation", report.generation.into()),
+        ],
+    );
+    obs.gauge("serve_bench.hot_hit_rate", end, report.hot_hit_rate);
+    obs.gauge("serve_bench.p99_virtual_ms", end, report.p99_virtual_ms);
+    store.observe(obs, end, report.generation);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ServeSpec {
+        ServeSpec {
+            n_retailers: 24,
+            churn_retailers: 8,
+            requests: 4_000,
+            serve_threads: 2,
+            publishes: 3,
+            rec_k: 5,
+            zipf_s: 1.2,
+            tier: ColdTierConfig::enabled(4, 2, 7),
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn traffic_log_is_seed_deterministic() {
+        let a = build_fixture(&tiny());
+        let b = build_fixture(&tiny());
+        assert_eq!(a.traffic.len(), 4_000);
+        for (x, y) in a.traffic.iter().zip(&b.traffic) {
+            assert_eq!((x.retailer, x.item), (y.retailer, y.item));
+            assert_eq!(x.surface, y.surface);
+        }
+        assert_eq!(a.n_items, b.n_items);
+    }
+
+    #[test]
+    fn traffic_mix_has_all_three_classes() {
+        let f = build_fixture(&tiny());
+        let report = run_serve_replay(f, &Obs::disabled());
+        let s = report.stats;
+        assert!(s.hits > 0 && s.empties > 0 && s.misses > 0, "{s:?}");
+        assert_eq!(s.cold_misses, 0, "clean replay must not degrade");
+        assert_eq!(s.requests(), 4_000);
+        assert_eq!(report.generation, 1 + 3, "initial publish + 3 republishes");
+    }
+
+    #[test]
+    fn synth_table_shape_is_rotation_invariant() {
+        for rot in 0..4u64 {
+            let t = synth_table(40, 5, rot);
+            assert_eq!(t.len(), 40);
+            for (j, recs) in t.iter().enumerate() {
+                assert_eq!(recs.view_based.len(), 5);
+                assert_eq!(recs.purchase_based.is_empty(), j % EMPTY_STRIDE == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn latency_model_prices_flash_above_memory() {
+        let spec = tiny();
+        let f = build_fixture(&spec);
+        let (rate, p99, makespan) = latency_model(&spec, &f.traffic, &f.n_items);
+        assert!(
+            rate > 0.0 && rate < 1.0,
+            "tiered replay mixes hot and flash"
+        );
+        assert!(p99 >= HOT_MS);
+        assert!(makespan > 0.0);
+        // Disabled tiering: all-memory, rate pinned to 1.0.
+        let mut untiered = spec.clone();
+        untiered.tier = ColdTierConfig::disabled();
+        let (rate, p99, _) = latency_model(&untiered, &f.traffic, &f.n_items);
+        assert_eq!(rate, 1.0);
+        assert_eq!(p99, HOT_MS);
+    }
+}

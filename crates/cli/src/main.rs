@@ -197,6 +197,7 @@ fn simulate(args: &Args) -> Result<(), String> {
 
     let mut monitor = QualityMonitor::new(MonitorConfig::default());
     let store = ServingStore::new();
+    let mut last_load_ts = 0.0;
     for _ in 0..days {
         let onboarded = svc.retailers().to_vec();
         let report = svc.run_day().map_err(|e| e.to_string())?;
@@ -263,6 +264,9 @@ fn simulate(args: &Args) -> Result<(), String> {
             store.lookup(r, ItemId(0), RecSurface::ViewBased);
         }
         store.observe(&obs, svc.virtual_now(), generation);
+        let now = svc.virtual_now();
+        store.observe_load(&obs, now, now - last_load_ts);
+        last_load_ts = now;
     }
     let summary = monitor.fleet_summary();
     println!(
@@ -369,6 +373,7 @@ fn watch(args: &Args) -> Result<(), String> {
 
     let mut monitor = QualityMonitor::with_bus(MonitorConfig::default(), bus.clone());
     let store = ServingStore::with_bus(bus.clone());
+    let mut last_load_ts = 0.0;
     for _ in 0..days {
         let onboarded = svc.retailers().to_vec();
         let report = svc.run_day().map_err(|e| e.to_string())?;
@@ -390,6 +395,9 @@ fn watch(args: &Args) -> Result<(), String> {
             store.lookup(r, ItemId(0), RecSurface::ViewBased);
         }
         store.observe(&obs, svc.virtual_now(), generation);
+        let now = svc.virtual_now();
+        store.observe_load(&obs, now, now - last_load_ts);
+        last_load_ts = now;
 
         let (lost, events) = cursor.poll();
         dash.apply_batch(lost, &events);

@@ -62,6 +62,7 @@ pub mod loom_model;
 pub mod metrics;
 pub mod model;
 pub mod negative;
+pub mod recs_codec;
 pub mod selection;
 pub mod snapshot;
 pub mod storage;

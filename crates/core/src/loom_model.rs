@@ -28,8 +28,9 @@
 //! process-wide.
 //!
 //! The checker is intentionally tiny: no atomics beyond the shim itself (the
-//! workspace `atomics-scope` lint confines those to `storage.rs`), no unsafe
-//! code, no spin loops.
+//! workspace `atomics-scope` lint confines those to the audited lock-free
+//! modules, `storage.rs` here and `shard.rs` in the serving crate), no
+//! unsafe code, no spin loops.
 
 use std::cell::Cell;
 use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
@@ -214,12 +215,19 @@ pub fn model<F: Fn()>(body: F) -> usize {
 /// Model-aware replacements for `std::sync::atomic`, used by
 /// [`crate::storage`] under `cfg(loom)`.
 pub mod shim {
-    /// Memory orderings the shim accepts (Hogwild only ever uses `Relaxed`,
-    /// and the cooperative scheduler is sequentially consistent anyway).
+    /// Memory orderings the shim accepts. The cooperative scheduler is
+    /// sequentially consistent, so all three behave identically under the
+    /// model — the variants exist so callers can state the ordering the
+    /// real `std` build uses (Hogwild storage is `Relaxed`; the serving
+    /// shard swap publishes with `Release` and reads with `Acquire`).
     #[derive(Debug, Clone, Copy)]
     pub enum Ordering {
-        /// The only ordering the storage layer uses.
+        /// No ordering constraints (Hogwild storage).
         Relaxed,
+        /// Read side of the publish handshake (serving shard swap).
+        Acquire,
+        /// Write side of the publish handshake (serving shard swap).
+        Release,
     }
 
     /// Stand-in for `std::sync::atomic::AtomicU32`: a mutex-held word whose
@@ -244,6 +252,30 @@ pub mod shim {
 
         /// Writes the word (one scheduling point).
         pub fn store(&self, v: u32, _order: Ordering) {
+            super::yield_point();
+            *self.0.lock().unwrap_or_else(|e| e.into_inner()) = v;
+        }
+    }
+
+    /// Stand-in for `std::sync::atomic::AtomicU64`, used by the serving
+    /// shard generation counter. Same construction as [`AtomicU32`].
+    #[derive(Debug, Default)]
+    pub struct AtomicU64(std::sync::Mutex<u64>);
+
+    impl AtomicU64 {
+        /// Creates the cell.
+        pub fn new(v: u64) -> Self {
+            Self(std::sync::Mutex::new(v))
+        }
+
+        /// Reads the word (one scheduling point).
+        pub fn load(&self, _order: Ordering) -> u64 {
+            super::yield_point();
+            *self.0.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Writes the word (one scheduling point).
+        pub fn store(&self, v: u64, _order: Ordering) {
             super::yield_point();
             *self.0.lock().unwrap_or_else(|e| e.into_inner()) = v;
         }

@@ -85,6 +85,9 @@ pub struct Dashboard {
     phases: BTreeMap<&'static str, f64>,
     // Fleet-scale gauges from the last `Fleet` event (None until one arrives).
     fleet_gauges: Option<(usize, f64, u64)>,
+    // Query-traffic gauges from the last `ServeLoad` event: (qps, hit rate,
+    // hot-tier hit rate, cumulative cold misses).
+    serve_gauges: Option<(f64, f64, f64, u64)>,
     /// Recent alert lines, oldest first, capped at [`FEED_DEPTH`].
     feed: Vec<String>,
     /// Events the subscriber lost to ring eviction (see `note_lost`).
@@ -234,6 +237,16 @@ impl Dashboard {
                 self.day = self.day.max(*day);
                 self.fleet_gauges = Some((*retailers, *makespan_s, *peak_logical_bytes));
             }
+            HealthEvent::ServeLoad {
+                qps,
+                hit_rate,
+                hot_hit_rate,
+                cold_misses,
+                ..
+            } => {
+                let total = self.serve_gauges.map(|(.., c)| c).unwrap_or(0) + cold_misses;
+                self.serve_gauges = Some((*qps, *hit_rate, *hot_hit_rate, total));
+            }
         }
     }
 
@@ -281,6 +294,16 @@ impl Dashboard {
                 fmt1(per_day),
                 fmt1(makespan_s),
                 fmt_bytes(peak_bytes)
+            );
+        }
+        if let Some((qps, hit_rate, hot_hit_rate, cold_misses)) = self.serve_gauges {
+            let _ = writeln!(
+                out,
+                "serve: {} qps  hit {}  hot {}  cold misses {}",
+                fmt1(qps),
+                fmt4(hit_rate),
+                fmt4(hot_hit_rate),
+                cold_misses
             );
         }
         let _ = writeln!(out, "{bar}");
@@ -577,6 +600,37 @@ mod tests {
         let frame = dash.render(false);
         assert!(
             frame.contains("scale: 1000.0 retailers/day  makespan 8640.0s  peak 3.5 MiB logical"),
+            "frame was:\n{frame}"
+        );
+    }
+
+    #[test]
+    fn serve_gauges_render_in_the_header() {
+        let mut dash = Dashboard::new();
+        assert!(
+            !dash.render(false).contains("serve:"),
+            "no serve line before an event"
+        );
+        dash.apply(&HealthEvent::ServeLoad {
+            ts: 86_400.0,
+            requests: 5_000,
+            qps: 1_250.5,
+            hit_rate: 0.75,
+            hot_hit_rate: 0.9,
+            cold_misses: 2,
+        });
+        dash.apply(&HealthEvent::ServeLoad {
+            ts: 172_800.0,
+            requests: 5_000,
+            qps: 980.0,
+            hit_rate: 0.8,
+            hot_hit_rate: 0.95,
+            cold_misses: 1,
+        });
+        let frame = dash.render(false);
+        // Rates show the latest window; cold misses accumulate.
+        assert!(
+            frame.contains("serve: 980.0 qps  hit 0.8000  hot 0.9500  cold misses 3"),
             "frame was:\n{frame}"
         );
     }

@@ -191,6 +191,23 @@ pub enum HealthEvent {
         /// (0 when the ledger is disabled).
         peak_logical_bytes: u64,
     },
+    /// Query-traffic gauges over one observation window of the serving
+    /// frontend (DESIGN.md §13).
+    ServeLoad {
+        /// Virtual time of the window's end.
+        ts: f64,
+        /// Lookups answered during the window.
+        requests: u64,
+        /// Lookups per virtual second over the window.
+        qps: f64,
+        /// Fraction of the window's lookups answered with recommendations.
+        hit_rate: f64,
+        /// Fraction of tiered lookups answered without a flash read (1.0
+        /// when no cold tier is attached — everything is in memory).
+        hot_hit_rate: f64,
+        /// Faulted flash reads served degraded during the window.
+        cold_misses: u64,
+    },
 }
 
 impl HealthEvent {
@@ -206,7 +223,8 @@ impl HealthEvent {
             | HealthEvent::Published { ts, .. }
             | HealthEvent::Rollback { ts, .. }
             | HealthEvent::ServingLag { ts, .. }
-            | HealthEvent::Fleet { ts, .. } => *ts,
+            | HealthEvent::Fleet { ts, .. }
+            | HealthEvent::ServeLoad { ts, .. } => *ts,
         }
     }
 }
@@ -521,6 +539,14 @@ mod tests {
                 retailers: 1,
                 makespan_s: 1.0,
                 peak_logical_bytes: 0,
+            },
+            HealthEvent::ServeLoad {
+                ts: 11.0,
+                requests: 1,
+                qps: 1.0,
+                hit_rate: 1.0,
+                hot_hit_rate: 1.0,
+                cold_misses: 0,
             },
         ];
         for (i, e) in events.iter().enumerate() {

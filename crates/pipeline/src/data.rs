@@ -12,7 +12,6 @@
 //! design goal).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use sigmund_core::prelude::ItemRecs;
 use sigmund_dfs::Dfs;
 use sigmund_types::{
     ActionType, BrandId, Catalog, CategoryId, CellId, ConfigRecord, FacetId, Interaction, ItemId,
@@ -200,81 +199,11 @@ pub fn decode_catalog(mut b: &[u8]) -> Result<Catalog, SigmundError> {
     Ok(catalog)
 }
 
-/// Magic bytes tagging a binary recommendation-table blob (vs legacy JSON).
-pub const RECS_MAGIC: &[u8; 4] = b"SGRC";
-
-/// Encodes a recommendation table (one `ItemRecs` per item, in id order):
-/// magic, item count, then per item two length-prefixed `(item u32,
-/// score f32)` lists (view-based, purchase-based).
-pub fn encode_recs(recs: &[ItemRecs]) -> Bytes {
-    let entries: usize = recs
-        .iter()
-        .map(|r| r.view_based.len() + r.purchase_based.len())
-        .sum();
-    let mut buf = BytesMut::with_capacity(8 + recs.len() * 8 + entries * 8);
-    buf.put_slice(RECS_MAGIC);
-    buf.put_u32_le(u32::try_from(recs.len()).unwrap_or(u32::MAX));
-    for r in recs {
-        for list in [&r.view_based, &r.purchase_based] {
-            buf.put_u32_le(u32::try_from(list.len()).unwrap_or(u32::MAX));
-            for &(item, score) in list {
-                buf.put_u32_le(item.0);
-                buf.put_f32_le(score);
-            }
-        }
-    }
-    buf.freeze()
-}
-
-/// Decodes a binary recommendation table (see [`encode_recs`]).
-///
-/// # Errors
-/// [`SigmundError::Corrupt`] on malformed bytes.
-pub fn decode_recs(mut b: &[u8]) -> Result<Vec<ItemRecs>, SigmundError> {
-    let corrupt = |m: &str| SigmundError::Corrupt(format!("recs blob: {m}"));
-    if b.remaining() < 8 || &b[..4] != RECS_MAGIC {
-        return Err(corrupt("missing magic"));
-    }
-    b.advance(4);
-    let n = b.get_u32_le() as usize;
-    let get_list = |b: &mut &[u8]| -> Result<Vec<(ItemId, f32)>, SigmundError> {
-        if b.remaining() < 4 {
-            return Err(corrupt("truncated list length"));
-        }
-        let k = b.get_u32_le() as usize;
-        if b.remaining() < k.checked_mul(8).ok_or_else(|| corrupt("list overflows"))? {
-            return Err(corrupt("truncated list"));
-        }
-        let mut out = Vec::with_capacity(k);
-        for _ in 0..k {
-            out.push((ItemId(b.get_u32_le()), b.get_f32_le()));
-        }
-        Ok(out)
-    };
-    let mut out = Vec::new();
-    for _ in 0..n {
-        let view_based = get_list(&mut b)?;
-        let purchase_based = get_list(&mut b)?;
-        out.push(ItemRecs {
-            view_based,
-            purchase_based,
-        });
-    }
-    if b.has_remaining() {
-        return Err(corrupt("trailing bytes"));
-    }
-    Ok(out)
-}
-
-/// Deterministic logical size of a recommendation table: a fixed per-item
-/// overhead plus 8 bytes per `(item, score)` entry. This is what the
-/// pipeline charges to its [`sigmund_obs::ByteLedger`] — a pure function of
-/// the table's shape, never of allocator state (DESIGN.md §12).
-pub fn recs_logical_bytes(recs: &[ItemRecs]) -> u64 {
-    recs.iter()
-        .map(|r| 48 + 8 * (r.view_based.len() + r.purchase_based.len()) as u64)
-        .sum()
-}
+// The `SGRC` recommendation-table codec moved to `sigmund_core::recs_codec`
+// so the serving cold tier can read the same blobs the pipeline publishes
+// without a pipeline dependency (DESIGN.md §13); re-exported here because
+// this module is still its DFS-layout home for pipeline callers.
+pub use sigmund_core::recs_codec::{decode_recs, encode_recs, recs_logical_bytes, RECS_MAGIC};
 
 /// Publishes a retailer's catalog and events to the DFS (the ingestion step
 /// of the daily pipeline).
@@ -346,6 +275,7 @@ pub fn decode_config_records(bytes: &[u8]) -> Result<Vec<ConfigRecord>, SigmundE
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sigmund_core::prelude::ItemRecs;
     use sigmund_types::{HyperParams, ItemMeta, Taxonomy};
 
     fn events() -> Vec<Interaction> {

@@ -15,9 +15,18 @@
 //! run live traffic, so [`ctr`] replays view events against the ground-truth
 //! click model from `sigmund-datagen` with position bias — the documented
 //! substitution (DESIGN.md §1).
+//!
+//! The concurrent frontend (DESIGN.md §13): [`store`] stripes retailers over
+//! [`shard`]'s lock-free generation-swap cells so readers never block on a
+//! publish, and [`tier`] spills rare retailers' tables to checksummed flash
+//! blobs behind a deterministic admission-controlled hot cache.
 
 pub mod ctr;
+pub mod shard;
 pub mod store;
+pub mod tier;
 
 pub use ctr::{bucket_by_popularity, simulate_ctr, CtrBucket, CtrConfig, CtrSample};
-pub use store::{RecSurface, ServingStats, ServingStore, HISTORY_DEPTH};
+pub use shard::{ShardState, SHARD_RING};
+pub use store::{RecSurface, ServingStats, ServingStore, SharedTable, HISTORY_DEPTH, N_SHARDS};
+pub use tier::{ColdTier, ColdTierConfig, FetchResult, TierOutcome, TierSim, TierStats};

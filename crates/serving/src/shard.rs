@@ -1,0 +1,142 @@
+//! The lock-free generation swap backing each serving shard.
+//!
+//! Readers must never block on a publisher (Section V: serving is optimized
+//! for batch updates behind live query traffic), so each shard keeps a small
+//! ring of snapshot slots and an atomic sequence number:
+//!
+//! * **Read** — load `seq` (`Acquire`), clone the `Arc` in slot
+//!   `seq % RING`. The publisher never write-locks the slot `seq` points at,
+//!   so the slot read-lock is always uncontended for a reader that loaded a
+//!   current `seq` — reads are wait-free in the steady state.
+//! * **Publish** — store the new snapshot `Arc` into slot `(seq + 1) % RING`
+//!   (that slot is invisible to new readers until the bump), then
+//!   `seq.store(seq + 1, Release)`. Publishers are serialized by the store's
+//!   meta lock; the `Release`/`Acquire` pair makes the snapshot write visible
+//!   before any reader can observe the new sequence number.
+//!
+//! The one benign race: a reader that loads `seq` and is then descheduled
+//! for a full ring of publishes can find its slot overwritten by the time it
+//! clones — it observes a *newer complete* snapshot, never a torn or freed
+//! one (the `Arc` swap happens atomically under the slot lock, and the old
+//! `Arc` stays alive until its last reader drops it). A reader parked inside
+//! a slot lock can stall a *publisher* on wraparound — never the reverse.
+//!
+//! Under `--cfg loom` the atomics swap to the model-checker shim from
+//! `sigmund_core::loom_model`, and `crates/serving/tests/loom_shard.rs`
+//! exhaustively checks reader-vs-publish-vs-rollback interleavings. The slot
+//! locks need no shim: no scheduling point (shimmed atomic access) ever
+//! happens while a slot lock is held, so model threads cannot contend on
+//! them (see the test module there).
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+#[cfg(loom)]
+use sigmund_core::loom_model::shim::{AtomicU64, Ordering};
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Snapshot slots per shard. Any value ≥ 2 is correct (see the module doc on
+/// wraparound); 8 gives publishers seven generations of headroom before a
+/// parked reader can stall one.
+pub const SHARD_RING: usize = 8;
+
+/// One shard's swap cell: an atomic sequence number over a ring of snapshot
+/// slots. `T` is the immutable per-shard snapshot type.
+#[derive(Debug)]
+pub struct ShardState<T> {
+    /// Monotone publish counter; `seq % SHARD_RING` is the live slot.
+    seq: AtomicU64,
+    ring: Vec<RwLock<Arc<T>>>,
+}
+
+impl<T> ShardState<T> {
+    /// A shard whose every slot starts at `initial` (sequence 0).
+    pub fn new(initial: Arc<T>) -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            ring: (0..SHARD_RING)
+                .map(|_| RwLock::new(Arc::clone(&initial)))
+                .collect(),
+        }
+    }
+
+    /// The reader path: returns the current snapshot without ever waiting on
+    /// a publisher.
+    pub fn load(&self) -> Arc<T> {
+        let s = self.seq.load(Ordering::Acquire);
+        Arc::clone(&self.ring[(s % SHARD_RING as u64) as usize].read())
+    }
+
+    /// The publisher path: installs `next` as the live snapshot. Callers
+    /// must serialize publishers (the store's meta lock does); readers are
+    /// never stalled because the write lock is taken on the slot *after* the
+    /// one new readers resolve.
+    pub fn publish(&self, next: Arc<T>) {
+        let s = self.seq.load(Ordering::Acquire);
+        *self.ring[((s + 1) % SHARD_RING as u64) as usize].write() = next;
+        self.seq.store(s + 1, Ordering::Release);
+    }
+
+    /// How many snapshots have been published into this shard.
+    pub fn sequence(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_load_round_trip() {
+        let shard = ShardState::new(Arc::new(0u64));
+        assert_eq!(*shard.load(), 0);
+        assert_eq!(shard.sequence(), 0);
+        for g in 1..=20u64 {
+            shard.publish(Arc::new(g));
+            assert_eq!(*shard.load(), g, "ring wraparound must stay coherent");
+        }
+        assert_eq!(shard.sequence(), 20);
+    }
+
+    #[test]
+    fn readers_share_the_published_arc() {
+        let snap = Arc::new(vec![1u32, 2, 3]);
+        let shard = ShardState::new(Arc::new(Vec::new()));
+        shard.publish(Arc::clone(&snap));
+        let a = shard.load();
+        let b = shard.load();
+        assert!(Arc::ptr_eq(&a, &snap) && Arc::ptr_eq(&b, &snap));
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_a_torn_snapshot() {
+        // Each published snapshot is internally consistent: (g, g * 7). A
+        // torn read would pair fields from two generations.
+        // Readers run a fixed read budget rather than racing a stop flag:
+        // on a loaded machine a flag-based reader may never get scheduled
+        // while the publisher finishes, and overlap is not what's being
+        // proven here anyway — loom_shard.rs checks every interleaving of
+        // the swap; this test only hammers the invariant at native speed.
+        let shard = Arc::new(ShardState::new(Arc::new((0u64, 0u64))));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let shard = Arc::clone(&shard);
+                std::thread::spawn(move || {
+                    for _ in 0..20_000u64 {
+                        let s = shard.load();
+                        assert_eq!(s.1, s.0 * 7, "torn snapshot: {s:?}");
+                    }
+                })
+            })
+            .collect();
+        for g in 1..=10_000u64 {
+            shard.publish(Arc::new((g, g * 7)));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(shard.load().0, 10_000);
+    }
+}

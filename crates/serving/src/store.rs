@@ -1,22 +1,55 @@
-//! The batch-swapped, in-memory recommendation store.
+//! The batch-swapped, sharded recommendation store.
 //!
 //! Lookups resolve the *last item* of the request context against the
 //! materialized item → top-K tables produced by offline inference; Sigmund
 //! deliberately keeps serving-time computation trivial (Section I: "have
 //! very lightweight computation at serving-time").
+//!
+//! Concurrency (DESIGN.md §13): retailers are sharded by
+//! `RetailerId % N_SHARDS`, and each shard swaps whole immutable [`Snapshot`]
+//! `Arc`s through a lock-free [`ShardState`] — readers never block on a
+//! publish. The control plane (generation counter, the [`HISTORY_DEPTH`]-deep
+//! rollback ring, truthful-lag queries) lives behind one meta lock that only
+//! publishers and operators touch; the query path never takes it. With a
+//! [`ColdTierConfig`] attached, published tables spill to checksummed `SGRC`
+//! flash blobs and lookups go through the admission-controlled hot cache in
+//! [`crate::tier`] — the default [`ColdTierConfig::disabled`] keeps every
+//! table in memory, byte-identical to the untired store.
 
-use parking_lot::RwLock;
+use crate::shard::ShardState;
+use crate::tier::{ColdTier, ColdTierConfig, FetchResult, TierStats};
+use parking_lot::{Mutex, RwLock};
 use sigmund_core::inference::{ItemRecs, RecList};
 use sigmund_core::model::ContextEvent;
+use sigmund_dfs::Dfs;
 use sigmund_obs::{HealthBus, HealthEvent, Level, Obs, Track};
-use sigmund_types::{ActionType, ItemId, RetailerId};
+use sigmund_types::{ActionType, CellId, ItemId, RetailerId};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
+
+/// A published table shared between the pipeline, the store's slots, and
+/// in-flight readers — cloning is a refcount bump, never a table copy.
+pub type SharedTable = Arc<Vec<ItemRecs>>;
 
 /// How many published generations the store retains for
 /// [`ServingStore::rollback_to`]. Snapshots are shared `Arc`s, so the ring
 /// costs pointers, not table copies.
 pub const HISTORY_DEPTH: usize = 4;
+
+/// Shards the retailer space is striped across. Each shard swaps
+/// independently, so a publish touching one retailer invalidates nothing in
+/// the other shards' reader caches.
+pub const N_SHARDS: usize = 8;
+
+/// The shard a retailer's table lives in.
+fn shard_of(retailer: RetailerId) -> usize {
+    retailer.index() % N_SHARDS
+}
+
+/// The retailer's dense slot index within its shard.
+fn local_of(retailer: RetailerId) -> usize {
+    retailer.index() / N_SHARDS
+}
 
 /// Which materialized surface to serve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,14 +60,28 @@ pub enum RecSurface {
     PurchaseBased,
 }
 
+/// Where a retailer's table currently is.
+#[derive(Debug, Clone)]
+enum TableRef {
+    /// Resident in memory (no tier, or a spill write faulted and the table
+    /// stayed pinned — no data loss).
+    Hot(Arc<Vec<ItemRecs>>),
+    /// Spilled to the flash blob at [`crate::tier::cold_path`] for this
+    /// generation; lookups go through the hot cache.
+    Cold {
+        /// The generation whose spill holds this table.
+        generation: u64,
+    },
+}
+
 /// One retailer's served table plus its freshness stamp.
 ///
-/// The table is an `Arc`: a publish that doesn't touch this retailer copies
-/// the pointer, not the recommendations — the arena scales with fleet
-/// *count*, never with total fleet items (DESIGN.md §12).
+/// The table is an `Arc` (or a cold marker): a publish that doesn't touch
+/// this retailer copies the pointer, not the recommendations — the arena
+/// scales with fleet *count*, never with total fleet items (DESIGN.md §12).
 #[derive(Debug, Clone)]
 struct TableSlot {
-    table: Arc<Vec<ItemRecs>>,
+    table: TableRef,
     /// Generation at which this retailer's table was last refreshed. A
     /// retailer absent from a publish batch (e.g. degraded to its previous
     /// generation) keeps its old stamp, so `generation - fresh` is how many
@@ -42,26 +89,47 @@ struct TableSlot {
     fresh: u64,
 }
 
-/// One immutable day's worth of recommendations: a flat arena of slots
-/// indexed by the dense `RetailerId` (`None` = never published).
+/// One shard's immutable view: a flat arena of slots indexed by the dense
+/// local retailer index (`None` = never published).
 #[derive(Debug, Default)]
 struct Snapshot {
-    generation: u64,
     slots: Vec<Option<TableSlot>>,
-    /// Number of `Some` slots (so `retailer_count` stays O(1)).
+    /// Number of `Some` slots (so `retailer_count` stays O(shards)).
     served: usize,
 }
 
 impl Snapshot {
-    fn slot(&self, retailer: RetailerId) -> Option<&TableSlot> {
-        self.slots.get(retailer.index()).and_then(Option::as_ref)
+    fn slot(&self, local: usize) -> Option<&TableSlot> {
+        self.slots.get(local).and_then(Option::as_ref)
     }
+}
+
+/// Control-plane state: the global generation counter and the rollback ring.
+/// Publishers serialize on this lock; the query path never touches it.
+#[derive(Debug, Default)]
+struct StoreMeta {
+    generation: u64,
+    /// Ring of the most recent published fleet views (newest last), the undo
+    /// log [`ServingStore::rollback_to`] restores from. Each entry pins one
+    /// snapshot `Arc` per shard.
+    history: VecDeque<HistoryEntry>,
+}
+
+#[derive(Debug)]
+struct HistoryEntry {
+    generation: u64,
+    shards: Vec<Arc<Snapshot>>,
 }
 
 /// Request counters, the observability surface operators watch ("understand
 /// and debug problems efficiently", Section I). An *empty* response on a
 /// known retailer usually means inference coverage regressed — the
 /// `QualityMonitor` sees it offline, these counters see it live.
+///
+/// Every field is a commutative count of per-request outcomes, so replaying
+/// the same request multiset concurrently lands on identical stats at any
+/// thread count (`tests/serve_scale.rs`); the schedule-dependent hot/flash
+/// split lives in [`TierStats`] instead.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServingStats {
     /// Lookups answered with a non-empty list.
@@ -70,6 +138,11 @@ pub struct ServingStats {
     pub empties: u64,
     /// Lookups for an unknown retailer or out-of-range item.
     pub misses: u64,
+    /// Cold-tier flash reads that faulted: the lookup was served from the
+    /// last-good cached table, or counted under `misses` when none existed.
+    /// Always 0 on a fault-free run — a nonzero value is the flash layer
+    /// asking to be looked at.
+    pub cold_misses: u64,
 }
 
 impl ServingStats {
@@ -82,10 +155,16 @@ impl ServingStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Total lookups answered.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.empties + self.misses
+    }
 }
 
-/// The serving store: readers clone an `Arc` to the current snapshot; the
-/// daily batch publish builds a new snapshot and swaps it in atomically.
+/// The serving store: readers clone an `Arc` to their shard's current
+/// snapshot; the daily batch publish builds new shard snapshots and swaps
+/// them in without ever stalling a reader.
 ///
 /// ```
 /// use sigmund_serving::{RecSurface, ServingStore};
@@ -104,21 +183,42 @@ impl ServingStats {
 /// let comps = store.serve(RetailerId(0), &[(ItemId(0), ActionType::Conversion)], None);
 /// assert_eq!(comps[0].0, ItemId(2));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServingStore {
-    current: RwLock<Arc<Snapshot>>,
-    /// Ring of the most recent published snapshots (newest last), the undo
-    /// log [`ServingStore::rollback_to`] restores from.
-    history: RwLock<VecDeque<Arc<Snapshot>>>,
+    shards: Vec<ShardState<Snapshot>>,
+    meta: RwLock<StoreMeta>,
     stats: RwLock<ServingStats>,
     /// Streaming health bus: publishes, rollbacks and lag snapshots are
     /// streamed here by the `*_obs`/`observe` methods (which carry virtual
     /// timestamps). Disabled by default — every publish is then a no-op.
     bus: HealthBus,
+    /// The flash tier; `None` (the default) keeps every table in memory.
+    tier: Option<ColdTier>,
+    /// Totals at the last [`ServingStore::observe_load`], for window deltas.
+    load_window: Mutex<(ServingStats, TierStats)>,
+}
+
+impl Default for ServingStore {
+    fn default() -> Self {
+        Self::assemble(HealthBus::disabled(), None)
+    }
 }
 
 impl ServingStore {
-    /// An empty store (generation 0, no tables).
+    fn assemble(bus: HealthBus, tier: Option<ColdTier>) -> Self {
+        Self {
+            shards: (0..N_SHARDS)
+                .map(|_| ShardState::new(Arc::new(Snapshot::default())))
+                .collect(),
+            meta: RwLock::new(StoreMeta::default()),
+            stats: RwLock::new(ServingStats::default()),
+            bus,
+            tier,
+            load_window: Mutex::new((ServingStats::default(), TierStats::default())),
+        }
+    }
+
+    /// An empty store (generation 0, no tables, no tiering).
     pub fn new() -> Self {
         Self::default()
     }
@@ -126,10 +226,25 @@ impl ServingStore {
     /// An empty store that also streams generation changes and lag
     /// snapshots onto `bus` as [`HealthEvent`]s.
     pub fn with_bus(bus: HealthBus) -> Self {
-        Self {
-            bus,
-            ..Self::default()
-        }
+        Self::assemble(bus, None)
+    }
+
+    /// An empty store whose publishes spill to `cell` of `dfs` under `cfg`.
+    /// A [`ColdTierConfig::disabled`] config attaches no tier at all — the
+    /// store is then byte-identical to [`ServingStore::new`].
+    pub fn with_cold_tier(cfg: ColdTierConfig, dfs: Arc<Dfs>, cell: CellId) -> Self {
+        Self::with_bus_and_cold_tier(HealthBus::disabled(), cfg, dfs, cell)
+    }
+
+    /// [`ServingStore::with_cold_tier`] plus a health bus.
+    pub fn with_bus_and_cold_tier(
+        bus: HealthBus,
+        cfg: ColdTierConfig,
+        dfs: Arc<Dfs>,
+        cell: CellId,
+    ) -> Self {
+        let tier = (!cfg.is_disabled()).then(|| ColdTier::new(cfg, dfs, cell));
+        Self::assemble(bus, tier)
     }
 
     /// Publishes a new batch: retailers present in `batch` are replaced,
@@ -142,79 +257,102 @@ impl ServingStore {
     /// bounded-memory publish path hands the same `Arc` to the store that it
     /// accounted in the pipeline, so nothing is copied on the way in.
     pub fn publish_shared(&self, batch: BTreeMap<RetailerId, Arc<Vec<ItemRecs>>>) -> u64 {
-        let mut cur = self.current.write();
-        // O(fleet count) pointer copies — the tables themselves are shared.
-        let mut slots = cur.slots.clone();
-        let mut served = cur.served;
-        let generation = cur.generation + 1;
+        let mut meta = self.meta.write();
+        let generation = meta.generation + 1;
+        // Group by home shard; untouched shards keep their snapshot `Arc`.
+        let mut by_shard: BTreeMap<usize, Vec<(RetailerId, SharedTable)>> = BTreeMap::new();
         for (r, table) in batch {
-            let idx = r.index();
-            if idx >= slots.len() {
-                slots.resize(idx + 1, None);
-            }
-            if slots[idx].is_none() {
-                served += 1;
-            }
-            slots[idx] = Some(TableSlot {
-                table,
-                fresh: generation,
-            });
+            by_shard.entry(shard_of(r)).or_default().push((r, table));
         }
-        let snap = Arc::new(Snapshot {
+        for (shard_idx, tables) in by_shard {
+            // Publishers are serialized by the meta lock, so this load is
+            // the latest snapshot; O(shard count) pointer copies.
+            let cur = self.shards[shard_idx].load();
+            let mut slots = cur.slots.clone();
+            let mut served = cur.served;
+            for (r, table) in tables {
+                let local = local_of(r);
+                if local >= slots.len() {
+                    slots.resize(local + 1, None);
+                }
+                if slots[local].is_none() {
+                    served += 1;
+                }
+                let table = match &self.tier {
+                    // The flash copy is the truth on success; a faulted
+                    // spill pins the table in memory instead (counted by
+                    // the tier, no data loss).
+                    Some(tier) => match tier.spill(r, generation, &table) {
+                        Ok(()) => TableRef::Cold { generation },
+                        Err(_) => TableRef::Hot(table),
+                    },
+                    None => TableRef::Hot(table),
+                };
+                slots[local] = Some(TableSlot {
+                    table,
+                    fresh: generation,
+                });
+            }
+            self.shards[shard_idx].publish(Arc::new(Snapshot { slots, served }));
+        }
+        let entry = HistoryEntry {
             generation,
-            slots,
-            served,
-        });
-        *cur = Arc::clone(&snap);
-        drop(cur);
-        self.retain(snap);
-        generation
-    }
-
-    /// Appends a snapshot to the rollback ring, evicting the oldest past
-    /// [`HISTORY_DEPTH`].
-    fn retain(&self, snap: Arc<Snapshot>) {
-        let mut h = self.history.write();
-        h.push_back(snap);
-        while h.len() > HISTORY_DEPTH {
-            h.pop_front();
+            shards: self.shards.iter().map(ShardState::load).collect(),
+        };
+        meta.history.push_back(entry);
+        while meta.history.len() > HISTORY_DEPTH {
+            meta.history.pop_front();
         }
+        meta.generation = generation;
+        generation
     }
 
     /// Generations currently available to [`ServingStore::rollback_to`]
     /// (ascending; includes the live generation).
     pub fn generations_retained(&self) -> Vec<u64> {
-        self.history.read().iter().map(|s| s.generation).collect()
+        self.meta
+            .read()
+            .history
+            .iter()
+            .map(|e| e.generation)
+            .collect()
     }
 
-    /// Rolls the live snapshot back to a retained previous `generation`.
+    /// Rolls the live snapshots back to a retained previous `generation`.
     ///
     /// The rollback is itself a publish: it installs a *new* generation
     /// whose tables are the target's, so readers swap atomically and the
     /// generation counter never runs backwards. The target's freshness
     /// stamps are kept as-is — [`ServingStore::retailer_lag`] then reports
     /// the *true* staleness of what is being served, which is exactly what
-    /// an operator debugging a rollback needs to see.
+    /// an operator debugging a rollback needs to see. Cold markers keep
+    /// their original spill generation, whose blobs the tier retains for
+    /// exactly this window (see `crate::tier`).
     ///
     /// Returns the new live generation, or `None` if `generation` is no
     /// longer (or never was) in the ring.
     pub fn rollback_to(&self, generation: u64) -> Option<u64> {
-        let target = self
+        let mut meta = self.meta.write();
+        let target: Vec<Arc<Snapshot>> = meta
             .history
-            .read()
             .iter()
-            .find(|s| s.generation == generation)
-            .map(Arc::clone)?;
-        let mut cur = self.current.write();
-        let snap = Arc::new(Snapshot {
-            generation: cur.generation + 1,
-            slots: target.slots.clone(),
-            served: target.served,
+            .find(|e| e.generation == generation)?
+            .shards
+            .iter()
+            .map(Arc::clone)
+            .collect();
+        let new_gen = meta.generation + 1;
+        for (shard, snap) in self.shards.iter().zip(&target) {
+            shard.publish(Arc::clone(snap));
+        }
+        meta.history.push_back(HistoryEntry {
+            generation: new_gen,
+            shards: target,
         });
-        let new_gen = snap.generation;
-        *cur = Arc::clone(&snap);
-        drop(cur);
-        self.retain(snap);
+        while meta.history.len() > HISTORY_DEPTH {
+            meta.history.pop_front();
+        }
+        meta.generation = new_gen;
         Some(new_gen)
     }
 
@@ -245,9 +383,9 @@ impl ServingStore {
         Some(new_gen)
     }
 
-    /// Current snapshot generation (0 = nothing published yet).
+    /// Current store generation (0 = nothing published yet).
     pub fn generation(&self) -> u64 {
-        self.current.read().generation
+        self.meta.read().generation
     }
 
     /// How many publish batches have landed since `retailer`'s table was
@@ -255,18 +393,28 @@ impl ServingStore {
     /// retailer skipped by the pipeline's batch shows up here as a growing
     /// lag while it keeps serving the stale table.
     pub fn retailer_lag(&self, retailer: RetailerId) -> Option<u64> {
-        let snap = self.current.read();
-        snap.slot(retailer).map(|s| snap.generation - s.fresh)
+        // Holding the meta read lock keeps the generation and the shard
+        // snapshot mutually consistent (publishers hold it for write).
+        let meta = self.meta.read();
+        let snap = self.shards[shard_of(retailer)].load();
+        snap.slot(local_of(retailer))
+            .map(|s| meta.generation - s.fresh)
     }
 
     /// The worst [`ServingStore::retailer_lag`] across all served retailers
     /// (0 for an empty store).
     pub fn max_lag(&self) -> u64 {
-        let snap = self.current.read();
-        snap.slots
+        let meta = self.meta.read();
+        self.shards
             .iter()
-            .flatten()
-            .map(|s| snap.generation - s.fresh)
+            .flat_map(|shard| {
+                let snap = shard.load();
+                snap.slots
+                    .iter()
+                    .flatten()
+                    .map(|s| meta.generation - s.fresh)
+                    .collect::<Vec<_>>()
+            })
             .max()
             .unwrap_or(0)
     }
@@ -362,6 +510,65 @@ impl ServingStore {
         );
     }
 
+    /// Emits query-traffic gauges for the window ending at `ts` of
+    /// `window_s` virtual seconds: QPS, windowed hit rate, the hot-tier hit
+    /// rate, and any cold misses — a [`HealthEvent::ServeLoad`] for the
+    /// watch header plus `serving.qps`/`serving.hot_hit_rate` gauges and the
+    /// `serving.cold_misses` counter. Call once per observation window; the
+    /// store keeps the last window's totals. Emits nothing (and keeps no
+    /// window state) when both the bus and obs are disabled, so un-observed
+    /// stores stay byte-identical.
+    pub fn observe_load(&self, obs: &Obs, ts: f64, window_s: f64) {
+        if !self.bus.is_enabled() && !obs.is_enabled() {
+            return;
+        }
+        let s = self.stats();
+        let t = self.tier_stats().unwrap_or_default();
+        let mut window = self.load_window.lock();
+        let (last_s, last_t) = *window;
+        *window = (s, t);
+        drop(window);
+        let requests = s.requests().saturating_sub(last_s.requests());
+        let hits = s.hits.saturating_sub(last_s.hits);
+        let cold_misses = s.cold_misses.saturating_sub(last_s.cold_misses);
+        let qps = if window_s > 0.0 {
+            requests as f64 / window_s
+        } else {
+            0.0
+        };
+        let hit_rate = if requests == 0 {
+            0.0
+        } else {
+            hits as f64 / requests as f64
+        };
+        let tiered = (t.hot_hits + t.fetches + t.cold_misses)
+            .saturating_sub(last_t.hot_hits + last_t.fetches + last_t.cold_misses);
+        let hot_hit_rate = if tiered == 0 {
+            // No flash pressure this window (untired store, or every lookup
+            // stayed in memory).
+            1.0
+        } else {
+            t.hot_hits.saturating_sub(last_t.hot_hits) as f64 / tiered as f64
+        };
+        // Bus first: the dashboard may be the only consumer running.
+        self.bus.publish(HealthEvent::ServeLoad {
+            ts,
+            requests,
+            qps,
+            hit_rate,
+            hot_hit_rate,
+            cold_misses,
+        });
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.gauge("serving.qps", ts, qps);
+        obs.gauge("serving.hot_hit_rate", ts, hot_hit_rate);
+        if cold_misses > 0 {
+            obs.counter("serving.cold_misses", cold_misses);
+        }
+    }
+
     /// Serves a request: recommendations for the last item in `context`.
     ///
     /// The surface defaults from the last action when `surface` is `None`:
@@ -385,12 +592,39 @@ impl ServingStore {
 
     /// Direct item lookup.
     pub fn lookup(&self, retailer: RetailerId, item: ItemId, surface: RecSurface) -> RecList {
-        let snap = Arc::clone(&self.current.read());
-        let Some(slot) = snap.slot(retailer) else {
+        let snap = self.shards[shard_of(retailer)].load();
+        let Some(slot) = snap.slot(local_of(retailer)) else {
             self.stats.write().misses += 1;
             return RecList::new();
         };
-        let Some(recs) = slot.table.get(item.index()) else {
+        let table: Arc<Vec<ItemRecs>> = match &slot.table {
+            TableRef::Hot(t) => Arc::clone(t),
+            TableRef::Cold { generation } => {
+                let Some(tier) = &self.tier else {
+                    // Unreachable by construction (cold markers are only
+                    // written with a tier attached); degrade to a counted
+                    // miss rather than panic on the query path.
+                    let mut s = self.stats.write();
+                    s.misses += 1;
+                    s.cold_misses += 1;
+                    return RecList::new();
+                };
+                match tier.fetch(retailer, *generation) {
+                    FetchResult::Table(t) => t,
+                    FetchResult::Degraded(t) => {
+                        self.stats.write().cold_misses += 1;
+                        t
+                    }
+                    FetchResult::Miss => {
+                        let mut s = self.stats.write();
+                        s.misses += 1;
+                        s.cold_misses += 1;
+                        return RecList::new();
+                    }
+                }
+            }
+        };
+        let Some(recs) = table.get(item.index()) else {
             self.stats.write().misses += 1;
             return RecList::new();
         };
@@ -408,12 +642,18 @@ impl ServingStore {
 
     /// Number of retailers currently served.
     pub fn retailer_count(&self) -> usize {
-        self.current.read().served
+        let _meta = self.meta.read();
+        self.shards.iter().map(|s| s.load().served).sum()
     }
 
     /// Request counters since construction (or the last [`ServingStore::reset_stats`]).
     pub fn stats(&self) -> ServingStats {
         *self.stats.read()
+    }
+
+    /// Cold-tier traffic counters, `None` when no tier is attached.
+    pub fn tier_stats(&self) -> Option<TierStats> {
+        self.tier.as_ref().map(ColdTier::stats)
     }
 
     /// Zeroes the request counters (e.g. at a metrics-scrape boundary).
@@ -480,6 +720,35 @@ mod tests {
             vec![(ItemId(2), 1.0)]
         );
         assert_eq!(store.generation(), 3);
+    }
+
+    #[test]
+    fn retailers_stripe_across_shards() {
+        // Retailers r and r + N_SHARDS share a shard; the rest of the fleet
+        // lands elsewhere, so a publish to one shard leaves the others'
+        // snapshots untouched (asserted via pointer identity below).
+        let store = ServingStore::new();
+        for r in 0..(2 * N_SHARDS as u32) {
+            publish_one(&store, r, vec![recs(&[r + 1], &[])]);
+        }
+        assert_eq!(store.retailer_count(), 2 * N_SHARDS);
+        for r in 0..(2 * N_SHARDS as u32) {
+            assert_eq!(
+                store.lookup(RetailerId(r), ItemId(0), RecSurface::ViewBased),
+                vec![(ItemId(r + 1), 1.0)],
+                "retailer {r} must serve its own table"
+            );
+        }
+        let before: Vec<_> = (0..N_SHARDS).map(|i| store.shards[i].load()).collect();
+        publish_one(&store, 0, vec![recs(&[9], &[])]); // shard 0 only
+        let after: Vec<_> = (0..N_SHARDS).map(|i| store.shards[i].load()).collect();
+        assert!(!Arc::ptr_eq(&before[0], &after[0]), "shard 0 must swap");
+        for i in 1..N_SHARDS {
+            assert!(
+                Arc::ptr_eq(&before[i], &after[i]),
+                "shard {i} untouched by a shard-0 publish"
+            );
+        }
     }
 
     #[test]
@@ -592,6 +861,7 @@ mod tests {
         store.lookup(RetailerId(0), ItemId(99), RecSurface::ViewBased);
         let s = store.stats();
         assert_eq!((s.hits, s.empties, s.misses), (1, 1, 2), "stats: {s:?}");
+        assert_eq!(s.cold_misses, 0, "no tier, no cold misses");
         assert!((s.hit_rate() - 0.25).abs() < 1e-12);
         store.reset_stats();
         assert_eq!(store.stats(), ServingStats::default());
@@ -628,6 +898,50 @@ mod tests {
         assert_eq!(m.counter("serving.publishes"), 1);
         assert_eq!(m.gauge("serving.hit_rate").map(|g| g.last), Some(0.5));
         assert_eq!(m.gauge("serving.generation_lag").map(|g| g.last), Some(1.0));
+    }
+
+    #[test]
+    fn observe_load_emits_windowed_traffic_gauges() {
+        use sigmund_obs::{Level, Obs};
+        let bus = HealthBus::bounded(16);
+        let mut cursor = bus.subscribe();
+        let store = ServingStore::with_bus(bus);
+        let obs = Obs::recording(Level::Debug);
+        publish_one(&store, 0, vec![recs(&[1], &[])]);
+        cursor.poll(); // drop the publish event
+        for _ in 0..10 {
+            store.lookup(RetailerId(0), ItemId(0), RecSurface::ViewBased); // hits
+        }
+        store.lookup(RetailerId(9), ItemId(0), RecSurface::ViewBased); // miss
+        store.observe_load(&obs, 10.0, 10.0);
+        let (_, events) = cursor.poll();
+        assert!(
+            matches!(
+                events.as_slice(),
+                [HealthEvent::ServeLoad {
+                    requests: 11,
+                    cold_misses: 0,
+                    ..
+                }]
+            ),
+            "{events:?}"
+        );
+        let m = obs.metrics().unwrap();
+        assert_eq!(m.gauge("serving.qps").map(|g| g.last), Some(1.1));
+        // Untired store: everything is in memory.
+        assert_eq!(m.gauge("serving.hot_hit_rate").map(|g| g.last), Some(1.0));
+        assert_eq!(m.counter("serving.cold_misses"), 0);
+        // The next window only sees new traffic.
+        store.lookup(RetailerId(0), ItemId(0), RecSurface::ViewBased);
+        store.observe_load(&obs, 20.0, 10.0);
+        let (_, events) = cursor.poll();
+        assert!(
+            matches!(
+                events.as_slice(),
+                [HealthEvent::ServeLoad { requests: 1, .. }]
+            ),
+            "{events:?}"
+        );
     }
 
     #[test]
@@ -682,23 +996,77 @@ mod tests {
         let mut batch = BTreeMap::new();
         batch.insert(RetailerId(0), Arc::clone(&big));
         store.publish_shared(batch);
-        // Publish 10 more batches touching only retailer 1: retailer 0's
-        // table must be pointer-shared by every snapshot, never copied.
+        // Publish 10 more batches touching only retailer N_SHARDS (same
+        // shard as retailer 0): retailer 0's table must be pointer-shared
+        // by every shard snapshot, never copied.
         for i in 0..10u32 {
-            publish_one(&store, 1, vec![recs(&[i], &[])]);
+            publish_one(&store, N_SHARDS as u32, vec![recs(&[i], &[])]);
         }
-        let served = store
-            .current
-            .read()
-            .slot(RetailerId(0))
-            .map(|s| Arc::clone(&s.table))
-            .unwrap();
+        let snap = store.shards[0].load();
+        let served = match &snap.slot(0).unwrap().table {
+            TableRef::Hot(t) => Arc::clone(t),
+            TableRef::Cold { .. } => panic!("no tier attached, table must be hot"),
+        };
         assert!(
             Arc::ptr_eq(&served, &big),
             "untouched table was deep-copied by an unrelated publish"
         );
-        // 1 live + HISTORY_DEPTH retained + `big` + `served` here.
+        // Every live snapshot of shard 0 (ring slots + history entries)
+        // holds its own Arc clone, plus `big` and `served` here.
         assert!(Arc::strong_count(&big) >= HISTORY_DEPTH + 2);
+    }
+
+    #[test]
+    fn cold_tier_spills_and_serves_through_the_hot_cache() {
+        let store = ServingStore::with_cold_tier(
+            ColdTierConfig::enabled(2, 1, 42),
+            Arc::new(Dfs::new()),
+            CellId(0),
+        );
+        publish_one(&store, 0, vec![recs(&[1, 2], &[3])]);
+        publish_one(&store, 1, vec![recs(&[5], &[])]);
+        // First lookup fetches from flash (and admits); the second hits.
+        assert_eq!(
+            store.lookup(RetailerId(0), ItemId(0), RecSurface::ViewBased),
+            vec![(ItemId(1), 1.0), (ItemId(2), 1.0)]
+        );
+        assert_eq!(
+            store.lookup(RetailerId(0), ItemId(0), RecSurface::PurchaseBased),
+            vec![(ItemId(3), 1.0)]
+        );
+        let t = store.tier_stats().unwrap();
+        assert_eq!((t.fetches, t.hot_hits), (1, 1), "{t:?}");
+        // A republish invalidates the cached copy lazily.
+        publish_one(&store, 0, vec![recs(&[7], &[])]);
+        assert_eq!(
+            store.lookup(RetailerId(0), ItemId(0), RecSurface::ViewBased),
+            vec![(ItemId(7), 1.0)]
+        );
+        assert_eq!(store.stats().cold_misses, 0, "clean run, no degradation");
+        // Rollback: the cold markers point at retained spill generations.
+        let rolled = store.rollback_to(store.generation() - 1).unwrap();
+        assert!(rolled > 0);
+        assert_eq!(
+            store.lookup(RetailerId(0), ItemId(0), RecSurface::ViewBased),
+            vec![(ItemId(1), 1.0), (ItemId(2), 1.0)],
+            "rollback must serve the pre-republish table from flash"
+        );
+    }
+
+    #[test]
+    fn disabled_tier_config_attaches_no_tier() {
+        let store = ServingStore::with_cold_tier(
+            ColdTierConfig::disabled(),
+            Arc::new(Dfs::new()),
+            CellId(0),
+        );
+        assert!(store.tier_stats().is_none());
+        publish_one(&store, 0, vec![recs(&[1], &[])]);
+        let snap = store.shards[0].load();
+        assert!(
+            matches!(snap.slot(0).unwrap().table, TableRef::Hot(_)),
+            "disabled tier must keep tables in memory"
+        );
     }
 
     #[test]

@@ -1,0 +1,498 @@
+//! Memory+flash tiering for the serving store (DESIGN.md §13).
+//!
+//! Section II-A's serving system "leverages main-memory *and flash*": the
+//! full fleet of materialized tables does not fit in RAM, so with tiering
+//! enabled every publish spills its tables to checksummed `SGRC` blobs on
+//! the DFS (the truth copy; same codec the pipeline publishes with,
+//! `sigmund_core::recs_codec`) and lookups go through an
+//! admission-controlled hot cache of decoded tables. The Zipf-skewed
+//! retailer popularity (PAPERS.md, the Coveo multi-shop measurements) makes
+//! this pay: a small hot tier absorbs almost all traffic while rare
+//! retailers cost one flash read.
+//!
+//! Policy, in one place: [`TierSim`] is the *pure* admission/eviction state
+//! machine — a deterministic function of `(seed, access sequence)` with no
+//! I/O, clocks, or allocator state. The live [`ColdTier`] drives a `TierSim`
+//! under its mutex and applies the outcomes to a cache of `Arc`s; property
+//! tests and `bench_serve`'s latency model replay the very same machine, so
+//! what is tested and what is benchmarked is what serves.
+//!
+//! Fault posture (the chaos scenario in `tests/chaos.rs`): a `Transient` or
+//! `Corrupt` DFS read degrades to the last-good cached table when one
+//! exists, else to an empty answer — both *counted* via
+//! [`TierStats::cold_misses`], never a panic and never a silent empty. A
+//! faulted spill *write* keeps the table pinned in memory instead (no data
+//! loss, counted via [`TierStats::spill_failures`]).
+
+use parking_lot::Mutex;
+use sigmund_core::inference::ItemRecs;
+use sigmund_core::recs_codec::{decode_recs, encode_recs};
+use sigmund_dfs::Dfs;
+use sigmund_types::{splitmix64, CellId, RetailerId};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// How the hot tier behaves. The default ([`ColdTierConfig::disabled`]) is
+/// no tiering at all: every published table stays in memory and the store is
+/// byte-identical to the untired path — asserted in `tests/serve_scale.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColdTierConfig {
+    /// Decoded tables the hot cache may hold; 0 disables tiering entirely.
+    pub hot_capacity: usize,
+    /// Flash reads a retailer must absorb before it may be admitted.
+    pub admission_threshold: u64,
+    /// Salts the admission tie-break so cache contents are a pure function
+    /// of `(seed, access sequence)`.
+    pub seed: u64,
+}
+
+impl ColdTierConfig {
+    /// No tiering: publishes keep tables in memory (the pre-tier store).
+    pub fn disabled() -> Self {
+        Self {
+            hot_capacity: 0,
+            admission_threshold: 2,
+            seed: 0,
+        }
+    }
+
+    /// A tier holding at most `hot_capacity` decoded tables, admitting after
+    /// `admission_threshold` flash reads.
+    pub fn enabled(hot_capacity: usize, admission_threshold: u64, seed: u64) -> Self {
+        Self {
+            hot_capacity,
+            admission_threshold: admission_threshold.max(1),
+            seed,
+        }
+    }
+
+    /// True when the config turns tiering off.
+    pub fn is_disabled(&self) -> bool {
+        self.hot_capacity == 0
+    }
+}
+
+impl Default for ColdTierConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// What the policy decided for one access. The caller maps `Hit` to a cache
+/// read and the other two to a flash fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierOutcome {
+    /// The retailer is resident in the hot cache.
+    Hit,
+    /// Fetch from flash; the retailer stays cold.
+    Fetch,
+    /// Fetch from flash and admit the retailer, evicting `evicted` if the
+    /// cache was full.
+    Admit {
+        /// The LRU victim that lost its slot, if the cache was at capacity.
+        evicted: Option<RetailerId>,
+    },
+}
+
+/// The pure admission/eviction state machine (see the module doc). All state
+/// lives in ordered maps keyed by retailer index, advanced only by
+/// [`TierSim::access`] — replaying the same access sequence against the same
+/// config always lands in the same state ([`TierSim::resident`]).
+#[derive(Debug, Clone)]
+pub struct TierSim {
+    cfg: ColdTierConfig,
+    /// Logical access clock; every access gets a unique tick, so LRU victim
+    /// selection never ties.
+    clock: u64,
+    /// Admitted retailers → last-access tick.
+    resident: BTreeMap<RetailerId, u64>,
+    /// Lifetime access counts (resident and cold alike) — the admission
+    /// frequency signal.
+    counts: BTreeMap<RetailerId, u64>,
+}
+
+impl TierSim {
+    /// An empty policy machine.
+    pub fn new(cfg: ColdTierConfig) -> Self {
+        Self {
+            cfg,
+            clock: 0,
+            resident: BTreeMap::new(),
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// Advances the machine by one access and returns the policy decision.
+    pub fn access(&mut self, retailer: RetailerId) -> TierOutcome {
+        self.clock += 1;
+        let count = self.counts.entry(retailer).or_insert(0);
+        *count += 1;
+        let count = *count;
+        if self.resident.contains_key(&retailer) {
+            self.resident.insert(retailer, self.clock);
+            return TierOutcome::Hit;
+        }
+        if self.cfg.hot_capacity == 0 || count < self.cfg.admission_threshold {
+            return TierOutcome::Fetch;
+        }
+        if self.resident.len() < self.cfg.hot_capacity {
+            self.resident.insert(retailer, self.clock);
+            return TierOutcome::Admit { evicted: None };
+        }
+        // Full: contest the LRU victim on access frequency. The seed-salted
+        // hash breaks exact-count ties so the whole trajectory stays a pure
+        // function of (seed, access sequence).
+        let (victim, _) = self
+            .resident
+            .iter()
+            .min_by_key(|(_, &tick)| tick)
+            .map(|(&r, &t)| (r, t))
+            .unwrap_or((retailer, 0));
+        let victim_count = self.counts.get(&victim).copied().unwrap_or(0);
+        let wins = match count.cmp(&victim_count) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => {
+                splitmix64(self.cfg.seed ^ u64::from(retailer.0))
+                    > splitmix64(self.cfg.seed ^ u64::from(victim.0))
+            }
+        };
+        if wins {
+            self.resident.remove(&victim);
+            self.resident.insert(retailer, self.clock);
+            TierOutcome::Admit {
+                evicted: Some(victim),
+            }
+        } else {
+            TierOutcome::Fetch
+        }
+    }
+
+    /// The admitted retailers, in id order — the cache-contents fingerprint
+    /// the property tests compare.
+    pub fn resident(&self) -> Vec<RetailerId> {
+        self.resident.keys().copied().collect()
+    }
+}
+
+/// Tier traffic counters. Deliberately *not* part of `ServingStats`: under
+/// concurrent replay the hit/fetch split depends on request interleaving
+/// with publishes, so these are reported separately and only the
+/// interleaving-invariant `ServingStats` are asserted thread-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Lookups answered from the hot cache.
+    pub hot_hits: u64,
+    /// Lookups that read a blob from flash.
+    pub fetches: u64,
+    /// Retailers admitted into the hot cache.
+    pub admissions: u64,
+    /// Retailers evicted from the hot cache.
+    pub evictions: u64,
+    /// Flash reads that faulted or failed to decode (served degraded).
+    pub cold_misses: u64,
+    /// Spill writes that faulted (table kept pinned in memory instead).
+    pub spill_failures: u64,
+}
+
+impl TierStats {
+    /// Fraction of tiered lookups answered without touching flash.
+    pub fn hot_hit_rate(&self) -> f64 {
+        let total = self.hot_hits + self.fetches + self.cold_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hot_hits as f64 / total as f64
+        }
+    }
+}
+
+/// DFS path of a retailer's spilled table at one store generation.
+pub fn cold_path(generation: u64, retailer: RetailerId) -> String {
+    format!("/serve_cold/g{generation}/r{}", retailer.0)
+}
+
+/// How a cold-slot lookup resolved (see [`ColdTier::fetch`]). The store maps
+/// `Degraded`/`Miss` onto its `cold_misses` counter so a faulted flash read
+/// is always *visible* — never a silent empty answer.
+#[derive(Debug, Clone)]
+pub enum FetchResult {
+    /// A clean answer, from the hot cache or a successful flash read.
+    Table(Arc<Vec<ItemRecs>>),
+    /// The flash read faulted; this is the last-good cached table.
+    Degraded(Arc<Vec<ItemRecs>>),
+    /// The flash read faulted and nothing usable is cached.
+    Miss,
+}
+
+/// One cached decoded table, stamped with the generation it was spilled at
+/// so a republish invalidates it lazily on the next access.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    generation: u64,
+    table: Arc<Vec<ItemRecs>>,
+}
+
+/// Spill gens per retailer beyond the newest that are kept on flash. The
+/// rollback ring retains [`crate::HISTORY_DEPTH`] snapshots, and a retained
+/// snapshot can only reference one of the retailer's last
+/// `HISTORY_DEPTH + 1` spills — older blobs are unreachable and deleted.
+const SPILL_RETENTION: usize = crate::HISTORY_DEPTH + 1;
+
+#[derive(Debug, Default)]
+struct TierState {
+    sim: Option<TierSim>,
+    cache: BTreeMap<RetailerId, CacheEntry>,
+    /// Per-retailer spill generations still on flash, oldest first.
+    spilled: BTreeMap<RetailerId, VecDeque<u64>>,
+    stats: TierStats,
+}
+
+/// The live flash tier: spills published tables to checksummed `SGRC` blobs
+/// and serves lookups through the [`TierSim`]-controlled hot cache.
+#[derive(Debug)]
+pub struct ColdTier {
+    cfg: ColdTierConfig,
+    dfs: Arc<Dfs>,
+    cell: CellId,
+    state: Mutex<TierState>,
+}
+
+impl ColdTier {
+    /// A tier writing blobs to `cell` of `dfs`.
+    pub fn new(cfg: ColdTierConfig, dfs: Arc<Dfs>, cell: CellId) -> Self {
+        Self {
+            cfg,
+            dfs,
+            cell,
+            state: Mutex::new(TierState {
+                sim: Some(TierSim::new(cfg)),
+                ..TierState::default()
+            }),
+        }
+    }
+
+    /// The tier configuration.
+    pub fn config(&self) -> ColdTierConfig {
+        self.cfg
+    }
+
+    /// Spills one published table to flash at `generation` and trims the
+    /// retailer's out-of-retention blobs. `Ok` means the flash copy is the
+    /// truth and the in-memory slot may become a cold marker; `Err` means
+    /// the caller must keep the table in memory (counted, no data loss).
+    pub fn spill(
+        &self,
+        retailer: RetailerId,
+        generation: u64,
+        table: &[ItemRecs],
+    ) -> Result<(), sigmund_types::SigmundError> {
+        let bytes = encode_recs(table);
+        match self
+            .dfs
+            .write(self.cell, &cold_path(generation, retailer), bytes)
+        {
+            Ok(()) => {
+                let mut st = self.state.lock();
+                let gens = st.spilled.entry(retailer).or_default();
+                gens.push_back(generation);
+                let mut trimmed = Vec::new();
+                while gens.len() > SPILL_RETENTION {
+                    if let Some(old) = gens.pop_front() {
+                        trimmed.push(old);
+                    }
+                }
+                for old in trimmed {
+                    // Best-effort: a faulted delete leaves a dead blob
+                    // behind, which only costs flash space.
+                    if self.dfs.delete(&cold_path(old, retailer)).is_err() {
+                        st.stats.spill_failures += 1;
+                    }
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.state.lock().stats.spill_failures += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Resolves a cold slot: hot cache first, else a flash read driven by
+    /// the admission policy.
+    pub fn fetch(&self, retailer: RetailerId, generation: u64) -> FetchResult {
+        let mut st = self.state.lock();
+        let mut sim = st.sim.take().unwrap_or_else(|| TierSim::new(self.cfg));
+        let outcome = sim.access(retailer);
+        st.sim = Some(sim);
+        let cached = st.cache.get(&retailer).cloned();
+        if let Some(entry) = &cached {
+            if entry.generation == generation && matches!(outcome, TierOutcome::Hit) {
+                st.stats.hot_hits += 1;
+                return FetchResult::Table(Arc::clone(&entry.table));
+            }
+        }
+        // Cache absent or stale (republished since it was decoded): fetch
+        // the generation-stamped blob.
+        let fetched = self
+            .dfs
+            .read(self.cell, &cold_path(generation, retailer))
+            .ok()
+            .and_then(|bytes| decode_recs(&bytes).ok().map(Arc::new));
+        match fetched {
+            Some(table) => {
+                st.stats.fetches += 1;
+                let admit = match outcome {
+                    TierOutcome::Hit => {
+                        // Resident but stale: refresh the cached copy.
+                        true
+                    }
+                    TierOutcome::Admit { evicted } => {
+                        st.stats.admissions += 1;
+                        if let Some(v) = evicted {
+                            st.stats.evictions += 1;
+                            // Dropping the map entry never frees the table
+                            // under a reader: they hold their own `Arc`.
+                            st.cache.remove(&v);
+                        }
+                        true
+                    }
+                    TierOutcome::Fetch => false,
+                };
+                if admit {
+                    st.cache.insert(
+                        retailer,
+                        CacheEntry {
+                            generation,
+                            table: Arc::clone(&table),
+                        },
+                    );
+                }
+                FetchResult::Table(table)
+            }
+            None => {
+                // Transient/Corrupt flash read (or a blob already trimmed):
+                // degrade to the last-good decoded table when one exists.
+                st.stats.cold_misses += 1;
+                match cached {
+                    Some(e) => FetchResult::Degraded(e.table),
+                    None => FetchResult::Miss,
+                }
+            }
+        }
+    }
+
+    /// Tier traffic counters since construction.
+    pub fn stats(&self) -> TierStats {
+        self.state.lock().stats
+    }
+
+    /// The retailers currently resident in the hot cache, in id order.
+    pub fn resident(&self) -> Vec<RetailerId> {
+        self.state
+            .lock()
+            .sim
+            .as_ref()
+            .map(TierSim::resident)
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(capacity: usize, threshold: u64, seed: u64) -> TierSim {
+        TierSim::new(ColdTierConfig::enabled(capacity, threshold, seed))
+    }
+
+    #[test]
+    fn admission_waits_for_the_threshold() {
+        let mut s = sim(2, 3, 7);
+        let r = RetailerId(0);
+        assert_eq!(s.access(r), TierOutcome::Fetch);
+        assert_eq!(s.access(r), TierOutcome::Fetch);
+        assert_eq!(s.access(r), TierOutcome::Admit { evicted: None });
+        assert_eq!(s.access(r), TierOutcome::Hit);
+        assert_eq!(s.resident(), vec![r]);
+    }
+
+    #[test]
+    fn lru_victim_loses_to_a_hotter_candidate() {
+        let mut s = sim(1, 1, 0);
+        let (a, b) = (RetailerId(1), RetailerId(2));
+        assert_eq!(s.access(a), TierOutcome::Admit { evicted: None });
+        // b's first access: counts tie at 1, the contest is the seeded hash.
+        // b's second access: count 2 > 1, b must win outright.
+        s.access(b);
+        s.access(b);
+        assert_eq!(s.resident(), vec![b]);
+        assert_eq!(s.access(b), TierOutcome::Hit);
+    }
+
+    #[test]
+    fn trajectory_is_a_pure_function_of_seed_and_sequence() {
+        let accesses: Vec<RetailerId> = (0..200u32).map(|i| RetailerId(i * 31 % 17)).collect();
+        let run = |seed: u64| {
+            let mut s = sim(4, 2, seed);
+            let outcomes: Vec<TierOutcome> = accesses.iter().map(|&r| s.access(r)).collect();
+            (outcomes, s.resident())
+        };
+        assert_eq!(run(42), run(42), "same seed+sequence must replay exactly");
+        // A different seed is allowed to (and here does) land differently.
+        assert_ne!(run(42).1, run(43).1);
+    }
+
+    #[test]
+    fn disabled_config_never_admits() {
+        let mut s = TierSim::new(ColdTierConfig::disabled());
+        for _ in 0..10 {
+            assert_eq!(s.access(RetailerId(0)), TierOutcome::Fetch);
+        }
+        assert!(s.resident().is_empty());
+        assert!(ColdTierConfig::default().is_disabled());
+        assert!(!ColdTierConfig::enabled(4, 2, 0).is_disabled());
+    }
+
+    #[test]
+    fn spill_fetch_round_trip_and_retention() {
+        let tier = ColdTier::new(
+            ColdTierConfig::enabled(2, 1, 0),
+            Arc::new(Dfs::new()),
+            CellId(0),
+        );
+        let r = RetailerId(3);
+        let table = |v: u32| {
+            vec![ItemRecs {
+                view_based: vec![(sigmund_types::ItemId(v), 1.0)],
+                purchase_based: Vec::new(),
+            }]
+        };
+        for g in 1..=8u64 {
+            tier.spill(r, g, &table(g as u32)).unwrap();
+        }
+        // Retention keeps the newest HISTORY_DEPTH + 1 blobs only.
+        assert!(matches!(tier.fetch(r, 8), FetchResult::Table(_)));
+        let oldest_kept = 8 - SPILL_RETENTION as u64 + 1;
+        assert!(matches!(tier.fetch(r, oldest_kept), FetchResult::Table(_)));
+        assert_eq!(tier.stats().cold_misses, 0);
+        // Trimmed blob: degrades to the last-good cached table (generation 4,
+        // the most recent successful fetch), counted.
+        let FetchResult::Degraded(degraded) = tier.fetch(r, 1) else {
+            panic!("last-good copy must serve");
+        };
+        assert_eq!(degraded[0].view_based[0].0, sigmund_types::ItemId(4));
+        assert_eq!(tier.stats().cold_misses, 1);
+    }
+
+    #[test]
+    fn hot_hit_rate_is_well_defined() {
+        assert_eq!(TierStats::default().hot_hit_rate(), 0.0);
+        let s = TierStats {
+            hot_hits: 3,
+            fetches: 1,
+            ..TierStats::default()
+        };
+        assert!((s.hot_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

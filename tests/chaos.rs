@@ -37,7 +37,7 @@ use sigmund_pipeline::{
     data, ChaosConfig, IntegrityConfig, MonitorConfig, PipelineConfig, QualityAlert,
     QualityMonitor, SigmundService,
 };
-use sigmund_serving::{RecSurface, ServingStore};
+use sigmund_serving::{ColdTierConfig, RecSurface, ServingStore};
 use sigmund_types::*;
 
 /// The chaos suite drives the real serde-backed publish path; in stripped
@@ -592,4 +592,186 @@ fn partitions_block_cross_cell_reads_for_their_window_only() {
     inj.begin_day(2);
     assert!(dfs.read(CellId(1), "blob").is_ok());
     assert!(inj.stats().partition_blocks >= 1);
+}
+
+/// ISSUE 9's serving-side fault posture, flash-read half: under active
+/// `read_error_rate` (Transient) and `corrupt_rate` (Corrupt/torn) faults,
+/// every cold-tier lookup either serves the last-good cached table
+/// (`FetchResult::Degraded`, counted once in `cold_misses`) or degrades to
+/// a *counted* empty answer (`misses` **and** `cold_misses` both advance) —
+/// never a panic, never a silent empty on a published retailer.
+#[test]
+fn cold_tier_read_faults_degrade_to_counted_misses() {
+    let plan = FaultPlan {
+        seed: 41,
+        read_error_rate: 0.3,
+        corrupt_rate: 0.3,
+        from_day: 1, // day 0 (publish + warm-up) stays clean
+        ..FaultPlan::default()
+    };
+    assert!(!plan.is_noop());
+    let dfs = std::sync::Arc::new(sigmund_dfs::Dfs::with_faults(plan));
+    let inj = dfs
+        .injector()
+        .expect("read-fault plan attaches an injector");
+    inj.begin_day(0);
+
+    let store = ServingStore::with_cold_tier(
+        ColdTierConfig::enabled(2, 1, 5),
+        std::sync::Arc::clone(&dfs),
+        CellId(0),
+    );
+    // Shape-stable tables: item 0's view list is always `[(ItemId(1), 1.0)]`,
+    // so any non-empty answer — fresh or degraded — is bitwise checkable.
+    let table = || -> Vec<ItemRecs> {
+        (0..8)
+            .map(|j| ItemRecs {
+                view_based: vec![(ItemId((j + 1) % 8), 1.0)],
+                purchase_based: vec![],
+            })
+            .collect()
+    };
+    let publish_all = || {
+        let batch: std::collections::BTreeMap<_, _> =
+            (0..4u32).map(|r| (RetailerId(r), table())).collect();
+        store.publish(batch);
+    };
+    publish_all();
+
+    // Clean warm-up: every retailer absorbs two flash reads, so with
+    // `admission_threshold = 1` and capacity 2 the cache fills and two
+    // retailers become resident (last-good copies the faults can fall
+    // back on).
+    for pass in 0..2 {
+        for r in 0..4u32 {
+            let v = store.lookup(RetailerId(r), ItemId(0), RecSurface::ViewBased);
+            assert_eq!(v, vec![(ItemId(1), 1.0)], "clean pass {pass} retailer {r}");
+        }
+    }
+    assert_eq!(
+        store.stats().cold_misses,
+        0,
+        "day 0 is inside the clean window"
+    );
+
+    // Day 1+: faults are live. Each round republishes (staling every cached
+    // copy — spill *writes* are clean, `write_error_rate` is 0) and then
+    // serves a burst of lookups, asserting the per-lookup accounting.
+    inj.begin_day(1);
+    let (mut degraded, mut missed, mut clean) = (0u64, 0u64, 0u64);
+    for _round in 0..6 {
+        publish_all();
+        for t in 0..40u32 {
+            let r = RetailerId(t % 4);
+            let before = store.stats();
+            let v = store.lookup(r, ItemId(0), RecSurface::ViewBased);
+            let after = store.stats();
+            if v.is_empty() {
+                missed += 1;
+                assert_eq!(after.misses, before.misses + 1, "empty answers are misses");
+                assert_eq!(
+                    after.cold_misses,
+                    before.cold_misses + 1,
+                    "an empty answer on a published retailer must be a counted \
+                     cold miss, never silent"
+                );
+            } else {
+                assert_eq!(
+                    v,
+                    vec![(ItemId(1), 1.0)],
+                    "degraded answers serve last-good bytes"
+                );
+                assert_eq!(after.hits, before.hits + 1);
+                if after.cold_misses > before.cold_misses {
+                    degraded += 1;
+                } else {
+                    clean += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        degraded > 0,
+        "some faulted refetches must serve the last-good cache"
+    );
+    assert!(
+        missed > 0,
+        "some faulted fetches have no cache to fall back on"
+    );
+    assert!(clean > 0, "hot-cache hits stay clean under read faults");
+
+    // The injector actually exercised both read-fault classes, and the
+    // tier's ledger reconciles with the store's: every degradation is
+    // visible at both layers.
+    let fs = inj.stats();
+    assert!(fs.read_errors > 0, "read_error_rate must fire");
+    assert!(fs.torn_reads > 0, "corrupt_rate must fire");
+    let s = store.stats();
+    let t = store.tier_stats().expect("tier attached");
+    assert_eq!(t.cold_misses, s.cold_misses);
+    assert_eq!(t.cold_misses, degraded + missed);
+    assert_eq!(
+        t.hot_hits + t.fetches + t.cold_misses,
+        s.requests(),
+        "every lookup on a fully-spilled store routes through the tier"
+    );
+}
+
+/// Flash-write half of the same posture: with `write_error_rate` at 1.0
+/// nothing reaches flash, so publish pins every table `Hot` in memory —
+/// lookups still answer bitwise-correctly without ever touching the tier,
+/// no data is lost, and the failures are counted in
+/// [`TierStats::spill_failures`].
+#[test]
+fn cold_tier_spill_write_faults_pin_tables_in_memory() {
+    let plan = FaultPlan {
+        seed: 7,
+        write_error_rate: 1.0,
+        ..FaultPlan::default()
+    };
+    let dfs = std::sync::Arc::new(sigmund_dfs::Dfs::with_faults(plan));
+    let inj = dfs
+        .injector()
+        .expect("write-fault plan attaches an injector");
+    inj.begin_day(0);
+
+    let store = ServingStore::with_cold_tier(
+        ColdTierConfig::enabled(2, 1, 5),
+        std::sync::Arc::clone(&dfs),
+        CellId(0),
+    );
+    let batch: std::collections::BTreeMap<_, _> = (0..3u32)
+        .map(|r| {
+            let t: Vec<ItemRecs> = (0..4)
+                .map(|j| ItemRecs {
+                    view_based: vec![(ItemId((j + 1) % 4), 0.5)],
+                    purchase_based: vec![],
+                })
+                .collect();
+            (RetailerId(r), t)
+        })
+        .collect();
+    store.publish(batch);
+
+    let t = store.tier_stats().expect("tier attached");
+    assert_eq!(t.spill_failures, 3, "every faulted spill is counted");
+    assert!(inj.stats().write_errors >= 3);
+
+    for r in 0..3u32 {
+        let v = store.lookup(RetailerId(r), ItemId(0), RecSurface::ViewBased);
+        assert_eq!(
+            v,
+            vec![(ItemId(1), 0.5)],
+            "pinned-hot tables serve from memory"
+        );
+    }
+    let s = store.stats();
+    assert_eq!(s.hits, 3);
+    assert_eq!(s.cold_misses, 0, "pinned tables never degrade");
+    let t = store.tier_stats().expect("tier attached");
+    assert_eq!(
+        t.hot_hits + t.fetches + t.cold_misses,
+        0,
+        "pinned-hot lookups never consult the tier"
+    );
 }

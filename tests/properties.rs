@@ -511,3 +511,98 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    /// ISSUE 9, hot-cache determinism: [`TierSim`]'s admission/eviction
+    /// trajectory is a pure function of `(seed, access sequence)` — two
+    /// fresh simulators fed the same sequence agree on every outcome and on
+    /// final residency, residency never exceeds capacity, and an `Admit`'s
+    /// evicted victim was actually resident the instant before.
+    #[test]
+    fn tier_cache_is_a_pure_function_of_seed_and_accesses(
+        capacity in 1usize..6,
+        threshold in 1u64..4,
+        seed in 0u64..512,
+        accesses in prop::collection::vec(0u32..12, 1..200),
+    ) {
+        use sigmund_serving::{ColdTierConfig, TierOutcome, TierSim};
+        let cfg = ColdTierConfig::enabled(capacity, threshold, seed);
+        let mut a = TierSim::new(cfg);
+        let mut b = TierSim::new(cfg);
+        for (i, &r) in accesses.iter().enumerate() {
+            let r = RetailerId(r);
+            let before = a.resident();
+            let oa = a.access(r);
+            let ob = b.access(r);
+            prop_assert_eq!(oa, ob, "step {}: replay diverged", i);
+            if let TierOutcome::Admit { evicted: Some(v) } = oa {
+                prop_assert!(
+                    before.contains(&v),
+                    "step {}: evicted {:?} was not resident",
+                    i,
+                    v
+                );
+                prop_assert!(v != r, "a retailer never evicts itself");
+            }
+            let now = a.resident();
+            prop_assert!(now.len() <= capacity, "residency exceeded capacity");
+            if matches!(oa, TierOutcome::Hit) {
+                prop_assert!(now.contains(&r), "a Hit retailer must be resident");
+            }
+        }
+        prop_assert_eq!(a.resident(), b.resident());
+    }
+
+    /// ISSUE 9, reader safety: eviction never removes a retailer mid-read.
+    /// A reader holding the `Arc` returned by [`ColdTier::fetch`] keeps
+    /// bitwise-intact bytes no matter how much churn later evicts that
+    /// retailer from the hot cache — and a refetch after eviction
+    /// round-trips the same bytes from flash.
+    #[test]
+    fn eviction_never_invalidates_a_held_table(
+        seed in 0u64..64,
+        churn in prop::collection::vec(1u32..8, 8..64),
+    ) {
+        use sigmund_dfs::Dfs;
+        use sigmund_serving::{ColdTier, ColdTierConfig, FetchResult};
+        use std::sync::Arc;
+        let tier = ColdTier::new(
+            ColdTierConfig::enabled(1, 1, seed),
+            Arc::new(Dfs::new()),
+            CellId(0),
+        );
+        let table_of = |r: u32| -> Vec<ItemRecs> {
+            (0..3)
+                .map(|j| ItemRecs {
+                    view_based: vec![(ItemId((j + r) % 3), r as f32 + 0.5)],
+                    purchase_based: vec![],
+                })
+                .collect()
+        };
+        tier.spill(RetailerId(0), 1, &table_of(0)).unwrap();
+        let held = match tier.fetch(RetailerId(0), 1) {
+            FetchResult::Table(t) => t,
+            other => panic!("clean fetch must return the table, got {other:?}"),
+        };
+        // Capacity-1 churn across other retailers evicts retailer 0.
+        for &r in &churn {
+            tier.spill(RetailerId(r), 1, &table_of(r)).unwrap();
+            prop_assert!(!matches!(
+                tier.fetch(RetailerId(r), 1),
+                FetchResult::Miss | FetchResult::Degraded(_)
+            ));
+        }
+        prop_assert!(
+            !tier.resident().contains(&RetailerId(0)),
+            "churn must have evicted the held retailer"
+        );
+        // The reader's copy is untouched by eviction...
+        prop_assert_eq!(held.as_ref(), &table_of(0));
+        // ...and the flash blob still round-trips bitwise after eviction.
+        let refetched = match tier.fetch(RetailerId(0), 1) {
+            FetchResult::Table(t) => t,
+            other => panic!("refetch after eviction must hit flash, got {other:?}"),
+        };
+        prop_assert_eq!(refetched.as_ref(), &table_of(0));
+    }
+}

@@ -85,7 +85,10 @@ impl Default for Policy {
                 "crates/bench/src/bin/t2_sampled_map.rs".into(),
                 "crates/bench/src/bin/t8_hogwild.rs".into(),
             ],
-            atomics_allow: vec!["crates/core/src/storage.rs".into()],
+            atomics_allow: vec![
+                "crates/core/src/storage.rs".into(),
+                "crates/serving/src/shard.rs".into(),
+            ],
             library_crates: vec![
                 "types".into(),
                 "datagen".into(),
@@ -101,6 +104,7 @@ impl Default for Policy {
             dot_seam_exempt: vec!["crates/core/src/model.rs".into()],
             parse_paths: vec![
                 "crates/core/src/snapshot.rs".into(),
+                "crates/core/src/recs_codec.rs".into(),
                 "crates/dfs/src/".into(),
                 "crates/types/src/hash.rs".into(),
             ],
@@ -723,6 +727,9 @@ mod tests {
     fn atomics_only_in_storage() {
         let src = "use std::sync::atomic::AtomicU32;";
         assert!(violations("crates/core/src/storage.rs", src).is_empty());
+        // The sharded serving frontend's swap seam is the second audited
+        // lock-free module; the rest of the serving crate stays fenced.
+        assert!(violations("crates/serving/src/shard.rs", src).is_empty());
         let v = violations("crates/serving/src/lib.rs", src);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "atomics-scope");

@@ -25,12 +25,17 @@ fn main() -> ExitCode {
             eprintln!("      root; --rule restricts the run to the named rules (repeatable).");
             eprintln!("  rules");
             eprintln!("      Prints the registered rule catalog (see DESIGN.md §6).");
-            eprintln!("  bench-gate [<path>] [--min <speedup>]");
+            eprintln!(
+                "  bench-gate [<path>] [--min <speedup>] [--min-hit <rate>] [--min-qps <qps>]"
+            );
             eprintln!("      Fails if any fast-path row of BENCH_infer.json (default");
             eprintln!("      results/BENCH_infer.json) is slower than the reference path.");
-            eprintln!("      A path whose file name contains `fleet` is gated on the");
-            eprintln!("      BENCH_fleet schema instead: every row's peak_logical_bytes");
-            eprintln!("      must stay within its sublinear_bound_bytes.");
+            eprintln!("      A path whose file name contains `serve` is gated on the");
+            eprintln!("      BENCH_serve schema instead: every row's hot_hit_rate must");
+            eprintln!("      reach --min-hit (default 0.5) and its qps_per_thread must");
+            eprintln!("      reach --min-qps (default 10000). A name containing `fleet`");
+            eprintln!("      is gated on the BENCH_fleet schema: every row's");
+            eprintln!("      peak_logical_bytes must stay within its sublinear_bound_bytes.");
             ExitCode::from(2)
         }
     }
@@ -146,17 +151,21 @@ fn rules_cmd() -> ExitCode {
 }
 
 /// Gate on a committed `BENCH_*.json` report. The schema is dispatched on
-/// the file name: names containing `fleet` are validated as BENCH_fleet
-/// (every row's `peak_logical_bytes` must stay within its
-/// `sublinear_bound_bytes` — the bounded-memory invariant of DESIGN.md
-/// §12); everything else as BENCH_infer (every `"path": "fast"` row must
-/// hit at least `--min`, default 1.0, speedup over the reference path).
-/// Both parsers are dependency-free scans over the flat row objects the
-/// bench binaries write — schema drift (no recognizable rows) is an error,
-/// not a pass.
+/// the file name: names containing `serve` are validated as BENCH_serve
+/// (every row's `hot_hit_rate` must reach `--min-hit` and its
+/// `qps_per_thread` must reach `--min-qps` — the serving-frontend floors of
+/// DESIGN.md §13); names containing `fleet` as BENCH_fleet (every row's
+/// `peak_logical_bytes` must stay within its `sublinear_bound_bytes` — the
+/// bounded-memory invariant of DESIGN.md §12); everything else as
+/// BENCH_infer (every `"path": "fast"` row must hit at least `--min`,
+/// default 1.0, speedup over the reference path). All parsers are
+/// dependency-free scans over the flat row objects the bench binaries
+/// write — schema drift (no recognizable rows) is an error, not a pass.
 fn bench_gate_cmd(args: &[String]) -> ExitCode {
     let mut path: Option<PathBuf> = None;
     let mut min = 1.0f64;
+    let mut min_hit = 0.5f64;
+    let mut min_qps = 10_000.0f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -164,6 +173,20 @@ fn bench_gate_cmd(args: &[String]) -> ExitCode {
                 Some(v) => min = v,
                 None => {
                     eprintln!("--min requires a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--min-hit" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(v) => min_hit = v,
+                None => {
+                    eprintln!("--min-hit requires a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--min-qps" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(v) => min_qps = v,
+                None => {
+                    eprintln!("--min-qps requires a number");
                     return ExitCode::from(2);
                 }
             },
@@ -185,11 +208,14 @@ fn bench_gate_cmd(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let is_fleet = path
+    let name = path
         .file_name()
-        .map(|n| n.to_string_lossy().to_lowercase().contains("fleet"))
-        .unwrap_or(false);
-    if is_fleet {
+        .map(|n| n.to_string_lossy().to_lowercase())
+        .unwrap_or_default();
+    if name.contains("serve") {
+        return serve_gate(&json, &path, min_hit, min_qps);
+    }
+    if name.contains("fleet") {
         return fleet_gate(&json, &path);
     }
     let rows = fast_rows(&json);
@@ -219,6 +245,75 @@ fn bench_gate_cmd(args: &[String]) -> ExitCode {
         );
         ExitCode::SUCCESS
     }
+}
+
+/// Gate for the BENCH_serve schema: every row must carry `n_retailers`,
+/// `qps_per_thread`, and `hot_hit_rate` (a row with any missing is dropped;
+/// zero recognizable rows is schema drift → exit 2). A row fails when its
+/// hot-tier hit rate is below `min_hit` or its per-thread QPS is below
+/// `min_qps` — the replay regressed either cache behaviour or raw
+/// concurrent read throughput.
+fn serve_gate(json: &str, path: &std::path::Path, min_hit: f64, min_qps: f64) -> ExitCode {
+    let rows = serve_rows(json);
+    if rows.is_empty() {
+        eprintln!(
+            "xtask bench-gate: no rows with n_retailers/qps_per_thread/hot_hit_rate in {}",
+            path.display()
+        );
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for (retailers, qps, hot) in &rows {
+        let ok = *hot >= min_hit && *qps >= min_qps;
+        if !ok {
+            failed = true;
+        }
+        println!(
+            "  {retailers} retailer(s): {qps:.0} qps/thread (floor {min_qps:.0}), hot-tier hit rate {hot:.3} (floor {min_hit:.3}) [{}]",
+            if ok { "ok" } else { "FAIL" }
+        );
+    }
+    if failed {
+        println!("xtask bench-gate: serving replay below its qps/hit-rate floor");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "xtask bench-gate: OK ({} serve row(s) above both floors)",
+            rows.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+/// Extracts `(n_retailers, qps_per_thread, hot_hit_rate)` from each flat
+/// row object of bench_serve's JSON output. Rows missing any of the three
+/// fields are dropped (the caller treats an empty result as schema drift).
+fn serve_rows(json: &str) -> Vec<(u64, f64, f64)> {
+    let mut rows = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, c) in json.char_indices() {
+        match c {
+            '{' => start = Some(i),
+            '}' => {
+                if let Some(s) = start.take() {
+                    let compact: String =
+                        json[s..=i].chars().filter(|c| !c.is_whitespace()).collect();
+                    let Some(qps) = field_number(&compact, "qps_per_thread") else {
+                        continue;
+                    };
+                    let Some(hot) = field_number(&compact, "hot_hit_rate") else {
+                        continue;
+                    };
+                    let Some(retailers) = field_number(&compact, "n_retailers") else {
+                        continue;
+                    };
+                    rows.push((retailers as u64, qps, hot));
+                }
+            }
+            _ => {}
+        }
+    }
+    rows
 }
 
 /// Gate for the BENCH_fleet schema: every row must carry both
@@ -445,6 +540,63 @@ mod tests {
         let drifted = FLEET_REPORT.replace("sublinear_bound_bytes", "bound");
         assert!(fleet_rows(&drifted).is_empty());
         assert!(fleet_rows("{}").is_empty());
+    }
+
+    /// The exact shape `bench_serve` writes.
+    const SERVE_REPORT: &str = r#"{
+      "bench": "serve_replay",
+      "mode": "smoke",
+      "rows": [
+        {
+          "n_retailers": 200,
+          "requests": 20000,
+          "serve_threads": 4,
+          "qps_per_thread": 24000.5,
+          "hit_rate": 0.94,
+          "hot_hit_rate": 0.76,
+          "p99_virtual_ms": 1.2,
+          "cold_misses": 0
+        },
+        {
+          "n_retailers": 400,
+          "requests": 100000,
+          "serve_threads": 4,
+          "qps_per_thread": 42000.1,
+          "hit_rate": 0.94,
+          "hot_hit_rate": 0.81,
+          "p99_virtual_ms": 1.0,
+          "cold_misses": 0
+        }
+      ]
+    }"#;
+
+    #[test]
+    fn serve_rows_reads_qps_and_hit_rate() {
+        let rows = serve_rows(SERVE_REPORT);
+        assert_eq!(rows, vec![(200, 24000.5, 0.76), (400, 42000.1, 0.81)]);
+    }
+
+    #[test]
+    fn serve_rows_is_empty_on_schema_drift() {
+        // A renamed field must read as "no rows" (exit 2 in the gate), never
+        // as a silent pass.
+        let drifted = SERVE_REPORT.replace("hot_hit_rate", "hot_rate");
+        assert!(serve_rows(&drifted).is_empty());
+        let drifted = SERVE_REPORT.replace("qps_per_thread", "qps");
+        assert!(serve_rows(&drifted).is_empty());
+        assert!(serve_rows("{}").is_empty());
+    }
+
+    #[test]
+    fn serve_gate_trips_on_either_floor() {
+        // Both floors bind per row: a cold cache fails even at high QPS and
+        // a slow replay fails even with a warm cache.
+        let rows = serve_rows(SERVE_REPORT);
+        assert!(rows.iter().all(|(_, q, h)| *q >= 10_000.0 && *h >= 0.5));
+        let cold = serve_rows(&SERVE_REPORT.replace("0.76", "0.31"));
+        assert!(cold.iter().any(|(_, _, h)| *h < 0.5));
+        let slow = serve_rows(&SERVE_REPORT.replace("42000.1", "900.0"));
+        assert!(slow.iter().any(|(_, q, _)| *q < 10_000.0));
     }
 
     #[test]

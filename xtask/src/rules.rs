@@ -202,8 +202,8 @@ pub static REGISTRY: &[RuleDescriptor] = &[
     RuleDescriptor {
         name: "atomics-scope",
         severity: Severity::Error,
-        proves: "std::sync::atomic appears only in the audited Hogwild module",
-        guards: "loom coverage: every racy interleaving lives in one model-checked file",
+        proves: "std::sync::atomic appears only in the audited lock-free modules",
+        guards: "loom coverage: every racy interleaving lives in a model-checked file",
         test_code: TestCode::Skipped,
         applies: applies_atomics,
         scan: Scan::PerFile(scan_atomics),
@@ -394,7 +394,7 @@ fn scan_atomics(ctx: &FileCtx) -> Vec<(usize, String)> {
         if ident(t, i) == Some("sync") && path_sep(t, i + 1) && ident(t, i + 3) == Some("atomic") {
             out.push((
                 i,
-                "`std::sync::atomic` outside crates/core/src/storage.rs — keep lock-free code in one audited module"
+                "`std::sync::atomic` outside the audited lock-free modules (core/storage.rs, serving/shard.rs) — keep atomics fenced"
                     .to_string(),
             ));
         }
