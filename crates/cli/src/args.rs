@@ -13,21 +13,13 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses `argv` (without the program name).
+    /// Parses `argv` (without the program name). Flags named in `switches`
+    /// are booleans that take no value (`--trace`); they parse as `"true"`
+    /// so [`Args::get`] reads them with a `false` default.
     ///
     /// # Errors
     /// Returns a human-readable message for a missing subcommand, a flag
     /// without a value, or a non-flag token in flag position.
-    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, String> {
-        Self::parse_with_switches(argv, &[])
-    }
-
-    /// Like [`Args::parse`], but flags named in `switches` are booleans that
-    /// take no value (`--trace`); they parse as `"true"` so
-    /// [`Args::get`] reads them with a `false` default.
-    ///
-    /// # Errors
-    /// Same conditions as [`Args::parse`].
     pub fn parse_with_switches<I: IntoIterator<Item = String>>(
         argv: I,
         switches: &[&str],
@@ -97,9 +89,13 @@ mod tests {
         s.split_whitespace().map(String::from).collect()
     }
 
+    fn parse(argv: Vec<String>) -> Result<Args, String> {
+        Args::parse_with_switches(argv, &[])
+    }
+
     #[test]
     fn parses_command_and_flags() {
-        let a = Args::parse(argv("simulate --retailers 5 --days 2")).unwrap();
+        let a = parse(argv("simulate --retailers 5 --days 2")).unwrap();
         assert_eq!(a.command, "simulate");
         assert_eq!(a.get("retailers", 0usize).unwrap(), 5);
         assert_eq!(a.get("days", 0u32).unwrap(), 2);
@@ -108,23 +104,23 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        assert!(Args::parse(argv("")).is_err());
-        assert!(Args::parse(argv("--flag first")).is_err());
-        assert!(Args::parse(argv("cmd --dangling")).is_err());
-        assert!(Args::parse(argv("cmd stray")).is_err());
-        assert!(Args::parse(argv("cmd --a 1 --a 2")).is_err());
+        assert!(parse(argv("")).is_err());
+        assert!(parse(argv("--flag first")).is_err());
+        assert!(parse(argv("cmd --dangling")).is_err());
+        assert!(parse(argv("cmd stray")).is_err());
+        assert!(parse(argv("cmd --a 1 --a 2")).is_err());
     }
 
     #[test]
     fn type_errors_are_reported() {
-        let a = Args::parse(argv("cmd --n notanumber")).unwrap();
+        let a = parse(argv("cmd --n notanumber")).unwrap();
         let e = a.get("n", 0usize).unwrap_err();
         assert!(e.contains("--n"));
     }
 
     #[test]
     fn unknown_flags_are_caught() {
-        let a = Args::parse(argv("cmd --good 1 --bad 2")).unwrap();
+        let a = parse(argv("cmd --good 1 --bad 2")).unwrap();
         assert!(a.ensure_known(&["good"]).is_err());
         assert!(a.ensure_known(&["good", "bad"]).is_ok());
     }
@@ -145,7 +141,7 @@ mod tests {
 
     #[test]
     fn get_str_round_trips() {
-        let a = Args::parse(argv("cmd --name hello")).unwrap();
+        let a = parse(argv("cmd --name hello")).unwrap();
         assert_eq!(a.get_str("name"), Some("hello"));
         assert_eq!(a.get_str("other"), None);
     }

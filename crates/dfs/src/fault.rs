@@ -31,6 +31,8 @@ pub struct FaultStats {
     pub partition_blocks: u64,
     /// Silent single-bit flips injected into stored payloads at write time.
     pub bit_flips: u64,
+    /// Kill-points fired (0 or 1 per injector: a crash is sticky).
+    pub crashes: u64,
 }
 
 /// What the injector decided for one `read`.
@@ -44,6 +46,8 @@ pub enum ReadFault {
     Torn,
     /// The read crosses an active partition boundary: fail it.
     Partitioned,
+    /// The process is (now) dead: fail with the sticky crash error.
+    Crashed,
 }
 
 /// What the injector decided for one `write`.
@@ -60,12 +64,22 @@ pub enum WriteFault {
         /// Seed-derived hash selecting which bit to flip.
         entropy: u64,
     },
+    /// The process is (now) dead: fail with the sticky crash error; nothing
+    /// is stored.
+    Crashed,
 }
 
 #[derive(Debug)]
 struct FaultState {
     day: u32,
     ops: u64,
+    /// Storage operations seen since the current day's `begin_day` — the
+    /// kill-point index space. Separate from `ops` (the rate-class draw
+    /// counter) so arming a crash never shifts which ops the rate classes
+    /// fault.
+    kill_ops: u64,
+    /// Sticky: set when the kill-point fires; every later op fails.
+    crashed: bool,
     stats: FaultStats,
 }
 
@@ -108,6 +122,8 @@ impl FaultInjector {
             state: Mutex::new(FaultState {
                 day: 0,
                 ops: 0,
+                kill_ops: 0,
+                crashed: false,
                 stats: FaultStats::default(),
             }),
         }
@@ -122,7 +138,49 @@ impl FaultInjector {
     /// at the start of each simulated day; day windows in the plan are
     /// evaluated against this.
     pub fn begin_day(&self, day: u32) {
-        self.state.lock().day = day;
+        let mut st = self.state.lock();
+        st.day = day;
+        // The kill-point op index is scoped to a day, so `crash_at: (d, k)`
+        // means "the k-th storage op after day d begins".
+        st.kill_ops = 0;
+    }
+
+    /// True once the kill-point has fired: the simulated process is dead and
+    /// every storage operation fails with `SigmundError::Crashed`.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().crashed
+    }
+
+    /// Kill-point gate, consulted first by every storage operation (reads,
+    /// writes, renames, deletes). Returns `true` if this operation must fail
+    /// with the sticky crash error. Consumes no randomness and touches no
+    /// rate-class counters, so arming a crash cannot perturb any other fault
+    /// class's decisions.
+    fn crash_gate(&self, st: &mut FaultState) -> bool {
+        if st.crashed {
+            return true;
+        }
+        let Some((day, at_op)) = self.plan.crash_at else {
+            return false;
+        };
+        if st.day != day {
+            return false;
+        }
+        let op = st.kill_ops;
+        st.kill_ops += 1;
+        if op == at_op {
+            st.crashed = true;
+            st.stats.crashes += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Crash gate for metadata operations (rename, delete), which no rate
+    /// class touches. Returns `true` if the op must fail as crashed.
+    pub(crate) fn on_meta_op(&self) -> bool {
+        let mut st = self.state.lock();
+        self.crash_gate(&mut st)
     }
 
     /// Injected-fault totals so far.
@@ -145,6 +203,9 @@ impl FaultInjector {
     /// homed in `home`.
     pub(crate) fn on_read(&self, reader: CellId, home: CellId) -> ReadFault {
         let mut st = self.state.lock();
+        if self.crash_gate(&mut st) {
+            return ReadFault::Crashed;
+        }
         let day = st.day;
         // Partitions are deterministic (no draw): any read crossing the
         // boundary of a partitioned cell is blocked for the whole window.
@@ -187,6 +248,9 @@ impl FaultInjector {
     /// before the class existed.
     pub(crate) fn on_write(&self) -> WriteFault {
         let mut st = self.state.lock();
+        if self.crash_gate(&mut st) {
+            return WriteFault::Crashed;
+        }
         if !self.plan.active_on(st.day) {
             return WriteFault::None;
         }
@@ -369,6 +433,60 @@ mod tests {
         inj.begin_day(1);
         assert_eq!(inj.on_read(CellId(0), CellId(1)), ReadFault::None);
         assert_eq!(inj.stats().partition_blocks, 2);
+    }
+
+    #[test]
+    fn crash_fires_at_the_exact_op_and_sticks() {
+        let p = FaultPlan {
+            crash_at: Some((0, 2)),
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(p);
+        // Ops 0 and 1 pass, op 2 crashes, and everything after stays dead —
+        // including metadata ops retries cannot absorb.
+        assert_eq!(inj.on_read(CellId(0), CellId(0)), ReadFault::None);
+        assert_eq!(inj.on_write(), WriteFault::None);
+        assert!(!inj.crashed());
+        assert_eq!(inj.on_write(), WriteFault::Crashed);
+        assert!(inj.crashed());
+        assert_eq!(inj.on_read(CellId(0), CellId(0)), ReadFault::Crashed);
+        assert!(inj.on_meta_op());
+        assert_eq!(inj.stats().crashes, 1, "a sticky crash counts once");
+    }
+
+    #[test]
+    fn crash_op_index_is_scoped_to_its_day() {
+        let p = FaultPlan {
+            crash_at: Some((1, 1)),
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(p);
+        // Day 0 ops never trip a day-1 kill-point.
+        for _ in 0..10 {
+            assert_eq!(inj.on_write(), WriteFault::None);
+        }
+        inj.begin_day(1);
+        assert_eq!(inj.on_write(), WriteFault::None);
+        assert_eq!(inj.on_write(), WriteFault::Crashed);
+    }
+
+    #[test]
+    fn armed_crash_does_not_shift_rate_class_decisions() {
+        let run = |crash_at| {
+            let p = FaultPlan {
+                crash_at,
+                ..plan(0.3, 0.3, 0.1)
+            };
+            let inj = FaultInjector::new(p);
+            let mut log = Vec::new();
+            for _ in 0..50 {
+                log.push((inj.on_read(CellId(0), CellId(0)), inj.on_write()));
+            }
+            log
+        };
+        // A kill-point far beyond the op count leaves every rate-class
+        // decision exactly where the unarmed plan put it.
+        assert_eq!(run(None), run(Some((0, 1_000_000))));
     }
 
     #[test]

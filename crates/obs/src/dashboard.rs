@@ -92,6 +92,8 @@ pub struct Dashboard {
     feed: Vec<String>,
     /// Events the subscriber lost to ring eviction (see `note_lost`).
     lost: u64,
+    /// Last crash–restart recovery seen: `(day resumed, mid_day)`.
+    recovered: Option<(u32, bool)>,
 }
 
 impl Dashboard {
@@ -247,6 +249,19 @@ impl Dashboard {
                 let total = self.serve_gauges.map(|(.., c)| c).unwrap_or(0) + cold_misses;
                 self.serve_gauges = Some((*qps, *hit_rate, *hot_hit_rate, total));
             }
+            HealthEvent::Recovered { day, mid_day, .. } => {
+                self.day = self.day.max(*day);
+                self.recovered = Some((*day, *mid_day));
+                let line = if *mid_day {
+                    format!("d{day} pipeline recovered (re-running day {day})")
+                } else {
+                    format!("d{day} pipeline recovered (clean day boundary)")
+                };
+                self.feed.push(line);
+                if self.feed.len() > FEED_DEPTH {
+                    self.feed.remove(0);
+                }
+            }
         }
     }
 
@@ -280,6 +295,19 @@ impl Dashboard {
             self.expected_generation,
             self.max_retailer_lag
         );
+        if let Some((day, mid_day)) = self.recovered {
+            let badge = if ansi {
+                "\x1b[36mRECOVERED\x1b[0m"
+            } else {
+                "RECOVERED"
+            };
+            let detail = if mid_day {
+                format!("resumed mid-day {day}")
+            } else {
+                format!("restarted at day {day}")
+            };
+            let _ = writeln!(out, "{badge}: {detail} from the day journal");
+        }
         if let Some((retailers, makespan_s, peak_bytes)) = self.fleet_gauges {
             // Virtual throughput: how many retailers this day's makespan
             // would sustain per 24h of cluster time.
@@ -641,6 +669,36 @@ mod tests {
         assert_eq!(fmt_bytes(999), "999 B");
         assert_eq!(fmt_bytes(2048), "2.0 KiB");
         assert_eq!(fmt_bytes(5 * 1024 * 1024 * 1024), "5.0 GiB");
+    }
+
+    #[test]
+    fn recovery_renders_badge_and_feed_line() {
+        let mut dash = Dashboard::new();
+        assert!(
+            !dash.render(false).contains("RECOVERED"),
+            "no badge before a recovery event"
+        );
+        dash.apply(&HealthEvent::Recovered {
+            ts: 172_800.0,
+            day: 2,
+            mid_day: true,
+        });
+        let frame = dash.render(false);
+        assert!(
+            frame.contains("RECOVERED: resumed mid-day 2 from the day journal"),
+            "frame was:\n{frame}"
+        );
+        assert!(frame.contains("d2 pipeline recovered (re-running day 2)"));
+        assert!(frame.contains("day   2"), "recovery advances the day");
+        // A clean-boundary recovery renders the other wording.
+        dash.apply(&HealthEvent::Recovered {
+            ts: 259_200.0,
+            day: 3,
+            mid_day: false,
+        });
+        let frame = dash.render(false);
+        assert!(frame.contains("RECOVERED: restarted at day 3 from the day journal"));
+        assert!(frame.contains("d3 pipeline recovered (clean day boundary)"));
     }
 
     #[test]

@@ -191,6 +191,19 @@ pub enum HealthEvent {
         /// (0 when the ledger is disabled).
         peak_logical_bytes: u64,
     },
+    /// The pipeline came back from a crash: a restarted process rebuilt its
+    /// state from the durable day journal (DESIGN.md §14). Distinct from
+    /// [`AlertKind::Recovered`], which is a per-retailer *quality*
+    /// transition — this is the whole service surviving a kill-point.
+    Recovered {
+        /// Virtual time the recovered service resumed at (the interrupted
+        /// day's start when `mid_day`, else the last sealed day's end).
+        ts: f64,
+        /// The day the recovered service will run next.
+        day: u32,
+        /// True iff a day was interrupted mid-run and will be re-executed.
+        mid_day: bool,
+    },
     /// Query-traffic gauges over one observation window of the serving
     /// frontend (DESIGN.md §13).
     ServeLoad {
@@ -224,6 +237,7 @@ impl HealthEvent {
             | HealthEvent::Rollback { ts, .. }
             | HealthEvent::ServingLag { ts, .. }
             | HealthEvent::Fleet { ts, .. }
+            | HealthEvent::Recovered { ts, .. }
             | HealthEvent::ServeLoad { ts, .. } => *ts,
         }
     }
@@ -540,8 +554,13 @@ mod tests {
                 makespan_s: 1.0,
                 peak_logical_bytes: 0,
             },
-            HealthEvent::ServeLoad {
+            HealthEvent::Recovered {
                 ts: 11.0,
+                day: 1,
+                mid_day: true,
+            },
+            HealthEvent::ServeLoad {
+                ts: 12.0,
                 requests: 1,
                 qps: 1.0,
                 hit_rate: 1.0,

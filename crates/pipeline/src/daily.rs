@@ -22,6 +22,7 @@ use crate::cost_model::CostModel;
 use crate::data;
 use crate::infer_job::{make_splits, InferenceJob, MaterializedRec};
 use crate::integrity::{IntegrityConfig, RejectReason};
+use crate::journal::{self, DayManifest, Phase};
 use crate::sweep;
 use crate::train_job::TrainJob;
 use sigmund_cluster::{CellSpec, CostMeter, PreemptionModel, Priority};
@@ -90,6 +91,14 @@ pub struct PipelineConfig {
     /// The disabled default records nothing; [`ByteLedger::tracking`] makes
     /// peak footprint a deterministic gauge (never wall-clock RSS).
     pub ledger: ByteLedger,
+    /// Durable day journal for crash–restart recovery (DESIGN.md §14): a
+    /// checksummed manifest under `/journal/` rewritten at every phase
+    /// boundary of [`SigmundService::run_day`], plus per-retailer publish
+    /// markers, so [`SigmundService::recover`] can rebuild the service and
+    /// re-run an interrupted day byte-identically. The `false` default
+    /// writes nothing and is byte-invisible; even when enabled the journal
+    /// emits no obs events, so traces are unchanged.
+    pub journal: bool,
 }
 
 impl Default for PipelineConfig {
@@ -116,6 +125,7 @@ impl Default for PipelineConfig {
             bus: HealthBus::disabled(),
             stream_recs: false,
             ledger: ByteLedger::disabled(),
+            journal: false,
         }
     }
 }
@@ -182,6 +192,31 @@ pub struct SigmundService {
     /// DFS integrity totals at the end of the previous day (delta source
     /// for the per-day `integrity.*` counters).
     integrity_seen: IntegrityStats,
+    /// Retailers whose recommendation tables the interrupted day already
+    /// published durably (from the journal's publish markers): the resumed
+    /// day re-computes everything but skips re-writing exactly these blobs.
+    /// Cleared after the resumed day's publish phase; empty outside
+    /// recovery.
+    resume_publish_done: BTreeSet<RetailerId>,
+}
+
+/// What [`SigmundService::recover`] rebuilt from durable state.
+pub struct Recovered {
+    /// The recovered service, ready to run its next day.
+    pub service: SigmundService,
+    /// True iff a day was interrupted mid-run: the caller must call
+    /// [`SigmundService::run_day`] to re-execute it (completed phases are
+    /// deterministic overwrites; already-published tables are skipped via
+    /// the journal's publish markers).
+    pub mid_day: bool,
+    /// The day the next [`SigmundService::run_day`] call will run — the
+    /// interrupted day when `mid_day`, otherwise the first fresh day.
+    pub day: u32,
+    /// The driver's opaque payload from the last sealed day (see
+    /// [`SigmundService::seal_day`] and [`crate::journal::pack_ops`]):
+    /// monitor and serving metadata the pipeline itself never parses.
+    /// `None` when no day has been sealed yet.
+    pub ops_state: Option<Vec<u8>>,
 }
 
 impl SigmundService {
@@ -208,6 +243,7 @@ impl SigmundService {
             fault_stats_seen: FaultStats::default(),
             last_accepted_map: Vec::new(),
             integrity_seen: IntegrityStats::default(),
+            resume_publish_done: BTreeSet::new(),
         }
     }
 
@@ -303,6 +339,39 @@ impl SigmundService {
         if let Some(inj) = self.dfs.injector() {
             inj.begin_day(self.day);
         }
+        // --- day-start journal ---------------------------------------------
+        // Snapshot the day's *inputs* before anything mutates them (the
+        // sweep clears `new_since_last_run` below): recovery re-executes an
+        // interrupted day from this snapshot, and deterministic overwrites
+        // make the re-run idempotent (DESIGN.md §14).
+        let mut manifest = if self.cfg.journal {
+            Some(self.manifest_now(Phase::Planned))
+        } else {
+            None
+        };
+        self.journal_mark(manifest.as_mut(), Phase::Planned)?;
+        // --- model-generation GC ------------------------------------------
+        // Retire model blobs nothing references any more. Carried records
+        // (including carry-forwards for degraded retailers) pin exactly the
+        // day-stamped generations today's warm starts still read; anything
+        // else is a superseded generation from two or more days ago. Running
+        // the sweep at day *start* (not day end) is load-bearing for crash
+        // recovery: a partially applied GC can only have deleted blobs the
+        // re-run never reads, so recovery's own referenced-set GC converges
+        // to the same tree (DESIGN.md §14).
+        let referenced: BTreeSet<&str> = self
+            .last_outputs
+            .iter()
+            .map(|r| r.model_path.as_str())
+            .collect();
+        for path in self.dfs.list("/models/") {
+            if !referenced.contains(path.as_str()) {
+                // xtask: allow(error-swallow) — GC of a superseded model generation is best-effort; an undeletable blob is retried at the next day boundary, and a crash fault is caught by the check below
+                let _ = self.dfs.delete(&path);
+            }
+        }
+        drop(referenced);
+        self.check_crash("model gc")?;
         // --- sweep --------------------------------------------------------
         let new_catalogs: Vec<Catalog> = self
             .new_since_last_run
@@ -310,7 +379,7 @@ impl SigmundService {
             .filter_map(|r| data::load_catalog(&self.dfs, self.cfg.cells[0].cell, *r).ok())
             .collect();
         let new_refs: Vec<&Catalog> = new_catalogs.iter().collect();
-        let records = sweep::incremental_sweep(
+        let mut records = sweep::incremental_sweep(
             &self.last_outputs,
             self.cfg.keep_top,
             self.cfg.incremental_epochs,
@@ -318,6 +387,15 @@ impl SigmundService {
             &self.cfg.grid,
             day_seed,
         );
+        // Stamp today's output location into every planned record. The sweep
+        // copied `warm_start_path` from yesterday's (already day-stamped)
+        // `model_path` before this loop runs, so only where today's blob
+        // lands moves — never where the warm start reads from. Without the
+        // stamp the two would alias and a mid-day crash after the model
+        // write would poison the recovery re-run (DESIGN.md §14).
+        for rec in &mut records {
+            rec.model_path = data::model_path(rec.model.retailer, rec.model.config, self.day);
+        }
         let warm_models = records
             .iter()
             .filter(|r| r.warm_start_path.is_some())
@@ -336,6 +414,8 @@ impl SigmundService {
         );
         self.new_since_last_run.clear();
         let models_trained = records.len();
+        self.check_crash("sweep")?;
+        self.journal_mark(manifest.as_mut(), Phase::SweepPlanned)?;
 
         // --- assign retailers (and their records) to cells -----------------
         // Pack retailers by estimated training work, then migrate their data
@@ -454,6 +534,8 @@ impl SigmundService {
             phase: "train",
             makespan_s: train_makespan,
         });
+        self.check_crash("train")?;
+        self.journal_mark(manifest.as_mut(), Phase::Trained)?;
 
         // --- model selection -----------------------------------------------
         let mut best: BTreeMap<RetailerId, ConfigRecord> = sweep::top_k_per_retailer(&outputs, 1)
@@ -505,6 +587,8 @@ impl SigmundService {
                 }
             }
         }
+        self.check_crash("selection")?;
+        self.journal_mark(manifest.as_mut(), Phase::Selected)?;
 
         // --- inference MapReduces ------------------------------------------
         // Bin-pack retailers by *item count* (Section IV-C1), then one job
@@ -590,6 +674,8 @@ impl SigmundService {
             phase: "infer",
             makespan_s: infer_makespan,
         });
+        self.check_crash("infer")?;
+        self.journal_mark(manifest.as_mut(), Phase::Inferred)?;
 
         // --- graceful degradation -------------------------------------------
         // A retailer whose model selection or inference exhausted its fault
@@ -661,20 +747,30 @@ impl SigmundService {
                 }
                 let _charge = self.cfg.ledger.charge(data::recs_logical_bytes(&table));
                 let blob = data::encode_recs(&table);
-                let mut published = false;
+                // A resumed day skips exactly the tables the crashed run
+                // already made durable (journal publish markers); the
+                // re-computed bytes are identical, so skipping the write
+                // changes nothing but the op count.
+                let already_durable = self.resume_publish_done.contains(&r);
+                let mut published = already_durable;
                 for _ in 0..3 {
+                    if published {
+                        break;
+                    }
                     if self
                         .dfs
                         .write(self.cfg.cells[0].cell, &data::recs_path(r), blob.clone())
                         .is_ok()
                     {
                         published = true;
-                        break;
                     }
                 }
                 if !published {
                     degraded.push(r);
                     continue;
+                }
+                if !already_durable {
+                    self.journal_publish_marker(manifest.is_some(), r);
                 }
                 recs_published += n as u64;
                 obs.instant(
@@ -687,13 +783,17 @@ impl SigmundService {
                 );
             }
             // Part blobs are scratch: sweep them all (including leftovers
-            // from degraded or failed retailers) so they never accumulate
-            // across days.
+            // from degraded or failed retailers, and any orphaned `/TMP`
+            // siblings a crashed writer left behind) so they never
+            // accumulate across days.
             for &(r, n) in &self.retailers {
                 let mut start = 0usize;
                 while start < n {
+                    let part = data::recs_part_path(r, start as u32);
                     // xtask: allow(error-swallow) — deleting a part that was never written (failed split) is expected
-                    let _ = self.dfs.delete(&data::recs_part_path(r, start as u32));
+                    let _ = self.dfs.delete(&part);
+                    // xtask: allow(error-swallow) — the TMP sibling only exists if a writer crashed mid-publish
+                    let _ = self.dfs.delete(&format!("{part}/TMP"));
                     start += self.cfg.items_per_split;
                 }
             }
@@ -717,9 +817,14 @@ impl SigmundService {
                     .map_err(|e| SigmundError::Invalid(format!("recs serialize: {e}")))?;
                 // Injected write faults are transient: retry a few times, then
                 // degrade the retailer (previous generation stays live) rather
-                // than fail the whole day.
-                let mut published = false;
+                // than fail the whole day. A resumed day skips the tables the
+                // crashed run already made durable (journal publish markers).
+                let already_durable = self.resume_publish_done.contains(r);
+                let mut published = already_durable;
                 for _ in 0..3 {
+                    if published {
+                        break;
+                    }
                     if self
                         .dfs
                         .write(
@@ -730,12 +835,14 @@ impl SigmundService {
                         .is_ok()
                     {
                         published = true;
-                        break;
                     }
                 }
                 if !published {
                     degraded.push(*r);
                     continue;
+                }
+                if !already_durable {
+                    self.journal_publish_marker(manifest.is_some(), *r);
                 }
                 recs_published += v.len() as u64;
                 obs.instant(
@@ -748,6 +855,10 @@ impl SigmundService {
                 );
             }
         }
+        self.check_crash("publish")?;
+        self.journal_mark(manifest.as_mut(), Phase::Published)?;
+        // The resume skip-set only ever applies to the recovered day.
+        self.resume_publish_done.clear();
         degraded.sort_unstable();
         for r in &degraded {
             recs.remove(r);
@@ -773,6 +884,7 @@ impl SigmundService {
                 torn_reads: s.torn_reads - prev.torn_reads,
                 partition_blocks: s.partition_blocks - prev.partition_blocks,
                 bit_flips: s.bit_flips - prev.bit_flips,
+                crashes: s.crashes - prev.crashes,
             };
             obs.counter("chaos.read_errors", fault_delta.read_errors);
             obs.counter("chaos.write_errors", fault_delta.write_errors);
@@ -888,6 +1000,274 @@ impl SigmundService {
         };
         self.day += 1;
         Ok(report)
+    }
+
+    /// Snapshot of the service's carry-forward state as a journal manifest.
+    fn manifest_now(&self, phase: Phase) -> DayManifest {
+        DayManifest {
+            day: self.day,
+            phase,
+            virtual_now: self.virtual_now,
+            retailers: self
+                .retailers
+                .iter()
+                .map(|(r, n)| (*r, *n as u64))
+                .collect(),
+            new_since_last_run: self.new_since_last_run.clone(),
+            last_accepted_map: self.last_accepted_map.clone(),
+            last_outputs: self.last_outputs.clone(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Rewrites the day's journal manifest at a phase boundary (tmp +
+    /// rename; no-op when the journal is off). A crash propagates — it is
+    /// sticky and the day must unwind — while any other failure is
+    /// absorbed: journal durability is best-effort, and a lost manifest
+    /// only widens recovery's re-run window, never fails the day.
+    fn journal_mark(
+        &self,
+        manifest: Option<&mut DayManifest>,
+        phase: Phase,
+    ) -> Result<(), SigmundError> {
+        let Some(m) = manifest else { return Ok(()) };
+        m.phase = phase;
+        match journal::write_manifest(&self.dfs, self.cfg.cells[0].cell, m) {
+            Err(e @ SigmundError::Crashed(_)) => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    /// Records a durable per-retailer publish (no-op when the journal is
+    /// off). Marker durability is best-effort: a lost marker only makes a
+    /// resumed day rewrite one identical table, and a crash mid-marker is
+    /// caught at the publish phase boundary.
+    fn journal_publish_marker(&self, journal_on: bool, r: RetailerId) {
+        if !journal_on {
+            return;
+        }
+        // xtask: allow(error-swallow) — marker loss only costs one idempotent re-publish on resume; crashes are caught at the phase boundary
+        let _ = journal::write_publish_marker(&self.dfs, self.cfg.cells[0].cell, self.day, r);
+    }
+
+    /// Unwinds the day if the kill-point has fired: the simulated process
+    /// is dead, and the phase machinery below it (task retries, graceful
+    /// degradation) must not absorb a crash into a "successful" day.
+    fn check_crash(&self, at: &str) -> Result<(), SigmundError> {
+        if self.dfs.crashed() {
+            return Err(SigmundError::Crashed(format!(
+                "kill-point fired during day {} {at}",
+                self.day
+            )));
+        }
+        Ok(())
+    }
+
+    /// Seals the previous [`SigmundService::run_day`] in the journal: the
+    /// day's manifest is overwritten with the *post*-day snapshot plus the
+    /// driver's opaque `ops` payload (monitor and serving metadata — see
+    /// [`crate::journal::pack_ops`]), and the prior day's sealed manifest
+    /// and this day's publish markers are garbage-collected. Call it after
+    /// the driver has applied the day's report to its own state; recovery
+    /// hands `ops` back verbatim via [`Recovered::ops_state`].
+    ///
+    /// No-op when [`PipelineConfig::journal`] is off.
+    ///
+    /// # Errors
+    /// [`SigmundError::Invalid`] if no day has completed yet;
+    /// [`SigmundError::Crashed`] if the kill-point fires mid-seal.
+    pub fn seal_day(&mut self, ops: Vec<u8>) -> Result<(), SigmundError> {
+        if !self.cfg.journal {
+            return Ok(());
+        }
+        let Some(day) = self.day.checked_sub(1) else {
+            return Err(SigmundError::Invalid(
+                "seal_day before any completed day".into(),
+            ));
+        };
+        let mut m = self.manifest_now(Phase::Sealed);
+        m.day = day;
+        m.ops = ops;
+        if let Err(e @ SigmundError::Crashed(_)) =
+            journal::write_manifest(&self.dfs, self.cfg.cells[0].cell, &m)
+        {
+            return Err(e);
+        }
+        if let Some(prev) = day.checked_sub(1) {
+            if self.dfs.exists(&journal::manifest_path(prev)) {
+                // xtask: allow(error-swallow) — GC is best-effort: recovery keeps only the newest sealed manifest anyway
+                let _ = self.dfs.delete(&journal::manifest_path(prev));
+            }
+        }
+        for path in self.dfs.list(journal::MARKER_PREFIX) {
+            // xtask: allow(error-swallow) — GC is best-effort: recovery ignores markers from any day but the interrupted one
+            let _ = self.dfs.delete(&path);
+        }
+        self.check_crash("seal")
+    }
+
+    /// Rebuilds a service from durable state after a (simulated) process
+    /// death: the restart + recover half of crash–restart recovery
+    /// (DESIGN.md §14).
+    ///
+    /// The old DFS handle is [`Dfs::restart`]ed — files, retained previous
+    /// versions and replica homes carry over; the sticky crash, traffic
+    /// counters and integrity counters do not, and the kill-point is
+    /// stripped from the plan so the revived process does not die at the
+    /// same op again. The journal is then scanned *offline* (checksums
+    /// verified, torn blobs GC'd) to restore the carry-forward arenas:
+    /// retailer roster, pending full-grid sweeps, previous outputs, and
+    /// admission baselines — with their original values, so freshness and
+    /// quality gates never lie about age.
+    ///
+    /// If a day was interrupted mid-run ([`Recovered::mid_day`]), its
+    /// manifest holds the day-*start* snapshot and the next
+    /// [`SigmundService::run_day`] re-executes the whole day: completed
+    /// phases are deterministic overwrites, tables the crashed run already
+    /// published are skipped via their markers, and stranded scratch state
+    /// (training checkpoints, recommendation part blobs, journal tmp
+    /// blobs) is GC'd here so the re-run cannot see it.
+    ///
+    /// Calling this on a healthy, sealed journal (or with
+    /// [`crate::ChaosConfig::disabled`] and no prior crash) is
+    /// byte-invisible: the recovered service continues exactly where the
+    /// original would have (asserted in `tests/chaos.rs`).
+    ///
+    /// # Errors
+    /// None today; the `Result` reserves the right to fail on future
+    /// journal versions.
+    pub fn recover(dfs: &Dfs, cfg: PipelineConfig) -> Result<Recovered, SigmundError> {
+        let mut cfg = cfg;
+        cfg.chaos.plan.crash_at = None;
+        cfg.journal = true;
+        let bus = cfg.bus.clone();
+        let fresh = dfs.restart(cfg.chaos.plan.clone());
+
+        // Offline journal scan: `peek` bypasses any injector, and every
+        // manifest verifies its own embedded checksum, so a torn tmp blob
+        // or a bit flip is rejected (and GC'd) instead of replayed.
+        // `list` returns paths in sorted order and day numbers are
+        // zero-padded, so "latest" is simply "last seen".
+        let mut stale: Vec<String> = Vec::new();
+        let mut sealed: Option<DayManifest> = None;
+        let mut inprog: Option<DayManifest> = None;
+        for path in fresh.list(journal::MANIFEST_PREFIX) {
+            if path.rsplit('/').next() == Some("TMP") {
+                stale.push(path);
+                continue;
+            }
+            let parsed = fresh
+                .peek(&path)
+                .and_then(|b| DayManifest::from_bytes(&b).ok());
+            match parsed {
+                Some(m) if m.phase == Phase::Sealed => {
+                    if let Some(old) = sealed.take() {
+                        stale.push(journal::manifest_path(old.day));
+                    }
+                    sealed = Some(m);
+                }
+                Some(m) => {
+                    if let Some(old) = inprog.take() {
+                        stale.push(journal::manifest_path(old.day));
+                    }
+                    inprog = Some(m);
+                }
+                None => stale.push(path),
+            }
+        }
+        // An "in-progress" manifest for a day the latest seal already
+        // covers is a GC leftover, not an interrupted day.
+        if let (Some(s), Some(p)) = (&sealed, &inprog) {
+            if p.day <= s.day {
+                stale.push(journal::manifest_path(p.day));
+                inprog = None;
+            }
+        }
+
+        let mut svc = SigmundService::new(cfg);
+        svc.dfs = fresh;
+        let ops_state = sealed.as_ref().map(|m| m.ops.clone());
+        if let Some(m) = inprog.as_ref().or(sealed.as_ref()) {
+            svc.day = if m.phase == Phase::Sealed {
+                m.day + 1
+            } else {
+                m.day
+            };
+            svc.virtual_now = m.virtual_now;
+            svc.retailers = m.retailers.iter().map(|(r, n)| (*r, *n as usize)).collect();
+            svc.new_since_last_run = m.new_since_last_run.clone();
+            svc.last_accepted_map = m.last_accepted_map.clone();
+            svc.last_outputs = m.last_outputs.clone();
+        }
+
+        let mid_day = inprog.is_some();
+        if let Some(p) = &inprog {
+            // Publish markers from the interrupted day feed the resume
+            // skip-set; markers from any other day are stale.
+            let day_prefix = format!("{}{:08}/", journal::MARKER_PREFIX, p.day);
+            for path in svc.dfs.list(journal::MARKER_PREFIX) {
+                match path
+                    .strip_prefix(&day_prefix)
+                    .and_then(|rest| rest.strip_prefix('r'))
+                    .and_then(|id| id.parse::<u32>().ok())
+                {
+                    Some(id) => {
+                        svc.resume_publish_done.insert(RetailerId(id));
+                    }
+                    None => stale.push(path),
+                }
+            }
+            // A half-run day may have stranded training checkpoints and
+            // recommendation part blobs. The re-run must start from clean
+            // inputs: a leftover checkpoint would make retraining resume
+            // mid-stream and diverge from the uninterrupted run.
+            for path in svc.dfs.list("/ckpt/") {
+                stale.push(path);
+            }
+            for path in svc.dfs.list("/recs_parts/") {
+                stale.push(path);
+            }
+            // Model blobs the crashed day already wrote (or superseded
+            // generations its start-of-day GC had not finished deleting)
+            // are stale too: the restored carry-forward records reference
+            // exactly the generations the re-run warm-starts from, and the
+            // baseline keeps exactly that set at every day boundary, so
+            // deleting everything else reproduces the uninterrupted run's
+            // day-start model tree byte-for-byte (DESIGN.md §14).
+            let referenced: BTreeSet<&str> = svc
+                .last_outputs
+                .iter()
+                .map(|r| r.model_path.as_str())
+                .collect();
+            for path in svc.dfs.list("/models/") {
+                if !referenced.contains(path.as_str()) {
+                    stale.push(path);
+                }
+            }
+        } else {
+            for path in svc.dfs.list(journal::MARKER_PREFIX) {
+                stale.push(path);
+            }
+        }
+        for path in &stale {
+            // xtask: allow(error-swallow) — recovery GC is best-effort: an undeletable blob is simply re-scanned (and re-ignored) next recovery
+            let _ = svc.dfs.delete(path);
+        }
+
+        // Announce the recovery on the health bus *before* any enablement
+        // checks — bus and obs layers are independent, and the disabled
+        // default bus makes this a no-op (byte-invisible on clean runs).
+        bus.publish(HealthEvent::Recovered {
+            ts: svc.virtual_now,
+            day: svc.day,
+            mid_day,
+        });
+        Ok(Recovered {
+            mid_day,
+            day: svc.day,
+            ops_state,
+            service: svc,
+        })
     }
 
     /// Admission check for one winning config: re-read its model from the

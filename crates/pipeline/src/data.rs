@@ -28,9 +28,16 @@ pub fn catalog_path(r: RetailerId) -> String {
     format!("/catalog/r{}", r.0)
 }
 
-/// DFS path of a trained model for (retailer, config).
-pub fn model_path(r: RetailerId, config: u32) -> String {
-    format!("/models/r{}/c{}", r.0, config)
+/// DFS path of a trained model for (retailer, config) on a given day.
+///
+/// The day stamp keeps a day's training from overwriting the previous
+/// generation it warm-starts from: with day-stable paths, a mid-day crash
+/// after the overwrite would make the recovery re-run warm-start from the
+/// partial day's own output and diverge from the uninterrupted run
+/// (DESIGN.md §14). Superseded generations are garbage-collected at the
+/// next day boundary once nothing references them.
+pub fn model_path(r: RetailerId, config: u32, day: u32) -> String {
+    format!("/models/r{}/c{}/d{}", r.0, config, day)
 }
 
 /// DFS directory for a training task's checkpoints.
@@ -408,7 +415,8 @@ mod tests {
 
     #[test]
     fn paths_are_distinct_per_retailer_and_config() {
-        assert_ne!(model_path(RetailerId(1), 0), model_path(RetailerId(1), 1));
+        assert_ne!(model_path(RetailerId(1), 0, 0), model_path(RetailerId(1), 1, 0));
+        assert_ne!(model_path(RetailerId(1), 0, 0), model_path(RetailerId(1), 0, 1));
         assert_ne!(train_path(RetailerId(1)), train_path(RetailerId(2)));
         assert_ne!(
             checkpoint_dir(RetailerId(1), 0),

@@ -258,14 +258,20 @@ impl MapTask for InferenceJob<'_> {
         }
         if self.persist_splits {
             // Streaming sink: the split's output leaves memory immediately as
-            // a part blob; the publish phase stitches parts per retailer. A
-            // failed write is retryable like any other fault in the attempt.
+            // a part blob; the publish phase stitches parts per retailer. The
+            // blob lands via tmp+rename so a crash mid-write can never leave
+            // a half-written part at the final path — readers see the old
+            // blob or the new one, and orphaned `/TMP` siblings are swept by
+            // the day-end cleanup and `Dfs::scrub`. A failed write or rename
+            // is retryable like any other fault in the attempt.
             let table: Vec<ItemRecs> = local.iter().map(|m| m.recs.clone()).collect();
             let part = data::recs_part_path(sp.retailer, sp.start);
+            let tmp = format!("{part}/TMP");
             if self
                 .dfs
-                .write(self.cell, &part, data::encode_recs(&table))
+                .write(self.cell, &tmp, data::encode_recs(&table))
                 .is_err()
+                || self.dfs.rename(&tmp, &part).is_err()
             {
                 return MapStatus::Preempted;
             }

@@ -22,6 +22,9 @@
 //!   storms, retry budgets) and the graceful-degradation wiring.
 //! * [`integrity`] — the pre-publish admission gate: checksum-verified
 //!   model re-reads, snapshot validation, and MAP collapse detection.
+//! * [`journal`] — the durable day journal behind crash–restart recovery:
+//!   checksummed phase manifests, publish markers, and the codec
+//!   [`daily::SigmundService::recover`] replays them with.
 
 pub mod binpack;
 pub mod chaos;
@@ -30,6 +33,7 @@ pub mod daily;
 pub mod data;
 pub mod infer_job;
 pub mod integrity;
+pub mod journal;
 pub mod monitor;
 pub mod sweep;
 pub mod train_job;
@@ -39,7 +43,7 @@ pub use binpack::{
 };
 pub use chaos::{CellStorm, ChaosConfig};
 pub use cost_model::CostModel;
-pub use daily::{load_recs, recs_for_item, DayReport, PipelineConfig, SigmundService};
+pub use daily::{load_recs, recs_for_item, DayReport, PipelineConfig, Recovered, SigmundService};
 pub use infer_job::{make_splits, InferSplit, InferenceJob, MaterializedRec};
 pub use integrity::{IntegrityConfig, RejectReason};
 pub use monitor::{FleetSummary, MonitorConfig, QualityAlert, QualityMonitor};

@@ -24,8 +24,14 @@
 use crate::daily::DayReport;
 use serde::Serialize;
 use sigmund_obs::{AlertKind, ArgValue, HealthBus, HealthEvent, Level, Obs, Track};
-use sigmund_types::RetailerId;
+use sigmund_types::{fnv1a64, RetailerId, SigmundError};
 use std::collections::VecDeque;
+
+/// Magic bytes opening a serialized monitor blob (see
+/// [`QualityMonitor::to_bytes`]).
+pub const MONITOR_MAGIC: &[u8; 4] = b"SGQM";
+/// Current monitor snapshot format version.
+pub const MONITOR_VERSION: u8 = 1;
 
 /// A quality problem the monitor detected for one retailer on one day.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -527,6 +533,130 @@ impl QualityMonitor {
     pub fn days_tracked(&self, retailer: RetailerId) -> usize {
         self.hist(retailer).map_or(0, |h| h.samples)
     }
+
+    /// Serializes the monitor's per-retailer state (not its thresholds —
+    /// those are configuration the restoring driver supplies) to a
+    /// checksummed little-endian blob, for stashing in a sealed journal
+    /// manifest's `ops` payload (see [`crate::journal::pack_ops`]). No
+    /// serde backend: crash recovery must work everywhere.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MONITOR_MAGIC);
+        out.push(MONITOR_VERSION);
+        let n = u32::try_from(self.history.len()).unwrap_or(u32::MAX);
+        out.extend_from_slice(&n.to_le_bytes());
+        for (h, &tracked) in self.history.iter().zip(&self.tracked).take(n as usize) {
+            out.push(u8::from(tracked));
+            let ring = u32::try_from(h.recent.len()).unwrap_or(u32::MAX);
+            out.extend_from_slice(&ring.to_le_bytes());
+            for v in &h.recent {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            out.extend_from_slice(&(h.samples as u64).to_le_bytes());
+            out.extend_from_slice(&h.best.to_bits().to_le_bytes());
+            out.push(u8::from(h.low_quality));
+            out.push(u8::from(h.degraded));
+            out.extend_from_slice(&h.stale_days.to_le_bytes());
+        }
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Rebuilds a monitor from a [`QualityMonitor::to_bytes`] blob, with the
+    /// caller's thresholds and health bus. Any truncation, bit flip, or
+    /// trailing garbage is a clean [`SigmundError::Corrupt`] — never a panic
+    /// — so recovery can fall back to a fresh monitor.
+    ///
+    /// # Errors
+    /// [`SigmundError::Corrupt`] as above.
+    pub fn from_bytes(cfg: MonitorConfig, bus: HealthBus, b: &[u8]) -> Result<Self, SigmundError> {
+        let corrupt = |m: &str| SigmundError::Corrupt(format!("monitor snapshot: {m}"));
+        if b.len() < MONITOR_MAGIC.len() + 8 || &b[..MONITOR_MAGIC.len()] != MONITOR_MAGIC {
+            return Err(corrupt("missing magic"));
+        }
+        let payload_len = b.len() - 8;
+        let tail = &b[payload_len..];
+        let stamped = u64::from_le_bytes([
+            tail[0], tail[1], tail[2], tail[3], tail[4], tail[5], tail[6], tail[7],
+        ]);
+        if fnv1a64(&b[..payload_len]) != stamped {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let b = &b[..payload_len];
+        let mut at = MONITOR_MAGIC.len();
+        let mut take = |n: usize, what: &str| -> Result<&[u8], SigmundError> {
+            let end = at
+                .checked_add(n)
+                .filter(|&e| e <= b.len())
+                .ok_or_else(|| corrupt(what))?;
+            let s = &b[at..end];
+            at = end;
+            Ok(s)
+        };
+        let version = take(1, "version")?[0];
+        if version != MONITOR_VERSION {
+            return Err(corrupt(&format!("unknown version {version}")));
+        }
+        let s = take(4, "slot count")?;
+        let n = u32::from_le_bytes([s[0], s[1], s[2], s[3]]) as usize;
+        let mut history = Vec::new();
+        let mut tracked = Vec::new();
+        for _ in 0..n {
+            let is_tracked = match take(1, "tracked flag")?[0] {
+                0 => false,
+                1 => true,
+                _ => return Err(corrupt("tracked flag")),
+            };
+            let s = take(4, "ring length")?;
+            let ring_len = u32::from_le_bytes([s[0], s[1], s[2], s[3]]) as usize;
+            let mut recent = VecDeque::new();
+            for _ in 0..ring_len {
+                let s = take(8, "ring sample")?;
+                recent.push_back(f64::from_bits(u64::from_le_bytes([
+                    s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+                ])));
+            }
+            let s = take(8, "sample count")?;
+            let samples = u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]);
+            let samples = usize::try_from(samples).map_err(|_| corrupt("sample count range"))?;
+            let s = take(8, "best map")?;
+            let best = f64::from_bits(u64::from_le_bytes([
+                s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+            ]));
+            let low_quality = match take(1, "low-quality flag")?[0] {
+                0 => false,
+                1 => true,
+                _ => return Err(corrupt("low-quality flag")),
+            };
+            let degraded = match take(1, "degraded flag")?[0] {
+                0 => false,
+                1 => true,
+                _ => return Err(corrupt("degraded flag")),
+            };
+            let s = take(4, "stale days")?;
+            let stale_days = u32::from_le_bytes([s[0], s[1], s[2], s[3]]);
+            history.push(History {
+                recent,
+                samples,
+                best,
+                low_quality,
+                degraded,
+                stale_days,
+            });
+            tracked.push(is_tracked);
+        }
+        if at != b.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(Self {
+            cfg,
+            history,
+            tracked,
+            bus,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -777,6 +907,50 @@ mod tests {
         // Recovery shows up as an Info event.
         mon.record_day_obs(&fleet, &report(1, &[(0, 0.4, 10, 10)]), &obs, 43.0);
         assert!(obs.trace_json().contains("recovered"));
+    }
+
+    #[test]
+    fn monitor_snapshot_round_trips_and_preserves_behavior() {
+        let mut mon = QualityMonitor::new(MonitorConfig::default());
+        let fleet = vec![(RetailerId(0), 10), (RetailerId(1), 10)];
+        // Build interesting state: history, a low-quality flag, degradation.
+        mon.record_day(&fleet, &report(0, &[(0, 0.30, 10, 10), (1, 0.001, 10, 10)]));
+        mon.record_day(&fleet, &degraded_report(1, &[(1, 0.002, 10, 10)], &[0]));
+        let blob = mon.to_bytes();
+        let mut back =
+            QualityMonitor::from_bytes(MonitorConfig::default(), HealthBus::disabled(), &blob)
+                .unwrap();
+        assert_eq!(back.fleet_summary(), mon.fleet_summary());
+        assert_eq!(back.days_tracked(RetailerId(0)), 1);
+        // The restored monitor continues exactly like the original: retailer
+        // 0 recovers from degradation (transition alert), retailer 1 stays
+        // silently low-quality (no re-fire).
+        let next = report(2, &[(0, 0.31, 10, 10), (1, 0.002, 10, 10)]);
+        assert_eq!(back.record_day(&fleet, &next), mon.record_day(&fleet, &next));
+        assert_eq!(back.to_bytes(), mon.to_bytes());
+    }
+
+    #[test]
+    fn monitor_snapshot_rejects_corruption_cleanly() {
+        let mut mon = QualityMonitor::new(MonitorConfig::default());
+        let fleet = vec![(RetailerId(0), 10)];
+        mon.record_day(&fleet, &report(0, &[(0, 0.3, 10, 10)]));
+        let blob = mon.to_bytes();
+        let parse = |b: &[u8]| {
+            QualityMonitor::from_bytes(MonitorConfig::default(), HealthBus::disabled(), b)
+        };
+        for len in 0..blob.len() {
+            assert!(parse(&blob[..len]).is_err(), "truncation to {len} parsed");
+        }
+        for i in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[i] ^= 1;
+            assert!(parse(&bad).is_err(), "bit flip at byte {i} parsed");
+        }
+        let mut bad = blob.clone();
+        bad.push(0);
+        assert!(parse(&bad).is_err(), "trailing garbage parsed");
+        assert!(parse(&blob).is_ok());
     }
 
     #[test]

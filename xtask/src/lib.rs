@@ -107,6 +107,7 @@ impl Default for Policy {
                 "crates/core/src/recs_codec.rs".into(),
                 "crates/dfs/src/".into(),
                 "crates/types/src/hash.rs".into(),
+                "crates/pipeline/src/journal.rs".into(),
             ],
             reference_src_prefix: "crates/core/src/".into(),
             reference_test_file: "tests/infer_fastpath.rs".into(),

@@ -702,8 +702,8 @@ fn scan_reference_coverage(ctx: &TreeCtx) -> Vec<(String, usize, String)> {
     out
 }
 
-/// Every fault-class field of `FaultPlan` (`*_rate` rates and `partitions`)
-/// must be named in the chaos suite.
+/// Every fault-class field of `FaultPlan` (`*_rate` rates, `partitions`,
+/// and the `crash_at` kill point) must be named in the chaos suite.
 fn scan_fault_coverage(ctx: &TreeCtx) -> Vec<(String, usize, String)> {
     let Some(plan_file) = ctx
         .files
@@ -742,7 +742,9 @@ fn scan_fault_coverage(ctx: &TreeCtx) -> Vec<(String, usize, String)> {
                         if depth == 1
                             && punct(t, j + 1, ':')
                             && !punct(t, j + 2, ':')
-                            && (name.ends_with("_rate") || name == "partitions") =>
+                            && (name.ends_with("_rate")
+                                || name == "partitions"
+                                || name == "crash_at") =>
                     {
                         fields.push((name.clone(), t[j].line));
                     }

@@ -1,0 +1,18 @@
+// Fixture: the journal-writer anti-patterns the lint must catch — a wall
+// clock stamped into a durable manifest (two same-seed runs would produce
+// different journal bytes, breaking byte-identical recovery) and a
+// narrowing `as` cast in a parse path.
+
+pub fn encode_header(day: u32, out: &mut Vec<u8>) {
+    out.extend_from_slice(b"SGJL");
+    out.extend_from_slice(&day.to_le_bytes());
+    let stamp = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_secs_f64();
+    out.extend_from_slice(&stamp.to_bits().to_le_bytes());
+}
+
+pub fn put_len(out: &mut Vec<u8>, len: usize) {
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+}

@@ -1,0 +1,18 @@
+// Fixture: the day-journal writer idiom (`crates/pipeline/src/journal.rs`) —
+// manifests are stamped with the *virtual* clock the caller passes in and
+// checksummed via fnv1a64; lengths go through u32::try_from, never a
+// narrowing `as` cast (journal.rs is a cast-truncation parse path). The
+// determinism rule must stay silent even though this comment names
+// SystemTime::now() and Instant::now().
+
+pub fn encode_header(day: u32, virtual_now: f64, out: &mut Vec<u8>) {
+    out.extend_from_slice(b"SGJL");
+    out.extend_from_slice(&day.to_le_bytes());
+    out.extend_from_slice(&virtual_now.to_bits().to_le_bytes());
+}
+
+pub fn put_len(out: &mut Vec<u8>, len: usize) -> Result<(), String> {
+    let n = u32::try_from(len).map_err(|_| "journal: section too large".to_string())?;
+    out.extend_from_slice(&n.to_le_bytes());
+    Ok(())
+}

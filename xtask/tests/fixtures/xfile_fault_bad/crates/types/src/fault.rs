@@ -1,8 +1,9 @@
-// Cross-file fixture: a fault plan with a class (`partitions`) the chaos
-// suite never exercises by name.
+// Cross-file fixture: a fault plan with two classes (`partitions` and the
+// `crash_at` kill point) the chaos suite never exercises by name.
 
 pub struct FaultPlan {
     pub seed: u64,
     pub read_error_rate: f64,
     pub partitions: Vec<u32>,
+    pub crash_at: Option<(u32, u64)>,
 }

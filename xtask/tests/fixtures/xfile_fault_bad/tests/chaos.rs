@@ -1,5 +1,5 @@
-// partitions are mentioned only in this comment, which must not count as
-// coverage — the lexer keeps comments opaque.
+// partitions and crash_at are mentioned only in this comment, which must not
+// count as coverage — the lexer keeps comments opaque.
 
 #[test]
 fn partial_coverage() {

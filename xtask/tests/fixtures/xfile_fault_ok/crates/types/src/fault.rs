@@ -1,8 +1,10 @@
-// Cross-file fixture: a fault plan whose every fault class (rates and
-// partitions) is exercised by name in the chaos suite.
+// Cross-file fixture: a fault plan whose every fault class (rates,
+// partitions, and the crash kill point) is exercised by name in the chaos
+// suite.
 
 pub struct FaultPlan {
     pub seed: u64,
     pub read_error_rate: f64,
     pub partitions: Vec<u32>,
+    pub crash_at: Option<(u32, u64)>,
 }

@@ -4,7 +4,9 @@ fn every_fault_class_is_exercised() {
         seed: 1,
         read_error_rate: 0.1,
         partitions: vec![2],
+        crash_at: Some((0, 7)),
     };
     assert!(plan.read_error_rate > 0.0);
     assert_eq!(plan.partitions.len(), 1);
+    assert!(plan.crash_at.is_some());
 }

@@ -24,6 +24,8 @@ const OBS_WALLCLOCK_BAD: &str = include_str!("fixtures/obs_wallclock_bad.rs");
 const BENCH_WALLCLOCK_ALLOWED: &str = include_str!("fixtures/bench_wallclock_allowed.rs");
 const FAULT_INJECTOR_BAD: &str = include_str!("fixtures/fault_injector_bad.rs");
 const FAULT_INJECTOR_OK: &str = include_str!("fixtures/fault_injector_ok.rs");
+const JOURNAL_WRITER_BAD: &str = include_str!("fixtures/journal_writer_bad.rs");
+const JOURNAL_WRITER_OK: &str = include_str!("fixtures/journal_writer_ok.rs");
 const INTEGRITY_HASH_BAD: &str = include_str!("fixtures/integrity_hash_bad.rs");
 const INTEGRITY_HASH_OK: &str = include_str!("fixtures/integrity_hash_ok.rs");
 const MAP_ITERATION_BAD: &str = include_str!("fixtures/map_iteration_bad.rs");
@@ -228,6 +230,37 @@ fn fault_injector_splitmix_pattern_is_clean() {
     let (vs, allows) = lint_source(
         "crates/dfs/src/fault.rs",
         FAULT_INJECTOR_OK,
+        &Policy::default(),
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+    assert!(
+        allows.is_empty(),
+        "the clean pattern needs no escape hatches"
+    );
+}
+
+#[test]
+fn journal_writer_wallclock_and_narrowing_cast_are_flagged() {
+    // Byte-identical recovery dies the moment a wall clock leaks into a
+    // durable manifest: two same-seed runs would journal different bytes
+    // and the crash-sweep equivalence in tests/chaos.rs could never hold.
+    // journal.rs is also a cast-truncation parse path, so a narrowing
+    // `as u32` on a section length is flagged rather than silently
+    // wrapping on a >4 GiB blob.
+    let vs = lint("crates/pipeline/src/journal.rs", JOURNAL_WRITER_BAD);
+    let counts = by_rule(&vs);
+    assert_eq!(counts.get("determinism"), Some(&1), "{vs:?}");
+    assert_eq!(counts.get("cast-truncation"), Some(&1), "{vs:?}");
+}
+
+#[test]
+fn journal_writer_virtual_time_pattern_is_clean() {
+    // The real writer's idiom — caller-passed virtual time, to_bits
+    // encoding, u32::try_from lengths — passes every rule with zero
+    // allows, banned names in comments staying opaque to the lexer.
+    let (vs, allows) = lint_source(
+        "crates/pipeline/src/journal.rs",
+        JOURNAL_WRITER_OK,
         &Policy::default(),
     );
     assert!(vs.is_empty(), "{vs:?}");
@@ -487,11 +520,14 @@ fn cross_file_rules_anchor_violations_at_the_definition() {
 
     let filter = vec!["fault-coverage".to_string()];
     let report = run_lint_filtered(&dir.join("xfile_fault_bad"), &policy, Some(&filter)).unwrap();
-    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
-    let v = &report.violations[0];
-    assert_eq!(v.rule, "fault-coverage");
-    assert_eq!(v.file, "crates/types/src/fault.rs");
-    assert!(v.message.contains("partitions"), "{v:?}");
+    // Two uncovered classes: `partitions` and the `crash_at` kill point.
+    assert_eq!(report.violations.len(), 2, "{:?}", report.violations);
+    for v in &report.violations {
+        assert_eq!(v.rule, "fault-coverage");
+        assert_eq!(v.file, "crates/types/src/fault.rs");
+    }
+    assert!(report.violations.iter().any(|v| v.message.contains("partitions")));
+    assert!(report.violations.iter().any(|v| v.message.contains("crash_at")));
 }
 
 #[test]
